@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure from the paper, prints the
+corresponding rows and also writes them to ``benchmarks/results/<name>.txt``
+so the output survives pytest's capture.  Set ``REPRO_BENCH_SCALE`` to an
+integer larger than 1 to multiply the simulated traffic (lower BER floors,
+proportionally longer runs).
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale():
+    """Workload multiplier taken from ``REPRO_BENCH_SCALE`` (default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+def emit(name, title, body):
+    """Print a benchmark's output and persist it under ``benchmarks/results``."""
+    text = "\n".join(["=" * 72, title, "=" * 72, str(body), ""])
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,11 @@
+"""Pytest fixtures for the benchmark harness."""
+
+import pytest
+
+from _bench_utils import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Workload multiplier (see ``REPRO_BENCH_SCALE``)."""
+    return bench_scale()

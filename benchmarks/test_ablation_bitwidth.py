@@ -1,0 +1,77 @@
+"""Ablation: demapper soft-output bit-width.
+
+Section 4.1 explains that dropping the SNR/modulation scaling lets the
+hardware demapper emit 3-8 bit soft values instead of 23-28 bits, shrinking
+the decoder.  The flip side (Section 4.2) is that the magnitude information
+matters for BER estimation.  This ablation quantises the demapper output to
+3-8 bits (and compares against the unquantised reference), measuring decode
+BER, the quality of the hint/error separation and the modelled decoder area.
+"""
+
+import numpy as np
+
+from repro.analysis.link import LinkSimulator
+from repro.analysis.reporting import Table
+from repro.fixedpoint.fixed import llr_quantizer
+from repro.hwmodel.area import AreaModel, DecoderAreaParameters
+from repro.phy.params import rate_by_mbps
+
+from _bench_utils import emit
+
+BIT_WIDTHS = (3, 4, 6, 8)
+
+
+def _hint_separation(result):
+    """Mean hint of correct bits divided by mean hint of erroneous bits."""
+    errors = result.bit_errors
+    if not errors.any() or errors.all():
+        return float("nan")
+    return float(result.hints[~errors].mean() / max(result.hints[errors].mean(), 1e-9))
+
+
+def _sweep(num_packets):
+    rate = rate_by_mbps(24)
+    rows = []
+    configurations = [("float", None)] + [
+        ("%d-bit" % bits, llr_quantizer(bits, max_abs=8.0)) for bits in BIT_WIDTHS
+    ]
+    for label, fmt in configurations:
+        simulator = LinkSimulator(rate, snr_db=6.0, decoder="bcjr",
+                                  packet_bits=1704, seed=47, llr_format=fmt)
+        result = simulator.run(num_packets, batch_size=8)
+        soft_bits = fmt.total_bits if fmt is not None else 8
+        area = AreaModel(
+            DecoderAreaParameters(soft_input_bits=soft_bits)
+        ).decoder_total("bcjr")
+        rows.append({
+            "label": label,
+            "ber": result.bit_error_rate,
+            "separation": _hint_separation(result),
+            "luts": area.luts,
+        })
+    return rows
+
+
+def test_ablation_demapper_bitwidth(benchmark, scale):
+    rows = benchmark.pedantic(_sweep, args=(8 * scale,), rounds=1, iterations=1)
+
+    table = Table(
+        ["Demapper output", "BER @ 6 dB", "hint separation (correct/error)", "BCJR LUTs"],
+        title="Ablation: demapper bit-width vs decode quality, hints and area",
+    )
+    for row in rows:
+        table.add_row(row["label"], row["ber"], row["separation"], row["luts"])
+    emit("ablation_bitwidth", "Demapper bit-width ablation", table.render())
+
+    reference = next(row for row in rows if row["label"] == "float")
+    eight_bit = next(row for row in rows if row["label"] == "8-bit")
+    three_bit = next(row for row in rows if row["label"] == "3-bit")
+    # 8-bit quantisation is essentially free for decoding (the paper's point
+    # about hard decisions depending only on relative ordering).
+    assert eight_bit["ber"] <= reference["ber"] * 2 + 1e-4
+    # The hints still separate good bits from bad bits even at 3 bits, but
+    # less sharply than with full precision.
+    if not np.isnan(three_bit["separation"]) and not np.isnan(reference["separation"]):
+        assert three_bit["separation"] > 1.0
+    # Narrower datapaths shrink the modelled decoder.
+    assert three_bit["luts"] < eight_bit["luts"]

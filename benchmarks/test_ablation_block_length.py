@@ -1,0 +1,71 @@
+"""Ablation: BCJR block length / SOVA traceback length.
+
+Section 4.3.2 notes that the sliding-window BCJR "shows reasonable
+performance if block size n is sufficiently large (larger than 32)" and
+Section 4.4.3 that increasing the window beyond 64 "provides no performance
+improvement" while the area keeps growing.  This ablation sweeps the window
+length, measuring decode BER (at a fixed operating point) and the modelled
+area, to reproduce both halves of that trade-off.
+"""
+
+from repro.analysis.link import LinkSimulator
+from repro.analysis.reporting import Table
+from repro.hwmodel.area import AreaModel, DecoderAreaParameters
+from repro.phy.bcjr import BcjrDecoder
+from repro.phy.params import rate_by_mbps
+from repro.phy.sova import SovaDecoder
+
+from _bench_utils import emit
+
+WINDOWS = (8, 16, 32, 64, 128)
+
+
+def _sweep(num_packets):
+    rate = rate_by_mbps(24)
+    rows = []
+    for window in WINDOWS:
+        for decoder_name, decoder in (
+            ("bcjr", BcjrDecoder(block_length=window)),
+            ("sova", SovaDecoder(traceback_length=window)),
+        ):
+            simulator = LinkSimulator(rate, snr_db=6.0, decoder=decoder,
+                                      packet_bits=1704, seed=31)
+            result = simulator.run(num_packets, batch_size=8)
+            area = AreaModel(
+                DecoderAreaParameters(block_length=window, traceback_length=window)
+            ).decoder_total(decoder_name)
+            rows.append({
+                "decoder": decoder_name,
+                "window": window,
+                "ber": result.bit_error_rate,
+                "luts": area.luts,
+                "registers": area.registers,
+            })
+    return rows
+
+
+def test_ablation_window_length(benchmark, scale):
+    rows = benchmark.pedantic(_sweep, args=(8 * scale,), rounds=1, iterations=1)
+
+    table = Table(
+        ["Decoder", "Window/block", "BER @ QAM16 1/2, 6 dB", "LUTs", "Registers"],
+        title="Ablation: window length vs decode quality and area",
+    )
+    for row in rows:
+        table.add_row(row["decoder"].upper(), row["window"], row["ber"],
+                      row["luts"], row["registers"])
+    emit("ablation_block_length", "Window-length ablation", table.render())
+
+    by_decoder = {
+        name: {row["window"]: row for row in rows if row["decoder"] == name}
+        for name in ("bcjr", "sova")
+    }
+    for name, per_window in by_decoder.items():
+        # Area grows monotonically with the window.
+        luts = [per_window[w]["luts"] for w in WINDOWS]
+        assert luts == sorted(luts)
+        # Going beyond the paper's 64 buys no meaningful BER improvement.
+        assert per_window[128]["ber"] >= per_window[64]["ber"] * 0.5 - 1e-6
+        # Very small windows hurt BCJR (the paper's n >= 32 guidance).
+        if name == "bcjr":
+            assert per_window[8]["ber"] >= per_window[64]["ber"]

@@ -1,0 +1,79 @@
+"""Section 3 / Figure 1: the modelled baseband sustains every 802.11g rate.
+
+The paper clocks the bulk of its baseband at 35 MHz and the per-bit BER unit
+at 60 MHz and states that this configuration keeps up with the fastest
+802.11g rate (54 Mb/s).  This benchmark evaluates the pipeline throughput
+model at those clocks for all eight rates, checks that every line rate is
+sustained, and also exercises the latency-insensitive pipeline under the
+multi-clock scheduler to confirm the clock-domain structure (baseband plus
+the faster BER-unit domain, with automatic crossings).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import Table, format_percentage
+from repro.core.scheduler import MultiClockScheduler
+from repro.hwmodel.throughput import meets_line_rate, sustainable_rate_mbps
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+from repro.system.pipelines import build_cosimulation
+
+from _bench_utils import emit
+
+
+def _evaluate_model():
+    rows = []
+    for rate in RATE_TABLE:
+        sustainable = sustainable_rate_mbps(rate)
+        rows.append({
+            "rate": rate,
+            "sustainable_mbps": sustainable,
+            "headroom": sustainable / rate.data_rate_mbps,
+            "meets": meets_line_rate(rate),
+        })
+    return rows
+
+
+def test_fig1_pipeline_throughput_model(benchmark):
+    rows = benchmark.pedantic(_evaluate_model, rounds=1, iterations=1)
+
+    table = Table(
+        ["Rate", "Line rate (Mb/s)", "Modelled sustainable (Mb/s)", "Headroom"],
+        title="Baseband throughput model at 35 MHz (BER unit at 60 MHz)",
+    )
+    for row in rows:
+        table.add_row(
+            row["rate"].name,
+            row["rate"].data_rate_mbps,
+            row["sustainable_mbps"],
+            format_percentage(row["headroom"] - 1.0),
+        )
+    emit("fig1_pipeline_throughput", "Pipeline throughput model", table.render())
+
+    assert all(row["meets"] for row in rows)
+
+
+def test_fig1_clock_domain_structure(benchmark):
+    def build_and_run():
+        model = build_cosimulation(rate_by_mbps(24), packet_bits=240,
+                                   decoder="bcjr", snr_db=18.0, seed=3)
+        rng = np.random.default_rng(1)
+        payloads = [rng.integers(0, 2, 240, dtype=np.uint8) for _ in range(2)]
+        _, report = model.run_packets(
+            payloads, scheduler=MultiClockScheduler(model.network)
+        )
+        return model, report
+
+    model, report = benchmark.pedantic(build_and_run, rounds=1, iterations=1)
+    domains = {d.name: d.frequency_mhz for d in model.network.clock_domains()}
+    crossings = len(model.network.clock_crossings())
+    body = "\n".join([
+        "Clock domains: %s" % domains,
+        "Automatic clock-domain crossings inserted: %d" % crossings,
+        "Simulated hardware time for 2 packets: %.1f us" % report.simulated_time_us,
+        "Cycles per domain: %s" % report.scheduler_stats.cycles_per_domain,
+    ])
+    emit("fig1_clock_domains", "Multi-clock pipeline structure", body)
+
+    assert domains == {"baseband": 35.0, "ber_unit": 60.0}
+    assert crossings >= 1
+    assert report.simulated_time_us > 0

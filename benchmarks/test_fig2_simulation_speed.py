@@ -1,0 +1,90 @@
+"""Figure 2: co-simulation speed for the eight 802.11g rates.
+
+The paper reports the simulation speed of its FPGA/software co-simulation as
+32.8 to 41.3 percent of the corresponding line rates, with the software
+channel (not the 700 MB/s host link) as the bottleneck.  This benchmark runs
+the same pipeline structure in the pure-Python framework and reports, per
+rate:
+
+* the measured Python simulation speed (bits per wall-clock second),
+* the speed projected onto the paper's platform (hardware-partition time
+  from the 35 MHz pipeline model, software-partition and link time measured
+  here) and its ratio to the line rate, and
+* the host-link utilisation.
+
+Absolute Python speeds are orders of magnitude below the FPGA's; the shape
+to compare is that faster PHY rates simulate proportionally faster and that
+the host link is far from saturated.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import Table, format_percentage
+from repro.hwmodel.throughput import hardware_time_seconds
+from repro.phy.params import RATE_TABLE
+from repro.phy.transmitter import FrameGeometry
+from repro.system.pipelines import build_cosimulation
+
+from _bench_utils import emit
+
+#: The paper's Figure 2 simulation speeds in Mb/s, for side-by-side output.
+PAPER_SPEEDS_MBPS = {6: 2.033, 9: 2.953, 12: 4.040, 18: 6.036,
+                     24: 8.483, 36: 12.725, 48: 15.960, 54: 22.244}
+
+
+def _run_all_rates(packets, packet_bits):
+    rows = []
+    for rate in RATE_TABLE:
+        model = build_cosimulation(rate, packet_bits=packet_bits,
+                                   decoder="viterbi", snr_db=20.0, seed=0)
+        rng = np.random.default_rng(0)
+        payloads = [rng.integers(0, 2, packet_bits, dtype=np.uint8)
+                    for _ in range(packets)]
+        outputs, report = model.run_packets(payloads)
+        assert len(outputs) == packets
+        geometry = FrameGeometry(rate, packet_bits)
+        hardware_seconds = hardware_time_seconds(rate, geometry.num_symbols * packets)
+        projected = report.projected_speed_bps(hardware_seconds)
+        rows.append({
+            "rate": rate,
+            "speed_bps": report.simulation_speed_bps,
+            "projected_bps": projected,
+            "projected_ratio": projected / (rate.data_rate_mbps * 1e6),
+            "link_utilization": report.link_utilization,
+            "bottleneck": report.bottleneck_partition,
+        })
+    return rows
+
+
+def test_fig2_simulation_speed(benchmark, scale):
+    packets = 2 * scale
+    rows = benchmark.pedantic(
+        _run_all_rates, args=(packets, 1704), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["Modulation", "Paper (Mb/s)", "Python sim (kb/s)", "Projected (Mb/s)",
+         "Projected/line", "Link util", "Bottleneck"],
+        title="Figure 2: simulation speeds per 802.11g rate",
+    )
+    for row in rows:
+        rate = row["rate"]
+        table.add_row(
+            "%s (%d Mbps)" % (rate.name, int(rate.data_rate_mbps)),
+            PAPER_SPEEDS_MBPS[int(rate.data_rate_mbps)],
+            row["speed_bps"] / 1e3,
+            row["projected_bps"] / 1e6,
+            format_percentage(row["projected_ratio"]),
+            format_percentage(row["link_utilization"], digits=2),
+            row["bottleneck"],
+        )
+    emit("fig2_simulation_speed", "Figure 2 reproduction", table.render())
+
+    # Shape checks.  The Python decoder costs are per-bit, so the raw Python
+    # simulation speed is roughly rate-independent (within a small factor);
+    # the projected speeds are all a substantial fraction of the line rate;
+    # and -- as in the paper -- the host link is nowhere near saturated.
+    speeds = [row["speed_bps"] for row in rows]
+    assert max(speeds) < 5 * min(speeds)
+    assert all(row["projected_bps"] > 0 for row in rows)
+    assert all(row["link_utilization"] < 0.5 for row in rows)

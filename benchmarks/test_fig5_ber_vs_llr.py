@@ -1,0 +1,131 @@
+"""Figure 5: BER versus SoftPHY hints for BCJR and SOVA.
+
+The paper transmits trillions of bits and plots, for each decoder and each
+of {QAM16 @ 6 dB, QPSK @ 6 dB, QAM16 @ 8 dB}, the empirical BER of bits
+carrying each LLR hint value.  The curves are log-linear and their slopes
+depend on SNR, modulation and decoder -- the evidence behind the equation 5
+scaling factors.
+
+This benchmark measures the same curves at Python scale (tens of thousands
+to millions of bits depending on ``REPRO_BENCH_SCALE``), fits the log-linear
+relationship, and reports the slope, intercept and fit quality per
+configuration.  The floors reachable here are around 1e-3 to 1e-5; the fit
+extrapolates the same straight line the paper measures directly down to
+1e-7.
+"""
+
+from repro.analysis.reporting import Table
+from repro.phy.params import rate_by_mbps
+from repro.softphy.calibration import fit_log_linear, measure_ber_vs_hint
+
+from _bench_utils import emit
+
+#: The three operating points shown in Figure 5 (rate carrying the
+#: modulation, AWGN SNR in dB, traffic multiplier).  The 8 dB point has a
+#: much lower BER, so it needs proportionally more traffic before enough
+#: hint bins contain errors for the fit.
+OPERATING_POINTS = (
+    ("QAM16", rate_by_mbps(24), 6.0, 1),
+    ("QPSK", rate_by_mbps(12), 6.0, 1),
+    ("QAM16", rate_by_mbps(24), 8.0, 2),
+)
+
+DECODERS = ("bcjr", "sova")
+
+
+def _measure(decoder, num_packets, packet_bits):
+    results = []
+    for label, rate, snr_db, multiplier in OPERATING_POINTS:
+        packets = num_packets * multiplier
+        measurement = measure_ber_vs_hint(
+            rate, snr_db, decoder, num_packets=packets,
+            packet_bits=packet_bits, seed=17, batch_size=max(8, packets // 4),
+        )
+        try:
+            fit = fit_log_linear(measurement, min_bits=100, min_errors=1)
+        except ValueError:
+            # The operating point's BER is below what this traffic volume can
+            # measure (the paper uses 1e12 bits); report the floor instead.
+            fit = None
+        results.append((label, snr_db, measurement, fit))
+    return results
+
+
+def _report(decoder, results):
+    table = Table(
+        ["Configuration", "bits", "errors", "slope", "intercept", "r^2",
+         "hint@1e-7 (extrapolated)"],
+        title="Figure 5 (%s): log-linear fit of BER vs SoftPHY hint" % decoder.upper(),
+    )
+    lines = []
+    for label, snr_db, measurement, fit in results:
+        if fit is None:
+            table.add_row(
+                "%s, AWGN SNR %.0f dB" % (label, snr_db),
+                int(measurement.bits.sum()),
+                int(measurement.errors.sum()),
+                "below floor", "-", "-", "-",
+            )
+        else:
+            table.add_row(
+                "%s, AWGN SNR %.0f dB" % (label, snr_db),
+                int(measurement.bits.sum()),
+                int(measurement.errors.sum()),
+                fit.slope,
+                fit.intercept,
+                fit.r_squared,
+                fit.hint_for_ber(1e-7),
+            )
+        populated = measurement.reliable_mask(min_bits=100, min_errors=1)
+        series = ", ".join(
+            "(%.0f, %.2e)" % (hint, ber)
+            for hint, ber in zip(measurement.hints[populated],
+                                 measurement.ber[populated])
+        )
+        lines.append("%s @ %.0f dB points: %s" % (label, snr_db, series))
+    return table.render() + "\n\n" + "\n".join(lines)
+
+
+def _check(results):
+    # Log-linear relationship holds for every configuration that produced
+    # enough errors to fit.
+    for _, _, _, fit in results:
+        if fit is not None:
+            assert fit.slope > 0
+            assert fit.r_squared > 0.5
+    # Slopes vary with SNR: the 8 dB QAM16 curve falls faster than the 6 dB
+    # one (same modulation, same decoder) -- the SNR factor of equation 5.
+    qam16_6 = next(f for label, snr, _, f in results if label == "QAM16" and snr == 6.0)
+    qam16_8 = next(f for label, snr, _, f in results if label == "QAM16" and snr == 8.0)
+    assert qam16_6 is not None
+    if qam16_8 is not None:
+        assert qam16_8.slope > qam16_6.slope
+    # Slopes vary with modulation: QPSK at the same SNR has a far lower BER
+    # for the same hints (steeper curve).  At Python scale that usually
+    # manifests as zero observable errors; either way is consistent.
+    qpsk = next(
+        (label, snr, m, f) for label, snr, m, f in results if label == "QPSK"
+    )
+    if qpsk[3] is not None:
+        assert qpsk[3].slope > qam16_6.slope
+    else:
+        qam16_6_measurement = next(
+            m for label, snr, m, _ in results if label == "QAM16" and snr == 6.0
+        )
+        assert qpsk[2].errors.sum() < qam16_6_measurement.errors.sum()
+
+
+def test_fig5a_bcjr_ber_vs_hint(benchmark, scale):
+    results = benchmark.pedantic(
+        _measure, args=("bcjr", 12 * scale, 1704), rounds=1, iterations=1
+    )
+    emit("fig5a_bcjr", "Figure 5a (BCJR) reproduction", _report("bcjr", results))
+    _check(results)
+
+
+def test_fig5b_sova_ber_vs_hint(benchmark, scale):
+    results = benchmark.pedantic(
+        _measure, args=("sova", 10 * scale, 1704), rounds=1, iterations=1
+    )
+    emit("fig5b_sova", "Figure 5b (SOVA) reproduction", _report("sova", results))
+    _check(results)

@@ -1,0 +1,79 @@
+"""Figure 6: predicted versus actual per-packet BER.
+
+The paper transmits 1704-bit QAM16 1/2 packets over AWGN at varying SNR,
+predicts each packet's BER from the SoftPHY hints (constant-SNR lookup) and
+plots the prediction against the ground truth.  The points cluster around
+the ideal line with a slight underestimation at high BER (a consequence of
+the constant-SNR simplification).
+
+This benchmark reproduces the scatter: packets are binned by their predicted
+PBER (decade bins) and the mean and standard deviation of the actual PBER in
+each bin are reported, together with the rank correlation between prediction
+and truth.
+"""
+
+import numpy as np
+
+from repro.analysis.link import LinkSimulator
+from repro.analysis.reporting import Table
+from repro.phy.params import rate_by_mbps
+from repro.softphy.ber_estimator import BerEstimator
+from repro.softphy.packet_ber import ground_truth_packet_ber
+
+from _bench_utils import emit
+
+
+def _simulate(num_packets):
+    rate = rate_by_mbps(24)
+    # Sweep the SNR across packets so predictions span several decades, as
+    # in the paper's varying-SNR experiment.
+    snrs = np.linspace(4.0, 9.0, 11)
+    simulator = LinkSimulator(
+        rate,
+        snr_db=lambda index: float(snrs[index % snrs.size]),
+        decoder="bcjr",
+        packet_bits=1704,
+        seed=23,
+    )
+    result = simulator.run(num_packets, batch_size=16)
+    estimator = BerEstimator("bcjr")
+    predicted = estimator.packet_ber(result.hints, rate.modulation)
+    actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
+    return predicted, actual
+
+
+def test_fig6_predicted_vs_actual_pber(benchmark, scale):
+    predicted, actual = benchmark.pedantic(
+        _simulate, args=(64 * scale,), rounds=1, iterations=1
+    )
+
+    edges = 10.0 ** np.arange(-9, 1)
+    table = Table(
+        ["Predicted PBER bin", "packets", "mean actual PBER", "std actual PBER"],
+        title="Figure 6: actual vs predicted per-packet BER (QAM16 1/2, AWGN)",
+    )
+    for low, high in zip(edges[:-1], edges[1:]):
+        mask = (predicted >= low) & (predicted < high)
+        if not mask.any():
+            continue
+        table.add_row(
+            "[%.0e, %.0e)" % (low, high),
+            int(mask.sum()),
+            float(actual[mask].mean()),
+            float(actual[mask].std()),
+        )
+
+    order_pred = np.argsort(np.argsort(predicted))
+    order_true = np.argsort(np.argsort(actual))
+    correlation = float(np.corrcoef(order_pred, order_true)[0, 1])
+    body = table.render() + "\n\nSpearman rank correlation (predicted vs actual): %.3f" % correlation
+    emit("fig6_packet_ber", "Figure 6 reproduction", body)
+
+    # The predictions must track reality: strong rank correlation, and
+    # packets predicted to be clean really are cleaner than packets
+    # predicted to be bad.
+    assert correlation > 0.5
+    clean = predicted < 1e-4
+    dirty = predicted > 1e-2
+    if clean.any() and dirty.any():
+        assert actual[clean].mean() < actual[dirty].mean()

@@ -1,0 +1,83 @@
+"""Figure 7: SoftRate rate selection under a 20 Hz fading channel at 10 dB.
+
+The paper replays a packet stream over a 20 Hz Rayleigh fading channel with
+10 dB AWGN, determines each packet's optimal rate (the highest rate that
+would have delivered it without error, using the same pseudo-random noise at
+every rate) and classifies SoftRate's choice as underselect / accurate /
+overselect.  It reports both decoders accurate more than 80 % of the time,
+SOVA underselecting about 4 % more often than BCJR, and both overselecting
+about 2 % of the time.  Section 4.4.4 adds that this 85 % accuracy is higher
+than the 75 % of the original trace-driven SoftRate study.
+
+This reproduction runs the same experiment with this repository's estimator
+calibration; see EXPERIMENTS.md for the deviation discussion (our
+reproduction is more conservative: it almost never overselects but
+underselects more often than the paper's implementation).
+"""
+
+from repro.analysis.reporting import Table, format_percentage
+from repro.mac.evaluation import SoftRateEvaluation
+
+from _bench_utils import emit
+
+#: Figure 7 values (percent), read from the paper's bar chart / text.
+PAPER_RESULTS = {
+    "bcjr": {"underselect": 12.0, "accurate": 86.0, "overselect": 2.0},
+    "sova": {"underselect": 16.0, "accurate": 82.0, "overselect": 2.0},
+}
+
+
+def _run(num_packets, packet_bits):
+    evaluation = SoftRateEvaluation(
+        snr_db=10.0,
+        doppler_hz=20.0,
+        num_packets=num_packets,
+        packet_bits=packet_bits,
+        seed=42,
+    )
+    results = {}
+    for decoder in ("bcjr", "sova"):
+        results[decoder] = evaluation.run(decoder, batch_size=16)
+    return results
+
+
+def test_fig7_softrate_accuracy(benchmark, scale):
+    results = benchmark.pedantic(
+        _run, args=(48 * scale, 600), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["Decoder", "Underselect", "Accurate", "Overselect",
+         "Paper under", "Paper accurate", "Paper over",
+         "Achieved Mb/s", "Oracle Mb/s"],
+        title="Figure 7: SoftRate selection accuracy (20 Hz fading, 10 dB AWGN)",
+    )
+    for decoder, result in results.items():
+        fractions = result.outcome.as_dict()
+        paper = PAPER_RESULTS[decoder]
+        table.add_row(
+            decoder.upper(),
+            format_percentage(fractions["underselect"]),
+            format_percentage(fractions["accurate"]),
+            format_percentage(fractions["overselect"]),
+            "%.0f%%" % paper["underselect"],
+            "%.0f%%" % paper["accurate"],
+            "%.0f%%" % paper["overselect"],
+            result.achieved_throughput_mbps,
+            result.optimal_throughput_mbps,
+        )
+    emit("fig7_softrate", "Figure 7 reproduction", table.render())
+
+    bcjr = results["bcjr"].outcome
+    sova = results["sova"].outcome
+    # Qualitative structure preserved from the paper: the protocol mostly
+    # stays at or below the optimal rate, the two decoders behave similarly
+    # (SOVA does not clearly beat BCJR), and useful throughput is achieved.
+    # At this traffic volume the overselect fraction varies noticeably with
+    # the seed, so the bound is loose; EXPERIMENTS.md discusses the gap to
+    # the paper's 2% / >80% numbers.
+    assert bcjr.fraction("overselect") <= 0.4
+    assert sova.fraction("overselect") <= 0.4
+    assert bcjr.fraction("underselect") + bcjr.accuracy >= 0.6
+    assert sova.accuracy <= bcjr.accuracy + 0.15
+    assert results["bcjr"].achieved_throughput_mbps > 0

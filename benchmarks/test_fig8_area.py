@@ -1,0 +1,53 @@
+"""Figure 8: synthesis results (LUT / register area) of BCJR, SOVA and Viterbi.
+
+The paper synthesises its decoders for a Virtex-5 LX330T at 60 MHz with all
+storage forced to registers and reports the area of each decoder and its
+sub-blocks.  This repository has no synthesis tool; the calibrated
+analytical area model (see ``repro.hwmodel.area``) regenerates the same
+table and preserves the headline comparisons: BCJR is about twice the size
+of SOVA, SOVA about twice the size of Viterbi, and the SoftPHY addition
+costs roughly 10 % of a transceiver.
+"""
+
+from repro.analysis.reporting import Table, format_ratio
+from repro.hwmodel.area import AreaModel, PAPER_FIGURE8
+from repro.hwmodel.synthesis import synthesize
+
+from _bench_utils import emit
+
+
+def test_fig8_synthesis_table(benchmark):
+    report = benchmark.pedantic(synthesize, rounds=1, iterations=1)
+
+    comparison = Table(
+        ["Module", "LUTs (model)", "LUTs (paper)", "Registers (model)", "Registers (paper)"],
+        title="Figure 8: area model vs paper synthesis results",
+    )
+    model = AreaModel(report.model.params)
+    for block, (paper_luts, paper_regs) in PAPER_FIGURE8.items():
+        estimate = model.estimate(block)
+        comparison.add_row(block, estimate.luts, paper_luts,
+                           estimate.registers, paper_regs)
+
+    summary = "\n".join([
+        "BCJR / SOVA area ratio:    %s (paper: about 2x)"
+        % format_ratio(report.bcjr_to_sova_ratio),
+        "SOVA / Viterbi area ratio: %s (paper: about 2x)"
+        % format_ratio(report.sova_to_viterbi_ratio),
+        "SoftPHY cost over a transceiver (BCJR): %.1f%%"
+        % (100 * model.transceiver_overhead("bcjr")),
+        "SoftPHY cost over a transceiver (SOVA): %.1f%%"
+        % (100 * model.transceiver_overhead("sova")),
+    ])
+    emit(
+        "fig8_area",
+        "Figure 8 reproduction",
+        report.table().render() + "\n\n" + comparison.render() + "\n\n" + summary,
+    )
+
+    totals = report.totals()
+    assert totals["bcjr"].luts == PAPER_FIGURE8["bcjr"][0]
+    assert totals["sova"].registers == PAPER_FIGURE8["sova"][1]
+    assert totals["viterbi"].luts == PAPER_FIGURE8["viterbi"][0]
+    assert 1.8 < report.bcjr_to_sova_ratio < 2.6
+    assert 1.7 < report.sova_to_viterbi_ratio < 2.3

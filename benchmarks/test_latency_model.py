@@ -1,0 +1,67 @@
+"""Section 4.3: decoder pipeline latency versus the 802.11 budget.
+
+The paper derives SOVA latency ``l + k + 12`` cycles (140 at l = k = 64,
+about 2.3 us at 60 MHz) and BCJR latency ``2n + 7`` (135 at n = 64, about
+2.2 us), both far inside the roughly 25 us turnaround budget of 802.11a/g.
+This benchmark sweeps the window/block lengths, regenerates those numbers
+and checks the bound.
+"""
+
+from repro.analysis.reporting import Table
+from repro.hwmodel.latency import (
+    IEEE80211_LATENCY_BOUND_US,
+    bcjr_latency_cycles,
+    cycles_to_microseconds,
+    meets_latency_bound,
+    sova_latency_cycles,
+    viterbi_latency_cycles,
+)
+
+from _bench_utils import emit
+
+WINDOW_LENGTHS = (16, 32, 64, 128, 256)
+
+
+def _sweep():
+    rows = []
+    for length in WINDOW_LENGTHS:
+        sova = sova_latency_cycles(length, length)
+        bcjr = bcjr_latency_cycles(length)
+        viterbi = viterbi_latency_cycles(length)
+        rows.append({
+            "length": length,
+            "sova_cycles": sova,
+            "sova_us": cycles_to_microseconds(sova),
+            "bcjr_cycles": bcjr,
+            "bcjr_us": cycles_to_microseconds(bcjr),
+            "viterbi_cycles": viterbi,
+            "viterbi_us": cycles_to_microseconds(viterbi),
+        })
+    return rows
+
+
+def test_latency_model_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["Window/block", "SOVA cycles", "SOVA us", "BCJR cycles", "BCJR us",
+         "Viterbi cycles", "Viterbi us"],
+        title="Decoder latency at 60 MHz (802.11 budget: %.0f us)"
+        % IEEE80211_LATENCY_BOUND_US,
+    )
+    for row in rows:
+        table.add_row(row["length"], row["sova_cycles"], row["sova_us"],
+                      row["bcjr_cycles"], row["bcjr_us"],
+                      row["viterbi_cycles"], row["viterbi_us"])
+    emit("latency_model", "Section 4.3 latency model", table.render())
+
+    paper_row = next(row for row in rows if row["length"] == 64)
+    assert paper_row["sova_cycles"] == 140
+    assert paper_row["bcjr_cycles"] == 135
+    assert paper_row["sova_us"] <= 2.35
+    assert paper_row["bcjr_us"] <= 2.3
+    # Every configuration evaluated in the paper meets the 802.11 bound.
+    for row in rows:
+        if row["length"] <= 128:
+            assert meets_latency_bound(row["sova_us"])
+            assert meets_latency_bound(row["bcjr_us"])

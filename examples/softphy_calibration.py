@@ -1,0 +1,47 @@
+"""SoftPHY calibration: measure the BER-versus-hint curves (a small Figure 5).
+
+The paper validates its hardware decoders by showing that the empirical BER
+of bits carrying a given LLR hint follows a straight line on a semi-log
+plot, with a slope that depends on SNR, modulation and decoder.  This
+example measures two of those curves (BCJR and SOVA at QAM16, 6 dB), fits
+the log-linear relationship and prints the resulting lookup-table scale.
+
+Run with::
+
+    python examples/softphy_calibration.py [num_packets]
+"""
+
+import sys
+
+from repro.phy import rate_by_mbps
+from repro.softphy import fit_log_linear, measure_ber_vs_hint
+
+
+def main(num_packets=24):
+    rate = rate_by_mbps(24)
+    snr_db = 6.0
+    for decoder in ("bcjr", "sova"):
+        measurement = measure_ber_vs_hint(
+            rate, snr_db, decoder, num_packets=num_packets,
+            packet_bits=1704, seed=7,
+        )
+        fit = fit_log_linear(measurement, min_bits=200)
+        print("%s at %s, %.0f dB AWGN" % (decoder.upper(), rate.name, snr_db))
+        print("  bits measured:    %d (%d errors)"
+              % (measurement.bits.sum(), measurement.errors.sum()))
+        print("  log-linear fit:   log BER = %.2f - %.3f * hint   (r^2 = %.3f)"
+              % (fit.intercept, fit.slope, fit.r_squared))
+        print("  implied S_dec:    %.3f"
+              % fit.implied_decoder_scale(snr_db, rate.modulation))
+        print("  hint for 1e-7:    %.1f (extrapolated)" % fit.hint_for_ber(1e-7))
+        print()
+        populated = measurement.reliable_mask(min_bits=200, min_errors=1)
+        print("  hint -> measured BER")
+        for hint, ber in zip(measurement.hints[populated], measurement.ber[populated]):
+            print("   %5.1f   %.3e" % (hint, ber))
+        print()
+
+
+if __name__ == "__main__":
+    packets = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    main(packets)

@@ -1,0 +1,42 @@
+"""WiLIS reproduction: architectural modeling of wireless systems.
+
+This package reproduces, in pure Python, the system described in
+
+    K. E. Fleming, M. C. Ng, S. Gross and Arvind,
+    "WiLIS: Architectural Modeling of Wireless Systems", ISPASS 2011.
+
+The top-level subpackages are:
+
+``repro.core``
+    The WiLIS framework itself: latency-insensitive modules, bounded FIFO
+    channels, a multi-clock scheduler, a plug-n-play module registry and a
+    virtual platform with a hardware/software co-simulation split.
+
+``repro.phy``
+    An 802.11a/g OFDM baseband: scrambler, convolutional coding, puncturing,
+    interleaving, constellation mapping, OFDM modulation and the receive
+    chain with a soft demapper and hard-Viterbi / SOVA / SW-BCJR decoders.
+
+``repro.channel``
+    Software channel models: AWGN, Rayleigh (Jakes) fading and reproducible
+    pseudo-random noise streams.
+
+``repro.softphy``
+    The SoftPHY case study: LLR-to-BER conversion, scaling-factor
+    calibration and per-packet BER estimation.
+
+``repro.mac``
+    SoftRate rate adaptation, an ARQ link layer and partial packet recovery.
+
+``repro.hwmodel``
+    Analytical latency and area (LUT/register) models of the decoder
+    microarchitectures, standing in for the paper's synthesis results.
+
+``repro.analysis``
+    BER statistics, parameter sweeps and table formatting shared by the
+    benchmark harness.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Analysis utilities shared by the experiments and benchmarks.
+
+* :mod:`repro.analysis.link` -- end-to-end link simulation (transmitter,
+  channel, receiver) batched over packets; the workhorse behind every BER
+  experiment.
+* :mod:`repro.analysis.ber_stats` -- bit-error-rate measurements with
+  confidence intervals and hint-binned statistics.
+* :mod:`repro.analysis.sweep` -- small helpers for parameter sweeps.
+* :mod:`repro.analysis.reporting` -- plain-text table formatting used by the
+  benchmark harness to print the paper's tables and figure series.
+"""
+
+from repro.analysis.ber_stats import BerMeasurement, bin_errors_by_hint, wilson_interval
+from repro.analysis.link import LinkRunResult, LinkSimulator
+from repro.analysis.reporting import Table, format_percentage, format_ratio
+from repro.analysis.sweep import sweep
+
+__all__ = [
+    "BerMeasurement",
+    "LinkRunResult",
+    "LinkSimulator",
+    "Table",
+    "bin_errors_by_hint",
+    "format_percentage",
+    "format_ratio",
+    "sweep",
+    "wilson_interval",
+]

@@ -1,0 +1,214 @@
+"""Batched end-to-end link simulation.
+
+A :class:`LinkSimulator` owns a transmitter, a channel and a receiver for
+one operating point (PHY rate, SNR, decoder) and pushes packets through the
+whole chain.  The per-packet front end (scrambling through depuncturing) is
+cheap vectorised numpy; the expensive trellis decode runs over a *batch* of
+packets at once, which is what makes the paper's BER-characterisation
+experiments feasible in pure Python.
+
+The simulator is deliberately independent of the latency-insensitive
+framework: the LI pipelines in :mod:`repro.phy.pipelines` reuse the same
+block functions, so results agree, but the direct path avoids the
+per-token scheduling overhead when only aggregate statistics are needed.
+"""
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.phy.receiver import Receiver
+from repro.phy.transmitter import Transmitter
+
+
+class LinkRunResult:
+    """Everything measured from one batch of simulated packets.
+
+    Attributes
+    ----------
+    tx_bits:
+        ``(packets, bits)`` transmitted payload bits.
+    rx_bits:
+        ``(packets, bits)`` decoded payload bits.
+    llr:
+        ``(packets, bits)`` signed decoder LLRs (``None`` for hard Viterbi).
+    snr_db:
+        Per-packet SNR actually applied (useful when the channel varies).
+    """
+
+    def __init__(self, tx_bits, rx_bits, llr, snr_db):
+        self.tx_bits = tx_bits
+        self.rx_bits = rx_bits
+        self.llr = llr
+        self.snr_db = snr_db
+
+    @property
+    def hints(self):
+        """Unsigned SoftPHY hints, or ``None`` for hard-output decoding."""
+        return None if self.llr is None else np.abs(self.llr)
+
+    @property
+    def bit_errors(self):
+        """Boolean array marking each decoded bit that differs from the transmitted bit."""
+        return self.tx_bits != self.rx_bits
+
+    @property
+    def num_bits(self):
+        return self.tx_bits.size
+
+    @property
+    def bit_error_rate(self):
+        """Aggregate BER over every packet in the run."""
+        return float(np.mean(self.bit_errors))
+
+    @property
+    def packet_ber(self):
+        """Ground-truth per-packet BER."""
+        return np.mean(self.bit_errors, axis=1)
+
+    @property
+    def packet_errors(self):
+        """Boolean array: ``True`` for packets containing at least one bit error."""
+        return self.bit_errors.any(axis=1)
+
+    @property
+    def packet_error_rate(self):
+        """Fraction of packets with at least one bit error."""
+        return float(np.mean(self.packet_errors))
+
+    def concatenate(self, other):
+        """Merge two runs (same geometry) into one result."""
+        llr = None
+        if self.llr is not None and other.llr is not None:
+            llr = np.vstack([self.llr, other.llr])
+        return LinkRunResult(
+            np.vstack([self.tx_bits, other.tx_bits]),
+            np.vstack([self.rx_bits, other.rx_bits]),
+            llr,
+            np.concatenate([self.snr_db, other.snr_db]),
+        )
+
+    def __repr__(self):
+        return "LinkRunResult(packets=%d, bits=%d, ber=%.3g)" % (
+            self.tx_bits.shape[0],
+            self.num_bits,
+            self.bit_error_rate,
+        )
+
+
+class LinkSimulator:
+    """Transmit/receive many packets through an AWGN (or faded) link.
+
+    Parameters
+    ----------
+    phy_rate:
+        The :class:`~repro.phy.params.PhyRate` to run at.
+    snr_db:
+        Es/N0 of the AWGN component, in dB.  May be a scalar or a callable
+        ``packet_index -> snr_db`` for swept-SNR experiments.
+    decoder:
+        Decoder name, class or instance (see :func:`repro.phy.receiver.make_decoder`).
+    packet_bits:
+        Payload bits per packet (the paper's Figure 6 uses 1704).
+    seed:
+        Master seed for payload and noise generation.
+    llr_format:
+        Optional fixed-point format for the demapper output (hardware
+        bit-width studies).
+    demapper_scaled:
+        ``True`` to use the ideal (SNR-scaled) demapper instead of the
+        hardware one.
+    fading_gain:
+        Optional callable ``packet_index -> complex gain`` applying flat
+        fading per packet; the receiver equalises with the same gain and
+        weights its soft values by ``|gain|**2``.
+    """
+
+    def __init__(
+        self,
+        phy_rate,
+        snr_db,
+        decoder="bcjr",
+        packet_bits=1704,
+        seed=0,
+        llr_format=None,
+        demapper_scaled=False,
+        fading_gain=None,
+    ):
+        self.phy_rate = phy_rate
+        self.snr_db = snr_db
+        self.packet_bits = int(packet_bits)
+        self.seed = seed
+        self.fading_gain = fading_gain
+        self.transmitter = Transmitter(phy_rate)
+        self.receiver = Receiver(
+            phy_rate,
+            decoder=decoder,
+            llr_format=llr_format,
+            demapper_scaled=demapper_scaled,
+            snr_db=snr_db if demapper_scaled and np.isscalar(snr_db) else None,
+        )
+        self._rng = np.random.default_rng(seed)
+
+    def _snr_for(self, packet_index):
+        if callable(self.snr_db):
+            return float(self.snr_db(packet_index))
+        return float(self.snr_db)
+
+    def _gain_for(self, packet_index):
+        if self.fading_gain is None:
+            return None
+        return complex(self.fading_gain(packet_index))
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run(self, num_packets, batch_size=32, start_index=0):
+        """Simulate ``num_packets`` packets and return a :class:`LinkRunResult`.
+
+        Packets are processed in batches of ``batch_size`` so the decoder's
+        batched kernels stay busy without exhausting memory.
+        """
+        if num_packets < 1:
+            raise ValueError("at least one packet is required")
+        results = None
+        for first in range(0, num_packets, batch_size):
+            count = min(batch_size, num_packets - first)
+            batch = self._run_batch(count, start_index + first)
+            results = batch if results is None else results.concatenate(batch)
+        return results
+
+    def _run_batch(self, count, first_index):
+        tx_bits = np.empty((count, self.packet_bits), dtype=np.uint8)
+        softs = []
+        snrs = np.empty(count)
+        for i in range(count):
+            index = first_index + i
+            bits = self._rng.integers(0, 2, size=self.packet_bits, dtype=np.uint8)
+            tx_bits[i] = bits
+            samples = self.transmitter.transmit(bits)
+            snr_db = self._snr_for(index)
+            snrs[i] = snr_db
+            gain = self._gain_for(index)
+            if gain is not None:
+                samples = samples * gain
+            received = awgn(samples, snr_db, rng=self._rng)
+            csi = None
+            if gain is not None:
+                csi = np.full(
+                    self.receiver.geometry(self.packet_bits).num_symbols,
+                    np.abs(gain) ** 2,
+                )
+            softs.append(
+                self.receiver.front_end(
+                    received, self.packet_bits, channel_gain=gain, csi_weights=csi
+                )
+            )
+        soft = np.vstack(softs)
+        decoded = self.receiver.decode_batch(soft, self.packet_bits)
+        return LinkRunResult(tx_bits, decoded.bits, decoded.llr, snrs)
+
+    def __repr__(self):
+        return "LinkSimulator(rate=%s, decoder=%s)" % (
+            self.phy_rate.name,
+            self.receiver.decoder.name,
+        )

@@ -1,0 +1,79 @@
+"""Plain-text tables for the benchmark harness.
+
+Every benchmark prints the rows of the paper table or figure it reproduces;
+:class:`Table` keeps those printouts aligned and consistent so the
+EXPERIMENTS.md comparisons can be pasted from the benchmark output.
+"""
+
+
+def format_ratio(value, digits=2):
+    """Format a ratio such as ``2.18x``."""
+    return "%.*fx" % (digits, value)
+
+
+def format_percentage(value, digits=1):
+    """Format a fraction as a percentage string."""
+    return "%.*f%%" % (digits, 100.0 * value)
+
+
+def format_scientific(value, digits=2):
+    """Format a small probability in scientific notation."""
+    return "%.*e" % (digits, value)
+
+
+class Table:
+    """A simple fixed-width text table.
+
+    Parameters
+    ----------
+    columns:
+        Column headings, in order.
+    title:
+        Optional title printed above the table.
+    """
+
+    def __init__(self, columns, title=None):
+        self.columns = list(columns)
+        self.title = title
+        self.rows = []
+
+    def add_row(self, *values, **named):
+        """Append a row given positionally or by column name."""
+        if values and named:
+            raise ValueError("pass either positional values or named values, not both")
+        if named:
+            values = [named.get(column, "") for column in self.columns]
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "expected %d values, got %d" % (len(self.columns), len(values))
+            )
+        self.rows.append([self._stringify(value) for value in values])
+
+    @staticmethod
+    def _stringify(value):
+        if isinstance(value, float):
+            return "%.4g" % value
+        return str(value)
+
+    def render(self):
+        """Return the formatted table as a string."""
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            column.ljust(widths[i]) for i, column in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * widths[i] for i in range(len(self.columns))))
+        for row in self.rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()

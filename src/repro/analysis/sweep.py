@@ -1,0 +1,51 @@
+"""Small helpers for parameter sweeps.
+
+The benchmark harness repeats the same experiment across a list of operating
+points (the eight PHY rates, a range of SNRs, a set of block lengths).
+:func:`sweep` keeps that loop in one place and returns rows that the
+reporting module can turn straight into a table.
+"""
+
+
+def sweep(values, experiment, label="value"):
+    """Run ``experiment(value)`` for every value and collect labelled rows.
+
+    Parameters
+    ----------
+    values:
+        Iterable of parameter values.
+    experiment:
+        Callable invoked once per value; it should return a mapping of
+        column name to result.
+    label:
+        Column name used for the swept parameter itself.
+
+    Returns
+    -------
+    list of dict
+        One dictionary per value, containing the parameter and the
+        experiment's results.
+    """
+    rows = []
+    for value in values:
+        result = experiment(value)
+        if not isinstance(result, dict):
+            result = {"result": result}
+        row = {label: value}
+        row.update(result)
+        rows.append(row)
+    return rows
+
+
+def cross_sweep(first_values, second_values, experiment, labels=("first", "second")):
+    """Two-dimensional sweep: run ``experiment(a, b)`` for every pair."""
+    rows = []
+    for a in first_values:
+        for b in second_values:
+            result = experiment(a, b)
+            if not isinstance(result, dict):
+                result = {"result": result}
+            row = {labels[0]: a, labels[1]: b}
+            row.update(result)
+            rows.append(row)
+    return rows

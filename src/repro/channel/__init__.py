@@ -1,0 +1,31 @@
+"""Software channel models.
+
+In the paper the channel lives in the software partition of the
+co-simulation: a multi-threaded AWGN generator on the host CPU, plus the
+pseudo-random fading model used for the SoftRate study.  This subpackage
+provides the same models:
+
+* :class:`~repro.channel.awgn.AwgnChannel` -- additive white Gaussian noise
+  at a configurable SNR.
+* :class:`~repro.channel.fading.RayleighFadingChannel` -- flat Rayleigh
+  fading with a Jakes Doppler spectrum (the 20 Hz channel of Figure 7)
+  combined with AWGN.
+* :class:`~repro.channel.reproducible.ReproducibleNoise` -- a seeded noise
+  source that can replay exactly the same noise for a packet sent at
+  different rates, which is how the SoftRate experiment determines the
+  *optimal* rate for every packet.
+"""
+
+from repro.channel.awgn import AwgnChannel, awgn, noise_variance_for_snr, snr_db_to_linear
+from repro.channel.fading import JakesFadingProcess, RayleighFadingChannel
+from repro.channel.reproducible import ReproducibleNoise
+
+__all__ = [
+    "AwgnChannel",
+    "JakesFadingProcess",
+    "RayleighFadingChannel",
+    "ReproducibleNoise",
+    "awgn",
+    "noise_variance_for_snr",
+    "snr_db_to_linear",
+]

@@ -1,0 +1,130 @@
+"""Flat Rayleigh fading with a Jakes Doppler spectrum, plus AWGN.
+
+The SoftRate study in the paper (Figure 7) uses a 20 Hz fading channel with
+10 dB AWGN and a pseudo-random noise model so that the same packet can be
+replayed at every rate.  :class:`JakesFadingProcess` generates a complex
+fading gain as a sum of sinusoids (the classic Jakes/Clarke model); the
+:class:`RayleighFadingChannel` samples that process once per packet (flat
+fading across the packet, which is a good approximation for 802.11 frame
+durations versus a 20 Hz Doppler) and adds AWGN on top.
+"""
+
+import numpy as np
+
+from repro.channel.awgn import awgn, noise_variance_for_snr
+
+
+class JakesFadingProcess:
+    """Complex Rayleigh fading gain as a function of time.
+
+    Parameters
+    ----------
+    doppler_hz:
+        Maximum Doppler frequency (20 Hz in the paper's experiment).
+    num_oscillators:
+        Number of sinusoids summed; more oscillators give a smoother
+        Rayleigh envelope.
+    seed:
+        Seed for the random phases, making the fading trace reproducible.
+    mean_power:
+        Average power of the fading gain (1.0 keeps the mean SNR equal to
+        the AWGN SNR).
+    """
+
+    def __init__(self, doppler_hz=20.0, num_oscillators=32, seed=None, mean_power=1.0):
+        if doppler_hz <= 0:
+            raise ValueError("Doppler frequency must be positive")
+        if num_oscillators < 1:
+            raise ValueError("at least one oscillator is required")
+        self.doppler_hz = float(doppler_hz)
+        self.num_oscillators = int(num_oscillators)
+        self.mean_power = float(mean_power)
+        rng = np.random.default_rng(seed)
+        # Arrival angles spread over the circle with random offsets, one set
+        # of phases for each of the I and Q rails.
+        n = self.num_oscillators
+        self._angles = 2.0 * np.pi * (np.arange(n) + rng.random(n)) / n
+        self._phases_i = rng.uniform(0.0, 2.0 * np.pi, size=n)
+        self._phases_q = rng.uniform(0.0, 2.0 * np.pi, size=n)
+
+    def gain(self, times_s):
+        """Complex fading gain at the given times (seconds)."""
+        times_s = np.atleast_1d(np.asarray(times_s, dtype=np.float64))
+        doppler = 2.0 * np.pi * self.doppler_hz * np.cos(self._angles)
+        arguments = np.outer(times_s, doppler)
+        in_phase = np.cos(arguments + self._phases_i).sum(axis=1)
+        quadrature = np.cos(arguments + self._phases_q).sum(axis=1)
+        scale = np.sqrt(self.mean_power / self.num_oscillators)
+        gains = scale * (in_phase + 1j * quadrature)
+        return gains if gains.size > 1 else gains[0]
+
+    def envelope_db(self, times_s):
+        """Instantaneous power of the fading gain, in dB."""
+        gain = np.atleast_1d(self.gain(times_s))
+        return 10.0 * np.log10(np.abs(gain) ** 2)
+
+    def __repr__(self):
+        return "JakesFadingProcess(doppler_hz=%.1f, oscillators=%d)" % (
+            self.doppler_hz,
+            self.num_oscillators,
+        )
+
+
+class RayleighFadingChannel:
+    """Flat Rayleigh fading (constant over a packet) plus AWGN.
+
+    Parameters
+    ----------
+    snr_db:
+        Mean Es/N0 in decibels (the AWGN level; the instantaneous SNR is
+        the mean plus the fading envelope).
+    doppler_hz:
+        Maximum Doppler frequency of the fading process.
+    seed:
+        Seed shared by the fading process and the noise stream.
+    """
+
+    def __init__(self, snr_db, doppler_hz=20.0, seed=None):
+        self.snr_db = float(snr_db)
+        self.doppler_hz = float(doppler_hz)
+        self.seed = seed
+        self.fading = JakesFadingProcess(doppler_hz=doppler_hz, seed=seed)
+        self._rng = np.random.default_rng(None if seed is None else seed + 1)
+        self.current_time_s = 0.0
+
+    @property
+    def noise_variance(self):
+        """AWGN variance ``N0`` corresponding to the mean SNR."""
+        return noise_variance_for_snr(self.snr_db)
+
+    def advance(self, duration_s):
+        """Advance the channel clock (e.g. by a packet's on-air time)."""
+        if duration_s < 0:
+            raise ValueError("cannot advance time backwards")
+        self.current_time_s += duration_s
+
+    def gain_now(self):
+        """Complex fading gain at the current channel time."""
+        return self.fading.gain(self.current_time_s)
+
+    def apply(self, samples, rng=None):
+        """Fade and add noise to one packet's samples.
+
+        Returns ``(received_samples, complex_gain)`` so the receiver can
+        perform its ideal equalisation and weight its soft values.
+        """
+        gain = self.gain_now()
+        faded = np.asarray(samples, dtype=np.complex128) * gain
+        noisy = awgn(faded, self.snr_db, rng=rng if rng is not None else self._rng)
+        return noisy, gain
+
+    def instantaneous_snr_db(self):
+        """SNR seen by a packet transmitted at the current channel time."""
+        gain = self.gain_now()
+        return self.snr_db + 10.0 * np.log10(max(np.abs(gain) ** 2, 1e-12))
+
+    def __repr__(self):
+        return "RayleighFadingChannel(snr_db=%.1f, doppler_hz=%.1f)" % (
+            self.snr_db,
+            self.doppler_hz,
+        )

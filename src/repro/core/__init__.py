@@ -1,0 +1,68 @@
+"""The WiLIS framework: latency-insensitive co-simulation of wireless systems.
+
+This subpackage is the Python analogue of the infrastructure the paper builds
+on top of Airblue/LEAP/AWB:
+
+* :mod:`repro.core.fifo` -- bounded FIFO channels, the only way modules
+  communicate (latency-insensitive links).
+* :mod:`repro.core.module` -- the :class:`~repro.core.module.LIModule` base
+  class; a module fires whenever its inputs are available and its outputs
+  have space, making the whole pipeline insensitive to the latency of any
+  individual block.
+* :mod:`repro.core.clocks` -- named clock domains; the network inserts
+  clock-domain-crossing FIFOs automatically when connected modules declare
+  different clocks (the paper's "automatic multi-clock support").
+* :mod:`repro.core.network` -- the module graph plus connection logic.
+* :mod:`repro.core.scheduler` -- multi-clock event scheduler and an untimed
+  dataflow scheduler.
+* :mod:`repro.core.registry` -- plug-n-play module registry (AWB analogue).
+* :mod:`repro.core.platform` -- virtual platform with a host link and
+  scratchpad memories (LEAP analogue), including the hardware/software
+  partition used for co-simulation.
+* :mod:`repro.core.cosim` -- the co-simulation driver that runs a pipeline,
+  accounts for simulated bits and host-link traffic and reports throughput.
+"""
+
+from repro.core.clocks import ClockDomain
+from repro.core.cosim import CoSimulation, CoSimulationReport
+from repro.core.errors import (
+    ConfigurationError,
+    FifoEmptyError,
+    FifoFullError,
+    UnknownImplementationError,
+    WilisError,
+)
+from repro.core.fifo import Fifo, SyncFifo
+from repro.core.module import FunctionModule, LIModule, SinkModule, SourceModule
+from repro.core.network import Connection, Network
+from repro.core.platform import HostLink, Partition, Scratchpad, VirtualPlatform
+from repro.core.registry import ModuleRegistry, global_registry
+from repro.core.scheduler import DataflowScheduler, MultiClockScheduler, SchedulerStats
+
+__all__ = [
+    "ClockDomain",
+    "CoSimulation",
+    "CoSimulationReport",
+    "ConfigurationError",
+    "Connection",
+    "DataflowScheduler",
+    "Fifo",
+    "FifoEmptyError",
+    "FifoFullError",
+    "FunctionModule",
+    "HostLink",
+    "LIModule",
+    "ModuleRegistry",
+    "MultiClockScheduler",
+    "Network",
+    "Partition",
+    "Scratchpad",
+    "SchedulerStats",
+    "SinkModule",
+    "SourceModule",
+    "SyncFifo",
+    "UnknownImplementationError",
+    "VirtualPlatform",
+    "WilisError",
+    "global_registry",
+]

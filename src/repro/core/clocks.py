@@ -1,0 +1,68 @@
+"""Clock domains for the multi-clock support described in the paper.
+
+The paper's baseband runs most of the pipeline at 35 MHz but clocks the
+per-bit BER prediction unit at 60 MHz; WiLIS inserts the clock crossings
+automatically when a user merely declares the desired frequency of a module.
+Here a :class:`ClockDomain` is a named frequency.  The
+:class:`~repro.core.network.Network` compares the domains of connected
+modules and inserts a :class:`~repro.core.fifo.SyncFifo` when they differ,
+and the :class:`~repro.core.scheduler.MultiClockScheduler` fires each domain
+at its own rate.
+"""
+
+
+class ClockDomain:
+    """A named clock with a frequency in MHz.
+
+    Parameters
+    ----------
+    name:
+        Human-readable domain name (for example ``"baseband"`` or
+        ``"ber_unit"``).
+    frequency_mhz:
+        Clock frequency in MHz; must be positive.
+    """
+
+    def __init__(self, name, frequency_mhz):
+        if frequency_mhz <= 0:
+            raise ValueError(
+                "clock frequency must be positive, got %r MHz" % (frequency_mhz,)
+            )
+        self.name = name
+        self.frequency_mhz = float(frequency_mhz)
+
+    @property
+    def period_us(self):
+        """Clock period in microseconds."""
+        return 1.0 / self.frequency_mhz
+
+    def cycles_to_us(self, cycles):
+        """Convert a cycle count in this domain to microseconds."""
+        return cycles * self.period_us
+
+    def us_to_cycles(self, microseconds):
+        """Convert a duration in microseconds to (fractional) cycles."""
+        return microseconds * self.frequency_mhz
+
+    def __eq__(self, other):
+        if not isinstance(other, ClockDomain):
+            return NotImplemented
+        return self.name == other.name and self.frequency_mhz == other.frequency_mhz
+
+    def __hash__(self):
+        return hash((self.name, self.frequency_mhz))
+
+    def __repr__(self):
+        return "ClockDomain(name=%r, frequency_mhz=%g)" % (
+            self.name,
+            self.frequency_mhz,
+        )
+
+
+#: Default domain used for modules that do not declare a clock.  35 MHz is
+#: the frequency the paper uses for the bulk of the baseband pipeline.
+DEFAULT_CLOCK = ClockDomain("baseband", 35.0)
+
+#: The paper clocks the per-bit BER prediction unit (and both decoders in the
+#: synthesis study) at 60 MHz because it operates at per-bit granularity.
+BER_UNIT_CLOCK = ClockDomain("ber_unit", 60.0)

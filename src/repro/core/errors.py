@@ -1,0 +1,45 @@
+"""Exception hierarchy for the WiLIS framework.
+
+Every error raised by :mod:`repro.core` derives from :class:`WilisError`, so
+callers can catch framework problems without also catching unrelated Python
+errors.
+"""
+
+
+class WilisError(Exception):
+    """Base class for all errors raised by the WiLIS framework."""
+
+
+class FifoFullError(WilisError):
+    """Raised when enqueueing onto a FIFO that has no free space.
+
+    A correctly written module checks :meth:`repro.core.fifo.Fifo.can_enq`
+    (or relies on the default :meth:`LIModule.can_fire` guard) before
+    enqueueing, so seeing this error indicates a module that is not
+    latency-insensitive.
+    """
+
+
+class FifoEmptyError(WilisError):
+    """Raised when dequeueing or peeking an empty FIFO."""
+
+
+class ConfigurationError(WilisError):
+    """Raised for invalid network or platform configuration.
+
+    Examples: connecting a port twice, adding a module to two partitions,
+    or requesting a clock domain with a non-positive frequency.
+    """
+
+
+class UnknownImplementationError(ConfigurationError):
+    """Raised by the plug-n-play registry for an unknown role or implementation."""
+
+
+class SchedulerDeadlockError(WilisError):
+    """Raised when the scheduler detects that no module can ever fire again.
+
+    Deadlock in a latency-insensitive network means a cycle of modules each
+    waiting for FIFO space or data that can never arrive; the error message
+    lists the modules that were still waiting.
+    """

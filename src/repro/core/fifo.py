@@ -1,0 +1,157 @@
+"""Bounded FIFO channels: the latency-insensitive links between modules.
+
+In WiLIS every pair of communicating modules is connected by a small bounded
+FIFO (the paper uses two-element FIFOs).  Modules never reach into each
+other's state; they only enqueue onto their output FIFOs and dequeue from
+their input FIFOs.  Because a module only fires when data is available and
+space exists downstream, the composition tolerates arbitrary per-module
+latency -- the property the paper calls *latency insensitivity*.
+
+Tokens are arbitrary Python objects.  In the functional models built on top
+of this framework a token is usually a block of data (a numpy array of bits,
+soft values or OFDM symbols) rather than a single word, mirroring how the
+paper batches transfers between the FPGA and the host for throughput.
+"""
+
+from collections import deque
+
+from repro.core.errors import FifoEmptyError, FifoFullError
+
+
+class Fifo:
+    """A bounded first-in first-out channel between two modules.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of tokens the FIFO can hold.  The paper's hardware
+        FIFOs hold two elements; larger capacities model the deep, pipelined
+        transfers used across the host link.
+    name:
+        Optional human-readable name used in error messages and statistics.
+    """
+
+    def __init__(self, capacity=2, name=""):
+        if capacity < 1:
+            raise ValueError("FIFO capacity must be at least 1, got %r" % (capacity,))
+        self.capacity = capacity
+        self.name = name or "fifo"
+        self._queue = deque()
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+        self.high_water = 0
+        self.full_stalls = 0
+        self.empty_stalls = 0
+        #: Callables invoked with each enqueued token.  The co-simulation
+        #: driver attaches an observer to FIFOs that cross the hardware /
+        #: software partition so host-link traffic can be accounted without
+        #: the modules knowing about the platform.
+        self.observers = []
+
+    def __len__(self):
+        return len(self._queue)
+
+    def __repr__(self):
+        return "Fifo(name=%r, occupancy=%d/%d)" % (
+            self.name,
+            len(self._queue),
+            self.capacity,
+        )
+
+    @property
+    def occupancy(self):
+        """Number of tokens currently held."""
+        return len(self._queue)
+
+    def is_empty(self):
+        """Return ``True`` when the FIFO holds no tokens."""
+        return not self._queue
+
+    def is_full(self):
+        """Return ``True`` when the FIFO has no free space."""
+        return len(self._queue) >= self.capacity
+
+    def can_enq(self):
+        """Return ``True`` when a token can be enqueued without error."""
+        return not self.is_full()
+
+    def can_deq(self):
+        """Return ``True`` when a token can be dequeued without error."""
+        return not self.is_empty()
+
+    def enq(self, token):
+        """Append ``token``; raise :class:`FifoFullError` when full."""
+        if self.is_full():
+            self.full_stalls += 1
+            raise FifoFullError("enqueue on full FIFO %r" % self.name)
+        self._queue.append(token)
+        self.total_enqueued += 1
+        if len(self._queue) > self.high_water:
+            self.high_water = len(self._queue)
+        for observer in self.observers:
+            observer(token)
+
+    def deq(self):
+        """Remove and return the oldest token; raise when empty."""
+        if self.is_empty():
+            self.empty_stalls += 1
+            raise FifoEmptyError("dequeue on empty FIFO %r" % self.name)
+        self.total_dequeued += 1
+        return self._queue.popleft()
+
+    def first(self):
+        """Return (without removing) the oldest token; raise when empty."""
+        if self.is_empty():
+            self.empty_stalls += 1
+            raise FifoEmptyError("peek on empty FIFO %r" % self.name)
+        return self._queue[0]
+
+    def clear(self):
+        """Drop all tokens (used between simulation runs)."""
+        self._queue.clear()
+
+    def drain(self):
+        """Remove and return all tokens as a list, oldest first."""
+        tokens = list(self._queue)
+        self.total_dequeued += len(tokens)
+        self._queue.clear()
+        return tokens
+
+
+class SyncFifo(Fifo):
+    """A FIFO that crosses a clock-domain boundary.
+
+    Functionally identical to :class:`Fifo`; the distinct type records that
+    the framework inserted a synchroniser between two modules in different
+    clock domains (the paper's automatic multi-clock support) and carries the
+    extra crossing latency that the latency model charges for it.
+
+    Parameters
+    ----------
+    source_domain, sink_domain:
+        The :class:`~repro.core.clocks.ClockDomain` objects on either side.
+    sync_latency_cycles:
+        Additional sink-domain cycles of latency charged for the crossing.
+    """
+
+    def __init__(
+        self,
+        source_domain,
+        sink_domain,
+        capacity=4,
+        name="",
+        sync_latency_cycles=2,
+    ):
+        super().__init__(capacity=capacity, name=name or "sync_fifo")
+        self.source_domain = source_domain
+        self.sink_domain = sink_domain
+        self.sync_latency_cycles = sync_latency_cycles
+
+    def __repr__(self):
+        return "SyncFifo(name=%r, %s->%s, occupancy=%d/%d)" % (
+            self.name,
+            self.source_domain.name,
+            self.sink_domain.name,
+            len(self),
+            self.capacity,
+        )

@@ -1,0 +1,246 @@
+"""Latency-insensitive modules.
+
+An :class:`LIModule` is the unit of composition in WiLIS.  A module declares
+named input and output ports; the :class:`~repro.core.network.Network` binds
+each port to a :class:`~repro.core.fifo.Fifo` when modules are connected.
+The scheduler repeatedly asks every module whether it *can fire* and, when it
+can, calls :meth:`LIModule.fire` exactly once.  The default firing rule --
+every connected input has data and every connected output has space -- gives
+the latency-insensitive behaviour described in the paper: a module never
+depends on when its neighbours produce or consume data, only on whether they
+eventually do.
+
+Three convenience subclasses cover the common shapes:
+
+* :class:`SourceModule` produces tokens from a Python iterable (no inputs).
+* :class:`SinkModule` collects tokens into a list (no outputs).
+* :class:`FunctionModule` wraps a pure function ``token -> token`` as a
+  single-input single-output module, which is how the DSP kernels in
+  :mod:`repro.phy` are lifted into the framework without duplicating any
+  signal-processing code.
+"""
+
+import time
+
+from repro.core.clocks import DEFAULT_CLOCK
+from repro.core.errors import ConfigurationError
+
+
+class LIModule:
+    """Base class for latency-insensitive modules.
+
+    Parameters
+    ----------
+    name:
+        Unique (within a network) module name.
+    clock:
+        The :class:`~repro.core.clocks.ClockDomain` this module runs in.
+        Connected modules in different domains get a synchronising FIFO
+        inserted automatically.
+    input_ports, output_ports:
+        Names of the ports this module exposes.  Subclasses usually pass
+        these from their constructor.
+    """
+
+    def __init__(self, name, clock=None, input_ports=(), output_ports=()):
+        self.name = name
+        self.clock = clock if clock is not None else DEFAULT_CLOCK
+        self.inputs = {port: None for port in input_ports}
+        self.outputs = {port: None for port in output_ports}
+        self.fire_count = 0
+        self.stall_count = 0
+        #: Wall-clock seconds spent inside :meth:`fire`, accumulated by
+        #: :meth:`step`.  The co-simulation driver uses this to attribute
+        #: host time to the hardware and software partitions (the paper's
+        #: "which side is the bottleneck" analysis).
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Port binding (called by Network.connect)
+    # ------------------------------------------------------------------ #
+    def bind_input(self, port, fifo):
+        """Attach ``fifo`` to the named input port."""
+        if port not in self.inputs:
+            raise ConfigurationError(
+                "module %r has no input port %r (has %r)"
+                % (self.name, port, sorted(self.inputs))
+            )
+        if self.inputs[port] is not None:
+            raise ConfigurationError(
+                "input port %s.%s is already connected" % (self.name, port)
+            )
+        self.inputs[port] = fifo
+
+    def bind_output(self, port, fifo):
+        """Attach ``fifo`` to the named output port."""
+        if port not in self.outputs:
+            raise ConfigurationError(
+                "module %r has no output port %r (has %r)"
+                % (self.name, port, sorted(self.outputs))
+            )
+        if self.outputs[port] is not None:
+            raise ConfigurationError(
+                "output port %s.%s is already connected" % (self.name, port)
+            )
+        self.outputs[port] = fifo
+
+    def input_fifo(self, port):
+        """Return the FIFO bound to ``port``; raise if unconnected."""
+        fifo = self.inputs.get(port)
+        if fifo is None:
+            raise ConfigurationError(
+                "input port %s.%s is not connected" % (self.name, port)
+            )
+        return fifo
+
+    def output_fifo(self, port):
+        """Return the FIFO bound to ``port``; raise if unconnected."""
+        fifo = self.outputs.get(port)
+        if fifo is None:
+            raise ConfigurationError(
+                "output port %s.%s is not connected" % (self.name, port)
+            )
+        return fifo
+
+    # ------------------------------------------------------------------ #
+    # Firing rule
+    # ------------------------------------------------------------------ #
+    def can_fire(self):
+        """Default guard: all connected inputs have data, all outputs have space.
+
+        Ports that were declared but never connected are ignored, so optional
+        ports do not block the module.
+        """
+        for fifo in self.inputs.values():
+            if fifo is not None and fifo.is_empty():
+                return False
+        for fifo in self.outputs.values():
+            if fifo is not None and fifo.is_full():
+                return False
+        return True
+
+    def fire(self):
+        """Perform one firing.  Subclasses must override."""
+        raise NotImplementedError
+
+    def step(self):
+        """Fire once if possible; return ``True`` when the module fired."""
+        if self.can_fire():
+            started = time.perf_counter()
+            self.fire()
+            self.busy_seconds += time.perf_counter() - started
+            self.fire_count += 1
+            return True
+        self.stall_count += 1
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    def is_quiescent(self):
+        """Return ``True`` when this module has no pending work.
+
+        The default considers a module quiescent when it cannot fire; sources
+        override this to report whether they have exhausted their input.
+        """
+        return not self.can_fire()
+
+    def __repr__(self):
+        return "%s(name=%r, clock=%r)" % (
+            type(self).__name__,
+            self.name,
+            self.clock.name,
+        )
+
+
+class SourceModule(LIModule):
+    """Produces tokens from an iterable on its single ``out`` port.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    tokens:
+        Any iterable of tokens to emit, one per firing.  The source is
+        exhausted when the iterable is.
+    """
+
+    def __init__(self, name, tokens=(), clock=None):
+        super().__init__(name, clock=clock, output_ports=("out",))
+        self._pending = list(tokens)
+        self.emitted = 0
+
+    def feed(self, tokens):
+        """Append more tokens to be emitted (callable between runs)."""
+        self._pending.extend(tokens)
+
+    @property
+    def pending(self):
+        """Number of tokens not yet emitted."""
+        return len(self._pending)
+
+    def can_fire(self):
+        if not self._pending:
+            return False
+        return super().can_fire()
+
+    def fire(self):
+        token = self._pending.pop(0)
+        self.output_fifo("out").enq(token)
+        self.emitted += 1
+
+    def is_quiescent(self):
+        return not self._pending
+
+
+class SinkModule(LIModule):
+    """Collects every token arriving on its single ``in`` port."""
+
+    def __init__(self, name, clock=None):
+        super().__init__(name, clock=clock, input_ports=("in",))
+        self.collected = []
+
+    def fire(self):
+        self.collected.append(self.input_fifo("in").deq())
+
+    def drain(self):
+        """Return all collected tokens and reset the collection."""
+        tokens = self.collected
+        self.collected = []
+        return tokens
+
+    def is_quiescent(self):
+        fifo = self.inputs.get("in")
+        return fifo is None or fifo.is_empty()
+
+
+class FunctionModule(LIModule):
+    """Wraps a pure function as a one-input one-output module.
+
+    This is how the numpy DSP kernels in :mod:`repro.phy` are lifted into the
+    latency-insensitive framework: the same function used by the fast
+    "direct" path is applied once per token here, so the framework pipeline
+    and the direct pipeline cannot diverge.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    func:
+        Callable applied to each input token; its return value is enqueued
+        on the output.  Returning ``None`` emits nothing for that token,
+        which lets a wrapped function consume several tokens before
+        producing one (for example a block deinterleaver).
+    """
+
+    def __init__(self, name, func, clock=None):
+        super().__init__(
+            name, clock=clock, input_ports=("in",), output_ports=("out",)
+        )
+        self.func = func
+
+    def fire(self):
+        token = self.input_fifo("in").deq()
+        result = self.func(token)
+        if result is not None:
+            self.output_fifo("out").enq(result)

@@ -1,0 +1,175 @@
+"""The module graph: connections, automatic clock-domain crossings.
+
+A :class:`Network` owns a set of modules and the FIFOs connecting them.  Its
+:meth:`Network.connect` method is the analogue of a SoftConnections "send /
+receive" pair in the paper: the user names a producer port and a consumer
+port and the framework creates the channel.  When the two modules declare
+different clock domains the framework silently substitutes a
+:class:`~repro.core.fifo.SyncFifo`, which is exactly the service the paper
+describes as automatic multi-clock support.
+"""
+
+from repro.core.errors import ConfigurationError
+from repro.core.fifo import Fifo, SyncFifo
+
+
+class Connection:
+    """Record of a single producer-to-consumer channel."""
+
+    def __init__(self, producer, out_port, consumer, in_port, fifo):
+        self.producer = producer
+        self.out_port = out_port
+        self.consumer = consumer
+        self.in_port = in_port
+        self.fifo = fifo
+
+    @property
+    def crosses_clock_domain(self):
+        """``True`` when the framework inserted a synchronising FIFO."""
+        return isinstance(self.fifo, SyncFifo)
+
+    def __repr__(self):
+        return "Connection(%s.%s -> %s.%s via %r)" % (
+            self.producer.name,
+            self.out_port,
+            self.consumer.name,
+            self.in_port,
+            self.fifo,
+        )
+
+
+class Network:
+    """A graph of :class:`~repro.core.module.LIModule` objects and channels.
+
+    Parameters
+    ----------
+    name:
+        Name used in reports.
+    default_capacity:
+        FIFO capacity used when :meth:`connect` is not given one.  The
+        paper's hardware FIFOs hold two elements.
+    """
+
+    def __init__(self, name="network", default_capacity=2):
+        self.name = name
+        self.default_capacity = default_capacity
+        self.modules = {}
+        self.connections = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, module):
+        """Add a module; returns it so calls can be chained inline."""
+        if module.name in self.modules:
+            raise ConfigurationError(
+                "duplicate module name %r in network %r" % (module.name, self.name)
+            )
+        self.modules[module.name] = module
+        return module
+
+    def add_all(self, modules):
+        """Add several modules at once."""
+        for module in modules:
+            self.add(module)
+
+    def connect(self, producer, out_port, consumer, in_port, capacity=None):
+        """Create a channel from ``producer.out_port`` to ``consumer.in_port``.
+
+        A plain :class:`~repro.core.fifo.Fifo` is used when both modules are
+        in the same clock domain and a :class:`~repro.core.fifo.SyncFifo`
+        otherwise.  Returns the :class:`Connection` record.
+        """
+        if producer.name not in self.modules or consumer.name not in self.modules:
+            raise ConfigurationError(
+                "both modules must be added to the network before connecting "
+                "(%r -> %r)" % (producer.name, consumer.name)
+            )
+        capacity = capacity if capacity is not None else self.default_capacity
+        fifo_name = "%s.%s->%s.%s" % (producer.name, out_port, consumer.name, in_port)
+        if producer.clock == consumer.clock:
+            fifo = Fifo(capacity=capacity, name=fifo_name)
+        else:
+            fifo = SyncFifo(
+                source_domain=producer.clock,
+                sink_domain=consumer.clock,
+                capacity=max(capacity, 4),
+                name=fifo_name,
+            )
+        producer.bind_output(out_port, fifo)
+        consumer.bind_input(in_port, fifo)
+        connection = Connection(producer, out_port, consumer, in_port, fifo)
+        self.connections.append(connection)
+        return connection
+
+    def chain(self, modules, capacity=None):
+        """Connect a list of single-in single-out modules in pipeline order.
+
+        Each consecutive pair is connected ``out`` -> ``in``.  Modules are
+        added to the network if they are not already present.
+        """
+        for module in modules:
+            if module.name not in self.modules:
+                self.add(module)
+        for producer, consumer in zip(modules, modules[1:]):
+            self.connect(producer, "out", consumer, "in", capacity=capacity)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def module(self, name):
+        """Look up a module by name."""
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise ConfigurationError(
+                "no module named %r in network %r" % (name, self.name)
+            ) from None
+
+    def clock_domains(self):
+        """Return the set of clock domains used by modules in this network."""
+        return {module.clock for module in self.modules.values()}
+
+    def clock_crossings(self):
+        """Return the connections that cross a clock-domain boundary."""
+        return [c for c in self.connections if c.crosses_clock_domain]
+
+    def fifos(self):
+        """Return every FIFO in the network, in connection order."""
+        return [c.fifo for c in self.connections]
+
+    def reset(self):
+        """Clear all FIFOs and per-module fire counters."""
+        for connection in self.connections:
+            connection.fifo.clear()
+        for module in self.modules.values():
+            module.fire_count = 0
+            module.stall_count = 0
+
+    def validate(self):
+        """Check that every declared port is connected; raise otherwise.
+
+        Unconnected ports are usually a configuration mistake (the paper's
+        plug-n-play flow guarantees complete pipelines); call this after
+        building a network to fail fast.
+        """
+        problems = []
+        for module in self.modules.values():
+            for port, fifo in module.inputs.items():
+                if fifo is None:
+                    problems.append("%s.%s (input)" % (module.name, port))
+            for port, fifo in module.outputs.items():
+                if fifo is None:
+                    problems.append("%s.%s (output)" % (module.name, port))
+        if problems:
+            raise ConfigurationError(
+                "unconnected ports in network %r: %s"
+                % (self.name, ", ".join(sorted(problems)))
+            )
+
+    def __repr__(self):
+        return "Network(name=%r, modules=%d, connections=%d)" % (
+            self.name,
+            len(self.modules),
+            len(self.connections),
+        )

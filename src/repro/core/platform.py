@@ -1,0 +1,254 @@
+"""Virtual platform: the LEAP analogue, including the FPGA-host link model.
+
+The paper runs the baseband on a Virtex-5 ACP module attached to a 1066 MHz
+front-side bus, giving roughly 700 MB/s of FIFO bandwidth to the host, and
+keeps the channel model in software on a quad-core Xeon.  LEAP hides the
+board-specific details behind uniform device interfaces.  Here the
+:class:`VirtualPlatform` plays that part: modules are assigned to either the
+*hardware* or the *software* partition, every token that flows between
+partitions is charged against a :class:`HostLink` bandwidth model, and
+scratchpad memories provide the uniform memory interface.
+
+Nothing in the user-visible module code mentions the platform -- modules are
+written against FIFOs exactly as before -- which reproduces the paper's
+virtualization claim that a WiLIS model runs unmodified on any supported
+platform.
+"""
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+class Partition:
+    """Names of the two co-simulation partitions."""
+
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+
+    ALL = (HARDWARE, SOFTWARE)
+
+
+class HostLink:
+    """Bandwidth/latency model of the FPGA-to-host communication channel.
+
+    Parameters
+    ----------
+    bandwidth_mbytes_per_s:
+        Sustained bandwidth of the link.  The paper's FSB link provides in
+        excess of 700 MB/s.
+    latency_us:
+        Fixed per-transfer latency (one direction).
+    name:
+        Link name for reports.
+    """
+
+    def __init__(self, bandwidth_mbytes_per_s=700.0, latency_us=1.0, name="fsb"):
+        if bandwidth_mbytes_per_s <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        self.bandwidth_mbytes_per_s = float(bandwidth_mbytes_per_s)
+        self.latency_us = float(latency_us)
+        self.name = name
+        self.bytes_to_hardware = 0
+        self.bytes_to_software = 0
+        self.transfers = 0
+
+    @staticmethod
+    def token_size_bytes(token):
+        """Estimate the wire size of a token.
+
+        Numpy arrays are charged their buffer size; bit arrays are packed to
+        one bit per element (matching the paper's packed transfers); other
+        tokens are charged a conservative 8 bytes per scalar element when
+        sized, or 8 bytes flat otherwise.
+        """
+        if isinstance(token, np.ndarray):
+            if token.dtype == np.bool_ or (
+                token.dtype.kind in "iu" and token.size and set(np.unique(token)) <= {0, 1}
+            ):
+                return max(1, token.size // 8)
+            return int(token.nbytes)
+        if isinstance(token, (bytes, bytearray)):
+            return len(token)
+        if hasattr(token, "__len__"):
+            return 8 * len(token)
+        return 8
+
+    def transfer(self, nbytes, to_hardware):
+        """Account a transfer of ``nbytes`` and return its duration in µs."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if to_hardware:
+            self.bytes_to_hardware += nbytes
+        else:
+            self.bytes_to_software += nbytes
+        self.transfers += 1
+        return self.latency_us + nbytes / self.bandwidth_mbytes_per_s
+
+    @property
+    def total_bytes(self):
+        """Total traffic in both directions."""
+        return self.bytes_to_hardware + self.bytes_to_software
+
+    def utilization(self, elapsed_s):
+        """Fraction of the link bandwidth used over ``elapsed_s`` seconds."""
+        if elapsed_s <= 0:
+            return 0.0
+        used_mbytes_per_s = self.total_bytes / 1e6 / elapsed_s
+        return used_mbytes_per_s / self.bandwidth_mbytes_per_s
+
+    def reset(self):
+        """Zero the traffic counters."""
+        self.bytes_to_hardware = 0
+        self.bytes_to_software = 0
+        self.transfers = 0
+
+
+class Scratchpad:
+    """A uniform word-addressed memory, the LEAP scratchpad analogue.
+
+    Parameters
+    ----------
+    name:
+        Memory name.
+    size_words:
+        Number of addressable words; reads of unwritten words return the
+        fill value.
+    fill:
+        Value returned for unwritten addresses.
+    """
+
+    def __init__(self, name, size_words, fill=0):
+        if size_words <= 0:
+            raise ConfigurationError("scratchpad size must be positive")
+        self.name = name
+        self.size_words = int(size_words)
+        self.fill = fill
+        self._store = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, address):
+        if not 0 <= address < self.size_words:
+            raise IndexError(
+                "address %d out of range for scratchpad %r (size %d)"
+                % (address, self.name, self.size_words)
+            )
+
+    def read(self, address):
+        """Return the word at ``address``."""
+        self._check(address)
+        self.reads += 1
+        return self._store.get(address, self.fill)
+
+    def write(self, address, value):
+        """Write ``value`` at ``address``."""
+        self._check(address)
+        self.writes += 1
+        self._store[address] = value
+
+    def read_block(self, address, length):
+        """Return ``length`` consecutive words starting at ``address``."""
+        return [self.read(address + offset) for offset in range(length)]
+
+    def write_block(self, address, values):
+        """Write consecutive words starting at ``address``."""
+        for offset, value in enumerate(values):
+            self.write(address + offset, value)
+
+    def clear(self):
+        """Erase all contents and reset the access counters."""
+        self._store.clear()
+        self.reads = 0
+        self.writes = 0
+
+
+class VirtualPlatform:
+    """A named execution platform with partitions, a host link and memories.
+
+    Parameters
+    ----------
+    name:
+        Platform name (for example ``"acp-virtex5"`` or ``"simulation"``).
+    fpga_clock_mhz:
+        Default clock available to the hardware partition; used only for
+        reporting.
+    host_link:
+        The :class:`HostLink` connecting the partitions; a default 700 MB/s
+        link is created when omitted.
+    """
+
+    def __init__(self, name="acp-virtex5", fpga_clock_mhz=35.0, host_link=None):
+        self.name = name
+        self.fpga_clock_mhz = float(fpga_clock_mhz)
+        self.host_link = host_link if host_link is not None else HostLink()
+        self._partitions = {Partition.HARDWARE: [], Partition.SOFTWARE: []}
+        self._assignment = {}
+        self._scratchpads = {}
+
+    # ------------------------------------------------------------------ #
+    # Partition management
+    # ------------------------------------------------------------------ #
+    def assign(self, module, partition):
+        """Place ``module`` in a partition (``"hardware"`` or ``"software"``)."""
+        if partition not in Partition.ALL:
+            raise ConfigurationError(
+                "unknown partition %r (expected one of %r)" % (partition, Partition.ALL)
+            )
+        if module.name in self._assignment:
+            raise ConfigurationError(
+                "module %r is already assigned to partition %r"
+                % (module.name, self._assignment[module.name])
+            )
+        self._partitions[partition].append(module)
+        self._assignment[module.name] = partition
+
+    def assign_all(self, modules, partition):
+        """Assign several modules to the same partition."""
+        for module in modules:
+            self.assign(module, partition)
+
+    def partition_of(self, module):
+        """Return the partition name a module was assigned to."""
+        try:
+            return self._assignment[module.name]
+        except KeyError:
+            raise ConfigurationError(
+                "module %r has not been assigned to a partition" % module.name
+            ) from None
+
+    def modules_in(self, partition):
+        """Return the modules assigned to ``partition``."""
+        if partition not in Partition.ALL:
+            raise ConfigurationError("unknown partition %r" % partition)
+        return list(self._partitions[partition])
+
+    def cross_partition_connections(self, network):
+        """Return the network connections that cross the hardware/software boundary."""
+        crossings = []
+        for connection in network.connections:
+            producer_part = self._assignment.get(connection.producer.name)
+            consumer_part = self._assignment.get(connection.consumer.name)
+            if (
+                producer_part is not None
+                and consumer_part is not None
+                and producer_part != consumer_part
+            ):
+                crossings.append(connection)
+        return crossings
+
+    # ------------------------------------------------------------------ #
+    # Memory services
+    # ------------------------------------------------------------------ #
+    def scratchpad(self, name, size_words=4096):
+        """Return (creating on first use) the scratchpad called ``name``."""
+        if name not in self._scratchpads:
+            self._scratchpads[name] = Scratchpad(name, size_words)
+        return self._scratchpads[name]
+
+    def __repr__(self):
+        return "VirtualPlatform(name=%r, hw_modules=%d, sw_modules=%d)" % (
+            self.name,
+            len(self._partitions[Partition.HARDWARE]),
+            len(self._partitions[Partition.SOFTWARE]),
+        )

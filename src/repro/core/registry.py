@@ -1,0 +1,95 @@
+"""Plug-n-play module registry: the AWB analogue.
+
+The paper leans on AWB to let users assemble a wireless pipeline by picking,
+for each *role* in the pipeline (decoder, demapper, channel, ...), one of
+several registered *implementations*.  :class:`ModuleRegistry` provides the
+same service: implementations register themselves under ``(role, name)`` and
+a configuration -- a plain ``{role: implementation_name}`` mapping -- selects
+which one to build.  The PHY pipelines in :mod:`repro.phy.pipelines` register
+their alternatives (for example ``decoder`` -> ``viterbi`` / ``sova`` /
+``bcjr``), so swapping a decoder is a one-word configuration change rather
+than a source edit, exactly the workflow the paper advertises.
+"""
+
+from repro.core.errors import UnknownImplementationError
+
+
+class ModuleRegistry:
+    """Maps ``(role, implementation name)`` to a factory callable."""
+
+    def __init__(self):
+        self._factories = {}
+
+    def register(self, role, name):
+        """Decorator registering ``factory`` as implementation ``name`` of ``role``.
+
+        Registering the same ``(role, name)`` twice replaces the factory,
+        which keeps repeated imports (and interactive use) harmless.
+        """
+
+        def decorator(factory):
+            self._factories[(role, name)] = factory
+            return factory
+
+        return decorator
+
+    def add(self, role, name, factory):
+        """Non-decorator form of :meth:`register`."""
+        self._factories[(role, name)] = factory
+
+    def roles(self):
+        """Return the sorted list of known roles."""
+        return sorted({role for role, _ in self._factories})
+
+    def implementations(self, role):
+        """Return the sorted implementation names registered for ``role``."""
+        names = sorted(name for r, name in self._factories if r == role)
+        if not names:
+            raise UnknownImplementationError("no implementations for role %r" % role)
+        return names
+
+    def has(self, role, name):
+        """Return ``True`` when ``(role, name)`` is registered."""
+        return (role, name) in self._factories
+
+    def create(self, role, name, **kwargs):
+        """Instantiate implementation ``name`` of ``role``.
+
+        ``kwargs`` are forwarded to the factory, so implementations can take
+        configuration (rate parameters, block lengths, ...).
+        """
+        try:
+            factory = self._factories[(role, name)]
+        except KeyError:
+            known = sorted(n for r, n in self._factories if r == role)
+            raise UnknownImplementationError(
+                "unknown implementation %r for role %r (known: %s)"
+                % (name, role, ", ".join(known) if known else "none")
+            ) from None
+        return factory(**kwargs)
+
+    def build_configuration(self, configuration, **shared_kwargs):
+        """Instantiate every role in ``configuration``.
+
+        Parameters
+        ----------
+        configuration:
+            Mapping of role name to implementation name.
+        shared_kwargs:
+            Keyword arguments passed to every factory (for example the PHY
+            rate parameters shared by the whole pipeline).
+
+        Returns
+        -------
+        dict
+            Mapping of role name to the instantiated object.
+        """
+        return {
+            role: self.create(role, name, **shared_kwargs)
+            for role, name in configuration.items()
+        }
+
+
+#: Process-wide registry used by the PHY pipelines and the examples.  Library
+#: users who want isolation can instantiate their own :class:`ModuleRegistry`.
+global_registry = ModuleRegistry()

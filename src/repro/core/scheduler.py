@@ -1,0 +1,177 @@
+"""Schedulers for latency-insensitive networks.
+
+Two schedulers are provided, mirroring the two ways the paper runs its
+models:
+
+* :class:`DataflowScheduler` is untimed: it simply keeps firing any module
+  that can fire until the network quiesces.  This is the decoupled,
+  "run as fast as data allows" execution that gives WiLIS its order-of-
+  magnitude throughput advantage over lock-step (SCE-MI style) emulation.
+  It also offers a ``lockstep`` mode that emulates the SCE-MI behaviour --
+  one firing per module per global step -- which the ablation benchmark uses
+  to reproduce the paper's comparison.
+
+* :class:`MultiClockScheduler` is timed: each clock domain advances at its
+  own frequency and a module may fire at most once per edge of its domain's
+  clock.  This is used to estimate pipeline throughput in simulated
+  microseconds (Figure 2 and the latency studies).
+"""
+
+from repro.core.errors import SchedulerDeadlockError
+
+
+class SchedulerStats:
+    """Aggregate statistics from a scheduler run."""
+
+    def __init__(self):
+        self.total_firings = 0
+        self.steps = 0
+        self.cycles_per_domain = {}
+        self.simulated_time_us = 0.0
+        self.firings_per_module = {}
+
+    def record_firing(self, module):
+        self.total_firings += 1
+        self.firings_per_module[module.name] = (
+            self.firings_per_module.get(module.name, 0) + 1
+        )
+
+    def __repr__(self):
+        return (
+            "SchedulerStats(firings=%d, steps=%d, simulated_time_us=%.3f)"
+            % (self.total_firings, self.steps, self.simulated_time_us)
+        )
+
+
+class DataflowScheduler:
+    """Untimed scheduler: fire whatever can fire, until nothing can.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.core.network.Network` to execute.
+    lockstep:
+        When ``True`` the scheduler emulates a lock-step co-emulation
+        interface: in each global step every module is offered at most one
+        firing and the step only completes once all modules have been
+        polled.  When ``False`` (the default, WiLIS behaviour) a module may
+        fire repeatedly within one pass as long as data keeps flowing.
+    """
+
+    def __init__(self, network, lockstep=False):
+        self.network = network
+        self.lockstep = lockstep
+        self.stats = SchedulerStats()
+
+    def run(self, max_steps=1_000_000):
+        """Run until quiescent or ``max_steps`` scheduler passes elapse.
+
+        Returns the :class:`SchedulerStats` for the run.  Raises
+        :class:`~repro.core.errors.SchedulerDeadlockError` if the network
+        stops making progress while sources still hold data.
+        """
+        modules = list(self.network.modules.values())
+        for _ in range(max_steps):
+            fired_any = False
+            for module in modules:
+                if self.lockstep:
+                    if module.step():
+                        self.stats.record_firing(module)
+                        fired_any = True
+                else:
+                    # Drain as much as this module can do right now.  This is
+                    # the decoupled behaviour: downstream modules will see a
+                    # burst of tokens and process them on the same pass.
+                    while module.step():
+                        self.stats.record_firing(module)
+                        fired_any = True
+            self.stats.steps += 1
+            if not fired_any:
+                self._check_for_deadlock(modules)
+                return self.stats
+        return self.stats
+
+    def _check_for_deadlock(self, modules):
+        waiting = [
+            module.name
+            for module in modules
+            if not module.is_quiescent() and not module.can_fire()
+        ]
+        if waiting:
+            raise SchedulerDeadlockError(
+                "network quiesced with modules still waiting: %s"
+                % ", ".join(sorted(waiting))
+            )
+
+
+class MultiClockScheduler:
+    """Timed scheduler honouring per-module clock domains.
+
+    Time advances from clock edge to clock edge.  At each edge of a domain,
+    every module in that domain is offered a single firing.  The resulting
+    ``simulated_time_us`` lets callers convert token counts into a modelled
+    hardware throughput, which is how the Figure 2 reproduction estimates
+    what the pipeline would sustain at the paper's 35/60 MHz clocks.
+    """
+
+    def __init__(self, network):
+        self.network = network
+        self.stats = SchedulerStats()
+
+    def run(self, max_edges=1_000_000, until=None):
+        """Run until quiescent, ``until()`` returns ``True`` or the edge cap.
+
+        Parameters
+        ----------
+        max_edges:
+            Upper bound on the number of clock edges processed (across all
+            domains) as a safety net against livelock.
+        until:
+            Optional zero-argument callable evaluated after every edge; the
+            run stops when it returns ``True``.
+        """
+        domains = sorted(
+            self.network.clock_domains(), key=lambda d: (d.name, d.frequency_mhz)
+        )
+        modules_by_domain = {
+            domain: [
+                m for m in self.network.modules.values() if m.clock == domain
+            ]
+            for domain in domains
+        }
+        # Next edge time for each domain, in microseconds.
+        next_edge = {domain: domain.period_us for domain in domains}
+        idle_edges = 0
+        idle_limit = 4 * max(1, len(domains))
+
+        for _ in range(max_edges):
+            domain = min(next_edge, key=lambda d: (next_edge[d], d.name))
+            now = next_edge[domain]
+            next_edge[domain] = now + domain.period_us
+            self.stats.simulated_time_us = now
+            self.stats.cycles_per_domain[domain.name] = (
+                self.stats.cycles_per_domain.get(domain.name, 0) + 1
+            )
+
+            fired_any = False
+            for module in modules_by_domain[domain]:
+                if module.step():
+                    self.stats.record_firing(module)
+                    fired_any = True
+            self.stats.steps += 1
+
+            if until is not None and until():
+                return self.stats
+            if fired_any:
+                idle_edges = 0
+            else:
+                idle_edges += 1
+                if idle_edges >= idle_limit and self._quiescent():
+                    return self.stats
+        return self.stats
+
+    def _quiescent(self):
+        return all(
+            module.is_quiescent() or not module.can_fire()
+            for module in self.network.modules.values()
+        ) and all(not module.can_fire() for module in self.network.modules.values())

@@ -1,0 +1,18 @@
+"""Fixed-point arithmetic support for the "hardware" partition.
+
+The paper stresses that real-time hardware deployments replace floating
+point with fixed point and that the resulting quantisation distorts the
+inputs of downstream modules in hard-to-predict ways (its motivating example
+is the demapper soft outputs, which shrink from 23-28 bits to 3-8 bits once
+the SNR and modulation scaling factors are dropped).  This subpackage gives
+the rest of the library a single, well-tested way to express those
+quantisations:
+
+* :class:`~repro.fixedpoint.fixed.FixedPointFormat` -- a signed/unsigned
+  Q-format descriptor with quantisation and saturation helpers.
+* :func:`~repro.fixedpoint.fixed.quantize` -- array quantisation in one call.
+"""
+
+from repro.fixedpoint.fixed import FixedPointFormat, quantize
+
+__all__ = ["FixedPointFormat", "quantize"]

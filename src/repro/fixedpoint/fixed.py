@@ -1,0 +1,128 @@
+"""Q-format fixed-point descriptors and array quantisation.
+
+A :class:`FixedPointFormat` describes a two's-complement (or unsigned)
+fixed-point representation with ``integer_bits`` bits to the left of the
+binary point and ``fraction_bits`` to the right.  Quantisation rounds to the
+nearest representable value and saturates at the representable range, which
+is how the hardware demapper and decoder datapaths in the paper behave.
+"""
+
+import numpy as np
+
+
+class FixedPointFormat:
+    """A fixed-point number format.
+
+    Parameters
+    ----------
+    integer_bits:
+        Number of integer bits, excluding the sign bit.
+    fraction_bits:
+        Number of fractional bits.
+    signed:
+        Whether the format carries a sign bit.
+
+    Examples
+    --------
+    >>> fmt = FixedPointFormat(integer_bits=3, fraction_bits=2)
+    >>> fmt.total_bits
+    6
+    >>> float(fmt.quantize(1.26))
+    1.25
+    >>> float(fmt.quantize(100.0))   # saturates
+    7.75
+    """
+
+    def __init__(self, integer_bits, fraction_bits, signed=True):
+        if integer_bits < 0 or fraction_bits < 0:
+            raise ValueError("bit counts must be non-negative")
+        if integer_bits + fraction_bits == 0:
+            raise ValueError("format must have at least one magnitude bit")
+        self.integer_bits = int(integer_bits)
+        self.fraction_bits = int(fraction_bits)
+        self.signed = bool(signed)
+
+    @property
+    def total_bits(self):
+        """Total storage width, including the sign bit when signed."""
+        return self.integer_bits + self.fraction_bits + (1 if self.signed else 0)
+
+    @property
+    def resolution(self):
+        """Smallest representable increment."""
+        return 2.0 ** -self.fraction_bits
+
+    @property
+    def max_value(self):
+        """Largest representable value."""
+        return 2.0 ** self.integer_bits - self.resolution
+
+    @property
+    def min_value(self):
+        """Smallest representable value (0 for unsigned formats)."""
+        if self.signed:
+            return -(2.0 ** self.integer_bits)
+        return 0.0
+
+    def quantize(self, values):
+        """Round ``values`` to this format, saturating out-of-range inputs.
+
+        Accepts scalars or numpy arrays and returns the same shape as float.
+        """
+        array = np.asarray(values, dtype=float)
+        scaled = np.round(array / self.resolution) * self.resolution
+        return np.clip(scaled, self.min_value, self.max_value)
+
+    def quantization_error(self, values):
+        """Return ``quantize(values) - values`` (useful for tests and studies)."""
+        return self.quantize(values) - np.asarray(values, dtype=float)
+
+    def representable_count(self):
+        """Number of distinct representable values."""
+        return 2 ** self.total_bits
+
+    def __eq__(self, other):
+        if not isinstance(other, FixedPointFormat):
+            return NotImplemented
+        return (
+            self.integer_bits == other.integer_bits
+            and self.fraction_bits == other.fraction_bits
+            and self.signed == other.signed
+        )
+
+    def __hash__(self):
+        return hash((self.integer_bits, self.fraction_bits, self.signed))
+
+    def __repr__(self):
+        kind = "s" if self.signed else "u"
+        return "FixedPointFormat(Q%s%d.%d)" % (kind, self.integer_bits, self.fraction_bits)
+
+
+def quantize(values, integer_bits, fraction_bits, signed=True):
+    """One-shot quantisation without building a format object first."""
+    return FixedPointFormat(integer_bits, fraction_bits, signed=signed).quantize(values)
+
+
+def llr_quantizer(total_bits, max_abs=8.0):
+    """Build the format the hardware decoders use for demapper soft values.
+
+    The paper reports that dropping the SNR/modulation scaling lets the
+    decoder input shrink to 3-8 bits.  This helper maps a requested total
+    bit-width and expected dynamic range onto a signed format covering
+    roughly ``[-max_abs, +max_abs]``.
+
+    Parameters
+    ----------
+    total_bits:
+        Desired storage width, including sign (must be at least 2).
+    max_abs:
+        Magnitude the format should be able to represent without saturating.
+    """
+    if total_bits < 2:
+        raise ValueError("an LLR quantizer needs at least 2 bits (sign + magnitude)")
+    wanted_integer_bits = max(1, int(np.ceil(np.log2(max_abs))))
+    # Never exceed the requested storage width: sacrifice range (saturate
+    # earlier) before blowing the bit budget, as narrow hardware would.
+    integer_bits = min(wanted_integer_bits, total_bits - 1)
+    fraction_bits = total_bits - 1 - integer_bits
+    return FixedPointFormat(integer_bits, fraction_bits, signed=True)

@@ -1,0 +1,53 @@
+"""Analytical hardware-cost models of the decoder microarchitectures.
+
+The paper reports two hardware costs for its SoftPHY implementations:
+pipeline latency (Section 4.3: ``l + k + 12`` cycles for SOVA, ``2n + 7``
+for BCJR, both comfortably inside the 25 microsecond 802.11 budget at
+60 MHz) and synthesised area (Figure 8: LUT / register counts for BCJR,
+SOVA and a baseline Viterbi on a Virtex-5).  A Python reproduction has no
+synthesis tool, so this subpackage provides *analytical* models:
+
+* :mod:`repro.hwmodel.latency` -- the cycle-count formulas and their
+  conversion to microseconds at the paper's clock frequencies.
+* :mod:`repro.hwmodel.area` -- a parametric LUT/register model calibrated so
+  that the paper's configuration (64-state trellis, traceback and block
+  length 64) reproduces the Figure 8 totals, while still scaling with the
+  microarchitectural parameters for the ablation studies.
+* :mod:`repro.hwmodel.synthesis` -- a "synthesis report" generator that
+  emits the Figure 8 table from the area model.
+"""
+
+from repro.hwmodel.area import AreaEstimate, AreaModel, DecoderAreaParameters
+from repro.hwmodel.latency import (
+    LatencyReport,
+    bcjr_latency_cycles,
+    cycles_to_microseconds,
+    meets_latency_bound,
+    sova_latency_cycles,
+    viterbi_latency_cycles,
+)
+from repro.hwmodel.synthesis import SynthesisReport, synthesize
+from repro.hwmodel.throughput import (
+    hardware_time_seconds,
+    meets_line_rate,
+    sustainable_rate_mbps,
+    symbol_rate_hz,
+)
+
+__all__ = [
+    "hardware_time_seconds",
+    "meets_line_rate",
+    "sustainable_rate_mbps",
+    "symbol_rate_hz",
+    "AreaEstimate",
+    "AreaModel",
+    "DecoderAreaParameters",
+    "LatencyReport",
+    "SynthesisReport",
+    "bcjr_latency_cycles",
+    "cycles_to_microseconds",
+    "meets_latency_bound",
+    "sova_latency_cycles",
+    "synthesize",
+    "viterbi_latency_cycles",
+]

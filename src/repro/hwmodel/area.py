@@ -1,0 +1,249 @@
+"""Parametric LUT / register area model of the decoder microarchitectures.
+
+The paper's Figure 8 gives synthesised areas for its BCJR, SOVA and Viterbi
+decoders (Synplify Pro targeting a Virtex-5 LX330T at 60 MHz, all storage
+forced to registers).  Without a synthesis tool we model each reported row
+as a *structural* quantity -- how many storage bits or arithmetic cells the
+sub-block fundamentally needs given the microarchitecture parameters --
+multiplied by a technology coefficient.  The coefficients are calibrated
+once, at the paper's configuration (64-state trellis, 8-bit soft inputs,
+traceback and block length 64), so that the model reproduces Figure 8
+exactly at that point while still responding to parameter changes for the
+ablation studies (block length, traceback length, datapath width).
+
+The headline relationships this preserves:
+
+* BCJR is roughly twice the size of SOVA, dominated by its reversal buffers
+  and its three path-metric units.
+* SOVA is roughly twice the size of Viterbi, dominated by the soft
+  traceback storage.
+* Growing the BCJR block length or the SOVA traceback length grows area
+  roughly linearly (while, per the paper, buying no estimation accuracy
+  beyond 64).
+"""
+
+
+class DecoderAreaParameters:
+    """Microarchitecture parameters that drive the area model.
+
+    Parameters
+    ----------
+    num_states:
+        Trellis states (64 for the 802.11 K=7 code).
+    soft_input_bits:
+        Width of the demapper soft values entering the decoder (the paper's
+        hardware uses 3-8 bits; 8 is the calibration point).
+    metric_bits:
+        Path-metric datapath width.
+    traceback_length:
+        Viterbi / SOVA traceback window length.
+    block_length:
+        BCJR sliding-window block length.
+    llr_bits:
+        Width of the emitted SoftPHY hint.
+    outputs_per_input:
+        Coded bits per trellis step (2 for the rate-1/2 mother code).
+    """
+
+    def __init__(
+        self,
+        num_states=64,
+        soft_input_bits=8,
+        metric_bits=8,
+        traceback_length=64,
+        block_length=64,
+        llr_bits=8,
+        outputs_per_input=2,
+    ):
+        if min(num_states, soft_input_bits, metric_bits, traceback_length,
+               block_length, llr_bits, outputs_per_input) < 1:
+            raise ValueError("all area parameters must be positive")
+        self.num_states = int(num_states)
+        self.soft_input_bits = int(soft_input_bits)
+        self.metric_bits = int(metric_bits)
+        self.traceback_length = int(traceback_length)
+        self.block_length = int(block_length)
+        self.llr_bits = int(llr_bits)
+        self.outputs_per_input = int(outputs_per_input)
+
+    def __repr__(self):
+        return (
+            "DecoderAreaParameters(states=%d, soft=%db, metric=%db, "
+            "traceback=%d, block=%d)"
+            % (
+                self.num_states,
+                self.soft_input_bits,
+                self.metric_bits,
+                self.traceback_length,
+                self.block_length,
+            )
+        )
+
+
+#: The configuration Figure 8 was synthesised at (used for calibration).
+PAPER_CONFIGURATION = DecoderAreaParameters()
+
+
+class AreaEstimate:
+    """A LUT / register estimate for one block."""
+
+    def __init__(self, name, luts, registers):
+        self.name = name
+        self.luts = int(round(luts))
+        self.registers = int(round(registers))
+
+    def __add__(self, other):
+        return AreaEstimate(
+            "%s+%s" % (self.name, other.name),
+            self.luts + other.luts,
+            self.registers + other.registers,
+        )
+
+    def scaled(self, factor, name=None):
+        """Return a copy scaled by ``factor`` (e.g. for replicated units)."""
+        return AreaEstimate(name or self.name, self.luts * factor, self.registers * factor)
+
+    def __repr__(self):
+        return "AreaEstimate(%s: %d LUTs, %d regs)" % (
+            self.name,
+            self.luts,
+            self.registers,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Structural quantities: the "how much stuff" driver for every Figure 8 row.
+# --------------------------------------------------------------------------- #
+def _structural_quantities(params):
+    """Return the structural size driver for every modelled block."""
+    p = params
+    return {
+        # A branch metric is a correlation over the coded bits of one step.
+        "branch_metric_unit": p.outputs_per_input * p.soft_input_bits,
+        # One add-compare-select per state, metric_bits wide.
+        "path_metric_unit": p.num_states * (p.metric_bits + 2),
+        # Hard Viterbi traceback: one survivor bit per state per window step.
+        "traceback_unit": p.traceback_length * p.num_states,
+        # SOVA soft traceback: survivors plus per-step soft decisions and the
+        # second (competing-path) traceback.
+        "soft_traceback_unit": p.traceback_length * (2 * p.num_states + p.llr_bits),
+        "soft_path_detect": p.traceback_length * p.num_states,
+        # BCJR combines forward/backward metrics into a per-bit decision.
+        "soft_decision_unit": p.num_states * (p.metric_bits + p.llr_bits),
+        # Reversal buffers: the initial buffer holds raw soft inputs for one
+        # block, the final buffer holds per-state backward metrics.
+        "initial_reversal_buffer": p.block_length * p.outputs_per_input * p.soft_input_bits,
+        "final_reversal_buffer": p.block_length * p.num_states * p.metric_bits,
+        # Totals (hierarchies in the paper's table overlap, so each total has
+        # its own driver rather than being a sum of the rows above).
+        "viterbi": p.num_states * (p.metric_bits + 2) + p.traceback_length * p.num_states,
+        "sova": (
+            p.num_states * (p.metric_bits + 2)
+            + 2 * p.traceback_length * p.num_states
+            + p.traceback_length * p.llr_bits
+        ),
+        "bcjr": (
+            3 * p.num_states * (p.metric_bits + 2)
+            + p.block_length * p.num_states * p.metric_bits
+            + p.block_length * p.outputs_per_input * p.soft_input_bits
+            + p.num_states * (p.metric_bits + p.llr_bits)
+        ),
+    }
+
+
+#: Figure 8 rows: (LUTs, registers) reported by the paper at the calibration
+#: configuration.
+PAPER_FIGURE8 = {
+    "bcjr": (32936, 38420),
+    "soft_decision_unit": (6561, 822),
+    "initial_reversal_buffer": (804, 2608),
+    "final_reversal_buffer": (8651, 30048),
+    "path_metric_unit": (4672, 0),
+    "branch_metric_unit": (63, 41),
+    "sova": (15114, 15168),
+    "soft_traceback_unit": (13456, 13402),
+    "soft_path_detect": (7362, 4706),
+    "viterbi": (7569, 4538),
+    "traceback_unit": (5144, 3927),
+}
+
+
+def _calibrated_coefficients():
+    """LUT and register coefficients fitted at the paper's configuration."""
+    reference = _structural_quantities(PAPER_CONFIGURATION)
+    coefficients = {}
+    for block, (luts, registers) in PAPER_FIGURE8.items():
+        size = reference[block]
+        coefficients[block] = (luts / size, registers / size)
+    return coefficients
+
+
+_COEFFICIENTS = _calibrated_coefficients()
+
+
+class AreaModel:
+    """Evaluates the calibrated area model for a parameter set.
+
+    Parameters
+    ----------
+    params:
+        :class:`DecoderAreaParameters`; the paper's configuration when
+        omitted.
+    """
+
+    #: Sub-blocks reported for each decoder, in Figure 8 order.
+    DECODER_BLOCKS = {
+        "bcjr": (
+            "soft_decision_unit",
+            "initial_reversal_buffer",
+            "final_reversal_buffer",
+            "path_metric_unit",
+            "branch_metric_unit",
+        ),
+        "sova": ("soft_traceback_unit", "soft_path_detect"),
+        "viterbi": ("traceback_unit",),
+    }
+
+    def __init__(self, params=None):
+        self.params = params if params is not None else DecoderAreaParameters()
+
+    def estimate(self, block):
+        """Area estimate for one named block or decoder total."""
+        try:
+            lut_coeff, reg_coeff = _COEFFICIENTS[block]
+        except KeyError:
+            raise KeyError(
+                "unknown block %r (known: %s)"
+                % (block, ", ".join(sorted(_COEFFICIENTS)))
+            ) from None
+        size = _structural_quantities(self.params)[block]
+        return AreaEstimate(block, lut_coeff * size, reg_coeff * size)
+
+    def decoder_total(self, decoder):
+        """Total area of ``"viterbi"``, ``"sova"`` or ``"bcjr"``."""
+        if decoder not in self.DECODER_BLOCKS:
+            raise KeyError("unknown decoder %r" % decoder)
+        return self.estimate(decoder)
+
+    def decoder_breakdown(self, decoder):
+        """List of (sub-block estimate) rows for a decoder, Figure 8 style."""
+        return [self.estimate(block) for block in self.DECODER_BLOCKS[decoder]]
+
+    def area_ratio(self, numerator, denominator, resource="luts"):
+        """Ratio of two decoders' areas (e.g. BCJR / SOVA in LUTs)."""
+        top = getattr(self.decoder_total(numerator), resource)
+        bottom = getattr(self.decoder_total(denominator), resource)
+        return top / bottom
+
+    def transceiver_overhead(self, decoder, transceiver_luts=150000):
+        """Fractional LUT increase of adding SoftPHY to a transceiver.
+
+        The paper concludes the addition costs "around 10% increase in the
+        size of a transceiver"; the default transceiver size approximates an
+        802.11a/g baseband on the paper's Virtex-5 target.
+        """
+        extra = self.decoder_total(decoder).luts - self.decoder_total("viterbi").luts
+        return max(extra, 0) / transceiver_luts
+
+    def __repr__(self):
+        return "AreaModel(%r)" % (self.params,)

@@ -1,0 +1,117 @@
+"""Decoder and pipeline latency models (Section 4.3 of the paper).
+
+The paper derives closed-form cycle counts for its decoder pipelines:
+
+* SOVA: ``l + k + 12`` cycles, where ``l`` and ``k`` are the lengths of the
+  first and second traceback units, one cycle each for the BMU and PMU and
+  two cycles for each of the five connecting FIFOs.  With ``l = k = 64``
+  this is 140 cycles, or about 2.3 microseconds at 60 MHz.
+* BCJR: ``2n + 7`` cycles for block length ``n`` (the two reversal buffers
+  dominate), i.e. 135 cycles or about 2.2 microseconds at 60 MHz for
+  ``n = 64``.
+
+Both are far below the roughly 25 microsecond turnaround budget of
+802.11a/g, which is the paper's headline latency claim.
+"""
+
+#: Cycles contributed by the SOVA BMU and PMU (one each).
+SOVA_KERNEL_CYCLES = 2
+
+#: Number of two-element FIFOs in the SOVA pipeline (Figure 3).
+SOVA_FIFO_COUNT = 5
+
+#: Worst-case cycles added by one two-element FIFO.
+CYCLES_PER_FIFO = 2
+
+#: Fixed pipeline overhead of the BCJR datapath beyond the reversal buffers.
+BCJR_FIXED_CYCLES = 7
+
+#: The latency budget the paper quotes for 802.11a/g, in microseconds.
+IEEE80211_LATENCY_BOUND_US = 25.0
+
+#: Clock frequency of the per-bit units in the paper's configuration (MHz).
+DECODER_CLOCK_MHZ = 60.0
+
+
+def sova_latency_cycles(first_traceback_length=64, second_traceback_length=64):
+    """SOVA pipeline latency in cycles: ``l + k + 12``."""
+    if first_traceback_length < 1 or second_traceback_length < 1:
+        raise ValueError("traceback lengths must be positive")
+    return (
+        first_traceback_length
+        + second_traceback_length
+        + SOVA_KERNEL_CYCLES
+        + SOVA_FIFO_COUNT * CYCLES_PER_FIFO
+    )
+
+
+def bcjr_latency_cycles(block_length=64):
+    """SW-BCJR pipeline latency in cycles: ``2n + 7``."""
+    if block_length < 1:
+        raise ValueError("block length must be positive")
+    return 2 * block_length + BCJR_FIXED_CYCLES
+
+
+def viterbi_latency_cycles(traceback_length=64):
+    """Hard Viterbi latency: one traceback window plus the kernel/FIFO overhead.
+
+    The paper does not quote this number (Viterbi is only its area
+    baseline); the model uses the same accounting as SOVA minus the second
+    traceback unit.
+    """
+    if traceback_length < 1:
+        raise ValueError("traceback length must be positive")
+    return traceback_length + SOVA_KERNEL_CYCLES + 3 * CYCLES_PER_FIFO
+
+
+def cycles_to_microseconds(cycles, clock_mhz=DECODER_CLOCK_MHZ):
+    """Convert a cycle count to microseconds at ``clock_mhz``."""
+    if clock_mhz <= 0:
+        raise ValueError("clock frequency must be positive")
+    return cycles / clock_mhz
+
+
+def meets_latency_bound(latency_us, bound_us=IEEE80211_LATENCY_BOUND_US):
+    """Whether a latency fits the 802.11a/g turnaround budget."""
+    return latency_us <= bound_us
+
+
+class LatencyReport:
+    """Latency of one decoder configuration, in cycles and microseconds."""
+
+    def __init__(self, name, cycles, clock_mhz=DECODER_CLOCK_MHZ):
+        self.name = name
+        self.cycles = int(cycles)
+        self.clock_mhz = float(clock_mhz)
+
+    @property
+    def microseconds(self):
+        return cycles_to_microseconds(self.cycles, self.clock_mhz)
+
+    @property
+    def meets_80211_bound(self):
+        return meets_latency_bound(self.microseconds)
+
+    def __repr__(self):
+        return "LatencyReport(%s: %d cycles, %.2f us @ %.0f MHz)" % (
+            self.name,
+            self.cycles,
+            self.microseconds,
+            self.clock_mhz,
+        )
+
+
+def decoder_latency_report(decoder_name, clock_mhz=DECODER_CLOCK_MHZ, **kwargs):
+    """Build a :class:`LatencyReport` for ``"viterbi"``, ``"sova"`` or ``"bcjr"``."""
+    if decoder_name == "sova":
+        cycles = sova_latency_cycles(
+            kwargs.get("first_traceback_length", 64),
+            kwargs.get("second_traceback_length", 64),
+        )
+    elif decoder_name == "bcjr":
+        cycles = bcjr_latency_cycles(kwargs.get("block_length", 64))
+    elif decoder_name == "viterbi":
+        cycles = viterbi_latency_cycles(kwargs.get("traceback_length", 64))
+    else:
+        raise ValueError("unknown decoder %r" % decoder_name)
+    return LatencyReport(decoder_name, cycles, clock_mhz)

@@ -1,0 +1,78 @@
+"""Synthesis-report generation: the Figure 8 table from the area model.
+
+:func:`synthesize` plays the part of the synthesis tool in the paper's flow:
+given microarchitecture parameters it produces a :class:`SynthesisReport`
+whose rows mirror Figure 8 (decoder totals with per-sub-block breakdowns)
+and whose summary reproduces the paper's headline comparisons (BCJR is about
+twice the size of SOVA, SOVA about twice the size of Viterbi).
+"""
+
+from repro.analysis.reporting import Table
+from repro.hwmodel.area import AreaModel, DecoderAreaParameters
+
+#: Display names matching the paper's Figure 8 rows.
+DISPLAY_NAMES = {
+    "bcjr": "BCJR",
+    "soft_decision_unit": "Soft Decision Unit",
+    "initial_reversal_buffer": "Initial Rev. Buf.",
+    "final_reversal_buffer": "Final Rev. Buf.",
+    "path_metric_unit": "Path Metric Unit",
+    "branch_metric_unit": "Branch Metric Unit",
+    "sova": "SOVA",
+    "soft_traceback_unit": "Soft TU",
+    "soft_path_detect": "Soft Path Detect",
+    "viterbi": "Viterbi",
+    "traceback_unit": "Traceback Unit",
+}
+
+
+class SynthesisReport:
+    """Figure 8-style area report for one parameter set."""
+
+    def __init__(self, model):
+        self.model = model
+        self.rows = []
+        for decoder in ("bcjr", "sova", "viterbi"):
+            self.rows.append((DISPLAY_NAMES[decoder], self.model.decoder_total(decoder)))
+            for estimate in self.model.decoder_breakdown(decoder):
+                self.rows.append(("  " + DISPLAY_NAMES[estimate.name], estimate))
+
+    def totals(self):
+        """Mapping of decoder name to its total :class:`AreaEstimate`."""
+        return {
+            decoder: self.model.decoder_total(decoder)
+            for decoder in ("bcjr", "sova", "viterbi")
+        }
+
+    @property
+    def bcjr_to_sova_ratio(self):
+        """BCJR area divided by SOVA area (the paper reports about 2x)."""
+        return self.model.area_ratio("bcjr", "sova")
+
+    @property
+    def sova_to_viterbi_ratio(self):
+        """SOVA area divided by Viterbi area (the paper reports about 2x)."""
+        return self.model.area_ratio("sova", "viterbi")
+
+    def table(self):
+        """Render the report as a Figure 8-style text table."""
+        table = Table(
+            ["Module", "LUTs", "Registers"],
+            title="Synthesis results (area model, %r)" % (self.model.params,),
+        )
+        for name, estimate in self.rows:
+            table.add_row(name, estimate.luts, estimate.registers)
+        return table
+
+    def __repr__(self):
+        return "SynthesisReport(bcjr/sova=%.2f, sova/viterbi=%.2f)" % (
+            self.bcjr_to_sova_ratio,
+            self.sova_to_viterbi_ratio,
+        )
+
+
+def synthesize(params=None):
+    """Produce a :class:`SynthesisReport` for ``params`` (paper defaults if omitted)."""
+    if params is None:
+        params = DecoderAreaParameters()
+    return SynthesisReport(AreaModel(params))

@@ -1,0 +1,73 @@
+"""Modelled throughput of the baseband pipeline on the paper's platform.
+
+The paper runs its baseband at 35 MHz (with the per-bit BER unit at 60 MHz)
+and states that this configuration sustains the fastest 802.11g rate of
+54 Mb/s.  The model here captures that head-room calculation: an OFDM symbol
+is 80 time samples, the pipeline processes one sample per baseband cycle, so
+a symbol takes 80 cycles; the per-bit units must also keep up with the
+coded/data bits of each symbol at their own clock.  The sustainable data
+rate is the symbol rate allowed by the slowest unit times the data bits per
+symbol.
+"""
+
+from repro.hwmodel.latency import DECODER_CLOCK_MHZ
+from repro.phy.params import CYCLIC_PREFIX, FFT_SIZE, SYMBOL_DURATION_US
+
+#: Time samples per OFDM symbol (FFT plus cyclic prefix).
+SAMPLES_PER_SYMBOL = FFT_SIZE + CYCLIC_PREFIX
+
+#: Baseband clock used by the bulk of the paper's pipeline, in MHz.
+BASEBAND_CLOCK_MHZ = 35.0
+
+
+def symbol_rate_hz(baseband_clock_mhz=BASEBAND_CLOCK_MHZ):
+    """OFDM symbols per second the sample-rate portion of the pipeline sustains."""
+    if baseband_clock_mhz <= 0:
+        raise ValueError("clock frequency must be positive")
+    return baseband_clock_mhz * 1e6 / SAMPLES_PER_SYMBOL
+
+
+def bit_unit_symbol_rate_hz(phy_rate, bit_clock_mhz=DECODER_CLOCK_MHZ):
+    """Symbols per second sustained by the per-bit units (decoder, BER unit).
+
+    The decoder and BER estimator emit one bit per cycle, so a symbol
+    carrying ``data_bits_per_symbol`` bits occupies that many cycles.
+    """
+    if bit_clock_mhz <= 0:
+        raise ValueError("clock frequency must be positive")
+    return bit_clock_mhz * 1e6 / phy_rate.data_bits_per_symbol
+
+
+def sustainable_rate_mbps(
+    phy_rate,
+    baseband_clock_mhz=BASEBAND_CLOCK_MHZ,
+    bit_clock_mhz=DECODER_CLOCK_MHZ,
+):
+    """Data rate (Mb/s) the modelled pipeline sustains for ``phy_rate``."""
+    slowest_symbol_rate = min(
+        symbol_rate_hz(baseband_clock_mhz),
+        bit_unit_symbol_rate_hz(phy_rate, bit_clock_mhz),
+    )
+    return slowest_symbol_rate * phy_rate.data_bits_per_symbol / 1e6
+
+
+def meets_line_rate(phy_rate, **kwargs):
+    """Whether the modelled pipeline keeps up with the rate's line rate."""
+    return sustainable_rate_mbps(phy_rate, **kwargs) >= phy_rate.data_rate_mbps
+
+
+def hardware_time_seconds(phy_rate, num_symbols, baseband_clock_mhz=BASEBAND_CLOCK_MHZ):
+    """Modelled FPGA time to push ``num_symbols`` OFDM symbols through the pipeline.
+
+    Used by the Figure 2 reproduction to project what the hardware partition
+    would cost on the paper's platform instead of on this Python host.
+    """
+    if num_symbols < 0:
+        raise ValueError("symbol count must be non-negative")
+    cycles = num_symbols * SAMPLES_PER_SYMBOL
+    return cycles / (baseband_clock_mhz * 1e6)
+
+
+def line_rate_duration_seconds(num_symbols):
+    """On-air time of ``num_symbols`` OFDM symbols (4 microseconds each)."""
+    return num_symbols * SYMBOL_DURATION_US * 1e-6

@@ -1,0 +1,36 @@
+"""MAC-layer protocols built on SoftPHY estimates.
+
+The paper motivates SoftPHY with two consumers of BER estimates: Partial
+Packet Recovery (per-bit estimates decide which bits to retransmit) and
+SoftRate (per-packet estimates drive rate adaptation).  Its Figure 7
+evaluates SoftRate running over WiLIS with both decoder implementations.
+
+* :mod:`repro.mac.frames` -- packet and acknowledgement records.
+* :mod:`repro.mac.arq` -- a conventional stop-and-wait ARQ link layer (the
+  baseline that retransmits whole packets).
+* :mod:`repro.mac.ppr` -- partial packet recovery driven by per-bit BER
+  estimates.
+* :mod:`repro.mac.softrate` -- the SoftRate rate-adaptation controller.
+* :mod:`repro.mac.evaluation` -- the Figure 7 experiment: run SoftRate over
+  a fading channel, compare every selection against the per-packet optimal
+  rate and classify it as underselect / accurate / overselect.
+"""
+
+from repro.mac.arq import ArqLinkLayer, ArqStatistics
+from repro.mac.evaluation import RateSelectionOutcome, SoftRateEvaluation, SoftRateResult
+from repro.mac.frames import Acknowledgement, Packet
+from repro.mac.ppr import PartialPacketRecovery, PprOutcome
+from repro.mac.softrate import SoftRateController
+
+__all__ = [
+    "Acknowledgement",
+    "ArqLinkLayer",
+    "ArqStatistics",
+    "Packet",
+    "PartialPacketRecovery",
+    "PprOutcome",
+    "RateSelectionOutcome",
+    "SoftRateController",
+    "SoftRateEvaluation",
+    "SoftRateResult",
+]

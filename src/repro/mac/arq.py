@@ -1,0 +1,86 @@
+"""Conventional stop-and-wait ARQ link layer.
+
+This is the baseline the paper contrasts SoftPHY-driven schemes against:
+"Conventional ARQ requires the retransmission of the entire packet in the
+event of any bit error."  The implementation tracks how many transmissions
+each packet needed and how many payload bits were sent in total, so the PPR
+comparison can report its efficiency gain over whole-packet retransmission.
+"""
+
+
+class ArqStatistics:
+    """Counters describing an ARQ session."""
+
+    def __init__(self):
+        self.packets_delivered = 0
+        self.packets_abandoned = 0
+        self.transmissions = 0
+        self.payload_bits_delivered = 0
+        self.bits_transmitted = 0
+
+    @property
+    def average_transmissions(self):
+        """Mean number of transmissions per delivered packet."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.transmissions / self.packets_delivered
+
+    @property
+    def efficiency(self):
+        """Delivered payload bits divided by transmitted bits."""
+        if self.bits_transmitted == 0:
+            return 0.0
+        return self.payload_bits_delivered / self.bits_transmitted
+
+    def __repr__(self):
+        return (
+            "ArqStatistics(delivered=%d, abandoned=%d, avg_tx=%.2f, efficiency=%.3f)"
+            % (
+                self.packets_delivered,
+                self.packets_abandoned,
+                self.average_transmissions,
+                self.efficiency,
+            )
+        )
+
+
+class ArqLinkLayer:
+    """Stop-and-wait ARQ with a retransmission limit.
+
+    Parameters
+    ----------
+    send:
+        Callable ``(packet, attempt) -> bool`` that transmits the packet and
+        returns whether it was received without error.  The evaluation
+        harness and the examples plug a channel + receiver simulation in
+        here.
+    max_attempts:
+        Transmissions allowed per packet before it is abandoned.
+    """
+
+    def __init__(self, send, max_attempts=7):
+        if max_attempts < 1:
+            raise ValueError("at least one attempt must be allowed")
+        self.send = send
+        self.max_attempts = int(max_attempts)
+        self.statistics = ArqStatistics()
+
+    def deliver(self, packet):
+        """Transmit ``packet`` until acknowledged or the retry limit is hit.
+
+        Returns ``True`` when the packet was delivered.
+        """
+        stats = self.statistics
+        for attempt in range(1, self.max_attempts + 1):
+            stats.transmissions += 1
+            stats.bits_transmitted += packet.size_bits
+            if self.send(packet, attempt):
+                stats.packets_delivered += 1
+                stats.payload_bits_delivered += packet.size_bits
+                return True
+        stats.packets_abandoned += 1
+        return False
+
+    def deliver_all(self, packets):
+        """Deliver a sequence of packets; returns the number delivered."""
+        return sum(1 for packet in packets if self.deliver(packet))

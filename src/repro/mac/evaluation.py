@@ -1,0 +1,287 @@
+"""The Figure 7 experiment: SoftRate accuracy under a fading channel.
+
+The paper transmits a stream of packets over a 20 Hz Rayleigh fading channel
+with 10 dB AWGN, lets SoftRate pick each packet's rate from the previous
+packet's predicted PBER, and compares every choice with the *optimal* rate:
+the highest rate at which that very packet (same payload, same noise, same
+fade) would have been received without error.  A pseudo-random noise model
+makes the "same noise at every rate" comparison possible.  Each selection is
+classified as underselect, accurate or overselect; the paper reports both
+decoders accurate more than 80% of the time, with SOVA underselecting about
+4% more often than BCJR and both overselecting about 2% of the time.
+
+:class:`SoftRateEvaluation` reproduces that pipeline.  The expensive part --
+decoding every packet at every rate -- is precomputed in rate-major batches
+so the decoder's batched kernels are used; the sequential controller loop
+then replays the precomputed outcomes.
+"""
+
+import numpy as np
+
+from repro.analysis.link import LinkRunResult
+from repro.channel.awgn import awgn
+from repro.channel.fading import JakesFadingProcess
+from repro.channel.reproducible import ReproducibleNoise
+from repro.mac.softrate import SoftRateController, classify_selection, optimal_rate_index
+from repro.phy.params import RATE_TABLE
+from repro.phy.receiver import Receiver
+from repro.phy.transmitter import Transmitter
+from repro.softphy.ber_estimator import BerEstimator
+
+
+class RateSelectionOutcome:
+    """Aggregate classification counts for one SoftRate run."""
+
+    def __init__(self):
+        self.underselect = 0
+        self.accurate = 0
+        self.overselect = 0
+
+    def record(self, classification):
+        if classification == "underselect":
+            self.underselect += 1
+        elif classification == "accurate":
+            self.accurate += 1
+        elif classification == "overselect":
+            self.overselect += 1
+        else:
+            raise ValueError("unknown classification %r" % classification)
+
+    @property
+    def total(self):
+        return self.underselect + self.accurate + self.overselect
+
+    def fraction(self, kind):
+        """Fraction of packets classified as ``kind``."""
+        if self.total == 0:
+            return 0.0
+        return getattr(self, kind) / self.total
+
+    @property
+    def accuracy(self):
+        """Fraction of packets sent at exactly the optimal rate."""
+        return self.fraction("accurate")
+
+    def as_dict(self):
+        """Percentages in the Figure 7 layout."""
+        return {
+            "underselect": self.fraction("underselect"),
+            "accurate": self.fraction("accurate"),
+            "overselect": self.fraction("overselect"),
+        }
+
+    def __repr__(self):
+        return "RateSelectionOutcome(under=%d, accurate=%d, over=%d)" % (
+            self.underselect,
+            self.accurate,
+            self.overselect,
+        )
+
+
+class PrecomputedOutcomes:
+    """Per-packet, per-rate decode outcomes used by the controller replay.
+
+    Attributes
+    ----------
+    success:
+        ``(packets, rates)`` boolean: decoded without any bit error.
+    pber_estimate:
+        ``(packets, rates)`` predicted per-packet BER from the SoftPHY
+        hints.
+    pber_actual:
+        ``(packets, rates)`` ground-truth per-packet BER.
+    """
+
+    def __init__(self, success, pber_estimate, pber_actual):
+        self.success = success
+        self.pber_estimate = pber_estimate
+        self.pber_actual = pber_actual
+
+    @property
+    def num_packets(self):
+        return self.success.shape[0]
+
+    @property
+    def num_rates(self):
+        return self.success.shape[1]
+
+
+class SoftRateResult:
+    """Everything produced by one SoftRate run."""
+
+    def __init__(self, decoder_name, outcome, chosen_indices, optimal_indices, rates):
+        self.decoder_name = decoder_name
+        self.outcome = outcome
+        self.chosen_indices = np.asarray(chosen_indices, dtype=np.int64)
+        self.optimal_indices = np.asarray(optimal_indices, dtype=np.int64)
+        self.rates = tuple(rates)
+
+    @property
+    def achieved_throughput_mbps(self):
+        """Mean data rate of packets sent at or below their optimal rate.
+
+        Packets sent above the optimal rate are counted as zero throughput
+        (they would not have been received), which mirrors how SoftRate's
+        gain is computed.
+        """
+        delivered = self.chosen_indices <= self.optimal_indices
+        rates = np.array([self.rates[i].data_rate_mbps for i in self.chosen_indices])
+        return float(np.mean(np.where(delivered, rates, 0.0)))
+
+    @property
+    def optimal_throughput_mbps(self):
+        """Mean data rate an oracle rate-picker would have achieved."""
+        rates = np.array([self.rates[i].data_rate_mbps for i in self.optimal_indices])
+        return float(np.mean(rates))
+
+    def __repr__(self):
+        return "SoftRateResult(decoder=%s, accuracy=%.1f%%)" % (
+            self.decoder_name,
+            100.0 * self.outcome.accuracy,
+        )
+
+
+class SoftRateEvaluation:
+    """Set up and run the Figure 7 experiment.
+
+    Parameters
+    ----------
+    snr_db:
+        Mean AWGN SNR (10 dB in the paper).
+    doppler_hz:
+        Fading Doppler frequency (20 Hz in the paper).
+    num_packets:
+        Number of packets in the stream.
+    packet_bits:
+        Payload size (1704 bits as in Figure 6).
+    packet_interval_s:
+        Time between successive packets, which sets how fast the fading
+        changes from packet to packet.
+    seed:
+        Master seed for payloads, noise and the fading trace.
+    rates:
+        Rate table to adapt over.
+    """
+
+    def __init__(
+        self,
+        snr_db=10.0,
+        doppler_hz=20.0,
+        num_packets=200,
+        packet_bits=1704,
+        packet_interval_s=2e-3,
+        seed=0,
+        rates=RATE_TABLE,
+    ):
+        self.snr_db = float(snr_db)
+        self.doppler_hz = float(doppler_hz)
+        self.num_packets = int(num_packets)
+        self.packet_bits = int(packet_bits)
+        self.packet_interval_s = float(packet_interval_s)
+        self.seed = seed
+        self.rates = tuple(rates)
+        self.noise = ReproducibleNoise(seed)
+        fading = JakesFadingProcess(doppler_hz=doppler_hz, seed=seed)
+        times = np.arange(self.num_packets) * self.packet_interval_s
+        self.gains = np.atleast_1d(fading.gain(times))
+
+    # ------------------------------------------------------------------ #
+    # Precomputation: decode every packet at every rate
+    # ------------------------------------------------------------------ #
+    def precompute(self, decoder_name, batch_size=16, estimator=None):
+        """Decode every packet at every rate with ``decoder_name``.
+
+        Returns a :class:`PrecomputedOutcomes` used by :meth:`run`.
+        """
+        estimator = estimator or BerEstimator(decoder_name)
+        packets = self.num_packets
+        success = np.zeros((packets, len(self.rates)), dtype=bool)
+        pber_estimate = np.ones((packets, len(self.rates)))
+        pber_actual = np.ones((packets, len(self.rates)))
+
+        for rate_idx, rate in enumerate(self.rates):
+            transmitter = Transmitter(rate)
+            receiver = Receiver(rate, decoder=decoder_name)
+            geometry = receiver.geometry(self.packet_bits)
+            for first in range(0, packets, batch_size):
+                count = min(batch_size, packets - first)
+                tx_bits = np.empty((count, self.packet_bits), dtype=np.uint8)
+                softs = []
+                for offset in range(count):
+                    index = first + offset
+                    payload = self.noise.payload(index, self.packet_bits)
+                    tx_bits[offset] = payload
+                    samples = transmitter.transmit(payload)
+                    gain = self.gains[index]
+                    rng = self.noise.rng_for(index, purpose="noise")
+                    received = awgn(samples * gain, self.snr_db, rng=rng)
+                    csi = np.full(geometry.num_symbols, np.abs(gain) ** 2)
+                    softs.append(
+                        receiver.front_end(
+                            received,
+                            self.packet_bits,
+                            channel_gain=gain,
+                            csi_weights=csi,
+                        )
+                    )
+                decoded = receiver.decode_batch(np.vstack(softs), self.packet_bits)
+                run = LinkRunResult(tx_bits, decoded.bits, decoded.llr, None)
+                rows = slice(first, first + count)
+                success[rows, rate_idx] = ~run.packet_errors
+                pber_actual[rows, rate_idx] = run.packet_ber
+                if decoded.llr is not None:
+                    pber_estimate[rows, rate_idx] = estimator.packet_ber(
+                        np.abs(decoded.llr), rate.modulation
+                    )
+        return PrecomputedOutcomes(success, pber_estimate, pber_actual)
+
+    # ------------------------------------------------------------------ #
+    # Controller replay
+    # ------------------------------------------------------------------ #
+    #: Default controller window used by :meth:`run`.  The paper quotes a
+    #: [1e-7, 1e-5] window for its estimator; this reproduction's estimator
+    #: is calibrated differently (its constant-SNR tables are more
+    #: pessimistic above each modulation's design point), so the equivalent
+    #: operating window for the same behaviour is wider.  The deviation is
+    #: recorded in EXPERIMENTS.md.
+    DEFAULT_CONTROLLER_WINDOW = (1e-5, 1e-2)
+
+    def run(self, decoder_name, controller=None, precomputed=None, batch_size=16):
+        """Run SoftRate with ``decoder_name`` estimates and classify every choice."""
+        if precomputed is None:
+            precomputed = self.precompute(decoder_name, batch_size=batch_size)
+        if controller is None:
+            lower, upper = self.DEFAULT_CONTROLLER_WINDOW
+            controller = SoftRateController(
+                lower_pber=lower,
+                upper_pber=upper,
+                backoff_packets=6,
+                rates=self.rates,
+            )
+        outcome = RateSelectionOutcome()
+        chosen_indices = np.empty(self.num_packets, dtype=np.int64)
+        optimal_indices = np.empty(self.num_packets, dtype=np.int64)
+
+        for index in range(self.num_packets):
+            chosen = controller.current_index
+            optimal = optimal_rate_index(precomputed.success[index])
+            chosen_indices[index] = chosen
+            optimal_indices[index] = optimal
+            outcome.record(classify_selection(chosen, optimal))
+            controller.update(float(precomputed.pber_estimate[index, chosen]))
+
+        return SoftRateResult(
+            decoder_name
+            if isinstance(decoder_name, str)
+            else decoder_name.name,
+            outcome,
+            chosen_indices,
+            optimal_indices,
+            self.rates,
+        )
+
+    def __repr__(self):
+        return (
+            "SoftRateEvaluation(snr_db=%.1f, doppler_hz=%.1f, packets=%d)"
+            % (self.snr_db, self.doppler_hz, self.num_packets)
+        )

@@ -1,0 +1,76 @@
+"""Packet and acknowledgement records exchanged between MAC entities.
+
+These are deliberately small, immutable-ish data carriers: the interesting
+behaviour lives in the protocols (:mod:`repro.mac.arq`,
+:mod:`repro.mac.softrate`, :mod:`repro.mac.ppr`), which pass these records
+around the way the paper's transmitter MAC observes the PBER estimates
+emitted by the receiver.
+"""
+
+import numpy as np
+
+
+class Packet:
+    """A MAC-layer packet.
+
+    Parameters
+    ----------
+    sequence:
+        Sequence number assigned by the transmitter.
+    payload:
+        Payload bits (numpy array of 0/1).
+    rate:
+        The :class:`~repro.phy.params.PhyRate` the packet is sent at.
+    """
+
+    def __init__(self, sequence, payload, rate):
+        self.sequence = int(sequence)
+        self.payload = np.asarray(payload, dtype=np.uint8)
+        self.rate = rate
+
+    @property
+    def size_bits(self):
+        """Payload size in bits."""
+        return self.payload.size
+
+    def __repr__(self):
+        return "Packet(seq=%d, bits=%d, rate=%s)" % (
+            self.sequence,
+            self.size_bits,
+            self.rate.name,
+        )
+
+
+class Acknowledgement:
+    """Feedback returned by the receiver for one packet.
+
+    In a real transceiver this information rides on the ARQ acknowledgement
+    frame; the paper's experiment has the transmitter MAC observe the
+    receiver's predicted PBER directly, which is what the evaluation harness
+    does too.
+
+    Parameters
+    ----------
+    sequence:
+        Sequence number being acknowledged.
+    received_ok:
+        Whether the packet was received without error (ideal CRC).
+    pber_estimate:
+        The receiver's predicted per-packet BER (``None`` when the receiver
+        ran a hard-output decoder).
+    bit_ber_estimates:
+        Optional per-bit BER estimates (used by partial packet recovery).
+    """
+
+    def __init__(self, sequence, received_ok, pber_estimate=None, bit_ber_estimates=None):
+        self.sequence = int(sequence)
+        self.received_ok = bool(received_ok)
+        self.pber_estimate = None if pber_estimate is None else float(pber_estimate)
+        self.bit_ber_estimates = bit_ber_estimates
+
+    def __repr__(self):
+        return "Acknowledgement(seq=%d, ok=%s, pber=%s)" % (
+            self.sequence,
+            self.received_ok,
+            "None" if self.pber_estimate is None else "%.3g" % self.pber_estimate,
+        )

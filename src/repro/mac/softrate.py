@@ -1,0 +1,179 @@
+"""The SoftRate rate-adaptation controller.
+
+SoftRate (Vutukuru et al., SIGCOMM'09) chooses the transmission rate of the
+*next* packet from the predicted per-packet BER of the current one.  The
+paper's description (Section 4.4.2): if the calculated PBER at the current
+rate falls outside a pre-computed range -- for the ARQ link layer, between
+1e-7 and 1e-5 -- the rate is immediately adjusted up or down.
+
+The controller below implements that window policy over the 802.11a/g rate
+table, together with the two interpacket heuristics the original SoftRate
+protocol uses to keep the window policy from oscillating around the optimal
+rate:
+
+* an *up-hysteresis*: the PBER must sit below the lower threshold for a few
+  consecutive packets before the rate is raised (one very confident packet
+  is not evidence that the next rate up will work), and
+* a *probe backoff*: when a rate increase is immediately followed by a bad
+  packet, the controller steps back down and suppresses further increases
+  for a number of packets, so a channel that cleanly supports rate ``r`` but
+  not ``r+1`` is probed only occasionally instead of every other packet.
+
+Setting ``up_hysteresis=1`` and ``backoff_packets=0`` recovers the plain
+threshold-window policy.
+"""
+
+from repro.phy.params import RATE_TABLE
+
+
+class SoftRateController:
+    """Threshold-window rate adaptation driven by PBER feedback.
+
+    Parameters
+    ----------
+    lower_pber, upper_pber:
+        The target PBER window; the paper quotes [1e-7, 1e-5] for an ARQ
+        link layer.
+    initial_rate:
+        Starting :class:`~repro.phy.params.PhyRate` (defaults to the lowest
+        rate, 6 Mb/s).
+    rates:
+        Ordered rate table to adapt over.
+    up_hysteresis:
+        Number of consecutive below-window packets required before the rate
+        is increased (1 = step up immediately, which keeps the controller
+        responsive to improving fades).
+    backoff_packets:
+        Number of packets during which rate increases are suppressed after a
+        failed probe (an increase immediately followed by an above-window
+        packet).
+    """
+
+    def __init__(
+        self,
+        lower_pber=1e-7,
+        upper_pber=1e-5,
+        initial_rate=None,
+        rates=RATE_TABLE,
+        up_hysteresis=1,
+        backoff_packets=12,
+    ):
+        if not 0.0 < lower_pber < upper_pber < 1.0:
+            raise ValueError("thresholds must satisfy 0 < lower < upper < 1")
+        if up_hysteresis < 1:
+            raise ValueError("up_hysteresis must be at least 1")
+        if backoff_packets < 0:
+            raise ValueError("backoff_packets must be non-negative")
+        self.lower_pber = float(lower_pber)
+        self.upper_pber = float(upper_pber)
+        self.rates = tuple(rates)
+        self.up_hysteresis = int(up_hysteresis)
+        self.backoff_packets = int(backoff_packets)
+        if initial_rate is None:
+            self._index = 0
+        else:
+            self._index = self._index_of(initial_rate)
+        self.decisions = 0
+        self.rate_increases = 0
+        self.rate_decreases = 0
+        self._consecutive_low = 0
+        self._backoff_remaining = 0
+        self._just_probed_up = False
+
+    def _index_of(self, rate):
+        for i, candidate in enumerate(self.rates):
+            if candidate == rate:
+                return i
+        raise ValueError("rate %r is not in this controller's rate table" % (rate,))
+
+    @property
+    def current_rate(self):
+        """The rate the next packet will be transmitted at."""
+        return self.rates[self._index]
+
+    @property
+    def current_index(self):
+        """Index of the current rate in the controller's table."""
+        return self._index
+
+    def update(self, pber_estimate):
+        """Consume one packet's PBER feedback and return the next rate.
+
+        ``None`` feedback (the packet or its acknowledgement was lost) is
+        treated as a PBER above the upper threshold.
+        """
+        self.decisions += 1
+        if pber_estimate is None:
+            pber_estimate = 1.0
+        if self._backoff_remaining > 0:
+            self._backoff_remaining -= 1
+
+        if pber_estimate > self.upper_pber:
+            self._consecutive_low = 0
+            if self._just_probed_up:
+                # The rate increase did not survive contact with the channel:
+                # back off before probing again.
+                self._backoff_remaining = self.backoff_packets
+            if self._index > 0:
+                self._index -= 1
+                self.rate_decreases += 1
+        elif pber_estimate < self.lower_pber:
+            self._consecutive_low += 1
+            can_increase = (
+                self._index < len(self.rates) - 1
+                and self._consecutive_low >= self.up_hysteresis
+                and self._backoff_remaining == 0
+            )
+            if can_increase:
+                self._index += 1
+                self.rate_increases += 1
+                self._consecutive_low = 0
+                self._just_probed_up = True
+                return self.current_rate
+        else:
+            self._consecutive_low = 0
+
+        self._just_probed_up = False
+        return self.current_rate
+
+    def reset(self, initial_rate=None):
+        """Return to the initial rate and clear the decision counters."""
+        self._index = 0 if initial_rate is None else self._index_of(initial_rate)
+        self.decisions = 0
+        self.rate_increases = 0
+        self.rate_decreases = 0
+        self._consecutive_low = 0
+        self._backoff_remaining = 0
+        self._just_probed_up = False
+
+    def __repr__(self):
+        return "SoftRateController(rate=%s, window=[%.0e, %.0e])" % (
+            self.current_rate.name,
+            self.lower_pber,
+            self.upper_pber,
+        )
+
+
+def optimal_rate_index(per_rate_success):
+    """Index of the highest rate that delivered the packet without error.
+
+    ``per_rate_success`` is a boolean sequence ordered like the rate table.
+    When no rate succeeds the most robust (lowest) rate is considered
+    optimal, matching the convention used in the Figure 7 evaluation.
+    """
+    best = 0
+    found = False
+    for index, success in enumerate(per_rate_success):
+        if success:
+            best = index
+            found = True
+    return best if found else 0
+
+
+def classify_selection(chosen_index, optimal_index):
+    """Classify a rate choice as ``"underselect"``, ``"accurate"`` or ``"overselect"``."""
+    if chosen_index < optimal_index:
+        return "underselect"
+    if chosen_index > optimal_index:
+        return "overselect"
+    return "accurate"

@@ -1,0 +1,52 @@
+"""802.11a/g OFDM baseband: the Airblue-derived functional model.
+
+The modules in this subpackage implement the transmit and receive pipelines
+of Figure 1 in the paper:
+
+transmit side
+    scrambler -> convolutional encoder -> puncturer -> interleaver ->
+    constellation mapper -> OFDM modulator (pilot insertion, IFFT, cyclic
+    prefix)
+
+receive side
+    OFDM demodulator -> soft demapper (Tosato/Bisaglia approximation) ->
+    deinterleaver -> depuncturer -> soft-decision decoder (hard Viterbi,
+    SOVA or sliding-window BCJR) -> descrambler
+
+Every block exists twice: as a pure numpy function (the fast "direct" path
+used by the BER experiments, which need millions of bits) and as a
+latency-insensitive module wrapper (see :mod:`repro.phy.pipelines`) so that
+the same arithmetic runs inside the WiLIS framework for the co-simulation
+experiments.  As in the paper, synchronisation and channel estimation are
+not modelled.
+"""
+
+from repro.phy.params import (
+    CodeRate,
+    Modulation,
+    PhyRate,
+    RATE_TABLE,
+    rate_by_mbps,
+    rate_by_name,
+)
+from repro.phy.convolutional import ConvolutionalCode, IEEE80211_CODE
+from repro.phy.trellis import Trellis
+from repro.phy.transmitter import Transmitter, transmit
+from repro.phy.receiver import Receiver, ReceiveResult, receive
+
+__all__ = [
+    "CodeRate",
+    "ConvolutionalCode",
+    "IEEE80211_CODE",
+    "Modulation",
+    "PhyRate",
+    "RATE_TABLE",
+    "ReceiveResult",
+    "Receiver",
+    "Transmitter",
+    "Trellis",
+    "rate_by_mbps",
+    "rate_by_name",
+    "receive",
+    "transmit",
+]

@@ -1,0 +1,121 @@
+"""Sliding-window max-log BCJR (SW-BCJR) decoder.
+
+The paper's BCJR pipeline (Figure 4) avoids buffering an entire frame by
+operating on sliding blocks of reversed data: for every block the backward
+path metrics are computed in isolation, seeded by a *provisional* backward
+recursion over the following block that starts from an "uncertain" (uniform)
+state.  The forward recursion runs continuously across block boundaries.
+The per-bit LLR is the difference between the best combined
+(alpha + branch + beta) metric over transitions labelled 1 and the best over
+transitions labelled 0 -- the max-log approximation of equation 1.
+
+The decoder shares the BMU and PMU kernels with Viterbi and SOVA and, like
+them, operates on a batch of packets simultaneously.
+"""
+
+import numpy as np
+
+from repro.phy.decoder_base import ConvolutionalDecoder, DecodeResult
+from repro.phy.trellis import (
+    BranchMetricUnit,
+    NEGATIVE_INFINITY_METRIC,
+    PathMetricUnit,
+    Trellis,
+    reshape_soft_input,
+)
+
+
+class BcjrDecoder(ConvolutionalDecoder):
+    """Sliding-window max-log BCJR with provisional backward metrics.
+
+    Parameters
+    ----------
+    trellis:
+        Shared trellis; the 802.11 mother code by default.
+    block_length:
+        Sliding-window block size ``n``.  The paper finds the approximation
+        reasonable for ``n >= 32`` and evaluates ``n = 64``.
+    """
+
+    name = "bcjr"
+    produces_soft_output = True
+
+    def __init__(self, trellis=None, block_length=64):
+        if block_length < 1:
+            raise ValueError("block length must be positive")
+        self.trellis = trellis if trellis is not None else Trellis()
+        self.block_length = int(block_length)
+        self.bmu = BranchMetricUnit(self.trellis)
+        self.pmu = PathMetricUnit(self.trellis)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _terminal_beta(self, batch):
+        """Backward metrics at the end of a terminated packet (state 0)."""
+        beta = np.full(
+            (batch, self.trellis.num_states), NEGATIVE_INFINITY_METRIC, dtype=np.float64
+        )
+        beta[:, 0] = 0.0
+        return beta
+
+    def _provisional_beta(self, soft, start, stop, batch):
+        """Backward recursion over ``[start, stop)`` from an uncertain state."""
+        beta = np.zeros((batch, self.trellis.num_states), dtype=np.float64)
+        for k in range(stop - 1, start - 1, -1):
+            branch = self.bmu.compute(soft[:, k, :])
+            beta = self.pmu.normalize(self.pmu.backward_step(beta, branch))
+        return beta
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def decode(self, soft, num_data_bits):
+        soft = reshape_soft_input(soft, self.trellis.n_out)
+        batch, steps, _ = soft.shape
+        self._check_length(steps, num_data_bits, self.trellis.code.memory)
+        trellis = self.trellis
+        n = self.block_length
+
+        llr = np.empty((batch, steps), dtype=np.float64)
+        alpha_in = self.pmu.initial_metrics(batch, known_start=True)
+
+        for t0 in range(0, steps, n):
+            t1 = min(t0 + n, steps)
+            block_len = t1 - t0
+            branch_block = self.bmu.compute_all(soft[:, t0:t1, :])
+
+            # Forward metrics entering each step of the block.
+            alpha_store = np.empty(
+                (block_len, batch, trellis.num_states), dtype=np.float64
+            )
+            alpha = alpha_in
+            for k in range(block_len):
+                alpha_store[k] = alpha
+                alpha, _, _, _ = self.pmu.forward_step(alpha, branch_block[:, k])
+                alpha = self.pmu.normalize(alpha)
+            alpha_in = alpha
+
+            # Backward metrics at the end of the block: exact for the final
+            # block of a terminated packet, provisional (seeded from an
+            # uncertain state over the next block) otherwise.
+            if t1 == steps:
+                beta = self._terminal_beta(batch)
+            else:
+                beta = self._provisional_beta(soft, t1, min(t1 + n, steps), batch)
+
+            # Backward sweep through the block, emitting LLRs as we go.
+            for k in range(block_len - 1, -1, -1):
+                branch = branch_block[:, k]  # (batch, states, 2)
+                combined = (
+                    alpha_store[k][:, :, np.newaxis]
+                    + branch
+                    + beta[:, trellis.next_state]
+                )
+                best_one = np.max(combined[:, :, 1], axis=1)
+                best_zero = np.max(combined[:, :, 0], axis=1)
+                llr[:, t0 + k] = best_one - best_zero
+                beta = self.pmu.normalize(self.pmu.backward_step(beta, branch))
+
+        bits = (llr > 0).astype(np.uint8)
+        return DecodeResult(bits=bits[:, :num_data_bits], llr=llr[:, :num_data_bits])

@@ -1,0 +1,167 @@
+"""Convolutional encoder and puncturing for the 802.11a/g mother code.
+
+802.11a/g uses the industry-standard constraint-length-7, rate-1/2
+convolutional code with generator polynomials 133 and 171 (octal).  Higher
+rates (2/3, 3/4) are obtained by *puncturing*: deleting coded bits according
+to a fixed pattern before transmission and re-inserting neutral soft values
+("erasures") at the receiver before decoding.
+
+The encoder here is the reference implementation used by every decoder test
+in the repository; the decoders themselves (Viterbi, SOVA, BCJR) share the
+trellis built in :mod:`repro.phy.trellis`.
+"""
+
+import numpy as np
+
+from repro.phy.params import RATE_1_2
+
+
+class ConvolutionalCode:
+    """A binary convolutional code defined by its generator polynomials.
+
+    Parameters
+    ----------
+    constraint_length:
+        Number of input bits that influence each output (shift register
+        length + 1).  802.11a/g uses 7.
+    generators:
+        Iterable of generator polynomials given as integers whose binary
+        expansion selects taps, most significant bit first (the conventional
+        octal notation: 0o133, 0o171).
+    """
+
+    def __init__(self, constraint_length=7, generators=(0o133, 0o171)):
+        if constraint_length < 2:
+            raise ValueError("constraint length must be at least 2")
+        self.constraint_length = int(constraint_length)
+        self.generators = tuple(int(g) for g in generators)
+        if not self.generators:
+            raise ValueError("at least one generator polynomial is required")
+        limit = 1 << self.constraint_length
+        for generator in self.generators:
+            if not 0 < generator < limit:
+                raise ValueError(
+                    "generator 0o%o does not fit constraint length %d"
+                    % (generator, self.constraint_length)
+                )
+        #: Number of memory bits (states = 2**memory).
+        self.memory = self.constraint_length - 1
+        #: Number of coded bits produced per input bit.
+        self.outputs_per_input = len(self.generators)
+
+    @property
+    def num_states(self):
+        """Number of encoder states."""
+        return 1 << self.memory
+
+    def encode(self, bits, terminate=True):
+        """Encode ``bits`` starting from the all-zero state.
+
+        Parameters
+        ----------
+        bits:
+            Input bit array (0/1).
+        terminate:
+            When ``True`` (the 802.11 behaviour) ``memory`` zero tail bits
+            are appended so the encoder returns to the all-zero state, which
+            lets the decoder anchor both ends of the trellis.
+
+        Returns
+        -------
+        numpy.ndarray
+            Coded bits, ``outputs_per_input`` per input bit (including tail
+            bits when terminated), interleaved output-first:
+            ``A0 B0 A1 B1 ...`` for two generators.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if terminate:
+            bits = np.concatenate([bits, np.zeros(self.memory, dtype=np.uint8)])
+        # The encoder is a feed-forward shift register, so each output stream
+        # is simply the XOR of delayed copies of the input selected by the
+        # generator taps -- which vectorises to a handful of shifted XORs.
+        padded = np.concatenate([np.zeros(self.memory, dtype=np.uint8), bits])
+        coded = np.empty(bits.size * self.outputs_per_input, dtype=np.uint8)
+        for j, generator in enumerate(self.generators):
+            stream = np.zeros(bits.size, dtype=np.uint8)
+            for delay in range(self.constraint_length):
+                if (generator >> delay) & 1:
+                    start = self.memory - delay
+                    stream ^= padded[start : start + bits.size]
+            coded[j :: self.outputs_per_input] = stream
+        return coded
+
+    def __repr__(self):
+        return "ConvolutionalCode(K=%d, generators=%s)" % (
+            self.constraint_length,
+            "/".join("0o%o" % g for g in self.generators),
+        )
+
+
+#: The 802.11a/g mother code: K=7, generators 133/171 octal, rate 1/2.
+IEEE80211_CODE = ConvolutionalCode(7, (0o133, 0o171))
+
+
+def puncture(coded_bits, code_rate):
+    """Delete coded bits according to ``code_rate``'s puncture pattern.
+
+    ``coded_bits`` may be a bit array (transmit side) or a soft-value array;
+    only the kept positions are returned, in order.
+    """
+    coded_bits = np.asarray(coded_bits)
+    pattern = np.asarray(code_rate.puncture_pattern, dtype=bool)
+    if pattern.all():
+        return coded_bits.copy()
+    repeats = int(np.ceil(coded_bits.size / pattern.size))
+    mask = np.tile(pattern, repeats)[: coded_bits.size]
+    return coded_bits[mask]
+
+
+def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
+    """Re-insert erasures where the transmitter punctured coded bits.
+
+    Parameters
+    ----------
+    soft_bits:
+        Received soft values for the transmitted (kept) positions.
+    code_rate:
+        The :class:`~repro.phy.params.CodeRate` used by the transmitter.
+    total_length:
+        Length of the un-punctured coded stream (2x the number of trellis
+        steps for the rate-1/2 mother code).
+    erasure:
+        Soft value inserted at punctured positions.  Zero means "no
+        information", which is the correct neutral value for LLR-style soft
+        inputs.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float array of length ``total_length``.
+    """
+    soft_bits = np.asarray(soft_bits, dtype=float)
+    pattern = np.asarray(code_rate.puncture_pattern, dtype=bool)
+    repeats = int(np.ceil(total_length / pattern.size))
+    mask = np.tile(pattern, repeats)[:total_length]
+    expected = int(mask.sum())
+    if soft_bits.size != expected:
+        raise ValueError(
+            "depuncture expected %d soft values for length %d at rate %s, got %d"
+            % (expected, total_length, code_rate, soft_bits.size)
+        )
+    full = np.full(total_length, float(erasure))
+    full[mask] = soft_bits
+    return full
+
+
+def punctured_length(num_input_bits, code_rate, outputs_per_input=2):
+    """Number of transmitted coded bits for ``num_input_bits`` trellis steps."""
+    total = num_input_bits * outputs_per_input
+    pattern = np.asarray(code_rate.puncture_pattern, dtype=bool)
+    repeats = int(np.ceil(total / pattern.size))
+    mask = np.tile(pattern, repeats)[:total]
+    return int(mask.sum())
+
+
+def coded_length_for_rate(num_data_bits, code_rate=RATE_1_2, memory=6):
+    """Transmitted coded bits for a terminated packet of ``num_data_bits``."""
+    return punctured_length(num_data_bits + memory, code_rate)

@@ -1,0 +1,102 @@
+"""Common interface and result type shared by the convolutional decoders.
+
+Three decoders are provided, matching the paper's synthesis study:
+
+* :class:`~repro.phy.viterbi.ViterbiDecoder` -- hard-output Viterbi, the
+  baseline used in commodity 802.11a/g basebands.
+* :class:`~repro.phy.sova.SovaDecoder` -- soft-output Viterbi (SOVA) with
+  the two-traceback architecture of Figure 3.
+* :class:`~repro.phy.bcjr.BcjrDecoder` -- sliding-window max-log BCJR
+  (SW-BCJR) with the provisional backward recursion of Figure 4.
+
+All decoders consume depunctured soft values (LLRs, positive = bit 1) for a
+*terminated* packet -- ``num_data_bits`` information bits followed by the
+encoder's tail -- and produce hard decisions plus, for the soft-output
+decoders, a per-bit confidence (the "SoftPHY hint").
+"""
+
+import numpy as np
+
+
+class DecodeResult:
+    """Output of a convolutional decoder for a batch of packets.
+
+    Attributes
+    ----------
+    bits:
+        ``(batch, num_data_bits)`` hard decisions (0/1).
+    llr:
+        ``(batch, num_data_bits)`` signed log-likelihood ratios in the
+        decoder's own scale (positive = bit 1); for the hard-output Viterbi
+        decoder this is ``None``.
+    """
+
+    def __init__(self, bits, llr=None):
+        self.bits = np.asarray(bits, dtype=np.uint8)
+        self.llr = None if llr is None else np.asarray(llr, dtype=np.float64)
+
+    @property
+    def hints(self):
+        """Unsigned SoftPHY hints: the magnitude of the per-bit LLR.
+
+        The paper's BER estimator keys its lookup tables on this magnitude
+        (equation 4); ``None`` for hard-output decoding.
+        """
+        if self.llr is None:
+            return None
+        return np.abs(self.llr)
+
+    @property
+    def num_packets(self):
+        return self.bits.shape[0]
+
+    @property
+    def num_bits(self):
+        return self.bits.shape[1]
+
+    def __repr__(self):
+        return "DecodeResult(packets=%d, bits=%d, soft=%s)" % (
+            self.num_packets,
+            self.num_bits,
+            self.llr is not None,
+        )
+
+
+class ConvolutionalDecoder:
+    """Abstract base class for the three decoder implementations."""
+
+    #: Short name used by the plug-n-play registry and reports.
+    name = "decoder"
+
+    #: Whether the decoder emits per-bit LLRs (SoftPHY support).
+    produces_soft_output = False
+
+    def decode(self, soft, num_data_bits):
+        """Decode a batch of packets.
+
+        Parameters
+        ----------
+        soft:
+            Depunctured soft values.  Either a 1-D array for a single packet
+            or a ``(batch, length)`` array; the length must equal
+            ``2 * (num_data_bits + memory)`` for the rate-1/2 mother code.
+        num_data_bits:
+            Number of information bits per packet (tail excluded).
+
+        Returns
+        -------
+        DecodeResult
+        """
+        raise NotImplementedError
+
+    def _check_length(self, steps, num_data_bits, memory):
+        expected = num_data_bits + memory
+        if steps != expected:
+            raise ValueError(
+                "%s: soft input has %d trellis steps but %d were expected "
+                "(%d data bits + %d tail bits)"
+                % (type(self).__name__, steps, expected, num_data_bits, memory)
+            )
+
+    def __repr__(self):
+        return "%s()" % type(self).__name__

@@ -1,0 +1,152 @@
+"""Soft demapper based on the Tosato/Bisaglia simplified expressions.
+
+The demapper converts each received subcarrier symbol back into one soft
+value (an LLR, equation 2 in the paper) per coded bit.  Following Tosato and
+Bisaglia the per-axis expressions reduce to piecewise-linear functions of the
+received coordinate that need no multiplications or divisions:
+
+=========  ============================================
+bit        soft value (y expressed in integer level units)
+=========  ============================================
+sign bit   ``y``
+16-QAM b1  ``2 - |y|``
+64-QAM b1  ``4 - |y|``
+64-QAM b2  ``2 - |4 - |y||``
+=========  ============================================
+
+The *true* LLR additionally carries the factor ``Es/N0 * S_modulation``
+(equation 3).  The paper's hardware demapper drops that factor because hard
+decisions only depend on relative ordering, which is exactly what lets the
+decoder datapath shrink to 3-8 bits -- but it is also why the BER estimator
+downstream must reintroduce the scaling (equation 5).  The ``scaled``
+parameter selects between the two behaviours, and ``output_format`` applies
+the hardware quantisation.
+"""
+
+import numpy as np
+
+from repro.phy.mapper import _axis_bits
+from repro.phy.params import BPSK, MODULATIONS, QAM16, QAM64, QPSK
+
+#: Per-modulation scaling constant ``S_modulation`` relating the unscaled
+#: distance metric to the true LLR under the max-log approximation: the LLR
+#: of the sign bit is ``4 * Es/N0 * K_mod^2 * (levels distance)``; expressing
+#: the metric in integer level units folds ``K_mod^2`` into this constant.
+MODULATION_SCALE = {
+    "BPSK": 4.0,
+    "QPSK": 4.0 / 2.0,
+    "QAM16": 4.0 / 10.0,
+    "QAM64": 4.0 / 42.0,
+}
+
+
+def axis_soft_values(y, axis_bits):
+    """Simplified per-axis soft values for one Gray-coded axis.
+
+    Parameters
+    ----------
+    y:
+        Received coordinate(s) in integer level units (i.e. already divided
+        by the constellation normalisation).
+    axis_bits:
+        Number of bits carried by this axis (1, 2 or 3).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``y.shape + (axis_bits,)`` with positive values
+        meaning "bit = 1 more likely".
+    """
+    y = np.asarray(y, dtype=np.float64)
+    out = np.empty(y.shape + (axis_bits,), dtype=np.float64)
+    out[..., 0] = y
+    if axis_bits >= 2:
+        distance = 4.0 if axis_bits == 3 else 2.0
+        out[..., 1] = distance - np.abs(y)
+    if axis_bits >= 3:
+        out[..., 2] = 2.0 - np.abs(4.0 - np.abs(y))
+    return out
+
+
+class Demapper:
+    """Converts equalised subcarrier symbols into per-bit soft values.
+
+    Parameters
+    ----------
+    modulation:
+        Constellation of the received symbols (object or name).
+    snr_db:
+        Signal-to-noise ratio assumed when ``scaled`` is true.  Ignored in
+        hardware mode.
+    scaled:
+        When ``True`` the output is the true LLR of equation 3 (including
+        the ``Es/N0`` and ``S_modulation`` factors).  When ``False``
+        (hardware mode, the paper's implementation) only the distance term
+        is produced.
+    output_format:
+        Optional :class:`~repro.fixedpoint.FixedPointFormat` applied to the
+        output, modelling the reduced-precision hardware datapath.
+    """
+
+    def __init__(self, modulation, snr_db=None, scaled=False, output_format=None):
+        if isinstance(modulation, str):
+            modulation = MODULATIONS[modulation]
+        self.modulation = modulation
+        self.snr_db = snr_db
+        self.scaled = scaled
+        self.output_format = output_format
+        if scaled and snr_db is None:
+            raise ValueError("a scaled demapper needs an SNR to scale by")
+        self.i_bits, self.q_bits = _axis_bits(modulation)
+
+    @property
+    def llr_scale(self):
+        """The ``Es/N0 * S_modulation`` factor applied in scaled mode."""
+        if not self.scaled:
+            return 1.0
+        snr_linear = 10.0 ** (self.snr_db / 10.0)
+        return snr_linear * MODULATION_SCALE[self.modulation.name]
+
+    def demap(self, symbols, weights=None):
+        """Demap complex symbols to soft values.
+
+        Parameters
+        ----------
+        symbols:
+            Equalised constellation symbols (complex array).
+        weights:
+            Optional per-symbol channel-state weights (for example the
+            squared fading amplitude).  Each symbol's soft values are
+            multiplied by its weight, which is how a receiver with channel
+            state information de-emphasises faded subcarriers.
+
+        Returns
+        -------
+        numpy.ndarray
+            Soft values in transmit bit order, ``bits_per_symbol`` per
+            symbol, positive meaning "bit 1".
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        scale_to_levels = 1.0 / self.modulation.normalization
+        real = symbols.real * scale_to_levels
+        imag = symbols.imag * scale_to_levels
+
+        i_soft = axis_soft_values(real, self.i_bits)
+        if self.q_bits:
+            q_soft = axis_soft_values(imag, self.q_bits)
+            soft = np.concatenate([i_soft, q_soft], axis=-1)
+        else:
+            soft = i_soft
+
+        soft = soft * self.llr_scale
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            soft = soft * weights[..., np.newaxis]
+        soft = soft.reshape(symbols.shape[:-1] + (-1,)) if symbols.ndim > 1 else soft.reshape(-1)
+        if self.output_format is not None:
+            soft = self.output_format.quantize(soft)
+        return soft
+
+    def __repr__(self):
+        mode = "scaled" if self.scaled else "hardware"
+        return "Demapper(%s, %s)" % (self.modulation.name, mode)

@@ -1,0 +1,84 @@
+"""802.11a/g block interleaver.
+
+The interleaver shuffles the coded bits of each OFDM symbol so that adjacent
+coded bits are mapped onto non-adjacent subcarriers and alternately onto
+less- and more-significant constellation bits, which breaks up the bursty
+errors the paper lists among the channel impairments a protocol must absorb.
+
+The standard defines two permutations over the ``N_CBPS`` coded bits of one
+OFDM symbol (``N_BPSC`` = bits per subcarrier, ``s = max(N_BPSC / 2, 1)``)::
+
+    i = (N_CBPS / 16) * (k mod 16) + floor(k / 16)
+    j = s * floor(i / s) + (i + N_CBPS - floor(16 * i / N_CBPS)) mod s
+
+Bit ``k`` of the input is transmitted in position ``j``.
+"""
+
+import numpy as np
+
+
+def interleaver_permutation(coded_bits_per_symbol, bits_per_subcarrier):
+    """Return the permutation ``perm`` with ``out[perm[k]] = in[k]``.
+
+    Parameters
+    ----------
+    coded_bits_per_symbol:
+        ``N_CBPS`` -- coded bits carried by one OFDM symbol.
+    bits_per_subcarrier:
+        ``N_BPSC`` -- bits per constellation point (1, 2, 4 or 6).
+    """
+    ncbps = int(coded_bits_per_symbol)
+    nbpsc = int(bits_per_subcarrier)
+    if ncbps % 16:
+        raise ValueError("N_CBPS must be a multiple of 16, got %d" % ncbps)
+    s = max(nbpsc // 2, 1)
+    k = np.arange(ncbps)
+    i = (ncbps // 16) * (k % 16) + k // 16
+    j = s * (i // s) + (i + ncbps - (16 * i) // ncbps) % s
+    return j
+
+
+class Interleaver:
+    """Per-OFDM-symbol interleaver / deinterleaver for one PHY rate.
+
+    Parameters
+    ----------
+    phy_rate:
+        The :class:`~repro.phy.params.PhyRate` whose symbol geometry to use.
+    """
+
+    def __init__(self, phy_rate):
+        self.phy_rate = phy_rate
+        self.block_size = phy_rate.coded_bits_per_symbol
+        self.permutation = interleaver_permutation(
+            phy_rate.coded_bits_per_symbol, phy_rate.modulation.bits_per_symbol
+        )
+        self.inverse = np.argsort(self.permutation)
+
+    def _check(self, values):
+        values = np.asarray(values)
+        if values.size % self.block_size:
+            raise ValueError(
+                "interleaver input length %d is not a multiple of the symbol "
+                "size %d" % (values.size, self.block_size)
+            )
+        return values
+
+    def interleave(self, bits):
+        """Interleave a coded-bit stream (a whole number of OFDM symbols)."""
+        bits = self._check(bits)
+        blocks = bits.reshape(-1, self.block_size)
+        out = np.empty_like(blocks)
+        out[:, self.permutation] = blocks
+        return out.reshape(bits.shape)
+
+    def deinterleave(self, values):
+        """Invert :meth:`interleave`; works on bits or soft values."""
+        values = self._check(values)
+        blocks = values.reshape(-1, self.block_size)
+        out = np.empty_like(blocks)
+        out[:, self.inverse] = blocks
+        return out.reshape(values.shape)
+
+    def __repr__(self):
+        return "Interleaver(rate=%s, block=%d)" % (self.phy_rate.name, self.block_size)

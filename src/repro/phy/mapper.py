@@ -1,0 +1,100 @@
+"""Gray-coded constellation mapping for BPSK, QPSK, 16-QAM and 64-QAM.
+
+The 802.11a/g constellations are square QAM with independent Gray coding of
+the in-phase and quadrature axes and a per-constellation normalisation that
+gives every modulation unit average symbol energy (K_mod = 1, 1/sqrt(2),
+1/sqrt(10), 1/sqrt(42)).  The level tables below follow the standard's bit
+ordering: the first bit of each axis selects the sign, subsequent bits select
+the magnitude with Gray coding.
+"""
+
+import numpy as np
+
+from repro.phy.params import BPSK, MODULATIONS, QAM16, QAM64, QPSK
+
+#: Gray-coded amplitude levels per axis, indexed by the integer value of the
+#: axis bits (most significant first).
+_AXIS_LEVELS = {
+    1: np.array([-1.0, 1.0]),
+    2: np.array([-3.0, -1.0, 3.0, 1.0]),  # 00,01,10,11 -> -3,-1,+3,+1
+    3: np.array([-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0]),
+}
+# The 3-bit table realises: 000->-7 001->-5 011->-3 010->-1 110->+1 111->+3
+# 101->+5 100->+7 (indexing by the binary value of b0b1b2).
+
+
+def _axis_bits(modulation):
+    """Bits per I or Q axis for a modulation (0 for the Q axis of BPSK)."""
+    if modulation == BPSK:
+        return 1, 0
+    half = modulation.bits_per_symbol // 2
+    return half, half
+
+
+def axis_levels(num_bits):
+    """Return the Gray-coded level table for an axis with ``num_bits`` bits."""
+    try:
+        return _AXIS_LEVELS[num_bits]
+    except KeyError:
+        raise ValueError("unsupported axis width %d bits" % num_bits) from None
+
+
+class Mapper:
+    """Maps interleaved coded bits onto constellation symbols.
+
+    Parameters
+    ----------
+    modulation:
+        One of the :mod:`repro.phy.params` modulations, or its name.
+    """
+
+    def __init__(self, modulation):
+        if isinstance(modulation, str):
+            modulation = MODULATIONS[modulation]
+        self.modulation = modulation
+        self.i_bits, self.q_bits = _axis_bits(modulation)
+
+    def map(self, bits):
+        """Map a bit array onto complex symbols with unit average energy.
+
+        The bit count must be a multiple of the modulation's bits per
+        symbol.  For BPSK only the in-phase axis is used.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        bps = self.modulation.bits_per_symbol
+        if bits.size % bps:
+            raise ValueError(
+                "bit count %d is not a multiple of %d bits/symbol" % (bits.size, bps)
+            )
+        groups = bits.reshape(-1, bps)
+        i_levels = axis_levels(self.i_bits)
+        i_index = np.zeros(groups.shape[0], dtype=np.int64)
+        for b in range(self.i_bits):
+            i_index = (i_index << 1) | groups[:, b]
+        real = i_levels[i_index]
+        if self.q_bits:
+            q_levels = axis_levels(self.q_bits)
+            q_index = np.zeros(groups.shape[0], dtype=np.int64)
+            for b in range(self.q_bits):
+                q_index = (q_index << 1) | groups[:, self.i_bits + b]
+            imag = q_levels[q_index]
+        else:
+            imag = np.zeros(groups.shape[0])
+        return (real + 1j * imag) * self.modulation.normalization
+
+    def constellation(self):
+        """Return every constellation point (in bit-index order)."""
+        bps = self.modulation.bits_per_symbol
+        count = 1 << bps
+        bits = ((np.arange(count)[:, None] >> np.arange(bps - 1, -1, -1)) & 1).astype(
+            np.int64
+        )
+        return self.map(bits.reshape(-1))
+
+    def __repr__(self):
+        return "Mapper(%s)" % self.modulation.name
+
+
+def map_bits(bits, modulation):
+    """Convenience wrapper: map ``bits`` using ``modulation``."""
+    return Mapper(modulation).map(bits)

@@ -1,0 +1,142 @@
+"""OFDM modulation and demodulation (64-point FFT, 48 data subcarriers).
+
+The 802.11a/g baseband carries 48 data subcarriers and 4 pilot subcarriers
+on a 64-point FFT with a 16-sample cyclic prefix.  As in the paper's model,
+synchronisation and channel estimation are not simulated: the receiver knows
+the symbol boundaries and (for fading channels) the channel gain, so the
+demodulator simply strips the cyclic prefix, applies the FFT and extracts
+the data subcarriers.
+
+The orthonormal FFT convention is used so that adding white noise of a given
+variance in the time domain yields the same variance per subcarrier, which
+keeps the SNR definition used by the channel models exact.
+"""
+
+import numpy as np
+
+from repro.phy.params import CYCLIC_PREFIX, FFT_SIZE, NUM_DATA_SUBCARRIERS
+
+#: Subcarrier indices (relative to DC) carrying pilots.
+PILOT_SUBCARRIERS = (-21, -7, 7, 21)
+
+#: Fixed pilot values (the standard modulates the last pilot by a polarity
+#: sequence; a fixed pattern is sufficient for a model without sync).
+PILOT_VALUES = (1.0, 1.0, 1.0, -1.0)
+
+#: Subcarrier indices carrying data, in transmission order.
+DATA_SUBCARRIERS = tuple(
+    k
+    for k in list(range(-26, 0)) + list(range(1, 27))
+    if k not in PILOT_SUBCARRIERS
+)
+
+
+def _fft_bin(subcarrier):
+    """Map a signed subcarrier index to a numpy FFT bin."""
+    return subcarrier % FFT_SIZE
+
+
+_DATA_BINS = np.array([_fft_bin(k) for k in DATA_SUBCARRIERS])
+_PILOT_BINS = np.array([_fft_bin(k) for k in PILOT_SUBCARRIERS])
+
+
+class OfdmModulator:
+    """Maps constellation symbols onto OFDM time-domain samples."""
+
+    def __init__(self, cyclic_prefix=CYCLIC_PREFIX):
+        if not 0 <= cyclic_prefix < FFT_SIZE:
+            raise ValueError("cyclic prefix must be in [0, %d)" % FFT_SIZE)
+        self.cyclic_prefix = int(cyclic_prefix)
+
+    @property
+    def samples_per_symbol(self):
+        """Time samples per OFDM symbol including the cyclic prefix."""
+        return FFT_SIZE + self.cyclic_prefix
+
+    def modulate(self, symbols):
+        """Modulate constellation symbols into time-domain samples.
+
+        Parameters
+        ----------
+        symbols:
+            Complex array whose length is a multiple of 48 (the data
+            subcarrier count).
+
+        Returns
+        -------
+        numpy.ndarray
+            Complex time samples, ``samples_per_symbol`` per OFDM symbol.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        if symbols.size % NUM_DATA_SUBCARRIERS:
+            raise ValueError(
+                "symbol count %d is not a multiple of %d data subcarriers"
+                % (symbols.size, NUM_DATA_SUBCARRIERS)
+            )
+        blocks = symbols.reshape(-1, NUM_DATA_SUBCARRIERS)
+        spectrum = np.zeros((blocks.shape[0], FFT_SIZE), dtype=np.complex128)
+        spectrum[:, _DATA_BINS] = blocks
+        spectrum[:, _PILOT_BINS] = np.asarray(PILOT_VALUES, dtype=np.complex128)
+        time = np.fft.ifft(spectrum, axis=1, norm="ortho")
+        if self.cyclic_prefix:
+            time = np.concatenate([time[:, -self.cyclic_prefix:], time], axis=1)
+        return time.reshape(-1)
+
+
+class OfdmDemodulator:
+    """Recovers data-subcarrier symbols from OFDM time-domain samples."""
+
+    def __init__(self, cyclic_prefix=CYCLIC_PREFIX):
+        if not 0 <= cyclic_prefix < FFT_SIZE:
+            raise ValueError("cyclic prefix must be in [0, %d)" % FFT_SIZE)
+        self.cyclic_prefix = int(cyclic_prefix)
+
+    @property
+    def samples_per_symbol(self):
+        return FFT_SIZE + self.cyclic_prefix
+
+    def demodulate(self, samples, channel_gain=None):
+        """Demodulate time samples back into data-subcarrier symbols.
+
+        Parameters
+        ----------
+        samples:
+            Complex time-domain samples (a whole number of OFDM symbols).
+        channel_gain:
+            Optional complex flat-fading gain (scalar or one per OFDM
+            symbol).  When provided, the demodulator performs the ideal
+            zero-forcing equalisation the paper's receiver would perform
+            with perfect channel knowledge.
+
+        Returns
+        -------
+        numpy.ndarray
+            Equalised data-subcarrier symbols in transmission order.
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        per_symbol = self.samples_per_symbol
+        if samples.size % per_symbol:
+            raise ValueError(
+                "sample count %d is not a multiple of the OFDM symbol length %d"
+                % (samples.size, per_symbol)
+            )
+        time = samples.reshape(-1, per_symbol)[:, self.cyclic_prefix:]
+        spectrum = np.fft.fft(time, axis=1, norm="ortho")
+        data = spectrum[:, _DATA_BINS]
+        if channel_gain is not None:
+            gain = np.asarray(channel_gain, dtype=np.complex128)
+            if gain.ndim == 0:
+                data = data / gain
+            else:
+                if gain.size != data.shape[0]:
+                    raise ValueError(
+                        "need one channel gain per OFDM symbol (%d), got %d"
+                        % (data.shape[0], gain.size)
+                    )
+                data = data / gain[:, np.newaxis]
+        return data.reshape(-1)
+
+
+def num_ofdm_symbols(num_coded_bits, coded_bits_per_symbol):
+    """Number of OFDM symbols needed for ``num_coded_bits`` (with padding)."""
+    return int(np.ceil(num_coded_bits / coded_bits_per_symbol))

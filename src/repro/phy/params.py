@@ -1,0 +1,234 @@
+"""802.11a/g rate parameters: modulations, code rates and the 8-entry rate table.
+
+Figure 2 of the paper lists the eight 802.11g OFDM rates (6 to 54 Mb/s).
+Each rate is a (modulation, convolutional code rate) pair; with 48 data
+subcarriers per OFDM symbol and a 4 microsecond symbol period those pairs
+determine the coded and data bits per symbol and the nominal line rate.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+#: Number of data subcarriers in an 802.11a/g OFDM symbol.
+NUM_DATA_SUBCARRIERS = 48
+
+#: Number of pilot subcarriers.
+NUM_PILOT_SUBCARRIERS = 4
+
+#: FFT length used by 802.11a/g.
+FFT_SIZE = 64
+
+#: Cyclic-prefix length in samples.
+CYCLIC_PREFIX = 16
+
+#: OFDM symbol duration in microseconds (3.2 us useful + 0.8 us guard).
+SYMBOL_DURATION_US = 4.0
+
+
+class Modulation:
+    """A constellation used by 802.11a/g.
+
+    Parameters
+    ----------
+    name:
+        Display name (``"BPSK"``, ``"QPSK"``, ``"QAM16"``, ``"QAM64"``).
+    bits_per_symbol:
+        Bits carried by one constellation point.
+    normalization:
+        Factor that scales integer constellation coordinates to unit average
+        energy (1, 1/sqrt(2), 1/sqrt(10), 1/sqrt(42) for the four 802.11
+        constellations).
+    """
+
+    def __init__(self, name, bits_per_symbol, normalization):
+        self.name = name
+        self.bits_per_symbol = int(bits_per_symbol)
+        self.normalization = float(normalization)
+
+    def __eq__(self, other):
+        if not isinstance(other, Modulation):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __repr__(self):
+        return "Modulation(%s)" % self.name
+
+
+BPSK = Modulation("BPSK", 1, 1.0)
+QPSK = Modulation("QPSK", 2, 1.0 / np.sqrt(2.0))
+QAM16 = Modulation("QAM16", 4, 1.0 / np.sqrt(10.0))
+QAM64 = Modulation("QAM64", 6, 1.0 / np.sqrt(42.0))
+
+#: All modulations, indexed by name.
+MODULATIONS = {m.name: m for m in (BPSK, QPSK, QAM16, QAM64)}
+
+
+class CodeRate:
+    """A convolutional code rate obtained by puncturing the rate-1/2 mother code.
+
+    Parameters
+    ----------
+    numerator, denominator:
+        The code rate as a fraction (1/2, 2/3 or 3/4 for 802.11a/g).
+    puncture_pattern:
+        Boolean mask over the mother-code output (A0 B0 A1 B1 ...)
+        indicating which coded bits are transmitted.  The rate-1/2 pattern
+        keeps everything.
+    """
+
+    def __init__(self, numerator, denominator, puncture_pattern):
+        self.fraction = Fraction(numerator, denominator)
+        self.puncture_pattern = tuple(bool(keep) for keep in puncture_pattern)
+        kept = sum(self.puncture_pattern)
+        if kept == 0:
+            raise ValueError("puncture pattern must keep at least one bit")
+        # Consistency: the pattern spans `numerator` input bits of the
+        # rate-1/2 mother code (2*numerator coded bits) and keeps
+        # `denominator` of them... actually keeps kept bits such that
+        # numerator/kept*2 == fraction; validated numerically below.
+        inputs = len(self.puncture_pattern) // 2
+        if Fraction(inputs, kept) != self.fraction:
+            raise ValueError(
+                "puncture pattern %r does not realise rate %s"
+                % (puncture_pattern, self.fraction)
+            )
+
+    @property
+    def numerator(self):
+        return self.fraction.numerator
+
+    @property
+    def denominator(self):
+        return self.fraction.denominator
+
+    def __float__(self):
+        return float(self.fraction)
+
+    def __eq__(self, other):
+        if not isinstance(other, CodeRate):
+            return NotImplemented
+        return self.fraction == other.fraction
+
+    def __hash__(self):
+        return hash(self.fraction)
+
+    def __repr__(self):
+        return "CodeRate(%d/%d)" % (self.fraction.numerator, self.fraction.denominator)
+
+
+#: Rate 1/2: no puncturing (pattern over one input bit / two coded bits).
+RATE_1_2 = CodeRate(1, 2, (True, True))
+
+#: Rate 2/3: 802.11a pattern over 2 input bits (4 mother bits, keep 3).
+RATE_2_3 = CodeRate(2, 3, (True, True, True, False))
+
+#: Rate 3/4: 802.11a pattern over 3 input bits (6 mother bits, keep 4).
+RATE_3_4 = CodeRate(3, 4, (True, True, True, False, False, True))
+
+#: All code rates, indexed by "n/d" string.
+CODE_RATES = {"1/2": RATE_1_2, "2/3": RATE_2_3, "3/4": RATE_3_4}
+
+
+class PhyRate:
+    """One row of the 802.11a/g rate table.
+
+    Attributes
+    ----------
+    data_rate_mbps:
+        Nominal line rate (6 to 54 Mb/s).
+    modulation:
+        The :class:`Modulation` used on each data subcarrier.
+    code_rate:
+        The :class:`CodeRate` of the punctured convolutional code.
+    coded_bits_per_symbol:
+        N_CBPS -- coded bits carried per OFDM symbol.
+    data_bits_per_symbol:
+        N_DBPS -- information bits carried per OFDM symbol.
+    """
+
+    def __init__(self, data_rate_mbps, modulation, code_rate):
+        self.data_rate_mbps = float(data_rate_mbps)
+        self.modulation = modulation
+        self.code_rate = code_rate
+        self.coded_bits_per_symbol = NUM_DATA_SUBCARRIERS * modulation.bits_per_symbol
+        data_bits = Fraction(self.coded_bits_per_symbol) * code_rate.fraction
+        if data_bits.denominator != 1:
+            raise ValueError(
+                "rate %s with %s does not yield an integer N_DBPS"
+                % (code_rate, modulation)
+            )
+        self.data_bits_per_symbol = int(data_bits)
+
+    @property
+    def name(self):
+        """Short name such as ``"QAM16 3/4"``."""
+        return "%s %d/%d" % (
+            self.modulation.name,
+            self.code_rate.numerator,
+            self.code_rate.denominator,
+        )
+
+    @property
+    def line_rate_mbps(self):
+        """Nominal line rate implied by N_DBPS and the 4 us symbol time."""
+        return self.data_bits_per_symbol / SYMBOL_DURATION_US
+
+    def __eq__(self, other):
+        if not isinstance(other, PhyRate):
+            return NotImplemented
+        return (
+            self.modulation == other.modulation and self.code_rate == other.code_rate
+        )
+
+    def __hash__(self):
+        return hash((self.modulation, self.code_rate))
+
+    def __repr__(self):
+        return "PhyRate(%s, %.0f Mb/s)" % (self.name, self.data_rate_mbps)
+
+
+#: The eight 802.11a/g rates, in the order of the paper's Figure 2.
+RATE_TABLE = (
+    PhyRate(6, BPSK, RATE_1_2),
+    PhyRate(9, BPSK, RATE_3_4),
+    PhyRate(12, QPSK, RATE_1_2),
+    PhyRate(18, QPSK, RATE_3_4),
+    PhyRate(24, QAM16, RATE_1_2),
+    PhyRate(36, QAM16, RATE_3_4),
+    PhyRate(48, QAM64, RATE_2_3),
+    PhyRate(54, QAM64, RATE_3_4),
+)
+
+
+def rate_by_mbps(data_rate_mbps):
+    """Return the :class:`PhyRate` with the given nominal rate in Mb/s."""
+    for rate in RATE_TABLE:
+        if rate.data_rate_mbps == float(data_rate_mbps):
+            return rate
+    raise KeyError(
+        "no 802.11a/g rate at %r Mb/s (valid: %s)"
+        % (data_rate_mbps, ", ".join(str(int(r.data_rate_mbps)) for r in RATE_TABLE))
+    )
+
+
+def rate_by_name(name):
+    """Return the :class:`PhyRate` whose :attr:`PhyRate.name` matches ``name``."""
+    for rate in RATE_TABLE:
+        if rate.name == name:
+            return rate
+    raise KeyError(
+        "no 802.11a/g rate named %r (valid: %s)"
+        % (name, ", ".join(r.name for r in RATE_TABLE))
+    )
+
+
+def rate_index(rate):
+    """Return the position of ``rate`` in :data:`RATE_TABLE` (0 = slowest)."""
+    for index, candidate in enumerate(RATE_TABLE):
+        if candidate == rate:
+            return index
+    raise KeyError("rate %r is not in the 802.11a/g rate table" % (rate,))

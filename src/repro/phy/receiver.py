@@ -1,0 +1,208 @@
+"""The 802.11a/g receive pipeline.
+
+The receiver mirrors the transmit chain of Figure 1: OFDM demodulation, soft
+demapping, deinterleaving, depuncturing, soft-decision decoding and
+descrambling.  The decoder is pluggable -- hard Viterbi, SOVA or SW-BCJR --
+which is the axis the paper's case study explores.
+
+Two call styles are offered:
+
+* :meth:`Receiver.receive` processes one packet end to end.
+* :meth:`Receiver.front_end` plus :meth:`Receiver.decode_batch` split the
+  per-packet front end (cheap, vectorised per packet) from the trellis
+  decode (expensive, vectorised across a batch of packets), which is how the
+  BER experiments push millions of bits through the pure-Python decoders in
+  reasonable time.
+"""
+
+import numpy as np
+
+from repro.phy.bcjr import BcjrDecoder
+from repro.phy.convolutional import IEEE80211_CODE, depuncture
+from repro.phy.decoder_base import ConvolutionalDecoder
+from repro.phy.demapper import Demapper
+from repro.phy.interleaver import Interleaver
+from repro.phy.ofdm import OfdmDemodulator
+from repro.phy.scrambler import descramble
+from repro.phy.sova import SovaDecoder
+from repro.phy.transmitter import FrameGeometry
+from repro.phy.viterbi import ViterbiDecoder
+
+#: Decoder classes known to the receiver, keyed by their registry name.
+DECODER_CLASSES = {
+    ViterbiDecoder.name: ViterbiDecoder,
+    SovaDecoder.name: SovaDecoder,
+    BcjrDecoder.name: BcjrDecoder,
+}
+
+
+class ReceiveResult:
+    """Output of the receive chain for one packet (or a batch).
+
+    Attributes
+    ----------
+    bits:
+        Decoded, descrambled payload bits; shape ``(num_data_bits,)`` for a
+        single packet or ``(batch, num_data_bits)``.
+    llr:
+        Per-bit signed LLRs from the decoder (``None`` for hard Viterbi).
+        The sign refers to the *scrambled* bit value; the magnitude -- the
+        SoftPHY hint -- is unaffected by descrambling.
+    """
+
+    def __init__(self, bits, llr=None):
+        self.bits = bits
+        self.llr = llr
+
+    @property
+    def hints(self):
+        """Unsigned SoftPHY hints (LLR magnitudes), or ``None``."""
+        if self.llr is None:
+            return None
+        return np.abs(self.llr)
+
+    def __repr__(self):
+        return "ReceiveResult(bits=%s, soft=%s)" % (
+            getattr(self.bits, "shape", None),
+            self.llr is not None,
+        )
+
+
+def make_decoder(decoder, **kwargs):
+    """Build a decoder from a name, class or ready instance."""
+    if isinstance(decoder, ConvolutionalDecoder):
+        return decoder
+    if isinstance(decoder, type) and issubclass(decoder, ConvolutionalDecoder):
+        return decoder(**kwargs)
+    try:
+        cls = DECODER_CLASSES[decoder]
+    except (KeyError, TypeError):
+        raise ValueError(
+            "unknown decoder %r (expected one of %s, a decoder class or an "
+            "instance)" % (decoder, ", ".join(sorted(DECODER_CLASSES)))
+        ) from None
+    return cls(**kwargs)
+
+
+class Receiver:
+    """Full 802.11a/g receive chain for one PHY rate.
+
+    Parameters
+    ----------
+    phy_rate:
+        The :class:`~repro.phy.params.PhyRate` the transmitter used.
+    decoder:
+        Decoder name (``"viterbi"``, ``"sova"``, ``"bcjr"``), class or
+        instance.
+    scrambler_seed:
+        Must match the transmitter's seed.
+    demapper_scaled:
+        Forwarded to :class:`~repro.phy.demapper.Demapper`: ``False`` is the
+        paper's hardware demapper (no SNR/modulation scaling).
+    snr_db:
+        SNR assumed by a scaled demapper.
+    llr_format:
+        Optional fixed-point format applied to the demapper output,
+        modelling the narrow hardware datapath.
+    """
+
+    def __init__(
+        self,
+        phy_rate,
+        decoder="viterbi",
+        scrambler_seed=0x7F,
+        demapper_scaled=False,
+        snr_db=None,
+        llr_format=None,
+        code=IEEE80211_CODE,
+    ):
+        self.phy_rate = phy_rate
+        self.scrambler_seed = scrambler_seed
+        self.code = code
+        self.decoder = make_decoder(decoder)
+        self.demapper = Demapper(
+            phy_rate.modulation,
+            snr_db=snr_db,
+            scaled=demapper_scaled,
+            output_format=llr_format,
+        )
+        self.interleaver = Interleaver(phy_rate)
+        self.demodulator = OfdmDemodulator()
+
+    def geometry(self, num_data_bits):
+        """Frame geometry (must match the transmitter's)."""
+        return FrameGeometry(self.phy_rate, num_data_bits, code=self.code)
+
+    # ------------------------------------------------------------------ #
+    # Front end: everything before the trellis decoder
+    # ------------------------------------------------------------------ #
+    def front_end(self, samples, num_data_bits, channel_gain=None, csi_weights=None):
+        """Demodulate, demap, deinterleave and depuncture one packet.
+
+        Parameters
+        ----------
+        samples:
+            Received complex baseband samples for the frame.
+        num_data_bits:
+            Payload size the transmitter used (known to the receiver via
+            the PLCP header, which is not modelled).
+        channel_gain:
+            Optional flat-fading gain for ideal equalisation.
+        csi_weights:
+            Optional per-OFDM-symbol weights applied to the soft values
+            (channel-state information).
+
+        Returns
+        -------
+        numpy.ndarray
+            Depunctured soft values ready for a trellis decoder, length
+            ``2 * (num_data_bits + memory)``.
+        """
+        geometry = self.geometry(num_data_bits)
+        symbols = self.demodulator.demodulate(samples, channel_gain=channel_gain)
+        weights = None
+        if csi_weights is not None:
+            weights = np.repeat(
+                np.asarray(csi_weights, dtype=np.float64), 48
+            )[: symbols.size]
+        soft = self.demapper.demap(symbols, weights=weights)
+        deinterleaved = self.interleaver.deinterleave(soft)
+        transmitted = deinterleaved[: geometry.coded_bits]
+        return depuncture(
+            transmitted, self.phy_rate.code_rate, geometry.unpunctured_bits
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def decode_batch(self, soft_batch, num_data_bits):
+        """Decode a ``(batch, length)`` array of depunctured soft values."""
+        result = self.decoder.decode(soft_batch, num_data_bits)
+        descrambled = np.vstack(
+            [descramble(row, seed=self.scrambler_seed) for row in result.bits]
+        )
+        return ReceiveResult(bits=descrambled, llr=result.llr)
+
+    def receive(self, samples, num_data_bits, channel_gain=None, csi_weights=None):
+        """Process one packet end to end."""
+        soft = self.front_end(
+            samples,
+            num_data_bits,
+            channel_gain=channel_gain,
+            csi_weights=csi_weights,
+        )
+        batch = self.decode_batch(soft[np.newaxis, :], num_data_bits)
+        llr = None if batch.llr is None else batch.llr[0]
+        return ReceiveResult(bits=batch.bits[0], llr=llr)
+
+    def __repr__(self):
+        return "Receiver(rate=%s, decoder=%s)" % (
+            self.phy_rate.name,
+            self.decoder.name,
+        )
+
+
+def receive(samples, phy_rate, num_data_bits, decoder="viterbi", **kwargs):
+    """Convenience wrapper: receive one packet."""
+    receiver = Receiver(phy_rate, decoder=decoder, **kwargs)
+    return receiver.receive(samples, num_data_bits)

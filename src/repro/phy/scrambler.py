@@ -1,0 +1,67 @@
+"""802.11 data scrambler.
+
+802.11a/g scrambles the payload with the length-127 sequence produced by the
+polynomial x^7 + x^4 + 1 so that long runs of identical bits do not bias the
+transmit spectrum.  Scrambling is an involution (XOR with a keystream), so
+the same function descrambles at the receiver.
+"""
+
+import numpy as np
+
+
+def scrambler_sequence(length, seed=0x7F):
+    """Return ``length`` bits of the 802.11 scrambler keystream.
+
+    Parameters
+    ----------
+    length:
+        Number of keystream bits to generate.
+    seed:
+        Initial 7-bit shift-register state; must be non-zero.  802.11
+        transmitters pick a pseudo-random non-zero seed per frame; the
+        default all-ones state matches the reference test vectors.
+    """
+    if not 1 <= seed <= 0x7F:
+        raise ValueError("scrambler seed must be a non-zero 7-bit value")
+    # The generator has period 127 for any non-zero seed, so one period is
+    # computed bit-by-bit and then tiled to the requested length.
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x^1 ... state[6] = x^7
+    period = np.empty(127, dtype=np.uint8)
+    for i in range(127):
+        feedback = state[6] ^ state[3]  # x^7 XOR x^4
+        period[i] = feedback
+        state = [feedback] + state[:6]
+    if length <= 127:
+        return period[:length].copy()
+    repeats = int(np.ceil(length / 127))
+    return np.tile(period, repeats)[:length]
+
+
+def scramble(bits, seed=0x7F):
+    """Scramble (or descramble) a bit array with the 802.11 keystream."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    keystream = scrambler_sequence(bits.size, seed=seed)
+    return np.bitwise_xor(bits, keystream)
+
+
+#: Descrambling is the same XOR with the same keystream.
+descramble = scramble
+
+
+class Scrambler:
+    """Object form of the scrambler, for use as a pipeline stage.
+
+    The object keeps its seed so that a transmitter and receiver built from
+    the same configuration agree on the keystream.
+    """
+
+    def __init__(self, seed=0x7F):
+        if not 1 <= seed <= 0x7F:
+            raise ValueError("scrambler seed must be a non-zero 7-bit value")
+        self.seed = seed
+
+    def __call__(self, bits):
+        return scramble(bits, seed=self.seed)
+
+    def __repr__(self):
+        return "Scrambler(seed=0x%02X)" % self.seed

@@ -1,0 +1,139 @@
+"""The 802.11a/g transmit pipeline.
+
+The transmitter chains the blocks on the left-hand side of the paper's
+Figure 1: scrambler, convolutional encoder (with termination tail),
+puncturer, pad-to-symbol, interleaver, constellation mapper and OFDM
+modulator.  The :class:`Transmitter` object applies the whole chain to one
+packet; :class:`FrameGeometry` records every intermediate length so the
+receiver (and the tests) can reconstruct exactly which transmitted positions
+carry payload, tail and padding.
+"""
+
+import numpy as np
+
+from repro.phy.convolutional import IEEE80211_CODE, punctured_length, puncture
+from repro.phy.interleaver import Interleaver
+from repro.phy.mapper import Mapper
+from repro.phy.ofdm import OfdmModulator
+from repro.phy.scrambler import scramble
+
+
+class FrameGeometry:
+    """Derived lengths for a packet of ``num_data_bits`` at a given rate.
+
+    Attributes
+    ----------
+    num_data_bits:
+        Payload bits in the packet.
+    num_trellis_steps:
+        Payload plus the encoder's termination tail.
+    coded_bits:
+        Punctured coded bits actually transmitted (before padding).
+    padded_bits:
+        Coded bits after padding up to a whole number of OFDM symbols.
+    num_symbols:
+        OFDM symbols in the frame.
+    num_samples:
+        Complex time-domain samples (including cyclic prefixes).
+    """
+
+    def __init__(self, phy_rate, num_data_bits, code=IEEE80211_CODE, cyclic_prefix=16):
+        if num_data_bits < 1:
+            raise ValueError("a packet needs at least one data bit")
+        self.phy_rate = phy_rate
+        self.num_data_bits = int(num_data_bits)
+        self.num_trellis_steps = self.num_data_bits + code.memory
+        self.coded_bits = punctured_length(self.num_trellis_steps, phy_rate.code_rate)
+        ncbps = phy_rate.coded_bits_per_symbol
+        self.num_symbols = int(np.ceil(self.coded_bits / ncbps))
+        self.padded_bits = self.num_symbols * ncbps
+        self.pad_bits = self.padded_bits - self.coded_bits
+        self.num_samples = self.num_symbols * (64 + cyclic_prefix)
+        self.unpunctured_bits = self.num_trellis_steps * code.outputs_per_input
+
+    @property
+    def duration_us(self):
+        """On-air duration of the frame at 4 us per OFDM symbol."""
+        return self.num_symbols * 4.0
+
+    def __repr__(self):
+        return "FrameGeometry(rate=%s, data=%d, symbols=%d)" % (
+            self.phy_rate.name,
+            self.num_data_bits,
+            self.num_symbols,
+        )
+
+
+class Transmitter:
+    """Full 802.11a/g transmit chain for one PHY rate.
+
+    Parameters
+    ----------
+    phy_rate:
+        The :class:`~repro.phy.params.PhyRate` to transmit at.
+    scrambler_seed:
+        Non-zero 7-bit scrambler seed shared with the receiver.
+    code:
+        Convolutional mother code (the 802.11 K=7 code by default).
+    """
+
+    def __init__(self, phy_rate, scrambler_seed=0x7F, code=IEEE80211_CODE):
+        self.phy_rate = phy_rate
+        self.scrambler_seed = scrambler_seed
+        self.code = code
+        self.interleaver = Interleaver(phy_rate)
+        self.mapper = Mapper(phy_rate.modulation)
+        self.modulator = OfdmModulator()
+
+    def geometry(self, num_data_bits):
+        """Frame geometry for a packet of ``num_data_bits``."""
+        return FrameGeometry(self.phy_rate, num_data_bits, code=self.code)
+
+    # ------------------------------------------------------------------ #
+    # Individual stages (exposed for the LI pipeline wrappers and tests)
+    # ------------------------------------------------------------------ #
+    def scramble(self, bits):
+        """Scramble the payload bits."""
+        return scramble(np.asarray(bits, dtype=np.uint8), seed=self.scrambler_seed)
+
+    def encode(self, scrambled_bits):
+        """Convolutionally encode (terminated) and puncture."""
+        coded = self.code.encode(scrambled_bits, terminate=True)
+        return puncture(coded, self.phy_rate.code_rate)
+
+    def pad(self, coded_bits):
+        """Zero-pad the coded stream to a whole number of OFDM symbols."""
+        ncbps = self.phy_rate.coded_bits_per_symbol
+        remainder = coded_bits.size % ncbps
+        if remainder == 0:
+            return np.asarray(coded_bits, dtype=np.uint8)
+        pad = np.zeros(ncbps - remainder, dtype=np.uint8)
+        return np.concatenate([np.asarray(coded_bits, dtype=np.uint8), pad])
+
+    def map_symbols(self, interleaved_bits):
+        """Map interleaved coded bits onto constellation symbols."""
+        return self.mapper.map(interleaved_bits)
+
+    # ------------------------------------------------------------------ #
+    # Whole-packet transmit
+    # ------------------------------------------------------------------ #
+    def transmit(self, bits):
+        """Run the whole transmit chain on a payload bit array.
+
+        Returns the complex baseband samples of the frame.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        scrambled = self.scramble(bits)
+        coded = self.encode(scrambled)
+        padded = self.pad(coded)
+        interleaved = self.interleaver.interleave(padded)
+        symbols = self.map_symbols(interleaved)
+        return self.modulator.modulate(symbols)
+
+    def __repr__(self):
+        return "Transmitter(rate=%s)" % self.phy_rate.name
+
+
+def transmit(bits, phy_rate, scrambler_seed=0x7F):
+    """Convenience wrapper: transmit ``bits`` at ``phy_rate``."""
+    return Transmitter(phy_rate, scrambler_seed=scrambler_seed).transmit(bits)

@@ -1,0 +1,264 @@
+"""Trellis construction and the shared BMU / PMU decoder kernels.
+
+The paper points out that SOVA and BCJR share their two computational
+kernels: the *branch metric unit* (BMU), which scores how well the received
+soft values match the coded bits expected on each trellis transition, and
+the *path metric unit* (PMU), which performs the add-compare-select (ACS)
+recursion over those branch metrics.  This module builds the trellis of a
+:class:`~repro.phy.convolutional.ConvolutionalCode` once and provides both
+kernels as batched numpy operations; :mod:`repro.phy.viterbi`,
+:mod:`repro.phy.sova` and :mod:`repro.phy.bcjr` are all written on top of
+them, mirroring the hardware sharing in the paper.
+
+Conventions
+-----------
+* Soft inputs are log-likelihood ratios with the sign convention
+  ``positive = bit 1 more likely`` (the demapper's definition, equation 2 of
+  the paper).
+* Branch metrics are *correlations*: larger is better.  The metric of a
+  transition whose expected coded bits are ``c_j`` given soft inputs
+  ``l_j`` is ``0.5 * sum_j (2 c_j - 1) l_j``; in the max-log domain path
+  metrics are sums of branch metrics and decisions maximise the total.
+* All kernels operate on a batch dimension so that many packets can be
+  decoded in one pass, which is how the Python reproduction recovers some of
+  the throughput the paper gets from the FPGA.
+"""
+
+import numpy as np
+
+from repro.phy.convolutional import IEEE80211_CODE
+
+
+class Trellis:
+    """State-transition structure of a binary-input convolutional code.
+
+    Parameters
+    ----------
+    code:
+        The :class:`~repro.phy.convolutional.ConvolutionalCode` to build the
+        trellis for.  Defaults to the 802.11a/g K=7 mother code.
+
+    Attributes
+    ----------
+    num_states:
+        Number of encoder states (64 for K=7).
+    next_state:
+        ``(num_states, 2)`` array: state reached from ``s`` on input ``b``.
+    outputs:
+        ``(num_states, 2, n_out)`` array of expected coded bits per
+        transition.
+    output_signs:
+        Same shape, with bits mapped to +/-1 (used by the BMU correlation).
+    prev_state, prev_input:
+        ``(num_states, 2)`` arrays listing, for each state, its two
+        predecessor states and the input bit that labels each incoming edge.
+    """
+
+    def __init__(self, code=IEEE80211_CODE):
+        self.code = code
+        self.num_states = code.num_states
+        self.n_out = code.outputs_per_input
+        num_states = self.num_states
+        memory_mask = num_states - 1
+        register_mask = (1 << code.constraint_length) - 1
+
+        self.next_state = np.zeros((num_states, 2), dtype=np.int64)
+        self.outputs = np.zeros((num_states, 2, self.n_out), dtype=np.uint8)
+        for state in range(num_states):
+            for bit in range(2):
+                register = ((state << 1) | bit) & register_mask
+                self.next_state[state, bit] = register & memory_mask
+                for j, generator in enumerate(code.generators):
+                    self.outputs[state, bit, j] = bin(register & generator).count("1") & 1
+        self.output_signs = self.outputs.astype(np.float64) * 2.0 - 1.0
+
+        # Predecessor tables: every state has exactly two incoming edges for
+        # a binary-input code.
+        self.prev_state = np.zeros((num_states, 2), dtype=np.int64)
+        self.prev_input = np.zeros((num_states, 2), dtype=np.int64)
+        counts = np.zeros(num_states, dtype=np.int64)
+        for state in range(num_states):
+            for bit in range(2):
+                successor = self.next_state[state, bit]
+                slot = counts[successor]
+                self.prev_state[successor, slot] = state
+                self.prev_input[successor, slot] = bit
+                counts[successor] += 1
+        if not np.all(counts == 2):
+            raise ValueError("trellis construction failed: irregular in-degree")
+
+    def __repr__(self):
+        return "Trellis(states=%d, outputs_per_input=%d)" % (
+            self.num_states,
+            self.n_out,
+        )
+
+
+#: A very negative path metric used to mark impossible states.  Chosen small
+#: enough to dominate any realistic metric sum but large enough that adding
+#: branch metrics never overflows to -inf arithmetic problems.
+NEGATIVE_INFINITY_METRIC = -1.0e12
+
+
+class BranchMetricUnit:
+    """Computes branch metrics for every transition of every trellis step.
+
+    The BMU is identical for Viterbi, SOVA and BCJR (as in the paper); it is
+    a correlation between the received soft values and the +/-1 pattern each
+    transition would have transmitted.
+    """
+
+    def __init__(self, trellis):
+        self.trellis = trellis
+
+    def compute(self, soft_step):
+        """Branch metrics for one trellis step.
+
+        Parameters
+        ----------
+        soft_step:
+            Array of shape ``(batch, n_out)`` holding the soft values of the
+            coded bits belonging to this step.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, num_states, 2)`` branch metrics.
+        """
+        soft_step = np.asarray(soft_step, dtype=np.float64)
+        if soft_step.ndim == 1:
+            soft_step = soft_step[np.newaxis, :]
+        return 0.5 * np.einsum("sbj,nj->nsb", self.trellis.output_signs, soft_step)
+
+    def compute_all(self, soft):
+        """Branch metrics for every step of a packet.
+
+        Parameters
+        ----------
+        soft:
+            ``(batch, num_steps, n_out)`` soft values.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, num_steps, num_states, 2)`` branch metrics.
+        """
+        soft = np.asarray(soft, dtype=np.float64)
+        if soft.ndim == 2:
+            soft = soft[np.newaxis, :, :]
+        return 0.5 * np.einsum("sbj,ntj->ntsb", self.trellis.output_signs, soft)
+
+
+class PathMetricUnit:
+    """Add-compare-select recursions shared by the decoders.
+
+    The PMU is "parameterized in terms of path permutation" (forward vs
+    backward traversal) exactly as the paper describes; the two directions
+    are :meth:`forward_step` and :meth:`backward_step`.
+    """
+
+    def __init__(self, trellis):
+        self.trellis = trellis
+
+    def initial_metrics(self, batch, known_start=True):
+        """Starting path metrics.
+
+        With ``known_start`` the all-zero state gets metric 0 and every other
+        state the impossible metric; otherwise all states start equal (the
+        "uncertain" initial state the paper uses for provisional BCJR
+        blocks).
+        """
+        metrics = np.full(
+            (batch, self.trellis.num_states), NEGATIVE_INFINITY_METRIC, dtype=np.float64
+        )
+        if known_start:
+            metrics[:, 0] = 0.0
+        else:
+            metrics[:, :] = 0.0
+        return metrics
+
+    def forward_step(self, metrics, branch_metrics):
+        """One forward ACS step.
+
+        Parameters
+        ----------
+        metrics:
+            ``(batch, num_states)`` path metrics entering this step.
+        branch_metrics:
+            ``(batch, num_states, 2)`` branch metrics of this step.
+
+        Returns
+        -------
+        tuple
+            ``(new_metrics, survivor_prev_state, survivor_input, delta)``
+            where ``survivor_*`` identify the winning incoming edge of each
+            state and ``delta`` is the winning-minus-losing metric margin
+            used by SOVA's reliability update.
+        """
+        trellis = self.trellis
+        # Candidate metric for each (state, incoming-edge) pair.
+        prev_metric = metrics[:, trellis.prev_state]  # (batch, states, 2)
+        edge_metric = branch_metrics[
+            :, trellis.prev_state, trellis.prev_input
+        ]  # (batch, states, 2)
+        candidates = prev_metric + edge_metric
+        winner = np.argmax(candidates, axis=2)  # (batch, states)
+        new_metrics = np.take_along_axis(
+            candidates, winner[:, :, np.newaxis], axis=2
+        )[:, :, 0]
+        loser_metrics = np.take_along_axis(
+            candidates, (1 - winner)[:, :, np.newaxis], axis=2
+        )[:, :, 0]
+        delta = new_metrics - loser_metrics
+        survivor_prev_state = np.take_along_axis(
+            np.broadcast_to(trellis.prev_state, candidates.shape[:2] + (2,)),
+            winner[:, :, np.newaxis],
+            axis=2,
+        )[:, :, 0]
+        survivor_input = np.take_along_axis(
+            np.broadcast_to(trellis.prev_input, candidates.shape[:2] + (2,)),
+            winner[:, :, np.newaxis],
+            axis=2,
+        )[:, :, 0]
+        return new_metrics, survivor_prev_state, survivor_input, delta
+
+    def backward_step(self, metrics, branch_metrics):
+        """One backward ACS step (used by BCJR's beta recursion).
+
+        Parameters
+        ----------
+        metrics:
+            ``(batch, num_states)`` path metrics of the *next* step
+            (beta_{t+1}).
+        branch_metrics:
+            ``(batch, num_states, 2)`` branch metrics of the current step.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, num_states)`` beta_t.
+        """
+        trellis = self.trellis
+        successor_metric = metrics[:, trellis.next_state]  # (batch, states, 2)
+        candidates = successor_metric + branch_metrics
+        return np.max(candidates, axis=2)
+
+    def normalize(self, metrics):
+        """Subtract the per-batch maximum to keep metrics numerically bounded."""
+        return metrics - np.max(metrics, axis=1, keepdims=True)
+
+
+def reshape_soft_input(soft, n_out=2):
+    """Reshape a flat soft-value stream into ``(batch, steps, n_out)``.
+
+    Accepts a 1-D array (one packet) or a 2-D ``(batch, length)`` array; the
+    length must be a multiple of ``n_out``.
+    """
+    soft = np.asarray(soft, dtype=np.float64)
+    if soft.ndim == 1:
+        soft = soft[np.newaxis, :]
+    if soft.shape[1] % n_out:
+        raise ValueError(
+            "soft input length %d is not a multiple of %d" % (soft.shape[1], n_out)
+        )
+    return soft.reshape(soft.shape[0], soft.shape[1] // n_out, n_out)

@@ -1,0 +1,64 @@
+"""Hard-output Viterbi decoder.
+
+This is the baseline decoder of the paper's Figure 8: a forward
+add-compare-select recursion over the 64-state trellis followed by a
+traceback.  It shares the BMU and PMU kernels with SOVA and BCJR and is used
+both as the reference for correctness tests and as the commodity baseline in
+the area study.
+"""
+
+import numpy as np
+
+from repro.phy.decoder_base import ConvolutionalDecoder, DecodeResult
+from repro.phy.trellis import BranchMetricUnit, PathMetricUnit, Trellis, reshape_soft_input
+
+
+class ViterbiDecoder(ConvolutionalDecoder):
+    """Maximum-likelihood sequence decoder with hard outputs.
+
+    Parameters
+    ----------
+    trellis:
+        Shared :class:`~repro.phy.trellis.Trellis`; built from the 802.11
+        mother code when omitted.
+    traceback_length:
+        Retained for architectural parity with the hardware implementation
+        (it sizes the traceback memory in the area model); the functional
+        decoder performs a full-packet traceback, which is the limiting
+        behaviour of a sufficiently long window.
+    """
+
+    name = "viterbi"
+    produces_soft_output = False
+
+    def __init__(self, trellis=None, traceback_length=64):
+        self.trellis = trellis if trellis is not None else Trellis()
+        self.traceback_length = int(traceback_length)
+        self.bmu = BranchMetricUnit(self.trellis)
+        self.pmu = PathMetricUnit(self.trellis)
+
+    def decode(self, soft, num_data_bits):
+        soft = reshape_soft_input(soft, self.trellis.n_out)
+        batch, steps, _ = soft.shape
+        self._check_length(steps, num_data_bits, self.trellis.code.memory)
+
+        metrics = self.pmu.initial_metrics(batch, known_start=True)
+        survivor_state = np.empty((steps, batch, self.trellis.num_states), dtype=np.int8)
+        survivor_input = np.empty((steps, batch, self.trellis.num_states), dtype=np.int8)
+
+        for t in range(steps):
+            branch = self.bmu.compute(soft[:, t, :])
+            metrics, prev_state, prev_input, _ = self.pmu.forward_step(metrics, branch)
+            metrics = self.pmu.normalize(metrics)
+            survivor_state[t] = prev_state
+            survivor_input[t] = prev_input
+
+        # The packet is terminated, so the encoder ends in state 0.
+        state = np.zeros(batch, dtype=np.int64)
+        decisions = np.empty((batch, steps), dtype=np.uint8)
+        rows = np.arange(batch)
+        for t in range(steps - 1, -1, -1):
+            decisions[:, t] = survivor_input[t, rows, state]
+            state = survivor_state[t, rows, state].astype(np.int64)
+
+        return DecodeResult(bits=decisions[:, :num_data_bits], llr=None)

@@ -1,0 +1,56 @@
+"""SoftPHY: per-bit and per-packet BER estimation from decoder LLRs.
+
+This subpackage is the paper's case study (Section 4): converting the
+confidence values ("SoftPHY hints") emitted by a soft-decision convolutional
+decoder into calibrated bit-error-rate estimates that upper layers -- the
+SoftRate MAC, partial packet recovery, ARQ -- can act on.
+
+* :mod:`repro.softphy.scaling` -- the three scaling factors of equation 5
+  (SNR, modulation, decoder) that relate a hardware decoder's LLR output to
+  the true LLR.
+* :mod:`repro.softphy.ber_estimator` -- equation 4 (LLR to BER), the
+  constant-SNR simplification and the two-level lookup-table estimator the
+  paper proposes for hardware.
+* :mod:`repro.softphy.packet_ber` -- per-packet BER as the mean of the
+  per-bit estimates, plus ground-truth helpers.
+* :mod:`repro.softphy.calibration` -- empirical measurement of the
+  BER-versus-hint relationship (Figure 5) and the log-linear fit used to
+  derive scaling factors and lookup tables.
+"""
+
+from repro.softphy.ber_estimator import (
+    BerEstimator,
+    BerLookupTable,
+    llr_to_ber,
+    ber_to_llr,
+)
+from repro.softphy.packet_ber import (
+    ground_truth_packet_ber,
+    packet_ber_estimate,
+    packet_error_probability,
+)
+from repro.softphy.scaling import ScalingFactors, decoder_scale, modulation_scale, snr_scale
+from repro.softphy.calibration import (
+    BerVersusHint,
+    LogLinearFit,
+    fit_log_linear,
+    measure_ber_vs_hint,
+)
+
+__all__ = [
+    "BerEstimator",
+    "BerLookupTable",
+    "BerVersusHint",
+    "LogLinearFit",
+    "ScalingFactors",
+    "ber_to_llr",
+    "decoder_scale",
+    "fit_log_linear",
+    "ground_truth_packet_ber",
+    "llr_to_ber",
+    "measure_ber_vs_hint",
+    "modulation_scale",
+    "packet_ber_estimate",
+    "packet_error_probability",
+    "snr_scale",
+]

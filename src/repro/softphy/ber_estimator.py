@@ -1,0 +1,176 @@
+"""Per-bit BER estimation from SoftPHY hints (equations 4 and 5).
+
+Given a true log-likelihood ratio ``LLR`` (the confidence that the decision
+is correct), the probability that the bit is wrong is
+
+    BER_bit = 1 / (1 + exp(LLR))                              (equation 4)
+
+A hardware decoder does not emit the true LLR; its hint must first be scaled
+by the SNR, modulation and decoder factors of equation 5.  Computing the
+exponential at line rate is not realistic, so the paper proposes a two-level
+lookup: the modulation (and decoder) selects a table, and the hint -- an
+integer in hardware -- indexes it.  The SNR factor inside each table is a
+*constant* chosen in the middle of the modulation's useful SNR range, which
+the paper argues costs little accuracy because that range is only a few dB
+wide.  :class:`BerEstimator` implements exactly that structure.
+"""
+
+import numpy as np
+
+from repro.softphy.scaling import ScalingFactors
+
+#: Default "middle of the useful SNR range" constants per modulation, in dB.
+#: The useful range is where the modulation's BER falls from 1e-1 to 1e-7
+#: (a few dB, per Doufexi et al.); these are the midpoints used when the
+#: caller does not supply a calibrated value.
+DEFAULT_SNR_CONSTANTS_DB = {
+    "BPSK": 3.0,
+    "QPSK": 5.5,
+    "QAM16": 11.0,
+    "QAM64": 17.0,
+}
+
+#: Floor applied to estimates so that downstream logarithms are safe; the
+#: paper only needs estimates down to about 1e-7.
+MIN_BER = 1e-9
+
+
+def llr_to_ber(llr):
+    """Equation 4: convert a true (scaled) LLR into a per-bit BER.
+
+    ``llr`` is the confidence that the decision is *correct*, so larger
+    values mean smaller error probability.  Values are clipped so the result
+    stays within ``[MIN_BER, 0.5]``.
+    """
+    llr = np.asarray(llr, dtype=np.float64)
+    with np.errstate(over="ignore"):
+        ber = 1.0 / (1.0 + np.exp(llr))
+    return np.clip(ber, MIN_BER, 0.5)
+
+
+def ber_to_llr(ber):
+    """Inverse of :func:`llr_to_ber` (useful for calibration and tests)."""
+    ber = np.clip(np.asarray(ber, dtype=np.float64), MIN_BER, 0.5)
+    return np.log((1.0 - ber) / ber)
+
+
+class BerLookupTable:
+    """Second-level lookup: integer hint -> per-bit BER for one configuration.
+
+    Parameters
+    ----------
+    scale:
+        Combined scaling factor applied to the hint before equation 4 (the
+        product of the SNR constant, modulation and decoder factors), or a
+        :class:`~repro.softphy.scaling.ScalingFactors` instance.
+    max_hint:
+        Largest hint value representable in hardware; larger hints saturate.
+    resolution:
+        Hint quantisation step (1.0 models an integer hint bus).
+    """
+
+    def __init__(self, scale, max_hint=63, resolution=1.0):
+        if isinstance(scale, ScalingFactors):
+            scale = scale.combined
+        if scale <= 0:
+            raise ValueError("the combined scaling factor must be positive")
+        self.scale = float(scale)
+        self.max_hint = float(max_hint)
+        self.resolution = float(resolution)
+        hints = np.arange(0.0, self.max_hint + self.resolution, self.resolution)
+        self._hints = hints
+        self._table = llr_to_ber(self.scale * hints)
+
+    @property
+    def size(self):
+        """Number of table entries (a hardware cost driver)."""
+        return self._table.size
+
+    def lookup(self, hints):
+        """Vectorised lookup of per-bit BER estimates for raw hints."""
+        hints = np.abs(np.asarray(hints, dtype=np.float64))
+        indices = np.clip(
+            np.round(hints / self.resolution).astype(np.int64), 0, self._table.size - 1
+        )
+        return self._table[indices]
+
+    def __repr__(self):
+        return "BerLookupTable(scale=%.4g, entries=%d)" % (self.scale, self.size)
+
+
+class BerEstimator:
+    """The paper's two-level BER estimator.
+
+    The first level selects a lookup table by (modulation, decoder); the
+    second level indexes it with the hint.  Tables use a constant
+    per-modulation SNR rather than a run-time SNR estimate.
+
+    Parameters
+    ----------
+    decoder:
+        Decoder name or object (``"bcjr"`` / ``"sova"``).
+    snr_constants_db:
+        Optional mapping of modulation name to the constant SNR used in its
+        table; defaults to :data:`DEFAULT_SNR_CONSTANTS_DB`.
+    decoder_scales:
+        Optional mapping of modulation name to a calibrated ``S_decoder``
+        (from :mod:`repro.softphy.calibration`); falls back to the decoder's
+        default factor.
+    max_hint, resolution:
+        Forwarded to each :class:`BerLookupTable`.
+    """
+
+    def __init__(
+        self,
+        decoder,
+        snr_constants_db=None,
+        decoder_scales=None,
+        max_hint=63,
+        resolution=1.0,
+    ):
+        self.decoder_name = decoder if isinstance(decoder, str) else decoder.name
+        self.snr_constants_db = dict(DEFAULT_SNR_CONSTANTS_DB)
+        if snr_constants_db:
+            self.snr_constants_db.update(snr_constants_db)
+        self.decoder_scales = dict(decoder_scales or {})
+        self.max_hint = max_hint
+        self.resolution = resolution
+        self._tables = {}
+
+    def _scaling_for(self, modulation_name):
+        decoder = self.decoder_scales.get(modulation_name, self.decoder_name)
+        return ScalingFactors(
+            snr_db=self.snr_constants_db[modulation_name],
+            modulation=modulation_name,
+            decoder=decoder,
+        )
+
+    def table_for(self, modulation):
+        """First-level lookup: return (building lazily) the table for a modulation."""
+        name = modulation if isinstance(modulation, str) else modulation.name
+        if name not in self._tables:
+            self._tables[name] = BerLookupTable(
+                self._scaling_for(name),
+                max_hint=self.max_hint,
+                resolution=self.resolution,
+            )
+        return self._tables[name]
+
+    def per_bit_ber(self, hints, modulation):
+        """Per-bit BER estimates for an array of hints."""
+        return self.table_for(modulation).lookup(hints)
+
+    def packet_ber(self, hints, modulation):
+        """Per-packet BER: the arithmetic mean of the per-bit estimates.
+
+        ``hints`` may be one packet (1-D) or a batch (2-D); the mean is
+        taken over the last axis.
+        """
+        per_bit = self.per_bit_ber(hints, modulation)
+        return per_bit.mean(axis=-1)
+
+    def __repr__(self):
+        return "BerEstimator(decoder=%s, tables=%d)" % (
+            self.decoder_name,
+            len(self._tables),
+        )

@@ -1,0 +1,221 @@
+"""Calibration: measuring the BER-versus-hint relationship (Figure 5).
+
+The paper validates its hardware SoftPHY implementations by transmitting
+very large numbers of bits and plotting, for every LLR hint value, the
+fraction of bits carrying that hint that were decoded incorrectly.  The
+resulting curves are log-linear (straight lines on a semi-log plot), and
+their slopes depend on SNR, modulation and decoder -- which is exactly the
+structure predicted by equations 4 and 5.  The fitted slope and intercept
+then supply the scaling factors for the production lookup tables.
+
+This module provides the measurement (:func:`measure_ber_vs_hint`), the
+log-linear fit (:func:`fit_log_linear`) and a convenience routine that turns
+a fit into the decoder scale used by
+:class:`~repro.softphy.ber_estimator.BerEstimator`.
+"""
+
+import numpy as np
+
+from repro.analysis.ber_stats import bin_errors_by_hint, wilson_interval
+from repro.analysis.link import LinkSimulator
+from repro.softphy.scaling import modulation_scale, snr_scale
+
+
+class BerVersusHint:
+    """Binned BER-versus-hint measurement for one operating point.
+
+    Attributes
+    ----------
+    hints:
+        Bin centres (hint values).
+    bits:
+        Number of decoded bits falling in each bin.
+    errors:
+        Number of those bits that were decoded incorrectly.
+    label:
+        Human-readable description of the operating point.
+    """
+
+    def __init__(self, hints, bits, errors, label=""):
+        self.hints = np.asarray(hints, dtype=np.float64)
+        self.bits = np.asarray(bits, dtype=np.int64)
+        self.errors = np.asarray(errors, dtype=np.int64)
+        self.label = label
+
+    @property
+    def ber(self):
+        """Per-bin BER (NaN where a bin holds no bits)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.bits > 0, self.errors / self.bits, np.nan)
+
+    def confidence_intervals(self, confidence=0.95):
+        """Per-bin Wilson intervals (NaN bounds for empty bins)."""
+        lows = np.full(self.hints.shape, np.nan)
+        highs = np.full(self.hints.shape, np.nan)
+        for i, (errors, bits) in enumerate(zip(self.errors, self.bits)):
+            if bits > 0:
+                lows[i], highs[i] = wilson_interval(int(errors), int(bits), confidence)
+        return lows, highs
+
+    def reliable_mask(self, min_bits=1000, min_errors=1):
+        """Bins with enough data for the log-linear fit."""
+        return (self.bits >= min_bits) & (self.errors >= min_errors)
+
+    def merge(self, other):
+        """Combine with another measurement taken on the same bins."""
+        if not np.array_equal(self.hints, other.hints):
+            raise ValueError("cannot merge measurements with different hint bins")
+        return BerVersusHint(
+            self.hints, self.bits + other.bits, self.errors + other.errors, self.label
+        )
+
+    def __repr__(self):
+        return "BerVersusHint(label=%r, bins=%d, bits=%d)" % (
+            self.label,
+            self.hints.size,
+            int(self.bits.sum()),
+        )
+
+
+class LogLinearFit:
+    """A fit of ``log(BER) = intercept - slope * hint``.
+
+    The paper's Figure 5 shows this relationship holds for both decoders;
+    the slope is the combined scaling factor of equation 5 (because equation
+    4 gives ``log BER ~ -LLR_true`` for small BER).
+    """
+
+    def __init__(self, slope, intercept, r_squared, points_used):
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self.r_squared = float(r_squared)
+        self.points_used = int(points_used)
+
+    def predict_ber(self, hints):
+        """BER predicted by the fitted line."""
+        hints = np.asarray(hints, dtype=np.float64)
+        return np.exp(self.intercept - self.slope * hints)
+
+    def hint_for_ber(self, ber):
+        """Hint value at which the fitted line reaches ``ber``."""
+        if self.slope <= 0:
+            raise ValueError("fit has a non-positive slope; cannot invert")
+        return (self.intercept - np.log(ber)) / self.slope
+
+    def implied_decoder_scale(self, snr_db, modulation):
+        """Back out ``S_decoder`` from the fitted slope (equation 5).
+
+        For small BER, equation 4 gives ``ln BER ~ -LLR_true``, and equation
+        5 says ``LLR_true = (Es/N0) * S_mod * S_dec * hint``; the fitted
+        slope therefore equals the product of the three factors.
+        """
+        denominator = snr_scale(snr_db) * modulation_scale(modulation)
+        return self.slope / denominator
+
+    def __repr__(self):
+        return "LogLinearFit(slope=%.4g, intercept=%.4g, r2=%.3f)" % (
+            self.slope,
+            self.intercept,
+            self.r_squared,
+        )
+
+
+def fit_log_linear(measurement, min_bits=1000, min_errors=1):
+    """Fit a log-linear line through a :class:`BerVersusHint` measurement.
+
+    Bins with too little data are excluded; a fit needs at least two usable
+    bins.
+    """
+    mask = measurement.reliable_mask(min_bits=min_bits, min_errors=min_errors)
+    if mask.sum() < 2:
+        raise ValueError(
+            "not enough populated hint bins for a fit (have %d, need 2); "
+            "simulate more bits" % int(mask.sum())
+        )
+    hints = measurement.hints[mask]
+    log_ber = np.log(measurement.ber[mask])
+    # Weight bins by their error counts: bins with more observed errors have
+    # tighter BER estimates.
+    weights = np.sqrt(measurement.errors[mask].astype(np.float64))
+    coefficients = np.polyfit(hints, log_ber, deg=1, w=weights)
+    slope = -coefficients[0]
+    intercept = coefficients[1]
+    predicted = np.polyval(coefficients, hints)
+    residual = log_ber - predicted
+    total = log_ber - np.average(log_ber, weights=weights)
+    r_squared = 1.0 - float(
+        np.sum(weights * residual**2) / max(np.sum(weights * total**2), 1e-12)
+    )
+    return LogLinearFit(slope, intercept, r_squared, points_used=int(mask.sum()))
+
+
+def measure_ber_vs_hint(
+    phy_rate,
+    snr_db,
+    decoder,
+    num_packets,
+    packet_bits=1704,
+    seed=0,
+    bin_width=1.0,
+    max_hint=63,
+    batch_size=32,
+    llr_format=None,
+):
+    """Simulate packets and bin decoding errors by hint value.
+
+    Parameters
+    ----------
+    phy_rate:
+        Operating :class:`~repro.phy.params.PhyRate`.
+    snr_db:
+        AWGN SNR in dB.
+    decoder:
+        ``"sova"`` or ``"bcjr"`` (anything accepted by the receiver that
+        produces soft output).
+    num_packets, packet_bits:
+        Amount of traffic to simulate.
+    seed:
+        Reproducibility seed.
+    bin_width, max_hint:
+        Hint binning (hardware hints are small integers).
+    batch_size:
+        Decoder batch size.
+    llr_format:
+        Optional fixed-point demapper output format.
+
+    Returns
+    -------
+    BerVersusHint
+    """
+    simulator = LinkSimulator(
+        phy_rate,
+        snr_db,
+        decoder=decoder,
+        packet_bits=packet_bits,
+        seed=seed,
+        llr_format=llr_format,
+    )
+    result = simulator.run(num_packets, batch_size=batch_size)
+    if result.hints is None:
+        raise ValueError("decoder %r does not produce SoftPHY hints" % (decoder,))
+    edges = np.arange(0.0, float(max_hint) + bin_width, bin_width)
+    centres, bits, errors = bin_errors_by_hint(
+        result.hints, result.bit_errors, bin_edges=edges
+    )
+    label = "%s, %s, SNR %.1f dB" % (
+        decoder if isinstance(decoder, str) else decoder.name,
+        phy_rate.name,
+        snr_db,
+    )
+    return BerVersusHint(centres, bits, errors, label=label)
+
+
+def calibrate_decoder_scale(
+    phy_rate, snr_db, decoder, num_packets, packet_bits=1704, seed=0, **kwargs
+):
+    """Measure, fit and return the implied ``S_decoder`` for one configuration."""
+    measurement = measure_ber_vs_hint(
+        phy_rate, snr_db, decoder, num_packets, packet_bits=packet_bits, seed=seed, **kwargs
+    )
+    fit = fit_log_linear(measurement, min_bits=100)
+    return fit.implied_decoder_scale(snr_db, phy_rate.modulation)

@@ -1,0 +1,46 @@
+"""Per-packet BER: prediction, ground truth and packet error probability.
+
+The per-packet BER (PBER) is the paper's unit of communication with the
+upper layers: SoftRate keeps a packet's rate when its PBER falls inside a
+target window and adjusts it otherwise, and the ARQ layer can use the PBER
+to predict whether the packet contains any error at all.
+"""
+
+import numpy as np
+
+
+def packet_ber_estimate(per_bit_estimates):
+    """Predicted PBER: the arithmetic mean of the per-bit BER estimates.
+
+    Accepts one packet (1-D) or a batch (2-D, one packet per row).
+    """
+    per_bit = np.asarray(per_bit_estimates, dtype=np.float64)
+    return per_bit.mean(axis=-1)
+
+
+def ground_truth_packet_ber(transmitted_bits, decoded_bits):
+    """Actual PBER: the fraction of bits decoded incorrectly."""
+    transmitted = np.asarray(transmitted_bits)
+    decoded = np.asarray(decoded_bits)
+    if transmitted.shape != decoded.shape:
+        raise ValueError(
+            "transmitted %r and decoded %r shapes differ"
+            % (transmitted.shape, decoded.shape)
+        )
+    return np.mean(transmitted != decoded, axis=-1)
+
+
+def packet_error_probability(per_bit_estimates):
+    """Probability that the packet contains at least one bit error.
+
+    Computed as ``1 - prod(1 - p_i)`` under the (optimistic) assumption of
+    independent bit errors; evaluated in the log domain for stability.
+    """
+    per_bit = np.clip(np.asarray(per_bit_estimates, dtype=np.float64), 0.0, 1.0 - 1e-15)
+    log_ok = np.log1p(-per_bit).sum(axis=-1)
+    return 1.0 - np.exp(log_ok)
+
+
+def expected_bit_errors(per_bit_estimates):
+    """Expected number of erroneous bits in the packet."""
+    return np.asarray(per_bit_estimates, dtype=np.float64).sum(axis=-1)

@@ -1,0 +1,111 @@
+"""The scaling factors relating hardware LLRs to true LLRs (equation 5).
+
+The hardware demapper drops the ``Es/N0`` and ``S_modulation`` factors from
+its soft outputs (they do not change the decoder's decisions), and the BCJR
+and SOVA datapaths interpret their inputs on different scales.  The paper
+models the combined effect as
+
+    LLR_true = (Es/N0) * S_modulation * S_decoder * LLR_hardware
+
+and observes (Figure 5) that the resulting BER-versus-hint curves stay
+log-linear, with slopes that depend on SNR, modulation and decoder --
+precisely because the relationship between hint and true LLR is a single
+multiplicative factor.
+
+``S_modulation`` comes from the demapper analysis (the same constant as
+:data:`repro.phy.demapper.MODULATION_SCALE`); ``S_decoder`` is an empirical
+property of the decoder implementation that the calibration module fits from
+simulation, with the defaults below fitted from this repository's decoders.
+"""
+
+from repro.phy.demapper import MODULATION_SCALE
+from repro.channel.awgn import snr_db_to_linear
+
+#: Default decoder scaling factors ``S_decoder``.  SOVA reliabilities are
+#: minimum metric margins along a single competing path, while max-log BCJR
+#: aggregates over all paths; empirically the SOVA hints need a slightly
+#: smaller scale to line up with equation 4.  These values are starting
+#: points -- the calibration workflow refits them per configuration.
+DEFAULT_DECODER_SCALE = {
+    "bcjr": 1.0,
+    "sova": 0.9,
+    "viterbi": 0.0,
+}
+
+
+def snr_scale(snr_db):
+    """The ``Es/N0`` factor (linear) for an SNR in dB."""
+    return float(snr_db_to_linear(snr_db))
+
+
+def modulation_scale(modulation):
+    """The ``S_modulation`` factor for a modulation (object or name)."""
+    name = modulation if isinstance(modulation, str) else modulation.name
+    try:
+        return MODULATION_SCALE[name]
+    except KeyError:
+        raise KeyError("unknown modulation %r" % name) from None
+
+
+def decoder_scale(decoder):
+    """The default ``S_decoder`` factor for a decoder (object or name)."""
+    name = decoder if isinstance(decoder, str) else decoder.name
+    try:
+        return DEFAULT_DECODER_SCALE[name]
+    except KeyError:
+        raise KeyError("unknown decoder %r" % name) from None
+
+
+class ScalingFactors:
+    """The three factors of equation 5 bundled together.
+
+    Parameters
+    ----------
+    snr_db:
+        The (assumed) signal-to-noise ratio.  The paper argues a constant
+        per-modulation SNR is sufficient because the useful SNR range of a
+        modulation only spans a few dB.
+    modulation:
+        Modulation name or object.
+    decoder:
+        Decoder name or object, or an explicit numeric ``S_decoder``.
+    """
+
+    def __init__(self, snr_db, modulation, decoder):
+        self.snr_db = float(snr_db)
+        self.modulation_name = (
+            modulation if isinstance(modulation, str) else modulation.name
+        )
+        if isinstance(decoder, (int, float)):
+            self.decoder_name = "custom"
+            self._decoder_scale = float(decoder)
+        else:
+            self.decoder_name = decoder if isinstance(decoder, str) else decoder.name
+            self._decoder_scale = decoder_scale(self.decoder_name)
+
+    @property
+    def snr_factor(self):
+        return snr_scale(self.snr_db)
+
+    @property
+    def modulation_factor(self):
+        return modulation_scale(self.modulation_name)
+
+    @property
+    def decoder_factor(self):
+        return self._decoder_scale
+
+    @property
+    def combined(self):
+        """The full multiplicative factor applied to a hardware LLR."""
+        return self.snr_factor * self.modulation_factor * self.decoder_factor
+
+    def true_llr(self, hardware_llr):
+        """Apply equation 5 to hardware LLR hints."""
+        return self.combined * hardware_llr
+
+    def __repr__(self):
+        return (
+            "ScalingFactors(snr_db=%.1f, modulation=%s, decoder=%s, combined=%.4g)"
+            % (self.snr_db, self.modulation_name, self.decoder_name, self.combined)
+        )

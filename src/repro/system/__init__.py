@@ -1,0 +1,30 @@
+"""System assembly: WiLIS models built from the framework and the baseband.
+
+This subpackage is where the pieces come together the way Figure 1 of the
+paper shows them: the 802.11a/g transmitter and receiver blocks wrapped as
+latency-insensitive modules, the software channel in the software partition,
+the BER estimation unit in its own (faster) clock domain, and the whole
+thing driven by the co-simulation harness.
+
+* :mod:`repro.system.registry_setup` registers the alternative
+  implementations (decoders, channels, demappers) with the plug-n-play
+  registry so pipelines can be assembled from a configuration mapping.
+* :mod:`repro.system.pipelines` builds the transmitter, channel and receiver
+  module chains and the full co-simulation network.
+"""
+
+from repro.system.pipelines import (
+    CosimModel,
+    build_cosimulation,
+    build_receiver_chain,
+    build_transmitter_chain,
+)
+from repro.system.registry_setup import register_default_implementations
+
+__all__ = [
+    "CosimModel",
+    "build_cosimulation",
+    "build_receiver_chain",
+    "build_transmitter_chain",
+    "register_default_implementations",
+]

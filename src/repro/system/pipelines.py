@@ -1,0 +1,248 @@
+"""Building WiLIS pipeline models from latency-insensitive modules.
+
+The functions here assemble the Figure 1 system: a packet source feeding the
+transmitter chain (hardware partition), the software channel (software
+partition, reached through the host link), the receiver chain (hardware
+partition) with the decoder of choice, the BER estimation unit in its own
+60 MHz clock domain, and a sink collecting the decoded packets.
+
+Each stage wraps the very same numpy functions used by the direct-path
+:class:`~repro.analysis.link.LinkSimulator`, lifted into
+:class:`~repro.core.module.FunctionModule` objects -- so the framework model
+and the fast model cannot drift apart, and swapping a decoder (the paper's
+plug-n-play claim) is a configuration word, not a source change.
+
+Tokens flowing through the pipeline are whole packets (numpy arrays); the
+latency-insensitive property is what allows that batching, exactly as it
+allows the paper's large pipelined transfers between the FPGA and the host.
+"""
+
+import numpy as np
+
+from repro.channel.awgn import AwgnChannel
+from repro.core.clocks import BER_UNIT_CLOCK, DEFAULT_CLOCK
+from repro.core.cosim import CoSimulation
+from repro.core.module import FunctionModule, SinkModule, SourceModule
+from repro.core.network import Network
+from repro.core.platform import HostLink, Partition, VirtualPlatform
+from repro.core.registry import global_registry
+from repro.core.scheduler import DataflowScheduler
+from repro.phy.receiver import Receiver
+from repro.phy.transmitter import Transmitter
+from repro.softphy.ber_estimator import BerEstimator
+from repro.system.registry_setup import register_default_implementations
+
+
+def build_transmitter_chain(network, phy_rate, clock=None, name_prefix="tx"):
+    """Add the transmitter stages to ``network`` and return them in order.
+
+    The stages mirror Figure 1: scrambler, convolutional encoder (with
+    puncturing), interleaver (with pad-to-symbol), mapper and OFDM
+    modulator.  Returns the ordered list of modules (unconnected to a
+    source/sink; use :func:`repro.core.network.Network.chain`).
+    """
+    clock = clock if clock is not None else DEFAULT_CLOCK
+    transmitter = Transmitter(phy_rate)
+    stages = [
+        FunctionModule("%s_scrambler" % name_prefix, transmitter.scramble, clock=clock),
+        FunctionModule("%s_encoder" % name_prefix, transmitter.encode, clock=clock),
+        FunctionModule(
+            "%s_interleaver" % name_prefix,
+            lambda coded: transmitter.interleaver.interleave(transmitter.pad(coded)),
+            clock=clock,
+        ),
+        FunctionModule("%s_mapper" % name_prefix, transmitter.map_symbols, clock=clock),
+        FunctionModule(
+            "%s_ofdm_mod" % name_prefix, transmitter.modulator.modulate, clock=clock
+        ),
+    ]
+    for stage in stages:
+        network.add(stage)
+    return stages
+
+
+def build_receiver_chain(
+    network,
+    phy_rate,
+    packet_bits,
+    decoder="viterbi",
+    clock=None,
+    ber_clock=None,
+    with_ber_estimator=None,
+    name_prefix="rx",
+):
+    """Add the receiver stages to ``network`` and return them in order.
+
+    The front end and the decoder run in the baseband clock domain; the BER
+    estimation unit -- present whenever the decoder produces soft output --
+    runs in the faster ``ber_clock`` domain, so the framework inserts a
+    clock-domain crossing, exactly as the paper describes its 35/60 MHz
+    split.
+
+    The final module emits, per packet, a ``dict`` with the decoded bits
+    and, when available, the SoftPHY hints and the predicted packet BER.
+    """
+    clock = clock if clock is not None else DEFAULT_CLOCK
+    ber_clock = ber_clock if ber_clock is not None else BER_UNIT_CLOCK
+    receiver = Receiver(phy_rate, decoder=decoder)
+    if with_ber_estimator is None:
+        with_ber_estimator = receiver.decoder.produces_soft_output
+
+    def front_end(samples):
+        return receiver.front_end(samples, packet_bits)
+
+    def decode(soft):
+        result = receiver.decode_batch(soft[np.newaxis, :], packet_bits)
+        llr = None if result.llr is None else result.llr[0]
+        return {"bits": result.bits[0], "llr": llr}
+
+    stages = [
+        FunctionModule("%s_front_end" % name_prefix, front_end, clock=clock),
+        FunctionModule("%s_decoder" % name_prefix, decode, clock=clock),
+    ]
+    if with_ber_estimator:
+        estimator = BerEstimator(receiver.decoder.name)
+
+        def estimate(decoded):
+            hints = None if decoded["llr"] is None else np.abs(decoded["llr"])
+            pber = (
+                None
+                if hints is None
+                else float(estimator.packet_ber(hints, phy_rate.modulation))
+            )
+            return {
+                "bits": decoded["bits"],
+                "hints": hints,
+                "pber_estimate": pber,
+            }
+
+        stages.append(
+            FunctionModule("%s_ber_estimator" % name_prefix, estimate, clock=ber_clock)
+        )
+    for stage in stages:
+        network.add(stage)
+    return stages
+
+
+class CosimModel:
+    """A fully assembled Figure 1 co-simulation model.
+
+    Attributes
+    ----------
+    network, platform:
+        The module graph and the hardware/software partition assignment.
+    source, sink:
+        Packet source and decoded-packet sink.
+    phy_rate, packet_bits:
+        Operating point of the pipeline.
+    """
+
+    def __init__(self, network, platform, source, sink, phy_rate, packet_bits, lockstep=False):
+        self.network = network
+        self.platform = platform
+        self.source = source
+        self.sink = sink
+        self.phy_rate = phy_rate
+        self.packet_bits = packet_bits
+        self.lockstep = lockstep
+
+    def run_packets(self, payloads, scheduler=None):
+        """Push payload bit arrays through the pipeline and collect results.
+
+        Returns ``(outputs, report)`` where ``outputs`` is the list of sink
+        tokens (one per packet, in order) and ``report`` is the
+        :class:`~repro.core.cosim.CoSimulationReport` for the run.
+        """
+        payloads = [np.asarray(p, dtype=np.uint8) for p in payloads]
+        for payload in payloads:
+            if payload.size != self.packet_bits:
+                raise ValueError(
+                    "every payload must have %d bits (got %d)"
+                    % (self.packet_bits, payload.size)
+                )
+        self.source.feed(payloads)
+        if scheduler is None:
+            scheduler = DataflowScheduler(self.network, lockstep=self.lockstep)
+        cosim = CoSimulation(self.network, self.platform, scheduler)
+        report = cosim.run(payload_bits=sum(p.size for p in payloads))
+        return self.sink.drain(), report
+
+
+def build_cosimulation(
+    phy_rate,
+    packet_bits=1704,
+    decoder="viterbi",
+    channel="awgn",
+    snr_db=10.0,
+    seed=0,
+    registry=None,
+    host_link=None,
+    lockstep=False,
+):
+    """Assemble the full transmitter / channel / receiver co-simulation.
+
+    Parameters
+    ----------
+    phy_rate:
+        Operating :class:`~repro.phy.params.PhyRate`.
+    packet_bits:
+        Payload bits per packet token.
+    decoder:
+        Decoder implementation name (plug-n-play role ``decoder``).
+    channel:
+        Channel implementation name (plug-n-play role ``channel``).
+    snr_db, seed:
+        Channel configuration.
+    registry:
+        Optional registry to resolve implementations from (defaults to the
+        global one, with the built-ins registered).
+    host_link:
+        Optional :class:`~repro.core.platform.HostLink` model; the paper's
+        700 MB/s FSB link by default.
+    lockstep:
+        Use the lock-step (SCE-MI-like) scheduler instead of the decoupled
+        WiLIS one -- only meaningful for the scheduling ablation.
+
+    Returns
+    -------
+    CosimModel
+    """
+    registry = register_default_implementations(registry or global_registry)
+    channel_model = registry.create("channel", channel, snr_db=snr_db, seed=seed)
+
+    network = Network("wilis-%s-%s" % (phy_rate.name.replace(" ", "-"), decoder))
+    source = network.add(SourceModule("packet_source"))
+    tx_stages = build_transmitter_chain(network, phy_rate)
+
+    if isinstance(channel_model, AwgnChannel):
+        channel_function = channel_model
+    else:
+        def channel_function(samples, _channel=channel_model):
+            received, gain = _channel.apply(samples)
+            # Ideal equalisation with the known flat-fading gain, as in the
+            # paper's model (no channel estimation is simulated).
+            return received / gain
+
+    channel_module = network.add(
+        FunctionModule("channel", channel_function, clock=DEFAULT_CLOCK)
+    )
+    rx_stages = build_receiver_chain(
+        network, phy_rate, packet_bits, decoder=decoder
+    )
+    sink = network.add(SinkModule("packet_sink"))
+
+    network.chain([source] + tx_stages + [channel_module] + rx_stages + [sink])
+    network.validate()
+
+    platform = VirtualPlatform(
+        name="acp-virtex5",
+        fpga_clock_mhz=DEFAULT_CLOCK.frequency_mhz,
+        host_link=host_link if host_link is not None else HostLink(),
+    )
+    platform.assign_all([source, sink], Partition.SOFTWARE)
+    platform.assign_all(tx_stages + rx_stages, Partition.HARDWARE)
+    platform.assign(channel_module, Partition.SOFTWARE)
+
+    return CosimModel(
+        network, platform, source, sink, phy_rate, packet_bits, lockstep=lockstep
+    )

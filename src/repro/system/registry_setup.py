@@ -1,0 +1,88 @@
+"""Plug-n-play registrations: the AWB-style implementation catalogue.
+
+WiLIS offers multiple implementations of each pipeline role and lets the
+user mix and match them without editing source.  This module registers the
+alternatives provided by this repository with a
+:class:`~repro.core.registry.ModuleRegistry`:
+
+========== =====================================================
+role       implementations
+========== =====================================================
+decoder    ``viterbi``, ``sova``, ``bcjr``
+channel    ``awgn``, ``rayleigh``
+demapper   ``hardware`` (unscaled), ``ideal`` (SNR-scaled)
+estimator  ``lookup`` (the two-level table), ``exact`` (equation 4/5)
+========== =====================================================
+
+Swapping a decoder in a pipeline is then a one-word configuration change --
+``{"decoder": "bcjr"}`` versus ``{"decoder": "sova"}`` -- which is the
+workflow the paper's case study relies on.
+"""
+
+from repro.channel.awgn import AwgnChannel
+from repro.channel.fading import RayleighFadingChannel
+from repro.core.registry import global_registry
+from repro.phy.bcjr import BcjrDecoder
+from repro.phy.demapper import Demapper
+from repro.phy.sova import SovaDecoder
+from repro.phy.viterbi import ViterbiDecoder
+from repro.softphy.ber_estimator import BerEstimator
+from repro.softphy.scaling import ScalingFactors
+from repro.softphy.ber_estimator import llr_to_ber
+
+
+def _make_exact_estimator(decoder="bcjr", **_):
+    """Factory for an 'estimator' that applies equations 4 and 5 directly."""
+
+    class ExactEstimator:
+        """Reference estimator computing the exponential instead of a lookup."""
+
+        decoder_name = decoder
+
+        def per_bit_ber(self, hints, modulation, snr_db):
+            scaling = ScalingFactors(snr_db, modulation, decoder)
+            return llr_to_ber(scaling.true_llr(abs(hints)))
+
+    return ExactEstimator()
+
+
+def register_default_implementations(registry=None):
+    """Register every built-in implementation; returns the registry used.
+
+    Registration is idempotent, so calling this more than once (for example
+    from several examples) is harmless.
+    """
+    registry = registry if registry is not None else global_registry
+
+    registry.add("decoder", "viterbi", ViterbiDecoder)
+    registry.add("decoder", "sova", SovaDecoder)
+    registry.add("decoder", "bcjr", BcjrDecoder)
+
+    registry.add("channel", "awgn", lambda snr_db=10.0, seed=None, **_: AwgnChannel(snr_db, seed=seed))
+    registry.add(
+        "channel",
+        "rayleigh",
+        lambda snr_db=10.0, doppler_hz=20.0, seed=None, **_: RayleighFadingChannel(
+            snr_db, doppler_hz=doppler_hz, seed=seed
+        ),
+    )
+
+    registry.add(
+        "demapper",
+        "hardware",
+        lambda modulation, **_: Demapper(modulation, scaled=False),
+    )
+    registry.add(
+        "demapper",
+        "ideal",
+        lambda modulation, snr_db=10.0, **_: Demapper(modulation, snr_db=snr_db, scaled=True),
+    )
+
+    registry.add(
+        "estimator",
+        "lookup",
+        lambda decoder="bcjr", **kwargs: BerEstimator(decoder, **kwargs),
+    )
+    registry.add("estimator", "exact", _make_exact_estimator)
+
+    return registry

@@ -1,0 +1,96 @@
+"""Unit tests for BER statistics and hint binning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber_stats import BerMeasurement, bin_errors_by_hint, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_the_point_estimate(self):
+        low, high = wilson_interval(10, 1000)
+        assert low < 0.01 < high
+
+    def test_zero_errors_still_gives_a_finite_upper_bound(self):
+        low, high = wilson_interval(0, 1000)
+        assert low == 0.0
+        assert 0.0 < high < 0.01
+
+    def test_interval_narrows_with_more_trials(self):
+        low_small, high_small = wilson_interval(5, 100)
+        low_large, high_large = wilson_interval(500, 10_000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_higher_confidence_widens_the_interval(self):
+        low95, high95 = wilson_interval(10, 1000, confidence=0.95)
+        low99, high99 = wilson_interval(10, 1000, confidence=0.99)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_bounds_stay_in_unit_interval(self):
+        low, high = wilson_interval(999, 1000)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestBerMeasurement:
+    def test_point_estimate(self):
+        assert BerMeasurement(25, 1000).ber == pytest.approx(0.025)
+
+    def test_merge_pools_counts(self):
+        merged = BerMeasurement(10, 1000).merge(BerMeasurement(20, 1000))
+        assert merged.errors == 30
+        assert merged.bits == 2000
+
+    def test_interval_property(self):
+        low, high = BerMeasurement(10, 1000).interval
+        assert low < 0.01 < high
+
+    def test_requires_at_least_one_bit(self):
+        with pytest.raises(ValueError):
+            BerMeasurement(0, 0)
+
+
+class TestBinErrorsByHint:
+    def test_counts_land_in_the_right_bins(self):
+        hints = np.array([0.2, 1.4, 1.6, 5.0])
+        errors = np.array([True, False, True, False])
+        centres, bits, errs = bin_errors_by_hint(hints, errors, bin_width=1.0, max_hint=6)
+        assert bits[0] == 1 and errs[0] == 1
+        assert bits[1] == 2 and errs[1] == 1
+        assert bits[5] == 1 and errs[5] == 0
+
+    def test_total_counts_are_preserved(self, rng):
+        hints = rng.uniform(0, 50, size=5000)
+        errors = rng.random(5000) < 0.1
+        _, bits, errs = bin_errors_by_hint(hints, errors, max_hint=50)
+        assert bits.sum() == 5000
+        assert errs.sum() == errors.sum()
+
+    def test_hints_beyond_max_go_to_last_bin(self):
+        centres, bits, errs = bin_errors_by_hint(
+            np.array([100.0]), np.array([True]), bin_width=1.0, max_hint=10
+        )
+        assert bits[-1] == 1 and errs[-1] == 1
+
+    def test_explicit_bin_edges(self):
+        edges = np.array([0.0, 2.0, 10.0])
+        centres, bits, _ = bin_errors_by_hint(
+            np.array([1.0, 5.0, 9.0]), np.zeros(3, dtype=bool), bin_edges=edges
+        )
+        assert centres.size == 2
+        assert list(bits) == [1, 2]
+
+    def test_batched_inputs_are_flattened(self):
+        hints = np.zeros((2, 3))
+        errors = np.zeros((2, 3), dtype=bool)
+        _, bits, _ = bin_errors_by_hint(hints, errors, max_hint=5)
+        assert bits.sum() == 6
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bin_errors_by_hint(np.zeros(3), np.zeros(4, dtype=bool))

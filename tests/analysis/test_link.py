@@ -1,0 +1,99 @@
+"""Tests for the batched link simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.link import LinkRunResult, LinkSimulator
+from repro.fixedpoint.fixed import llr_quantizer
+
+
+class TestLinkRunResult:
+    def make(self, errors_in_second_packet=2):
+        tx = np.zeros((2, 10), dtype=np.uint8)
+        rx = tx.copy()
+        rx[1, :errors_in_second_packet] ^= 1
+        llr = np.full((2, 10), 5.0)
+        return LinkRunResult(tx, rx, llr, np.array([6.0, 6.0]))
+
+    def test_bit_error_rate(self):
+        assert self.make().bit_error_rate == pytest.approx(0.1)
+
+    def test_packet_ber_and_errors(self):
+        result = self.make()
+        assert np.allclose(result.packet_ber, [0.0, 0.2])
+        assert list(result.packet_errors) == [False, True]
+        assert result.packet_error_rate == pytest.approx(0.5)
+
+    def test_hints_are_absolute_llrs(self):
+        result = self.make()
+        assert np.all(result.hints == 5.0)
+
+    def test_concatenate(self):
+        merged = self.make().concatenate(self.make(errors_in_second_packet=0))
+        assert merged.tx_bits.shape == (4, 10)
+        assert merged.packet_error_rate == pytest.approx(0.25)
+
+
+class TestLinkSimulator:
+    def test_high_snr_link_is_error_free(self, qam16_half):
+        simulator = LinkSimulator(qam16_half, snr_db=25.0, decoder="viterbi",
+                                  packet_bits=200, seed=0)
+        result = simulator.run(4, batch_size=2)
+        assert result.bit_error_rate == 0.0
+
+    def test_low_snr_link_has_errors(self, qam16_half):
+        simulator = LinkSimulator(qam16_half, snr_db=3.0, decoder="viterbi",
+                                  packet_bits=200, seed=0)
+        assert simulator.run(4, batch_size=2).bit_error_rate > 0.01
+
+    def test_same_seed_reproduces_the_run(self, qam16_half):
+        a = LinkSimulator(qam16_half, 8.0, decoder="bcjr", packet_bits=150, seed=5).run(3)
+        b = LinkSimulator(qam16_half, 8.0, decoder="bcjr", packet_bits=150, seed=5).run(3)
+        assert np.array_equal(a.rx_bits, b.rx_bits)
+        assert np.array_equal(a.llr, b.llr)
+
+    def test_snr_callable_sweeps_per_packet(self, qam16_half):
+        simulator = LinkSimulator(
+            qam16_half, snr_db=lambda index: 5.0 + index, decoder="viterbi",
+            packet_bits=150, seed=0,
+        )
+        result = simulator.run(3)
+        assert list(result.snr_db) == [5.0, 6.0, 7.0]
+
+    def test_soft_decoder_produces_hints(self, qam16_half):
+        simulator = LinkSimulator(qam16_half, 9.0, decoder="sova", packet_bits=150, seed=1)
+        result = simulator.run(2)
+        assert result.hints is not None
+        assert result.hints.shape == (2, 150)
+
+    def test_hard_decoder_produces_no_hints(self, qam16_half):
+        simulator = LinkSimulator(qam16_half, 9.0, decoder="viterbi", packet_bits=150, seed=1)
+        assert simulator.run(2).hints is None
+
+    def test_fading_gain_callable_is_applied(self, bpsk_half):
+        deep_fade = LinkSimulator(
+            bpsk_half, 12.0, decoder="viterbi", packet_bits=150, seed=2,
+            fading_gain=lambda index: 0.05,
+        )
+        clear = LinkSimulator(bpsk_half, 12.0, decoder="viterbi", packet_bits=150, seed=2)
+        assert deep_fade.run(3).bit_error_rate > clear.run(3).bit_error_rate
+
+    def test_quantized_demapper_output(self, qam16_half):
+        simulator = LinkSimulator(
+            qam16_half, 12.0, decoder="bcjr", packet_bits=150, seed=3,
+            llr_format=llr_quantizer(4, max_abs=4.0),
+        )
+        assert simulator.run(2).bit_error_rate < 0.05
+
+    def test_batching_does_not_change_results(self, qam16_half):
+        a = LinkSimulator(qam16_half, 8.0, decoder="bcjr", packet_bits=150, seed=9).run(
+            4, batch_size=1
+        )
+        b = LinkSimulator(qam16_half, 8.0, decoder="bcjr", packet_bits=150, seed=9).run(
+            4, batch_size=4
+        )
+        assert np.array_equal(a.rx_bits, b.rx_bits)
+
+    def test_at_least_one_packet_required(self, qam16_half):
+        with pytest.raises(ValueError):
+            LinkSimulator(qam16_half, 8.0).run(0)

@@ -1,0 +1,76 @@
+"""Unit tests for the AWGN channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import AwgnChannel, awgn, noise_variance_for_snr, snr_db_to_linear
+
+
+class TestSnrConversions:
+    def test_db_to_linear(self):
+        assert snr_db_to_linear(0.0) == pytest.approx(1.0)
+        assert snr_db_to_linear(10.0) == pytest.approx(10.0)
+        assert snr_db_to_linear(3.0) == pytest.approx(1.995, rel=1e-3)
+
+    def test_noise_variance_is_inverse_snr(self):
+        assert noise_variance_for_snr(10.0) == pytest.approx(0.1)
+        assert noise_variance_for_snr(0.0, signal_power=2.0) == pytest.approx(2.0)
+
+    def test_vectorised_conversion(self):
+        snrs = np.array([0.0, 10.0, 20.0])
+        assert np.allclose(snr_db_to_linear(snrs), [1.0, 10.0, 100.0])
+
+
+class TestAwgnFunction:
+    def test_noise_power_matches_requested_snr(self, rng):
+        signal = np.ones(200_000, dtype=complex)
+        received = awgn(signal, 7.0, rng=rng)
+        measured = np.var(received - signal)
+        assert measured == pytest.approx(noise_variance_for_snr(7.0), rel=0.05)
+
+    def test_noise_is_circularly_symmetric(self, rng):
+        received = awgn(np.zeros(100_000, dtype=complex), 0.0, rng=rng)
+        assert np.var(received.real) == pytest.approx(np.var(received.imag), rel=0.1)
+        assert abs(np.mean(received)) < 0.02
+
+    def test_high_snr_barely_perturbs(self, rng):
+        signal = np.ones(1000, dtype=complex)
+        received = awgn(signal, 60.0, rng=rng)
+        assert np.max(np.abs(received - signal)) < 0.01
+
+    def test_same_rng_seed_reproduces_noise(self):
+        signal = np.ones(100, dtype=complex)
+        a = awgn(signal, 5.0, rng=np.random.default_rng(3))
+        b = awgn(signal, 5.0, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_signal_power_scaling(self, rng):
+        signal = np.zeros(100_000, dtype=complex)
+        received = awgn(signal, 10.0, rng=rng, signal_power=4.0)
+        assert np.var(received) == pytest.approx(0.4, rel=0.05)
+
+
+class TestAwgnChannel:
+    def test_channel_applies_configured_snr(self):
+        channel = AwgnChannel(snr_db=3.0, seed=1)
+        signal = np.ones(100_000, dtype=complex)
+        received = channel(signal)
+        assert np.var(received - signal) == pytest.approx(channel.noise_variance, rel=0.05)
+
+    def test_reset_replays_the_same_noise(self):
+        channel = AwgnChannel(snr_db=5.0, seed=42)
+        signal = np.ones(64, dtype=complex)
+        first = channel(signal)
+        channel.reset()
+        second = channel(signal)
+        assert np.array_equal(first, second)
+
+    def test_samples_processed_counter(self):
+        channel = AwgnChannel(snr_db=5.0, seed=0)
+        channel(np.zeros(10, dtype=complex))
+        channel(np.zeros(15, dtype=complex))
+        assert channel.samples_processed == 25
+
+    def test_unseeded_channels_differ(self):
+        signal = np.ones(32, dtype=complex)
+        assert not np.array_equal(AwgnChannel(5.0)(signal), AwgnChannel(5.0)(signal))

@@ -1,0 +1,90 @@
+"""Unit tests for the Jakes fading process and the Rayleigh fading channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import JakesFadingProcess, RayleighFadingChannel
+
+
+class TestJakesFadingProcess:
+    def test_mean_power_is_approximately_one(self):
+        process = JakesFadingProcess(doppler_hz=20.0, seed=0)
+        times = np.linspace(0.0, 20.0, 20_000)
+        gains = process.gain(times)
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.15)
+
+    def test_seed_makes_trace_reproducible(self):
+        times = np.linspace(0.0, 1.0, 100)
+        a = JakesFadingProcess(seed=7).gain(times)
+        b = JakesFadingProcess(seed=7).gain(times)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        times = np.linspace(0.0, 1.0, 100)
+        assert not np.array_equal(
+            JakesFadingProcess(seed=1).gain(times), JakesFadingProcess(seed=2).gain(times)
+        )
+
+    def test_gain_varies_over_a_coherence_time(self):
+        process = JakesFadingProcess(doppler_hz=20.0, seed=3)
+        # Over 100 ms (several coherence times at 20 Hz) the envelope moves.
+        envelope = np.abs(process.gain(np.linspace(0.0, 0.1, 50)))
+        assert envelope.max() - envelope.min() > 0.1
+
+    def test_gain_is_smooth_over_a_packet(self):
+        process = JakesFadingProcess(doppler_hz=20.0, seed=3)
+        # An 802.11 frame lasts well under a millisecond: the gain barely moves.
+        gains = process.gain(np.array([0.010, 0.0101]))
+        assert abs(gains[1] - gains[0]) < 0.02
+
+    def test_scalar_time_returns_scalar(self):
+        gain = JakesFadingProcess(seed=0).gain(0.5)
+        assert np.isscalar(gain) or gain.shape == ()
+
+    def test_envelope_db(self):
+        process = JakesFadingProcess(seed=0)
+        db = process.envelope_db(np.linspace(0, 1, 10))
+        assert db.shape == (10,)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            JakesFadingProcess(doppler_hz=0.0)
+        with pytest.raises(ValueError):
+            JakesFadingProcess(num_oscillators=0)
+
+    def test_envelope_is_rayleigh_like(self):
+        """About 50% of samples should be below the mean power (Rayleigh median)."""
+        process = JakesFadingProcess(doppler_hz=20.0, seed=11)
+        power = np.abs(process.gain(np.linspace(0.0, 50.0, 50_000))) ** 2
+        below = np.mean(power < np.log(2))  # Rayleigh power median = ln 2 * mean
+        assert 0.4 < below < 0.6
+
+
+class TestRayleighFadingChannel:
+    def test_apply_returns_samples_and_gain(self, rng):
+        channel = RayleighFadingChannel(snr_db=10.0, seed=0)
+        samples = np.ones(100, dtype=complex)
+        received, gain = channel.apply(samples, rng=rng)
+        assert received.shape == samples.shape
+        assert isinstance(complex(gain), complex)
+
+    def test_advance_moves_the_fade(self):
+        channel = RayleighFadingChannel(snr_db=10.0, doppler_hz=20.0, seed=1)
+        gain_before = channel.gain_now()
+        channel.advance(0.5)
+        assert channel.current_time_s == pytest.approx(0.5)
+        assert abs(channel.gain_now() - gain_before) > 1e-3
+
+    def test_advance_rejects_negative_time(self):
+        channel = RayleighFadingChannel(snr_db=10.0, seed=1)
+        with pytest.raises(ValueError):
+            channel.advance(-1.0)
+
+    def test_instantaneous_snr_tracks_fade_depth(self):
+        channel = RayleighFadingChannel(snr_db=10.0, seed=2)
+        expected = 10.0 + 10.0 * np.log10(np.abs(channel.gain_now()) ** 2)
+        assert channel.instantaneous_snr_db() == pytest.approx(expected)
+
+    def test_noise_variance_from_mean_snr(self):
+        channel = RayleighFadingChannel(snr_db=20.0, seed=0)
+        assert channel.noise_variance == pytest.approx(0.01)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Decoding is the expensive part of the library, so the fixtures default to
+short packets and low packet counts; the benchmarks (not the tests) are
+where statistically heavy runs live.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for test inputs."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def qam16_half():
+    """The QAM16 1/2 rate (24 Mb/s) used by most of the paper's experiments."""
+    return rate_by_mbps(24)
+
+
+@pytest.fixture
+def bpsk_half():
+    """The most robust rate (BPSK 1/2, 6 Mb/s)."""
+    return rate_by_mbps(6)
+
+
+@pytest.fixture
+def qam64_three_quarters():
+    """The fastest rate (QAM64 3/4, 54 Mb/s)."""
+    return rate_by_mbps(54)
+
+
+@pytest.fixture(params=[rate.data_rate_mbps for rate in RATE_TABLE])
+def any_rate(request):
+    """Parametrised fixture running a test over all eight 802.11a/g rates."""
+    return rate_by_mbps(request.param)
+
+
+@pytest.fixture
+def small_packet_bits():
+    """A packet size small enough for fast decoder tests."""
+    return 96

@@ -1,0 +1,36 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.core.clocks import BER_UNIT_CLOCK, ClockDomain, DEFAULT_CLOCK
+
+
+class TestClockDomain:
+    def test_period_is_inverse_of_frequency(self):
+        clock = ClockDomain("c", 50.0)
+        assert clock.period_us == pytest.approx(0.02)
+
+    def test_cycles_to_time_round_trip(self):
+        clock = ClockDomain("c", 60.0)
+        assert clock.us_to_cycles(clock.cycles_to_us(120)) == pytest.approx(120)
+
+    def test_equality_is_by_name_and_frequency(self):
+        assert ClockDomain("a", 35.0) == ClockDomain("a", 35.0)
+        assert ClockDomain("a", 35.0) != ClockDomain("a", 36.0)
+        assert ClockDomain("a", 35.0) != ClockDomain("b", 35.0)
+
+    def test_hashable_for_use_in_sets(self):
+        domains = {ClockDomain("a", 35.0), ClockDomain("a", 35.0), ClockDomain("b", 60.0)}
+        assert len(domains) == 2
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0.0)
+
+    def test_paper_default_clocks(self):
+        assert DEFAULT_CLOCK.frequency_mhz == pytest.approx(35.0)
+        assert BER_UNIT_CLOCK.frequency_mhz == pytest.approx(60.0)
+
+    def test_paper_latency_conversion(self):
+        # 140 cycles at 60 MHz is about 2.3 us (Section 4.3.1).
+        assert BER_UNIT_CLOCK.cycles_to_us(140) == pytest.approx(2.33, abs=0.01)

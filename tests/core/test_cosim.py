@@ -1,0 +1,131 @@
+"""Unit tests for the co-simulation driver and its report."""
+
+import numpy as np
+import pytest
+
+from repro.core.cosim import CoSimulation, CoSimulationReport
+from repro.core.errors import ConfigurationError
+from repro.core.module import FunctionModule, SinkModule, SourceModule
+from repro.core.network import Network
+from repro.core.platform import HostLink, Partition, VirtualPlatform
+from repro.core.scheduler import DataflowScheduler, MultiClockScheduler
+
+
+def build_cosim(tokens, link=None):
+    network = Network("cosim")
+    source = SourceModule("src", tokens)
+    software_stage = FunctionModule("sw_channel", lambda x: x)
+    hardware_stage = FunctionModule("hw_pipeline", lambda x: x * 2)
+    sink = SinkModule("snk")
+    network.chain([source, software_stage, hardware_stage, sink])
+    platform = VirtualPlatform(host_link=link or HostLink())
+    platform.assign_all([source, software_stage], Partition.SOFTWARE)
+    platform.assign_all([hardware_stage, sink], Partition.HARDWARE)
+    return network, platform, sink
+
+
+class TestCoSimulation:
+    def test_runs_and_collects_output(self):
+        tokens = [np.ones(8, dtype=np.uint8) for _ in range(3)]
+        network, platform, sink = build_cosim(tokens)
+        report = CoSimulation(network, platform).run(payload_bits=24)
+        assert len(sink.collected) == 3
+        assert report.payload_bits == 24
+
+    def test_unassigned_module_is_rejected(self):
+        network = Network("incomplete")
+        source = network.add(SourceModule("src", [1]))
+        sink = network.add(SinkModule("snk"))
+        network.connect(source, "out", sink, "in")
+        platform = VirtualPlatform()
+        platform.assign(source, Partition.SOFTWARE)
+        with pytest.raises(ConfigurationError):
+            CoSimulation(network, platform)
+
+    def test_default_platform_places_everything_in_hardware(self):
+        network = Network("default")
+        source = network.add(SourceModule("src", [1]))
+        sink = network.add(SinkModule("snk"))
+        network.connect(source, "out", sink, "in")
+        cosim = CoSimulation(network)
+        report = cosim.run(payload_bits=1)
+        assert report.link_bytes == 0
+
+    def test_cross_partition_traffic_is_metered(self):
+        tokens = [np.zeros(80, dtype=np.uint8) for _ in range(2)]
+        network, platform, _ = build_cosim(tokens)
+        report = CoSimulation(network, platform).run(payload_bits=160)
+        # Two 80-bit packets cross the software->hardware boundary once each
+        # (10 packed bytes per packet).
+        assert report.link_bytes >= 20
+
+    def test_rebuilding_driver_does_not_double_count_traffic(self):
+        tokens = [np.zeros(80, dtype=np.uint8)]
+        network, platform, _ = build_cosim(tokens)
+        CoSimulation(network, platform)
+        cosim = CoSimulation(network, platform)  # re-attach observers
+        report = cosim.run(payload_bits=80)
+        assert report.link_bytes == 10
+
+    def test_busy_seconds_split_by_partition(self):
+        tokens = [np.zeros(64, dtype=np.uint8) for _ in range(4)]
+        network, platform, _ = build_cosim(tokens)
+        report = CoSimulation(network, platform).run(payload_bits=256)
+        assert report.hardware_busy_seconds >= 0.0
+        assert report.software_busy_seconds >= 0.0
+        assert report.bottleneck_partition in (Partition.HARDWARE, Partition.SOFTWARE)
+
+    def test_works_with_multiclock_scheduler(self):
+        tokens = [np.zeros(8, dtype=np.uint8) for _ in range(2)]
+        network, platform, sink = build_cosim(tokens)
+        scheduler = MultiClockScheduler(network)
+        report = CoSimulation(network, platform, scheduler).run(payload_bits=16)
+        assert len(sink.collected) == 2
+        assert report.simulated_time_us > 0
+        assert report.modelled_throughput_mbps is not None
+
+
+class TestCoSimulationReport:
+    def make_report(self, **overrides):
+        values = dict(
+            payload_bits=1000,
+            wall_seconds=0.5,
+            simulated_time_us=100.0,
+            link_bytes=2000,
+            link_utilization=0.1,
+            hardware_firings=10,
+            software_firings=5,
+            scheduler_stats=None,
+            hardware_busy_seconds=0.1,
+            software_busy_seconds=0.3,
+        )
+        values.update(overrides)
+        return CoSimulationReport(**values)
+
+    def test_simulation_speed_is_bits_per_wall_second(self):
+        report = self.make_report()
+        assert report.simulation_speed_bps == pytest.approx(2000.0)
+
+    def test_line_rate_ratio(self):
+        report = self.make_report(wall_seconds=1.0, payload_bits=6_000_000)
+        assert report.line_rate_ratio(6.0) == pytest.approx(1.0)
+
+    def test_modelled_throughput_from_simulated_time(self):
+        report = self.make_report()
+        assert report.modelled_throughput_mbps == pytest.approx(10.0)
+
+    def test_modelled_throughput_none_without_simulated_time(self):
+        report = self.make_report(simulated_time_us=0.0)
+        assert report.modelled_throughput_mbps is None
+
+    def test_bottleneck_uses_busy_time(self):
+        report = self.make_report(
+            hardware_busy_seconds=0.4, software_busy_seconds=0.1
+        )
+        assert report.bottleneck_partition == Partition.HARDWARE
+
+    def test_projected_speed_limited_by_slowest_contributor(self):
+        report = self.make_report(payload_bits=1_000_000, software_busy_seconds=0.5)
+        # Hardware time of 0.1 s and tiny link time: software (0.5 s) limits.
+        speed = report.projected_speed_bps(hardware_seconds=0.1)
+        assert speed == pytest.approx(2_000_000.0)

@@ -1,0 +1,145 @@
+"""Unit tests for the bounded FIFO channels."""
+
+import pytest
+
+from repro.core.clocks import ClockDomain
+from repro.core.errors import FifoEmptyError, FifoFullError
+from repro.core.fifo import Fifo, SyncFifo
+
+
+class TestFifoBasics:
+    def test_new_fifo_is_empty(self):
+        fifo = Fifo(capacity=2)
+        assert fifo.is_empty()
+        assert not fifo.is_full()
+        assert len(fifo) == 0
+
+    def test_enqueue_then_dequeue_returns_same_token(self):
+        fifo = Fifo()
+        fifo.enq("token")
+        assert fifo.deq() == "token"
+
+    def test_fifo_preserves_order(self):
+        fifo = Fifo(capacity=4)
+        for value in (1, 2, 3, 4):
+            fifo.enq(value)
+        assert [fifo.deq() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_first_peeks_without_removing(self):
+        fifo = Fifo()
+        fifo.enq("a")
+        assert fifo.first() == "a"
+        assert len(fifo) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Fifo(capacity=0)
+
+    def test_occupancy_tracks_contents(self):
+        fifo = Fifo(capacity=3)
+        fifo.enq(1)
+        fifo.enq(2)
+        assert fifo.occupancy == 2
+
+
+class TestFifoBoundedness:
+    def test_enqueue_on_full_fifo_raises(self):
+        fifo = Fifo(capacity=1)
+        fifo.enq(1)
+        with pytest.raises(FifoFullError):
+            fifo.enq(2)
+
+    def test_dequeue_on_empty_fifo_raises(self):
+        fifo = Fifo()
+        with pytest.raises(FifoEmptyError):
+            fifo.deq()
+
+    def test_peek_on_empty_fifo_raises(self):
+        fifo = Fifo()
+        with pytest.raises(FifoEmptyError):
+            fifo.first()
+
+    def test_can_enq_and_can_deq_reflect_state(self):
+        fifo = Fifo(capacity=1)
+        assert fifo.can_enq() and not fifo.can_deq()
+        fifo.enq(1)
+        assert not fifo.can_enq() and fifo.can_deq()
+
+    def test_full_then_dequeue_frees_space(self):
+        fifo = Fifo(capacity=1)
+        fifo.enq(1)
+        fifo.deq()
+        fifo.enq(2)
+        assert fifo.deq() == 2
+
+
+class TestFifoStatistics:
+    def test_total_counters_accumulate(self):
+        fifo = Fifo(capacity=2)
+        fifo.enq(1)
+        fifo.enq(2)
+        fifo.deq()
+        assert fifo.total_enqueued == 2
+        assert fifo.total_dequeued == 1
+
+    def test_high_water_records_peak_occupancy(self):
+        fifo = Fifo(capacity=4)
+        fifo.enq(1)
+        fifo.enq(2)
+        fifo.deq()
+        fifo.enq(3)
+        assert fifo.high_water == 2
+
+    def test_stall_counters(self):
+        fifo = Fifo(capacity=1)
+        fifo.enq(1)
+        with pytest.raises(FifoFullError):
+            fifo.enq(2)
+        assert fifo.full_stalls == 1
+        fifo.deq()
+        with pytest.raises(FifoEmptyError):
+            fifo.deq()
+        assert fifo.empty_stalls == 1
+
+    def test_observers_see_enqueued_tokens(self):
+        seen = []
+        fifo = Fifo(capacity=4)
+        fifo.observers.append(seen.append)
+        fifo.enq("x")
+        fifo.enq("y")
+        assert seen == ["x", "y"]
+
+
+class TestFifoBulkOperations:
+    def test_clear_empties_the_fifo(self):
+        fifo = Fifo(capacity=4)
+        fifo.enq(1)
+        fifo.clear()
+        assert fifo.is_empty()
+
+    def test_drain_returns_tokens_in_order(self):
+        fifo = Fifo(capacity=4)
+        for value in (1, 2, 3):
+            fifo.enq(value)
+        assert fifo.drain() == [1, 2, 3]
+        assert fifo.is_empty()
+
+
+class TestSyncFifo:
+    def test_records_source_and_sink_domains(self):
+        fast = ClockDomain("fast", 60)
+        slow = ClockDomain("slow", 35)
+        fifo = SyncFifo(slow, fast)
+        assert fifo.source_domain == slow
+        assert fifo.sink_domain == fast
+
+    def test_behaves_like_a_fifo(self):
+        fifo = SyncFifo(ClockDomain("a", 10), ClockDomain("b", 20), capacity=2)
+        fifo.enq(1)
+        fifo.enq(2)
+        assert fifo.is_full()
+        assert fifo.deq() == 1
+
+    def test_has_crossing_latency(self):
+        fifo = SyncFifo(ClockDomain("a", 10), ClockDomain("b", 20), sync_latency_cycles=3)
+        assert fifo.sync_latency_cycles == 3

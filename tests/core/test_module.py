@@ -1,0 +1,163 @@
+"""Unit tests for the latency-insensitive module base classes."""
+
+import pytest
+
+from repro.core.clocks import ClockDomain, DEFAULT_CLOCK
+from repro.core.errors import ConfigurationError
+from repro.core.fifo import Fifo
+from repro.core.module import FunctionModule, LIModule, SinkModule, SourceModule
+
+
+def connected(producer, consumer, capacity=2):
+    """Wire producer.out to consumer.in with a fresh FIFO and return it."""
+    fifo = Fifo(capacity=capacity)
+    producer.bind_output("out", fifo)
+    consumer.bind_input("in", fifo)
+    return fifo
+
+
+class TestPortBinding:
+    def test_binding_unknown_port_raises(self):
+        module = LIModule("m", input_ports=("in",))
+        with pytest.raises(ConfigurationError):
+            module.bind_input("bogus", Fifo())
+
+    def test_double_binding_raises(self):
+        module = LIModule("m", input_ports=("in",))
+        module.bind_input("in", Fifo())
+        with pytest.raises(ConfigurationError):
+            module.bind_input("in", Fifo())
+
+    def test_accessing_unconnected_port_raises(self):
+        module = LIModule("m", input_ports=("in",))
+        with pytest.raises(ConfigurationError):
+            module.input_fifo("in")
+
+    def test_default_clock_is_baseband(self):
+        assert LIModule("m").clock == DEFAULT_CLOCK
+
+    def test_explicit_clock_is_kept(self):
+        fast = ClockDomain("fast", 60)
+        assert LIModule("m", clock=fast).clock == fast
+
+
+class TestFiringRule:
+    def test_module_with_no_ports_can_always_fire(self):
+        assert LIModule("m").can_fire()
+
+    def test_empty_input_blocks_firing(self):
+        source = SourceModule("src", [])
+        sink = SinkModule("snk")
+        connected(source, sink)
+        assert not sink.can_fire()
+
+    def test_full_output_blocks_firing(self):
+        source = SourceModule("src", [1, 2, 3])
+        sink = SinkModule("snk")
+        fifo = connected(source, sink, capacity=1)
+        fifo.enq("existing")
+        assert not source.can_fire()
+
+    def test_unconnected_declared_ports_do_not_block(self):
+        module = FunctionModule("f", lambda x: x)
+        fifo_in = Fifo()
+        module.bind_input("in", fifo_in)
+        fifo_in.enq(1)
+        # Output port left unconnected: can_fire ignores it, but firing
+        # would fail, so only the guard is exercised here.
+        assert module.can_fire()
+
+
+class TestSourceModule:
+    def test_emits_tokens_in_order(self):
+        source = SourceModule("src", ["a", "b"])
+        sink = SinkModule("snk")
+        fifo = connected(source, sink, capacity=4)
+        assert source.step()
+        assert source.step()
+        assert not source.step()  # exhausted
+        assert fifo.drain() == ["a", "b"]
+
+    def test_feed_appends_tokens(self):
+        source = SourceModule("src")
+        source.feed([1, 2])
+        assert source.pending == 2
+
+    def test_is_quiescent_when_exhausted(self):
+        source = SourceModule("src", [1])
+        sink = SinkModule("snk")
+        connected(source, sink)
+        assert not source.is_quiescent()
+        source.step()
+        assert source.is_quiescent()
+
+    def test_emitted_counter(self):
+        source = SourceModule("src", [1, 2, 3])
+        sink = SinkModule("snk")
+        connected(source, sink, capacity=4)
+        while source.step():
+            pass
+        assert source.emitted == 3
+
+
+class TestSinkModule:
+    def test_collects_everything(self):
+        source = SourceModule("src", [1, 2, 3])
+        sink = SinkModule("snk")
+        connected(source, sink, capacity=4)
+        while source.step():
+            pass
+        while sink.step():
+            pass
+        assert sink.collected == [1, 2, 3]
+
+    def test_drain_resets_collection(self):
+        sink = SinkModule("snk")
+        sink.collected = [1]
+        assert sink.drain() == [1]
+        assert sink.collected == []
+
+
+class TestFunctionModule:
+    def test_applies_function_to_each_token(self):
+        source = SourceModule("src", [1, 2, 3])
+        double = FunctionModule("dbl", lambda x: 2 * x)
+        sink = SinkModule("snk")
+        connected(source, double)
+        fifo_out = Fifo(capacity=4)
+        double.bind_output("out", fifo_out)
+        sink.bind_input("in", fifo_out)
+        for _ in range(3):
+            source.step()
+            double.step()
+            sink.step()
+        assert sink.collected == [2, 4, 6]
+
+    def test_returning_none_emits_nothing(self):
+        drop = FunctionModule("drop", lambda x: None)
+        fifo_in, fifo_out = Fifo(), Fifo()
+        drop.bind_input("in", fifo_in)
+        drop.bind_output("out", fifo_out)
+        fifo_in.enq("token")
+        assert drop.step()
+        assert fifo_out.is_empty()
+
+
+class TestStepAccounting:
+    def test_fire_and_stall_counters(self):
+        source = SourceModule("src", [1])
+        sink = SinkModule("snk")
+        connected(source, sink)
+        assert source.step()
+        assert not source.step()
+        assert source.fire_count == 1
+        assert source.stall_count == 1
+
+    def test_busy_seconds_accumulates(self):
+        source = SourceModule("src", [1, 2])
+        sink = SinkModule("snk")
+        connected(source, sink, capacity=4)
+        source.step()
+        source.step()
+        assert source.busy_seconds >= 0.0
+        assert source.fire_count == 2

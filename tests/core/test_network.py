@@ -1,0 +1,108 @@
+"""Unit tests for the module graph and automatic clock-domain crossings."""
+
+import pytest
+
+from repro.core.clocks import BER_UNIT_CLOCK, ClockDomain, DEFAULT_CLOCK
+from repro.core.errors import ConfigurationError
+from repro.core.fifo import Fifo, SyncFifo
+from repro.core.module import FunctionModule, SinkModule, SourceModule
+from repro.core.network import Network
+
+
+def simple_chain(clock_b=None):
+    network = Network("test")
+    source = SourceModule("src", [1, 2, 3])
+    middle = FunctionModule("mid", lambda x: x + 1, clock=clock_b)
+    sink = SinkModule("snk")
+    network.chain([source, middle, sink])
+    return network, source, middle, sink
+
+
+class TestConstruction:
+    def test_add_rejects_duplicate_names(self):
+        network = Network("test")
+        network.add(SourceModule("src"))
+        with pytest.raises(ConfigurationError):
+            network.add(SourceModule("src"))
+
+    def test_connect_requires_modules_in_network(self):
+        network = Network("test")
+        source = SourceModule("src")
+        sink = SinkModule("snk")
+        network.add(source)
+        with pytest.raises(ConfigurationError):
+            network.connect(source, "out", sink, "in")
+
+    def test_chain_adds_and_connects(self):
+        network, source, middle, sink = simple_chain()
+        assert len(network.modules) == 3
+        assert len(network.connections) == 2
+
+    def test_module_lookup_by_name(self):
+        network, source, _, _ = simple_chain()
+        assert network.module("src") is source
+        with pytest.raises(ConfigurationError):
+            network.module("missing")
+
+    def test_default_capacity_is_two_elements(self):
+        network, _, _, _ = simple_chain()
+        assert all(c.fifo.capacity == 2 for c in network.connections)
+
+    def test_connect_with_custom_capacity(self):
+        network = Network("test", default_capacity=2)
+        a = network.add(SourceModule("a"))
+        b = network.add(SinkModule("b"))
+        connection = network.connect(a, "out", b, "in", capacity=8)
+        assert connection.fifo.capacity == 8
+
+
+class TestClockDomainCrossing:
+    def test_same_domain_uses_plain_fifo(self):
+        network, _, _, _ = simple_chain()
+        assert all(isinstance(c.fifo, Fifo) for c in network.connections)
+        assert not network.clock_crossings()
+
+    def test_different_domains_insert_sync_fifo(self):
+        network, _, middle, _ = simple_chain(clock_b=BER_UNIT_CLOCK)
+        crossings = network.clock_crossings()
+        assert len(crossings) == 2  # into and out of the 60 MHz module
+        assert all(isinstance(c.fifo, SyncFifo) for c in crossings)
+
+    def test_sync_fifo_records_both_domains(self):
+        network, _, middle, _ = simple_chain(clock_b=BER_UNIT_CLOCK)
+        crossing = network.clock_crossings()[0]
+        assert crossing.fifo.source_domain == DEFAULT_CLOCK
+        assert crossing.fifo.sink_domain == BER_UNIT_CLOCK
+
+    def test_clock_domains_enumerates_all(self):
+        network, _, _, _ = simple_chain(clock_b=ClockDomain("fast", 120))
+        names = {domain.name for domain in network.clock_domains()}
+        assert names == {"baseband", "fast"}
+
+
+class TestValidation:
+    def test_validate_passes_for_complete_network(self):
+        network, _, _, _ = simple_chain()
+        network.validate()
+
+    def test_validate_reports_unconnected_ports(self):
+        network = Network("test")
+        network.add(FunctionModule("orphan", lambda x: x))
+        with pytest.raises(ConfigurationError) as excinfo:
+            network.validate()
+        assert "orphan" in str(excinfo.value)
+
+
+class TestReset:
+    def test_reset_clears_fifos_and_counters(self):
+        network, source, middle, sink = simple_chain()
+        source.step()
+        middle.step()
+        network.reset()
+        assert all(c.fifo.is_empty() for c in network.connections)
+        assert source.fire_count == 0
+        assert middle.fire_count == 0
+
+    def test_fifos_listing_matches_connections(self):
+        network, _, _, _ = simple_chain()
+        assert len(network.fifos()) == len(network.connections)

@@ -1,0 +1,143 @@
+"""Unit tests for the virtual platform, host link and scratchpads."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.module import FunctionModule, SinkModule, SourceModule
+from repro.core.network import Network
+from repro.core.platform import HostLink, Partition, Scratchpad, VirtualPlatform
+
+
+class TestHostLink:
+    def test_transfer_accounts_bytes_by_direction(self):
+        link = HostLink(bandwidth_mbytes_per_s=100.0)
+        link.transfer(1000, to_hardware=True)
+        link.transfer(500, to_hardware=False)
+        assert link.bytes_to_hardware == 1000
+        assert link.bytes_to_software == 500
+        assert link.total_bytes == 1500
+        assert link.transfers == 2
+
+    def test_transfer_duration_scales_with_size(self):
+        # 1 MB over a 2 MB/s link takes 0.5 s = 500000 us, plus 5 us latency.
+        link = HostLink(bandwidth_mbytes_per_s=2.0, latency_us=5.0)
+        assert link.transfer(1_000_000, to_hardware=True) == pytest.approx(500_005.0)
+
+    def test_negative_transfer_rejected(self):
+        link = HostLink()
+        with pytest.raises(ValueError):
+            link.transfer(-1, to_hardware=True)
+
+    def test_utilization_fraction(self):
+        link = HostLink(bandwidth_mbytes_per_s=700.0)
+        link.transfer(70_000_000, to_hardware=True)  # 70 MB over 1 s
+        assert link.utilization(1.0) == pytest.approx(0.1)
+
+    def test_reset_clears_counters(self):
+        link = HostLink()
+        link.transfer(10, to_hardware=True)
+        link.reset()
+        assert link.total_bytes == 0
+
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HostLink(bandwidth_mbytes_per_s=0)
+
+    def test_token_size_for_bit_arrays_is_packed(self):
+        bits = np.zeros(800, dtype=np.uint8)
+        assert HostLink.token_size_bytes(bits) == 100
+
+    def test_token_size_for_complex_samples_uses_buffer_size(self):
+        samples = np.zeros(100, dtype=np.complex128)
+        assert HostLink.token_size_bytes(samples) == 1600
+
+    def test_token_size_for_plain_objects(self):
+        assert HostLink.token_size_bytes(b"abcd") == 4
+        assert HostLink.token_size_bytes([1, 2, 3]) == 24
+        assert HostLink.token_size_bytes(42) == 8
+
+
+class TestScratchpad:
+    def test_read_back_written_value(self):
+        memory = Scratchpad("mem", 16)
+        memory.write(3, 99)
+        assert memory.read(3) == 99
+
+    def test_unwritten_addresses_return_fill(self):
+        memory = Scratchpad("mem", 16, fill=-1)
+        assert memory.read(0) == -1
+
+    def test_out_of_range_access_raises(self):
+        memory = Scratchpad("mem", 4)
+        with pytest.raises(IndexError):
+            memory.read(4)
+        with pytest.raises(IndexError):
+            memory.write(-1, 0)
+
+    def test_block_operations(self):
+        memory = Scratchpad("mem", 16)
+        memory.write_block(4, [1, 2, 3])
+        assert memory.read_block(4, 3) == [1, 2, 3]
+
+    def test_access_counters_and_clear(self):
+        memory = Scratchpad("mem", 8)
+        memory.write(0, 1)
+        memory.read(0)
+        assert (memory.reads, memory.writes) == (1, 1)
+        memory.clear()
+        assert (memory.reads, memory.writes) == (0, 0)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Scratchpad("mem", 0)
+
+
+class TestVirtualPlatform:
+    def build(self):
+        network = Network("net")
+        source = network.add(SourceModule("src", [1]))
+        stage = network.add(FunctionModule("hw", lambda x: x))
+        sink = network.add(SinkModule("snk"))
+        network.chain([source, stage, sink])
+        platform = VirtualPlatform()
+        platform.assign(source, Partition.SOFTWARE)
+        platform.assign(stage, Partition.HARDWARE)
+        platform.assign(sink, Partition.SOFTWARE)
+        return network, platform, source, stage, sink
+
+    def test_partition_assignment_and_lookup(self):
+        _, platform, source, stage, _ = self.build()
+        assert platform.partition_of(source) == Partition.SOFTWARE
+        assert platform.partition_of(stage) == Partition.HARDWARE
+
+    def test_double_assignment_raises(self):
+        _, platform, source, _, _ = self.build()
+        with pytest.raises(ConfigurationError):
+            platform.assign(source, Partition.HARDWARE)
+
+    def test_unknown_partition_name_raises(self):
+        platform = VirtualPlatform()
+        with pytest.raises(ConfigurationError):
+            platform.assign(SourceModule("s"), "gpu")
+
+    def test_unassigned_module_lookup_raises(self):
+        platform = VirtualPlatform()
+        with pytest.raises(ConfigurationError):
+            platform.partition_of(SourceModule("unassigned"))
+
+    def test_modules_in_partition(self):
+        _, platform, source, stage, sink = self.build()
+        assert platform.modules_in(Partition.SOFTWARE) == [source, sink]
+        assert platform.modules_in(Partition.HARDWARE) == [stage]
+
+    def test_cross_partition_connections_found(self):
+        network, platform, _, _, _ = self.build()
+        crossings = platform.cross_partition_connections(network)
+        assert len(crossings) == 2  # sw -> hw and hw -> sw
+
+    def test_scratchpad_created_once_per_name(self):
+        platform = VirtualPlatform()
+        first = platform.scratchpad("traces")
+        second = platform.scratchpad("traces")
+        assert first is second

@@ -1,0 +1,77 @@
+"""Unit tests for the plug-n-play module registry."""
+
+import pytest
+
+from repro.core.errors import UnknownImplementationError
+from repro.core.registry import ModuleRegistry
+
+
+class TestRegistration:
+    def test_register_and_create(self):
+        registry = ModuleRegistry()
+        registry.add("decoder", "stub", lambda: "decoder-instance")
+        assert registry.create("decoder", "stub") == "decoder-instance"
+
+    def test_decorator_registration(self):
+        registry = ModuleRegistry()
+
+        @registry.register("channel", "noiseless")
+        def make_channel():
+            return "channel"
+
+        assert registry.create("channel", "noiseless") == "channel"
+
+    def test_reregistration_replaces_factory(self):
+        registry = ModuleRegistry()
+        registry.add("role", "impl", lambda: 1)
+        registry.add("role", "impl", lambda: 2)
+        assert registry.create("role", "impl") == 2
+
+    def test_kwargs_forwarded_to_factory(self):
+        registry = ModuleRegistry()
+        registry.add("decoder", "parametric", lambda depth=0: depth)
+        assert registry.create("decoder", "parametric", depth=7) == 7
+
+
+class TestLookup:
+    def test_unknown_implementation_raises_with_known_list(self):
+        registry = ModuleRegistry()
+        registry.add("decoder", "viterbi", lambda: None)
+        with pytest.raises(UnknownImplementationError) as excinfo:
+            registry.create("decoder", "turbo")
+        assert "viterbi" in str(excinfo.value)
+
+    def test_unknown_role_raises(self):
+        registry = ModuleRegistry()
+        with pytest.raises(UnknownImplementationError):
+            registry.implementations("nonexistent")
+
+    def test_roles_and_implementations_are_sorted(self):
+        registry = ModuleRegistry()
+        registry.add("b_role", "z", lambda: None)
+        registry.add("a_role", "m", lambda: None)
+        registry.add("a_role", "a", lambda: None)
+        assert registry.roles() == ["a_role", "b_role"]
+        assert registry.implementations("a_role") == ["a", "m"]
+
+    def test_has_reports_registration(self):
+        registry = ModuleRegistry()
+        registry.add("role", "impl", lambda: None)
+        assert registry.has("role", "impl")
+        assert not registry.has("role", "other")
+
+
+class TestConfigurationBuild:
+    def test_build_configuration_instantiates_every_role(self):
+        registry = ModuleRegistry()
+        registry.add("decoder", "a", lambda **_: "decoder-a")
+        registry.add("channel", "awgn", lambda **_: "channel-awgn")
+        built = registry.build_configuration({"decoder": "a", "channel": "awgn"})
+        assert built == {"decoder": "decoder-a", "channel": "channel-awgn"}
+
+    def test_shared_kwargs_reach_every_factory(self):
+        registry = ModuleRegistry()
+        registry.add("x", "impl", lambda scale=1: ("x", scale))
+        registry.add("y", "impl", lambda scale=1: ("y", scale))
+        built = registry.build_configuration({"x": "impl", "y": "impl"}, scale=3)
+        assert built == {"x": ("x", 3), "y": ("y", 3)}

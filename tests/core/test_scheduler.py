@@ -1,0 +1,114 @@
+"""Unit tests for the dataflow and multi-clock schedulers."""
+
+import pytest
+
+from repro.core.clocks import ClockDomain
+from repro.core.errors import SchedulerDeadlockError
+from repro.core.module import FunctionModule, LIModule, SinkModule, SourceModule
+from repro.core.network import Network
+from repro.core.scheduler import DataflowScheduler, MultiClockScheduler
+
+
+def build_pipeline(tokens, clock_map=None):
+    clock_map = clock_map or {}
+    network = Network("pipeline")
+    source = SourceModule("src", tokens, clock=clock_map.get("src"))
+    stage = FunctionModule("stage", lambda x: x * 10, clock=clock_map.get("stage"))
+    sink = SinkModule("snk", clock=clock_map.get("snk"))
+    network.chain([source, stage, sink])
+    return network, source, stage, sink
+
+
+class TestDataflowScheduler:
+    def test_runs_pipeline_to_completion(self):
+        network, _, _, sink = build_pipeline([1, 2, 3, 4])
+        DataflowScheduler(network).run()
+        assert sink.collected == [10, 20, 30, 40]
+
+    def test_handles_more_tokens_than_fifo_capacity(self):
+        network, _, _, sink = build_pipeline(list(range(50)))
+        DataflowScheduler(network).run()
+        assert sink.collected == [10 * i for i in range(50)]
+
+    def test_records_firings_per_module(self):
+        network, _, _, _ = build_pipeline([1, 2, 3])
+        scheduler = DataflowScheduler(network)
+        stats = scheduler.run()
+        assert stats.firings_per_module["src"] == 3
+        assert stats.firings_per_module["stage"] == 3
+        assert stats.total_firings == 9
+
+    def test_decoupled_mode_needs_fewer_passes_than_lockstep(self):
+        tokens = list(range(20))
+        decoupled_net, _, _, _ = build_pipeline(tokens)
+        lockstep_net, _, _, _ = build_pipeline(tokens)
+        decoupled = DataflowScheduler(decoupled_net).run()
+        lockstep = DataflowScheduler(lockstep_net, lockstep=True).run()
+        assert decoupled.steps < lockstep.steps
+
+    def test_lockstep_produces_identical_results(self):
+        tokens = list(range(15))
+        net_a, _, _, sink_a = build_pipeline(tokens)
+        net_b, _, _, sink_b = build_pipeline(tokens)
+        DataflowScheduler(net_a).run()
+        DataflowScheduler(net_b, lockstep=True).run()
+        assert sink_a.collected == sink_b.collected
+
+    def test_deadlock_is_detected(self):
+        class NeedsTwoInputs(LIModule):
+            """Waits for a port that is never fed."""
+
+            def __init__(self):
+                super().__init__("stuck", input_ports=("in", "extra"))
+
+            def fire(self):  # pragma: no cover - never fires
+                raise AssertionError
+
+            def is_quiescent(self):
+                return False
+
+        network = Network("deadlock")
+        source = SourceModule("src", [1])
+        stuck = NeedsTwoInputs()
+        network.add(source)
+        network.add(stuck)
+        network.connect(source, "out", stuck, "in")
+        from repro.core.fifo import Fifo
+
+        stuck.bind_input("extra", Fifo())
+        with pytest.raises(SchedulerDeadlockError):
+            DataflowScheduler(network).run()
+
+
+class TestMultiClockScheduler:
+    def test_runs_pipeline_to_completion(self):
+        network, _, _, sink = build_pipeline([1, 2, 3])
+        MultiClockScheduler(network).run()
+        assert sink.collected == [10, 20, 30]
+
+    def test_simulated_time_advances(self):
+        network, _, _, _ = build_pipeline([1, 2, 3])
+        stats = MultiClockScheduler(network).run()
+        assert stats.simulated_time_us > 0
+
+    def test_faster_domain_gets_more_cycles(self):
+        fast = ClockDomain("fast", 70.0)
+        network, _, _, _ = build_pipeline(
+            list(range(10)), clock_map={"stage": fast}
+        )
+        stats = MultiClockScheduler(network).run()
+        assert stats.cycles_per_domain["fast"] > stats.cycles_per_domain["baseband"]
+
+    def test_until_callback_stops_early(self):
+        network, _, _, sink = build_pipeline(list(range(100)))
+        scheduler = MultiClockScheduler(network)
+        scheduler.run(until=lambda: len(sink.collected) >= 5)
+        assert 5 <= len(sink.collected) < 100
+
+    def test_matches_dataflow_results(self):
+        tokens = list(range(12))
+        net_a, _, _, sink_a = build_pipeline(tokens)
+        net_b, _, _, sink_b = build_pipeline(tokens)
+        DataflowScheduler(net_a).run()
+        MultiClockScheduler(net_b).run()
+        assert sink_a.collected == sink_b.collected

@@ -1,0 +1,98 @@
+"""Unit tests for the calibrated area model (Figure 8)."""
+
+import pytest
+
+from repro.hwmodel.area import (
+    AreaEstimate,
+    AreaModel,
+    DecoderAreaParameters,
+    PAPER_FIGURE8,
+)
+
+
+class TestCalibrationPoint:
+    """At the paper's configuration the model reproduces Figure 8 exactly."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return AreaModel(DecoderAreaParameters())
+
+    @pytest.mark.parametrize("block,expected", sorted(PAPER_FIGURE8.items()))
+    def test_every_figure8_row_is_reproduced(self, model, block, expected):
+        estimate = model.estimate(block)
+        assert estimate.luts == expected[0]
+        assert estimate.registers == expected[1]
+
+    def test_bcjr_is_about_twice_sova(self, model):
+        assert model.area_ratio("bcjr", "sova") == pytest.approx(2.18, abs=0.1)
+        assert model.area_ratio("bcjr", "sova", resource="registers") == pytest.approx(
+            2.53, abs=0.1
+        )
+
+    def test_sova_is_about_twice_viterbi(self, model):
+        assert model.area_ratio("sova", "viterbi") == pytest.approx(2.0, abs=0.1)
+
+    def test_transceiver_overhead_is_about_ten_percent(self, model):
+        """The paper's conclusion: SoftPHY costs ~10% of a transceiver."""
+        assert 0.03 < model.transceiver_overhead("bcjr") < 0.20
+        assert 0.03 < model.transceiver_overhead("sova") < 0.10
+
+
+class TestParameterScaling:
+    def test_longer_bcjr_blocks_cost_more_area(self):
+        small = AreaModel(DecoderAreaParameters(block_length=32))
+        large = AreaModel(DecoderAreaParameters(block_length=128))
+        assert large.decoder_total("bcjr").luts > small.decoder_total("bcjr").luts
+
+    def test_bcjr_area_is_dominated_by_the_reversal_buffer(self):
+        model = AreaModel(DecoderAreaParameters())
+        breakdown = {e.name: e for e in model.decoder_breakdown("bcjr")}
+        assert (
+            breakdown["final_reversal_buffer"].registers
+            > 0.5 * model.decoder_total("bcjr").registers
+        )
+
+    def test_longer_sova_traceback_costs_more_area(self):
+        small = AreaModel(DecoderAreaParameters(traceback_length=32))
+        large = AreaModel(DecoderAreaParameters(traceback_length=128))
+        assert large.decoder_total("sova").registers > small.decoder_total("sova").registers
+
+    def test_viterbi_unaffected_by_bcjr_block_length(self):
+        a = AreaModel(DecoderAreaParameters(block_length=32)).decoder_total("viterbi")
+        b = AreaModel(DecoderAreaParameters(block_length=128)).decoder_total("viterbi")
+        assert a.luts == b.luts
+
+    def test_wider_soft_inputs_grow_the_bmu(self):
+        narrow = AreaModel(DecoderAreaParameters(soft_input_bits=3))
+        wide = AreaModel(DecoderAreaParameters(soft_input_bits=8))
+        assert wide.estimate("branch_metric_unit").luts > narrow.estimate(
+            "branch_metric_unit"
+        ).luts
+
+    def test_ratio_structure_is_roughly_preserved_across_block_sizes(self):
+        """BCJR stays the largest decoder even at half the block length."""
+        model = AreaModel(DecoderAreaParameters(block_length=32, traceback_length=32))
+        assert model.area_ratio("bcjr", "sova") > 1.5
+        assert model.area_ratio("sova", "viterbi") > 1.5
+
+
+class TestValidation:
+    def test_unknown_block_rejected(self):
+        with pytest.raises(KeyError):
+            AreaModel().estimate("fft")
+
+    def test_unknown_decoder_rejected(self):
+        with pytest.raises(KeyError):
+            AreaModel().decoder_total("turbo")
+
+    def test_parameters_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DecoderAreaParameters(num_states=0)
+
+    def test_area_estimate_addition_and_scaling(self):
+        a = AreaEstimate("a", 10, 20)
+        b = AreaEstimate("b", 1, 2)
+        combined = a + b
+        assert (combined.luts, combined.registers) == (11, 22)
+        tripled = b.scaled(3, name="b3")
+        assert (tripled.luts, tripled.registers) == (3, 6)

@@ -1,0 +1,90 @@
+"""Unit tests for the latency model (the Section 4.3 formulas)."""
+
+import pytest
+
+from repro.hwmodel.latency import (
+    IEEE80211_LATENCY_BOUND_US,
+    LatencyReport,
+    bcjr_latency_cycles,
+    cycles_to_microseconds,
+    decoder_latency_report,
+    meets_latency_bound,
+    sova_latency_cycles,
+    viterbi_latency_cycles,
+)
+
+
+class TestSovaLatency:
+    def test_paper_configuration_is_140_cycles(self):
+        assert sova_latency_cycles(64, 64) == 140
+
+    def test_formula_is_l_plus_k_plus_12(self):
+        assert sova_latency_cycles(32, 48) == 32 + 48 + 12
+
+    def test_paper_microsecond_claim(self):
+        latency = cycles_to_microseconds(sova_latency_cycles(64, 64), 60.0)
+        assert latency == pytest.approx(2.33, abs=0.05)
+        assert latency <= 2.3 + 0.05  # "no more than 2.3 us"
+
+    def test_positive_lengths_required(self):
+        with pytest.raises(ValueError):
+            sova_latency_cycles(0, 64)
+
+
+class TestBcjrLatency:
+    def test_paper_configuration_is_135_cycles(self):
+        assert bcjr_latency_cycles(64) == 135
+
+    def test_formula_is_2n_plus_7(self):
+        assert bcjr_latency_cycles(32) == 71
+
+    def test_paper_microsecond_claim(self):
+        assert cycles_to_microseconds(bcjr_latency_cycles(64), 60.0) == pytest.approx(
+            2.25, abs=0.05
+        )
+
+    def test_comparable_to_sova_at_same_window(self):
+        """The paper notes the two latencies are comparable at 64."""
+        assert abs(bcjr_latency_cycles(64) - sova_latency_cycles(64, 64)) <= 10
+
+    def test_positive_block_required(self):
+        with pytest.raises(ValueError):
+            bcjr_latency_cycles(0)
+
+
+class TestLatencyBound:
+    def test_both_decoders_meet_the_80211_bound(self):
+        for cycles in (sova_latency_cycles(64, 64), bcjr_latency_cycles(64)):
+            assert meets_latency_bound(cycles_to_microseconds(cycles, 60.0))
+
+    def test_bound_value(self):
+        assert IEEE80211_LATENCY_BOUND_US == 25.0
+
+    def test_very_long_windows_break_the_bound(self):
+        cycles = sova_latency_cycles(1000, 1000)
+        assert not meets_latency_bound(cycles_to_microseconds(cycles, 60.0))
+
+    def test_viterbi_latency_is_shortest(self):
+        assert viterbi_latency_cycles(64) < sova_latency_cycles(64, 64)
+        assert viterbi_latency_cycles(64) < bcjr_latency_cycles(64)
+
+
+class TestLatencyReport:
+    def test_report_fields(self):
+        report = LatencyReport("sova", 140, clock_mhz=60.0)
+        assert report.microseconds == pytest.approx(2.33, abs=0.01)
+        assert report.meets_80211_bound
+
+    def test_decoder_latency_report_dispatch(self):
+        assert decoder_latency_report("sova").cycles == 140
+        assert decoder_latency_report("bcjr").cycles == 135
+        assert decoder_latency_report("bcjr", block_length=32).cycles == 71
+        assert decoder_latency_report("viterbi").cycles == viterbi_latency_cycles(64)
+
+    def test_unknown_decoder_rejected(self):
+        with pytest.raises(ValueError):
+            decoder_latency_report("turbo")
+
+    def test_conversion_validation(self):
+        with pytest.raises(ValueError):
+            cycles_to_microseconds(100, 0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the synthesis report and the pipeline throughput model."""
+
+import pytest
+
+from repro.hwmodel.synthesis import SynthesisReport, synthesize
+from repro.hwmodel.throughput import (
+    BASEBAND_CLOCK_MHZ,
+    SAMPLES_PER_SYMBOL,
+    hardware_time_seconds,
+    line_rate_duration_seconds,
+    meets_line_rate,
+    sustainable_rate_mbps,
+    symbol_rate_hz,
+)
+from repro.hwmodel.area import DecoderAreaParameters
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+
+
+class TestSynthesisReport:
+    def test_default_report_matches_figure8_totals(self):
+        report = synthesize()
+        totals = report.totals()
+        assert totals["bcjr"].luts == 32936
+        assert totals["sova"].luts == 15114
+        assert totals["viterbi"].luts == 7569
+
+    def test_headline_ratios(self):
+        report = synthesize()
+        assert report.bcjr_to_sova_ratio == pytest.approx(2.18, abs=0.05)
+        assert report.sova_to_viterbi_ratio == pytest.approx(2.0, abs=0.05)
+
+    def test_table_contains_every_figure8_row(self):
+        rendered = synthesize().table().render()
+        for name in ("BCJR", "SOVA", "Viterbi", "Final Rev. Buf.", "Soft TU"):
+            assert name in rendered
+
+    def test_custom_parameters_change_the_report(self):
+        small = synthesize(DecoderAreaParameters(block_length=32))
+        assert small.totals()["bcjr"].luts < synthesize().totals()["bcjr"].luts
+
+    def test_report_type(self):
+        assert isinstance(synthesize(), SynthesisReport)
+
+
+class TestThroughputModel:
+    def test_symbol_rate_at_35_mhz(self):
+        assert symbol_rate_hz(35.0) == pytest.approx(35e6 / 80)
+
+    def test_every_80211g_rate_is_sustained(self):
+        """The paper: the 35/60 MHz configuration reaches 54 Mb/s."""
+        for rate in RATE_TABLE:
+            assert meets_line_rate(rate)
+
+    def test_sustainable_rate_exceeds_line_rate_with_headroom(self):
+        rate = rate_by_mbps(54)
+        assert sustainable_rate_mbps(rate) > 54.0
+
+    def test_slow_clock_cannot_sustain_the_top_rate(self):
+        rate = rate_by_mbps(54)
+        assert not meets_line_rate(rate, baseband_clock_mhz=10.0)
+
+    def test_bit_unit_clock_can_become_the_bottleneck(self):
+        rate = rate_by_mbps(54)
+        generous_baseband = sustainable_rate_mbps(rate, baseband_clock_mhz=1000.0,
+                                                  bit_clock_mhz=60.0)
+        assert generous_baseband == pytest.approx(60.0, rel=0.01)
+
+    def test_hardware_time_for_symbols(self):
+        seconds = hardware_time_seconds(rate_by_mbps(24), num_symbols=100)
+        assert seconds == pytest.approx(100 * SAMPLES_PER_SYMBOL / (BASEBAND_CLOCK_MHZ * 1e6))
+
+    def test_hardware_runs_faster_than_the_air_interface(self):
+        """At 35 MHz the modelled pipeline is faster than real time."""
+        assert hardware_time_seconds(rate_by_mbps(54), 100) < line_rate_duration_seconds(100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symbol_rate_hz(0.0)
+        with pytest.raises(ValueError):
+            hardware_time_seconds(rate_by_mbps(6), -1)

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fifo import Fifo
+from repro.core.module import FunctionModule, SinkModule, SourceModule
+from repro.core.network import Network
+from repro.core.scheduler import DataflowScheduler
+from repro.fixedpoint import FixedPointFormat
+from repro.phy.convolutional import IEEE80211_CODE, depuncture, puncture
+from repro.phy.interleaver import Interleaver
+from repro.phy.mapper import Mapper
+from repro.phy.ofdm import OfdmDemodulator, OfdmModulator
+from repro.phy.params import CODE_RATES, MODULATIONS, RATE_TABLE
+from repro.phy.scrambler import scramble
+from repro.phy.viterbi import ViterbiDecoder
+from repro.softphy.ber_estimator import ber_to_llr, llr_to_ber
+
+bit_arrays = st.integers(min_value=1, max_value=300).flatmap(
+    lambda n: st.binary(min_size=n, max_size=n)
+).map(lambda raw: np.frombuffer(raw, dtype=np.uint8) % 2)
+
+
+class TestFifoProperties:
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_is_order_preserving_under_any_interleaving(self, values, capacity):
+        """Whatever the enqueue/dequeue interleaving, output order equals input order."""
+        fifo = Fifo(capacity=capacity)
+        out = []
+        pending = list(values)
+        while pending or not fifo.is_empty():
+            if pending and fifo.can_enq():
+                fifo.enq(pending.pop(0))
+            if fifo.can_deq():
+                out.append(fifo.deq())
+        assert out == list(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_pipeline_delivers_every_token_exactly_once(self, tokens):
+        network = Network("prop")
+        source = SourceModule("src", list(tokens))
+        stage = FunctionModule("stage", lambda x: x)
+        sink = SinkModule("snk")
+        network.chain([source, stage, sink])
+        DataflowScheduler(network).run()
+        assert sink.collected == list(tokens)
+
+
+class TestScramblerAndCodingProperties:
+    @given(bit_arrays, st.integers(min_value=1, max_value=127))
+    @settings(max_examples=50, deadline=None)
+    def test_scramble_is_involutive_for_any_seed(self, bits, seed):
+        assert np.array_equal(scramble(scramble(bits, seed=seed), seed=seed), bits)
+
+    @given(bit_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_encoder_output_length_and_termination(self, bits):
+        coded = IEEE80211_CODE.encode(bits)
+        assert coded.size == 2 * (bits.size + 6)
+        # Termination: the last memory steps drive the register back to zero,
+        # so encoding is deterministic in the tail regardless of payload.
+        assert set(np.unique(coded)) <= {0, 1}
+
+    @given(bit_arrays, st.sampled_from(sorted(CODE_RATES)))
+    @settings(max_examples=50, deadline=None)
+    def test_puncture_depuncture_preserves_surviving_soft_values(self, bits, rate_name):
+        rate = CODE_RATES[rate_name]
+        coded = IEEE80211_CODE.encode(bits).astype(float)
+        punctured = puncture(coded, rate)
+        restored = depuncture(punctured, rate, coded.size)
+        # Every surviving position carries its original value; erased
+        # positions carry the neutral value.
+        pattern = np.resize(np.asarray(rate.puncture_pattern), coded.size)
+        assert np.array_equal(restored[pattern], coded[pattern])
+        assert np.all(restored[~pattern] == 0.0)
+
+    @given(bit_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_viterbi_inverts_the_encoder_without_noise(self, bits):
+        soft = (2.0 * IEEE80211_CODE.encode(bits) - 1.0) * 4.0
+        result = ViterbiDecoder().decode(soft, bits.size)
+        assert np.array_equal(result.bits[0], bits)
+
+
+class TestModulationProperties:
+    @given(
+        st.sampled_from(sorted(MODULATIONS)),
+        st.integers(min_value=1, max_value=40),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_demapper_hard_decisions_invert_the_mapper(self, name, symbols, random):
+        from repro.phy.demapper import Demapper
+
+        modulation = MODULATIONS[name]
+        bits = np.array(
+            [random.randint(0, 1) for _ in range(symbols * modulation.bits_per_symbol)],
+            dtype=np.uint8,
+        )
+        mapped = Mapper(modulation).map(bits)
+        soft = Demapper(modulation).demap(mapped)
+        assert np.array_equal((soft > 0).astype(np.uint8), bits)
+
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_interleaver_round_trip_for_every_rate(self, rate_index, num_symbols):
+        rate = RATE_TABLE[rate_index]
+        interleaver = Interleaver(rate)
+        rng = np.random.default_rng(rate_index * 13 + num_symbols)
+        bits = rng.integers(0, 2, num_symbols * rate.coded_bits_per_symbol, dtype=np.uint8)
+        assert np.array_equal(interleaver.deinterleave(interleaver.interleave(bits)), bits)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_ofdm_round_trip_is_lossless(self, num_symbols, seed):
+        rng = np.random.default_rng(seed)
+        symbols = rng.normal(size=48 * num_symbols) + 1j * rng.normal(size=48 * num_symbols)
+        samples = OfdmModulator().modulate(symbols)
+        recovered = OfdmDemodulator().demodulate(samples)
+        assert np.allclose(recovered, symbols, atol=1e-9)
+
+
+class TestNumericProperties:
+    @given(st.floats(min_value=0.0, max_value=80.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_llr_to_ber_is_monotone_and_bounded(self, llr):
+        ber = float(llr_to_ber(llr))
+        assert 0.0 < ber <= 0.5
+        assert float(llr_to_ber(llr + 1.0)) <= ber
+
+    @given(st.floats(min_value=1e-8, max_value=0.5, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_ber_llr_round_trip(self, ber):
+        recovered = float(llr_to_ber(ber_to_llr(ber)))
+        assert abs(recovered - ber) <= 1e-9 + 1e-6 * ber
+
+    @given(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+        st.floats(min_value=-200.0, max_value=200.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fixed_point_quantisation_invariants(self, integer_bits, fraction_bits, value):
+        if integer_bits + fraction_bits == 0:
+            return
+        fmt = FixedPointFormat(integer_bits, fraction_bits)
+        quantised = float(fmt.quantize(value))
+        assert fmt.min_value <= quantised <= fmt.max_value
+        if fmt.min_value <= value <= fmt.max_value:
+            assert abs(quantised - value) <= fmt.resolution / 2 + 1e-12
+        # Quantisation is idempotent.
+        assert float(fmt.quantize(quantised)) == quantised

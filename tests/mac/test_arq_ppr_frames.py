@@ -1,0 +1,145 @@
+"""Unit tests for packets, acknowledgements, ARQ and partial packet recovery."""
+
+import numpy as np
+import pytest
+
+from repro.mac.arq import ArqLinkLayer, ArqStatistics
+from repro.mac.frames import Acknowledgement, Packet
+from repro.mac.ppr import PartialPacketRecovery
+from repro.phy.params import RATE_TABLE
+
+
+def make_packet(sequence=0, size=128, rate=RATE_TABLE[0]):
+    return Packet(sequence, np.zeros(size, dtype=np.uint8), rate)
+
+
+class TestFrames:
+    def test_packet_records_fields(self):
+        packet = make_packet(sequence=3, size=64)
+        assert packet.sequence == 3
+        assert packet.size_bits == 64
+        assert packet.rate is RATE_TABLE[0]
+
+    def test_acknowledgement_fields(self):
+        ack = Acknowledgement(3, received_ok=False, pber_estimate=1e-3)
+        assert not ack.received_ok
+        assert ack.pber_estimate == pytest.approx(1e-3)
+
+    def test_acknowledgement_without_estimate(self):
+        assert Acknowledgement(0, True).pber_estimate is None
+
+
+class TestArq:
+    def test_successful_first_attempt(self):
+        arq = ArqLinkLayer(send=lambda packet, attempt: True)
+        assert arq.deliver(make_packet())
+        assert arq.statistics.average_transmissions == 1.0
+        assert arq.statistics.efficiency == 1.0
+
+    def test_retransmits_until_success(self):
+        attempts = []
+
+        def flaky(packet, attempt):
+            attempts.append(attempt)
+            return attempt == 3
+
+        arq = ArqLinkLayer(send=flaky, max_attempts=7)
+        assert arq.deliver(make_packet())
+        assert attempts == [1, 2, 3]
+        assert arq.statistics.average_transmissions == 3.0
+
+    def test_gives_up_after_max_attempts(self):
+        arq = ArqLinkLayer(send=lambda p, a: False, max_attempts=4)
+        assert not arq.deliver(make_packet())
+        assert arq.statistics.packets_abandoned == 1
+        assert arq.statistics.transmissions == 4
+
+    def test_whole_packet_retransmission_costs_full_size(self):
+        """The conventional-ARQ inefficiency the paper contrasts PPR against."""
+        calls = {"n": 0}
+
+        def second_time_lucky(packet, attempt):
+            calls["n"] += 1
+            return attempt >= 2
+
+        arq = ArqLinkLayer(send=second_time_lucky)
+        packet = make_packet(size=1704)
+        arq.deliver(packet)
+        assert arq.statistics.bits_transmitted == 2 * 1704
+        assert arq.statistics.efficiency == pytest.approx(0.5)
+
+    def test_deliver_all_counts_successes(self):
+        arq = ArqLinkLayer(send=lambda p, a: p.sequence != 1, max_attempts=2)
+        delivered = arq.deliver_all([make_packet(sequence=i) for i in range(3)])
+        assert delivered == 2
+
+    def test_max_attempts_validation(self):
+        with pytest.raises(ValueError):
+            ArqLinkLayer(send=lambda p, a: True, max_attempts=0)
+
+    def test_statistics_defaults(self):
+        stats = ArqStatistics()
+        assert stats.average_transmissions == 0.0
+        assert stats.efficiency == 0.0
+
+
+class TestPartialPacketRecovery:
+    def test_only_suspect_chunks_are_retransmitted(self):
+        ppr = PartialPacketRecovery(chunk_bits=8, ber_threshold=1e-2)
+        estimates = np.full(32, 1e-6)
+        estimates[10] = 0.3  # one bad bit in the second chunk
+        transmitted = np.zeros(32, dtype=np.uint8)
+        decoded = transmitted.copy()
+        decoded[10] ^= 1
+        outcome = ppr.recover(transmitted, decoded, estimates)
+        assert outcome.bits_retransmitted == 8
+        assert outcome.recovered
+        assert outcome.retransmission_fraction == pytest.approx(0.25)
+
+    def test_clean_packet_retransmits_nothing(self):
+        ppr = PartialPacketRecovery(chunk_bits=16)
+        bits = np.ones(64, dtype=np.uint8)
+        outcome = ppr.recover(bits, bits, np.full(64, 1e-7))
+        assert outcome.bits_retransmitted == 0
+        assert outcome.recovered
+
+    def test_residual_error_when_estimator_misses(self):
+        """A wrong bit with a confident estimate escapes recovery."""
+        ppr = PartialPacketRecovery(chunk_bits=8, ber_threshold=1e-2)
+        transmitted = np.zeros(16, dtype=np.uint8)
+        decoded = transmitted.copy()
+        decoded[3] ^= 1
+        outcome = ppr.recover(transmitted, decoded, np.full(16, 1e-8))
+        assert not outcome.recovered
+        assert outcome.residual_errors == 1
+
+    def test_ppr_beats_full_retransmission_for_localised_errors(self):
+        ppr = PartialPacketRecovery(chunk_bits=64, ber_threshold=1e-3)
+        size = 1704
+        estimates = np.full(size, 1e-7)
+        estimates[100:110] = 0.2
+        transmitted = np.zeros(size, dtype=np.uint8)
+        decoded = transmitted.copy()
+        decoded[100:110] ^= 1
+        outcome = ppr.recover(transmitted, decoded, estimates)
+        assert outcome.recovered
+        assert outcome.retransmission_fraction < 0.1  # vs 1.0 for full ARQ
+
+    def test_last_partial_chunk_is_handled(self):
+        ppr = PartialPacketRecovery(chunk_bits=10, ber_threshold=1e-2)
+        estimates = np.full(25, 1e-6)
+        estimates[24] = 0.5
+        mask = ppr.select_chunks(estimates)
+        assert mask[20:].all()
+        assert mask.sum() == 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PartialPacketRecovery(chunk_bits=0)
+        with pytest.raises(ValueError):
+            PartialPacketRecovery(ber_threshold=1.5)
+
+    def test_shape_mismatch_rejected(self):
+        ppr = PartialPacketRecovery()
+        with pytest.raises(ValueError):
+            ppr.recover(np.zeros(8), np.zeros(9), np.zeros(8))

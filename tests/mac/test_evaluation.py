@@ -1,0 +1,123 @@
+"""Tests for the SoftRate evaluation harness (a miniature Figure 7 run)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.evaluation import (
+    PrecomputedOutcomes,
+    RateSelectionOutcome,
+    SoftRateEvaluation,
+)
+from repro.mac.softrate import SoftRateController
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+
+
+class TestRateSelectionOutcome:
+    def test_records_and_fractions(self):
+        outcome = RateSelectionOutcome()
+        for kind in ("accurate", "accurate", "underselect", "overselect"):
+            outcome.record(kind)
+        assert outcome.total == 4
+        assert outcome.accuracy == pytest.approx(0.5)
+        assert outcome.fraction("underselect") == pytest.approx(0.25)
+
+    def test_unknown_classification_rejected(self):
+        with pytest.raises(ValueError):
+            RateSelectionOutcome().record("perfect")
+
+    def test_as_dict_sums_to_one(self):
+        outcome = RateSelectionOutcome()
+        for kind in ("accurate", "overselect"):
+            outcome.record(kind)
+        assert sum(outcome.as_dict().values()) == pytest.approx(1.0)
+
+    def test_empty_outcome_fractions_are_zero(self):
+        assert RateSelectionOutcome().accuracy == 0.0
+
+
+class TestControllerReplay:
+    """Drive SoftRateEvaluation.run with hand-built precomputed outcomes."""
+
+    def make_evaluation(self, num_packets):
+        return SoftRateEvaluation(num_packets=num_packets, seed=0)
+
+    def test_perfect_estimates_track_the_optimal_rate(self):
+        packets = 30
+        evaluation = self.make_evaluation(packets)
+        rates = len(RATE_TABLE)
+        # The channel supports index 3 throughout.  Estimates are ideal:
+        # plenty of headroom below the optimum, inside the target window at
+        # the optimum, and clearly bad above it.
+        success = np.zeros((packets, rates), dtype=bool)
+        success[:, : 3 + 1] = True
+        pber = np.full((packets, rates), 1e-2)
+        pber[:, :3] = 1e-9
+        pber[:, 3] = 1e-6
+        pre = PrecomputedOutcomes(success, pber, pber)
+        controller = SoftRateController(
+            lower_pber=1e-7, upper_pber=1e-5, backoff_packets=0, rates=RATE_TABLE
+        )
+        result = evaluation.run("bcjr", precomputed=pre, controller=controller)
+        # The controller starts at the lowest rate, climbs one step per
+        # packet, then stays at the optimum (the estimate there sits inside
+        # the target window, so it never probes beyond it).
+        assert result.outcome.underselect == 3
+        assert result.outcome.accurate == packets - 3
+        assert result.outcome.overselect == 0
+
+    def test_overestimating_channel_quality_causes_overselect(self):
+        packets = 10
+        evaluation = self.make_evaluation(packets)
+        rates = len(RATE_TABLE)
+        success = np.zeros((packets, rates), dtype=bool)
+        success[:, 0] = True  # only the lowest rate works
+        pber = np.full((packets, rates), 1e-9)  # estimator wrongly optimistic
+        pre = PrecomputedOutcomes(success, pber, pber)
+        result = evaluation.run("bcjr", precomputed=pre)
+        assert result.outcome.overselect > 0
+
+    def test_custom_controller_is_respected(self):
+        packets = 5
+        evaluation = self.make_evaluation(packets)
+        rates = len(RATE_TABLE)
+        success = np.ones((packets, rates), dtype=bool)
+        pre = PrecomputedOutcomes(success, np.full((packets, rates), 1e-6),
+                                  np.zeros((packets, rates)))
+        controller = SoftRateController(initial_rate=rate_by_mbps(54))
+        result = evaluation.run("bcjr", precomputed=pre, controller=controller)
+        assert result.outcome.accuracy == 1.0
+
+    def test_throughput_metrics(self):
+        packets = 4
+        evaluation = self.make_evaluation(packets)
+        rates = len(RATE_TABLE)
+        success = np.ones((packets, rates), dtype=bool)
+        pre = PrecomputedOutcomes(success, np.full((packets, rates), 1e-6),
+                                  np.zeros((packets, rates)))
+        result = evaluation.run("bcjr", precomputed=pre)
+        assert result.achieved_throughput_mbps <= result.optimal_throughput_mbps
+        assert result.optimal_throughput_mbps == pytest.approx(54.0)
+
+
+class TestEndToEndSmallRun:
+    def test_precompute_and_run_with_real_decoding(self):
+        """A tiny but genuine Figure 7 pipeline: 6 packets, 3 rates."""
+        rates = (rate_by_mbps(6), rate_by_mbps(24), rate_by_mbps(54))
+        evaluation = SoftRateEvaluation(
+            snr_db=10.0, num_packets=6, packet_bits=200, seed=1, rates=rates
+        )
+        pre = evaluation.precompute("bcjr", batch_size=3)
+        assert pre.success.shape == (6, 3)
+        assert np.all((pre.pber_estimate >= 0) & (pre.pber_estimate <= 1))
+        # The lowest rate at 10 dB mean SNR should essentially always work
+        # unless the fade is deep; the fastest rate should fail at least once.
+        assert pre.success[:, 0].sum() >= pre.success[:, 2].sum()
+        result = evaluation.run("bcjr", precomputed=pre)
+        assert result.outcome.total == 6
+
+    def test_fading_trace_is_reproducible(self):
+        a = SoftRateEvaluation(num_packets=5, seed=3)
+        b = SoftRateEvaluation(num_packets=5, seed=3)
+        assert np.array_equal(a.gains, b.gains)
+        c = SoftRateEvaluation(num_packets=5, seed=4)
+        assert not np.array_equal(a.gains, c.gains)

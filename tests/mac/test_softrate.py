@@ -1,0 +1,118 @@
+"""Unit tests for the SoftRate controller and the selection classifier."""
+
+import pytest
+
+from repro.mac.softrate import SoftRateController, classify_selection, optimal_rate_index
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+
+
+class TestSoftRateController:
+    def test_starts_at_lowest_rate_by_default(self):
+        assert SoftRateController().current_rate == RATE_TABLE[0]
+
+    def test_starts_at_requested_rate(self):
+        controller = SoftRateController(initial_rate=rate_by_mbps(24))
+        assert controller.current_rate.data_rate_mbps == 24
+
+    def test_unknown_initial_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SoftRateController(rates=RATE_TABLE[:4], initial_rate=rate_by_mbps(54))
+
+    def test_low_pber_steps_the_rate_up(self):
+        controller = SoftRateController()
+        controller.update(1e-9)
+        assert controller.current_index == 1
+        assert controller.rate_increases == 1
+
+    def test_hysteresis_delays_the_step_up(self):
+        controller = SoftRateController(up_hysteresis=2)
+        controller.update(1e-9)
+        assert controller.current_index == 0  # one good packet is not enough
+        controller.update(1e-9)
+        assert controller.current_index == 1
+
+    def test_high_pber_steps_the_rate_down(self):
+        controller = SoftRateController(initial_rate=rate_by_mbps(24))
+        controller.update(1e-2)
+        assert controller.current_rate.data_rate_mbps == 18
+        assert controller.rate_decreases == 1
+
+    def test_pber_inside_window_keeps_the_rate(self):
+        controller = SoftRateController(initial_rate=rate_by_mbps(24))
+        controller.update(3e-6)
+        assert controller.current_rate.data_rate_mbps == 24
+
+    def test_rate_saturates_at_both_ends(self):
+        controller = SoftRateController()
+        controller.update(0.5)  # already at the bottom
+        assert controller.current_index == 0
+        top = SoftRateController(initial_rate=RATE_TABLE[-1])
+        top.update(1e-12)
+        assert top.current_rate == RATE_TABLE[-1]
+
+    def test_lost_feedback_counts_as_bad_packet(self):
+        controller = SoftRateController(initial_rate=rate_by_mbps(24))
+        controller.update(None)
+        assert controller.current_rate.data_rate_mbps == 18
+
+    def test_repeated_good_feedback_climbs_to_the_top(self):
+        controller = SoftRateController()
+        for _ in range(2 * len(RATE_TABLE)):
+            controller.update(1e-9)
+        assert controller.current_rate == RATE_TABLE[-1]
+
+    def test_failed_probe_backs_off_before_probing_again(self):
+        controller = SoftRateController(initial_rate=RATE_TABLE[3], backoff_packets=5)
+        # A confident packet raises the rate (a probe)...
+        controller.update(1e-9)
+        assert controller.current_index == 4
+        # ...the probe fails, so the controller drops back and then refuses
+        # to probe again while the backoff is running.
+        controller.update(1e-2)
+        assert controller.current_index == 3
+        for _ in range(4):
+            controller.update(1e-9)
+        assert controller.current_index == 3
+        controller.update(1e-9)
+        assert controller.current_index == 4
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SoftRateController(lower_pber=1e-5, upper_pber=1e-7)
+
+    def test_hysteresis_and_backoff_validation(self):
+        with pytest.raises(ValueError):
+            SoftRateController(up_hysteresis=0)
+        with pytest.raises(ValueError):
+            SoftRateController(backoff_packets=-1)
+
+    def test_reset_restores_initial_state(self):
+        controller = SoftRateController()
+        controller.update(1e-9)
+        controller.reset()
+        assert controller.current_index == 0
+        assert controller.decisions == 0
+
+    def test_decision_counter(self):
+        controller = SoftRateController()
+        controller.update(1e-6)
+        controller.update(1e-6)
+        assert controller.decisions == 2
+
+
+class TestOptimalRateIndex:
+    def test_highest_successful_rate_wins(self):
+        assert optimal_rate_index([True, True, False, True, False]) == 3
+
+    def test_no_success_defaults_to_lowest(self):
+        assert optimal_rate_index([False] * 8) == 0
+
+    def test_all_success_picks_fastest(self):
+        assert optimal_rate_index([True] * 8) == 7
+
+
+class TestClassification:
+    def test_under_accurate_over(self):
+        assert classify_selection(2, 4) == "underselect"
+        assert classify_selection(4, 4) == "accurate"
+        assert classify_selection(6, 4) == "overselect"

@@ -1,0 +1,119 @@
+"""Unit tests for the convolutional encoder and the puncturing logic."""
+
+import numpy as np
+import pytest
+
+from repro.phy.convolutional import (
+    ConvolutionalCode,
+    IEEE80211_CODE,
+    coded_length_for_rate,
+    depuncture,
+    punctured_length,
+    puncture,
+)
+from repro.phy.params import RATE_1_2, RATE_2_3, RATE_3_4
+
+
+class TestConvolutionalCode:
+    def test_80211_code_shape(self):
+        assert IEEE80211_CODE.constraint_length == 7
+        assert IEEE80211_CODE.memory == 6
+        assert IEEE80211_CODE.num_states == 64
+        assert IEEE80211_CODE.outputs_per_input == 2
+
+    def test_terminated_output_length(self):
+        coded = IEEE80211_CODE.encode(np.zeros(10, dtype=np.uint8))
+        assert coded.size == 2 * (10 + 6)
+
+    def test_unterminated_output_length(self):
+        coded = IEEE80211_CODE.encode(np.ones(10, dtype=np.uint8), terminate=False)
+        assert coded.size == 20
+
+    def test_all_zero_input_gives_all_zero_output(self):
+        coded = IEEE80211_CODE.encode(np.zeros(20, dtype=np.uint8))
+        assert not coded.any()
+
+    def test_known_impulse_response(self):
+        # A single one followed by zeros produces the generator patterns
+        # 133/171 (octal) read LSB-first as the registers drain.
+        coded = IEEE80211_CODE.encode(np.array([1, 0, 0, 0, 0, 0, 0], dtype=np.uint8),
+                                      terminate=False)
+        g0_taps = [(0o133 >> d) & 1 for d in range(7)]
+        g1_taps = [(0o171 >> d) & 1 for d in range(7)]
+        assert list(coded[0::2][:7]) == g0_taps
+        assert list(coded[1::2][:7]) == g1_taps
+
+    def test_encoding_is_linear(self, rng):
+        a = rng.integers(0, 2, 40, dtype=np.uint8)
+        b = rng.integers(0, 2, 40, dtype=np.uint8)
+        encoded_sum = IEEE80211_CODE.encode(a ^ b)
+        assert np.array_equal(
+            encoded_sum, IEEE80211_CODE.encode(a) ^ IEEE80211_CODE.encode(b)
+        )
+
+    def test_matches_bitwise_reference_encoder(self, rng):
+        """The vectorised encoder equals a literal shift-register walk."""
+        bits = rng.integers(0, 2, 33, dtype=np.uint8)
+        state = 0
+        reference = []
+        padded = np.concatenate([bits, np.zeros(6, dtype=np.uint8)])
+        for bit in padded:
+            register = ((state << 1) | int(bit)) & 0x7F
+            for generator in IEEE80211_CODE.generators:
+                reference.append(bin(register & generator).count("1") & 1)
+            state = register & 0x3F
+        assert np.array_equal(IEEE80211_CODE.encode(bits), np.array(reference))
+
+    def test_generator_must_fit_constraint_length(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(3, (0o133,))
+
+    def test_constraint_length_must_be_sane(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(1, (0o3,))
+
+
+class TestPuncturing:
+    def test_rate_half_is_identity(self, rng):
+        coded = rng.integers(0, 2, 48, dtype=np.uint8)
+        assert np.array_equal(puncture(coded, RATE_1_2), coded)
+
+    def test_rate_two_thirds_drops_a_quarter(self):
+        coded = np.arange(48)
+        punctured = puncture(coded, RATE_2_3)
+        assert punctured.size == 36
+
+    def test_rate_three_quarters_drops_a_third(self):
+        coded = np.arange(48)
+        punctured = puncture(coded, RATE_3_4)
+        assert punctured.size == 32
+
+    def test_punctured_length_helper(self):
+        assert punctured_length(24, RATE_1_2) == 48
+        assert punctured_length(24, RATE_2_3) == 36
+        assert punctured_length(24, RATE_3_4) == 32
+
+    def test_coded_length_for_rate_includes_tail(self):
+        assert coded_length_for_rate(10, RATE_1_2) == 2 * 16
+
+    def test_depuncture_restores_positions(self, rng):
+        soft = rng.normal(size=punctured_length(24, RATE_3_4))
+        restored = depuncture(soft, RATE_3_4, 48)
+        assert restored.size == 48
+        # The surviving soft values appear unchanged and in order.
+        pattern = np.tile(np.asarray(RATE_3_4.puncture_pattern), 8)
+        assert np.array_equal(restored[pattern], soft)
+
+    def test_depuncture_inserts_erasures(self, rng):
+        soft = rng.normal(size=punctured_length(24, RATE_2_3))
+        restored = depuncture(soft, RATE_2_3, 48, erasure=0.0)
+        pattern = np.tile(np.asarray(RATE_2_3.puncture_pattern), 12)
+        assert np.all(restored[~pattern] == 0.0)
+
+    def test_depuncture_checks_length(self):
+        with pytest.raises(ValueError):
+            depuncture(np.zeros(10), RATE_3_4, 48)
+
+    def test_puncture_then_depuncture_round_trip_rate_half(self, rng):
+        soft = rng.normal(size=40)
+        assert np.array_equal(depuncture(puncture(soft, RATE_1_2), RATE_1_2, 40), soft)

@@ -1,0 +1,164 @@
+"""Unit tests for the Viterbi, SOVA and SW-BCJR decoders.
+
+These tests drive the decoders directly with encoded soft values (bypassing
+the OFDM chain) so that coding behaviour is isolated from channel modelling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.bcjr import BcjrDecoder
+from repro.phy.convolutional import IEEE80211_CODE
+from repro.phy.sova import SovaDecoder
+from repro.phy.trellis import Trellis
+from repro.phy.viterbi import ViterbiDecoder
+
+DECODER_CLASSES = [ViterbiDecoder, SovaDecoder, BcjrDecoder]
+
+
+def encode_to_soft(bits, amplitude=4.0, rng=None, noise_std=0.0):
+    """Encode bits and produce antipodal soft values with optional noise."""
+    coded = IEEE80211_CODE.encode(np.asarray(bits, dtype=np.uint8)).astype(np.float64)
+    soft = (2.0 * coded - 1.0) * amplitude
+    if noise_std:
+        soft = soft + rng.normal(scale=noise_std, size=soft.shape)
+    return soft
+
+
+@pytest.fixture(scope="module")
+def shared_trellis():
+    return Trellis()
+
+
+class TestNoiselessDecoding:
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_recovers_random_payload(self, decoder_cls, shared_trellis, rng):
+        bits = rng.integers(0, 2, 120, dtype=np.uint8)
+        soft = encode_to_soft(bits)
+        result = decoder_cls(trellis=shared_trellis).decode(soft, bits.size)
+        assert np.array_equal(result.bits[0], bits)
+
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_all_zero_and_all_one_payloads(self, decoder_cls, shared_trellis):
+        for bits in (np.zeros(40, dtype=np.uint8), np.ones(40, dtype=np.uint8)):
+            soft = encode_to_soft(bits)
+            result = decoder_cls(trellis=shared_trellis).decode(soft, bits.size)
+            assert np.array_equal(result.bits[0], bits)
+
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_batch_decoding_matches_individual(self, decoder_cls, shared_trellis, rng):
+        packets = [rng.integers(0, 2, 60, dtype=np.uint8) for _ in range(3)]
+        soft = np.vstack([encode_to_soft(p) for p in packets])
+        decoder = decoder_cls(trellis=shared_trellis)
+        batch = decoder.decode(soft, 60)
+        for i, packet in enumerate(packets):
+            single = decoder.decode(soft[i], 60)
+            assert np.array_equal(batch.bits[i], packet)
+            assert np.array_equal(single.bits[0], batch.bits[i])
+
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_wrong_length_soft_input_is_rejected(self, decoder_cls, shared_trellis):
+        with pytest.raises(ValueError):
+            decoder_cls(trellis=shared_trellis).decode(np.zeros(100), 60)
+
+
+class TestNoisyDecoding:
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_corrects_moderate_noise(self, decoder_cls, shared_trellis, rng):
+        bits = rng.integers(0, 2, 200, dtype=np.uint8)
+        soft = encode_to_soft(bits, amplitude=1.0, rng=rng, noise_std=0.45)
+        result = decoder_cls(trellis=shared_trellis).decode(soft, bits.size)
+        ber = np.mean(result.bits[0] != bits)
+        # Uncoded hard decisions at this noise level would be ~1.3% BER; the
+        # K=7 code should essentially eliminate the errors.
+        assert ber < 0.005
+
+    def test_soft_decoders_beat_uncoded_hard_decisions(self, shared_trellis, rng):
+        bits = rng.integers(0, 2, 400, dtype=np.uint8)
+        soft = encode_to_soft(bits, amplitude=1.0, rng=rng, noise_std=0.7)
+        hard_input_ber = np.mean((soft > 0).astype(np.uint8) != IEEE80211_CODE.encode(bits))
+        for decoder_cls in (SovaDecoder, BcjrDecoder):
+            result = decoder_cls(trellis=shared_trellis).decode(soft, bits.size)
+            assert np.mean(result.bits[0] != bits) < hard_input_ber
+
+    def test_erasures_from_puncturing_are_tolerated(self, shared_trellis, rng):
+        """Zeroing a third of the soft values (rate 3/4 erasures) still decodes."""
+        bits = rng.integers(0, 2, 150, dtype=np.uint8)
+        soft = encode_to_soft(bits, amplitude=2.0)
+        erased = soft.copy()
+        erased[3::6] = 0.0
+        erased[4::6] = 0.0
+        result = BcjrDecoder(trellis=shared_trellis).decode(erased, bits.size)
+        assert np.mean(result.bits[0] != bits) < 0.02
+
+
+class TestSoftOutputs:
+    def test_viterbi_produces_no_llr(self, shared_trellis, rng):
+        bits = rng.integers(0, 2, 50, dtype=np.uint8)
+        result = ViterbiDecoder(trellis=shared_trellis).decode(encode_to_soft(bits), 50)
+        assert result.llr is None
+        assert result.hints is None
+        assert ViterbiDecoder.produces_soft_output is False
+
+    @pytest.mark.parametrize("decoder_cls", [SovaDecoder, BcjrDecoder])
+    def test_llr_sign_matches_decision(self, decoder_cls, shared_trellis, rng):
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        soft = encode_to_soft(bits, amplitude=1.0, rng=rng, noise_std=0.5)
+        result = decoder_cls(trellis=shared_trellis).decode(soft, bits.size)
+        decisions_from_llr = (result.llr[0] > 0).astype(np.uint8)
+        # Ties (llr == 0) are allowed to disagree; there should be none here.
+        assert np.array_equal(decisions_from_llr, result.bits[0])
+
+    @pytest.mark.parametrize("decoder_cls", [SovaDecoder, BcjrDecoder])
+    def test_hints_are_nonnegative(self, decoder_cls, shared_trellis, rng):
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        soft = encode_to_soft(bits, amplitude=1.0, rng=rng, noise_std=0.6)
+        result = decoder_cls(trellis=shared_trellis).decode(soft, bits.size)
+        assert np.all(result.hints >= 0.0)
+
+    @pytest.mark.parametrize("decoder_cls", [SovaDecoder, BcjrDecoder])
+    def test_noiseless_bits_get_large_hints(self, decoder_cls, shared_trellis, rng):
+        bits = rng.integers(0, 2, 80, dtype=np.uint8)
+        clean = decoder_cls(trellis=shared_trellis).decode(encode_to_soft(bits), 80)
+        noisy_soft = encode_to_soft(bits, amplitude=1.0, rng=rng, noise_std=1.0)
+        noisy = decoder_cls(trellis=shared_trellis).decode(noisy_soft, 80)
+        assert np.median(clean.hints) > np.median(noisy.hints)
+
+    @pytest.mark.parametrize("decoder_cls", [SovaDecoder, BcjrDecoder])
+    def test_erroneous_bits_have_lower_hints_than_correct_bits(
+        self, decoder_cls, shared_trellis, rng
+    ):
+        """The core SoftPHY property: hints separate good bits from bad bits."""
+        bits = rng.integers(0, 2, 3000, dtype=np.uint8)
+        soft = encode_to_soft(bits, amplitude=1.0, rng=rng, noise_std=1.05)
+        result = decoder_cls(trellis=shared_trellis).decode(soft, bits.size)
+        errors = result.bits[0] != bits
+        assert errors.any() and (~errors).any()
+        assert np.mean(result.hints[0][errors]) < np.mean(result.hints[0][~errors])
+
+
+class TestDecoderConfiguration:
+    def test_bcjr_block_length_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BcjrDecoder(block_length=0)
+
+    def test_bcjr_small_blocks_still_decode(self, shared_trellis, rng):
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        soft = encode_to_soft(bits)
+        result = BcjrDecoder(trellis=shared_trellis, block_length=8).decode(soft, 100)
+        assert np.array_equal(result.bits[0], bits)
+
+    def test_sova_traceback_shorter_than_packet(self, shared_trellis, rng):
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        soft = encode_to_soft(bits)
+        result = SovaDecoder(trellis=shared_trellis, traceback_length=16).decode(soft, 100)
+        assert np.array_equal(result.bits[0], bits)
+
+    def test_decoder_names(self):
+        assert ViterbiDecoder.name == "viterbi"
+        assert SovaDecoder.name == "sova"
+        assert BcjrDecoder.name == "bcjr"
+
+    def test_sova_first_traceback_defaults_to_second(self):
+        decoder = SovaDecoder(traceback_length=48)
+        assert decoder.first_traceback_length == 48

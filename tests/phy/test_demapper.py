@@ -1,0 +1,96 @@
+"""Unit tests for the Tosato/Bisaglia soft demapper."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FixedPointFormat
+from repro.phy.demapper import Demapper, MODULATION_SCALE, axis_soft_values
+from repro.phy.mapper import Mapper
+from repro.phy.params import BPSK, QAM16, QAM64, QPSK
+
+
+class TestAxisSoftValues:
+    def test_sign_bit_follows_coordinate(self):
+        soft = axis_soft_values(np.array([-2.5, 0.5]), 1)
+        assert soft[0, 0] == pytest.approx(-2.5)
+        assert soft[1, 0] == pytest.approx(0.5)
+
+    def test_qam16_inner_bit_peaks_at_zero(self):
+        soft = axis_soft_values(np.array([0.0, 2.0, 4.0]), 2)
+        assert soft[0, 1] == pytest.approx(2.0)   # inner levels favoured
+        assert soft[1, 1] == pytest.approx(0.0)   # decision boundary
+        assert soft[2, 1] == pytest.approx(-2.0)  # outer levels favoured
+
+    def test_qam64_third_bit_structure(self):
+        soft = axis_soft_values(np.array([4.0, 2.0, 6.0, 0.0]), 3)
+        assert soft[0, 2] == pytest.approx(2.0)
+        assert soft[1, 2] == pytest.approx(0.0)
+        assert soft[2, 2] == pytest.approx(0.0)
+        assert soft[3, 2] == pytest.approx(-2.0)
+
+
+class TestDemapperDecisions:
+    @pytest.mark.parametrize("modulation", [BPSK, QPSK, QAM16, QAM64])
+    def test_noiseless_hard_decisions_recover_bits(self, modulation, rng):
+        """Sign of the soft output equals the transmitted bit without noise."""
+        bits = rng.integers(0, 2, 120 * modulation.bits_per_symbol, dtype=np.uint8)
+        symbols = Mapper(modulation).map(bits)
+        soft = Demapper(modulation).demap(symbols)
+        decisions = (soft > 0).astype(np.uint8)
+        assert np.array_equal(decisions, bits)
+
+    def test_soft_magnitude_grows_with_distance_from_boundary(self):
+        demapper = Demapper(BPSK)
+        weak = demapper.demap(np.array([0.1 + 0j]))
+        strong = demapper.demap(np.array([1.0 + 0j]))
+        assert abs(strong[0]) > abs(weak[0])
+
+    def test_output_length_is_bits_per_symbol_per_symbol(self, rng):
+        for modulation in (QPSK, QAM16, QAM64):
+            bits = rng.integers(0, 2, 10 * modulation.bits_per_symbol, dtype=np.uint8)
+            symbols = Mapper(modulation).map(bits)
+            soft = Demapper(modulation).demap(symbols)
+            assert soft.size == bits.size
+
+
+class TestDemapperScaling:
+    def test_hardware_mode_ignores_snr(self):
+        a = Demapper(QAM16).demap(np.array([0.3 + 0.1j]))
+        b = Demapper(QAM16).demap(np.array([0.3 + 0.1j]))
+        assert np.allclose(a, b)
+        assert Demapper(QAM16).llr_scale == 1.0
+
+    def test_scaled_mode_multiplies_by_snr_and_modulation(self):
+        symbols = np.array([0.3 + 0.1j])
+        unscaled = Demapper(QAM16).demap(symbols)
+        scaled = Demapper(QAM16, snr_db=10.0, scaled=True).demap(symbols)
+        factor = 10.0 * MODULATION_SCALE["QAM16"]
+        assert np.allclose(scaled, unscaled * factor)
+
+    def test_scaled_mode_requires_snr(self):
+        with pytest.raises(ValueError):
+            Demapper(QAM16, scaled=True)
+
+    def test_csi_weights_scale_per_symbol(self):
+        demapper = Demapper(QPSK)
+        symbols = np.array([0.5 + 0.5j, 0.5 + 0.5j])
+        soft = demapper.demap(symbols, weights=np.array([1.0, 0.25]))
+        assert np.allclose(soft[2:], 0.25 * soft[:2])
+
+    def test_fixed_point_output_format_is_applied(self):
+        fmt = FixedPointFormat(integer_bits=2, fraction_bits=0)
+        demapper = Demapper(QAM16, output_format=fmt)
+        soft = demapper.demap(np.array([10.0 + 10.0j]))
+        assert np.all(soft <= fmt.max_value)
+        assert np.all(soft >= fmt.min_value)
+        assert np.all(soft == np.round(soft))
+
+    def test_modulation_scale_ordering(self):
+        # Denser constellations carry less energy per level spacing, so the
+        # per-level scaling constant shrinks monotonically.
+        assert (
+            MODULATION_SCALE["BPSK"]
+            >= MODULATION_SCALE["QPSK"]
+            > MODULATION_SCALE["QAM16"]
+            > MODULATION_SCALE["QAM64"]
+        )

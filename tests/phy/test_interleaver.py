@@ -1,0 +1,71 @@
+"""Unit tests for the 802.11a/g block interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.phy.interleaver import Interleaver, interleaver_permutation
+from repro.phy.params import RATE_TABLE
+
+
+class TestPermutation:
+    def test_is_a_permutation(self, any_rate):
+        perm = interleaver_permutation(
+            any_rate.coded_bits_per_symbol, any_rate.modulation.bits_per_symbol
+        )
+        assert sorted(perm) == list(range(any_rate.coded_bits_per_symbol))
+
+    def test_known_bpsk_values(self):
+        # For N_CBPS = 48, N_BPSC = 1 the two permutations reduce to
+        # j = 3 * (k mod 16) + floor(k / 16).
+        perm = interleaver_permutation(48, 1)
+        k = np.arange(48)
+        assert np.array_equal(perm, 3 * (k % 16) + k // 16)
+
+    def test_rejects_non_multiple_of_16(self):
+        with pytest.raises(ValueError):
+            interleaver_permutation(50, 2)
+
+    def test_adjacent_bits_are_separated(self, any_rate):
+        """Adjacent coded bits never land on adjacent positions (burst protection)."""
+        perm = interleaver_permutation(
+            any_rate.coded_bits_per_symbol, any_rate.modulation.bits_per_symbol
+        )
+        gaps = np.abs(np.diff(perm.astype(int)))
+        assert gaps.min() >= 2
+
+
+class TestInterleaver:
+    def test_round_trip(self, any_rate, rng):
+        interleaver = Interleaver(any_rate)
+        bits = rng.integers(0, 2, 3 * any_rate.coded_bits_per_symbol, dtype=np.uint8)
+        assert np.array_equal(
+            interleaver.deinterleave(interleaver.interleave(bits)), bits
+        )
+
+    def test_round_trip_on_soft_values(self, qam16_half, rng):
+        interleaver = Interleaver(qam16_half)
+        soft = rng.normal(size=qam16_half.coded_bits_per_symbol)
+        assert np.allclose(interleaver.deinterleave(interleaver.interleave(soft)), soft)
+
+    def test_interleaving_actually_moves_bits(self, qam16_half):
+        interleaver = Interleaver(qam16_half)
+        bits = np.arange(qam16_half.coded_bits_per_symbol) % 2
+        assert not np.array_equal(interleaver.interleave(bits), bits)
+
+    def test_each_symbol_is_interleaved_independently(self, qam16_half, rng):
+        interleaver = Interleaver(qam16_half)
+        block = qam16_half.coded_bits_per_symbol
+        first = rng.integers(0, 2, block, dtype=np.uint8)
+        second = rng.integers(0, 2, block, dtype=np.uint8)
+        combined = interleaver.interleave(np.concatenate([first, second]))
+        assert np.array_equal(combined[:block], interleaver.interleave(first))
+        assert np.array_equal(combined[block:], interleaver.interleave(second))
+
+    def test_partial_symbol_is_rejected(self, qam16_half):
+        interleaver = Interleaver(qam16_half)
+        with pytest.raises(ValueError):
+            interleaver.interleave(np.zeros(10, dtype=np.uint8))
+
+    def test_block_size_tracks_rate(self):
+        sizes = {Interleaver(rate).block_size for rate in RATE_TABLE}
+        assert sizes == {48, 96, 192, 288}

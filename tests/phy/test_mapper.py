@@ -1,0 +1,76 @@
+"""Unit tests for the constellation mapper."""
+
+import numpy as np
+import pytest
+
+from repro.phy.mapper import Mapper, axis_levels, map_bits
+from repro.phy.params import BPSK, QAM16, QAM64, QPSK
+
+
+class TestAxisLevels:
+    def test_levels_are_gray_coded(self):
+        # Adjacent levels must differ in exactly one bit of their index.
+        for bits in (2, 3):
+            levels = axis_levels(bits)
+            order = np.argsort(levels)
+            for a, b in zip(order, order[1:]):
+                assert bin(a ^ b).count("1") == 1
+
+    def test_unsupported_width_raises(self):
+        with pytest.raises(ValueError):
+            axis_levels(4)
+
+
+class TestMapper:
+    def test_bpsk_maps_to_plus_minus_one(self):
+        symbols = map_bits(np.array([0, 1, 1, 0]), BPSK)
+        assert np.allclose(symbols, [-1, 1, 1, -1])
+
+    def test_qpsk_symbols_have_unit_energy(self, rng):
+        bits = rng.integers(0, 2, 200, dtype=np.uint8)
+        symbols = map_bits(bits, QPSK)
+        assert np.allclose(np.abs(symbols), 1.0)
+
+    def test_qam16_known_points(self):
+        mapper = Mapper(QAM16)
+        # 802.11a: b0b1 = 10 -> I = +3, b2b3 = 01 -> Q = -1.
+        symbol = mapper.map(np.array([1, 0, 0, 1]))[0]
+        assert symbol.real == pytest.approx(3 / np.sqrt(10))
+        assert symbol.imag == pytest.approx(-1 / np.sqrt(10))
+
+    def test_qam64_known_points(self):
+        mapper = Mapper(QAM64)
+        # b0b1b2 = 100 -> I = +7, b3b4b5 = 011 -> Q = -3.
+        symbol = mapper.map(np.array([1, 0, 0, 0, 1, 1]))[0]
+        assert symbol.real == pytest.approx(7 / np.sqrt(42))
+        assert symbol.imag == pytest.approx(-3 / np.sqrt(42))
+
+    def test_average_energy_is_one(self, rng):
+        for modulation in (BPSK, QPSK, QAM16, QAM64):
+            bits = rng.integers(0, 2, 6000 * modulation.bits_per_symbol // 6, dtype=np.uint8)
+            bits = bits[: (bits.size // modulation.bits_per_symbol) * modulation.bits_per_symbol]
+            symbols = map_bits(bits, modulation)
+            assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_constellation_size(self):
+        assert Mapper(QAM16).constellation().size == 16
+        assert Mapper(QAM64).constellation().size == 64
+
+    def test_constellation_points_are_distinct(self):
+        for modulation in (QPSK, QAM16, QAM64):
+            points = Mapper(modulation).constellation()
+            assert len(np.unique(np.round(points, 9))) == points.size
+
+    def test_bit_count_must_be_multiple_of_bits_per_symbol(self):
+        with pytest.raises(ValueError):
+            Mapper(QAM16).map(np.array([1, 0, 1]))
+
+    def test_mapper_accepts_modulation_by_name(self):
+        assert Mapper("QPSK").modulation == QPSK
+
+    def test_first_half_of_bits_drive_the_real_axis(self):
+        mapper = Mapper(QAM16)
+        a = mapper.map(np.array([0, 0, 0, 0]))[0]
+        b = mapper.map(np.array([1, 1, 0, 0]))[0]
+        assert a.imag == pytest.approx(b.imag)
+        assert a.real != pytest.approx(b.real)

@@ -1,0 +1,99 @@
+"""Unit tests for OFDM modulation and demodulation."""
+
+import numpy as np
+import pytest
+
+from repro.phy.mapper import Mapper
+from repro.phy.ofdm import (
+    DATA_SUBCARRIERS,
+    OfdmDemodulator,
+    OfdmModulator,
+    PILOT_SUBCARRIERS,
+    num_ofdm_symbols,
+)
+from repro.phy.params import QAM16, QPSK
+
+
+class TestSubcarrierLayout:
+    def test_48_data_subcarriers(self):
+        assert len(DATA_SUBCARRIERS) == 48
+
+    def test_pilots_not_in_data_set(self):
+        assert not set(PILOT_SUBCARRIERS) & set(DATA_SUBCARRIERS)
+
+    def test_dc_subcarrier_unused(self):
+        assert 0 not in DATA_SUBCARRIERS
+
+    def test_data_subcarriers_span_minus26_to_26(self):
+        assert min(DATA_SUBCARRIERS) == -26
+        assert max(DATA_SUBCARRIERS) == 26
+
+
+class TestModulation:
+    def test_samples_per_symbol_includes_cyclic_prefix(self):
+        assert OfdmModulator().samples_per_symbol == 80
+        assert OfdmModulator(cyclic_prefix=0).samples_per_symbol == 64
+
+    def test_output_length(self, rng):
+        symbols = Mapper(QPSK).map(rng.integers(0, 2, 2 * 96, dtype=np.uint8))
+        samples = OfdmModulator().modulate(symbols)
+        assert samples.size == 2 * 80
+
+    def test_symbol_count_must_be_multiple_of_48(self):
+        with pytest.raises(ValueError):
+            OfdmModulator().modulate(np.ones(47, dtype=complex))
+
+    def test_cyclic_prefix_is_a_copy_of_the_tail(self, rng):
+        symbols = Mapper(QPSK).map(rng.integers(0, 2, 96, dtype=np.uint8))
+        samples = OfdmModulator().modulate(symbols)
+        assert np.allclose(samples[:16], samples[64:80])
+
+    def test_invalid_cyclic_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            OfdmModulator(cyclic_prefix=64)
+
+
+class TestRoundTrip:
+    def test_modulate_demodulate_recovers_symbols(self, rng):
+        symbols = Mapper(QAM16).map(rng.integers(0, 2, 3 * 192, dtype=np.uint8))
+        samples = OfdmModulator().modulate(symbols)
+        recovered = OfdmDemodulator().demodulate(samples)
+        assert np.allclose(recovered, symbols, atol=1e-10)
+
+    def test_flat_channel_gain_is_equalised(self, rng):
+        symbols = Mapper(QPSK).map(rng.integers(0, 2, 96, dtype=np.uint8))
+        samples = OfdmModulator().modulate(symbols) * (0.5 - 0.25j)
+        recovered = OfdmDemodulator().demodulate(samples, channel_gain=0.5 - 0.25j)
+        assert np.allclose(recovered, symbols, atol=1e-10)
+
+    def test_per_symbol_gain_vector(self, rng):
+        symbols = Mapper(QPSK).map(rng.integers(0, 2, 2 * 96, dtype=np.uint8))
+        modulator = OfdmModulator()
+        samples = modulator.modulate(symbols).reshape(2, 80)
+        gains = np.array([1.0 + 0j, 0.3 + 0.4j])
+        faded = (samples * gains[:, None]).reshape(-1)
+        recovered = OfdmDemodulator().demodulate(faded, channel_gain=gains)
+        assert np.allclose(recovered, symbols, atol=1e-10)
+
+    def test_gain_vector_length_checked(self, rng):
+        symbols = Mapper(QPSK).map(rng.integers(0, 2, 96, dtype=np.uint8))
+        samples = OfdmModulator().modulate(symbols)
+        with pytest.raises(ValueError):
+            OfdmDemodulator().demodulate(samples, channel_gain=np.ones(3, dtype=complex))
+
+    def test_sample_count_must_be_whole_symbols(self):
+        with pytest.raises(ValueError):
+            OfdmDemodulator().demodulate(np.zeros(81, dtype=complex))
+
+    def test_noise_variance_preserved_by_orthonormal_fft(self, rng):
+        """White time-domain noise keeps its variance per subcarrier."""
+        noise = (rng.normal(size=64 * 200) + 1j * rng.normal(size=64 * 200)) / np.sqrt(2)
+        demodulated = OfdmDemodulator(cyclic_prefix=0).demodulate(noise)
+        assert np.var(demodulated) == pytest.approx(1.0, rel=0.1)
+
+
+class TestHelpers:
+    def test_num_ofdm_symbols_rounds_up(self):
+        assert num_ofdm_symbols(96, 96) == 1
+        assert num_ofdm_symbols(97, 96) == 2
+        assert num_ofdm_symbols(1, 192) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the 802.11a/g rate parameters."""
+
+import pytest
+
+from repro.phy.params import (
+    BPSK,
+    CODE_RATES,
+    CodeRate,
+    MODULATIONS,
+    NUM_DATA_SUBCARRIERS,
+    QAM16,
+    QAM64,
+    QPSK,
+    RATE_TABLE,
+    rate_by_mbps,
+    rate_by_name,
+    rate_index,
+)
+
+
+class TestModulations:
+    def test_bits_per_symbol(self):
+        assert [m.bits_per_symbol for m in (BPSK, QPSK, QAM16, QAM64)] == [1, 2, 4, 6]
+
+    def test_normalisation_gives_unit_energy(self):
+        # K_mod values from the 802.11a standard.
+        assert QPSK.normalization == pytest.approx(1 / 2**0.5)
+        assert QAM16.normalization == pytest.approx(1 / 10**0.5)
+        assert QAM64.normalization == pytest.approx(1 / 42**0.5)
+
+    def test_lookup_by_name(self):
+        assert MODULATIONS["QAM16"] is QAM16
+
+    def test_equality_by_name(self):
+        assert BPSK == MODULATIONS["BPSK"]
+        assert BPSK != QPSK
+
+
+class TestCodeRates:
+    def test_fraction_values(self):
+        assert float(CODE_RATES["1/2"]) == pytest.approx(0.5)
+        assert float(CODE_RATES["2/3"]) == pytest.approx(2 / 3)
+        assert float(CODE_RATES["3/4"]) == pytest.approx(0.75)
+
+    def test_puncture_pattern_consistency_is_enforced(self):
+        with pytest.raises(ValueError):
+            CodeRate(2, 3, (True, True, True, True))  # keeps 4 of 4: that is 1/2
+
+    def test_pattern_must_keep_something(self):
+        with pytest.raises(ValueError):
+            CodeRate(1, 2, (False, False))
+
+    def test_rate_half_keeps_every_bit(self):
+        assert all(CODE_RATES["1/2"].puncture_pattern)
+
+
+class TestRateTable:
+    def test_has_the_eight_80211g_rates(self):
+        assert [r.data_rate_mbps for r in RATE_TABLE] == [6, 9, 12, 18, 24, 36, 48, 54]
+
+    def test_coded_bits_per_symbol(self, any_rate):
+        assert any_rate.coded_bits_per_symbol == (
+            NUM_DATA_SUBCARRIERS * any_rate.modulation.bits_per_symbol
+        )
+
+    def test_data_bits_per_symbol_match_standard(self):
+        expected = {6: 24, 9: 36, 12: 48, 18: 72, 24: 96, 36: 144, 48: 192, 54: 216}
+        for rate in RATE_TABLE:
+            assert rate.data_bits_per_symbol == expected[rate.data_rate_mbps]
+
+    def test_line_rate_matches_nominal_rate(self, any_rate):
+        assert any_rate.line_rate_mbps == pytest.approx(any_rate.data_rate_mbps)
+
+    def test_rate_ordering_is_monotonic(self):
+        data_bits = [r.data_bits_per_symbol for r in RATE_TABLE]
+        assert data_bits == sorted(data_bits)
+
+    def test_rate_names_are_unique(self):
+        names = [r.name for r in RATE_TABLE]
+        assert len(set(names)) == len(names)
+
+
+class TestLookups:
+    def test_rate_by_mbps(self):
+        assert rate_by_mbps(54).modulation == QAM64
+
+    def test_rate_by_mbps_unknown(self):
+        with pytest.raises(KeyError):
+            rate_by_mbps(11)
+
+    def test_rate_by_name(self):
+        assert rate_by_name("QAM16 3/4").data_rate_mbps == 36
+
+    def test_rate_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            rate_by_name("QAM256 7/8")
+
+    def test_rate_index_round_trip(self):
+        for index, rate in enumerate(RATE_TABLE):
+            assert rate_index(rate) == index

@@ -1,0 +1,63 @@
+"""Unit tests for the 802.11 scrambler."""
+
+import numpy as np
+import pytest
+
+from repro.phy.scrambler import Scrambler, descramble, scramble, scrambler_sequence
+
+
+class TestScramblerSequence:
+    def test_period_is_127(self):
+        sequence = scrambler_sequence(254)
+        assert np.array_equal(sequence[:127], sequence[127:254])
+
+    def test_sequence_is_not_constant(self):
+        sequence = scrambler_sequence(127)
+        assert 0 < sequence.sum() < 127
+
+    def test_all_ones_seed_matches_standard_prefix(self):
+        # First bits of the 802.11 scrambler sequence for the all-ones seed.
+        expected = np.array([0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1], dtype=np.uint8)
+        assert np.array_equal(scrambler_sequence(12, seed=0x7F), expected)
+
+    def test_different_seeds_give_shifted_sequences(self):
+        assert not np.array_equal(
+            scrambler_sequence(64, seed=0x7F), scrambler_sequence(64, seed=0x5D)
+        )
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            scrambler_sequence(10, seed=0)
+
+    def test_length_below_one_period(self):
+        assert scrambler_sequence(5).size == 5
+
+
+class TestScrambling:
+    def test_scramble_is_an_involution(self, rng):
+        bits = rng.integers(0, 2, 500, dtype=np.uint8)
+        assert np.array_equal(descramble(scramble(bits)), bits)
+
+    def test_scramble_changes_the_data(self, rng):
+        bits = rng.integers(0, 2, 500, dtype=np.uint8)
+        assert not np.array_equal(scramble(bits), bits)
+
+    def test_scramble_breaks_long_runs(self):
+        zeros = np.zeros(508, dtype=np.uint8)
+        scrambled = scramble(zeros)
+        # The scrambled all-zeros payload is the keystream: roughly balanced.
+        assert 0.4 < scrambled.mean() < 0.6
+
+    def test_seed_mismatch_corrupts_descrambling(self, rng):
+        bits = rng.integers(0, 2, 200, dtype=np.uint8)
+        garbled = descramble(scramble(bits, seed=0x7F), seed=0x11)
+        assert not np.array_equal(garbled, bits)
+
+    def test_scrambler_object_is_reusable(self, rng):
+        scrambler = Scrambler(seed=0x2A)
+        bits = rng.integers(0, 2, 64, dtype=np.uint8)
+        assert np.array_equal(scrambler(scrambler(bits)), bits)
+
+    def test_scrambler_object_rejects_bad_seed(self):
+        with pytest.raises(ValueError):
+            Scrambler(seed=0x100)

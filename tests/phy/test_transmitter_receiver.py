@@ -1,0 +1,143 @@
+"""Integration tests for the full transmit and receive chains."""
+
+import numpy as np
+import pytest
+
+from repro.channel import awgn
+from repro.fixedpoint.fixed import llr_quantizer
+from repro.phy import Receiver, Transmitter, receive, transmit
+from repro.phy.transmitter import FrameGeometry
+
+
+class TestFrameGeometry:
+    def test_paper_packet_at_qam16_half(self, qam16_half):
+        geometry = FrameGeometry(qam16_half, 1704)
+        assert geometry.num_trellis_steps == 1710
+        assert geometry.coded_bits == 3420
+        assert geometry.num_symbols == 18
+        assert geometry.padded_bits == 18 * 192
+        assert geometry.num_samples == 18 * 80
+
+    def test_duration_matches_symbol_count(self, bpsk_half):
+        geometry = FrameGeometry(bpsk_half, 240)
+        assert geometry.duration_us == pytest.approx(geometry.num_symbols * 4.0)
+
+    def test_pad_bits_fill_the_last_symbol(self, any_rate):
+        geometry = FrameGeometry(any_rate, 500)
+        assert 0 <= geometry.pad_bits < any_rate.coded_bits_per_symbol
+        assert geometry.coded_bits + geometry.pad_bits == geometry.padded_bits
+
+    def test_rejects_empty_packets(self, qam16_half):
+        with pytest.raises(ValueError):
+            FrameGeometry(qam16_half, 0)
+
+    def test_higher_rates_use_fewer_symbols(self, bpsk_half, qam64_three_quarters):
+        slow = FrameGeometry(bpsk_half, 1704)
+        fast = FrameGeometry(qam64_three_quarters, 1704)
+        assert fast.num_symbols < slow.num_symbols
+
+
+class TestNoiselessLink:
+    def test_every_rate_and_decoder_round_trips(self, any_rate, rng):
+        bits = rng.integers(0, 2, 300, dtype=np.uint8)
+        samples = Transmitter(any_rate).transmit(bits)
+        for decoder in ("viterbi", "sova", "bcjr"):
+            result = Receiver(any_rate, decoder=decoder).receive(samples, 300)
+            assert np.array_equal(result.bits, bits), decoder
+
+    def test_convenience_wrappers(self, qam16_half, rng):
+        bits = rng.integers(0, 2, 96, dtype=np.uint8)
+        samples = transmit(bits, qam16_half)
+        result = receive(samples, qam16_half, 96, decoder="viterbi")
+        assert np.array_equal(result.bits, bits)
+
+    def test_sample_count_matches_geometry(self, any_rate, rng):
+        bits = rng.integers(0, 2, 200, dtype=np.uint8)
+        transmitter = Transmitter(any_rate)
+        samples = transmitter.transmit(bits)
+        assert samples.size == transmitter.geometry(200).num_samples
+
+    def test_scrambler_seed_mismatch_breaks_link(self, qam16_half, rng):
+        bits = rng.integers(0, 2, 96, dtype=np.uint8)
+        samples = Transmitter(qam16_half, scrambler_seed=0x7F).transmit(bits)
+        receiver = Receiver(qam16_half, scrambler_seed=0x15)
+        result = receiver.receive(samples, 96)
+        assert not np.array_equal(result.bits, bits)
+
+    def test_flat_fading_with_known_gain_is_transparent(self, qam16_half, rng):
+        bits = rng.integers(0, 2, 192, dtype=np.uint8)
+        samples = Transmitter(qam16_half).transmit(bits) * (0.4 + 0.3j)
+        result = Receiver(qam16_half, decoder="viterbi").receive(
+            samples, 192, channel_gain=0.4 + 0.3j
+        )
+        assert np.array_equal(result.bits, bits)
+
+
+class TestNoisyLink:
+    def test_high_snr_is_error_free(self, qam16_half, rng):
+        bits = rng.integers(0, 2, 600, dtype=np.uint8)
+        samples = awgn(Transmitter(qam16_half).transmit(bits), 25.0, rng=rng)
+        result = Receiver(qam16_half, decoder="viterbi").receive(samples, 600)
+        assert np.array_equal(result.bits, bits)
+
+    def test_low_snr_produces_errors(self, qam64_three_quarters, rng):
+        bits = rng.integers(0, 2, 600, dtype=np.uint8)
+        samples = awgn(Transmitter(qam64_three_quarters).transmit(bits), 2.0, rng=rng)
+        result = Receiver(qam64_three_quarters, decoder="viterbi").receive(samples, 600)
+        assert np.mean(result.bits != bits) > 0.05
+
+    def test_robust_rate_survives_snr_that_breaks_fast_rate(self, bpsk_half,
+                                                            qam64_three_quarters, rng):
+        """The rate-adaptation premise: 6 Mb/s works where 54 Mb/s fails."""
+        bits = rng.integers(0, 2, 400, dtype=np.uint8)
+        snr_db = 8.0
+        slow = Receiver(bpsk_half, decoder="viterbi").receive(
+            awgn(Transmitter(bpsk_half).transmit(bits), snr_db, rng=rng), 400
+        )
+        fast = Receiver(qam64_three_quarters, decoder="viterbi").receive(
+            awgn(Transmitter(qam64_three_quarters).transmit(bits), snr_db, rng=rng), 400
+        )
+        assert np.array_equal(slow.bits, bits)
+        assert not np.array_equal(fast.bits, bits)
+
+    def test_soft_receive_returns_hints(self, qam16_half, rng):
+        bits = rng.integers(0, 2, 300, dtype=np.uint8)
+        samples = awgn(Transmitter(qam16_half).transmit(bits), 9.0, rng=rng)
+        result = Receiver(qam16_half, decoder="bcjr").receive(samples, 300)
+        assert result.llr is not None
+        assert result.hints.shape == (300,)
+        assert np.all(result.hints >= 0)
+
+    def test_quantized_demapper_still_decodes(self, qam16_half, rng):
+        bits = rng.integers(0, 2, 300, dtype=np.uint8)
+        samples = awgn(Transmitter(qam16_half).transmit(bits), 14.0, rng=rng)
+        receiver = Receiver(
+            qam16_half, decoder="bcjr", llr_format=llr_quantizer(4, max_abs=4.0)
+        )
+        result = receiver.receive(samples, 300)
+        assert np.mean(result.bits != bits) < 0.01
+
+
+class TestFrontEndAndBatchDecoding:
+    def test_front_end_length(self, qam16_half, rng):
+        bits = rng.integers(0, 2, 200, dtype=np.uint8)
+        samples = Transmitter(qam16_half).transmit(bits)
+        soft = Receiver(qam16_half).front_end(samples, 200)
+        assert soft.size == 2 * (200 + 6)
+
+    def test_decode_batch_matches_receive(self, qam16_half, rng):
+        receiver = Receiver(qam16_half, decoder="bcjr")
+        transmitter = Transmitter(qam16_half)
+        packets = [rng.integers(0, 2, 150, dtype=np.uint8) for _ in range(3)]
+        softs, singles = [], []
+        for bits in packets:
+            samples = awgn(transmitter.transmit(bits), 10.0, rng=np.random.default_rng(7))
+            softs.append(receiver.front_end(samples, 150))
+            singles.append(receiver.receive(samples, 150).bits)
+        batch = receiver.decode_batch(np.vstack(softs), 150)
+        for i in range(3):
+            assert np.array_equal(batch.bits[i], singles[i])
+
+    def test_unknown_decoder_name_rejected(self, qam16_half):
+        with pytest.raises(ValueError):
+            Receiver(qam16_half, decoder="turbo")

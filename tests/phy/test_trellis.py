@@ -1,0 +1,152 @@
+"""Unit tests for the trellis and the shared BMU / PMU kernels."""
+
+import numpy as np
+import pytest
+
+from repro.phy.convolutional import ConvolutionalCode, IEEE80211_CODE
+from repro.phy.trellis import (
+    BranchMetricUnit,
+    NEGATIVE_INFINITY_METRIC,
+    PathMetricUnit,
+    Trellis,
+    reshape_soft_input,
+)
+
+
+@pytest.fixture(scope="module")
+def trellis():
+    return Trellis(IEEE80211_CODE)
+
+
+class TestTrellisStructure:
+    def test_number_of_states(self, trellis):
+        assert trellis.num_states == 64
+
+    def test_every_state_has_two_successors_and_two_predecessors(self, trellis):
+        successors = trellis.next_state.reshape(-1)
+        # Each state appears exactly twice as a successor.
+        counts = np.bincount(successors, minlength=64)
+        assert np.all(counts == 2)
+
+    def test_next_state_is_shift_register_update(self, trellis):
+        for state in (0, 1, 37, 63):
+            for bit in (0, 1):
+                assert trellis.next_state[state, bit] == ((state << 1) | bit) & 0x3F
+
+    def test_prev_tables_invert_next_state(self, trellis):
+        for state in range(trellis.num_states):
+            for slot in range(2):
+                previous = trellis.prev_state[state, slot]
+                bit = trellis.prev_input[state, slot]
+                assert trellis.next_state[previous, bit] == state
+
+    def test_outputs_match_encoder(self, trellis, rng):
+        """Walking the trellis reproduces the encoder output bit for bit."""
+        bits = rng.integers(0, 2, 30, dtype=np.uint8)
+        coded = IEEE80211_CODE.encode(bits, terminate=False)
+        state = 0
+        for i, bit in enumerate(bits):
+            expected = coded[2 * i : 2 * i + 2]
+            assert np.array_equal(trellis.outputs[state, bit], expected)
+            state = trellis.next_state[state, bit]
+
+    def test_output_signs_are_plus_minus_one(self, trellis):
+        assert set(np.unique(trellis.output_signs)) == {-1.0, 1.0}
+
+    def test_small_code_trellis(self):
+        small = Trellis(ConvolutionalCode(3, (0o7, 0o5)))
+        assert small.num_states == 4
+        assert small.outputs.shape == (4, 2, 2)
+
+
+class TestBranchMetricUnit:
+    def test_metric_rewards_matching_signs(self, trellis):
+        bmu = BranchMetricUnit(trellis)
+        # Transition from state 0 with input 0 emits (0, 0): soft values that
+        # strongly favour zeros should score it highest.
+        soft = np.array([[-4.0, -4.0]])
+        metrics = bmu.compute(soft)
+        assert metrics.shape == (1, 64, 2)
+        assert metrics[0, 0, 0] == pytest.approx(4.0)
+
+    def test_metric_is_correlation(self, trellis, rng):
+        bmu = BranchMetricUnit(trellis)
+        soft = rng.normal(size=(3, 2))
+        metrics = bmu.compute(soft)
+        # Check one (state, input) pair explicitly against the definition.
+        signs = trellis.output_signs[11, 1]
+        assert metrics[2, 11, 1] == pytest.approx(0.5 * np.dot(signs, soft[2]))
+
+    def test_compute_all_matches_per_step(self, trellis, rng):
+        bmu = BranchMetricUnit(trellis)
+        soft = rng.normal(size=(2, 5, 2))
+        all_at_once = bmu.compute_all(soft)
+        for t in range(5):
+            assert np.allclose(all_at_once[:, t], bmu.compute(soft[:, t]))
+
+    def test_one_dimensional_input_is_promoted(self, trellis):
+        bmu = BranchMetricUnit(trellis)
+        assert bmu.compute(np.array([1.0, -1.0])).shape == (1, 64, 2)
+
+
+class TestPathMetricUnit:
+    def test_initial_metrics_known_start(self, trellis):
+        pmu = PathMetricUnit(trellis)
+        metrics = pmu.initial_metrics(batch=2, known_start=True)
+        assert metrics.shape == (2, 64)
+        assert np.all(metrics[:, 0] == 0.0)
+        assert np.all(metrics[:, 1:] == NEGATIVE_INFINITY_METRIC)
+
+    def test_initial_metrics_uncertain_start(self, trellis):
+        pmu = PathMetricUnit(trellis)
+        metrics = pmu.initial_metrics(batch=1, known_start=False)
+        assert np.all(metrics == 0.0)
+
+    def test_forward_step_follows_noiseless_path(self, trellis):
+        """With perfect soft values the survivor path follows the encoder."""
+        pmu = PathMetricUnit(trellis)
+        bmu = BranchMetricUnit(trellis)
+        bits = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        coded = IEEE80211_CODE.encode(bits, terminate=False).astype(np.float64)
+        soft = (2.0 * coded - 1.0) * 5.0
+        metrics = pmu.initial_metrics(1, known_start=True)
+        state = 0
+        for t in range(bits.size):
+            branch = bmu.compute(soft[2 * t : 2 * t + 2])
+            metrics, prev_state, prev_input, delta = pmu.forward_step(metrics, branch)
+            state = trellis.next_state[state, bits[t]]
+            best = int(np.argmax(metrics[0]))
+            assert best == state
+            assert prev_input[0, best] == bits[t]
+            assert np.all(delta >= 0.0)
+
+    def test_normalize_keeps_relative_order(self, trellis, rng):
+        pmu = PathMetricUnit(trellis)
+        metrics = rng.normal(size=(2, 64))
+        normalised = pmu.normalize(metrics)
+        assert np.allclose(
+            np.argsort(metrics, axis=1), np.argsort(normalised, axis=1)
+        )
+        assert np.all(np.max(normalised, axis=1) == 0.0)
+
+    def test_backward_step_shape(self, trellis, rng):
+        pmu = PathMetricUnit(trellis)
+        bmu = BranchMetricUnit(trellis)
+        beta = rng.normal(size=(3, 64))
+        branch = bmu.compute(rng.normal(size=(3, 2)))
+        assert pmu.backward_step(beta, branch).shape == (3, 64)
+
+
+class TestReshapeSoftInput:
+    def test_flat_packet_is_reshaped(self):
+        soft = np.arange(10.0)
+        reshaped = reshape_soft_input(soft, 2)
+        assert reshaped.shape == (1, 5, 2)
+
+    def test_batch_is_preserved(self):
+        soft = np.zeros((3, 8))
+        assert reshape_soft_input(soft, 2).shape == (3, 4, 2)
+
+    def test_length_must_divide(self):
+        with pytest.raises(ValueError):
+            reshape_soft_input(np.zeros(7), 2)

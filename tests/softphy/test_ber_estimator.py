@@ -1,0 +1,135 @@
+"""Unit tests for LLR-to-BER conversion and the lookup-table estimator."""
+
+import numpy as np
+import pytest
+
+from repro.phy.params import QAM16, QPSK
+from repro.softphy.ber_estimator import (
+    BerEstimator,
+    BerLookupTable,
+    DEFAULT_SNR_CONSTANTS_DB,
+    MIN_BER,
+    ber_to_llr,
+    llr_to_ber,
+)
+from repro.softphy.scaling import ScalingFactors
+
+
+class TestEquationFour:
+    def test_zero_llr_means_coin_flip(self):
+        assert llr_to_ber(0.0) == pytest.approx(0.5)
+
+    def test_large_llr_means_tiny_ber(self):
+        assert llr_to_ber(30.0) < 1e-9 + 1e-12
+
+    def test_monotonically_decreasing(self):
+        llrs = np.linspace(0, 25, 50)
+        bers = llr_to_ber(llrs)
+        assert np.all(np.diff(bers) <= 0)
+
+    def test_known_value(self):
+        # LLR = ln(99) corresponds to a 1% error probability.
+        assert llr_to_ber(np.log(99.0)) == pytest.approx(0.01)
+
+    def test_output_is_clipped_to_valid_range(self):
+        assert llr_to_ber(1e6) >= MIN_BER
+        assert llr_to_ber(-10.0) == pytest.approx(0.5)
+
+    def test_round_trip_with_inverse(self):
+        for ber in (0.3, 0.01, 1e-4, 1e-6):
+            assert llr_to_ber(ber_to_llr(ber)) == pytest.approx(ber, rel=1e-6)
+
+    def test_log_linear_tail(self):
+        """For small BER, log(BER) is linear in the LLR -- the Figure 5 shape."""
+        llrs = np.array([10.0, 15.0, 20.0])
+        log_bers = np.log(llr_to_ber(llrs))
+        slopes = np.diff(log_bers) / np.diff(llrs)
+        assert slopes[0] == pytest.approx(-1.0, rel=1e-3)
+        assert slopes[1] == pytest.approx(-1.0, rel=1e-3)
+
+
+class TestBerLookupTable:
+    def test_lookup_matches_direct_formula(self):
+        table = BerLookupTable(scale=0.5, max_hint=63)
+        hints = np.array([0.0, 10.0, 30.0, 63.0])
+        assert np.allclose(table.lookup(hints), llr_to_ber(0.5 * hints))
+
+    def test_hints_beyond_range_saturate(self):
+        table = BerLookupTable(scale=0.5, max_hint=63)
+        assert table.lookup(200.0) == pytest.approx(llr_to_ber(0.5 * 63.0))
+
+    def test_negative_hints_use_magnitude(self):
+        table = BerLookupTable(scale=1.0)
+        assert table.lookup(-5.0) == pytest.approx(table.lookup(5.0))
+
+    def test_resolution_controls_table_size(self):
+        coarse = BerLookupTable(scale=1.0, max_hint=63, resolution=1.0)
+        fine = BerLookupTable(scale=1.0, max_hint=63, resolution=0.25)
+        assert fine.size > coarse.size
+
+    def test_accepts_scaling_factors_object(self):
+        scaling = ScalingFactors(11.0, QAM16, "bcjr")
+        table = BerLookupTable(scaling)
+        assert table.scale == pytest.approx(scaling.combined)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            BerLookupTable(scale=0.0)
+
+
+class TestBerEstimator:
+    def test_builds_one_table_per_modulation(self):
+        estimator = BerEstimator("bcjr")
+        estimator.per_bit_ber(np.arange(10.0), QAM16)
+        estimator.per_bit_ber(np.arange(10.0), QPSK)
+        assert len(estimator._tables) == 2
+
+    def test_table_reuse(self):
+        estimator = BerEstimator("bcjr")
+        assert estimator.table_for(QAM16) is estimator.table_for("QAM16")
+
+    def test_larger_hints_mean_lower_ber(self):
+        estimator = BerEstimator("bcjr")
+        bers = estimator.per_bit_ber(np.array([1.0, 2.0, 3.0]), QAM16)
+        assert bers[0] > bers[1] > bers[2]
+
+    def test_very_large_hints_saturate_at_the_table_floor(self):
+        estimator = BerEstimator("bcjr")
+        bers = estimator.per_bit_ber(np.array([40.0, 63.0, 100.0]), QAM16)
+        assert bers[0] == bers[1] == bers[2]
+
+    def test_packet_ber_is_mean_of_per_bit(self):
+        estimator = BerEstimator("bcjr")
+        hints = np.array([5.0, 10.0, 15.0])
+        assert estimator.packet_ber(hints, QAM16) == pytest.approx(
+            estimator.per_bit_ber(hints, QAM16).mean()
+        )
+
+    def test_packet_ber_batched(self):
+        estimator = BerEstimator("bcjr")
+        hints = np.arange(20.0).reshape(2, 10)
+        assert estimator.packet_ber(hints, QAM16).shape == (2,)
+
+    def test_constant_snr_comes_from_modulation_table(self):
+        estimator = BerEstimator("bcjr", snr_constants_db={"QAM16": 13.0})
+        default = BerEstimator("bcjr")
+        assert estimator.table_for(QAM16).scale > default.table_for(QAM16).scale
+        assert default.snr_constants_db == DEFAULT_SNR_CONSTANTS_DB
+
+    def test_calibrated_decoder_scales_override_defaults(self):
+        custom = BerEstimator("bcjr", decoder_scales={"QAM16": 2.0})
+        default = BerEstimator("bcjr")
+        assert custom.table_for(QAM16).scale > default.table_for(QAM16).scale
+
+    def test_underestimates_when_actual_snr_is_lower_than_constant(self):
+        """The paper's predicted behaviour of the constant-SNR simplification."""
+        constant = DEFAULT_SNR_CONSTANTS_DB["QAM16"]
+        estimator = BerEstimator("bcjr")
+        hint = np.array([2.0])
+        estimate = estimator.per_bit_ber(hint, QAM16)[0]
+        # Truth computed with the real (lower) SNR: the bit is actually less
+        # reliable than the constant-SNR table claims.
+        true_low_snr = llr_to_ber(
+            ScalingFactors(constant - 3.0, QAM16, "bcjr").true_llr(hint)
+        )[0]
+        assert estimate < true_low_snr

@@ -1,0 +1,119 @@
+"""Unit tests for the BER-versus-hint measurement and the log-linear fit.
+
+These use small simulations (tens of packets) -- enough to exercise the
+machinery and its statistical behaviour without the cost of the full
+Figure 5 benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.softphy.ber_estimator import llr_to_ber
+from repro.softphy.calibration import (
+    BerVersusHint,
+    fit_log_linear,
+    measure_ber_vs_hint,
+)
+
+
+def synthetic_measurement(scale=0.4, bits_per_bin=20_000, max_hint=30, seed=0):
+    """Build a measurement whose BER follows equation 4 exactly."""
+    rng = np.random.default_rng(seed)
+    hints = np.arange(0.0, max_hint + 1.0)
+    bers = llr_to_ber(scale * hints)
+    bits = np.full(hints.size, bits_per_bin)
+    errors = rng.binomial(bits_per_bin, bers)
+    return BerVersusHint(hints, bits, errors, label="synthetic")
+
+
+class TestBerVersusHint:
+    def test_ber_is_errors_over_bits(self):
+        measurement = BerVersusHint([0, 1], [100, 200], [10, 2])
+        assert np.allclose(measurement.ber, [0.1, 0.01])
+
+    def test_empty_bins_give_nan(self):
+        measurement = BerVersusHint([0, 1], [100, 0], [10, 0])
+        assert np.isnan(measurement.ber[1])
+
+    def test_confidence_intervals_bracket_point_estimate(self):
+        measurement = BerVersusHint([0], [1000], [50])
+        low, high = measurement.confidence_intervals()
+        assert low[0] < 0.05 < high[0]
+
+    def test_reliable_mask_filters_sparse_bins(self):
+        measurement = BerVersusHint([0, 1, 2], [5000, 100, 0], [50, 0, 0])
+        mask = measurement.reliable_mask(min_bits=1000, min_errors=1)
+        assert list(mask) == [True, False, False]
+
+    def test_merge_accumulates_counts(self):
+        a = BerVersusHint([0, 1], [10, 10], [1, 0])
+        b = BerVersusHint([0, 1], [20, 20], [3, 1])
+        merged = a.merge(b)
+        assert list(merged.bits) == [30, 30]
+        assert list(merged.errors) == [4, 1]
+
+    def test_merge_requires_matching_bins(self):
+        a = BerVersusHint([0, 1], [10, 10], [1, 0])
+        b = BerVersusHint([0, 2], [10, 10], [1, 0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestLogLinearFit:
+    def test_recovers_synthetic_slope(self):
+        # The fit runs over the whole hint range, including the bend where
+        # the BER saturates towards 0.5, so the recovered slope is slightly
+        # shallower than the asymptotic scale.
+        measurement = synthetic_measurement(scale=0.4)
+        fit = fit_log_linear(measurement, min_bits=100)
+        assert fit.slope == pytest.approx(0.4, rel=0.25)
+        assert fit.r_squared > 0.9
+
+    def test_predict_ber_decreases_with_hint(self):
+        fit = fit_log_linear(synthetic_measurement(scale=0.5), min_bits=100)
+        assert fit.predict_ber(5.0) > fit.predict_ber(20.0)
+
+    def test_hint_for_ber_inverts_prediction(self):
+        fit = fit_log_linear(synthetic_measurement(scale=0.5), min_bits=100)
+        hint = fit.hint_for_ber(1e-4)
+        assert fit.predict_ber(hint) == pytest.approx(1e-4, rel=1e-6)
+
+    def test_implied_decoder_scale_factorises_slope(self):
+        fit = fit_log_linear(synthetic_measurement(scale=0.5), min_bits=100)
+        implied = fit.implied_decoder_scale(snr_db=6.0, modulation="QAM16")
+        from repro.softphy.scaling import modulation_scale, snr_scale
+
+        assert implied * snr_scale(6.0) * modulation_scale("QAM16") == pytest.approx(
+            fit.slope
+        )
+
+    def test_fit_needs_enough_bins(self):
+        sparse = BerVersusHint([0, 1, 2], [10, 10, 10], [1, 0, 0])
+        with pytest.raises(ValueError):
+            fit_log_linear(sparse, min_bits=1000)
+
+
+class TestMeasureBerVsHint:
+    def test_measurement_runs_end_to_end(self, qam16_half):
+        measurement = measure_ber_vs_hint(
+            qam16_half, 6.0, "bcjr", num_packets=6, packet_bits=400, seed=0
+        )
+        assert measurement.bits.sum() == 6 * 400
+        assert measurement.errors.sum() >= 0
+        assert "bcjr" in measurement.label
+
+    def test_low_snr_errors_concentrate_at_low_hints(self, qam16_half):
+        measurement = measure_ber_vs_hint(
+            qam16_half, 5.0, "bcjr", num_packets=10, packet_bits=400, seed=1
+        )
+        errors = measurement.errors
+        assert errors.sum() > 0
+        low_hint_errors = errors[: errors.size // 3].sum()
+        high_hint_errors = errors[2 * errors.size // 3 :].sum()
+        assert low_hint_errors >= high_hint_errors
+
+    def test_hard_decoder_is_rejected(self, qam16_half):
+        with pytest.raises(ValueError):
+            measure_ber_vs_hint(
+                qam16_half, 6.0, "viterbi", num_packets=2, packet_bits=200
+            )

@@ -1,0 +1,63 @@
+"""Unit tests for per-packet BER computation."""
+
+import numpy as np
+import pytest
+
+from repro.softphy.packet_ber import (
+    expected_bit_errors,
+    ground_truth_packet_ber,
+    packet_ber_estimate,
+    packet_error_probability,
+)
+
+
+class TestPacketBerEstimate:
+    def test_mean_of_per_bit_estimates(self):
+        assert packet_ber_estimate([0.1, 0.2, 0.3]) == pytest.approx(0.2)
+
+    def test_batched_input(self):
+        estimates = np.array([[0.1, 0.1], [0.4, 0.2]])
+        assert np.allclose(packet_ber_estimate(estimates), [0.1, 0.3])
+
+    def test_all_confident_bits_give_small_pber(self):
+        assert packet_ber_estimate(np.full(1000, 1e-7)) == pytest.approx(1e-7)
+
+
+class TestGroundTruth:
+    def test_counts_differing_bits(self):
+        tx = np.array([0, 1, 0, 1])
+        rx = np.array([0, 1, 1, 1])
+        assert ground_truth_packet_ber(tx, rx) == pytest.approx(0.25)
+
+    def test_identical_packets_give_zero(self):
+        bits = np.ones(100, dtype=np.uint8)
+        assert ground_truth_packet_ber(bits, bits) == 0.0
+
+    def test_batched(self):
+        tx = np.zeros((2, 4), dtype=np.uint8)
+        rx = np.array([[0, 0, 0, 0], [1, 1, 0, 0]], dtype=np.uint8)
+        assert np.allclose(ground_truth_packet_ber(tx, rx), [0.0, 0.5])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ground_truth_packet_ber(np.zeros(4), np.zeros(5))
+
+
+class TestPacketErrorProbability:
+    def test_single_certain_error(self):
+        assert packet_error_probability([1.0 - 1e-16, 0.0]) == pytest.approx(1.0)
+
+    def test_no_errors(self):
+        assert packet_error_probability(np.zeros(10)) == pytest.approx(0.0)
+
+    def test_matches_independent_bit_model(self):
+        probabilities = np.array([0.01, 0.02, 0.005])
+        expected = 1.0 - np.prod(1.0 - probabilities)
+        assert packet_error_probability(probabilities) == pytest.approx(expected)
+
+    def test_small_probabilities_are_stable(self):
+        probabilities = np.full(10_000, 1e-7)
+        assert packet_error_probability(probabilities) == pytest.approx(1e-3, rel=0.01)
+
+    def test_expected_bit_errors(self):
+        assert expected_bit_errors([0.5, 0.25, 0.25]) == pytest.approx(1.0)

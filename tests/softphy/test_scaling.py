@@ -1,0 +1,60 @@
+"""Unit tests for the equation 5 scaling factors."""
+
+import pytest
+
+from repro.phy.params import QAM16, QPSK
+from repro.softphy.scaling import ScalingFactors, decoder_scale, modulation_scale, snr_scale
+
+
+class TestIndividualFactors:
+    def test_snr_scale_is_linear_snr(self):
+        assert snr_scale(0.0) == pytest.approx(1.0)
+        assert snr_scale(10.0) == pytest.approx(10.0)
+
+    def test_modulation_scale_accepts_objects_and_names(self):
+        assert modulation_scale(QAM16) == modulation_scale("QAM16")
+
+    def test_modulation_scale_unknown(self):
+        with pytest.raises(KeyError):
+            modulation_scale("QAM1024")
+
+    def test_decoder_scale_known_decoders(self):
+        assert decoder_scale("bcjr") > 0
+        assert decoder_scale("sova") > 0
+        assert decoder_scale("viterbi") == 0.0
+
+    def test_decoder_scale_unknown(self):
+        with pytest.raises(KeyError):
+            decoder_scale("turbo")
+
+
+class TestScalingFactors:
+    def test_combined_is_product_of_three_factors(self):
+        scaling = ScalingFactors(snr_db=10.0, modulation=QAM16, decoder="bcjr")
+        expected = snr_scale(10.0) * modulation_scale(QAM16) * decoder_scale("bcjr")
+        assert scaling.combined == pytest.approx(expected)
+
+    def test_true_llr_applies_combined_factor(self):
+        scaling = ScalingFactors(snr_db=6.0, modulation="QPSK", decoder="bcjr")
+        assert scaling.true_llr(2.0) == pytest.approx(2.0 * scaling.combined)
+
+    def test_higher_snr_gives_larger_scale(self):
+        low = ScalingFactors(6.0, QAM16, "bcjr")
+        high = ScalingFactors(8.0, QAM16, "bcjr")
+        assert high.combined > low.combined
+
+    def test_denser_modulation_gives_smaller_scale(self):
+        qpsk = ScalingFactors(6.0, QPSK, "bcjr")
+        qam16 = ScalingFactors(6.0, QAM16, "bcjr")
+        assert qam16.combined < qpsk.combined
+
+    def test_explicit_numeric_decoder_factor(self):
+        scaling = ScalingFactors(6.0, QAM16, 0.5)
+        assert scaling.decoder_factor == pytest.approx(0.5)
+        assert scaling.decoder_name == "custom"
+
+    def test_decoder_dependence_mirrors_figure5(self):
+        """Figure 5 shows different slopes for BCJR and SOVA at the same point."""
+        bcjr = ScalingFactors(6.0, QAM16, "bcjr")
+        sova = ScalingFactors(6.0, QAM16, "sova")
+        assert bcjr.combined != sova.combined

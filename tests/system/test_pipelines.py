@@ -1,0 +1,125 @@
+"""Tests for the assembled WiLIS co-simulation pipelines (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clocks import BER_UNIT_CLOCK
+from repro.core.platform import Partition
+from repro.core.scheduler import DataflowScheduler, MultiClockScheduler
+from repro.phy.params import rate_by_mbps
+from repro.system.pipelines import build_cosimulation
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return build_cosimulation(
+        rate_by_mbps(24), packet_bits=240, decoder="bcjr", snr_db=15.0, seed=7
+    )
+
+
+def payloads_for(model, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 2, model.packet_bits, dtype=np.uint8) for _ in range(count)]
+
+
+class TestPipelineStructure:
+    def test_figure1_module_names_are_present(self, small_model):
+        names = set(small_model.network.modules)
+        for expected in (
+            "packet_source",
+            "tx_scrambler",
+            "tx_encoder",
+            "tx_interleaver",
+            "tx_mapper",
+            "tx_ofdm_mod",
+            "channel",
+            "rx_front_end",
+            "rx_decoder",
+            "rx_ber_estimator",
+            "packet_sink",
+        ):
+            assert expected in names
+
+    def test_channel_lives_in_the_software_partition(self, small_model):
+        channel = small_model.network.module("channel")
+        assert small_model.platform.partition_of(channel) == Partition.SOFTWARE
+
+    def test_baseband_lives_in_the_hardware_partition(self, small_model):
+        for name in ("tx_encoder", "rx_decoder"):
+            module = small_model.network.module(name)
+            assert small_model.platform.partition_of(module) == Partition.HARDWARE
+
+    def test_ber_estimator_runs_in_its_own_clock_domain(self, small_model):
+        estimator = small_model.network.module("rx_ber_estimator")
+        assert estimator.clock == BER_UNIT_CLOCK
+        assert len(small_model.network.clock_crossings()) >= 1
+
+    def test_hard_viterbi_pipeline_has_no_ber_estimator(self):
+        model = build_cosimulation(rate_by_mbps(12), packet_bits=120, decoder="viterbi")
+        assert "rx_ber_estimator" not in model.network.modules
+
+    def test_network_is_fully_connected(self, small_model):
+        small_model.network.validate()
+
+
+class TestPipelineExecution:
+    def test_packets_flow_end_to_end_without_errors_at_high_snr(self, small_model):
+        payloads = payloads_for(small_model, 3)
+        outputs, report = small_model.run_packets(payloads)
+        assert len(outputs) == 3
+        for payload, output in zip(payloads, outputs):
+            assert np.array_equal(output["bits"], payload)
+            assert output["pber_estimate"] is not None
+        assert report.payload_bits == 3 * small_model.packet_bits
+
+    def test_host_link_traffic_is_accounted(self, small_model):
+        outputs, report = small_model.run_packets(payloads_for(small_model, 2, seed=1))
+        assert report.link_bytes > 0
+        assert 0.0 <= report.link_utilization <= 1.0
+
+    def test_payload_size_is_checked(self, small_model):
+        with pytest.raises(ValueError):
+            small_model.run_packets([np.zeros(10, dtype=np.uint8)])
+
+    def test_decoder_swap_changes_only_configuration(self):
+        """Swapping SOVA for BCJR requires no pipeline surgery (plug-n-play)."""
+        rng = np.random.default_rng(3)
+        payload = rng.integers(0, 2, 240, dtype=np.uint8)
+        results = {}
+        for decoder in ("sova", "bcjr"):
+            model = build_cosimulation(
+                rate_by_mbps(24), packet_bits=240, decoder=decoder, snr_db=14.0, seed=11
+            )
+            outputs, _ = model.run_packets([payload])
+            results[decoder] = outputs[0]["bits"]
+        assert np.array_equal(results["sova"], payload)
+        assert np.array_equal(results["bcjr"], payload)
+
+    def test_rayleigh_channel_variant(self):
+        model = build_cosimulation(
+            rate_by_mbps(6), packet_bits=96, decoder="viterbi",
+            channel="rayleigh", snr_db=20.0, seed=2,
+        )
+        payloads = payloads_for(model, 2, seed=4)
+        outputs, _ = model.run_packets(payloads)
+        assert len(outputs) == 2
+
+    def test_multiclock_scheduler_accumulates_simulated_time(self, small_model):
+        payloads = payloads_for(small_model, 1, seed=5)
+        _, report = small_model.run_packets(
+            payloads, scheduler=MultiClockScheduler(small_model.network)
+        )
+        assert report.simulated_time_us > 0
+
+    def test_lockstep_and_decoupled_agree_on_results(self):
+        rng = np.random.default_rng(6)
+        payloads = [rng.integers(0, 2, 96, dtype=np.uint8) for _ in range(2)]
+        decoupled = build_cosimulation(rate_by_mbps(6), 96, decoder="viterbi",
+                                       snr_db=18.0, seed=8)
+        lockstep = build_cosimulation(rate_by_mbps(6), 96, decoder="viterbi",
+                                      snr_db=18.0, seed=8, lockstep=True)
+        out_a, rep_a = decoupled.run_packets(list(payloads))
+        out_b, rep_b = lockstep.run_packets(list(payloads))
+        for a, b in zip(out_a, out_b):
+            assert np.array_equal(a["bits"], b["bits"])
+        assert rep_b.scheduler_stats.steps >= rep_a.scheduler_stats.steps

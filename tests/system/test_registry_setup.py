@@ -1,0 +1,69 @@
+"""Tests for the built-in plug-n-play implementation catalogue."""
+
+import pytest
+
+from repro.channel.awgn import AwgnChannel
+from repro.channel.fading import RayleighFadingChannel
+from repro.core.registry import ModuleRegistry
+from repro.phy.bcjr import BcjrDecoder
+from repro.phy.params import QAM16
+from repro.phy.sova import SovaDecoder
+from repro.phy.viterbi import ViterbiDecoder
+from repro.softphy.ber_estimator import BerEstimator
+from repro.system.registry_setup import register_default_implementations
+
+
+@pytest.fixture
+def registry():
+    return register_default_implementations(ModuleRegistry())
+
+
+class TestCatalogue:
+    def test_all_roles_registered(self, registry):
+        assert set(registry.roles()) >= {"decoder", "channel", "demapper", "estimator"}
+
+    def test_three_decoders_available(self, registry):
+        assert registry.implementations("decoder") == ["bcjr", "sova", "viterbi"]
+
+    def test_decoder_factories_build_the_right_classes(self, registry):
+        assert isinstance(registry.create("decoder", "viterbi"), ViterbiDecoder)
+        assert isinstance(registry.create("decoder", "sova"), SovaDecoder)
+        assert isinstance(registry.create("decoder", "bcjr"), BcjrDecoder)
+
+    def test_decoder_kwargs_forwarded(self, registry):
+        decoder = registry.create("decoder", "bcjr", block_length=32)
+        assert decoder.block_length == 32
+
+    def test_channels(self, registry):
+        awgn = registry.create("channel", "awgn", snr_db=7.0)
+        fading = registry.create("channel", "rayleigh", snr_db=9.0, doppler_hz=20.0)
+        assert isinstance(awgn, AwgnChannel) and awgn.snr_db == 7.0
+        assert isinstance(fading, RayleighFadingChannel) and fading.doppler_hz == 20.0
+
+    def test_demappers(self, registry):
+        hardware = registry.create("demapper", "hardware", modulation=QAM16)
+        ideal = registry.create("demapper", "ideal", modulation=QAM16, snr_db=12.0)
+        assert not hardware.scaled
+        assert ideal.scaled
+
+    def test_estimators(self, registry):
+        lookup = registry.create("estimator", "lookup", decoder="sova")
+        assert isinstance(lookup, BerEstimator)
+        exact = registry.create("estimator", "exact", decoder="bcjr")
+        assert hasattr(exact, "per_bit_ber")
+
+    def test_registration_is_idempotent(self, registry):
+        again = register_default_implementations(registry)
+        assert again is registry
+        assert again.implementations("decoder") == ["bcjr", "sova", "viterbi"]
+
+    def test_configuration_swap_is_one_word(self, registry):
+        """The paper's plug-n-play claim: swapping a decoder is configuration."""
+        base = {"decoder": "sova"}
+        swapped = {"decoder": "bcjr"}
+        assert isinstance(
+            registry.build_configuration(base)["decoder"], SovaDecoder
+        )
+        assert isinstance(
+            registry.build_configuration(swapped)["decoder"], BcjrDecoder
+        )

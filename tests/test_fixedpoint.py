@@ -1,0 +1,83 @@
+"""Unit tests for the fixed-point formats."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FixedPointFormat, quantize
+from repro.fixedpoint.fixed import llr_quantizer
+
+
+class TestFixedPointFormat:
+    def test_total_bits_includes_sign(self):
+        assert FixedPointFormat(3, 4).total_bits == 8
+        assert FixedPointFormat(3, 4, signed=False).total_bits == 7
+
+    def test_resolution(self):
+        assert FixedPointFormat(2, 3).resolution == pytest.approx(0.125)
+
+    def test_range_signed(self):
+        fmt = FixedPointFormat(2, 1)
+        assert fmt.max_value == pytest.approx(3.5)
+        assert fmt.min_value == pytest.approx(-4.0)
+
+    def test_range_unsigned(self):
+        fmt = FixedPointFormat(2, 1, signed=False)
+        assert fmt.min_value == 0.0
+
+    def test_quantize_rounds_to_nearest(self):
+        fmt = FixedPointFormat(3, 2)
+        assert float(fmt.quantize(1.10)) == pytest.approx(1.0)
+        assert float(fmt.quantize(1.15)) == pytest.approx(1.25)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(2, 2)
+        assert float(fmt.quantize(100.0)) == pytest.approx(fmt.max_value)
+        assert float(fmt.quantize(-100.0)) == pytest.approx(fmt.min_value)
+
+    def test_quantize_preserves_shape(self, rng):
+        fmt = FixedPointFormat(3, 3)
+        values = rng.normal(size=(4, 5))
+        assert fmt.quantize(values).shape == (4, 5)
+
+    def test_quantization_error_bounded_by_half_lsb(self, rng):
+        fmt = FixedPointFormat(4, 4)
+        values = rng.uniform(-10, 10, size=1000)
+        errors = fmt.quantization_error(values)
+        assert np.max(np.abs(errors)) <= fmt.resolution / 2 + 1e-12
+
+    def test_representable_count(self):
+        assert FixedPointFormat(3, 0).representable_count() == 16
+
+    def test_equality_and_hash(self):
+        assert FixedPointFormat(2, 2) == FixedPointFormat(2, 2)
+        assert FixedPointFormat(2, 2) != FixedPointFormat(2, 3)
+        assert len({FixedPointFormat(2, 2), FixedPointFormat(2, 2)}) == 1
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(-1, 2)
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+
+    def test_quantize_helper(self):
+        assert float(quantize(0.3, 2, 1)) == pytest.approx(0.5)
+
+
+class TestLlrQuantizer:
+    def test_total_bits_respected(self):
+        for bits in (3, 4, 6, 8):
+            fmt = llr_quantizer(bits, max_abs=8.0)
+            assert fmt.total_bits <= bits
+
+    def test_range_covers_requested_magnitude(self):
+        fmt = llr_quantizer(6, max_abs=8.0)
+        assert fmt.max_value >= 7.0
+
+    def test_narrow_quantizer_is_coarse(self):
+        narrow = llr_quantizer(3, max_abs=4.0)
+        wide = llr_quantizer(8, max_abs=4.0)
+        assert narrow.resolution > wide.resolution
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError):
+            llr_quantizer(1)
