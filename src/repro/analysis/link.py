@@ -2,20 +2,41 @@
 
 A :class:`LinkSimulator` owns a transmitter, a channel and a receiver for
 one operating point (PHY rate, SNR, decoder) and pushes packets through the
-whole chain.  The per-packet front end (scrambling through depuncturing) is
-cheap vectorised numpy; the expensive trellis decode runs over a *batch* of
-packets at once, which is what makes the paper's BER-characterisation
-experiments feasible in pure Python.
+whole chain.  The entire chain is batch-vectorised: a batch of packets
+flows through transmit, channel and receive as 2-D arrays with no
+per-packet Python iteration, which is what makes the paper's
+BER-characterisation experiments feasible in pure Python.
+
+Batching design
+---------------
+``_run_batch`` moves ``(packets, ...)`` tensors through the batch-native
+APIs of the PHY layer::
+
+    payload bits   (packets, packet_bits)   one chunk-invariant RNG draw
+    tx samples     (packets, num_samples)   Transmitter.transmit_batch
+    channel        (packets, num_samples)   per-packet fading gain applied
+                                            as one broadcast multiply, one
+                                            batched AWGN draw with
+                                            per-packet noise scale
+    soft values    (packets, 2*(bits+6))    Receiver.front_end_batch
+    decoded        (packets, packet_bits)   Receiver.decode_batch
+
+Per-packet SNRs and fading gains come from evaluating the user-supplied
+callables once per packet index (the only per-packet Python left -- the
+values are *applied* vectorised).  Payload bits and channel noise are drawn
+from two independent generators spawned from the master seed; both draws
+are chunk-invariant along the packet axis, so results are identical for
+any ``batch_size`` split of the same run.
 
 The simulator is deliberately independent of the latency-insensitive
-framework: the LI pipelines in :mod:`repro.phy.pipelines` reuse the same
+framework: the LI pipelines in :mod:`repro.system.pipelines` reuse the same
 block functions, so results agree, but the direct path avoids the
 per-token scheduling overhead when only aggregate statistics are needed.
 """
 
 import numpy as np
 
-from repro.channel.awgn import awgn
+from repro.channel.awgn import awgn_batch
 from repro.phy.receiver import Receiver
 from repro.phy.transmitter import Transmitter
 
@@ -40,6 +61,29 @@ class LinkRunResult:
         self.rx_bits = rx_bits
         self.llr = llr
         self.snr_db = snr_db
+
+    @classmethod
+    def from_runs(cls, runs):
+        """Merge a sequence of runs (same geometry) into one result.
+
+        Unlike chaining :meth:`concatenate`, this copies each array exactly
+        once no matter how many runs are merged, so accumulating ``B``
+        batches costs O(B) instead of O(B**2).
+        """
+        runs = list(runs)
+        if not runs:
+            raise ValueError("at least one run is required")
+        if len(runs) == 1:
+            return runs[0]
+        llr = None
+        if all(run.llr is not None for run in runs):
+            llr = np.vstack([run.llr for run in runs])
+        return cls(
+            np.vstack([run.tx_bits for run in runs]),
+            np.vstack([run.rx_bits for run in runs]),
+            llr,
+            np.concatenate([run.snr_db for run in runs]),
+        )
 
     @property
     def hints(self):
@@ -77,15 +121,7 @@ class LinkRunResult:
 
     def concatenate(self, other):
         """Merge two runs (same geometry) into one result."""
-        llr = None
-        if self.llr is not None and other.llr is not None:
-            llr = np.vstack([self.llr, other.llr])
-        return LinkRunResult(
-            np.vstack([self.tx_bits, other.tx_bits]),
-            np.vstack([self.rx_bits, other.rx_bits]),
-            llr,
-            np.concatenate([self.snr_db, other.snr_db]),
-        )
+        return LinkRunResult.from_runs([self, other])
 
     def __repr__(self):
         return "LinkRunResult(packets=%d, bits=%d, ber=%.3g)" % (
@@ -147,17 +183,23 @@ class LinkSimulator:
             demapper_scaled=demapper_scaled,
             snr_db=snr_db if demapper_scaled and np.isscalar(snr_db) else None,
         )
-        self._rng = np.random.default_rng(seed)
+        # Independent payload and noise streams: each batch draws both as
+        # one (packets, ...) tensor, and numpy's chunk-invariant fills make
+        # the streams -- and therefore the results -- independent of how a
+        # run is split into batches.
+        bits_seq, noise_seq = np.random.SeedSequence(seed).spawn(2)
+        self._bits_rng = np.random.default_rng(bits_seq)
+        self._noise_rng = np.random.default_rng(noise_seq)
 
-    def _snr_for(self, packet_index):
+    def _snrs_for(self, indices):
         if callable(self.snr_db):
-            return float(self.snr_db(packet_index))
-        return float(self.snr_db)
+            return np.array([float(self.snr_db(int(i))) for i in indices])
+        return np.full(len(indices), float(self.snr_db))
 
-    def _gain_for(self, packet_index):
+    def _gains_for(self, indices):
         if self.fading_gain is None:
             return None
-        return complex(self.fading_gain(packet_index))
+        return np.array([complex(self.fading_gain(int(i))) for i in indices])
 
     # ------------------------------------------------------------------ #
     # Simulation
@@ -165,45 +207,40 @@ class LinkSimulator:
     def run(self, num_packets, batch_size=32, start_index=0):
         """Simulate ``num_packets`` packets and return a :class:`LinkRunResult`.
 
-        Packets are processed in batches of ``batch_size`` so the decoder's
-        batched kernels stay busy without exhausting memory.
+        Packets are processed in batches of ``batch_size`` so the batched
+        kernels stay busy without exhausting memory; the per-batch results
+        are collected and merged once at the end.
         """
         if num_packets < 1:
             raise ValueError("at least one packet is required")
-        results = None
+        batches = []
         for first in range(0, num_packets, batch_size):
             count = min(batch_size, num_packets - first)
-            batch = self._run_batch(count, start_index + first)
-            results = batch if results is None else results.concatenate(batch)
-        return results
+            batches.append(self._run_batch(count, start_index + first))
+        return LinkRunResult.from_runs(batches)
 
     def _run_batch(self, count, first_index):
-        tx_bits = np.empty((count, self.packet_bits), dtype=np.uint8)
-        softs = []
-        snrs = np.empty(count)
-        for i in range(count):
-            index = first_index + i
-            bits = self._rng.integers(0, 2, size=self.packet_bits, dtype=np.uint8)
-            tx_bits[i] = bits
-            samples = self.transmitter.transmit(bits)
-            snr_db = self._snr_for(index)
-            snrs[i] = snr_db
-            gain = self._gain_for(index)
-            if gain is not None:
-                samples = samples * gain
-            received = awgn(samples, snr_db, rng=self._rng)
-            csi = None
-            if gain is not None:
-                csi = np.full(
-                    self.receiver.geometry(self.packet_bits).num_symbols,
-                    np.abs(gain) ** 2,
-                )
-            softs.append(
-                self.receiver.front_end(
-                    received, self.packet_bits, channel_gain=gain, csi_weights=csi
-                )
+        indices = first_index + np.arange(count)
+        # int64 draws consume one raw word per bit, which keeps the stream
+        # chunk-invariant for any packet size (narrow dtypes buffer several
+        # values per word, so their streams depend on the batch split).
+        tx_bits = self._bits_rng.integers(
+            0, 2, size=(count, self.packet_bits), dtype=np.int64
+        ).astype(np.uint8)
+        samples = self.transmitter.transmit_batch(tx_bits)
+        snrs = self._snrs_for(indices)
+        gains = self._gains_for(indices)
+        csi = None
+        if gains is not None:
+            samples = samples * gains[:, np.newaxis]
+            num_symbols = self.receiver.geometry(self.packet_bits).num_symbols
+            csi = np.broadcast_to(
+                (np.abs(gains) ** 2)[:, np.newaxis], (count, num_symbols)
             )
-        soft = np.vstack(softs)
+        received = awgn_batch(samples, snrs, rng=self._noise_rng)
+        soft = self.receiver.front_end_batch(
+            received, self.packet_bits, channel_gains=gains, csi_weights=csi
+        )
         decoded = self.receiver.decode_batch(soft, self.packet_bits)
         return LinkRunResult(tx_bits, decoded.bits, decoded.llr, snrs)
 

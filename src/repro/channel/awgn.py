@@ -46,6 +46,42 @@ def awgn(samples, snr_db, rng=None, signal_power=1.0):
     return samples + noise
 
 
+def awgn_batch(samples, snr_db, rng=None, signal_power=1.0):
+    """Batched AWGN: noise a ``(packets, samples)`` array in one draw.
+
+    Parameters
+    ----------
+    samples:
+        ``(packets, num_samples)`` complex baseband samples.
+    snr_db:
+        Es/N0 in decibels -- a scalar shared by every packet or a
+        ``(packets,)`` array applying a different SNR per packet.
+    rng:
+        Optional :class:`numpy.random.Generator` for reproducibility.
+    signal_power:
+        Average signal power per constellation symbol.
+
+    Notes
+    -----
+    The noise is drawn as one ``(packets, num_samples, 2)`` standard-normal
+    tensor (real/imaginary interleaved per packet) and scaled by each
+    packet's noise amplitude afterwards.  Because numpy's Generator fills
+    C-order and draws chunk-invariantly along the leading axis, splitting a
+    run into smaller batches consumes an identical random stream -- results
+    do not depend on the batch size.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.ndim != 2:
+        raise ValueError("awgn_batch expects a (packets, samples) array")
+    variance = noise_variance_for_snr(np.asarray(snr_db, dtype=float), signal_power)
+    scale = np.broadcast_to(
+        np.atleast_1d(np.sqrt(variance / 2.0)), (samples.shape[0],)
+    )
+    noise = rng.standard_normal(samples.shape + (2,))
+    return samples + scale[:, np.newaxis] * (noise[..., 0] + 1j * noise[..., 1])
+
+
 class AwgnChannel:
     """Object form of the AWGN channel, with a persistent random stream.
 

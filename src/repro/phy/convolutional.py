@@ -60,7 +60,9 @@ class ConvolutionalCode:
         Parameters
         ----------
         bits:
-            Input bit array (0/1).
+            Input bit array (0/1): 1-D for one packet or 2-D
+            ``(packets, bits)`` for a batch (every row encoded
+            independently, each with its own termination tail).
         terminate:
             When ``True`` (the 802.11 behaviour) ``memory`` zero tail bits
             are appended so the encoder returns to the all-zero state, which
@@ -71,24 +73,35 @@ class ConvolutionalCode:
         numpy.ndarray
             Coded bits, ``outputs_per_input`` per input bit (including tail
             bits when terminated), interleaved output-first:
-            ``A0 B0 A1 B1 ...`` for two generators.
+            ``A0 B0 A1 B1 ...`` for two generators.  Batched input yields a
+            ``(packets, coded_bits)`` array.
         """
         bits = np.asarray(bits, dtype=np.uint8)
+        single = bits.ndim == 1
+        if single:
+            bits = bits[np.newaxis, :]
+        packets, length = bits.shape
         if terminate:
-            bits = np.concatenate([bits, np.zeros(self.memory, dtype=np.uint8)])
+            bits = np.concatenate(
+                [bits, np.zeros((packets, self.memory), dtype=np.uint8)], axis=1
+            )
+            length += self.memory
         # The encoder is a feed-forward shift register, so each output stream
         # is simply the XOR of delayed copies of the input selected by the
-        # generator taps -- which vectorises to a handful of shifted XORs.
-        padded = np.concatenate([np.zeros(self.memory, dtype=np.uint8), bits])
-        coded = np.empty(bits.size * self.outputs_per_input, dtype=np.uint8)
+        # generator taps -- which vectorises to a handful of shifted XORs
+        # applied to the whole (packets, bits) matrix at once.
+        padded = np.concatenate(
+            [np.zeros((packets, self.memory), dtype=np.uint8), bits], axis=1
+        )
+        coded = np.empty((packets, length * self.outputs_per_input), dtype=np.uint8)
         for j, generator in enumerate(self.generators):
-            stream = np.zeros(bits.size, dtype=np.uint8)
+            stream = np.zeros((packets, length), dtype=np.uint8)
             for delay in range(self.constraint_length):
                 if (generator >> delay) & 1:
                     start = self.memory - delay
-                    stream ^= padded[start : start + bits.size]
-            coded[j :: self.outputs_per_input] = stream
-        return coded
+                    stream ^= padded[:, start : start + length]
+            coded[:, j :: self.outputs_per_input] = stream
+        return coded[0] if single else coded
 
     def __repr__(self):
         return "ConvolutionalCode(K=%d, generators=%s)" % (
@@ -105,15 +118,18 @@ def puncture(coded_bits, code_rate):
     """Delete coded bits according to ``code_rate``'s puncture pattern.
 
     ``coded_bits`` may be a bit array (transmit side) or a soft-value array;
-    only the kept positions are returned, in order.
+    only the kept positions are returned, in order.  A 2-D
+    ``(packets, coded_bits)`` array punctures every row with the same mask
+    (one fancy-index gather for the whole batch).
     """
     coded_bits = np.asarray(coded_bits)
     pattern = np.asarray(code_rate.puncture_pattern, dtype=bool)
     if pattern.all():
         return coded_bits.copy()
-    repeats = int(np.ceil(coded_bits.size / pattern.size))
-    mask = np.tile(pattern, repeats)[: coded_bits.size]
-    return coded_bits[mask]
+    length = coded_bits.shape[-1]
+    repeats = int(np.ceil(length / pattern.size))
+    mask = np.tile(pattern, repeats)[:length]
+    return coded_bits[..., mask]
 
 
 def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
@@ -122,7 +138,9 @@ def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
     Parameters
     ----------
     soft_bits:
-        Received soft values for the transmitted (kept) positions.
+        Received soft values for the transmitted (kept) positions: 1-D for
+        one packet or 2-D ``(packets, kept)`` for a batch (every row is
+        expanded with the same mask in one vectorised scatter).
     code_rate:
         The :class:`~repro.phy.params.CodeRate` used by the transmitter.
     total_length:
@@ -136,20 +154,21 @@ def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
     Returns
     -------
     numpy.ndarray
-        Float array of length ``total_length``.
+        Float array of length ``total_length`` (``(packets, total_length)``
+        for batched input).
     """
     soft_bits = np.asarray(soft_bits, dtype=float)
     pattern = np.asarray(code_rate.puncture_pattern, dtype=bool)
     repeats = int(np.ceil(total_length / pattern.size))
     mask = np.tile(pattern, repeats)[:total_length]
     expected = int(mask.sum())
-    if soft_bits.size != expected:
+    if soft_bits.shape[-1] != expected:
         raise ValueError(
             "depuncture expected %d soft values for length %d at rate %s, got %d"
-            % (expected, total_length, code_rate, soft_bits.size)
+            % (expected, total_length, code_rate, soft_bits.shape[-1])
         )
-    full = np.full(total_length, float(erasure))
-    full[mask] = soft_bits
+    full = np.full(soft_bits.shape[:-1] + (total_length,), float(erasure))
+    full[..., mask] = soft_bits
     return full
 
 

@@ -113,12 +113,16 @@ class Demapper:
         Parameters
         ----------
         symbols:
-            Equalised constellation symbols (complex array).
+            Equalised constellation symbols (complex array).  A 1-D array
+            demaps one packet; a 2-D ``(packets, symbols)`` array demaps a
+            whole batch in the same vectorised pass and returns
+            ``(packets, soft_values)``.
         weights:
             Optional per-symbol channel-state weights (for example the
-            squared fading amplitude).  Each symbol's soft values are
-            multiplied by its weight, which is how a receiver with channel
-            state information de-emphasises faded subcarriers.
+            squared fading amplitude), matching ``symbols`` in shape.  Each
+            symbol's soft values are multiplied by its weight, which is how
+            a receiver with channel state information de-emphasises faded
+            subcarriers.
 
         Returns
         -------

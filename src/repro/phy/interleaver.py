@@ -57,15 +57,23 @@ class Interleaver:
 
     def _check(self, values):
         values = np.asarray(values)
-        if values.size % self.block_size:
+        # Per-packet length must divide into whole OFDM symbols: checking
+        # the last axis (not the total size) keeps a batched (packets,
+        # bits) input from silently mixing bits across rows.
+        if values.shape[-1] % self.block_size:
             raise ValueError(
                 "interleaver input length %d is not a multiple of the symbol "
-                "size %d" % (values.size, self.block_size)
+                "size %d" % (values.shape[-1], self.block_size)
             )
         return values
 
     def interleave(self, bits):
-        """Interleave a coded-bit stream (a whole number of OFDM symbols)."""
+        """Interleave a coded-bit stream (a whole number of OFDM symbols).
+
+        Accepts a 1-D stream or a 2-D ``(packets, padded_bits)`` batch: the
+        permutation is applied per OFDM symbol, so rows (packets) never mix
+        and the batched result is bit-exact with per-packet calls.
+        """
         bits = self._check(bits)
         blocks = bits.reshape(-1, self.block_size)
         out = np.empty_like(blocks)
@@ -73,7 +81,11 @@ class Interleaver:
         return out.reshape(bits.shape)
 
     def deinterleave(self, values):
-        """Invert :meth:`interleave`; works on bits or soft values."""
+        """Invert :meth:`interleave`; works on bits or soft values.
+
+        Like :meth:`interleave`, 2-D ``(packets, padded_bits)`` input is
+        deinterleaved row-wise in one vectorised pass.
+        """
         values = self._check(values)
         blocks = values.reshape(-1, self.block_size)
         out = np.empty_like(blocks)

@@ -53,6 +53,7 @@ class Mapper:
             modulation = MODULATIONS[modulation]
         self.modulation = modulation
         self.i_bits, self.q_bits = _axis_bits(modulation)
+        self._lut = None  # bit-pattern -> symbol lookup table, built lazily
 
     def map(self, bits):
         """Map a bit array onto complex symbols with unit average energy.
@@ -81,6 +82,31 @@ class Mapper:
         else:
             imag = np.zeros(groups.shape[0])
         return (real + 1j * imag) * self.modulation.normalization
+
+    def map_batch(self, bits):
+        """Map a ``(packets, bits)`` array onto ``(packets, symbols)`` symbols.
+
+        The batched path goes through a cached lookup table over all
+        ``2**bits_per_symbol`` constellation points (built once per mapper
+        with :meth:`map`, so it is bit-exact with the scalar path): the bit
+        groups are packed into integer indices and gathered from the table
+        in one fancy-index operation, with no per-packet Python iteration.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.ndim != 2:
+            raise ValueError("map_batch expects a (packets, bits) array")
+        bps = self.modulation.bits_per_symbol
+        if bits.shape[1] % bps:
+            raise ValueError(
+                "bit count %d is not a multiple of %d bits/symbol"
+                % (bits.shape[1], bps)
+            )
+        if self._lut is None:
+            self._lut = self.constellation()
+        groups = bits.reshape(bits.shape[0], -1, bps)
+        weights = 1 << np.arange(bps - 1, -1, -1, dtype=np.int64)
+        indices = groups @ weights
+        return self._lut[indices]
 
     def constellation(self):
         """Return every constellation point (in bit-index order)."""

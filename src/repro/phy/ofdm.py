@@ -53,6 +53,16 @@ class OfdmModulator:
         """Time samples per OFDM symbol including the cyclic prefix."""
         return FFT_SIZE + self.cyclic_prefix
 
+    def _modulate_blocks(self, blocks):
+        """IFFT a ``(blocks, 48)`` symbol array into per-symbol time rows."""
+        spectrum = np.zeros((blocks.shape[0], FFT_SIZE), dtype=np.complex128)
+        spectrum[:, _DATA_BINS] = blocks
+        spectrum[:, _PILOT_BINS] = np.asarray(PILOT_VALUES, dtype=np.complex128)
+        time = np.fft.ifft(spectrum, axis=1, norm="ortho")
+        if self.cyclic_prefix:
+            time = np.concatenate([time[:, -self.cyclic_prefix:], time], axis=1)
+        return time
+
     def modulate(self, symbols):
         """Modulate constellation symbols into time-domain samples.
 
@@ -74,13 +84,26 @@ class OfdmModulator:
                 % (symbols.size, NUM_DATA_SUBCARRIERS)
             )
         blocks = symbols.reshape(-1, NUM_DATA_SUBCARRIERS)
-        spectrum = np.zeros((blocks.shape[0], FFT_SIZE), dtype=np.complex128)
-        spectrum[:, _DATA_BINS] = blocks
-        spectrum[:, _PILOT_BINS] = np.asarray(PILOT_VALUES, dtype=np.complex128)
-        time = np.fft.ifft(spectrum, axis=1, norm="ortho")
-        if self.cyclic_prefix:
-            time = np.concatenate([time[:, -self.cyclic_prefix:], time], axis=1)
-        return time.reshape(-1)
+        return self._modulate_blocks(blocks).reshape(-1)
+
+    def modulate_batch(self, symbols):
+        """Modulate a ``(packets, symbols)`` array into ``(packets, samples)``.
+
+        All packets' OFDM symbols are stacked into one
+        ``(packets * symbols_per_packet, 64)`` spectrum and transformed with
+        a single IFFT call, so the batch costs one numpy dispatch regardless
+        of the packet count.  Bit-exact with per-packet :meth:`modulate`.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        if symbols.ndim != 2:
+            raise ValueError("modulate_batch expects a (packets, symbols) array")
+        if symbols.shape[1] % NUM_DATA_SUBCARRIERS:
+            raise ValueError(
+                "per-packet symbol count %d is not a multiple of %d data "
+                "subcarriers" % (symbols.shape[1], NUM_DATA_SUBCARRIERS)
+            )
+        blocks = symbols.reshape(-1, NUM_DATA_SUBCARRIERS)
+        return self._modulate_blocks(blocks).reshape(symbols.shape[0], -1)
 
 
 class OfdmDemodulator:
@@ -120,9 +143,7 @@ class OfdmDemodulator:
                 "sample count %d is not a multiple of the OFDM symbol length %d"
                 % (samples.size, per_symbol)
             )
-        time = samples.reshape(-1, per_symbol)[:, self.cyclic_prefix:]
-        spectrum = np.fft.fft(time, axis=1, norm="ortho")
-        data = spectrum[:, _DATA_BINS]
+        data = self._demodulate_blocks(samples.reshape(-1, per_symbol))
         if channel_gain is not None:
             gain = np.asarray(channel_gain, dtype=np.complex128)
             if gain.ndim == 0:
@@ -135,6 +156,49 @@ class OfdmDemodulator:
                     )
                 data = data / gain[:, np.newaxis]
         return data.reshape(-1)
+
+    def _demodulate_blocks(self, time_rows):
+        """FFT ``(blocks, samples_per_symbol)`` rows into ``(blocks, 48)`` data."""
+        spectrum = np.fft.fft(time_rows[:, self.cyclic_prefix:], axis=1, norm="ortho")
+        return spectrum[:, _DATA_BINS]
+
+    def demodulate_batch(self, samples, channel_gains=None):
+        """Demodulate ``(packets, samples)`` into ``(packets, symbols)``.
+
+        All packets' OFDM symbols go through a single FFT call.  Bit-exact
+        with per-packet :meth:`demodulate`.
+
+        Parameters
+        ----------
+        samples:
+            ``(packets, num_samples)`` complex time-domain samples.
+        channel_gains:
+            Optional per-packet complex flat-fading gains, shape
+            ``(packets,)``; each packet is equalised by its own gain.
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.ndim != 2:
+            raise ValueError("demodulate_batch expects a (packets, samples) array")
+        per_symbol = self.samples_per_symbol
+        packets = samples.shape[0]
+        if samples.shape[1] % per_symbol:
+            raise ValueError(
+                "per-packet sample count %d is not a multiple of the OFDM "
+                "symbol length %d" % (samples.shape[1], per_symbol)
+            )
+        data = self._demodulate_blocks(samples.reshape(-1, per_symbol))
+        data = data.reshape(packets, -1)
+        if channel_gains is not None:
+            gains = np.asarray(channel_gains, dtype=np.complex128)
+            if gains.ndim == 0:
+                gains = np.broadcast_to(gains, (packets,))
+            if gains.shape != (packets,):
+                raise ValueError(
+                    "need one channel gain per packet (%d), got shape %r"
+                    % (packets, gains.shape)
+                )
+            data = data / gains[:, np.newaxis]
+        return data
 
 
 def num_ofdm_symbols(num_coded_bits, coded_bits_per_symbol):

@@ -8,11 +8,22 @@ which is the axis the paper's case study explores.
 Two call styles are offered:
 
 * :meth:`Receiver.receive` processes one packet end to end.
-* :meth:`Receiver.front_end` plus :meth:`Receiver.decode_batch` split the
-  per-packet front end (cheap, vectorised per packet) from the trellis
-  decode (expensive, vectorised across a batch of packets), which is how the
-  BER experiments push millions of bits through the pure-Python decoders in
-  reasonable time.
+* :meth:`Receiver.front_end_batch` plus :meth:`Receiver.decode_batch`
+  process a whole batch of packets: every front-end stage and the trellis
+  decode are vectorised across the batch, which is how the BER experiments
+  push millions of bits through the pure-Python decoders in reasonable
+  time.  :meth:`Receiver.front_end` is the batch-of-one wrapper, so the two
+  paths are bit-exact by construction.
+
+Batched front-end shapes (P packets, S OFDM symbols per packet)::
+
+    samples          (P, S * 80)        complex time-domain input
+    symbols          (P, S * 48)        one stacked FFT + per-packet equalise
+    soft values      (P, S * N_CBPS)    vectorised Tosato/Bisaglia demap
+    deinterleaved    (P, S * N_CBPS)    per-symbol permutation
+    depunctured      (P, 2 * (bits+6))  one scatter with erasures
+    decoded bits     (P, bits)          batched trellis decode + one
+                                        keystream XOR to descramble
 """
 
 import numpy as np
@@ -139,6 +150,9 @@ class Receiver:
     def front_end(self, samples, num_data_bits, channel_gain=None, csi_weights=None):
         """Demodulate, demap, deinterleave and depuncture one packet.
 
+        Thin batch-of-one wrapper around :meth:`front_end_batch`, so the
+        two paths are bit-exact by construction.
+
         Parameters
         ----------
         samples:
@@ -147,7 +161,7 @@ class Receiver:
             Payload size the transmitter used (known to the receiver via
             the PLCP header, which is not modelled).
         channel_gain:
-            Optional flat-fading gain for ideal equalisation.
+            Optional (scalar) flat-fading gain for ideal equalisation.
         csi_weights:
             Optional per-OFDM-symbol weights applied to the soft values
             (channel-state information).
@@ -158,16 +172,58 @@ class Receiver:
             Depunctured soft values ready for a trellis decoder, length
             ``2 * (num_data_bits + memory)``.
         """
+        samples = np.asarray(samples, dtype=np.complex128)
+        gains = None if channel_gain is None else np.array([complex(channel_gain)])
+        csi = None
+        if csi_weights is not None:
+            csi = np.asarray(csi_weights, dtype=np.float64)[np.newaxis, :]
+        return self.front_end_batch(
+            samples[np.newaxis, :], num_data_bits, channel_gains=gains, csi_weights=csi
+        )[0]
+
+    def front_end_batch(
+        self, samples, num_data_bits, channel_gains=None, csi_weights=None
+    ):
+        """Batched front end: ``(packets, samples)`` in, soft values out.
+
+        Every stage operates on the whole batch at once (see the module
+        docstring for the per-stage shapes); there is no per-packet Python
+        iteration.
+
+        Parameters
+        ----------
+        samples:
+            ``(packets, num_samples)`` received complex baseband samples.
+        num_data_bits:
+            Payload size the transmitter used (shared by every packet).
+        channel_gains:
+            Optional ``(packets,)`` complex flat-fading gains for ideal
+            per-packet equalisation.
+        csi_weights:
+            Optional ``(packets, num_symbols)`` per-OFDM-symbol weights
+            applied to the soft values (channel-state information).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(packets, 2 * (num_data_bits + memory))`` depunctured soft
+            values ready for a batched trellis decode.
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.ndim != 2:
+            raise ValueError("front_end_batch expects a (packets, samples) array")
         geometry = self.geometry(num_data_bits)
-        symbols = self.demodulator.demodulate(samples, channel_gain=channel_gain)
+        symbols = self.demodulator.demodulate_batch(
+            samples, channel_gains=channel_gains
+        )
         weights = None
         if csi_weights is not None:
             weights = np.repeat(
-                np.asarray(csi_weights, dtype=np.float64), 48
-            )[: symbols.size]
+                np.asarray(csi_weights, dtype=np.float64), 48, axis=-1
+            )[..., : symbols.shape[1]]
         soft = self.demapper.demap(symbols, weights=weights)
         deinterleaved = self.interleaver.deinterleave(soft)
-        transmitted = deinterleaved[: geometry.coded_bits]
+        transmitted = deinterleaved[:, : geometry.coded_bits]
         return depuncture(
             transmitted, self.phy_rate.code_rate, geometry.unpunctured_bits
         )
@@ -178,9 +234,9 @@ class Receiver:
     def decode_batch(self, soft_batch, num_data_bits):
         """Decode a ``(batch, length)`` array of depunctured soft values."""
         result = self.decoder.decode(soft_batch, num_data_bits)
-        descrambled = np.vstack(
-            [descramble(row, seed=self.scrambler_seed) for row in result.bits]
-        )
+        # Every packet shares the scrambler seed, so the whole batch is
+        # descrambled with one keystream XOR.
+        descrambled = descramble(result.bits, seed=self.scrambler_seed)
         return ReceiveResult(bits=descrambled, llr=result.llr)
 
     def receive(self, samples, num_data_bits, channel_gain=None, csi_weights=None):

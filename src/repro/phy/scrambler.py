@@ -4,9 +4,36 @@
 polynomial x^7 + x^4 + 1 so that long runs of identical bits do not bias the
 transmit spectrum.  Scrambling is an involution (XOR with a keystream), so
 the same function descrambles at the receiver.
+
+The 127-bit period of the generator depends only on the seed, so it is
+computed once per seed and cached; scrambling a packet (or a whole
+``(packets, bits)`` batch sharing one seed) is then a single vectorised XOR
+against the tiled keystream.
 """
 
+import functools
+
 import numpy as np
+
+
+@functools.lru_cache(maxsize=None)
+def _scrambler_period(seed):
+    """The full 127-bit keystream period for ``seed`` (cached per seed).
+
+    The returned array is shared between callers and must not be mutated;
+    :func:`scrambler_sequence` always hands out copies.
+    """
+    if not 1 <= seed <= 0x7F:
+        raise ValueError("scrambler seed must be a non-zero 7-bit value")
+    # The generator has period 127 for any non-zero seed, so one period is
+    # computed bit-by-bit and then tiled to any requested length.
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x^1 ... state[6] = x^7
+    period = np.empty(127, dtype=np.uint8)
+    for i in range(127):
+        feedback = state[6] ^ state[3]  # x^7 XOR x^4
+        period[i] = feedback
+        state = [feedback] + state[:6]
+    return period
 
 
 def scrambler_sequence(length, seed=0x7F):
@@ -21,16 +48,7 @@ def scrambler_sequence(length, seed=0x7F):
         transmitters pick a pseudo-random non-zero seed per frame; the
         default all-ones state matches the reference test vectors.
     """
-    if not 1 <= seed <= 0x7F:
-        raise ValueError("scrambler seed must be a non-zero 7-bit value")
-    # The generator has period 127 for any non-zero seed, so one period is
-    # computed bit-by-bit and then tiled to the requested length.
-    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x^1 ... state[6] = x^7
-    period = np.empty(127, dtype=np.uint8)
-    for i in range(127):
-        feedback = state[6] ^ state[3]  # x^7 XOR x^4
-        period[i] = feedback
-        state = [feedback] + state[:6]
+    period = _scrambler_period(int(seed))
     if length <= 127:
         return period[:length].copy()
     repeats = int(np.ceil(length / 127))
@@ -38,9 +56,14 @@ def scrambler_sequence(length, seed=0x7F):
 
 
 def scramble(bits, seed=0x7F):
-    """Scramble (or descramble) a bit array with the 802.11 keystream."""
+    """Scramble (or descramble) a bit array with the 802.11 keystream.
+
+    Accepts a 1-D array (one packet) or a 2-D ``(packets, bits)`` array; in
+    the batched case every row is XORed with the same keystream, matching a
+    batch of packets scrambled with a shared seed.
+    """
     bits = np.asarray(bits, dtype=np.uint8)
-    keystream = scrambler_sequence(bits.size, seed=seed)
+    keystream = scrambler_sequence(bits.shape[-1], seed=seed)
     return np.bitwise_xor(bits, keystream)
 
 

@@ -7,6 +7,26 @@ modulator.  The :class:`Transmitter` object applies the whole chain to one
 packet; :class:`FrameGeometry` records every intermediate length so the
 receiver (and the tests) can reconstruct exactly which transmitted positions
 carry payload, tail and padding.
+
+Batching
+--------
+:meth:`Transmitter.transmit_batch` is the batch-native entry point: a whole
+``(packets, num_data_bits)`` bit matrix flows through the chain as 2-D
+arrays with no per-packet Python iteration.  The per-stage shapes are::
+
+    payload bits      (packets, num_data_bits)        uint8
+    scrambled bits    (packets, num_data_bits)        XOR with cached keystream
+    coded bits        (packets, coded_bits)           batched shift-register XOR
+                                                      + one puncture gather
+    padded bits       (packets, padded_bits)
+    interleaved bits  (packets, padded_bits)          per-symbol permutation
+    symbols           (packets, padded_bits / bps)    constellation lookup table
+    samples           (packets, num_samples)          one stacked IFFT
+
+:meth:`Transmitter.transmit` is a thin batch-of-one wrapper, so the two
+paths are bit-exact by construction.  The per-stage methods
+(:meth:`~Transmitter.scramble`, :meth:`~Transmitter.encode`, ...) remain the
+single-packet building blocks used by the latency-insensitive pipelines.
 """
 
 import numpy as np
@@ -117,18 +137,37 @@ class Transmitter:
     # ------------------------------------------------------------------ #
     # Whole-packet transmit
     # ------------------------------------------------------------------ #
+    def transmit_batch(self, bits):
+        """Run the transmit chain on a ``(packets, num_data_bits)`` bit matrix.
+
+        Every stage operates on the whole 2-D array at once (see the module
+        docstring for the per-stage shapes); there is no per-packet Python
+        iteration.  Returns the complex baseband samples as a
+        ``(packets, num_samples)`` array.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 2:
+            raise ValueError("transmit_batch expects a (packets, bits) array")
+        scrambled = self.scramble(bits)
+        coded = self.code.encode(scrambled, terminate=True)
+        punctured = puncture(coded, self.phy_rate.code_rate)
+        ncbps = self.phy_rate.coded_bits_per_symbol
+        remainder = punctured.shape[1] % ncbps
+        if remainder:
+            pad = np.zeros((punctured.shape[0], ncbps - remainder), dtype=np.uint8)
+            punctured = np.concatenate([punctured, pad], axis=1)
+        interleaved = self.interleaver.interleave(punctured)
+        symbols = self.mapper.map_batch(interleaved)
+        return self.modulator.modulate_batch(symbols)
+
     def transmit(self, bits):
         """Run the whole transmit chain on a payload bit array.
 
-        Returns the complex baseband samples of the frame.
+        Thin wrapper around :meth:`transmit_batch` with a batch of one;
+        returns the complex baseband samples of the frame.
         """
         bits = np.asarray(bits, dtype=np.uint8)
-        scrambled = self.scramble(bits)
-        coded = self.encode(scrambled)
-        padded = self.pad(coded)
-        interleaved = self.interleaver.interleave(padded)
-        symbols = self.map_symbols(interleaved)
-        return self.modulator.modulate(symbols)
+        return self.transmit_batch(bits[np.newaxis, :])[0]
 
     def __repr__(self):
         return "Transmitter(rate=%s)" % self.phy_rate.name

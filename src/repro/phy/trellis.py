@@ -44,6 +44,11 @@ class Trellis:
         Number of encoder states (64 for K=7).
     next_state:
         ``(num_states, 2)`` array: state reached from ``s`` on input ``b``.
+        By construction this is the de Bruijn shift-register graph
+        ``next_state[s, b] = ((s << 1) | b) & (num_states - 1)``, so
+        ``prev_state[s] = [s >> 1, (s >> 1) + num_states / 2]`` -- the
+        structure the fast BCJR kernels rely on to replace state gathers
+        with reshaped views.
     outputs:
         ``(num_states, 2, n_out)`` array of expected coded bits per
         transition.
@@ -86,6 +91,26 @@ class Trellis:
                 counts[successor] += 1
         if not np.all(counts == 2):
             raise ValueError("trellis construction failed: irregular in-degree")
+
+        # Half-scaled sign table: folding the BMU's 0.5 factor into the
+        # correlation matrix (exact -- it only scales the power-of-two
+        # exponent) saves a full pass over the frame-sized metric tensor.
+        self._half_output_signs = 0.5 * self.output_signs
+
+        # A step has only 2**n_out distinct branch-metric values (one per
+        # coded-bit pattern).  These tables map transitions onto pattern
+        # indices so decoders can correlate once per pattern and expand by
+        # gather (see BranchMetricUnit.compute_compressed).
+        weights = 1 << np.arange(self.n_out - 1, -1, -1)
+        #: ``(num_states, 2)`` pattern index of each (state, input) transition.
+        self.branch_code = self.outputs.astype(np.int64) @ weights
+        #: Same, re-indexed by (destination state, incoming edge).
+        self.edge_code = self.branch_code[self.prev_state, self.prev_input]
+        patterns = (
+            np.arange(1 << self.n_out)[:, np.newaxis]
+            >> np.arange(self.n_out - 1, -1, -1)
+        ) & 1
+        self._half_sign_patterns = patterns.astype(np.float64) - 0.5
 
     def __repr__(self):
         return "Trellis(states=%d, outputs_per_input=%d)" % (
@@ -130,6 +155,28 @@ class BranchMetricUnit:
             soft_step = soft_step[np.newaxis, :]
         return 0.5 * np.einsum("sbj,nj->nsb", self.trellis.output_signs, soft_step)
 
+    @staticmethod
+    def _correlate(soft, half_signs, time_major=False):
+        """Correlate soft values against a half-scaled ``(..., n_out)``
+        sign table.
+
+        The contraction is expressed as one BLAS matmul over the flattened
+        (batch * steps) axis, which is far faster than an einsum loop for
+        frame-sized inputs; the 0.5 factor lives in the table, so no second
+        pass over the output is needed.  With ``time_major`` the result is
+        laid out ``(steps, batch, ...)`` so per-step slices are contiguous
+        -- what a step-sequential recursion wants.
+        """
+        soft = np.asarray(soft, dtype=np.float64)
+        if soft.ndim == 2:
+            soft = soft[np.newaxis, :, :]
+        if time_major:
+            soft = np.ascontiguousarray(soft.transpose(1, 0, 2))
+        flat = soft.reshape(-1, soft.shape[-1]) @ half_signs.reshape(
+            -1, half_signs.shape[-1]
+        ).T
+        return flat.reshape(soft.shape[:2] + half_signs.shape[:-1])
+
     def compute_all(self, soft):
         """Branch metrics for every step of a packet.
 
@@ -143,10 +190,22 @@ class BranchMetricUnit:
         numpy.ndarray
             ``(batch, num_steps, num_states, 2)`` branch metrics.
         """
-        soft = np.asarray(soft, dtype=np.float64)
-        if soft.ndim == 2:
-            soft = soft[np.newaxis, :, :]
-        return 0.5 * np.einsum("sbj,ntj->ntsb", self.trellis.output_signs, soft)
+        return self._correlate(soft, self.trellis._half_output_signs)
+
+    def compute_compressed(self, soft, time_major=False):
+        """The ``2**n_out`` distinct branch-metric values of every step.
+
+        A trellis step only has one metric per coded-bit pattern, so the
+        full ``(num_states, 2)`` tensor of :meth:`compute_all` is massively
+        redundant.  This computes just the distinct values --
+        ``(batch, steps, 2**n_out)`` (or ``(steps, batch, 2**n_out)`` with
+        ``time_major``) -- and decoders expand them on demand with the
+        trellis' ``branch_code`` / ``edge_code`` index tables:
+        ``vals[..., branch_code]`` reproduces :meth:`compute_all` exactly.
+        """
+        return self._correlate(
+            soft, self.trellis._half_sign_patterns, time_major=time_major
+        )
 
 
 class PathMetricUnit:
@@ -244,8 +303,12 @@ class PathMetricUnit:
         return np.max(candidates, axis=2)
 
     def normalize(self, metrics):
-        """Subtract the per-batch maximum to keep metrics numerically bounded."""
-        return metrics - np.max(metrics, axis=1, keepdims=True)
+        """Subtract the per-row maximum to keep metrics numerically bounded.
+
+        Works on any ``(..., num_states)`` layout (the stacked-block BCJR
+        sweeps carry extra leading axes).
+        """
+        return metrics - np.max(metrics, axis=-1, keepdims=True)
 
 
 def reshape_soft_input(soft, n_out=2):
