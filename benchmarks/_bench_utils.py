@@ -29,3 +29,15 @@ def emit(name, title, body):
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return path
+
+
+def emit_with_rows(name, title, body, rows):
+    """Like :func:`emit`, with machine-readable JSON sweep rows appended.
+
+    The rows come out of the sweep subsystem (`repro.analysis.sweep`), one
+    JSON object per line, so the trajectory tooling can parse a benchmark's
+    numbers without scraping its table.
+    """
+    from repro.analysis.sweep import rows_to_json
+
+    return emit(name, title, str(body) + "\n\nJSON rows:\n" + rows_to_json(rows))

@@ -6,17 +6,22 @@ the decoder.  The flip side (Section 4.2) is that the magnitude information
 matters for BER estimation.  This ablation quantises the demapper output to
 3-8 bits (and compares against the unquantised reference), measuring decode
 BER, the quality of the hint/error separation and the modelled decoder area.
+
+The bit-width axis is a :class:`~repro.analysis.sweep.SweepSpec` grid
+(``soft_bits=0`` is the unquantised float reference); set
+``REPRO_SWEEP_WORKERS`` to shard the points across processes.
 """
 
 import numpy as np
 
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.fixedpoint.fixed import llr_quantizer
 from repro.hwmodel.area import AreaModel, DecoderAreaParameters
 from repro.phy.params import rate_by_mbps
 
-from _bench_utils import emit
+from _bench_utils import emit_with_rows
 
 BIT_WIDTHS = (3, 4, 6, 8)
 
@@ -29,27 +34,29 @@ def _hint_separation(result):
     return float(result.hints[~errors].mean() / max(result.hints[errors].mean(), 1e-9))
 
 
+def _run_point(point):
+    """Picklable point-runner: one demapper bit-width configuration."""
+    bits = point["soft_bits"]
+    fmt = None if bits == 0 else llr_quantizer(bits, max_abs=8.0)
+    simulator = LinkSimulator(rate_by_mbps(24), snr_db=6.0, decoder="bcjr",
+                              packet_bits=1704, seed=47, llr_format=fmt)
+    result = simulator.run(point["num_packets"], batch_size=8)
+    soft_bits = fmt.total_bits if fmt is not None else 8
+    area = AreaModel(
+        DecoderAreaParameters(soft_input_bits=soft_bits)
+    ).decoder_total("bcjr")
+    return {
+        "label": "float" if bits == 0 else "%d-bit" % bits,
+        "ber": result.bit_error_rate,
+        "separation": _hint_separation(result),
+        "luts": area.luts,
+    }
+
+
 def _sweep(num_packets):
-    rate = rate_by_mbps(24)
-    rows = []
-    configurations = [("float", None)] + [
-        ("%d-bit" % bits, llr_quantizer(bits, max_abs=8.0)) for bits in BIT_WIDTHS
-    ]
-    for label, fmt in configurations:
-        simulator = LinkSimulator(rate, snr_db=6.0, decoder="bcjr",
-                                  packet_bits=1704, seed=47, llr_format=fmt)
-        result = simulator.run(num_packets, batch_size=8)
-        soft_bits = fmt.total_bits if fmt is not None else 8
-        area = AreaModel(
-            DecoderAreaParameters(soft_input_bits=soft_bits)
-        ).decoder_total("bcjr")
-        rows.append({
-            "label": label,
-            "ber": result.bit_error_rate,
-            "separation": _hint_separation(result),
-            "luts": area.luts,
-        })
-    return rows
+    spec = SweepSpec({"soft_bits": [0] + list(BIT_WIDTHS)},
+                     constants={"num_packets": num_packets}, seed=47)
+    return executor_from_env().run(spec, _run_point)
 
 
 def test_ablation_demapper_bitwidth(benchmark, scale):
@@ -61,7 +68,8 @@ def test_ablation_demapper_bitwidth(benchmark, scale):
     )
     for row in rows:
         table.add_row(row["label"], row["ber"], row["separation"], row["luts"])
-    emit("ablation_bitwidth", "Demapper bit-width ablation", table.render())
+    emit_with_rows("ablation_bitwidth", "Demapper bit-width ablation",
+                   table.render(), rows)
 
     reference = next(row for row in rows if row["label"] == "float")
     eight_bit = next(row for row in rows if row["label"] == "8-bit")

@@ -6,42 +6,50 @@ Section 4.4.3 that increasing the window beyond 64 "provides no performance
 improvement" while the area keeps growing.  This ablation sweeps the window
 length, measuring decode BER (at a fixed operating point) and the modelled
 area, to reproduce both halves of that trade-off.
+
+The (window, decoder) cross product is a two-axis
+:class:`~repro.analysis.sweep.SweepSpec` grid; set ``REPRO_SWEEP_WORKERS``
+to shard the points across processes.
 """
 
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.hwmodel.area import AreaModel, DecoderAreaParameters
 from repro.phy.bcjr import BcjrDecoder
 from repro.phy.params import rate_by_mbps
 from repro.phy.sova import SovaDecoder
 
-from _bench_utils import emit
+from _bench_utils import emit_with_rows
 
 WINDOWS = (8, 16, 32, 64, 128)
 
 
+def _run_point(point):
+    """Picklable point-runner: one (window, decoder) configuration."""
+    window = point["window"]
+    decoder_name = point["decoder"]
+    if decoder_name == "bcjr":
+        decoder = BcjrDecoder(block_length=window)
+    else:
+        decoder = SovaDecoder(traceback_length=window)
+    simulator = LinkSimulator(rate_by_mbps(24), snr_db=6.0, decoder=decoder,
+                              packet_bits=1704, seed=31)
+    result = simulator.run(point["num_packets"], batch_size=8)
+    area = AreaModel(
+        DecoderAreaParameters(block_length=window, traceback_length=window)
+    ).decoder_total(decoder_name)
+    return {
+        "ber": result.bit_error_rate,
+        "luts": area.luts,
+        "registers": area.registers,
+    }
+
+
 def _sweep(num_packets):
-    rate = rate_by_mbps(24)
-    rows = []
-    for window in WINDOWS:
-        for decoder_name, decoder in (
-            ("bcjr", BcjrDecoder(block_length=window)),
-            ("sova", SovaDecoder(traceback_length=window)),
-        ):
-            simulator = LinkSimulator(rate, snr_db=6.0, decoder=decoder,
-                                      packet_bits=1704, seed=31)
-            result = simulator.run(num_packets, batch_size=8)
-            area = AreaModel(
-                DecoderAreaParameters(block_length=window, traceback_length=window)
-            ).decoder_total(decoder_name)
-            rows.append({
-                "decoder": decoder_name,
-                "window": window,
-                "ber": result.bit_error_rate,
-                "luts": area.luts,
-                "registers": area.registers,
-            })
-    return rows
+    spec = SweepSpec({"window": list(WINDOWS), "decoder": ["bcjr", "sova"]},
+                     constants={"num_packets": num_packets}, seed=31)
+    return executor_from_env().run(spec, _run_point)
 
 
 def test_ablation_window_length(benchmark, scale):
@@ -54,7 +62,8 @@ def test_ablation_window_length(benchmark, scale):
     for row in rows:
         table.add_row(row["decoder"].upper(), row["window"], row["ber"],
                       row["luts"], row["registers"])
-    emit("ablation_block_length", "Window-length ablation", table.render())
+    emit_with_rows("ablation_block_length", "Window-length ablation",
+                   table.render(), rows)
 
     by_decoder = {
         name: {row["window"]: row for row in rows if row["decoder"] == name}

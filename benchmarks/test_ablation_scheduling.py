@@ -7,54 +7,78 @@ emulation wastes the time a slow module spends processing because other
 modules cannot use it.  This ablation runs the same pipeline under the
 decoupled WiLIS scheduler and under the lock-step scheduler and compares
 scheduler passes and wall-clock throughput.
+
+The scheduler policy is a one-axis :class:`~repro.analysis.sweep.SweepSpec`
+grid, but the executor is pinned to the serial backend: the wall-time
+comparison between the two policies is the headline number, and running
+them concurrently would make them contend for CPU.
 """
 
 import numpy as np
 
 from repro.analysis.reporting import Table
+from repro.analysis.sweep import SweepExecutor, SweepSpec
 from repro.phy.params import rate_by_mbps
 from repro.system.pipelines import build_cosimulation
 
-from _bench_utils import emit
+from _bench_utils import emit_with_rows
+
+SCHEDULERS = ("decoupled", "lockstep")
+
+
+def _run_point(point):
+    """Picklable point-runner: one scheduling policy over the same packets."""
+    rng = np.random.default_rng(5)
+    payloads = [rng.integers(0, 2, point["packet_bits"], dtype=np.uint8)
+                for _ in range(point["num_packets"])]
+    model = build_cosimulation(rate_by_mbps(24),
+                               packet_bits=point["packet_bits"],
+                               decoder="viterbi", snr_db=18.0, seed=13,
+                               lockstep=point["scheduler"] == "lockstep")
+    outputs, report = model.run_packets(payloads)
+    assert len(outputs) == point["num_packets"]
+    return {
+        "steps": report.scheduler_stats.steps,
+        "total_firings": report.scheduler_stats.total_firings,
+        "wall_seconds": report.wall_seconds,
+        "speed_bps": report.simulation_speed_bps,
+    }
 
 
 def _run(num_packets, packet_bits):
-    results = {}
-    rng = np.random.default_rng(5)
-    payloads = [rng.integers(0, 2, packet_bits, dtype=np.uint8)
-                for _ in range(num_packets)]
-    for label, lockstep in (("decoupled", False), ("lockstep", True)):
-        model = build_cosimulation(rate_by_mbps(24), packet_bits=packet_bits,
-                                   decoder="viterbi", snr_db=18.0, seed=13,
-                                   lockstep=lockstep)
-        outputs, report = model.run_packets(list(payloads))
-        assert len(outputs) == num_packets
-        results[label] = report
-    return results
+    spec = SweepSpec(
+        {"scheduler": list(SCHEDULERS)},
+        constants={"num_packets": num_packets, "packet_bits": packet_bits},
+        seed=13,
+    )
+    # Always serial: each point times itself, so points must not contend.
+    return SweepExecutor("serial").run(spec, _run_point)
 
 
 def test_ablation_scheduling_policy(benchmark, scale):
-    results = benchmark.pedantic(_run, args=(6 * scale, 600), rounds=1, iterations=1)
+    rows = benchmark.pedantic(_run, args=(6 * scale, 600), rounds=1, iterations=1)
 
     table = Table(
         ["Scheduler", "Scheduler passes", "Total firings", "Wall time (s)",
          "Simulation speed (kb/s)"],
         title="Ablation: decoupled (WiLIS) vs lock-step (SCE-MI style) scheduling",
     )
-    for label, report in results.items():
+    for row in rows:
         table.add_row(
-            label,
-            report.scheduler_stats.steps,
-            report.scheduler_stats.total_firings,
-            report.wall_seconds,
-            report.simulation_speed_bps / 1e3,
+            row["scheduler"],
+            row["steps"],
+            row["total_firings"],
+            row["wall_seconds"],
+            row["speed_bps"] / 1e3,
         )
-    emit("ablation_scheduling", "Scheduling ablation", table.render())
+    emit_with_rows("ablation_scheduling", "Scheduling ablation",
+                   table.render(), rows)
 
-    decoupled = results["decoupled"]
-    lockstep = results["lockstep"]
+    by_scheduler = {row["scheduler"]: row for row in rows}
+    decoupled = by_scheduler["decoupled"]
+    lockstep = by_scheduler["lockstep"]
     # Both execute the same work (same firings), but the decoupled scheduler
     # needs far fewer passes over the module graph -- the scheduling overhead
     # the paper's latency-insensitive design avoids.
-    assert decoupled.scheduler_stats.total_firings == lockstep.scheduler_stats.total_firings
-    assert decoupled.scheduler_stats.steps < lockstep.scheduler_stats.steps
+    assert decoupled["total_firings"] == lockstep["total_firings"]
+    assert decoupled["steps"] < lockstep["steps"]

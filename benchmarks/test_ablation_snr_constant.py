@@ -7,18 +7,22 @@ SNR is below the chosen constant and overestimation when it is above.  This
 ablation runs the same packets through (a) the constant-SNR estimator and
 (b) an oracle estimator that scales each packet's hints by its true SNR, and
 compares the per-packet predictions against ground truth.
+
+The SNR axis is a :class:`~repro.analysis.sweep.SweepSpec` grid; set
+``REPRO_SWEEP_WORKERS`` to shard the points across processes.
 """
 
 import numpy as np
 
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 from repro.softphy.ber_estimator import BerEstimator, llr_to_ber
 from repro.softphy.packet_ber import ground_truth_packet_ber
 from repro.softphy.scaling import ScalingFactors
 
-from _bench_utils import emit
+from _bench_utils import emit_with_rows
 
 SNRS_DB = (5.0, 6.0, 7.0, 8.0)
 
@@ -33,27 +37,32 @@ def _prediction_error(predicted, actual):
     )
 
 
-def _run(num_packets):
+def _run_point(point):
+    """Picklable point-runner: one operating point of the SNR axis."""
     rate = rate_by_mbps(24)
-    constant = BerEstimator("bcjr")
-    rows = []
-    for snr_db in SNRS_DB:
-        simulator = LinkSimulator(rate, snr_db=snr_db, decoder="bcjr",
-                                  packet_bits=1704, seed=59)
-        result = simulator.run(num_packets, batch_size=8)
-        actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
-        constant_prediction = constant.packet_ber(result.hints, rate.modulation)
-        exact_scaling = ScalingFactors(snr_db, rate.modulation, "bcjr")
-        exact_prediction = llr_to_ber(exact_scaling.true_llr(result.hints)).mean(axis=1)
-        rows.append({
-            "snr_db": snr_db,
-            "actual_mean": float(actual.mean()),
-            "constant_mean": float(constant_prediction.mean()),
-            "exact_mean": float(exact_prediction.mean()),
-            "constant_log_error": _prediction_error(constant_prediction, actual),
-            "exact_log_error": _prediction_error(exact_prediction, actual),
-        })
-    return rows
+    snr_db = point["snr_db"]
+    simulator = LinkSimulator(rate, snr_db=snr_db, decoder="bcjr",
+                              packet_bits=1704, seed=59)
+    result = simulator.run(point["num_packets"], batch_size=8)
+    actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
+    constant_prediction = BerEstimator("bcjr").packet_ber(
+        result.hints, rate.modulation
+    )
+    exact_scaling = ScalingFactors(snr_db, rate.modulation, "bcjr")
+    exact_prediction = llr_to_ber(exact_scaling.true_llr(result.hints)).mean(axis=1)
+    return {
+        "actual_mean": float(actual.mean()),
+        "constant_mean": float(constant_prediction.mean()),
+        "exact_mean": float(exact_prediction.mean()),
+        "constant_log_error": _prediction_error(constant_prediction, actual),
+        "exact_log_error": _prediction_error(exact_prediction, actual),
+    }
+
+
+def _run(num_packets):
+    spec = SweepSpec({"snr_db": list(SNRS_DB)},
+                     constants={"num_packets": num_packets}, seed=59)
+    return executor_from_env().run(spec, _run_point)
 
 
 def test_ablation_constant_snr_lookup(benchmark, scale):
@@ -68,7 +77,8 @@ def test_ablation_constant_snr_lookup(benchmark, scale):
         table.add_row(row["snr_db"], row["actual_mean"], row["constant_mean"],
                       row["exact_mean"], row["constant_log_error"],
                       row["exact_log_error"])
-    emit("ablation_snr_constant", "Constant-SNR ablation", table.render())
+    emit_with_rows("ablation_snr_constant", "Constant-SNR ablation",
+                   table.render(), rows)
 
     # Both estimators track the actual PBER trend (lower SNR, higher PBER).
     actual_means = [row["actual_mean"] for row in rows]

@@ -15,45 +15,61 @@ rate:
 Absolute Python speeds are orders of magnitude below the FPGA's; the shape
 to compare is that faster PHY rates simulate proportionally faster and that
 the host link is far from saturated.
+
+The rate axis is a :class:`~repro.analysis.sweep.SweepSpec` grid, but the
+executor is pinned to the serial backend: wall-clock speed is the measured
+quantity here, and concurrently running points would contend for CPU and
+corrupt every per-rate number.
 """
 
 import numpy as np
 
 from repro.analysis.reporting import Table, format_percentage
+from repro.analysis.sweep import SweepExecutor, SweepSpec
 from repro.hwmodel.throughput import hardware_time_seconds
-from repro.phy.params import RATE_TABLE
+from repro.phy.params import RATE_TABLE, rate_by_mbps
 from repro.phy.transmitter import FrameGeometry
 from repro.system.pipelines import build_cosimulation
 
-from _bench_utils import emit
+from _bench_utils import emit_with_rows
 
 #: The paper's Figure 2 simulation speeds in Mb/s, for side-by-side output.
 PAPER_SPEEDS_MBPS = {6: 2.033, 9: 2.953, 12: 4.040, 18: 6.036,
                      24: 8.483, 36: 12.725, 48: 15.960, 54: 22.244}
 
 
+def _run_point(point):
+    """Picklable point-runner: one 802.11g rate through the co-simulation."""
+    rate = rate_by_mbps(point["rate_mbps"])
+    packets = point["num_packets"]
+    packet_bits = point["packet_bits"]
+    model = build_cosimulation(rate, packet_bits=packet_bits,
+                               decoder="viterbi", snr_db=20.0, seed=0)
+    rng = np.random.default_rng(0)
+    payloads = [rng.integers(0, 2, packet_bits, dtype=np.uint8)
+                for _ in range(packets)]
+    outputs, report = model.run_packets(payloads)
+    assert len(outputs) == packets
+    geometry = FrameGeometry(rate, packet_bits)
+    hardware_seconds = hardware_time_seconds(rate, geometry.num_symbols * packets)
+    projected = report.projected_speed_bps(hardware_seconds)
+    return {
+        "speed_bps": report.simulation_speed_bps,
+        "projected_bps": projected,
+        "projected_ratio": projected / (rate.data_rate_mbps * 1e6),
+        "link_utilization": report.link_utilization,
+        "bottleneck": report.bottleneck_partition,
+    }
+
+
 def _run_all_rates(packets, packet_bits):
-    rows = []
-    for rate in RATE_TABLE:
-        model = build_cosimulation(rate, packet_bits=packet_bits,
-                                   decoder="viterbi", snr_db=20.0, seed=0)
-        rng = np.random.default_rng(0)
-        payloads = [rng.integers(0, 2, packet_bits, dtype=np.uint8)
-                    for _ in range(packets)]
-        outputs, report = model.run_packets(payloads)
-        assert len(outputs) == packets
-        geometry = FrameGeometry(rate, packet_bits)
-        hardware_seconds = hardware_time_seconds(rate, geometry.num_symbols * packets)
-        projected = report.projected_speed_bps(hardware_seconds)
-        rows.append({
-            "rate": rate,
-            "speed_bps": report.simulation_speed_bps,
-            "projected_bps": projected,
-            "projected_ratio": projected / (rate.data_rate_mbps * 1e6),
-            "link_utilization": report.link_utilization,
-            "bottleneck": report.bottleneck_partition,
-        })
-    return rows
+    spec = SweepSpec(
+        {"rate_mbps": [int(rate.data_rate_mbps) for rate in RATE_TABLE]},
+        constants={"num_packets": packets, "packet_bits": packet_bits},
+        seed=0,
+    )
+    # Always serial: each point times itself, so points must not contend.
+    return SweepExecutor("serial").run(spec, _run_point)
 
 
 def test_fig2_simulation_speed(benchmark, scale):
@@ -68,17 +84,18 @@ def test_fig2_simulation_speed(benchmark, scale):
         title="Figure 2: simulation speeds per 802.11g rate",
     )
     for row in rows:
-        rate = row["rate"]
+        rate = rate_by_mbps(row["rate_mbps"])
         table.add_row(
-            "%s (%d Mbps)" % (rate.name, int(rate.data_rate_mbps)),
-            PAPER_SPEEDS_MBPS[int(rate.data_rate_mbps)],
+            "%s (%d Mbps)" % (rate.name, row["rate_mbps"]),
+            PAPER_SPEEDS_MBPS[row["rate_mbps"]],
             row["speed_bps"] / 1e3,
             row["projected_bps"] / 1e6,
             format_percentage(row["projected_ratio"]),
             format_percentage(row["link_utilization"], digits=2),
             row["bottleneck"],
         )
-    emit("fig2_simulation_speed", "Figure 2 reproduction", table.render())
+    emit_with_rows("fig2_simulation_speed", "Figure 2 reproduction",
+                   table.render(), rows)
 
     # Shape checks.  The Python decoder costs are per-bit, so the raw Python
     # simulation speed is roughly rate-independent (within a small factor);

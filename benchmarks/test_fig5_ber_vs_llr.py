@@ -12,43 +12,60 @@ relationship, and reports the slope, intercept and fit quality per
 configuration.  The floors reachable here are around 1e-3 to 1e-5; the fit
 extrapolates the same straight line the paper measures directly down to
 1e-7.
+
+The operating-point axis is a :class:`~repro.analysis.sweep.SweepSpec`
+grid; set ``REPRO_SWEEP_WORKERS`` to shard the points across processes.
 """
 
 from repro.analysis.reporting import Table
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 from repro.softphy.calibration import fit_log_linear, measure_ber_vs_hint
 
 from _bench_utils import emit
 
-#: The three operating points shown in Figure 5 (rate carrying the
-#: modulation, AWGN SNR in dB, traffic multiplier).  The 8 dB point has a
-#: much lower BER, so it needs proportionally more traffic before enough
-#: hint bins contain errors for the fit.
+#: The three operating points shown in Figure 5 as (modulation label, rate
+#: in Mb/s, AWGN SNR in dB, traffic multiplier).  The 8 dB point has a much
+#: lower BER, so it needs proportionally more traffic before enough hint
+#: bins contain errors for the fit.
 OPERATING_POINTS = (
-    ("QAM16", rate_by_mbps(24), 6.0, 1),
-    ("QPSK", rate_by_mbps(12), 6.0, 1),
-    ("QAM16", rate_by_mbps(24), 8.0, 2),
+    ("QAM16", 24, 6.0, 1),
+    ("QPSK", 12, 6.0, 1),
+    ("QAM16", 24, 8.0, 2),
 )
 
 DECODERS = ("bcjr", "sova")
 
 
+def _measure_point(point):
+    """Picklable point-runner: one Figure 5 configuration."""
+    label, rate_mbps, snr_db, multiplier = point["operating_point"]
+    packets = point["num_packets"] * multiplier
+    measurement = measure_ber_vs_hint(
+        rate_by_mbps(rate_mbps), snr_db, point["decoder"], num_packets=packets,
+        packet_bits=point["packet_bits"], seed=17,
+        batch_size=max(8, packets // 4),
+    )
+    try:
+        fit = fit_log_linear(measurement, min_bits=100, min_errors=1)
+    except ValueError:
+        # The operating point's BER is below what this traffic volume can
+        # measure (the paper uses 1e12 bits); report the floor instead.
+        fit = None
+    return {"label": label, "snr_db": snr_db,
+            "measurement": measurement, "fit": fit}
+
+
 def _measure(decoder, num_packets, packet_bits):
-    results = []
-    for label, rate, snr_db, multiplier in OPERATING_POINTS:
-        packets = num_packets * multiplier
-        measurement = measure_ber_vs_hint(
-            rate, snr_db, decoder, num_packets=packets,
-            packet_bits=packet_bits, seed=17, batch_size=max(8, packets // 4),
-        )
-        try:
-            fit = fit_log_linear(measurement, min_bits=100, min_errors=1)
-        except ValueError:
-            # The operating point's BER is below what this traffic volume can
-            # measure (the paper uses 1e12 bits); report the floor instead.
-            fit = None
-        results.append((label, snr_db, measurement, fit))
-    return results
+    spec = SweepSpec(
+        {"operating_point": list(OPERATING_POINTS)},
+        constants={"decoder": decoder, "num_packets": num_packets,
+                   "packet_bits": packet_bits},
+        seed=17,
+    )
+    rows = executor_from_env().run(spec, _measure_point)
+    return [(row["label"], row["snr_db"], row["measurement"], row["fit"])
+            for row in rows]
 
 
 def _report(decoder, results):

@@ -6,44 +6,72 @@ plots the prediction against the ground truth.  The points cluster around
 the ideal line with a slight underestimation at high BER (a consequence of
 the constant-SNR simplification).
 
-This benchmark reproduces the scatter: packets are binned by their predicted
-PBER (decade bins) and the mean and standard deviation of the actual PBER in
-each bin are reported, together with the rank correlation between prediction
-and truth.
+This benchmark reproduces the scatter: the SNR axis is a
+:class:`~repro.analysis.sweep.SweepSpec` grid (one independently seeded
+:class:`~repro.analysis.link.LinkSimulator` per SNR point — the canonical
+shardable sweep; set ``REPRO_SWEEP_WORKERS`` to spread the points across
+processes).  Packets from every point are pooled, binned by their predicted
+PBER (decade bins), and the mean and standard deviation of the actual PBER
+in each bin are reported, together with the rank correlation between
+prediction and truth.
 """
 
 import numpy as np
 
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 from repro.softphy.ber_estimator import BerEstimator
 from repro.softphy.packet_ber import ground_truth_packet_ber
 
-from _bench_utils import emit
+from _bench_utils import emit_with_rows
+
+#: SNR axis of the varying-SNR experiment, in dB.  Plain Python floats: the
+#: seed derivation hashes the repr of axis values, and np.float64's repr
+#: differs across numpy major versions.
+SNRS_DB = tuple(float(snr) for snr in np.linspace(4.0, 9.0, 11))
+
+
+def _run_point(point):
+    """Picklable point-runner: packets at one SNR, seeded from the point."""
+    rate = rate_by_mbps(point["rate_mbps"])
+    simulator = LinkSimulator(
+        rate,
+        snr_db=point["snr_db"],
+        decoder="bcjr",
+        packet_bits=point["packet_bits"],
+        seed=point.seed,
+    )
+    result = simulator.run(point["num_packets"],
+                           batch_size=point["num_packets"])
+    predicted = BerEstimator("bcjr").packet_ber(result.hints, rate.modulation)
+    actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
+    return {
+        "predicted": predicted,
+        "actual": actual,
+        "mean_predicted_pber": float(predicted.mean()),
+        "mean_actual_pber": float(actual.mean()),
+    }
 
 
 def _simulate(num_packets):
-    rate = rate_by_mbps(24)
-    # Sweep the SNR across packets so predictions span several decades, as
-    # in the paper's varying-SNR experiment.
-    snrs = np.linspace(4.0, 9.0, 11)
-    simulator = LinkSimulator(
-        rate,
-        snr_db=lambda index: float(snrs[index % snrs.size]),
-        decoder="bcjr",
-        packet_bits=1704,
+    spec = SweepSpec(
+        {"rate_mbps": [24], "snr_db": list(SNRS_DB)},
+        constants={
+            "packet_bits": 1704,
+            "num_packets": max(4, num_packets // len(SNRS_DB)),
+        },
         seed=23,
     )
-    result = simulator.run(num_packets, batch_size=16)
-    estimator = BerEstimator("bcjr")
-    predicted = estimator.packet_ber(result.hints, rate.modulation)
-    actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
-    return predicted, actual
+    rows = executor_from_env().run(spec, _run_point)
+    predicted = np.concatenate([row["predicted"] for row in rows])
+    actual = np.concatenate([row["actual"] for row in rows])
+    return rows, predicted, actual
 
 
 def test_fig6_predicted_vs_actual_pber(benchmark, scale):
-    predicted, actual = benchmark.pedantic(
+    rows, predicted, actual = benchmark.pedantic(
         _simulate, args=(64 * scale,), rounds=1, iterations=1
     )
 
@@ -67,7 +95,12 @@ def test_fig6_predicted_vs_actual_pber(benchmark, scale):
     order_true = np.argsort(np.argsort(actual))
     correlation = float(np.corrcoef(order_pred, order_true)[0, 1])
     body = table.render() + "\n\nSpearman rank correlation (predicted vs actual): %.3f" % correlation
-    emit("fig6_packet_ber", "Figure 6 reproduction", body)
+    json_rows = [
+        {key: value for key, value in row.items()
+         if key not in ("predicted", "actual")}
+        for row in rows
+    ]
+    emit_with_rows("fig6_packet_ber", "Figure 6 reproduction", body, json_rows)
 
     # The predictions must track reality: strong rank correlation, and
     # packets predicted to be clean really are cleaner than packets

@@ -1,14 +1,19 @@
-"""End-to-end link throughput at the Figure 6 operating point.
+"""End-to-end link and sweep throughput at the Figure 6 operating point.
 
 The paper's headline is simulation *speed*: its FPGA pipeline reaches
 32.8-41.3% of the 802.11g line rate, and every BER reproduction in this
 repository is gated by how many packets/second the Python link can push.
-This benchmark times the full batched TX -> channel -> RX chain (BCJR,
-QAM16 1/2, 1704-bit packets, batch 32 -- the Figure 6 workload) and emits
-one machine-readable JSON row so the performance trajectory can be tracked
-across PRs.
+Two benchmarks track that trajectory with machine-readable JSON rows:
 
-Run with ``-m "not slow"`` to skip it during quick test cycles.
+* ``test_perf_link_throughput`` times the full batched TX -> channel -> RX
+  chain at a single operating point (BCJR, QAM16 1/2, 1704-bit packets,
+  batch 32 -- the Figure 6 workload).
+* ``test_perf_sweep_throughput`` times a Figure-6-style SNR *sweep* through
+  the sweep executor (the layer every figure and ablation now runs on), so
+  sweep wall-clock — including any ``REPRO_SWEEP_WORKERS`` sharding — is
+  tracked across PRs too.
+
+Run with ``-m "not slow"`` to skip both during quick test cycles.
 """
 
 import json
@@ -17,6 +22,7 @@ import time
 import pytest
 
 from repro.analysis.link import LinkSimulator
+from repro.analysis.sweep import SweepSpec, executor_from_env, run_link_ber_point
 from repro.phy.params import rate_by_mbps
 
 from _bench_utils import emit
@@ -75,3 +81,66 @@ def test_perf_link_throughput(scale):
     # JSON row is the tracked artefact.
     assert result.bit_error_rate < 0.5
     assert packets_per_sec > 1.0
+
+
+#: Figure-6-style SNR sweep tracked by ``test_perf_sweep_throughput``.
+SWEEP_WORKLOAD = {
+    "rate_mbps": [24],
+    "snrs_db": [4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+    "decoder": "bcjr",
+    "packet_bits": 1704,
+    "batch_size": 32,
+    "seed": 23,
+}
+
+
+@pytest.mark.slow
+def test_perf_sweep_throughput(scale):
+    packets_per_point = 16 * scale
+    spec = SweepSpec(
+        {"rate_mbps": SWEEP_WORKLOAD["rate_mbps"],
+         "snr_db": SWEEP_WORKLOAD["snrs_db"]},
+        constants={
+            "decoder": SWEEP_WORKLOAD["decoder"],
+            "packet_bits": SWEEP_WORKLOAD["packet_bits"],
+            "num_packets": packets_per_point,
+            "batch_size": SWEEP_WORKLOAD["batch_size"],
+        },
+        seed=SWEEP_WORKLOAD["seed"],
+    )
+    executor = executor_from_env()
+    # Warm-up on one point: caches, allocator, BLAS.  Pool startup is NOT
+    # warmed away -- the executor builds a fresh pool per run(), so the
+    # timed section below deliberately includes that real per-sweep cost
+    # (the emitted row carries backend/max_workers to keep rows comparable).
+    executor.run(SweepSpec({"rate_mbps": [24], "snr_db": [7.0]},
+                           constants=dict(spec.constants), seed=23),
+                 run_link_ber_point)
+
+    start = time.perf_counter()
+    rows = executor.run(spec, run_link_ber_point)
+    elapsed = time.perf_counter() - start
+
+    num_points = len(spec)
+    total_packets = num_points * packets_per_point
+    row = {
+        "benchmark": "sweep_throughput",
+        "workload": SWEEP_WORKLOAD,
+        "backend": executor.backend,
+        "max_workers": executor.max_workers,
+        "num_points": num_points,
+        "packets_per_point": packets_per_point,
+        "elapsed_sec": round(elapsed, 4),
+        "points_per_sec": round(num_points / elapsed, 3),
+        "packets_per_sec": round(total_packets / elapsed, 2),
+    }
+    emit(
+        "perf_sweep_throughput",
+        "Figure-6 SNR sweep throughput (sweep executor)",
+        json.dumps(row),
+    )
+
+    # Sanity floors only -- the emitted JSON row is the tracked artefact.
+    assert len(rows) == num_points
+    assert all(row_["ber"] < 0.5 for row_ in rows)
+    assert num_points / elapsed > 0.05

@@ -1,0 +1,54 @@
+"""Process-parallel BER characterisation across a (rate, SNR) grid.
+
+The paper's point is that a software radio testbed is only useful if it can
+characterise BER/throughput across many operating points quickly.  This
+example declares a Figure-6-style grid with :class:`SweepSpec` (each point
+gets its own independently derived seed), runs it once on the serial
+backend and once on the process backend, and shows that the rows are
+bit-for-bit identical — worker count, chunk size and dispatch order never
+change a result, so sweeps can be sharded across every core for free.
+
+Run with::
+
+    python examples/parallel_sweep.py [workers]
+"""
+
+import sys
+import time
+
+from repro.analysis.sweep import (
+    SweepExecutor,
+    SweepSpec,
+    rows_to_json,
+    run_link_ber_point,
+)
+
+
+def main(workers=4):
+    spec = SweepSpec(
+        axes={"rate_mbps": [12, 24], "snr_db": [5.0, 6.0, 7.0, 8.0]},
+        constants={"decoder": "bcjr", "packet_bits": 1704,
+                   "num_packets": 16, "batch_size": 16},
+        seed=23,
+    )
+    print("Sweep: %s (%d points)\n" % (spec, len(spec)))
+
+    start = time.perf_counter()
+    serial_rows = SweepExecutor("serial").run(spec, run_link_ber_point)
+    serial_elapsed = time.perf_counter() - start
+
+    executor = SweepExecutor("process", max_workers=workers, chunk_size=1)
+    start = time.perf_counter()
+    parallel_rows = executor.run(spec, run_link_ber_point)
+    parallel_elapsed = time.perf_counter() - start
+
+    print("rows (JSON lines, grid order):")
+    print(rows_to_json(parallel_rows))
+    print()
+    print("serial backend:            %.2f s" % serial_elapsed)
+    print("process backend (%d wkrs): %.2f s" % (workers, parallel_elapsed))
+    print("rows bit-for-bit identical: %s" % (parallel_rows == serial_rows))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -3,8 +3,10 @@
 The paper validates its hardware decoders by showing that the empirical BER
 of bits carrying a given LLR hint follows a straight line on a semi-log
 plot, with a slope that depends on SNR, modulation and decoder.  This
-example measures two of those curves (BCJR and SOVA at QAM16, 6 dB), fits
-the log-linear relationship and prints the resulting lookup-table scale.
+example measures two of those curves (BCJR and SOVA at QAM16, 6 dB) as a
+sweep over the decoder axis — set ``REPRO_SWEEP_WORKERS=2`` to measure both
+decoders in parallel processes — then fits the log-linear relationship and
+prints the resulting lookup-table scale.
 
 Run with::
 
@@ -13,26 +15,37 @@ Run with::
 
 import sys
 
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy import rate_by_mbps
 from repro.softphy import fit_log_linear, measure_ber_vs_hint
+
+SNR_DB = 6.0
+
+
+def measure_decoder(point):
+    """Picklable point-runner: calibrate one decoder."""
+    measurement = measure_ber_vs_hint(
+        rate_by_mbps(24), SNR_DB, point["decoder"],
+        num_packets=point["num_packets"], packet_bits=1704, seed=7,
+    )
+    return {"measurement": measurement,
+            "fit": fit_log_linear(measurement, min_bits=200)}
 
 
 def main(num_packets=24):
     rate = rate_by_mbps(24)
-    snr_db = 6.0
-    for decoder in ("bcjr", "sova"):
-        measurement = measure_ber_vs_hint(
-            rate, snr_db, decoder, num_packets=num_packets,
-            packet_bits=1704, seed=7,
-        )
-        fit = fit_log_linear(measurement, min_bits=200)
-        print("%s at %s, %.0f dB AWGN" % (decoder.upper(), rate.name, snr_db))
+    spec = SweepSpec({"decoder": ["bcjr", "sova"]},
+                     constants={"num_packets": num_packets}, seed=7)
+    rows = executor_from_env().run(spec, measure_decoder)
+    for row in rows:
+        measurement, fit = row["measurement"], row["fit"]
+        print("%s at %s, %.0f dB AWGN" % (row["decoder"].upper(), rate.name, SNR_DB))
         print("  bits measured:    %d (%d errors)"
               % (measurement.bits.sum(), measurement.errors.sum()))
         print("  log-linear fit:   log BER = %.2f - %.3f * hint   (r^2 = %.3f)"
               % (fit.intercept, fit.slope, fit.r_squared))
         print("  implied S_dec:    %.3f"
-              % fit.implied_decoder_scale(snr_db, rate.modulation))
+              % fit.implied_decoder_scale(SNR_DB, rate.modulation))
         print("  hint for 1e-7:    %.1f (extrapolated)" % fit.hint_for_ber(1e-7))
         print()
         populated = measurement.reliable_mask(min_bits=200, min_errors=1)

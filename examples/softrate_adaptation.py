@@ -8,6 +8,9 @@ rate (the highest rate at which that very packet would have been received
 without error) and prints the underselect / accurate / overselect breakdown
 alongside the achieved throughput.
 
+The decoder comparison is a sweep over the decoder axis — set
+``REPRO_SWEEP_WORKERS=2`` to evaluate both decoders in parallel processes.
+
 Run with::
 
     python examples/softrate_adaptation.py [num_packets]
@@ -15,25 +18,37 @@ Run with::
 
 import sys
 
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.mac import SoftRateEvaluation
+
+SNR_DB = 10.0
+DOPPLER_HZ = 20.0
+PACKET_BITS = 600
+
+
+def evaluate_decoder(point):
+    """Picklable point-runner: evaluate SoftRate with one decoder's hints."""
+    evaluation = SoftRateEvaluation(
+        snr_db=SNR_DB,
+        doppler_hz=DOPPLER_HZ,
+        num_packets=point["num_packets"],
+        packet_bits=PACKET_BITS,
+        seed=3,
+    )
+    return {"result": evaluation.run(point["decoder"], batch_size=16)}
 
 
 def main(num_packets=48):
-    evaluation = SoftRateEvaluation(
-        snr_db=10.0,
-        doppler_hz=20.0,
-        num_packets=num_packets,
-        packet_bits=600,
-        seed=3,
-    )
     print("Channel: Rayleigh fading at %.0f Hz Doppler, %.0f dB mean SNR"
-          % (evaluation.doppler_hz, evaluation.snr_db))
-    print("Packets: %d x %d bits\n" % (evaluation.num_packets, evaluation.packet_bits))
+          % (DOPPLER_HZ, SNR_DB))
+    print("Packets: %d x %d bits\n" % (num_packets, PACKET_BITS))
 
-    for decoder in ("bcjr", "sova"):
-        result = evaluation.run(decoder, batch_size=16)
+    spec = SweepSpec({"decoder": ["bcjr", "sova"]},
+                     constants={"num_packets": num_packets}, seed=3)
+    for row in executor_from_env().run(spec, evaluate_decoder):
+        result = row["result"]
         outcome = result.outcome.as_dict()
-        print("SoftRate with %s estimates:" % decoder.upper())
+        print("SoftRate with %s estimates:" % row["decoder"].upper())
         print("  underselect: %5.1f%%" % (100 * outcome["underselect"]))
         print("  accurate:    %5.1f%%" % (100 * outcome["accurate"]))
         print("  overselect:  %5.1f%%" % (100 * outcome["overselect"]))

@@ -5,7 +5,12 @@
   experiment.
 * :mod:`repro.analysis.ber_stats` -- bit-error-rate measurements with
   confidence intervals and hint-binned statistics.
-* :mod:`repro.analysis.sweep` -- small helpers for parameter sweeps.
+* :mod:`repro.analysis.sweep` -- the sweep subsystem: declarative
+  :class:`~repro.analysis.sweep.SweepSpec` grids with per-point seed
+  derivation, a :class:`~repro.analysis.sweep.SweepExecutor` with serial
+  and process backends, JSON row emission, and the legacy
+  :func:`~repro.analysis.sweep.sweep` / :func:`~repro.analysis.sweep.cross_sweep`
+  helpers.
 * :mod:`repro.analysis.reporting` -- plain-text table formatting used by the
   benchmark harness to print the paper's tables and figure series.
 """
@@ -13,16 +18,34 @@
 from repro.analysis.ber_stats import BerMeasurement, bin_errors_by_hint, wilson_interval
 from repro.analysis.link import LinkRunResult, LinkSimulator
 from repro.analysis.reporting import Table, format_percentage, format_ratio
-from repro.analysis.sweep import sweep
+from repro.analysis.sweep import (
+    SweepError,
+    SweepExecutor,
+    SweepPoint,
+    SweepSpec,
+    cross_sweep,
+    executor_from_env,
+    rows_to_json,
+    run_link_ber_point,
+    sweep,
+)
 
 __all__ = [
     "BerMeasurement",
     "LinkRunResult",
     "LinkSimulator",
+    "SweepError",
+    "SweepExecutor",
+    "SweepPoint",
+    "SweepSpec",
     "Table",
     "bin_errors_by_hint",
+    "cross_sweep",
+    "executor_from_env",
     "format_percentage",
     "format_ratio",
+    "rows_to_json",
+    "run_link_ber_point",
     "sweep",
     "wilson_interval",
 ]

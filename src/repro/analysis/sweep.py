@@ -1,51 +1,489 @@
-"""Small helpers for parameter sweeps.
+"""Parameter sweeps: declarative grids, serial/process executors, legacy helpers.
 
-The benchmark harness repeats the same experiment across a list of operating
-points (the eight PHY rates, a range of SNRs, a set of block lengths).
-:func:`sweep` keeps that loop in one place and returns rows that the
-reporting module can turn straight into a table.
+The benchmark harness repeats the same experiment across a grid of operating
+points (the eight PHY rates, a range of SNRs, a set of block lengths).  This
+module turns that pattern into a small subsystem:
+
+* :class:`SweepSpec` declares the grid (named axes, shared constants, a
+  master seed) and derives one independent random seed per point.
+* :class:`SweepExecutor` runs a picklable point-runner over the grid with a
+  ``serial`` or ``process`` backend and aggregates rows in grid order.
+* :func:`sweep` / :func:`cross_sweep` are the legacy one-liners, kept as
+  thin wrappers over the serial backend.
+
+Parallel sweeps
+---------------
+One :class:`~repro.analysis.link.LinkSimulator` per (rate, SNR) point is
+embarrassingly parallel and already deterministic per seed, so a sweep can
+be sharded across worker processes without changing a single result bit.
+The design mirrors the batching contract in :mod:`repro.analysis.link`
+(results independent of the ``batch_size`` split): here, results are
+independent of the *executor* — backend, worker count, chunk size and
+dispatch order never change a row.
+
+Three mechanisms make that hold:
+
+``seed derivation``
+    Each point's :class:`numpy.random.SeedSequence` is derived from the
+    spec's master seed with a ``spawn_key`` computed from the point's axis
+    coordinates — the same parent/child derivation ``SeedSequence.spawn``
+    performs, but keyed by *what the point is* instead of a sequential
+    counter.  Reordering axis values, chunking the grid differently or
+    adding workers therefore cannot move a point onto a different stream,
+    and two distinct points never share one.  (For run-to-run stable seeds,
+    axis values should be primitives — numbers, strings, bools, tuples —
+    whose ``repr`` does not change between processes.)
+
+``chunked dispatch, ordered aggregation``
+    The process backend ships chunks of points to a
+    :class:`concurrent.futures.ProcessPoolExecutor` (the point-runner must
+    be picklable, i.e. a module-level callable) and reassembles rows by
+    point index, so the output order is the grid order no matter which
+    worker finished first.
+
+``per-point error capture``
+    A runner exception is caught *in the worker* and reported with the
+    failing operating point attached (:class:`SweepError`, or an ``error``
+    row when ``on_error="capture"``) instead of aborting the whole sweep
+    with a bare pickled traceback.
+
+Rows are plain dicts (point parameters + runner results), and
+:func:`rows_to_json` renders them as JSON lines that
+``benchmarks/_bench_utils.emit`` can persist for trajectory tracking.
 """
+
+import hashlib
+import itertools
+import json
+import math
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+#: Environment variable read by :func:`executor_from_env`.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+# ---------------------------------------------------------------------- #
+# Seed derivation
+# ---------------------------------------------------------------------- #
+def _stable_token(value):
+    """A deterministic byte token for one axis value.
+
+    Primitives and containers of primitives encode via ``repr`` (stable
+    across processes and runs for numbers, strings, bools and ``None``);
+    the type name is included so ``1``, ``1.0`` and ``"1"`` stay distinct.
+    """
+    if isinstance(value, (tuple, list)):
+        inner = b",".join(_stable_token(item) for item in value)
+        return b"%s(%s)" % (type(value).__name__.encode(), inner)
+    return b"%s:%s" % (type(value).__name__.encode(), repr(value).encode())
+
+
+def point_spawn_key(coordinates):
+    """The ``SeedSequence`` spawn key for one point's axis coordinates.
+
+    A 128-bit digest of the sorted ``(axis name, value)`` pairs, returned
+    as four ``uint32`` words.  Depends only on the coordinates themselves:
+    grid position, chunking and worker count cannot change it.
+    """
+    blob = b";".join(
+        b"%s=%s" % (str(name).encode(), _stable_token(value))
+        for name, value in sorted((str(k), v) for k, v in coordinates.items())
+    )
+    digest = hashlib.sha256(blob).digest()
+    return tuple(
+        int.from_bytes(digest[i:i + 4], "little") for i in range(0, 16, 4)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Specs and points
+# ---------------------------------------------------------------------- #
+class SweepPoint:
+    """One operating point of a sweep.
+
+    Attributes
+    ----------
+    index:
+        Position in the grid (row-major over the spec's axes).
+    params:
+        Mapping of parameter name to value — the spec's constants plus this
+        point's axis coordinates.
+    seed_sequence:
+        Independent :class:`numpy.random.SeedSequence` for this point.
+    """
+
+    __slots__ = ("index", "params", "coordinates", "seed_sequence")
+
+    def __init__(self, index, params, coordinates, seed_sequence):
+        self.index = int(index)
+        self.params = dict(params)
+        self.coordinates = dict(coordinates)
+        self.seed_sequence = seed_sequence
+
+    @property
+    def seed(self):
+        """A 64-bit integer seed drawn from :attr:`seed_sequence`.
+
+        Convenient for APIs that take an integer master seed (e.g.
+        :class:`~repro.analysis.link.LinkSimulator`).
+        """
+        return int(self.seed_sequence.generate_state(1, np.uint64)[0])
+
+    def __getitem__(self, name):
+        return self.params[name]
+
+    def label(self):
+        """Human-readable ``name=value`` description of the coordinates."""
+        return ", ".join(
+            "%s=%r" % (name, value) for name, value in self.coordinates.items()
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SweepPoint)
+            and self.index == other.index
+            and self.params == other.params
+        )
+
+    def __repr__(self):
+        return "SweepPoint(%d: %s)" % (self.index, self.label())
+
+
+class SweepSpec:
+    """A declarative sweep grid.
+
+    Parameters
+    ----------
+    axes:
+        Mapping of axis name to iterable of values.  The grid is the
+        row-major cross product (first axis outermost), matching the
+        nesting order of the legacy loop helpers.
+    constants:
+        Optional parameters shared by every point (workload knobs like
+        ``packet_bits``).  They appear in every point's ``params`` but do
+        not enter the seed derivation, so scaling a workload up keeps each
+        point on the same random stream.
+    seed:
+        Master seed; per-point seeds are derived from it via
+        :func:`point_spawn_key` (see the module docstring).
+    """
+
+    def __init__(self, axes, constants=None, seed=0):
+        self.axes = {str(name): list(values) for name, values in dict(axes).items()}
+        if not self.axes:
+            raise ValueError("at least one axis is required")
+        self.constants = dict(constants or {})
+        overlap = set(self.axes) & set(self.constants)
+        if overlap:
+            raise ValueError(
+                "parameters cannot be both axis and constant: %s"
+                % ", ".join(sorted(overlap))
+            )
+        self.seed = seed
+        self._root = np.random.SeedSequence(seed)
+
+    @property
+    def axis_names(self):
+        return tuple(self.axes)
+
+    @property
+    def num_points(self):
+        return math.prod(len(values) for values in self.axes.values())
+
+    def __len__(self):
+        return self.num_points
+
+    def seed_sequence_for(self, coordinates):
+        """The :class:`~numpy.random.SeedSequence` of the point at ``coordinates``."""
+        return np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=point_spawn_key(coordinates)
+        )
+
+    def points(self):
+        """All grid points, in row-major order."""
+        names = self.axis_names
+        points = []
+        for index, combo in enumerate(itertools.product(*self.axes.values())):
+            coordinates = dict(zip(names, combo))
+            params = dict(self.constants)
+            params.update(coordinates)
+            points.append(
+                SweepPoint(index, params, coordinates,
+                           self.seed_sequence_for(coordinates))
+            )
+        return points
+
+    def __iter__(self):
+        return iter(self.points())
+
+    def __repr__(self):
+        shape = "x".join(str(len(values)) for values in self.axes.values())
+        return "SweepSpec(%s [%s], seed=%r)" % (
+            ", ".join(self.axis_names), shape, self.seed,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Execution
+# ---------------------------------------------------------------------- #
+class SweepError(RuntimeError):
+    """A point-runner raised; the failing operating point is attached.
+
+    The message names the point (index and coordinates) and carries the
+    worker-formatted traceback, so a failure inside a process pool is as
+    diagnosable as one in a plain loop.
+    """
+
+    def __init__(self, point, detail):
+        self.point = point
+        self.detail = detail
+        super().__init__(
+            "sweep point %d (%s) failed: %s" % (point.index, point.label(), detail)
+        )
+
+
+def _normalise_result(result):
+    if not isinstance(result, dict):
+        return {"result": result}
+    return dict(result)
+
+
+def _run_points(runner, points):
+    """Run ``runner`` over points, capturing per-point failures.
+
+    Returns ``(index, error, result)`` triples.  This is the single code
+    path shared by the serial backend and every pool worker, which is what
+    makes backend equivalence exact rather than merely likely.
+    """
+    outcomes = []
+    for point in points:
+        try:
+            outcomes.append((point.index, None, _normalise_result(runner(point))))
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            detail = "%s: %s\n%s" % (
+                type(exc).__name__, exc, traceback.format_exc(),
+            )
+            outcomes.append((point.index, detail, None))
+    return outcomes
+
+
+class SweepExecutor:
+    """Run a point-runner over a :class:`SweepSpec`.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (in-process loop) or ``"process"``
+        (:class:`concurrent.futures.ProcessPoolExecutor`; the runner and
+        every axis value must be picklable).
+    max_workers:
+        Process count for the ``process`` backend (default
+        ``os.cpu_count()``).
+    chunk_size:
+        Points per dispatched task (default: grid split into about four
+        chunks per worker).  Affects scheduling granularity only — never
+        results.
+    mp_context:
+        Optional :mod:`multiprocessing` context or start-method name
+        (``"fork"``, ``"spawn"``, ``"forkserver"``).
+    """
+
+    def __init__(self, backend="serial", max_workers=None, chunk_size=None,
+                 mp_context=None):
+        if backend not in ("serial", "process"):
+            raise ValueError("unknown backend %r (use 'serial' or 'process')"
+                             % (backend,))
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    def _resolved_workers(self):
+        return self.max_workers or os.cpu_count() or 1
+
+    def _chunks(self, points):
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(points) / (4 * self._resolved_workers())))
+        return [points[first:first + size]
+                for first in range(0, len(points), size)]
+
+    def run(self, spec, runner, on_error="raise"):
+        """Run ``runner`` on every point and return rows in grid order.
+
+        Each row is the point's ``params`` merged with the runner's result
+        mapping (non-dict results are wrapped as ``{"result": value}``).
+        ``on_error`` is ``"raise"`` (raise :class:`SweepError` for the
+        first failing point, in grid order) or ``"capture"`` (emit an
+        ``error`` row for failed points and keep going).
+        """
+        if on_error not in ("raise", "capture"):
+            raise ValueError("on_error must be 'raise' or 'capture'")
+        points = list(spec)
+        if not points:
+            return []
+
+        if self.backend == "serial":
+            outcomes = _run_points(runner, points)
+        else:
+            outcomes = self._run_process(runner, points)
+
+        outcomes.sort(key=lambda outcome: outcome[0])
+        by_index = {point.index: point for point in points}
+        rows = []
+        for index, error, result in outcomes:
+            point = by_index[index]
+            if error is not None:
+                if on_error == "raise":
+                    raise SweepError(point, error)
+                row = dict(point.params)
+                row["error"] = error.splitlines()[0]
+                rows.append(row)
+            else:
+                row = dict(point.params)
+                row.update(result)
+                rows.append(row)
+        return rows
+
+    def _run_process(self, runner, points):
+        import multiprocessing
+
+        context = self.mp_context
+        if isinstance(context, str):
+            context = multiprocessing.get_context(context)
+        workers = min(self._resolved_workers(), len(points))
+        outcomes = []
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [pool.submit(_run_points, runner, chunk)
+                       for chunk in self._chunks(points)]
+            for future in futures:
+                outcomes.extend(future.result())
+        return outcomes
+
+    def __repr__(self):
+        return "SweepExecutor(backend=%r, max_workers=%r, chunk_size=%r)" % (
+            self.backend, self.max_workers, self.chunk_size,
+        )
+
+
+def executor_from_env(default_backend="serial"):
+    """Build an executor from the ``REPRO_SWEEP_WORKERS`` environment knob.
+
+    ``REPRO_SWEEP_WORKERS`` unset, empty, ``0`` or ``1`` selects the
+    ``default_backend`` (serial unless overridden); any larger integer
+    selects the process backend with that many workers.  Benchmarks use
+    this so the harness can shard sweeps without code changes.
+    """
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    try:
+        workers = int(raw) if raw else 1
+    except ValueError:
+        workers = 1
+    if workers > 1:
+        return SweepExecutor("process", max_workers=workers)
+    return SweepExecutor(default_backend)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in point runners and row emission
+# ---------------------------------------------------------------------- #
+def run_link_ber_point(point):
+    """Picklable point-runner: one BER measurement per (rate, SNR) point.
+
+    Understands the parameters ``rate_mbps`` and ``snr_db`` (axes in the
+    typical Figure-6-style sweep) plus the workload constants ``decoder``,
+    ``packet_bits``, ``num_packets`` and ``batch_size``; the link
+    simulator is seeded from ``point.seed``, so rows depend only on the
+    spec, never on the executor.
+    """
+    from repro.analysis.link import LinkSimulator
+    from repro.phy.params import rate_by_mbps
+
+    params = point.params
+    simulator = LinkSimulator(
+        rate_by_mbps(params["rate_mbps"]),
+        snr_db=params["snr_db"],
+        decoder=params.get("decoder", "bcjr"),
+        packet_bits=int(params.get("packet_bits", 1704)),
+        seed=point.seed,
+    )
+    result = simulator.run(
+        int(params.get("num_packets", 32)),
+        batch_size=int(params.get("batch_size", 32)),
+    )
+    return {
+        "seed": point.seed,
+        "num_bits": int(result.num_bits),
+        "bit_errors": int(result.bit_errors.sum()),
+        "ber": result.bit_error_rate,
+        "packet_error_rate": result.packet_error_rate,
+    }
+
+
+def _json_default(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return repr(value)
+
+
+def rows_to_json(rows):
+    """Render sweep rows as JSON lines for ``benchmarks/_bench_utils.emit``.
+
+    numpy scalars and arrays are converted to plain Python values; anything
+    else non-serialisable falls back to its ``repr`` so a sweep row never
+    fails to emit.
+    """
+    return "\n".join(json.dumps(row, default=_json_default) for row in rows)
+
+
+# ---------------------------------------------------------------------- #
+# Legacy helpers
+# ---------------------------------------------------------------------- #
+class _ExperimentAdapter:
+    """Adapt a legacy ``experiment(*values)`` callable to a point-runner."""
+
+    def __init__(self, experiment, names):
+        self.experiment = experiment
+        self.names = tuple(names)
+
+    def __call__(self, point):
+        return self.experiment(*(point.params[name] for name in self.names))
 
 
 def sweep(values, experiment, label="value"):
     """Run ``experiment(value)`` for every value and collect labelled rows.
 
-    Parameters
-    ----------
-    values:
-        Iterable of parameter values.
-    experiment:
-        Callable invoked once per value; it should return a mapping of
-        column name to result.
-    label:
-        Column name used for the swept parameter itself.
-
-    Returns
-    -------
-    list of dict
-        One dictionary per value, containing the parameter and the
-        experiment's results.
+    A thin wrapper over the serial backend, kept for the existing callers:
+    ``sweep(values, fn, label)`` is ``SweepExecutor("serial")`` run over
+    ``SweepSpec({label: values})`` with the experiment's result merged into
+    each row (non-dict results are wrapped as ``{"result": value}``).
     """
-    rows = []
-    for value in values:
-        result = experiment(value)
-        if not isinstance(result, dict):
-            result = {"result": result}
-        row = {label: value}
-        row.update(result)
-        rows.append(row)
-    return rows
+    values = list(values)
+    if not values:
+        return []
+    spec = SweepSpec({label: values})
+    return SweepExecutor("serial").run(spec, _ExperimentAdapter(experiment, (label,)))
 
 
 def cross_sweep(first_values, second_values, experiment, labels=("first", "second")):
     """Two-dimensional sweep: run ``experiment(a, b)`` for every pair."""
-    rows = []
-    for a in first_values:
-        for b in second_values:
-            result = experiment(a, b)
-            if not isinstance(result, dict):
-                result = {"result": result}
-            row = {labels[0]: a, labels[1]: b}
-            row.update(result)
-            rows.append(row)
-    return rows
+    first_values = list(first_values)
+    second_values = list(second_values)
+    if not first_values or not second_values:
+        return []
+    spec = SweepSpec({labels[0]: first_values, labels[1]: second_values})
+    return SweepExecutor("serial").run(
+        spec, _ExperimentAdapter(experiment, tuple(labels))
+    )
