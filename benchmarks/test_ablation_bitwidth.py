@@ -8,12 +8,19 @@ matters for BER estimation.  This ablation quantises the demapper output to
 BER, the quality of the hint/error separation and the modelled decoder area.
 
 The bit-width axis is a :class:`~repro.analysis.sweep.SweepSpec` grid
-(``soft_bits=0`` is the unquantised float reference); set
-``REPRO_SWEEP_WORKERS`` to shard the points across processes.
+(``soft_bits=0`` is the unquantised float reference) measured adaptively:
+each configuration runs fixed-size batches through
+:func:`~repro.analysis.adaptive.run_point_adaptive` until its Wilson
+interval settles or the traffic cap hits.  Hint-separation statistics
+accumulate as summed scalars across batches (the extras merger's
+number-summing rule); the area model is evaluated per row afterwards, since
+it depends only on the configuration.  Set ``REPRO_SWEEP_WORKERS`` to shard
+the points across processes.
 """
 
 import numpy as np
 
+from repro.analysis.adaptive import StopRule, run_point_adaptive
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
 from repro.analysis.sweep import SweepSpec, executor_from_env
@@ -25,49 +32,80 @@ from _bench_utils import emit_with_rows
 
 BIT_WIDTHS = (3, 4, 6, 8)
 
+#: Packets per adaptive batch (the chunk-invariance unit).
+BATCH_PACKETS = 4
 
-def _hint_separation(result):
-    """Mean hint of correct bits divided by mean hint of erroneous bits."""
+
+def _run_batch(batch):
+    """Picklable chunk-runner: one batch at one demapper bit-width."""
+    bits = batch["soft_bits"]
+    fmt = None if bits == 0 else llr_quantizer(bits, max_abs=8.0)
+    simulator = LinkSimulator(rate_by_mbps(24), snr_db=6.0, decoder="bcjr",
+                              packet_bits=1704, seed=batch.seed, llr_format=fmt)
+    result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
     errors = result.bit_errors
-    if not errors.any() or errors.all():
-        return float("nan")
-    return float(result.hints[~errors].mean() / max(result.hints[errors].mean(), 1e-9))
+    return {
+        "errors": int(errors.sum()),
+        "trials": int(result.num_bits),
+        # Summed across batches by the extras merger; the benchmark forms
+        # the correct/error mean-hint ratio from the pooled sums.
+        "hint_sum_correct": float(result.hints[~errors].sum()),
+        "hint_sum_error": float(result.hints[errors].sum()),
+    }
 
 
 def _run_point(point):
-    """Picklable point-runner: one demapper bit-width configuration."""
-    bits = point["soft_bits"]
-    fmt = None if bits == 0 else llr_quantizer(bits, max_abs=8.0)
-    simulator = LinkSimulator(rate_by_mbps(24), snr_db=6.0, decoder="bcjr",
-                              packet_bits=1704, seed=47, llr_format=fmt)
-    result = simulator.run(point["num_packets"], batch_size=8)
-    soft_bits = fmt.total_bits if fmt is not None else 8
-    area = AreaModel(
-        DecoderAreaParameters(soft_input_bits=soft_bits)
-    ).decoder_total("bcjr")
+    """Picklable point-runner: adaptively measure one bit-width setting."""
+    row = run_point_adaptive(point, _run_batch, point["stop"],
+                             batch_packets=BATCH_PACKETS)
+    errors, trials = row["errors"], row["trials"]
+    if errors in (0, trials):
+        separation = float("nan")
+    else:
+        mean_correct = row["hint_sum_correct"] / (trials - errors)
+        mean_error = row["hint_sum_error"] / errors
+        separation = mean_correct / max(mean_error, 1e-9)
     return {
-        "label": "float" if bits == 0 else "%d-bit" % bits,
-        "ber": result.bit_error_rate,
-        "separation": _hint_separation(result),
-        "luts": area.luts,
+        "label": "float" if point["soft_bits"] == 0 else "%d-bit" % point["soft_bits"],
+        "ber": row["ber"],
+        "separation": separation,
+        "packets": row["packets"],
+        "stop_reason": row["stop_reason"],
     }
 
 
 def _sweep(num_packets):
-    spec = SweepSpec({"soft_bits": [0] + list(BIT_WIDTHS)},
-                     constants={"num_packets": num_packets}, seed=47)
-    return executor_from_env().run(spec, _run_point)
+    spec = SweepSpec(
+        {"soft_bits": [0] + list(BIT_WIDTHS)},
+        constants={
+            "stop": StopRule(rel_half_width=0.15, min_errors=100,
+                             max_packets=4 * num_packets),
+        },
+        seed=47,
+    )
+    rows = executor_from_env().run(spec, _run_point)
+    for row in rows:
+        soft_bits = 8 if row["soft_bits"] == 0 else llr_quantizer(
+            row["soft_bits"], max_abs=8.0
+        ).total_bits
+        area = AreaModel(
+            DecoderAreaParameters(soft_input_bits=soft_bits)
+        ).decoder_total("bcjr")
+        row["luts"] = area.luts
+    return rows
 
 
 def test_ablation_demapper_bitwidth(benchmark, scale):
     rows = benchmark.pedantic(_sweep, args=(8 * scale,), rounds=1, iterations=1)
 
     table = Table(
-        ["Demapper output", "BER @ 6 dB", "hint separation (correct/error)", "BCJR LUTs"],
+        ["Demapper output", "packets (stop)", "BER @ 6 dB",
+         "hint separation (correct/error)", "BCJR LUTs"],
         title="Ablation: demapper bit-width vs decode quality, hints and area",
     )
     for row in rows:
-        table.add_row(row["label"], row["ber"], row["separation"], row["luts"])
+        table.add_row(row["label"], "%d (%s)" % (row["packets"], row["stop_reason"]),
+                      row["ber"], row["separation"], row["luts"])
     emit_with_rows("ablation_bitwidth", "Demapper bit-width ablation",
                    table.render(), rows)
 

@@ -8,10 +8,18 @@ length, measuring decode BER (at a fixed operating point) and the modelled
 area, to reproduce both halves of that trade-off.
 
 The (window, decoder) cross product is a two-axis
-:class:`~repro.analysis.sweep.SweepSpec` grid; set ``REPRO_SWEEP_WORKERS``
-to shard the points across processes.
+:class:`~repro.analysis.sweep.SweepSpec` grid measured adaptively: each
+configuration runs fixed-size batches through
+:func:`~repro.analysis.adaptive.run_point_adaptive` until its Wilson
+interval settles or the traffic cap hits, so the crippled small windows
+(whose BER is enormous and settles immediately) stop after a batch while
+the good windows collect enough errors for a trustworthy comparison.  The
+area model is evaluated per row afterwards, since it depends only on the
+configuration.  Set ``REPRO_SWEEP_WORKERS`` to shard the points across
+processes.
 """
 
+from repro.analysis.adaptive import StopRule, run_point_adaptive
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
 from repro.analysis.sweep import SweepSpec, executor_from_env
@@ -24,44 +32,71 @@ from _bench_utils import emit_with_rows
 
 WINDOWS = (8, 16, 32, 64, 128)
 
+#: Packets per adaptive batch (the chunk-invariance unit).
+BATCH_PACKETS = 4
 
-def _run_point(point):
-    """Picklable point-runner: one (window, decoder) configuration."""
-    window = point["window"]
-    decoder_name = point["decoder"]
-    if decoder_name == "bcjr":
+
+def _run_batch(batch):
+    """Picklable chunk-runner: one batch of one (window, decoder) config."""
+    window = batch["window"]
+    if batch["decoder"] == "bcjr":
         decoder = BcjrDecoder(block_length=window)
     else:
         decoder = SovaDecoder(traceback_length=window)
     simulator = LinkSimulator(rate_by_mbps(24), snr_db=6.0, decoder=decoder,
-                              packet_bits=1704, seed=31)
-    result = simulator.run(point["num_packets"], batch_size=8)
-    area = AreaModel(
-        DecoderAreaParameters(block_length=window, traceback_length=window)
-    ).decoder_total(decoder_name)
+                              packet_bits=1704, seed=batch.seed)
+    result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
     return {
-        "ber": result.bit_error_rate,
-        "luts": area.luts,
-        "registers": area.registers,
+        "errors": int(result.bit_errors.sum()),
+        "trials": int(result.num_bits),
+    }
+
+
+def _run_point(point):
+    """Picklable point-runner: adaptively measure one configuration."""
+    row = run_point_adaptive(point, _run_batch, point["stop"],
+                             batch_packets=BATCH_PACKETS)
+    return {
+        "ber": row["ber"],
+        "packets": row["packets"],
+        "stop_reason": row["stop_reason"],
     }
 
 
 def _sweep(num_packets):
-    spec = SweepSpec({"window": list(WINDOWS), "decoder": ["bcjr", "sova"]},
-                     constants={"num_packets": num_packets}, seed=31)
-    return executor_from_env().run(spec, _run_point)
+    spec = SweepSpec(
+        {"window": list(WINDOWS), "decoder": ["bcjr", "sova"]},
+        constants={
+            # num_packets is the old fixed depth; adaptively it caps at
+            # twice that, and the easy (high-BER) windows stop well short.
+            "stop": StopRule(rel_half_width=0.2, min_errors=80,
+                             max_packets=2 * num_packets),
+        },
+        seed=31,
+    )
+    rows = executor_from_env().run(spec, _run_point)
+    for row in rows:
+        area = AreaModel(
+            DecoderAreaParameters(block_length=row["window"],
+                                  traceback_length=row["window"])
+        ).decoder_total(row["decoder"])
+        row["luts"] = area.luts
+        row["registers"] = area.registers
+    return rows
 
 
 def test_ablation_window_length(benchmark, scale):
     rows = benchmark.pedantic(_sweep, args=(8 * scale,), rounds=1, iterations=1)
 
     table = Table(
-        ["Decoder", "Window/block", "BER @ QAM16 1/2, 6 dB", "LUTs", "Registers"],
+        ["Decoder", "Window/block", "packets (stop)", "BER @ QAM16 1/2, 6 dB",
+         "LUTs", "Registers"],
         title="Ablation: window length vs decode quality and area",
     )
     for row in rows:
-        table.add_row(row["decoder"].upper(), row["window"], row["ber"],
-                      row["luts"], row["registers"])
+        table.add_row(row["decoder"].upper(), row["window"],
+                      "%d (%s)" % (row["packets"], row["stop_reason"]),
+                      row["ber"], row["luts"], row["registers"])
     emit_with_rows("ablation_block_length", "Window-length ablation",
                    table.render(), rows)
 

@@ -9,9 +9,11 @@ decoupled WiLIS scheduler and under the lock-step scheduler and compares
 scheduler passes and wall-clock throughput.
 
 The scheduler policy is a one-axis :class:`~repro.analysis.sweep.SweepSpec`
-grid, but the executor is pinned to the serial backend: the wall-time
-comparison between the two policies is the headline number, and running
-them concurrently would make them contend for CPU.
+grid, but the executor is pinned to the serial backend and the depth stays
+*fixed* rather than adaptive: the wall-time comparison between the two
+policies is the headline number, so the two points must execute identical
+work without CPU contention (the same reason the throughput benchmarks in
+``test_perf_link_throughput.py`` keep the fixed-depth ``stop=None`` path).
 """
 
 import numpy as np

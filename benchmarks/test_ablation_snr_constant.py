@@ -8,12 +8,19 @@ ablation runs the same packets through (a) the constant-SNR estimator and
 (b) an oracle estimator that scales each packet's hints by its true SNR, and
 compares the per-packet predictions against ground truth.
 
-The SNR axis is a :class:`~repro.analysis.sweep.SweepSpec` grid; set
+The SNR axis is a :class:`~repro.analysis.sweep.SweepSpec` grid measured
+adaptively: each point runs fixed-size batches through
+:func:`~repro.analysis.adaptive.run_point_adaptive` until its bit-level
+Wilson interval settles or the traffic cap hits, so the low-SNR points stop
+early while the 8 dB point (whose errors are rare) runs several times
+deeper than the old fixed depth for the same wall-clock ballpark.  Per-batch
+per-packet prediction arrays are concatenated by the extras merger.  Set
 ``REPRO_SWEEP_WORKERS`` to shard the points across processes.
 """
 
 import numpy as np
 
+from repro.analysis.adaptive import StopRule, run_point_adaptive
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
 from repro.analysis.sweep import SweepSpec, executor_from_env
@@ -26,6 +33,9 @@ from _bench_utils import emit_with_rows
 
 SNRS_DB = (5.0, 6.0, 7.0, 8.0)
 
+#: Packets per adaptive batch (the chunk-invariance unit).
+BATCH_PACKETS = 5
+
 
 def _prediction_error(predicted, actual):
     """Mean absolute error of log10 predictions on packets with errors."""
@@ -37,31 +47,51 @@ def _prediction_error(predicted, actual):
     )
 
 
-def _run_point(point):
-    """Picklable point-runner: one operating point of the SNR axis."""
+def _run_batch(batch):
+    """Picklable chunk-runner: one batch of packets at one SNR point."""
     rate = rate_by_mbps(24)
-    snr_db = point["snr_db"]
+    snr_db = batch["snr_db"]
     simulator = LinkSimulator(rate, snr_db=snr_db, decoder="bcjr",
-                              packet_bits=1704, seed=59)
-    result = simulator.run(point["num_packets"], batch_size=8)
-    actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
-    constant_prediction = BerEstimator("bcjr").packet_ber(
-        result.hints, rate.modulation
-    )
+                              packet_bits=1704, seed=batch.seed)
+    result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
     exact_scaling = ScalingFactors(snr_db, rate.modulation, "bcjr")
-    exact_prediction = llr_to_ber(exact_scaling.true_llr(result.hints)).mean(axis=1)
     return {
+        "errors": int(result.bit_errors.sum()),
+        "trials": int(result.num_bits),
+        "actual": ground_truth_packet_ber(result.tx_bits, result.rx_bits),
+        "constant": BerEstimator("bcjr").packet_ber(result.hints, rate.modulation),
+        "exact": llr_to_ber(exact_scaling.true_llr(result.hints)).mean(axis=1),
+    }
+
+
+def _run_point(point):
+    """Picklable point-runner: adaptively measure one SNR operating point."""
+    row = run_point_adaptive(point, _run_batch, point["stop"],
+                             batch_packets=BATCH_PACKETS)
+    actual, constant, exact = row["actual"], row["constant"], row["exact"]
+    return {
+        "packets": row["packets"],
+        "stop_reason": row["stop_reason"],
         "actual_mean": float(actual.mean()),
-        "constant_mean": float(constant_prediction.mean()),
-        "exact_mean": float(exact_prediction.mean()),
-        "constant_log_error": _prediction_error(constant_prediction, actual),
-        "exact_log_error": _prediction_error(exact_prediction, actual),
+        "constant_mean": float(constant.mean()),
+        "exact_mean": float(exact.mean()),
+        "constant_log_error": _prediction_error(constant, actual),
+        "exact_log_error": _prediction_error(exact, actual),
     }
 
 
 def _run(num_packets):
-    spec = SweepSpec({"snr_db": list(SNRS_DB)},
-                     constants={"num_packets": num_packets}, seed=59)
+    spec = SweepSpec(
+        {"snr_db": list(SNRS_DB)},
+        constants={
+            # num_packets is the old fixed depth; adaptively it becomes a
+            # per-point cap of four times that, funded by the easy points
+            # stopping after a batch or two.
+            "stop": StopRule(rel_half_width=0.2, min_errors=50,
+                             max_packets=4 * num_packets),
+        },
+        seed=59,
+    )
     return executor_from_env().run(spec, _run_point)
 
 
@@ -69,12 +99,13 @@ def test_ablation_constant_snr_lookup(benchmark, scale):
     rows = benchmark.pedantic(_run, args=(10 * scale,), rounds=1, iterations=1)
 
     table = Table(
-        ["SNR (dB)", "actual PBER", "constant-SNR prediction", "exact-SNR prediction",
-         "|log10 err| constant", "|log10 err| exact"],
+        ["SNR (dB)", "packets (stop)", "actual PBER", "constant-SNR prediction",
+         "exact-SNR prediction", "|log10 err| constant", "|log10 err| exact"],
         title="Ablation: constant-SNR lookup vs exact-SNR scaling (QAM16 1/2)",
     )
     for row in rows:
-        table.add_row(row["snr_db"], row["actual_mean"], row["constant_mean"],
+        table.add_row(row["snr_db"], "%d (%s)" % (row["packets"], row["stop_reason"]),
+                      row["actual_mean"], row["constant_mean"],
                       row["exact_mean"], row["constant_log_error"],
                       row["exact_log_error"])
     emit_with_rows("ablation_snr_constant", "Constant-SNR ablation",
@@ -90,3 +121,5 @@ def test_ablation_constant_snr_lookup(benchmark, scale):
     # predicts.
     low_snr = rows[0]
     assert low_snr["constant_mean"] < low_snr["actual_mean"] * 2.0
+    # Adaptivity: the noisy 5 dB point must not out-spend the clean 8 dB one.
+    assert rows[0]["packets"] <= rows[-1]["packets"]

@@ -6,17 +6,22 @@ carrying each LLR hint value.  The curves are log-linear and their slopes
 depend on SNR, modulation and decoder -- the evidence behind the equation 5
 scaling factors.
 
-This benchmark measures the same curves at Python scale (tens of thousands
-to millions of bits depending on ``REPRO_BENCH_SCALE``), fits the log-linear
-relationship, and reports the slope, intercept and fit quality per
-configuration.  The floors reachable here are around 1e-3 to 1e-5; the fit
-extrapolates the same straight line the paper measures directly down to
-1e-7.
+This benchmark measures the same curves at Python scale adaptively: each
+operating point runs fixed-size batches through
+:func:`~repro.analysis.adaptive.run_point_adaptive` until it has collected
+an error *target* (the classic "run until N errors" BER practice -- errors,
+not bits, are what populate the hint bins the fit needs) or hits its
+traffic cap.  The easy QAM16 @ 6 dB point stops after a couple of batches;
+the low-BER QAM16 @ 8 dB point automatically runs several times more
+traffic -- the per-configuration multipliers the fixed version hard-coded
+now emerge from the stopping rule.  Per-batch ``BerVersusHint`` histograms
+(fixed explicit bin edges) are merged incrementally via ``merge``.
 
 The operating-point axis is a :class:`~repro.analysis.sweep.SweepSpec`
 grid; set ``REPRO_SWEEP_WORKERS`` to shard the points across processes.
 """
 
+from repro.analysis.adaptive import StopRule, run_point_adaptive
 from repro.analysis.reporting import Table
 from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
@@ -25,69 +30,94 @@ from repro.softphy.calibration import fit_log_linear, measure_ber_vs_hint
 from _bench_utils import emit
 
 #: The three operating points shown in Figure 5 as (modulation label, rate
-#: in Mb/s, AWGN SNR in dB, traffic multiplier).  The 8 dB point has a much
-#: lower BER, so it needs proportionally more traffic before enough hint
-#: bins contain errors for the fit.
+#: in Mb/s, AWGN SNR in dB).  No hand-tuned traffic multipliers: the
+#: adaptive stopper gives the lower-BER points proportionally more traffic.
 OPERATING_POINTS = (
-    ("QAM16", 24, 6.0, 1),
-    ("QPSK", 12, 6.0, 1),
-    ("QAM16", 24, 8.0, 2),
+    ("QAM16", 24, 6.0),
+    ("QPSK", 12, 6.0),
+    ("QAM16", 24, 8.0),
 )
 
 DECODERS = ("bcjr", "sova")
 
+#: Packets per adaptive batch (the chunk-invariance unit).
+BATCH_PACKETS = 4
+
+
+def _measure_batch(batch):
+    """Picklable chunk-runner: one batch of one Figure 5 configuration."""
+    label, rate_mbps, snr_db = batch["operating_point"]
+    measurement = measure_ber_vs_hint(
+        rate_by_mbps(rate_mbps), snr_db, batch["decoder"],
+        num_packets=batch.num_packets, packet_bits=batch["packet_bits"],
+        seed=batch.seed, batch_size=batch.num_packets,
+    )
+    return {
+        "errors": int(measurement.errors.sum()),
+        "trials": int(measurement.bits.sum()),
+        "measurement": measurement,
+    }
+
 
 def _measure_point(point):
-    """Picklable point-runner: one Figure 5 configuration."""
-    label, rate_mbps, snr_db, multiplier = point["operating_point"]
-    packets = point["num_packets"] * multiplier
-    measurement = measure_ber_vs_hint(
-        rate_by_mbps(rate_mbps), snr_db, point["decoder"], num_packets=packets,
-        packet_bits=point["packet_bits"], seed=17,
-        batch_size=max(8, packets // 4),
-    )
+    """Picklable point-runner: adaptively measure one configuration."""
+    row = run_point_adaptive(point, _measure_batch, point["stop"],
+                             batch_packets=BATCH_PACKETS)
+    measurement = row["measurement"]
     try:
         fit = fit_log_linear(measurement, min_bits=100, min_errors=1)
     except ValueError:
-        # The operating point's BER is below what this traffic volume can
+        # The operating point's BER is below what its traffic cap can
         # measure (the paper uses 1e12 bits); report the floor instead.
         fit = None
-    return {"label": label, "snr_db": snr_db,
-            "measurement": measurement, "fit": fit}
+    return {
+        "label": point["operating_point"][0],
+        "snr_db": point["operating_point"][2],
+        "measurement": measurement,
+        "fit": fit,
+        "packets": row["packets"],
+        "stop_reason": row["stop_reason"],
+    }
 
 
-def _measure(decoder, num_packets, packet_bits):
+def _measure(decoder, target_errors, max_packets, packet_bits):
     spec = SweepSpec(
         {"operating_point": list(OPERATING_POINTS)},
-        constants={"decoder": decoder, "num_packets": num_packets,
-                   "packet_bits": packet_bits},
+        constants={
+            "decoder": decoder,
+            "packet_bits": packet_bits,
+            "stop": StopRule(rel_half_width=None, target_errors=target_errors,
+                             max_packets=max_packets),
+        },
         seed=17,
     )
-    rows = executor_from_env().run(spec, _measure_point)
-    return [(row["label"], row["snr_db"], row["measurement"], row["fit"])
-            for row in rows]
+    return executor_from_env().run(spec, _measure_point)
 
 
-def _report(decoder, results):
+def _report(decoder, rows):
     table = Table(
-        ["Configuration", "bits", "errors", "slope", "intercept", "r^2",
-         "hint@1e-7 (extrapolated)"],
+        ["Configuration", "bits", "errors", "packets (stop)", "slope",
+         "intercept", "r^2", "hint@1e-7 (extrapolated)"],
         title="Figure 5 (%s): log-linear fit of BER vs SoftPHY hint" % decoder.upper(),
     )
     lines = []
-    for label, snr_db, measurement, fit in results:
+    for row in rows:
+        label, snr_db = row["label"], row["snr_db"]
+        measurement, fit = row["measurement"], row["fit"]
+        spend = "%d (%s)" % (row["packets"], row["stop_reason"])
         if fit is None:
             table.add_row(
                 "%s, AWGN SNR %.0f dB" % (label, snr_db),
                 int(measurement.bits.sum()),
                 int(measurement.errors.sum()),
-                "below floor", "-", "-", "-",
+                spend, "below floor", "-", "-", "-",
             )
         else:
             table.add_row(
                 "%s, AWGN SNR %.0f dB" % (label, snr_db),
                 int(measurement.bits.sum()),
                 int(measurement.errors.sum()),
+                spend,
                 fit.slope,
                 fit.intercept,
                 fit.r_squared,
@@ -103,13 +133,20 @@ def _report(decoder, results):
     return table.render() + "\n\n" + "\n".join(lines)
 
 
-def _check(results):
+def _check(rows):
+    results = [(row["label"], row["snr_db"], row["measurement"], row["fit"])
+               for row in rows]
     # Log-linear relationship holds for every configuration that produced
     # enough errors to fit.
     for _, _, _, fit in results:
         if fit is not None:
             assert fit.slope > 0
             assert fit.r_squared > 0.5
+    # The adaptive stopper spends more traffic where the BER is lower: the
+    # 8 dB QAM16 point must not stop sooner than the 6 dB one.
+    by_config = {(row["label"], row["snr_db"]): row for row in rows}
+    assert (by_config[("QAM16", 8.0)]["packets"]
+            >= by_config[("QAM16", 6.0)]["packets"])
     # Slopes vary with SNR: the 8 dB QAM16 curve falls faster than the 6 dB
     # one (same modulation, same decoder) -- the SNR factor of equation 5.
     qam16_6 = next(f for label, snr, _, f in results if label == "QAM16" and snr == 6.0)
@@ -133,16 +170,21 @@ def _check(results):
 
 
 def test_fig5a_bcjr_ber_vs_hint(benchmark, scale):
-    results = benchmark.pedantic(
-        _measure, args=("bcjr", 12 * scale, 1704), rounds=1, iterations=1
+    rows = benchmark.pedantic(
+        _measure, args=("bcjr", 300 * scale, 48 * scale, 1704),
+        rounds=1, iterations=1,
     )
-    emit("fig5a_bcjr", "Figure 5a (BCJR) reproduction", _report("bcjr", results))
-    _check(results)
+    emit("fig5a_bcjr", "Figure 5a (BCJR) reproduction", _report("bcjr", rows))
+    _check(rows)
 
 
 def test_fig5b_sova_ber_vs_hint(benchmark, scale):
-    results = benchmark.pedantic(
-        _measure, args=("sova", 10 * scale, 1704), rounds=1, iterations=1
+    # SOVA decodes several times slower than BCJR per packet, so its caps
+    # are tighter; the stopping rule still gives the low-BER points every
+    # packet the budget allows.
+    rows = benchmark.pedantic(
+        _measure, args=("sova", 250 * scale, 24 * scale, 1704),
+        rounds=1, iterations=1,
     )
-    emit("fig5b_sova", "Figure 5b (SOVA) reproduction", _report("sova", results))
-    _check(results)
+    emit("fig5b_sova", "Figure 5b (SOVA) reproduction", _report("sova", rows))
+    _check(rows)

@@ -6,18 +6,25 @@ plots the prediction against the ground truth.  The points cluster around
 the ideal line with a slight underestimation at high BER (a consequence of
 the constant-SNR simplification).
 
-This benchmark reproduces the scatter: the SNR axis is a
-:class:`~repro.analysis.sweep.SweepSpec` grid (one independently seeded
-:class:`~repro.analysis.link.LinkSimulator` per SNR point — the canonical
-shardable sweep; set ``REPRO_SWEEP_WORKERS`` to spread the points across
-processes).  Packets from every point are pooled, binned by their predicted
-PBER (decade bins), and the mean and standard deviation of the actual PBER
-in each bin are reported, together with the rank correlation between
-prediction and truth.
+This benchmark reproduces the scatter through the adaptive characterisation
+service: the SNR axis is a :class:`~repro.analysis.sweep.SweepSpec` grid
+driven by an :class:`~repro.analysis.adaptive.AdaptiveScheduler` under a
+global packet budget.  Low-SNR points (whose BER settles within a batch or
+two) stop early, and the scheduler reallocates their unspent traffic to the
+clean high-SNR tail — so the scatter covers many more low-PBER packets than
+the old fixed grid did for the same budget.  Set ``REPRO_SWEEP_WORKERS`` to
+spread each round's batches across processes; rows are bit-for-bit
+identical either way.
+
+Packets from every point are pooled, binned by their predicted PBER (decade
+bins), and the mean and standard deviation of the actual PBER in each bin
+are reported, together with the rank correlation between prediction and
+truth.
 """
 
 import numpy as np
 
+from repro.analysis.adaptive import AdaptiveScheduler, StopRule
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
 from repro.analysis.sweep import SweepSpec, executor_from_env
@@ -32,39 +39,53 @@ from _bench_utils import emit_with_rows
 #: differs across numpy major versions.
 SNRS_DB = tuple(float(snr) for snr in np.linspace(4.0, 9.0, 11))
 
+#: Packets per adaptive batch (the chunk-invariance unit).
+BATCH_PACKETS = 4
 
-def _run_point(point):
-    """Picklable point-runner: packets at one SNR, seeded from the point."""
-    rate = rate_by_mbps(point["rate_mbps"])
+#: Global traffic budget in packets at scale 1 (multiplied by the
+#: ``REPRO_BENCH_SCALE`` fixture below).
+BUDGET_PACKETS = 64
+
+#: Per-point stopping: a point is settled once its bit-level Wilson
+#: interval is within ±15% relative and 100 errors were seen; the rest of
+#: the budget flows to the points still loose (the high-SNR tail).
+STOP = StopRule(rel_half_width=0.15, min_errors=100, ber_floor=1e-5)
+
+
+def _run_batch(batch):
+    """Picklable chunk-runner: one batch of packets at one SNR point."""
+    rate = rate_by_mbps(batch["rate_mbps"])
     simulator = LinkSimulator(
         rate,
-        snr_db=point["snr_db"],
+        snr_db=batch["snr_db"],
         decoder="bcjr",
-        packet_bits=point["packet_bits"],
-        seed=point.seed,
+        packet_bits=batch["packet_bits"],
+        seed=batch.seed,
     )
-    result = simulator.run(point["num_packets"],
-                           batch_size=point["num_packets"])
+    result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
     predicted = BerEstimator("bcjr").packet_ber(result.hints, rate.modulation)
     actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
     return {
+        "errors": int(result.bit_errors.sum()),
+        "trials": int(result.num_bits),
         "predicted": predicted,
         "actual": actual,
-        "mean_predicted_pber": float(predicted.mean()),
-        "mean_actual_pber": float(actual.mean()),
     }
 
 
-def _simulate(num_packets):
+def _simulate(budget_packets):
     spec = SweepSpec(
         {"rate_mbps": [24], "snr_db": list(SNRS_DB)},
-        constants={
-            "packet_bits": 1704,
-            "num_packets": max(4, num_packets // len(SNRS_DB)),
-        },
+        constants={"packet_bits": 1704},
         seed=23,
     )
-    rows = executor_from_env().run(spec, _run_point)
+    scheduler = AdaptiveScheduler(
+        stop=STOP,
+        batch_packets=BATCH_PACKETS,
+        budget=budget_packets,
+        executor=executor_from_env(),
+    )
+    rows = scheduler.run(spec, _run_batch)
     predicted = np.concatenate([row["predicted"] for row in rows])
     actual = np.concatenate([row["actual"] for row in rows])
     return rows, predicted, actual
@@ -72,7 +93,7 @@ def _simulate(num_packets):
 
 def test_fig6_predicted_vs_actual_pber(benchmark, scale):
     rows, predicted, actual = benchmark.pedantic(
-        _simulate, args=(64 * scale,), rounds=1, iterations=1
+        _simulate, args=(BUDGET_PACKETS * scale,), rounds=1, iterations=1
     )
 
     edges = 10.0 ** np.arange(-9, 1)
@@ -94,13 +115,25 @@ def test_fig6_predicted_vs_actual_pber(benchmark, scale):
     order_pred = np.argsort(np.argsort(predicted))
     order_true = np.argsort(np.argsort(actual))
     correlation = float(np.corrcoef(order_pred, order_true)[0, 1])
-    body = table.render() + "\n\nSpearman rank correlation (predicted vs actual): %.3f" % correlation
+    spend = ", ".join(
+        "%.1f dB: %d pkts (%s)" % (row["snr_db"], row["packets"], row["stop_reason"])
+        for row in rows
+    )
+    body = (
+        table.render()
+        + "\n\nSpearman rank correlation (predicted vs actual): %.3f" % correlation
+        + "\nAdaptive spend per point: %s" % spend
+    )
     json_rows = [
         {key: value for key, value in row.items()
          if key not in ("predicted", "actual")}
         for row in rows
     ]
     emit_with_rows("fig6_packet_ber", "Figure 6 reproduction", body, json_rows)
+
+    # Every point received traffic, and the budget was respected.
+    assert all(row["packets"] >= BATCH_PACKETS for row in rows)
+    assert sum(row["packets"] for row in rows) <= BUDGET_PACKETS * scale
 
     # The predictions must track reality: strong rank correlation, and
     # packets predicted to be clean really are cleaner than packets

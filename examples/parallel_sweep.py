@@ -1,12 +1,34 @@
-"""Process-parallel BER characterisation across a (rate, SNR) grid.
+"""Adaptive BER characterisation across a (rate, SNR) grid.
 
 The paper's point is that a software radio testbed is only useful if it can
 characterise BER/throughput across many operating points quickly.  This
-example declares a Figure-6-style grid with :class:`SweepSpec` (each point
-gets its own independently derived seed), runs it once on the serial
-backend and once on the process backend, and shows that the rows are
-bit-for-bit identical — worker count, chunk size and dispatch order never
-change a result, so sweeps can be sharded across every core for free.
+example runs the repository's characterisation service over a
+Figure-6-style grid: "give me this BER curve to ±25% confidence within a
+global budget of packets".  The :class:`AdaptiveScheduler` dispatches
+fixed-size batches round by round, stops each point as soon as its Wilson
+interval is tight enough (or its zero-error upper bound proves the BER is
+below the floor), and reallocates the budget freed by early-stopped points
+to the loosest survivors — so the noisy low-SNR points cost a batch or two
+while the clean high-SNR tail gets the traffic it actually needs.
+
+Fixed versus adaptive depth
+---------------------------
+``SweepExecutor.run(spec, run_link_ber_point)`` is the *fixed-depth* mode:
+every point simulates exactly ``num_packets`` packets (what the
+wall-clock-pinned perf benchmarks need).  The adaptive mode used here runs
+each point in fixed-size batches until a ``StopRule`` fires; passing
+``stop=None``-style fixed constants keeps the old behaviour.
+
+Determinism and sharding
+------------------------
+Batch ``k`` of a point is seeded from child ``k`` of the point's
+``SeedSequence`` (itself derived from the spec's master seed and the
+point's axis coordinates), so every batch's content is pre-determined:
+stopping decisions, worker count and dispatch order choose only *which*
+batches run.  Set ``REPRO_SWEEP_WORKERS=N`` — or pass a process executor,
+as this example does — to shard each round across N worker processes; the
+rows, including packets spent and stop reasons, are bit-for-bit identical
+to the serial run.
 
 Run with::
 
@@ -16,33 +38,56 @@ Run with::
 import sys
 import time
 
-from repro.analysis.sweep import (
-    SweepExecutor,
-    SweepSpec,
-    rows_to_json,
-    run_link_ber_point,
-)
+from repro.analysis.adaptive import AdaptiveScheduler, StopRule
+from repro.analysis.sweep import SweepExecutor, SweepSpec, rows_to_json
+
+#: Global traffic budget (packets) and per-batch quantum.
+BUDGET_PACKETS = 160
+BATCH_PACKETS = 8
+
+
+def build_scheduler(executor):
+    return AdaptiveScheduler(
+        stop=StopRule(rel_half_width=0.25, min_errors=50, ber_floor=1e-4,
+                      max_packets=64),
+        batch_packets=BATCH_PACKETS,
+        budget=BUDGET_PACKETS,
+        executor=executor,
+    )
 
 
 def main(workers=4):
     spec = SweepSpec(
         axes={"rate_mbps": [12, 24], "snr_db": [5.0, 6.0, 7.0, 8.0]},
-        constants={"decoder": "bcjr", "packet_bits": 1704,
-                   "num_packets": 16, "batch_size": 16},
+        constants={"decoder": "bcjr", "packet_bits": 1704},
         seed=23,
     )
-    print("Sweep: %s (%d points)\n" % (spec, len(spec)))
+    print("Characterising %s (%d points) to ±25%% within %d packets\n"
+          % (spec, len(spec), BUDGET_PACKETS))
 
     start = time.perf_counter()
-    serial_rows = SweepExecutor("serial").run(spec, run_link_ber_point)
+    serial_rows = build_scheduler(SweepExecutor("serial")).run(spec)
     serial_elapsed = time.perf_counter() - start
 
     executor = SweepExecutor("process", max_workers=workers, chunk_size=1)
     start = time.perf_counter()
-    parallel_rows = executor.run(spec, run_link_ber_point)
+    parallel_rows = build_scheduler(executor).run(spec)
     parallel_elapsed = time.perf_counter() - start
 
-    print("rows (JSON lines, grid order):")
+    print("%-10s %-8s %-10s %-22s %-8s %s"
+          % ("rate", "SNR", "BER", "95% Wilson interval", "packets", "stop"))
+    for row in parallel_rows:
+        interval = "[%.3g, %.3g]" % (row["ber_low"], row["ber_high"])
+        print("%-10s %-8s %-10.3g %-22s %-8d %s"
+              % (row["rate_mbps"], row["snr_db"], row["ber"],
+                 interval, row["packets"], row["stop_reason"]))
+    total = sum(row["packets"] for row in parallel_rows)
+    print("\ntotal traffic: %d packets (budget %d; fixed depth at the "
+          "hungriest point's %d would have cost %d)"
+          % (total, BUDGET_PACKETS,
+             max(row["packets"] for row in parallel_rows),
+             len(spec) * max(row["packets"] for row in parallel_rows)))
+    print("\nrows (JSON lines, grid order):")
     print(rows_to_json(parallel_rows))
     print()
     print("serial backend:            %.2f s" % serial_elapsed)

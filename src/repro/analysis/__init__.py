@@ -11,10 +11,53 @@
   and process backends, JSON row emission, and the legacy
   :func:`~repro.analysis.sweep.sweep` / :func:`~repro.analysis.sweep.cross_sweep`
   helpers.
+* :mod:`repro.analysis.adaptive` -- adaptive measurement on top of the
+  sweep subsystem: sequential early stopping per point and a
+  budget-reallocating scheduler.
 * :mod:`repro.analysis.reporting` -- plain-text table formatting used by the
   benchmark harness to print the paper's tables and figure series.
+
+Sweeps and adaptive characterisation
+------------------------------------
+A BER curve is a grid of operating points, and the repository offers two
+depths of automation for measuring one:
+
+**Fixed depth** — declare the grid as a :class:`SweepSpec` and run a
+picklable point-runner over it with a :class:`SweepExecutor`.  Every point
+simulates the same packet count; rows are bit-for-bit independent of the
+backend (serial or process), worker count and chunk size, because each
+point's random stream is derived from the spec's master seed keyed by the
+point's axis coordinates.  ``REPRO_SWEEP_WORKERS=N`` shards any
+executor-driven sweep across ``N`` processes without changing a bit of the
+output.  This is the mode for wall-clock-pinned perf benchmarks, where the
+work per point must cost the same everywhere.
+
+**Adaptive depth** — wrap the measurement in the
+:mod:`~repro.analysis.adaptive` subsystem.  Points run in fixed-size,
+chunk-invariant batches (batch ``k`` of a point is seeded from child ``k``
+of the point's ``SeedSequence``), accumulating a :class:`BerMeasurement`
+until a :class:`StopRule` fires: the Wilson interval's relative half-width
+meets a target, an error-count target is reached, a zero-error point's
+upper bound drops below the resolution floor, or a traffic cap hits.  The
+:class:`AdaptiveScheduler` runs a whole grid this way under a global
+traffic budget, re-ranking points by interval looseness each round so the
+budget freed by early-stopped (low-SNR) points is reallocated to the
+starving high-SNR tail.  Because batch contents are pre-determined by
+their (point, batch index) key and stopping decisions happen at round
+barriers over deterministic counts, serial and multi-worker process runs
+produce bit-for-bit identical rows — including packets spent and stop
+reasons.
 """
 
+from repro.analysis.adaptive import (
+    AdaptivePointState,
+    AdaptiveScheduler,
+    MeasurementBatch,
+    StopRule,
+    batch_seed_sequence,
+    run_link_ber_batch,
+    run_point_adaptive,
+)
 from repro.analysis.ber_stats import BerMeasurement, bin_errors_by_hint, wilson_interval
 from repro.analysis.link import LinkRunResult, LinkSimulator
 from repro.analysis.reporting import Table, format_percentage, format_ratio
@@ -25,27 +68,36 @@ from repro.analysis.sweep import (
     SweepSpec,
     cross_sweep,
     executor_from_env,
+    link_simulator_for_params,
     rows_to_json,
     run_link_ber_point,
     sweep,
 )
 
 __all__ = [
+    "AdaptivePointState",
+    "AdaptiveScheduler",
     "BerMeasurement",
     "LinkRunResult",
     "LinkSimulator",
+    "MeasurementBatch",
+    "StopRule",
     "SweepError",
     "SweepExecutor",
     "SweepPoint",
     "SweepSpec",
     "Table",
+    "batch_seed_sequence",
     "bin_errors_by_hint",
     "cross_sweep",
     "executor_from_env",
     "format_percentage",
     "format_ratio",
+    "link_simulator_for_params",
     "rows_to_json",
+    "run_link_ber_batch",
     "run_link_ber_point",
+    "run_point_adaptive",
     "sweep",
     "wilson_interval",
 ]

@@ -1,0 +1,602 @@
+"""Adaptive BER characterisation: sequential early stopping, budget reallocation.
+
+The sweep subsystem (:mod:`repro.analysis.sweep`) runs a *fixed* packet
+count at every operating point.  That wastes traffic at both ends of a BER
+curve: a low-SNR point's BER is statistically settled after the first few
+packets, while a high-SNR point finishes with zero or two errors and a
+meaninglessly wide confidence interval.  This module turns the grid of
+fixed runs into a characterisation *service* — "give me this BER curve to
+±X% confidence within budget B" — in two layers:
+
+* :func:`run_point_adaptive` wraps any picklable chunk-runner in a
+  sequential-stopping loop for **one** point: fixed-size batches accumulate
+  a :class:`~repro.analysis.ber_stats.BerMeasurement` until a
+  :class:`StopRule` fires (Wilson interval tight enough, enough errors
+  collected, traffic cap hit).
+* :class:`AdaptiveScheduler` drives a whole
+  :class:`~repro.analysis.sweep.SweepSpec` through a
+  :class:`~repro.analysis.sweep.SweepExecutor` (serial or process backend)
+  under a **global** traffic budget: each round it dispatches one batch to
+  every unconverged point, loosest interval first, so the budget freed by
+  early-stopped points flows to the starving high-SNR tail.
+
+Determinism
+-----------
+Results are bit-for-bit independent of stopping decisions, worker count
+and scheduling order.  The mechanism is per-batch seed derivation: batch
+``k`` of a point draws from ``SeedSequence(entropy, spawn_key=point_key +
+(k,))`` (:func:`batch_seed_sequence`) — the same parent/child derivation
+the sweep layer uses for points, extended one level down.  Batch ``k``'s
+content therefore depends only on *which batch of which point it is*; how
+many batches end up running, and on which worker, decides only *whether*
+batch ``k``'s (pre-determined) result is included.  Stopping decisions are
+made at round barriers from accumulated (deterministic) counts with
+index-ordered tie-breaks, so the whole trajectory — packets spent, stop
+reasons, every row — replays identically on any backend.
+
+Chunk-runner protocol
+---------------------
+A chunk-runner is a picklable callable ``runner(batch)`` receiving a
+:class:`MeasurementBatch` (the point, the batch index, the batch's packet
+count and its derived ``SeedSequence``).  It returns a mapping with the
+required count keys
+
+``errors``, ``trials``
+    Error and trial counts for the quantity being characterised (bit
+    errors and bits for a BER curve).
+
+Every other key is an *extra*, merged across a point's batches in batch
+order: values with a ``merge`` method are folded with it, numpy arrays are
+concatenated, ints/floats are summed, and anything else keeps the last
+batch's value.  :func:`run_link_ber_batch` is the built-in chunk-runner
+for the Figure-6-style link workload.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.ber_stats import BerMeasurement
+
+#: Looseness denominator floor when a rule has no ``ber_floor``: keeps the
+#: ranking finite while still ordering zero-error points loosest.
+_TINY_BER = 1e-300
+
+#: Reserved keys a chunk-runner result must provide (everything else is an
+#: extra merged across batches).
+COUNT_KEYS = ("errors", "trials")
+
+
+# ---------------------------------------------------------------------- #
+# Batch seed derivation
+# ---------------------------------------------------------------------- #
+def batch_seed_sequence(point_seed_sequence, batch_index):
+    """The ``SeedSequence`` of batch ``batch_index`` under a point's sequence.
+
+    Extends the point's ``spawn_key`` with the batch index — the same
+    derivation ``SeedSequence.spawn`` performs, but keyed by *which batch
+    this is* instead of a stateful counter, so the stream of batch ``k``
+    cannot depend on stopping decisions, worker count or dispatch order.
+    """
+    if batch_index < 0:
+        raise ValueError("batch_index must be non-negative")
+    return np.random.SeedSequence(
+        entropy=point_seed_sequence.entropy,
+        spawn_key=tuple(point_seed_sequence.spawn_key) + (int(batch_index),),
+    )
+
+
+class MeasurementBatch:
+    """One fixed-size batch of traffic for one operating point.
+
+    Attributes
+    ----------
+    point:
+        The :class:`~repro.analysis.sweep.SweepPoint` being measured.
+    index:
+        Batch number within the point (0-based; batch ``k`` always carries
+        packets ``[k * num_packets, (k + 1) * num_packets)``).
+    num_packets:
+        Packets in this batch (constant across a run — the invariance unit).
+    seed_sequence:
+        Independent :class:`numpy.random.SeedSequence` for this batch, from
+        :func:`batch_seed_sequence`.
+    """
+
+    __slots__ = ("point", "index", "num_packets", "seed_sequence")
+
+    def __init__(self, point, index, num_packets, seed_sequence=None):
+        self.point = point
+        self.index = int(index)
+        self.num_packets = int(num_packets)
+        if seed_sequence is None:
+            seed_sequence = batch_seed_sequence(point.seed_sequence, index)
+        self.seed_sequence = seed_sequence
+
+    @property
+    def params(self):
+        """The point's parameters (constants plus axis coordinates)."""
+        return self.point.params
+
+    @property
+    def first_packet_index(self):
+        """Absolute index of this batch's first packet within the point."""
+        return self.index * self.num_packets
+
+    @property
+    def seed(self):
+        """A 64-bit integer seed drawn from :attr:`seed_sequence`."""
+        return int(self.seed_sequence.generate_state(1, np.uint64)[0])
+
+    def __getitem__(self, name):
+        return self.point.params[name]
+
+    def label(self):
+        return "%s, batch=%d" % (self.point.label(), self.index)
+
+    def __repr__(self):
+        return "MeasurementBatch(point=%d, batch=%d, packets=%d)" % (
+            self.point.index, self.index, self.num_packets,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Stopping rules
+# ---------------------------------------------------------------------- #
+class StopRule:
+    """When is a point's measurement good enough to stop?
+
+    Any combination of the criteria may be active; the first one satisfied
+    (checked in the order below) names the stop reason recorded in the
+    point's row.
+
+    Parameters
+    ----------
+    rel_half_width:
+        Target relative half-width of the Wilson interval: stop with
+        ``"converged"`` once ``(high - low) / 2 <= rel_half_width *
+        max(ber, ber_floor)`` and at least ``min_errors`` errors were seen.
+        ``None`` disables the criterion.
+    min_errors:
+        Error count required before the interval is trusted (guards against
+        stopping on a fluke of very early batches).
+    target_errors:
+        Stop with ``"target_errors"`` once this many errors accumulated —
+        the classic "run until 100 errors" BER-measurement practice, used
+        when the goal is a fit rather than a single proportion.
+    ber_floor:
+        Measurement resolution floor.  A zero-error point stops with
+        ``"ber_floor"`` once its Wilson *upper* bound drops below the
+        floor: the BER is provably below what the characterisation asked
+        for, so more traffic is wasted.  Also floors the looseness
+        denominator used for scheduling.
+    max_packets:
+        Per-point traffic cap; stop with ``"max_packets"`` once spent
+        (enforced in whole batches: a point never *starts* a batch at or
+        beyond the cap, so it may overshoot by at most one batch).
+    confidence:
+        Confidence level of the Wilson interval.
+    """
+
+    __slots__ = ("rel_half_width", "min_errors", "target_errors", "ber_floor",
+                 "max_packets", "confidence")
+
+    def __init__(self, rel_half_width=0.25, min_errors=20, target_errors=None,
+                 ber_floor=None, max_packets=None, confidence=0.95):
+        if rel_half_width is not None and rel_half_width <= 0:
+            raise ValueError("rel_half_width must be positive")
+        if min_errors < 0:
+            raise ValueError("min_errors must be non-negative")
+        if target_errors is not None and target_errors < 1:
+            raise ValueError("target_errors must be positive")
+        if ber_floor is not None and not 0 < ber_floor < 1:
+            raise ValueError("ber_floor must lie in (0, 1)")
+        if max_packets is not None and max_packets < 1:
+            raise ValueError("max_packets must be positive")
+        if not 0 < confidence < 1:
+            raise ValueError("confidence must lie in (0, 1)")
+        self.rel_half_width = rel_half_width
+        self.min_errors = int(min_errors)
+        self.target_errors = None if target_errors is None else int(target_errors)
+        self.ber_floor = ber_floor
+        self.max_packets = None if max_packets is None else int(max_packets)
+        self.confidence = confidence
+
+    def replace(self, **changes):
+        """A copy of this rule with the given fields replaced."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(changes)
+        return StopRule(**fields)
+
+    def looseness(self, measurement):
+        """How unsettled a measurement still is (the scheduling rank key).
+
+        The Wilson half-width relative to ``max(ber, ber_floor)``; infinite
+        for a point with no data yet.  Zero-error points rank loosest
+        (their point estimate contributes nothing to the denominator),
+        which is exactly the starving high-SNR tail the scheduler should
+        feed first.
+        """
+        if measurement is None or measurement.bits <= 0:
+            return math.inf
+        low, high = measurement.interval
+        half_width = 0.5 * (high - low)
+        return half_width / max(measurement.ber, self.ber_floor or _TINY_BER)
+
+    def evaluate(self, measurement, packets_spent):
+        """The stop reason for the accumulated state, or ``None`` to continue."""
+        if measurement is not None and measurement.bits > 0:
+            errors = measurement.errors
+            if self.target_errors is not None and errors >= self.target_errors:
+                return "target_errors"
+            if (self.rel_half_width is not None and errors >= self.min_errors
+                    and self.looseness(measurement) <= self.rel_half_width):
+                return "converged"
+            if self.ber_floor is not None and errors == 0:
+                if measurement.interval[1] <= self.ber_floor:
+                    return "ber_floor"
+        if self.max_packets is not None and packets_spent >= self.max_packets:
+            return "max_packets"
+        return None
+
+    def __eq__(self, other):
+        return isinstance(other, StopRule) and all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    def __repr__(self):
+        fields = ", ".join(
+            "%s=%r" % (name, getattr(self, name)) for name in self.__slots__
+            if getattr(self, name) is not None
+        )
+        return "StopRule(%s)" % fields
+
+
+# ---------------------------------------------------------------------- #
+# Per-point accumulation
+# ---------------------------------------------------------------------- #
+def _merge_extras(batches):
+    """Merge extra result keys across a point's batches, in batch order.
+
+    Per key: values with a ``merge`` method fold via it, numpy arrays
+    concatenate along the first axis, ints/floats (numpy or Python, bools
+    excluded) sum, anything else keeps the last batch's value.
+    """
+    merged = {}
+    for extras in batches:
+        for key, value in extras.items():
+            if key not in merged:
+                merged[key] = value
+            elif hasattr(merged[key], "merge"):
+                merged[key] = merged[key].merge(value)
+            elif isinstance(merged[key], np.ndarray):
+                merged[key] = np.concatenate([merged[key], value])
+            elif isinstance(merged[key], (int, float, np.integer, np.floating)) \
+                    and not isinstance(merged[key], bool):
+                merged[key] = merged[key] + value
+            else:
+                merged[key] = value
+    return merged
+
+
+class AdaptivePointState:
+    """Accumulated adaptive measurement of one operating point."""
+
+    __slots__ = ("point", "measurement", "packets", "batches", "extras",
+                 "stop_reason", "error")
+
+    def __init__(self, point):
+        self.point = point
+        self.measurement = None
+        self.packets = 0
+        self.batches = 0
+        self.extras = []
+        self.stop_reason = None
+        self.error = None
+
+    def next_batch(self, batch_packets):
+        """The next :class:`MeasurementBatch` this point should run."""
+        return MeasurementBatch(self.point, self.batches, batch_packets)
+
+    def consume(self, batch, result, confidence=0.95):
+        """Fold one batch's chunk-runner result into the state."""
+        result = dict(result)
+        try:
+            errors = int(result.pop("errors"))
+            trials = int(result.pop("trials"))
+        except KeyError as exc:
+            raise ValueError(
+                "chunk-runner result for %s is missing the required %r key "
+                "(got keys %r)" % (batch.label(), exc.args[0], sorted(result))
+            ) from None
+        if trials < 1:
+            raise ValueError(
+                "chunk-runner returned %d trials for %s; every batch must "
+                "measure at least one trial" % (trials, batch.label())
+            )
+        sample = BerMeasurement(errors, trials, confidence=confidence)
+        self.measurement = (
+            sample if self.measurement is None else self.measurement.merge(sample)
+        )
+        self.packets += batch.num_packets
+        self.batches += 1
+        if result:
+            self.extras.append(result)
+
+    def row(self, stop=None):
+        """The per-point output row: counts, interval, spend, stop reason."""
+        row = dict(self.point.params)
+        measurement = self.measurement
+        if measurement is None:
+            errors, trials, ber = 0, 0, float("nan")
+            low, high = 0.0, 1.0
+        else:
+            errors, trials = measurement.errors, measurement.bits
+            ber = measurement.ber
+            low, high = measurement.interval
+        looseness = (stop or StopRule()).looseness(measurement)
+        row.update(
+            errors=errors,
+            trials=trials,
+            ber=ber,
+            ber_low=low,
+            ber_high=high,
+            rel_half_width=looseness,
+            packets=self.packets,
+            batches=self.batches,
+            stop_reason=self.stop_reason,
+        )
+        if self.error is not None:
+            row["error"] = self.error
+        row.update(_merge_extras(self.extras))
+        return row
+
+
+def run_point_adaptive(point, chunk_runner, stop, batch_packets=32,
+                       max_batches=None):
+    """Adaptively measure one point: run batches until ``stop`` fires.
+
+    The in-process sequential loop behind the adaptive mode of
+    :func:`repro.analysis.sweep.run_link_ber_point`: batch ``k`` is seeded
+    by :func:`batch_seed_sequence`, so the accumulated result is a pure
+    function of ``(point, chunk_runner, stop, batch_packets)`` no matter
+    where or when it runs.  Returns the per-point row (see
+    :meth:`AdaptivePointState.row`).
+
+    ``stop`` must be able to terminate on its own (``max_packets`` or
+    ``target_errors`` plus converging statistics) unless ``max_batches``
+    bounds the loop explicitly.
+    """
+    if stop is None:
+        raise ValueError("run_point_adaptive needs a StopRule; for fixed "
+                         "depth just run the chunk runner directly")
+    if batch_packets < 1:
+        raise ValueError("batch_packets must be positive")
+    if max_batches is None and stop.max_packets is None:
+        raise ValueError(
+            "unbounded adaptive point: give the StopRule a max_packets cap "
+            "or pass max_batches"
+        )
+    state = AdaptivePointState(point)
+    while state.stop_reason is None:
+        batch = state.next_batch(batch_packets)
+        state.consume(batch, chunk_runner(batch), confidence=stop.confidence)
+        state.stop_reason = stop.evaluate(state.measurement, state.packets)
+        if state.stop_reason is None and max_batches is not None \
+                and state.batches >= max_batches:
+            state.stop_reason = "max_batches"
+    return state.row(stop)
+
+
+# ---------------------------------------------------------------------- #
+# Executor-facing dispatch shims
+# ---------------------------------------------------------------------- #
+class _BatchPoint:
+    """Present a :class:`MeasurementBatch` to :class:`SweepExecutor`.
+
+    The executor only needs ``index`` (dispatch order within the round),
+    ``params`` (merged into the row — empty here, the scheduler reassembles
+    rows itself) and ``label`` (error reporting).
+    """
+
+    __slots__ = ("index", "batch")
+
+    def __init__(self, index, batch):
+        self.index = int(index)
+        self.batch = batch
+
+    @property
+    def params(self):
+        return {}
+
+    @property
+    def coordinates(self):
+        return self.batch.point.coordinates
+
+    def label(self):
+        return self.batch.label()
+
+    def __repr__(self):
+        return "_BatchPoint(%d: %s)" % (self.index, self.label())
+
+
+class _BatchRunner:
+    """Picklable adapter running a chunk-runner on a :class:`_BatchPoint`."""
+
+    def __init__(self, chunk_runner):
+        self.chunk_runner = chunk_runner
+
+    def __call__(self, batch_point):
+        return dict(self.chunk_runner(batch_point.batch))
+
+
+# ---------------------------------------------------------------------- #
+# The scheduler
+# ---------------------------------------------------------------------- #
+class AdaptiveScheduler:
+    """Drive a sweep adaptively under a global traffic budget.
+
+    Each round, every unconverged point is ranked by
+    :meth:`StopRule.looseness` (ties broken by grid index) and dispatched
+    one :class:`MeasurementBatch` through the executor, loosest first; as
+    points stop, the batches they no longer consume are — implicitly —
+    budget reallocated to the points still running, which is how the
+    starving high-SNR tail ends up with most of the traffic.  When the
+    remaining budget cannot fund a round for every active point, only the
+    loosest affordable subset runs; when it cannot fund a single batch,
+    every still-active point stops with reason ``"budget"``.
+
+    Parameters
+    ----------
+    stop:
+        The :class:`StopRule` shared by every point.  ``None`` disables
+        convergence checks entirely: points run round-robin until the
+        budget is exhausted (pure budget-driven measurement).
+    batch_packets:
+        Packets per dispatched batch — the chunk-invariance unit.  Results
+        for a given ``batch_packets`` never depend on backend or budget;
+        changing ``batch_packets`` changes the random draws (it is part of
+        the workload, like ``packet_bits``).
+    budget:
+        Global traffic budget in packets (``None`` for uncapped; the stop
+        rule must then carry a ``max_packets`` cap so the run terminates).
+    executor:
+        The :class:`~repro.analysis.sweep.SweepExecutor` used to run each
+        round's batches (default: a fresh serial executor).  The chunk
+        runner must be picklable for a process executor, exactly as for a
+        plain sweep.
+    """
+
+    def __init__(self, stop=None, batch_packets=32, budget=None, executor=None):
+        if batch_packets < 1:
+            raise ValueError("batch_packets must be positive")
+        if budget is not None and budget < 1:
+            raise ValueError("budget must be positive")
+        if budget is None and (stop is None or stop.max_packets is None):
+            raise ValueError(
+                "unbounded adaptive sweep: give the scheduler a budget or "
+                "the StopRule a max_packets cap"
+            )
+        if executor is None:
+            from repro.analysis.sweep import SweepExecutor
+
+            executor = SweepExecutor("serial")
+        self.stop = stop
+        self.batch_packets = int(batch_packets)
+        self.budget = None if budget is None else int(budget)
+        self.executor = executor
+
+    # ------------------------------------------------------------------ #
+    def _rank(self, states):
+        """Active states, loosest measurement first, grid index tie-break."""
+        rule = self.stop or StopRule()
+        return sorted(
+            states,
+            key=lambda state: (-rule.looseness(state.measurement),
+                               state.point.index),
+        )
+
+    def _affordable(self, ranked, budget_left):
+        """How many of the ranked states this round's budget can fund."""
+        if budget_left is None:
+            return len(ranked)
+        return min(len(ranked), budget_left // self.batch_packets)
+
+    def run(self, spec, chunk_runner=None, on_error="raise"):
+        """Adaptively measure every point of ``spec``; rows in grid order.
+
+        Each row is the point's ``params`` plus the accumulated counts,
+        Wilson interval bounds, looseness, packets/batches spent, the
+        ``stop_reason`` (``"converged"``, ``"target_errors"``,
+        ``"ber_floor"``, ``"max_packets"``, ``"budget"`` or ``"error"``)
+        and the merged extras.  ``on_error`` follows the executor contract:
+        ``"raise"`` aborts on the first failing batch, ``"capture"`` stops
+        the affected point with reason ``"error"`` and keeps going.
+        """
+        if on_error not in ("raise", "capture"):
+            raise ValueError("on_error must be 'raise' or 'capture'")
+        if chunk_runner is None:
+            chunk_runner = run_link_ber_batch
+        confidence = self.stop.confidence if self.stop is not None else 0.95
+        states = [AdaptivePointState(point) for point in spec]
+        runner = _BatchRunner(chunk_runner)
+        budget_left = self.budget
+
+        # One worker pool for the whole run: a round often carries only a
+        # few small batches, so paying pool startup per round would dwarf
+        # the work (the session is a no-op for serial executors).
+        with self.executor.session():
+            budget_left = self._drive(states, runner, budget_left, confidence,
+                                      on_error)
+        return [state.row(self.stop) for state in states]
+
+    def _drive(self, states, runner, budget_left, confidence, on_error):
+        while True:
+            active = [s for s in states if s.stop_reason is None]
+            if not active:
+                break
+            ranked = self._rank(active)
+            selected = ranked[:self._affordable(ranked, budget_left)]
+            if not selected:
+                for state in active:
+                    state.stop_reason = "budget"
+                break
+            batches = [state.next_batch(self.batch_packets)
+                       for state in selected]
+            dispatch = [_BatchPoint(i, batch) for i, batch in enumerate(batches)]
+            # The budget counts *dispatched* traffic: a batch whose runner
+            # fails in capture mode still simulated (or tried to), so it
+            # must not be silently refunded.
+            if budget_left is not None:
+                budget_left -= sum(batch.num_packets for batch in batches)
+            # In "raise" mode the executor itself raises SweepError naming
+            # the failing (point, batch) with the full worker traceback.
+            results = self.executor.run(dispatch, runner, on_error=on_error)
+            for state, batch, result in zip(selected, batches, results):
+                if "error" in result and "errors" not in result:
+                    state.stop_reason = "error"
+                    state.error = result["error"]
+                    continue
+                state.consume(batch, result, confidence=confidence)
+                if self.stop is not None:
+                    state.stop_reason = self.stop.evaluate(
+                        state.measurement, state.packets
+                    )
+        return budget_left
+
+    def __repr__(self):
+        return "AdaptiveScheduler(stop=%r, batch_packets=%d, budget=%r, executor=%r)" % (
+            self.stop, self.batch_packets, self.budget, self.executor,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Built-in chunk-runner
+# ---------------------------------------------------------------------- #
+def run_link_ber_batch(batch):
+    """Picklable chunk-runner: one batch of link packets at one point.
+
+    The adaptive analogue of
+    :func:`repro.analysis.sweep.run_link_ber_point`: understands the same
+    parameters (``rate_mbps``, ``snr_db``, ``decoder``, ``packet_bits``,
+    ``batch_size``, ``fading``, ``llr_format``, ``demapper_scaled``), but
+    simulates ``batch.num_packets`` packets seeded from ``batch.seed``.
+    Absolute packet indices (for swept-SNR or fading callables) start at
+    ``batch.first_packet_index``, so a point's fading trace is one
+    continuous process regardless of how many batches end up running.
+    """
+    from repro.analysis.sweep import link_simulator_for_params
+
+    simulator = link_simulator_for_params(
+        batch.point.params, seed=batch.seed, point_seed=batch.point.seed
+    )
+    result = simulator.run(
+        batch.num_packets,
+        batch_size=int(batch.point.params.get("batch_size", batch.num_packets)),
+        start_index=batch.first_packet_index,
+    )
+    return {
+        "errors": int(result.bit_errors.sum()),
+        "trials": int(result.num_bits),
+        "packet_errors": int(result.packet_errors.sum()),
+    }

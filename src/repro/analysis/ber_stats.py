@@ -15,13 +15,23 @@ import numpy as np
 def wilson_interval(errors, trials, confidence=0.95):
     """Wilson score interval for a binomial proportion.
 
-    Returns ``(low, high)``; well behaved even when ``errors`` is zero,
-    which matters for the low-BER bins.
+    Returns ``(low, high)``.  The edges are handled explicitly, because the
+    adaptive stopper (:mod:`repro.analysis.adaptive`) leans on them:
+
+    * ``trials == 0`` returns the vacuous interval ``(0.0, 1.0)`` — no data
+      constrains nothing (a sequential loop asks before its first batch);
+    * ``errors == 0`` pins the lower bound to exactly ``0.0`` while the
+      upper bound stays finite and shrinks roughly as ``z**2 / trials`` —
+      the zero-error bound that lets a high-SNR point prove its BER is
+      below a measurement floor;
+    * ``errors == trials`` symmetrically pins the upper bound to ``1.0``.
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
     if not 0 <= errors <= trials:
         raise ValueError("errors must lie in [0, trials]")
+    if trials == 0:
+        return 0.0, 1.0
     # Two-sided normal quantile for the requested confidence.
     z = math.sqrt(2.0) * _erfinv(confidence)
     p = errors / trials
@@ -32,7 +42,12 @@ def wilson_interval(errors, trials, confidence=0.95):
         * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
         / denominator
     )
-    return max(0.0, centre - margin), min(1.0, centre + margin)
+    # Pin the one-sided edges exactly: with p == 0 (or 1) centre and margin
+    # are equal in exact arithmetic, but floating point can leave a stray
+    # 1e-19 that would break "the lower bound is zero" reasoning.
+    low = 0.0 if errors == 0 else max(0.0, centre - margin)
+    high = 1.0 if errors == trials else min(1.0, centre + margin)
+    return low, high
 
 
 def _erfinv(x):

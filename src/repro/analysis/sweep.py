@@ -50,8 +50,14 @@ Three mechanisms make that hold:
 Rows are plain dicts (point parameters + runner results), and
 :func:`rows_to_json` renders them as JSON lines that
 ``benchmarks/_bench_utils.emit`` can persist for trajectory tracking.
+
+Adaptive measurement depth lives one layer up, in
+:mod:`repro.analysis.adaptive`: it extends the per-point seed derivation
+one level down (per fixed-size batch) and drives this executor round by
+round under a global traffic budget.
 """
 
+import contextlib
 import hashlib
 import itertools
 import json
@@ -305,9 +311,42 @@ class SweepExecutor:
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self._pool = None
 
     def _resolved_workers(self):
         return self.max_workers or os.cpu_count() or 1
+
+    def _make_pool(self, max_workers):
+        import multiprocessing
+
+        context = self.mp_context
+        if isinstance(context, str):
+            context = multiprocessing.get_context(context)
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
+    @contextlib.contextmanager
+    def session(self):
+        """Keep one worker pool alive across several :meth:`run` calls.
+
+        By default the process backend builds (and tears down) its pool
+        inside every :meth:`run`, which is the right lifetime for a
+        one-shot sweep but wasteful for callers that dispatch many small
+        rounds — the adaptive scheduler pays pool startup per *round*
+        otherwise.  Inside a ``session()`` the pool is created once and
+        reused; results are unaffected (the pool is pure transport).
+        No-op for the serial backend, and re-entrant (a nested session
+        reuses the outer pool).
+        """
+        if self.backend != "process" or self._pool is not None:
+            yield self
+            return
+        pool = self._make_pool(self._resolved_workers())
+        self._pool = pool
+        try:
+            yield self
+        finally:
+            self._pool = None
+            pool.shutdown()
 
     def _chunks(self, points):
         size = self.chunk_size
@@ -354,18 +393,18 @@ class SweepExecutor:
         return rows
 
     def _run_process(self, runner, points):
-        import multiprocessing
-
-        context = self.mp_context
-        if isinstance(context, str):
-            context = multiprocessing.get_context(context)
+        if self._pool is not None:
+            return self._collect(self._pool, runner, points)
         workers = min(self._resolved_workers(), len(points))
+        with self._make_pool(workers) as pool:
+            return self._collect(pool, runner, points)
+
+    def _collect(self, pool, runner, points):
         outcomes = []
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [pool.submit(_run_points, runner, chunk)
-                       for chunk in self._chunks(points)]
-            for future in futures:
-                outcomes.extend(future.result())
+        futures = [pool.submit(_run_points, runner, chunk)
+                   for chunk in self._chunks(points)]
+        for future in futures:
+            outcomes.extend(future.result())
         return outcomes
 
     def __repr__(self):
@@ -395,26 +434,156 @@ def executor_from_env(default_backend="serial"):
 # ---------------------------------------------------------------------- #
 # Built-in point runners and row emission
 # ---------------------------------------------------------------------- #
+class _PointFading:
+    """Picklable per-packet flat-fading gain for one operating point.
+
+    Samples one :class:`~repro.channel.fading.JakesFadingProcess` at
+    ``packet_index * packet_interval_s``: the gain is a pure function of
+    the absolute packet index, so a point's fading trace is one continuous
+    process no matter how the run is split into batches.
+    """
+
+    def __init__(self, process, packet_interval_s):
+        self.process = process
+        self.packet_interval_s = float(packet_interval_s)
+
+    def __call__(self, packet_index):
+        return complex(self.process.gain(packet_index * self.packet_interval_s))
+
+
+def _resolve_fading(fading, point_seed):
+    """Turn the declarative ``fading`` parameter into a gain callable.
+
+    ``fading`` may be ``None`` (AWGN only), a number (Doppler frequency in
+    Hz) or a mapping with any of ``doppler_hz``, ``packet_interval_s``,
+    ``num_oscillators``, ``mean_power`` and ``seed``.  The fading process
+    seed defaults to the *point* seed (not a batch seed), keeping the trace
+    identical across every batch of an adaptive run.
+    """
+    if fading is None:
+        return None
+    if callable(fading):
+        return fading
+    from repro.channel.fading import JakesFadingProcess
+
+    spec = {"doppler_hz": float(fading)} if np.isscalar(fading) else dict(fading)
+    interval_s = spec.pop("packet_interval_s", 1e-3)
+    spec.setdefault("seed", point_seed)
+    return _PointFading(JakesFadingProcess(**spec), interval_s)
+
+
+def _resolve_llr_format(llr_format):
+    """Turn the declarative ``llr_format`` parameter into a fixed-point format.
+
+    ``None`` keeps the float demapper output; an integer asks for that many
+    total soft bits (via :func:`repro.fixedpoint.fixed.llr_quantizer`); a
+    mapping passes keyword arguments to the quantizer; a format object
+    passes through untouched.  Floats and bools are rejected here rather
+    than crashing obscurely deep in the demapper.
+    """
+    if llr_format is None:
+        return None
+    if isinstance(llr_format, bool) or isinstance(llr_format, (float, np.floating)):
+        raise ValueError(
+            "llr_format must be None, an integer soft bit-width, a mapping "
+            "of llr_quantizer arguments or a fixed-point format object; "
+            "got %r" % (llr_format,)
+        )
+    from repro.fixedpoint.fixed import llr_quantizer
+
+    if isinstance(llr_format, dict):
+        return llr_quantizer(**llr_format)
+    if isinstance(llr_format, (int, np.integer)):
+        return llr_quantizer(int(llr_format))
+    return llr_format
+
+
+def link_simulator_for_params(params, seed, point_seed=None):
+    """Build the :class:`~repro.analysis.link.LinkSimulator` a point describes.
+
+    Shared by the fixed-depth point-runner below and the adaptive
+    chunk-runner (:func:`repro.analysis.adaptive.run_link_ber_batch`):
+    ``seed`` seeds the simulator's payload/noise streams (the point seed
+    for a fixed run, the batch seed for an adaptive one), while
+    ``point_seed`` anchors per-point processes such as fading that must
+    stay identical across batches.
+    """
+    from repro.analysis.link import LinkSimulator
+    from repro.phy.params import rate_by_mbps
+
+    return LinkSimulator(
+        rate_by_mbps(params["rate_mbps"]),
+        snr_db=params["snr_db"],
+        decoder=params.get("decoder", "bcjr"),
+        packet_bits=int(params.get("packet_bits", 1704)),
+        seed=seed,
+        llr_format=_resolve_llr_format(params.get("llr_format")),
+        demapper_scaled=bool(params.get("demapper_scaled", False)),
+        fading_gain=_resolve_fading(
+            params.get("fading"), seed if point_seed is None else point_seed
+        ),
+    )
+
+
 def run_link_ber_point(point):
     """Picklable point-runner: one BER measurement per (rate, SNR) point.
 
     Understands the parameters ``rate_mbps`` and ``snr_db`` (axes in the
     typical Figure-6-style sweep) plus the workload constants ``decoder``,
-    ``packet_bits``, ``num_packets`` and ``batch_size``; the link
-    simulator is seeded from ``point.seed``, so rows depend only on the
-    spec, never on the executor.
-    """
-    from repro.analysis.link import LinkSimulator
-    from repro.phy.params import rate_by_mbps
+    ``packet_bits``, ``num_packets``, ``batch_size``, ``fading`` (Doppler
+    frequency or mapping — see :func:`link_simulator_for_params`),
+    ``llr_format`` (soft bit-width, mapping or format object) and
+    ``demapper_scaled``; the link simulator is seeded from ``point.seed``,
+    so rows depend only on the spec, never on the executor.
 
+    Measurement depth is controlled by two alternative constants:
+
+    ``stop=None`` (default)
+        Fixed depth — exactly ``num_packets`` packets, one seed stream per
+        point (the wall-clock-pinned perf benchmarks rely on this mode
+        costing the same everywhere).
+    ``stop=StopRule(...)``
+        Adaptive depth — the point runs in fixed-size batches of
+        ``batch_packets`` packets (default ``batch_size``) through
+        :func:`repro.analysis.adaptive.run_point_adaptive` until the rule
+        fires; ``num_packets`` becomes the per-point traffic cap when the
+        rule itself has no ``max_packets``.  The row gains ``packets``,
+        ``batches``, ``stop_reason`` and Wilson interval bounds.
+    """
     params = point.params
-    simulator = LinkSimulator(
-        rate_by_mbps(params["rate_mbps"]),
-        snr_db=params["snr_db"],
-        decoder=params.get("decoder", "bcjr"),
-        packet_bits=int(params.get("packet_bits", 1704)),
-        seed=point.seed,
-    )
+    stop = params.get("stop")
+    if stop is not None:
+        from repro.analysis.adaptive import run_link_ber_batch, run_point_adaptive
+
+        if stop.max_packets is None:
+            stop = stop.replace(max_packets=int(params.get("num_packets", 32)))
+        row = run_point_adaptive(
+            point,
+            run_link_ber_batch,
+            stop,
+            batch_packets=int(
+                params.get("batch_packets", params.get("batch_size", 32))
+            ),
+        )
+        # The spec's params are already in every sweep row; return only the
+        # measured quantities, in the fixed-mode vocabulary plus the
+        # adaptive extras.
+        return {
+            "seed": point.seed,
+            "num_bits": row["trials"],
+            "bit_errors": row["errors"],
+            "ber": row["ber"],
+            "ber_low": row["ber_low"],
+            "ber_high": row["ber_high"],
+            "packet_error_rate": (
+                row["packet_errors"] / row["packets"] if row["packets"] else 0.0
+            ),
+            "packets": row["packets"],
+            "batches": row["batches"],
+            "stop_reason": row["stop_reason"],
+        }
+
+    simulator = link_simulator_for_params(params, seed=point.seed)
     result = simulator.run(
         int(params.get("num_packets", 32)),
         batch_size=int(params.get("batch_size", 32)),

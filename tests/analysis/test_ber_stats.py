@@ -32,9 +32,45 @@ class TestWilsonInterval:
 
     def test_input_validation(self):
         with pytest.raises(ValueError):
-            wilson_interval(5, 0)
+            wilson_interval(5, 0)  # errors out of [0, trials]
         with pytest.raises(ValueError):
             wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(0, -1)
+
+    def test_zero_trials_is_the_vacuous_interval(self):
+        # No data constrains nothing: the adaptive stopper asks before the
+        # first batch has run.
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_zero_errors_lower_bound_is_exactly_zero(self):
+        for trials in (1, 10, 1000, 10**6):
+            low, high = wilson_interval(0, trials)
+            assert low == 0.0
+            assert 0.0 < high < 1.0
+
+    def test_zero_errors_upper_bound_shrinks_with_traffic(self):
+        # The zero-error upper bound is what lets a high-SNR point prove
+        # its BER is below a floor: roughly z**2 / trials.
+        highs = [wilson_interval(0, trials)[1] for trials in (100, 10_000, 1_000_000)]
+        assert highs == sorted(highs, reverse=True)
+        assert highs[-1] < 1e-5
+        # Halving the traffic roughly doubles the bound.
+        assert wilson_interval(0, 5_000)[1] == pytest.approx(
+            2 * wilson_interval(0, 10_000)[1], rel=0.01
+        )
+
+    def test_all_errors_upper_bound_is_exactly_one(self):
+        for trials in (1, 10, 1000):
+            low, high = wilson_interval(trials, trials)
+            assert high == 1.0
+            assert 0.0 < low < 1.0
+
+    def test_edges_are_mirror_images(self):
+        low0, high0 = wilson_interval(0, 500)
+        low1, high1 = wilson_interval(500, 500)
+        assert low1 == pytest.approx(1.0 - high0)
+        assert high1 == pytest.approx(1.0 - low0)
 
 
 class TestBerMeasurement:
@@ -53,6 +89,37 @@ class TestBerMeasurement:
     def test_requires_at_least_one_bit(self):
         with pytest.raises(ValueError):
             BerMeasurement(0, 0)
+
+    @staticmethod
+    def _same(a, b):
+        return (a.errors, a.bits, a.confidence) == (b.errors, b.bits, b.confidence)
+
+    def test_merge_is_commutative(self):
+        # The adaptive loop folds batches in whatever order they finish
+        # locally; pooled counts must not care.
+        a, b = BerMeasurement(3, 700), BerMeasurement(11, 1300)
+        assert self._same(a.merge(b), b.merge(a))
+
+    def test_merge_is_associative(self):
+        a, b, c = BerMeasurement(1, 500), BerMeasurement(0, 900), BerMeasurement(7, 2100)
+        assert self._same(a.merge(b).merge(c), a.merge(b.merge(c)))
+        # Left fold == right fold over a longer chain, as the incremental
+        # accumulator produces.
+        chain = [BerMeasurement(i, 100 * (i + 1)) for i in range(6)]
+        left = chain[0]
+        for item in chain[1:]:
+            left = left.merge(item)
+        right = chain[-1]
+        for item in reversed(chain[:-1]):
+            right = item.merge(right)
+        assert self._same(left, right)
+        assert left.errors == sum(range(6))
+        assert left.bits == sum(100 * (i + 1) for i in range(6))
+
+    def test_merge_preserves_confidence(self):
+        a = BerMeasurement(2, 100, confidence=0.99)
+        b = BerMeasurement(3, 100, confidence=0.99)
+        assert a.merge(b).confidence == 0.99
 
 
 class TestBinErrorsByHint:
@@ -84,6 +151,45 @@ class TestBinErrorsByHint:
         )
         assert centres.size == 2
         assert list(bits) == [1, 2]
+
+    def test_explicit_edges_count_errors_per_bin(self):
+        edges = np.array([0.0, 1.0, 4.0, 16.0])
+        hints = np.array([0.5, 0.7, 2.0, 3.9, 8.0, 15.0])
+        errors = np.array([True, False, True, True, False, True])
+        centres, bits, errs = bin_errors_by_hint(hints, errors, bin_edges=edges)
+        assert list(centres) == [0.5, 2.5, 10.0]
+        assert list(bits) == [2, 2, 2]
+        assert list(errs) == [1, 2, 1]
+
+    def test_explicit_edges_clip_out_of_range_hints(self):
+        # Values outside [first, last) edge are clipped into the end bins,
+        # so explicit-edge accumulation never loses counts -- the property
+        # incremental (batched) merging relies on.
+        edges = np.array([1.0, 2.0, 3.0])
+        hints = np.array([0.0, 5.0])
+        errors = np.array([True, True])
+        _, bits, errs = bin_errors_by_hint(hints, errors, bin_edges=edges)
+        assert list(bits) == [1, 1]
+        assert list(errs) == [1, 1]
+        assert bits.sum() == hints.size
+
+    def test_explicit_edges_batched_accumulation_matches_pooled(self):
+        # Summing per-batch (bits, errors) over fixed explicit edges equals
+        # binning the pooled arrays -- the merge the adaptive loop performs.
+        rng = np.random.default_rng(7)
+        edges = np.arange(0.0, 64.0 + 1.0, 1.0)
+        hints = rng.uniform(0, 63, size=600)
+        errors = rng.random(600) < 0.2
+        _, pooled_bits, pooled_errs = bin_errors_by_hint(hints, errors, bin_edges=edges)
+        bits_sum = np.zeros(edges.size - 1, dtype=np.int64)
+        errs_sum = np.zeros(edges.size - 1, dtype=np.int64)
+        for chunk in range(3):
+            sl = slice(chunk * 200, (chunk + 1) * 200)
+            _, bits, errs = bin_errors_by_hint(hints[sl], errors[sl], bin_edges=edges)
+            bits_sum += bits
+            errs_sum += errs
+        assert np.array_equal(bits_sum, pooled_bits)
+        assert np.array_equal(errs_sum, pooled_errs)
 
     def test_batched_inputs_are_flattened(self):
         hints = np.zeros((2, 3))

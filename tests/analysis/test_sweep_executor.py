@@ -167,6 +167,31 @@ class TestExecution:
                                  chunk_size=1).run(spec, run_link_ber_point)
         assert parallel == serial
 
+    def test_session_reuses_one_pool_across_runs(self):
+        # Inside session() the pool is created once and reused; rows are
+        # identical to pool-per-run execution (the pool is pure transport).
+        spec = small_link_spec(snrs=(5.0, 8.0))
+        executor = SweepExecutor("process", max_workers=1)
+        fresh = executor.run(spec, run_link_ber_point)
+        with executor.session():
+            assert executor._pool is not None
+            pool = executor._pool
+            first = executor.run(spec, run_link_ber_point)
+            second = executor.run(spec, run_link_ber_point)
+            assert executor._pool is pool  # still the same pool
+            with executor.session():  # re-entrant: nested reuses the outer
+                assert executor._pool is pool
+        assert executor._pool is None  # torn down on exit
+        assert first == fresh
+        assert second == fresh
+
+    def test_session_is_a_noop_for_serial(self):
+        executor = SweepExecutor("serial")
+        with executor.session():
+            assert executor._pool is None
+            rows = executor.run(small_link_spec(snrs=(5.0,)), run_link_ber_point)
+        assert len(rows) == 1
+
     def test_rows_to_json_round_trips(self):
         import json
 
