@@ -8,21 +8,22 @@ matters for BER estimation.  This ablation quantises the demapper output to
 BER, the quality of the hint/error separation and the modelled decoder area.
 
 The bit-width axis is a :class:`~repro.analysis.sweep.SweepSpec` grid
-(``soft_bits=0`` is the unquantised float reference) measured adaptively:
-each configuration runs fixed-size batches through
-:func:`~repro.analysis.adaptive.run_point_adaptive` until its Wilson
-interval settles or the traffic cap hits.  Hint-separation statistics
-accumulate as summed scalars across batches (the extras merger's
-number-summing rule); the area model is evaluated per row afterwards, since
-it depends only on the configuration.  Set ``REPRO_SWEEP_WORKERS`` to shard
-the points across processes.
+(``soft_bits=0`` is the unquantised float reference) measured adaptively
+through the :class:`~repro.analysis.scenario.Experiment` front door: each
+configuration runs fixed-size batches until its Wilson interval settles or
+the traffic cap hits.  Hint-separation statistics accumulate as summed
+scalars across batches (the extras merger's number-summing rule); the
+separation ratio and the area model are evaluated per row afterwards,
+since they depend only on pooled sums and the configuration.  Set
+``REPRO_SWEEP_WORKERS`` to shard each round's batches across processes.
 """
 
 import numpy as np
 
-from repro.analysis.adaptive import StopRule, run_point_adaptive
+from repro.analysis.adaptive import StopRule
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.scenario import Experiment, Scenario
 from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.fixedpoint.fixed import llr_quantizer
 from repro.hwmodel.area import AreaModel, DecoderAreaParameters
@@ -40,8 +41,11 @@ def _run_batch(batch):
     """Picklable chunk-runner: one batch at one demapper bit-width."""
     bits = batch["soft_bits"]
     fmt = None if bits == 0 else llr_quantizer(bits, max_abs=8.0)
-    simulator = LinkSimulator(rate_by_mbps(24), snr_db=6.0, decoder="bcjr",
-                              packet_bits=1704, seed=batch.seed, llr_format=fmt)
+    simulator = LinkSimulator(rate_by_mbps(batch["rate_mbps"]),
+                              snr_db=batch["snr_db"],
+                              decoder=batch["decoder"],
+                              packet_bits=batch["packet_bits"],
+                              seed=batch.seed, llr_format=fmt)
     result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
     errors = result.bit_errors
     return {
@@ -54,10 +58,8 @@ def _run_batch(batch):
     }
 
 
-def _run_point(point):
-    """Picklable point-runner: adaptively measure one bit-width setting."""
-    row = run_point_adaptive(point, _run_batch, point["stop"],
-                             batch_packets=BATCH_PACKETS)
+def _summarise(row):
+    """Post-process one Experiment row: separation from the pooled sums."""
     errors, trials = row["errors"], row["trials"]
     if errors in (0, trials):
         separation = float("nan")
@@ -66,7 +68,8 @@ def _run_point(point):
         mean_error = row["hint_sum_error"] / errors
         separation = mean_correct / max(mean_error, 1e-9)
     return {
-        "label": "float" if point["soft_bits"] == 0 else "%d-bit" % point["soft_bits"],
+        "soft_bits": row["soft_bits"],
+        "label": "float" if row["soft_bits"] == 0 else "%d-bit" % row["soft_bits"],
         "ber": row["ber"],
         "separation": separation,
         "packets": row["packets"],
@@ -75,15 +78,16 @@ def _run_point(point):
 
 
 def _sweep(num_packets):
-    spec = SweepSpec(
-        {"soft_bits": [0] + list(BIT_WIDTHS)},
-        constants={
-            "stop": StopRule(rel_half_width=0.15, min_errors=100,
-                             max_packets=4 * num_packets),
-        },
-        seed=47,
+    experiment = Experiment(
+        scenario=Scenario(rate_mbps=24, snr_db=6.0, decoder="bcjr",
+                          packet_bits=1704),
+        sweep=SweepSpec({"soft_bits": [0] + list(BIT_WIDTHS)}, seed=47),
+        stop=StopRule(rel_half_width=0.15, min_errors=100,
+                      max_packets=4 * num_packets),
+        runner=_run_batch,
+        batch_packets=BATCH_PACKETS,
     )
-    rows = executor_from_env().run(spec, _run_point)
+    rows = [_summarise(row) for row in experiment.run(executor_from_env())]
     for row in rows:
         soft_bits = 8 if row["soft_bits"] == 0 else llr_quantizer(
             row["soft_bits"], max_abs=8.0

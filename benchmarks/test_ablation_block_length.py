@@ -8,20 +8,22 @@ length, measuring decode BER (at a fixed operating point) and the modelled
 area, to reproduce both halves of that trade-off.
 
 The (window, decoder) cross product is a two-axis
-:class:`~repro.analysis.sweep.SweepSpec` grid measured adaptively: each
-configuration runs fixed-size batches through
-:func:`~repro.analysis.adaptive.run_point_adaptive` until its Wilson
-interval settles or the traffic cap hits, so the crippled small windows
-(whose BER is enormous and settles immediately) stop after a batch while
-the good windows collect enough errors for a trustworthy comparison.  The
-area model is evaluated per row afterwards, since it depends only on the
-configuration.  Set ``REPRO_SWEEP_WORKERS`` to shard the points across
-processes.
+:class:`~repro.analysis.sweep.SweepSpec` grid measured adaptively through
+the :class:`~repro.analysis.scenario.Experiment` front door (the decoder
+axis carries *labels*; the actual decoder instance is built per batch from
+the window axis, so the Scenario leaves ``decoder=None``): each
+configuration runs fixed-size batches until its Wilson interval settles or
+the traffic cap hits, so the crippled small windows (whose BER is enormous
+and settles immediately) stop after a batch while the good windows collect
+enough errors for a trustworthy comparison.  The area model is evaluated
+per row afterwards, since it depends only on the configuration.  Set
+``REPRO_SWEEP_WORKERS`` to shard each round's batches across processes.
 """
 
-from repro.analysis.adaptive import StopRule, run_point_adaptive
+from repro.analysis.adaptive import StopRule
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.scenario import Experiment, Scenario
 from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.hwmodel.area import AreaModel, DecoderAreaParameters
 from repro.phy.bcjr import BcjrDecoder
@@ -43,8 +45,10 @@ def _run_batch(batch):
         decoder = BcjrDecoder(block_length=window)
     else:
         decoder = SovaDecoder(traceback_length=window)
-    simulator = LinkSimulator(rate_by_mbps(24), snr_db=6.0, decoder=decoder,
-                              packet_bits=1704, seed=batch.seed)
+    simulator = LinkSimulator(rate_by_mbps(batch["rate_mbps"]),
+                              snr_db=batch["snr_db"], decoder=decoder,
+                              packet_bits=batch["packet_bits"],
+                              seed=batch.seed)
     result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
     return {
         "errors": int(result.bit_errors.sum()),
@@ -52,29 +56,24 @@ def _run_batch(batch):
     }
 
 
-def _run_point(point):
-    """Picklable point-runner: adaptively measure one configuration."""
-    row = run_point_adaptive(point, _run_batch, point["stop"],
-                             batch_packets=BATCH_PACKETS)
-    return {
-        "ber": row["ber"],
-        "packets": row["packets"],
-        "stop_reason": row["stop_reason"],
-    }
-
-
 def _sweep(num_packets):
-    spec = SweepSpec(
-        {"window": list(WINDOWS), "decoder": ["bcjr", "sova"]},
-        constants={
-            # num_packets is the old fixed depth; adaptively it caps at
-            # twice that, and the easy (high-BER) windows stop well short.
-            "stop": StopRule(rel_half_width=0.2, min_errors=80,
-                             max_packets=2 * num_packets),
-        },
-        seed=31,
+    experiment = Experiment(
+        scenario=Scenario(rate_mbps=24, snr_db=6.0, decoder=None,
+                          packet_bits=1704),
+        sweep=SweepSpec({"window": list(WINDOWS), "decoder": ["bcjr", "sova"]},
+                        seed=31),
+        # num_packets is the old fixed depth; adaptively it caps at
+        # twice that, and the easy (high-BER) windows stop well short.
+        stop=StopRule(rel_half_width=0.2, min_errors=80,
+                      max_packets=2 * num_packets),
+        runner=_run_batch,
+        batch_packets=BATCH_PACKETS,
     )
-    rows = executor_from_env().run(spec, _run_point)
+    rows = [
+        {"window": row["window"], "decoder": row["decoder"], "ber": row["ber"],
+         "packets": row["packets"], "stop_reason": row["stop_reason"]}
+        for row in experiment.run(executor_from_env())
+    ]
     for row in rows:
         area = AreaModel(
             DecoderAreaParameters(block_length=row["window"],

@@ -9,7 +9,8 @@ decoupled WiLIS scheduler and under the lock-step scheduler and compares
 scheduler passes and wall-clock throughput.
 
 The scheduler policy is a one-axis :class:`~repro.analysis.sweep.SweepSpec`
-grid, but the executor is pinned to the serial backend and the depth stays
+grid run through the :class:`~repro.analysis.scenario.Experiment` front
+door, but the executor is pinned to the serial backend and the depth stays
 *fixed* rather than adaptive: the wall-time comparison between the two
 policies is the headline number, so the two points must execute identical
 work without CPU contention (the same reason the throughput benchmarks in
@@ -19,6 +20,7 @@ work without CPU contention (the same reason the throughput benchmarks in
 import numpy as np
 
 from repro.analysis.reporting import Table
+from repro.analysis.scenario import Experiment
 from repro.analysis.sweep import SweepExecutor, SweepSpec
 from repro.phy.params import rate_by_mbps
 from repro.system.pipelines import build_cosimulation
@@ -48,13 +50,16 @@ def _run_point(point):
 
 
 def _run(num_packets, packet_bits):
-    spec = SweepSpec(
-        {"scheduler": list(SCHEDULERS)},
-        constants={"num_packets": num_packets, "packet_bits": packet_bits},
-        seed=13,
+    experiment = Experiment(
+        sweep=SweepSpec(
+            {"scheduler": list(SCHEDULERS)},
+            constants={"num_packets": num_packets, "packet_bits": packet_bits},
+            seed=13,
+        ),
+        runner=_run_point,
     )
     # Always serial: each point times itself, so points must not contend.
-    return SweepExecutor("serial").run(spec, _run_point)
+    return experiment.run(SweepExecutor("serial"))
 
 
 def test_ablation_scheduling_policy(benchmark, scale):

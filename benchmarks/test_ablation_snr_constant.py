@@ -9,20 +9,22 @@ ablation runs the same packets through (a) the constant-SNR estimator and
 compares the per-packet predictions against ground truth.
 
 The SNR axis is a :class:`~repro.analysis.sweep.SweepSpec` grid measured
-adaptively: each point runs fixed-size batches through
-:func:`~repro.analysis.adaptive.run_point_adaptive` until its bit-level
-Wilson interval settles or the traffic cap hits, so the low-SNR points stop
+adaptively through the :class:`~repro.analysis.scenario.Experiment` front
+door: each point runs fixed-size batches until its bit-level Wilson
+interval settles or the traffic cap hits, so the low-SNR points stop
 early while the 8 dB point (whose errors are rare) runs several times
 deeper than the old fixed depth for the same wall-clock ballpark.  Per-batch
-per-packet prediction arrays are concatenated by the extras merger.  Set
-``REPRO_SWEEP_WORKERS`` to shard the points across processes.
+per-packet prediction arrays are concatenated by the extras merger and
+summarised per row afterwards, in the parent.  Set
+``REPRO_SWEEP_WORKERS`` to shard each round's batches across processes.
 """
 
 import numpy as np
 
-from repro.analysis.adaptive import StopRule, run_point_adaptive
+from repro.analysis.adaptive import StopRule
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.scenario import Experiment, Scenario
 from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 from repro.softphy.ber_estimator import BerEstimator, llr_to_ber
@@ -49,10 +51,11 @@ def _prediction_error(predicted, actual):
 
 def _run_batch(batch):
     """Picklable chunk-runner: one batch of packets at one SNR point."""
-    rate = rate_by_mbps(24)
+    rate = rate_by_mbps(batch["rate_mbps"])
     snr_db = batch["snr_db"]
-    simulator = LinkSimulator(rate, snr_db=snr_db, decoder="bcjr",
-                              packet_bits=1704, seed=batch.seed)
+    simulator = LinkSimulator(rate, snr_db=snr_db, decoder=batch["decoder"],
+                              packet_bits=batch["packet_bits"],
+                              seed=batch.seed)
     result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
     exact_scaling = ScalingFactors(snr_db, rate.modulation, "bcjr")
     return {
@@ -64,12 +67,11 @@ def _run_batch(batch):
     }
 
 
-def _run_point(point):
-    """Picklable point-runner: adaptively measure one SNR operating point."""
-    row = run_point_adaptive(point, _run_batch, point["stop"],
-                             batch_packets=BATCH_PACKETS)
+def _summarise(row):
+    """Post-process one Experiment row: per-point prediction quality."""
     actual, constant, exact = row["actual"], row["constant"], row["exact"]
     return {
+        "snr_db": row["snr_db"],
         "packets": row["packets"],
         "stop_reason": row["stop_reason"],
         "actual_mean": float(actual.mean()),
@@ -81,18 +83,18 @@ def _run_point(point):
 
 
 def _run(num_packets):
-    spec = SweepSpec(
-        {"snr_db": list(SNRS_DB)},
-        constants={
-            # num_packets is the old fixed depth; adaptively it becomes a
-            # per-point cap of four times that, funded by the easy points
-            # stopping after a batch or two.
-            "stop": StopRule(rel_half_width=0.2, min_errors=50,
-                             max_packets=4 * num_packets),
-        },
-        seed=59,
+    experiment = Experiment(
+        scenario=Scenario(rate_mbps=24, decoder="bcjr", packet_bits=1704),
+        sweep=SweepSpec({"snr_db": list(SNRS_DB)}, seed=59),
+        # num_packets is the old fixed depth; adaptively it becomes a
+        # per-point cap of four times that, funded by the easy points
+        # stopping after a batch or two.
+        stop=StopRule(rel_half_width=0.2, min_errors=50,
+                      max_packets=4 * num_packets),
+        runner=_run_batch,
+        batch_packets=BATCH_PACKETS,
     )
-    return executor_from_env().run(spec, _run_point)
+    return [_summarise(row) for row in experiment.run(executor_from_env())]
 
 
 def test_ablation_constant_snr_lookup(benchmark, scale):

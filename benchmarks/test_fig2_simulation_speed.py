@@ -16,15 +16,17 @@ Absolute Python speeds are orders of magnitude below the FPGA's; the shape
 to compare is that faster PHY rates simulate proportionally faster and that
 the host link is far from saturated.
 
-The rate axis is a :class:`~repro.analysis.sweep.SweepSpec` grid, but the
-executor is pinned to the serial backend: wall-clock speed is the measured
-quantity here, and concurrently running points would contend for CPU and
-corrupt every per-rate number.
+The rate axis is a :class:`~repro.analysis.sweep.SweepSpec` grid run
+through the :class:`~repro.analysis.scenario.Experiment` front door, but
+the executor is pinned to the serial backend: wall-clock speed is the
+measured quantity here, and concurrently running points would contend for
+CPU and corrupt every per-rate number.
 """
 
 import numpy as np
 
 from repro.analysis.reporting import Table, format_percentage
+from repro.analysis.scenario import Experiment
 from repro.analysis.sweep import SweepExecutor, SweepSpec
 from repro.hwmodel.throughput import hardware_time_seconds
 from repro.phy.params import RATE_TABLE, rate_by_mbps
@@ -63,13 +65,16 @@ def _run_point(point):
 
 
 def _run_all_rates(packets, packet_bits):
-    spec = SweepSpec(
-        {"rate_mbps": [int(rate.data_rate_mbps) for rate in RATE_TABLE]},
-        constants={"num_packets": packets, "packet_bits": packet_bits},
-        seed=0,
+    experiment = Experiment(
+        sweep=SweepSpec(
+            {"rate_mbps": [int(rate.data_rate_mbps) for rate in RATE_TABLE]},
+            constants={"num_packets": packets, "packet_bits": packet_bits},
+            seed=0,
+        ),
+        runner=_run_point,
     )
     # Always serial: each point times itself, so points must not contend.
-    return SweepExecutor("serial").run(spec, _run_point)
+    return experiment.run(SweepExecutor("serial"))
 
 
 def test_fig2_simulation_speed(benchmark, scale):

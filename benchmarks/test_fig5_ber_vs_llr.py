@@ -6,23 +6,26 @@ carrying each LLR hint value.  The curves are log-linear and their slopes
 depend on SNR, modulation and decoder -- the evidence behind the equation 5
 scaling factors.
 
-This benchmark measures the same curves at Python scale adaptively: each
-operating point runs fixed-size batches through
-:func:`~repro.analysis.adaptive.run_point_adaptive` until it has collected
-an error *target* (the classic "run until N errors" BER practice -- errors,
-not bits, are what populate the hint bins the fit needs) or hits its
-traffic cap.  The easy QAM16 @ 6 dB point stops after a couple of batches;
-the low-BER QAM16 @ 8 dB point automatically runs several times more
-traffic -- the per-configuration multipliers the fixed version hard-coded
-now emerge from the stopping rule.  Per-batch ``BerVersusHint`` histograms
-(fixed explicit bin edges) are merged incrementally via ``merge``.
+This benchmark measures the same curves at Python scale adaptively through
+the :class:`~repro.analysis.scenario.Experiment` front door: each
+operating point runs fixed-size batches until it has collected an error
+*target* (the classic "run until N errors" BER practice -- errors, not
+bits, are what populate the hint bins the fit needs) or hits its traffic
+cap.  The easy QAM16 @ 6 dB point stops after a couple of batches; the
+low-BER QAM16 @ 8 dB point automatically runs several times more traffic
+-- the per-configuration multipliers the fixed version hard-coded now
+emerge from the stopping rule.  Per-batch ``BerVersusHint`` histograms
+(fixed explicit bin edges) are merged incrementally via ``merge``; the
+log-linear fit happens once per row afterwards, in the parent.
 
 The operating-point axis is a :class:`~repro.analysis.sweep.SweepSpec`
-grid; set ``REPRO_SWEEP_WORKERS`` to shard the points across processes.
+grid; set ``REPRO_SWEEP_WORKERS`` to shard each round's batches across
+processes.
 """
 
-from repro.analysis.adaptive import StopRule, run_point_adaptive
+from repro.analysis.adaptive import StopRule
 from repro.analysis.reporting import Table
+from repro.analysis.scenario import Experiment, Scenario
 from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 from repro.softphy.calibration import fit_log_linear, measure_ber_vs_hint
@@ -59,10 +62,8 @@ def _measure_batch(batch):
     }
 
 
-def _measure_point(point):
-    """Picklable point-runner: adaptively measure one configuration."""
-    row = run_point_adaptive(point, _measure_batch, point["stop"],
-                             batch_packets=BATCH_PACKETS)
+def _fit_row(row):
+    """Post-process one Experiment row: fit the merged hint histogram."""
     measurement = row["measurement"]
     try:
         fit = fit_log_linear(measurement, min_bits=100, min_errors=1)
@@ -71,8 +72,8 @@ def _measure_point(point):
         # measure (the paper uses 1e12 bits); report the floor instead.
         fit = None
     return {
-        "label": point["operating_point"][0],
-        "snr_db": point["operating_point"][2],
+        "label": row["operating_point"][0],
+        "snr_db": row["operating_point"][2],
         "measurement": measurement,
         "fit": fit,
         "packets": row["packets"],
@@ -81,17 +82,16 @@ def _measure_point(point):
 
 
 def _measure(decoder, target_errors, max_packets, packet_bits):
-    spec = SweepSpec(
-        {"operating_point": list(OPERATING_POINTS)},
-        constants={
-            "decoder": decoder,
-            "packet_bits": packet_bits,
-            "stop": StopRule(rel_half_width=None, target_errors=target_errors,
-                             max_packets=max_packets),
-        },
-        seed=17,
+    experiment = Experiment(
+        scenario=Scenario(decoder=decoder, packet_bits=packet_bits,
+                          rate_mbps=None, snr_db=None),
+        sweep=SweepSpec({"operating_point": list(OPERATING_POINTS)}, seed=17),
+        stop=StopRule(rel_half_width=None, target_errors=target_errors,
+                      max_packets=max_packets),
+        runner=_measure_batch,
+        batch_packets=BATCH_PACKETS,
     )
-    return executor_from_env().run(spec, _measure_point)
+    return [_fit_row(row) for row in experiment.run(executor_from_env())]
 
 
 def _report(decoder, rows):

@@ -6,15 +6,16 @@ plots the prediction against the ground truth.  The points cluster around
 the ideal line with a slight underestimation at high BER (a consequence of
 the constant-SNR simplification).
 
-This benchmark reproduces the scatter through the adaptive characterisation
-service: the SNR axis is a :class:`~repro.analysis.sweep.SweepSpec` grid
-driven by an :class:`~repro.analysis.adaptive.AdaptiveScheduler` under a
-global packet budget.  Low-SNR points (whose BER settles within a batch or
-two) stop early, and the scheduler reallocates their unspent traffic to the
-clean high-SNR tail — so the scatter covers many more low-PBER packets than
-the old fixed grid did for the same budget.  Set ``REPRO_SWEEP_WORKERS`` to
-spread each round's batches across processes; rows are bit-for-bit
-identical either way.
+This benchmark reproduces the scatter through the declarative front door:
+the link is a :class:`~repro.analysis.scenario.Scenario`, the SNR axis a
+:class:`~repro.analysis.sweep.SweepSpec` grid, and an
+:class:`~repro.analysis.scenario.Experiment` drives the adaptive scheduler
+under a global packet budget.  Low-SNR points (whose BER settles within a
+batch or two) stop early, and the scheduler reallocates their unspent
+traffic to the clean high-SNR tail — so the scatter covers many more
+low-PBER packets than the old fixed grid did for the same budget.  Set
+``REPRO_SWEEP_WORKERS`` to spread each round's batches across processes;
+rows are bit-for-bit identical either way.
 
 Packets from every point are pooled, binned by their predicted PBER (decade
 bins), and the mean and standard deviation of the actual PBER in each bin
@@ -24,9 +25,10 @@ truth.
 
 import numpy as np
 
-from repro.analysis.adaptive import AdaptiveScheduler, StopRule
+from repro.analysis.adaptive import StopRule
 from repro.analysis.link import LinkSimulator
 from repro.analysis.reporting import Table
+from repro.analysis.scenario import Experiment, Scenario
 from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 from repro.softphy.ber_estimator import BerEstimator
@@ -58,12 +60,13 @@ def _run_batch(batch):
     simulator = LinkSimulator(
         rate,
         snr_db=batch["snr_db"],
-        decoder="bcjr",
+        decoder=batch["decoder"],
         packet_bits=batch["packet_bits"],
         seed=batch.seed,
     )
     result = simulator.run(batch.num_packets, batch_size=batch.num_packets)
-    predicted = BerEstimator("bcjr").packet_ber(result.hints, rate.modulation)
+    predicted = BerEstimator(batch["decoder"]).packet_ber(result.hints,
+                                                          rate.modulation)
     actual = ground_truth_packet_ber(result.tx_bits, result.rx_bits)
     return {
         "errors": int(result.bit_errors.sum()),
@@ -74,18 +77,15 @@ def _run_batch(batch):
 
 
 def _simulate(budget_packets):
-    spec = SweepSpec(
-        {"rate_mbps": [24], "snr_db": list(SNRS_DB)},
-        constants={"packet_bits": 1704},
-        seed=23,
-    )
-    scheduler = AdaptiveScheduler(
+    experiment = Experiment(
+        scenario=Scenario(decoder="bcjr", packet_bits=1704),
+        sweep=SweepSpec({"rate_mbps": [24], "snr_db": list(SNRS_DB)}, seed=23),
         stop=STOP,
+        runner=_run_batch,
         batch_packets=BATCH_PACKETS,
         budget=budget_packets,
-        executor=executor_from_env(),
     )
-    rows = scheduler.run(spec, _run_batch)
+    rows = experiment.run(executor_from_env())
     predicted = np.concatenate([row["predicted"] for row in rows])
     actual = np.concatenate([row["actual"] for row in rows])
     return rows, predicted, actual

@@ -7,8 +7,12 @@ uniform grid must give *every* point the traffic its hungriest point needs.
 This benchmark measures that saving and records it as a JSON row so the
 ratio is tracked across PRs:
 
-1. Run the adaptive scheduler over the Figure 6 SNR grid (per-point Wilson
-   stopping + zero-error floor + traffic cap).
+1. Run the Figure 6 SNR grid adaptively through the
+   :class:`~repro.analysis.scenario.Experiment` front door (per-point
+   Wilson stopping + zero-error floor + traffic cap), cold, into a fresh
+   :class:`~repro.analysis.store.ResultStore` — then run it again *warm*,
+   so the row also tracks the wall-clock saving of store-backed resume
+   (the warm run must simulate zero batches).
 2. Build the equivalent fixed-depth baseline: every point runs exactly as
    many packets as the adaptive run's hungriest point — the smallest
    uniform depth that guarantees the same worst-point tolerance.  The
@@ -17,7 +21,8 @@ ratio is tracked across PRs:
    the interval comparison exact rather than statistical.
 3. Assert the adaptive run spent at least 2x fewer packets at an
    equal-or-tighter worst-point Wilson looseness (half-width relative to
-   ``max(ber, floor)``).
+   ``max(ber, floor)``), and that the warm re-run served every batch from
+   the store, bit for bit.
 
 Set ``REPRO_SWEEP_WORKERS`` to shard each round's batches across worker
 processes; the spend, stop reasons and the recorded ratio do not change.
@@ -25,11 +30,14 @@ Run with ``-m "not slow"`` to skip during quick test cycles.
 """
 
 import json
+import time
 
 import pytest
 
-from repro.analysis.adaptive import AdaptiveScheduler, StopRule, run_link_ber_batch
+from repro.analysis.adaptive import StopRule
 from repro.analysis.ber_stats import BerMeasurement
+from repro.analysis.scenario import Experiment, Scenario
+from repro.analysis.store import ResultStore
 from repro.analysis.sweep import SweepSpec, executor_from_env
 
 from _bench_utils import emit_with_rows
@@ -52,25 +60,26 @@ MIN_ERRORS = 30
 BER_FLOOR = 1e-4
 
 
-def _spec():
-    return SweepSpec(
-        {"rate_mbps": [WORKLOAD["rate_mbps"]], "snr_db": WORKLOAD["snrs_db"]},
-        constants={
-            "decoder": WORKLOAD["decoder"],
-            "packet_bits": WORKLOAD["packet_bits"],
-            "batch_size": WORKLOAD["batch_packets"],
-        },
-        seed=WORKLOAD["seed"],
-    )
-
-
-def _run(stop):
-    scheduler = AdaptiveScheduler(
+def _experiment(stop, store=None):
+    return Experiment(
+        scenario=Scenario(decoder=WORKLOAD["decoder"],
+                          packet_bits=WORKLOAD["packet_bits"]),
+        sweep=SweepSpec(
+            {"rate_mbps": [WORKLOAD["rate_mbps"]],
+             "snr_db": WORKLOAD["snrs_db"]},
+            constants={"batch_size": WORKLOAD["batch_packets"]},
+            seed=WORKLOAD["seed"],
+        ),
         stop=stop,
         batch_packets=WORKLOAD["batch_packets"],
-        executor=executor_from_env(),
+        store=store,
     )
-    return scheduler.run(_spec(), run_link_ber_batch)
+
+
+def _run(stop, store=None):
+    experiment = _experiment(stop, store)
+    rows = experiment.run(executor_from_env())
+    return rows, experiment
 
 
 def _effective_looseness(row, rule):
@@ -94,19 +103,33 @@ def _worst_looseness(rows, rule):
 
 
 @pytest.mark.slow
-def test_perf_adaptive_sweep_traffic_saving(scale):
+def test_perf_adaptive_sweep_traffic_saving(scale, tmp_path):
     rule = StopRule(rel_half_width=REL_HALF_WIDTH, min_errors=MIN_ERRORS,
                     ber_floor=BER_FLOOR, max_packets=96 * scale)
-    adaptive_rows = _run(rule)
+    # Cold adaptive run, store-backed: pays full simulation and fills the
+    # store on the way out.
+    store = ResultStore(str(tmp_path / "bercurves"))
+    start = time.perf_counter()
+    adaptive_rows, cold = _run(rule, store)
+    cold_elapsed = time.perf_counter() - start
     adaptive_total = sum(row["packets"] for row in adaptive_rows)
+
+    # Warm re-run: every batch must come from the store, bit for bit.
+    start = time.perf_counter()
+    warm_rows, warm = _run(rule, store)
+    warm_elapsed = time.perf_counter() - start
+    assert warm_rows == adaptive_rows  # packets and stop reasons included
+    assert warm.last_store_stats["misses"] == 0
+    assert warm.last_store_stats["hits"] == cold.last_store_stats["misses"]
 
     # The smallest uniform depth with the same worst-point guarantee: what
     # the hungriest adaptive point needed.  rel_half_width=None turns the
     # rule into "run exactly to the cap" — same batch streams, no stopping.
     fixed_depth = max(row["packets"] for row in adaptive_rows)
-    fixed_rows = _run(StopRule(rel_half_width=None, max_packets=fixed_depth))
+    fixed_rows, fixed = _run(StopRule(rel_half_width=None,
+                                      max_packets=fixed_depth))
     fixed_total = sum(row["packets"] for row in fixed_rows)
-    assert fixed_total == len(_spec()) * fixed_depth
+    assert fixed_total == len(fixed.spec()) * fixed_depth
 
     adaptive_worst = _worst_looseness(adaptive_rows, rule)
     fixed_worst = _worst_looseness(fixed_rows, rule)
@@ -124,6 +147,11 @@ def test_perf_adaptive_sweep_traffic_saving(scale):
         "traffic_saving": round(fixed_total / adaptive_total, 3),
         "adaptive_worst_looseness": round(adaptive_worst, 4),
         "fixed_worst_looseness": round(fixed_worst, 4),
+        "store_cold_elapsed_sec": round(cold_elapsed, 4),
+        "store_warm_elapsed_sec": round(warm_elapsed, 4),
+        "store_warm_speedup": round(cold_elapsed / warm_elapsed, 2),
+        "store_warm_batches_simulated": warm.last_store_stats["misses"],
+        "store_warm_batches_served": warm.last_store_stats["hits"],
         "stop_reasons": {
             "%.2f" % row["snr_db"]: "%d:%s" % (row["packets"], row["stop_reason"])
             for row in adaptive_rows

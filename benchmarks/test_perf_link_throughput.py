@@ -22,7 +22,8 @@ import time
 import pytest
 
 from repro.analysis.link import LinkSimulator
-from repro.analysis.sweep import SweepSpec, executor_from_env, run_link_ber_point
+from repro.analysis.scenario import Experiment, Scenario
+from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 
 from _bench_utils import emit
@@ -97,31 +98,35 @@ SWEEP_WORKLOAD = {
 @pytest.mark.slow
 def test_perf_sweep_throughput(scale):
     packets_per_point = 16 * scale
-    spec = SweepSpec(
-        {"rate_mbps": SWEEP_WORKLOAD["rate_mbps"],
-         "snr_db": SWEEP_WORKLOAD["snrs_db"]},
-        constants={
-            "decoder": SWEEP_WORKLOAD["decoder"],
-            "packet_bits": SWEEP_WORKLOAD["packet_bits"],
-            "num_packets": packets_per_point,
-            "batch_size": SWEEP_WORKLOAD["batch_size"],
-        },
-        seed=SWEEP_WORKLOAD["seed"],
+    scenario = Scenario(decoder=SWEEP_WORKLOAD["decoder"],
+                        packet_bits=SWEEP_WORKLOAD["packet_bits"])
+    constants = {"num_packets": packets_per_point,
+                 "batch_size": SWEEP_WORKLOAD["batch_size"]}
+    experiment = Experiment(
+        scenario=scenario,
+        sweep=SweepSpec(
+            {"rate_mbps": SWEEP_WORKLOAD["rate_mbps"],
+             "snr_db": SWEEP_WORKLOAD["snrs_db"]},
+            constants=constants,
+            seed=SWEEP_WORKLOAD["seed"],
+        ),
     )
     executor = executor_from_env()
     # Warm-up on one point: caches, allocator, BLAS.  Pool startup is NOT
     # warmed away -- the executor builds a fresh pool per run(), so the
     # timed section below deliberately includes that real per-sweep cost
     # (the emitted row carries backend/max_workers to keep rows comparable).
-    executor.run(SweepSpec({"rate_mbps": [24], "snr_db": [7.0]},
-                           constants=dict(spec.constants), seed=23),
-                 run_link_ber_point)
+    Experiment(
+        scenario=scenario,
+        sweep=SweepSpec({"rate_mbps": [24], "snr_db": [7.0]},
+                        constants=dict(constants), seed=23),
+    ).run(executor)
 
     start = time.perf_counter()
-    rows = executor.run(spec, run_link_ber_point)
+    rows = experiment.run(executor)
     elapsed = time.perf_counter() - start
 
-    num_points = len(spec)
+    num_points = len(experiment.spec())
     total_packets = num_points * packets_per_point
     row = {
         "benchmark": "sweep_throughput",

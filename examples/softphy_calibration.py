@@ -3,10 +3,10 @@
 The paper validates its hardware decoders by showing that the empirical BER
 of bits carrying a given LLR hint follows a straight line on a semi-log
 plot, with a slope that depends on SNR, modulation and decoder.  This
-example measures two of those curves (BCJR and SOVA at QAM16, 6 dB) as a
-sweep over the decoder axis — set ``REPRO_SWEEP_WORKERS=2`` to measure both
-decoders in parallel processes — then fits the log-linear relationship and
-prints the resulting lookup-table scale.
+example measures two of those curves (BCJR and SOVA at QAM16, 6 dB) as an
+:class:`Experiment` over the decoder axis — set ``REPRO_SWEEP_WORKERS=2``
+to measure both decoders in parallel processes — then fits the log-linear
+relationship and prints the resulting lookup-table scale.
 
 Run with::
 
@@ -15,7 +15,8 @@ Run with::
 
 import sys
 
-from repro.analysis.sweep import SweepSpec, executor_from_env
+from repro.analysis.scenario import Experiment
+from repro.analysis.sweep import SweepSpec
 from repro.phy import rate_by_mbps
 from repro.softphy import fit_log_linear, measure_ber_vs_hint
 
@@ -34,9 +35,12 @@ def measure_decoder(point):
 
 def main(num_packets=24):
     rate = rate_by_mbps(24)
-    spec = SweepSpec({"decoder": ["bcjr", "sova"]},
-                     constants={"num_packets": num_packets}, seed=7)
-    rows = executor_from_env().run(spec, measure_decoder)
+    experiment = Experiment(
+        sweep=SweepSpec({"decoder": ["bcjr", "sova"]},
+                        constants={"num_packets": num_packets}, seed=7),
+        runner=measure_decoder,
+    )
+    rows = experiment.run()
     for row in rows:
         measurement, fit = row["measurement"], row["fit"]
         print("%s at %s, %.0f dB AWGN" % (row["decoder"].upper(), rate.name, SNR_DB))

@@ -8,8 +8,9 @@ rate (the highest rate at which that very packet would have been received
 without error) and prints the underselect / accurate / overselect breakdown
 alongside the achieved throughput.
 
-The decoder comparison is a sweep over the decoder axis — set
-``REPRO_SWEEP_WORKERS=2`` to evaluate both decoders in parallel processes.
+The decoder comparison is an :class:`Experiment` over the decoder axis —
+set ``REPRO_SWEEP_WORKERS=2`` to evaluate both decoders in parallel
+processes.
 
 Run with::
 
@@ -18,7 +19,8 @@ Run with::
 
 import sys
 
-from repro.analysis.sweep import SweepSpec, executor_from_env
+from repro.analysis.scenario import Experiment
+from repro.analysis.sweep import SweepSpec
 from repro.mac import SoftRateEvaluation
 
 SNR_DB = 10.0
@@ -43,9 +45,12 @@ def main(num_packets=48):
           % (DOPPLER_HZ, SNR_DB))
     print("Packets: %d x %d bits\n" % (num_packets, PACKET_BITS))
 
-    spec = SweepSpec({"decoder": ["bcjr", "sova"]},
-                     constants={"num_packets": num_packets}, seed=3)
-    for row in executor_from_env().run(spec, evaluate_decoder):
+    experiment = Experiment(
+        sweep=SweepSpec({"decoder": ["bcjr", "sova"]},
+                        constants={"num_packets": num_packets}, seed=3),
+        runner=evaluate_decoder,
+    )
+    for row in experiment.run():
         result = row["result"]
         outcome = result.outcome.as_dict()
         print("SoftRate with %s estimates:" % row["decoder"].upper())

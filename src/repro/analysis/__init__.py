@@ -14,8 +14,40 @@
 * :mod:`repro.analysis.adaptive` -- adaptive measurement on top of the
   sweep subsystem: sequential early stopping per point and a
   budget-reallocating scheduler.
+* :mod:`repro.analysis.scenario` -- the declarative top layer: a frozen,
+  hashable :class:`Scenario` describing the link configuration and the
+  unified :class:`Experiment` front door over fixed/adaptive depth,
+  serial/process execution and store-backed resume.
+* :mod:`repro.analysis.store` -- content-addressed persistence for
+  characterisation batches (:class:`ResultStore`): a warm store serves
+  previously simulated batches instantly, and a tighter re-run simulates
+  only the missing batch indices.
 * :mod:`repro.analysis.reporting` -- plain-text table formatting used by the
   benchmark harness to print the paper's tables and figure series.
+
+The front door
+--------------
+Describe *what is simulated* as a :class:`Scenario`, the operating-point
+grid as a :class:`SweepSpec`, and run both through an
+:class:`Experiment`::
+
+    from repro.analysis import Experiment, Scenario, StopRule, SweepSpec
+
+    experiment = Experiment(
+        scenario=Scenario(decoder="bcjr", packet_bits=1704),
+        sweep=SweepSpec({"rate_mbps": [12, 24],
+                         "snr_db": [5.0, 6.0, 7.0, 8.0]}, seed=23),
+        stop=StopRule(rel_half_width=0.25, min_errors=50, max_packets=64),
+    )
+    rows = experiment.run()   # executor_from_env(): REPRO_SWEEP_WORKERS=N shards
+
+    # attach store=ResultStore("bercurves/") and re-running with a tighter
+    # StopRule simulates only the batches the first run never needed.
+
+``stop=None`` selects fixed depth (``num_packets`` per point, the mode
+wall-clock-pinned perf benchmarks need); the legacy ``sweep`` /
+``cross_sweep`` / params-dict ``run_link_ber_point`` entry points remain
+as deprecated shims over this path.
 
 Sweeps and adaptive characterisation
 ------------------------------------
@@ -61,6 +93,8 @@ from repro.analysis.adaptive import (
 from repro.analysis.ber_stats import BerMeasurement, bin_errors_by_hint, wilson_interval
 from repro.analysis.link import LinkRunResult, LinkSimulator
 from repro.analysis.reporting import Table, format_percentage, format_ratio
+from repro.analysis.scenario import Experiment, Scenario, run_scenario_point
+from repro.analysis.store import ResultStore, StoreError, StoreView
 from repro.analysis.sweep import (
     SweepError,
     SweepExecutor,
@@ -78,10 +112,15 @@ __all__ = [
     "AdaptivePointState",
     "AdaptiveScheduler",
     "BerMeasurement",
+    "Experiment",
     "LinkRunResult",
     "LinkSimulator",
     "MeasurementBatch",
+    "ResultStore",
+    "Scenario",
     "StopRule",
+    "StoreError",
+    "StoreView",
     "SweepError",
     "SweepExecutor",
     "SweepPoint",
@@ -98,6 +137,7 @@ __all__ = [
     "run_link_ber_batch",
     "run_link_ber_point",
     "run_point_adaptive",
+    "run_scenario_point",
     "sweep",
     "wilson_interval",
 ]

@@ -502,7 +502,7 @@ class AdaptiveScheduler:
             return len(ranked)
         return min(len(ranked), budget_left // self.batch_packets)
 
-    def run(self, spec, chunk_runner=None, on_error="raise"):
+    def run(self, spec, chunk_runner=None, on_error="raise", store=None):
         """Adaptively measure every point of ``spec``; rows in grid order.
 
         Each row is the point's ``params`` plus the accumulated counts,
@@ -512,6 +512,19 @@ class AdaptiveScheduler:
         and the merged extras.  ``on_error`` follows the executor contract:
         ``"raise"`` aborts on the first failing batch, ``"capture"`` stops
         the affected point with reason ``"error"`` and keeps going.
+
+        ``store`` is an optional batch cache — a
+        :class:`~repro.analysis.store.StoreView` keyed by ``(point
+        spawn_key, batch index)``, normally supplied by
+        :meth:`repro.analysis.scenario.Experiment.run`.  Batches found in
+        the store are consumed without touching the executor; simulated
+        batches are appended after they return.  Because a cached batch
+        carries exactly the result its simulation would have produced,
+        the trajectory — stopping decisions, budget accounting, rows —
+        is bit-for-bit identical to the cold run's.  Cache hits debit the
+        budget like any dispatched batch for the same reason: a warm run
+        must replay the cold run's decisions, not rediscover them with
+        free traffic.  Error rows are never cached.
         """
         if on_error not in ("raise", "capture"):
             raise ValueError("on_error must be 'raise' or 'capture'")
@@ -527,10 +540,48 @@ class AdaptiveScheduler:
         # the work (the session is a no-op for serial executors).
         with self.executor.session():
             budget_left = self._drive(states, runner, budget_left, confidence,
-                                      on_error)
+                                      on_error, store)
         return [state.row(self.stop) for state in states]
 
-    def _drive(self, states, runner, budget_left, confidence, on_error):
+    @staticmethod
+    def _store_key(batch):
+        """The store key of one batch: the point's seed spawn key."""
+        return tuple(int(word) for word in batch.point.seed_sequence.spawn_key)
+
+    def _round_results(self, batches, runner, on_error, store):
+        """One round's chunk-runner results, served from the store or run.
+
+        Returns results aligned with ``batches``; only store misses are
+        dispatched through the executor, and their fresh results are
+        appended to the store (errors excluded).
+        """
+        results = [None] * len(batches)
+        to_run = list(range(len(batches)))
+        if store is not None:
+            to_run = []
+            for i, batch in enumerate(batches):
+                cached = store.get(self._store_key(batch), batch.index,
+                                   batch.num_packets)
+                if cached is None:
+                    to_run.append(i)
+                else:
+                    results[i] = cached
+        if to_run:
+            dispatch = [_BatchPoint(position, batches[i])
+                        for position, i in enumerate(to_run)]
+            # In "raise" mode the executor itself raises SweepError naming
+            # the failing (point, batch) with the full worker traceback.
+            fresh = self.executor.run(dispatch, runner, on_error=on_error)
+            for i, result in zip(to_run, fresh):
+                results[i] = result
+                if store is not None and not (
+                        "error" in result and "errors" not in result):
+                    store.put(self._store_key(batches[i]), batches[i].index,
+                              batches[i].num_packets, result)
+        return results
+
+    def _drive(self, states, runner, budget_left, confidence, on_error,
+               store=None):
         while True:
             active = [s for s in states if s.stop_reason is None]
             if not active:
@@ -543,15 +594,12 @@ class AdaptiveScheduler:
                 break
             batches = [state.next_batch(self.batch_packets)
                        for state in selected]
-            dispatch = [_BatchPoint(i, batch) for i, batch in enumerate(batches)]
             # The budget counts *dispatched* traffic: a batch whose runner
             # fails in capture mode still simulated (or tried to), so it
             # must not be silently refunded.
             if budget_left is not None:
                 budget_left -= sum(batch.num_packets for batch in batches)
-            # In "raise" mode the executor itself raises SweepError naming
-            # the failing (point, batch) with the full worker traceback.
-            results = self.executor.run(dispatch, runner, on_error=on_error)
+            results = self._round_results(batches, runner, on_error, store)
             for state, batch, result in zip(selected, batches, results):
                 if "error" in result and "errors" not in result:
                     state.stop_reason = "error"

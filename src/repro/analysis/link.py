@@ -32,6 +32,16 @@ The simulator is deliberately independent of the latency-insensitive
 framework: the LI pipelines in :mod:`repro.system.pipelines` reuse the same
 block functions, so results agree, but the direct path avoids the
 per-token scheduling overhead when only aggregate statistics are needed.
+
+Layers above
+------------
+Most callers should not construct a :class:`LinkSimulator` directly: the
+declarative front door (:class:`repro.analysis.scenario.Scenario` +
+:class:`repro.analysis.scenario.Experiment`) builds one per operating
+point/batch — via
+:func:`repro.analysis.sweep.link_simulator_for_params` — and layers
+sweeping, adaptive stopping, process sharding and store-backed resume on
+top without changing a simulated bit.
 """
 
 import numpy as np

@@ -1,0 +1,246 @@
+"""Content-addressed persistence for characterisation batches.
+
+The adaptive subsystem's central invariant — batch ``k`` of a point is a
+pure function of ``(spec, point, batch index)`` — makes per-batch results
+cacheable on disk: once simulated, a batch's result never changes, so a
+re-run can serve it from the store and simulate only the batch indices it
+has never seen.  This module is that cache:
+
+* :class:`ResultStore` is a directory of JSON-lines files, one per
+  *experiment namespace* (see
+  :meth:`repro.analysis.scenario.Experiment.store_digest`: the scenario
+  content hash extended with constants, master seed entropy, batch
+  quantum and runner identity).
+* :class:`StoreView` is one namespace's read/append handle, keyed by
+  ``(point spawn_key, batch index)`` — the same coordinates the seed
+  derivation uses, so the key IS the random stream's identity.
+
+Resume semantics
+----------------
+The store holds *batch* results, never rows: stopping decisions are
+replayed by the scheduler from the (cached or fresh) batch counts, which
+is what makes a warm run bit-for-bit identical to a cold one — packets
+spent and stop reasons included — while a tighter
+:class:`~repro.analysis.adaptive.StopRule` re-run simulates only the
+missing batch indices.  Nothing about the stop rule, budget or executor
+enters the namespace digest.
+
+Durability model: records are appended as one JSON line per batch,
+written by the scheduling (parent) process only — worker processes never
+touch the store, so there is no cross-process file locking to get wrong.
+A truncated final line (e.g. a killed run) is ignored on load and
+rewritten on the next run.
+
+Values must be JSON-representable or numpy: arrays round-trip through a
+tagged encoding that preserves dtype and shape bit for bit (floats
+survive exactly — JSON rendering uses ``repr``-faithful shortest floats).
+Tuples and arbitrary objects are rejected with an error naming the key:
+silently coercing them would break the warm-equals-cold guarantee.
+"""
+
+import json
+import os
+
+import numpy as np
+
+#: On-disk format version, written to each file's header line.
+FORMAT_VERSION = 1
+
+_SCALARS = (str, int, float)
+
+
+class StoreError(RuntimeError):
+    """A result store file or record is unusable as asked."""
+
+
+def _encode_value(value, key):
+    """JSON-able encoding of one result value, ndarrays tagged."""
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind not in "biuf":
+            raise StoreError(
+                "result value for key %r is a %s array; only bool/int/float "
+                "arrays have an exact JSON round-trip" % (key, value.dtype))
+        return {"__ndarray__": value.tolist(),
+                "dtype": str(value.dtype),
+                "shape": list(value.shape)}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, bool) or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, list):
+        return [_encode_value(item, key) for item in value]
+    if isinstance(value, dict):
+        return {str(name): _encode_value(item, key)
+                for name, item in value.items()}
+    raise StoreError(
+        "result value for key %r is not storable: %r (type %s); the store "
+        "accepts JSON scalars, lists, dicts and numpy values — tuples and "
+        "objects would not survive the round-trip bit for bit"
+        % (key, value, type(value).__name__))
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.array(value["__ndarray__"],
+                            dtype=value["dtype"]).reshape(value["shape"])
+        return {name: _decode_value(item) for name, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def _normalise_point_key(point_key):
+    try:
+        return tuple(int(word) for word in point_key)
+    except (TypeError, ValueError):
+        raise StoreError("point_key must be a sequence of integers; got %r"
+                         % (point_key,)) from None
+
+
+class StoreView:
+    """One experiment namespace of a :class:`ResultStore`.
+
+    Records are keyed by ``(point spawn_key, batch index)``;
+    :meth:`get` / :meth:`put` maintain an in-memory index over the
+    append-only JSON-lines file.  ``hits`` and ``misses`` count this
+    view's lookups — ``misses`` is exactly the number of batches a
+    store-backed run had to simulate.
+    """
+
+    def __init__(self, path, metadata=None):
+        self.path = str(path)
+        self.metadata = metadata
+        self.hits = 0
+        self.misses = 0
+        self._index = None
+
+    # ------------------------------------------------------------------ #
+    def _load(self):
+        if self._index is not None:
+            return self._index
+        index = {}
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        # A truncated trailing line (killed run) is the only
+                        # way a record goes bad; drop it and resimulate.
+                        continue
+                    if "format" in record:  # header line
+                        if record["format"] != FORMAT_VERSION:
+                            raise StoreError(
+                                "store file %s has format %r; this reader "
+                                "understands %r"
+                                % (self.path, record["format"], FORMAT_VERSION))
+                        continue
+                    key = (tuple(record["point"]), int(record["batch"]))
+                    index[key] = record
+        self._index = index
+        return index
+
+    def _append(self, record):
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(self.path)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if fresh:
+                header = {"format": FORMAT_VERSION}
+                if self.metadata:
+                    header["metadata"] = self.metadata
+                handle.write(json.dumps(header) + "\n")
+            handle.write(json.dumps(record) + "\n")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self):
+        return len(self._load())
+
+    def known_batches(self, point_key):
+        """Sorted batch indices stored for one point."""
+        point_key = _normalise_point_key(point_key)
+        return sorted(batch for point, batch in self._load()
+                      if point == point_key)
+
+    def get(self, point_key, batch_index, num_packets):
+        """The stored result for one batch, or ``None`` (counted a miss).
+
+        ``num_packets`` is verified against the stored record — a mismatch
+        means the caller's namespace digest is wrong (or the file was
+        tampered with), and serving the record anyway would silently break
+        the chunk-invariance contract, so it raises instead.
+        """
+        key = (_normalise_point_key(point_key), int(batch_index))
+        record = self._load().get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        if int(record["num_packets"]) != int(num_packets):
+            raise StoreError(
+                "store %s holds batch %d of point %r at %d packets, but %d "
+                "were requested; the experiment namespace digest should have "
+                "separated these" % (self.path, key[1], key[0],
+                                     record["num_packets"], num_packets))
+        self.hits += 1
+        return {name: _decode_value(value)
+                for name, value in record["result"].items()}
+
+    def put(self, point_key, batch_index, num_packets, result):
+        """Append one batch result (idempotent for an existing key)."""
+        key = (_normalise_point_key(point_key), int(batch_index))
+        index = self._load()
+        if key in index:
+            return
+        record = {
+            "point": list(key[0]),
+            "batch": key[1],
+            "num_packets": int(num_packets),
+            "result": {str(name): _encode_value(value, name)
+                       for name, value in dict(result).items()},
+        }
+        self._append(record)
+        index[key] = record
+
+    def __repr__(self):
+        return "StoreView(%r, records=%d, hits=%d, misses=%d)" % (
+            self.path, len(self._load()), self.hits, self.misses)
+
+
+class ResultStore:
+    """A directory of per-experiment-namespace JSON-lines batch caches.
+
+    Parameters
+    ----------
+    root:
+        Directory path; created on first write.  One
+        ``<namespace digest>.jsonl`` file per experiment namespace.
+    """
+
+    def __init__(self, root):
+        self.root = str(root)
+
+    def view(self, digest, metadata=None):
+        """The :class:`StoreView` for one namespace digest."""
+        if not digest or not all(c in "0123456789abcdef" for c in digest):
+            raise StoreError(
+                "namespace digest must be a hex string (from "
+                "Experiment.store_digest()); got %r" % (digest,))
+        return StoreView(os.path.join(self.root, digest + ".jsonl"),
+                         metadata=metadata)
+
+    def digests(self):
+        """Sorted namespace digests already present under ``root``."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(name[:-len(".jsonl")] for name in os.listdir(self.root)
+                      if name.endswith(".jsonl"))
+
+    def __repr__(self):
+        return "ResultStore(%r, namespaces=%d)" % (self.root, len(self.digests()))

@@ -9,7 +9,14 @@ module turns that pattern into a small subsystem:
 * :class:`SweepExecutor` runs a picklable point-runner over the grid with a
   ``serial`` or ``process`` backend and aggregates rows in grid order.
 * :func:`sweep` / :func:`cross_sweep` are the legacy one-liners, kept as
-  thin wrappers over the serial backend.
+  deprecated shims over the :class:`~repro.analysis.scenario.Experiment`
+  front door.
+
+The preferred top-level entry point is one layer up: describe the link as
+a :class:`~repro.analysis.scenario.Scenario`, the grid as a
+:class:`SweepSpec`, and run both through an
+:class:`~repro.analysis.scenario.Experiment` — which also unlocks the
+content-addressed result store (:mod:`repro.analysis.store`).
 
 Parallel sweeps
 ---------------
@@ -64,6 +71,7 @@ import json
 import math
 import os
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -81,10 +89,18 @@ def _stable_token(value):
     Primitives and containers of primitives encode via ``repr`` (stable
     across processes and runs for numbers, strings, bools and ``None``);
     the type name is included so ``1``, ``1.0`` and ``"1"`` stay distinct.
+    Mappings encode by sorted key, so two dicts with different insertion
+    orders produce the same token.
     """
     if isinstance(value, (tuple, list)):
         inner = b",".join(_stable_token(item) for item in value)
         return b"%s(%s)" % (type(value).__name__.encode(), inner)
+    if isinstance(value, dict):
+        inner = b",".join(
+            b"%s=%s" % (_stable_token(key), _stable_token(item))
+            for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))
+        )
+        return b"dict(%s)" % inner
     return b"%s:%s" % (type(value).__name__.encode(), repr(value).encode())
 
 
@@ -195,6 +211,11 @@ class SweepSpec:
     @property
     def axis_names(self):
         return tuple(self.axes)
+
+    @property
+    def seed_entropy(self):
+        """The root ``SeedSequence`` entropy every point seed derives from."""
+        return self._root.entropy
 
     @property
     def num_points(self):
@@ -416,16 +437,29 @@ class SweepExecutor:
 def executor_from_env(default_backend="serial"):
     """Build an executor from the ``REPRO_SWEEP_WORKERS`` environment knob.
 
-    ``REPRO_SWEEP_WORKERS`` unset, empty, ``0`` or ``1`` selects the
+    ``REPRO_SWEEP_WORKERS`` unset, empty or ``1`` selects the
     ``default_backend`` (serial unless overridden); any larger integer
     selects the process backend with that many workers.  Benchmarks use
     this so the harness can shard sweeps without code changes.
+
+    Anything else — non-integers, zero, negatives — raises a
+    :class:`ValueError` naming the variable immediately, instead of
+    silently falling back to serial or crashing deep inside the worker
+    pool with an unrelated traceback.
     """
     raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return SweepExecutor(default_backend)
     try:
-        workers = int(raw) if raw else 1
+        workers = int(raw)
     except ValueError:
-        workers = 1
+        raise ValueError(
+            "%s must be a positive integer worker count; got %r"
+            % (WORKERS_ENV, raw)) from None
+    if workers <= 0:
+        raise ValueError(
+            "%s must be a positive integer worker count; got %r"
+            % (WORKERS_ENV, raw))
     if workers > 1:
         return SweepExecutor("process", max_workers=workers)
     return SweepExecutor(default_backend)
@@ -498,6 +532,14 @@ def _resolve_llr_format(llr_format):
     return llr_format
 
 
+def _deprecated(name, replacement):
+    warnings.warn(
+        "%s is deprecated; %s" % (name, replacement),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def link_simulator_for_params(params, seed, point_seed=None):
     """Build the :class:`~repro.analysis.link.LinkSimulator` a point describes.
 
@@ -526,75 +568,26 @@ def link_simulator_for_params(params, seed, point_seed=None):
 
 
 def run_link_ber_point(point):
-    """Picklable point-runner: one BER measurement per (rate, SNR) point.
+    """Deprecated params-dict point-runner; use the Experiment front door.
 
-    Understands the parameters ``rate_mbps`` and ``snr_db`` (axes in the
-    typical Figure-6-style sweep) plus the workload constants ``decoder``,
-    ``packet_bits``, ``num_packets``, ``batch_size``, ``fading`` (Doppler
-    frequency or mapping — see :func:`link_simulator_for_params`),
-    ``llr_format`` (soft bit-width, mapping or format object) and
-    ``demapper_scaled``; the link simulator is seeded from ``point.seed``,
-    so rows depend only on the spec, never on the executor.
-
-    Measurement depth is controlled by two alternative constants:
-
-    ``stop=None`` (default)
-        Fixed depth — exactly ``num_packets`` packets, one seed stream per
-        point (the wall-clock-pinned perf benchmarks rely on this mode
-        costing the same everywhere).
-    ``stop=StopRule(...)``
-        Adaptive depth — the point runs in fixed-size batches of
-        ``batch_packets`` packets (default ``batch_size``) through
-        :func:`repro.analysis.adaptive.run_point_adaptive` until the rule
-        fires; ``num_packets`` becomes the per-point traffic cap when the
-        rule itself has no ``max_packets``.  The row gains ``packets``,
-        ``batches``, ``stop_reason`` and Wilson interval bounds.
+    A thin shim over :func:`repro.analysis.scenario.run_scenario_point`,
+    which validates the link description as a
+    :class:`~repro.analysis.scenario.Scenario` built from the point's
+    params and produces bit-for-bit the rows this function always did
+    (fixed depth with ``stop=None``, adaptive with ``stop=StopRule(...)``
+    in the constants).  New code should describe the link as a
+    ``Scenario`` and run it through an
+    :class:`~repro.analysis.scenario.Experiment`.
     """
-    params = point.params
-    stop = params.get("stop")
-    if stop is not None:
-        from repro.analysis.adaptive import run_link_ber_batch, run_point_adaptive
-
-        if stop.max_packets is None:
-            stop = stop.replace(max_packets=int(params.get("num_packets", 32)))
-        row = run_point_adaptive(
-            point,
-            run_link_ber_batch,
-            stop,
-            batch_packets=int(
-                params.get("batch_packets", params.get("batch_size", 32))
-            ),
-        )
-        # The spec's params are already in every sweep row; return only the
-        # measured quantities, in the fixed-mode vocabulary plus the
-        # adaptive extras.
-        return {
-            "seed": point.seed,
-            "num_bits": row["trials"],
-            "bit_errors": row["errors"],
-            "ber": row["ber"],
-            "ber_low": row["ber_low"],
-            "ber_high": row["ber_high"],
-            "packet_error_rate": (
-                row["packet_errors"] / row["packets"] if row["packets"] else 0.0
-            ),
-            "packets": row["packets"],
-            "batches": row["batches"],
-            "stop_reason": row["stop_reason"],
-        }
-
-    simulator = link_simulator_for_params(params, seed=point.seed)
-    result = simulator.run(
-        int(params.get("num_packets", 32)),
-        batch_size=int(params.get("batch_size", 32)),
+    _deprecated(
+        "run_link_ber_point",
+        "describe the link as a repro.analysis.scenario.Scenario and run "
+        "it through Experiment (run_scenario_point is the picklable "
+        "point-runner behind it)",
     )
-    return {
-        "seed": point.seed,
-        "num_bits": int(result.num_bits),
-        "bit_errors": int(result.bit_errors.sum()),
-        "ber": result.bit_error_rate,
-        "packet_error_rate": result.packet_error_rate,
-    }
+    from repro.analysis.scenario import run_scenario_point
+
+    return run_scenario_point(point)
 
 
 def _json_default(value):
@@ -604,17 +597,37 @@ def _json_default(value):
         return float(value)
     if isinstance(value, np.ndarray):
         return value.tolist()
-    return repr(value)
+    raise TypeError("%r (type %s) is not JSON-serialisable"
+                    % (value, type(value).__name__))
 
 
 def rows_to_json(rows):
     """Render sweep rows as JSON lines for ``benchmarks/_bench_utils.emit``.
 
-    numpy scalars and arrays are converted to plain Python values; anything
-    else non-serialisable falls back to its ``repr`` so a sweep row never
-    fails to emit.
+    numpy scalars and arrays are converted to plain Python values (arrays
+    to nested lists).  Anything else non-serialisable raises a
+    :class:`TypeError` naming the offending row key, so a benchmark that
+    leaks an object into its rows fails at emission with a usable message
+    instead of silently recording a ``repr`` the trajectory tooling cannot
+    parse.
     """
-    return "\n".join(json.dumps(row, default=_json_default) for row in rows)
+    lines = []
+    for index, row in enumerate(rows):
+        try:
+            lines.append(json.dumps(row, default=_json_default))
+        except TypeError:
+            for key, value in row.items():
+                try:
+                    json.dumps({key: value}, default=_json_default)
+                except TypeError:
+                    raise TypeError(
+                        "sweep row %d is not JSON-serialisable at key %r: "
+                        "%r (type %s); convert it to JSON/numpy values or "
+                        "drop the key before emitting"
+                        % (index, key, value, type(value).__name__)
+                    ) from None
+            raise
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------- #
@@ -632,27 +645,49 @@ class _ExperimentAdapter:
 
 
 def sweep(values, experiment, label="value"):
-    """Run ``experiment(value)`` for every value and collect labelled rows.
+    """Deprecated: run ``experiment(value)`` for every value, serially.
 
-    A thin wrapper over the serial backend, kept for the existing callers:
-    ``sweep(values, fn, label)`` is ``SweepExecutor("serial")`` run over
-    ``SweepSpec({label: values})`` with the experiment's result merged into
-    each row (non-dict results are wrapped as ``{"result": value}``).
+    A shim over the :class:`~repro.analysis.scenario.Experiment` front
+    door: ``sweep(values, fn, label)`` builds ``SweepSpec({label:
+    values})`` and runs the adapted callable through an ``Experiment``
+    pinned to the serial backend (legacy experiment callables are often
+    closures, which a process pool could not pickle).  Rows are identical
+    to what this helper always returned.
     """
+    _deprecated(
+        "sweep()",
+        "build a SweepSpec and run it through "
+        "repro.analysis.scenario.Experiment",
+    )
     values = list(values)
     if not values:
         return []
+    from repro.analysis.scenario import Experiment
+
     spec = SweepSpec({label: values})
-    return SweepExecutor("serial").run(spec, _ExperimentAdapter(experiment, (label,)))
+    return Experiment(
+        sweep=spec, runner=_ExperimentAdapter(experiment, (label,))
+    ).run(SweepExecutor("serial"))
 
 
 def cross_sweep(first_values, second_values, experiment, labels=("first", "second")):
-    """Two-dimensional sweep: run ``experiment(a, b)`` for every pair."""
+    """Deprecated: run ``experiment(a, b)`` for every pair, serially.
+
+    The two-axis analogue of :func:`sweep`, shimmed over the same
+    :class:`~repro.analysis.scenario.Experiment` path.
+    """
+    _deprecated(
+        "cross_sweep()",
+        "build a two-axis SweepSpec and run it through "
+        "repro.analysis.scenario.Experiment",
+    )
     first_values = list(first_values)
     second_values = list(second_values)
     if not first_values or not second_values:
         return []
+    from repro.analysis.scenario import Experiment
+
     spec = SweepSpec({labels[0]: first_values, labels[1]: second_values})
-    return SweepExecutor("serial").run(
-        spec, _ExperimentAdapter(experiment, tuple(labels))
-    )
+    return Experiment(
+        sweep=spec, runner=_ExperimentAdapter(experiment, tuple(labels))
+    ).run(SweepExecutor("serial"))

@@ -200,17 +200,58 @@ class TestExecution:
         parsed = [json.loads(line) for line in rows_to_json(rows).splitlines()]
         assert parsed == rows
 
+    def test_rows_to_json_round_trips_numpy_extras(self):
+        import json
+
+        import numpy as np
+
+        rows = [{
+            "count": np.int32(7),
+            "ratio": np.float64(0.125),
+            "curve": np.array([[1.0, 0.5], [0.25, 2.0 ** -40]]),
+            "bins": np.arange(3, dtype=np.int64),
+        }]
+        (line,) = rows_to_json(rows).splitlines()
+        parsed = json.loads(line)
+        # numpy scalars become exact Python numbers, arrays nested lists.
+        assert parsed["count"] == 7 and isinstance(parsed["count"], int)
+        assert parsed["ratio"] == 0.125
+        assert parsed["curve"] == [[1.0, 0.5], [0.25, 2.0 ** -40]]
+        assert parsed["bins"] == [0, 1, 2]
+
+    def test_rows_to_json_names_the_offending_key(self):
+        rows = [
+            {"snr_db": 5.0, "ber": 1e-3},
+            {"snr_db": 7.0, "measurement": object()},
+        ]
+        with pytest.raises(TypeError) as excinfo:
+            rows_to_json(rows)
+        message = str(excinfo.value)
+        assert "'measurement'" in message
+        assert "row 1" in message
+        assert "object" in message
+
     def test_executor_from_env_selects_backend(self, monkeypatch):
         monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
         assert executor_from_env().backend == "serial"
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "")
+        assert executor_from_env().backend == "serial"
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
         assert executor_from_env().backend == "serial"
-        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", " 4 ")
         executor = executor_from_env()
         assert executor.backend == "process"
         assert executor.max_workers == 4
-        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "nope")
-        assert executor_from_env().backend == "serial"
+
+    @pytest.mark.parametrize("raw", ["nope", "0", "-2", "2.5", "four"])
+    def test_executor_from_env_rejects_bad_worker_counts(self, monkeypatch, raw):
+        # A typo'd or non-positive worker count must fail loudly, naming
+        # the environment variable, not silently run serial or crash deep
+        # inside the pool.
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", raw)
+        with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS") as excinfo:
+            executor_from_env()
+        assert raw.strip() in str(excinfo.value)
 
 
 class TestErrorSurfacing:
