@@ -1,0 +1,148 @@
+"""Run the link characteriser as a long-lived service.
+
+Two demonstrations, both asserted (so this script doubles as the CI
+service smoke test):
+
+1. **In process** — start a :class:`Service`, submit two *overlapping*
+   requests concurrently, stream rows as points finish, and check the
+   dedup ledger: every shared batch was simulated exactly once, and both
+   clients still received bit-for-bit the rows of their own serial
+   ``Experiment.run``.
+2. **As a daemon** — spawn ``python -m repro.service`` on a free port,
+   submit the same two overlapping requests over HTTP (JSON in, JSON
+   lines out), assert the second is served partly from cache — zero
+   simulated batches for the shared operating points — then shut the
+   daemon down cleanly via ``POST /v1/shutdown``.
+
+Run with::
+
+    python examples/characterisation_service.py [store_dir]
+
+The store directory defaults to a temporary one; pass a path to keep the
+curves and re-run for a fully warm start.  Maintain the store afterwards
+with ``python -m repro.analysis.store ls|stats|gc <store_dir>``.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Scenario
+from repro.analysis.store import ResultStore
+from repro.analysis.sweep import SweepExecutor
+from repro.service import CharacterisationRequest, Service, fetch_json, \
+    stream_request
+
+SNRS_A = [4.0, 5.0, 6.0, 7.0]
+SNRS_B = [6.0, 7.0, 8.0, 9.0]       # overlaps A at 6 and 7 dB
+SHARED = sorted(set(SNRS_A) & set(SNRS_B))
+
+
+def build_request(snrs, priority=0):
+    return CharacterisationRequest(
+        scenario=Scenario(decoder="bcjr", packet_bits=600),
+        axes={"rate_mbps": [24], "snr_db": list(snrs)},
+        stop=StopRule(rel_half_width=0.3, min_errors=20, ber_floor=1e-3,
+                      max_packets=32),
+        constants={"batch_size": 4},
+        seed=23,
+        batch_packets=4,
+        priority=priority,
+    )
+
+
+def in_process_demo(store_dir):
+    print("== in process: two overlapping requests, one worker fleet ==")
+    with Service(ResultStore(store_dir), workers=2) as service:
+        started = time.perf_counter()
+        ticket_a = service.submit(build_request(SNRS_A))
+        ticket_b = service.submit(build_request(SNRS_B, priority=1))
+        for row in ticket_a.rows():    # streams as points finish
+            print("  [stream A +%5.2fs] snr=%4.1f dB  ber=%9.3g  %s"
+                  % (time.perf_counter() - started, row["snr_db"],
+                     row["ber"], row["stop_reason"]))
+        rows_a = ticket_a.result(timeout=300)
+        rows_b = ticket_b.result(timeout=300)
+        simulated = service.broker.total_simulated_batches
+        progress_b = ticket_b.progress()
+
+    # Both clients got bit-for-bit their serial Experiment rows...
+    assert rows_a == build_request(SNRS_A).experiment().run(
+        SweepExecutor("serial"))
+    assert rows_b == build_request(SNRS_B).experiment().run(
+        SweepExecutor("serial"))
+    # ...for strictly less simulation than two serial runs: the shared
+    # 6 and 7 dB batches ran once, not twice.
+    serial_batches = sum(r["batches"] for r in rows_a + rows_b)
+    assert simulated < serial_batches, (simulated, serial_batches)
+    print("  dedup: %d batches simulated for %d batches of demand "
+          "(B reused %d via store/in-flight merge)\n"
+          % (simulated, serial_batches,
+             progress_b["batches_cached"] + progress_b["batches_shared"]))
+
+
+def daemon_demo(store_dir):
+    print("== as a daemon: HTTP JSON-lines front door ==")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.service",
+         "--store", store_dir, "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    try:
+        announce = daemon.stdout.readline()
+        print("  " + announce.strip())
+        base_url = "http://%s:%s" % re.search(
+            r"http://([\d.]+):(\d+)", announce).groups()
+
+        # First ask: cold (this daemon store is fresh on a default run).
+        first_events = list(stream_request(base_url, build_request(SNRS_A)))
+        assert first_events[-1]["event"] == "done"
+
+        # Second, overlapping ask: the shared points must be answered
+        # entirely from the store — zero simulated batches for them.
+        events = list(stream_request(base_url, build_request(SNRS_B)))
+        done = events[-1]
+        assert done["event"] == "done"
+        for point in done["progress"]["points"]:
+            tag = ("shared, %d cached" % point["cached"]
+                   if point["snr_db"] in SHARED
+                   else "%d simulated" % point["simulated"])
+            print("  snr=%4.1f dB  %-22s %s"
+                  % (point["snr_db"], point["stop_reason"], tag))
+            if point["snr_db"] in SHARED:
+                assert point["simulated"] == 0, point
+                assert point["cached"] == point["batches"], point
+
+        status = fetch_json(base_url + "/v1/status")
+        print("  daemon served %d request(s); fleet %r"
+              % (status["completed_requests"],
+                 status["fleet"]["workers"]))
+        assert fetch_json(base_url + "/v1/shutdown", data={}) \
+            == {"status": "stopping"}
+        assert daemon.wait(timeout=30) == 0
+        print("  daemon shut down cleanly")
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+
+def main(store_dir):
+    in_process_demo(os.path.join(store_dir, "inprocess"))
+    daemon_demo(os.path.join(store_dir, "daemon"))
+    print("\nAll service assertions held.")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        main(sys.argv[1])
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            main(tmp)

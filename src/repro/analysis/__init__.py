@@ -49,6 +49,12 @@ wall-clock-pinned perf benchmarks need); the legacy ``sweep`` /
 ``cross_sweep`` / params-dict ``run_link_ber_point`` entry points remain
 as deprecated shims over this path.
 
+For serve-curves-on-demand deployments, :mod:`repro.service` runs this
+stack as a long-lived daemon: a broker dedupes requests against the
+store and each other, a persistent worker fleet simulates only the
+misses (via the batch-granular :meth:`Experiment.trajectory` hook), and
+rows stream back as points settle.
+
 Sweeps and adaptive characterisation
 ------------------------------------
 A BER curve is a grid of operating points, and the repository offers two
@@ -84,9 +90,11 @@ reasons.
 from repro.analysis.adaptive import (
     AdaptivePointState,
     AdaptiveScheduler,
+    AdaptiveTrajectory,
     MeasurementBatch,
     StopRule,
     batch_seed_sequence,
+    batch_store_key,
     run_link_ber_batch,
     run_point_adaptive,
 )
@@ -111,6 +119,7 @@ from repro.analysis.sweep import (
 __all__ = [
     "AdaptivePointState",
     "AdaptiveScheduler",
+    "AdaptiveTrajectory",
     "BerMeasurement",
     "Experiment",
     "LinkRunResult",
@@ -127,6 +136,7 @@ __all__ = [
     "SweepSpec",
     "Table",
     "batch_seed_sequence",
+    "batch_store_key",
     "bin_errors_by_hint",
     "cross_sweep",
     "executor_from_env",

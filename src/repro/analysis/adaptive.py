@@ -19,6 +19,11 @@ fixed runs into a characterisation *service* — "give me this BER curve to
   under a **global** traffic budget: each round it dispatches one batch to
   every unconverged point, loosest interval first, so the budget freed by
   early-stopped points flows to the starving high-SNR tail.
+* :class:`AdaptiveTrajectory` is the scheduler's round logic factored out
+  as a pull-based state machine (``start_round`` / ``consume`` /
+  ``rows``), the batch-granular dispatch hook long-lived callers — the
+  characterisation service broker in :mod:`repro.service` — use to
+  interleave many concurrent runs through one worker fleet.
 
 Determinism
 -----------
@@ -84,6 +89,18 @@ def batch_seed_sequence(point_seed_sequence, batch_index):
         entropy=point_seed_sequence.entropy,
         spawn_key=tuple(point_seed_sequence.spawn_key) + (int(batch_index),),
     )
+
+
+def batch_store_key(batch):
+    """The result-store point key of one batch: its point's seed spawn key.
+
+    The coordinates a :class:`~repro.analysis.store.StoreView` files the
+    batch under are exactly the coordinates its random stream derives
+    from, so the key IS the stream's identity.  Shared by the scheduler's
+    store path and the characterisation service broker — two callers
+    filing the same batch must agree on the key byte for byte.
+    """
+    return tuple(int(word) for word in batch.point.seed_sequence.spawn_key)
 
 
 class MeasurementBatch:
@@ -207,6 +224,26 @@ class StopRule:
         fields = {name: getattr(self, name) for name in self.__slots__}
         fields.update(changes)
         return StopRule(**fields)
+
+    def to_dict(self):
+        """The rule as a plain JSON-able mapping (see :meth:`from_dict`).
+
+        Used by the characterisation service's request hashing and its
+        HTTP front door; all fields are numbers or ``None``, so the form
+        round-trips exactly.
+        """
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a rule from :meth:`to_dict` output."""
+        data = dict(data)
+        unknown = set(data) - set(cls.__slots__)
+        if unknown:
+            raise ValueError(
+                "unknown StopRule field(s): %s (known fields: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(cls.__slots__)))
+        return cls(**data)
 
     def looseness(self, measurement):
         """How unsettled a measurement still is (the scheduling rank key).
@@ -431,6 +468,147 @@ class _BatchRunner:
 
 
 # ---------------------------------------------------------------------- #
+# The trajectory state machine
+# ---------------------------------------------------------------------- #
+class AdaptiveTrajectory:
+    """The executor-free core of an adaptive run, one round at a time.
+
+    :class:`AdaptiveScheduler` owns the *loop* (rank, dispatch, fold,
+    repeat); this class is the loop's state machine, pulled out so
+    batch-granular callers — above all the characterisation service
+    broker (:mod:`repro.service.broker`) — can interleave the batches of
+    many concurrent runs through one shared worker fleet instead of
+    blocking inside a per-run ``scheduler.run()`` call:
+
+    * :meth:`start_round` selects this round's batches (loosest interval
+      first, budget permitting) and debits the budget — exactly the
+      decisions ``AdaptiveScheduler`` makes at a round barrier.
+    * :meth:`consume` folds one batch's result back in, in any order; the
+      next round may start once :attr:`round_in_flight` clears.
+    * :meth:`rows` renders the accumulated states in grid order.
+
+    Because batch contents are pure functions of ``(point, batch
+    index)``, *who* runs a round's batches and in what order they return
+    is invisible in the result: driving a trajectory by hand, through a
+    scheduler or through the service fleet produces bit-for-bit the same
+    rows, budget accounting and stop reasons.
+    """
+
+    def __init__(self, spec, stop=None, batch_packets=32, budget=None):
+        if batch_packets < 1:
+            raise ValueError("batch_packets must be positive")
+        if budget is not None and budget < 1:
+            raise ValueError("budget must be positive")
+        if budget is None and (stop is None or stop.max_packets is None):
+            raise ValueError(
+                "unbounded adaptive trajectory: give it a budget or the "
+                "StopRule a max_packets cap"
+            )
+        self.stop = stop
+        self.batch_packets = int(batch_packets)
+        self.budget_left = None if budget is None else int(budget)
+        self.confidence = stop.confidence if stop is not None else 0.95
+        self.states = [AdaptivePointState(point) for point in spec]
+        self._outstanding = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def round_in_flight(self):
+        """Whether a started round still has unconsumed batches."""
+        return bool(self._outstanding)
+
+    @property
+    def finished(self):
+        """Every point stopped and no batch is outstanding."""
+        return not self._outstanding and all(
+            state.stop_reason is not None for state in self.states)
+
+    def _rank(self, states):
+        """Active states, loosest measurement first, grid index tie-break."""
+        rule = self.stop or StopRule()
+        return sorted(
+            states,
+            key=lambda state: (-rule.looseness(state.measurement),
+                               state.point.index),
+        )
+
+    def _affordable(self, ranked):
+        """How many of the ranked states this round's budget can fund."""
+        if self.budget_left is None:
+            return len(ranked)
+        return min(len(ranked), self.budget_left // self.batch_packets)
+
+    def start_round(self):
+        """Select and return this round's batches, debiting the budget.
+
+        Empty when the trajectory is finished — including the case where
+        the remaining budget cannot fund a single batch, in which case
+        every still-active point is stopped with reason ``"budget"``
+        first.  The budget counts *dispatched* traffic: every returned
+        batch is debited here, whether its result later comes from a
+        simulation, a cache or an error (a failed batch still simulated,
+        or tried to, so it must not be silently refunded).
+        """
+        if self._outstanding:
+            raise RuntimeError(
+                "a round is still in flight (%d batch(es) unconsumed); "
+                "consume() them before starting the next round"
+                % len(self._outstanding))
+        active = [s for s in self.states if s.stop_reason is None]
+        if not active:
+            return []
+        ranked = self._rank(active)
+        selected = ranked[:self._affordable(ranked)]
+        if not selected:
+            for state in active:
+                state.stop_reason = "budget"
+            return []
+        batches = [state.next_batch(self.batch_packets) for state in selected]
+        if self.budget_left is not None:
+            self.budget_left -= sum(batch.num_packets for batch in batches)
+        self._outstanding = {
+            (batch.point.index, batch.index): state
+            for state, batch in zip(selected, batches)
+        }
+        return batches
+
+    def consume(self, batch, result):
+        """Fold one outstanding batch's result in; returns its point state.
+
+        ``result`` is a chunk-runner mapping (or a captured ``{"error":
+        ...}`` row, which stops the point with reason ``"error"``).
+        Batches of one round may be consumed in any order; consuming a
+        batch that was never started raises.
+        """
+        key = (batch.point.index, batch.index)
+        try:
+            state = self._outstanding.pop(key)
+        except KeyError:
+            raise ValueError(
+                "batch %s was not started by this trajectory's current "
+                "round" % batch.label()) from None
+        if "error" in result and "errors" not in result:
+            state.stop_reason = "error"
+            state.error = result["error"]
+            return state
+        state.consume(batch, result, confidence=self.confidence)
+        if self.stop is not None:
+            state.stop_reason = self.stop.evaluate(state.measurement,
+                                                   state.packets)
+        return state
+
+    def rows(self):
+        """The per-point rows accumulated so far, in grid order."""
+        return [state.row(self.stop) for state in self.states]
+
+    def __repr__(self):
+        done = sum(1 for s in self.states if s.stop_reason is not None)
+        return ("AdaptiveTrajectory(points=%d, stopped=%d, in_flight=%d, "
+                "budget_left=%r)" % (len(self.states), done,
+                                     len(self._outstanding), self.budget_left))
+
+
+# ---------------------------------------------------------------------- #
 # The scheduler
 # ---------------------------------------------------------------------- #
 class AdaptiveScheduler:
@@ -487,21 +665,6 @@ class AdaptiveScheduler:
         self.executor = executor
 
     # ------------------------------------------------------------------ #
-    def _rank(self, states):
-        """Active states, loosest measurement first, grid index tie-break."""
-        rule = self.stop or StopRule()
-        return sorted(
-            states,
-            key=lambda state: (-rule.looseness(state.measurement),
-                               state.point.index),
-        )
-
-    def _affordable(self, ranked, budget_left):
-        """How many of the ranked states this round's budget can fund."""
-        if budget_left is None:
-            return len(ranked)
-        return min(len(ranked), budget_left // self.batch_packets)
-
     def run(self, spec, chunk_runner=None, on_error="raise", store=None):
         """Adaptively measure every point of ``spec``; rows in grid order.
 
@@ -530,23 +693,24 @@ class AdaptiveScheduler:
             raise ValueError("on_error must be 'raise' or 'capture'")
         if chunk_runner is None:
             chunk_runner = run_link_ber_batch
-        confidence = self.stop.confidence if self.stop is not None else 0.95
-        states = [AdaptivePointState(point) for point in spec]
+        trajectory = AdaptiveTrajectory(
+            spec, stop=self.stop, batch_packets=self.batch_packets,
+            budget=self.budget,
+        )
         runner = _BatchRunner(chunk_runner)
-        budget_left = self.budget
 
         # One worker pool for the whole run: a round often carries only a
         # few small batches, so paying pool startup per round would dwarf
         # the work (the session is a no-op for serial executors).
         with self.executor.session():
-            budget_left = self._drive(states, runner, budget_left, confidence,
-                                      on_error, store)
-        return [state.row(self.stop) for state in states]
-
-    @staticmethod
-    def _store_key(batch):
-        """The store key of one batch: the point's seed spawn key."""
-        return tuple(int(word) for word in batch.point.seed_sequence.spawn_key)
+            while True:
+                batches = trajectory.start_round()
+                if not batches:
+                    break
+                results = self._round_results(batches, runner, on_error, store)
+                for batch, result in zip(batches, results):
+                    trajectory.consume(batch, result)
+        return trajectory.rows()
 
     def _round_results(self, batches, runner, on_error, store):
         """One round's chunk-runner results, served from the store or run.
@@ -560,7 +724,7 @@ class AdaptiveScheduler:
         if store is not None:
             to_run = []
             for i, batch in enumerate(batches):
-                cached = store.get(self._store_key(batch), batch.index,
+                cached = store.get(batch_store_key(batch), batch.index,
                                    batch.num_packets)
                 if cached is None:
                     to_run.append(i)
@@ -576,41 +740,9 @@ class AdaptiveScheduler:
                 results[i] = result
                 if store is not None and not (
                         "error" in result and "errors" not in result):
-                    store.put(self._store_key(batches[i]), batches[i].index,
+                    store.put(batch_store_key(batches[i]), batches[i].index,
                               batches[i].num_packets, result)
         return results
-
-    def _drive(self, states, runner, budget_left, confidence, on_error,
-               store=None):
-        while True:
-            active = [s for s in states if s.stop_reason is None]
-            if not active:
-                break
-            ranked = self._rank(active)
-            selected = ranked[:self._affordable(ranked, budget_left)]
-            if not selected:
-                for state in active:
-                    state.stop_reason = "budget"
-                break
-            batches = [state.next_batch(self.batch_packets)
-                       for state in selected]
-            # The budget counts *dispatched* traffic: a batch whose runner
-            # fails in capture mode still simulated (or tried to), so it
-            # must not be silently refunded.
-            if budget_left is not None:
-                budget_left -= sum(batch.num_packets for batch in batches)
-            results = self._round_results(batches, runner, on_error, store)
-            for state, batch, result in zip(selected, batches, results):
-                if "error" in result and "errors" not in result:
-                    state.stop_reason = "error"
-                    state.error = result["error"]
-                    continue
-                state.consume(batch, result, confidence=confidence)
-                if self.stop is not None:
-                    state.stop_reason = self.stop.evaluate(
-                        state.measurement, state.packets
-                    )
-        return budget_left
 
     def __repr__(self):
         return "AdaptiveScheduler(stop=%r, batch_packets=%d, budget=%r, executor=%r)" % (

@@ -559,6 +559,41 @@ class Experiment:
         }
 
     # ------------------------------------------------------------------ #
+    # Batch-granular dispatch hooks (the characterisation service's API)
+    # ------------------------------------------------------------------ #
+    def store_view(self):
+        """The :class:`~repro.analysis.store.StoreView` this experiment's
+        batches are filed under, or ``None`` without a store attached."""
+        if self.store is None:
+            return None
+        return self.store.view(self.store_digest(),
+                               metadata=self._store_metadata())
+
+    def trajectory(self):
+        """A fresh :class:`~repro.analysis.adaptive.AdaptiveTrajectory`
+        over this experiment's grid.
+
+        The batch-granular face of :meth:`run`: ``start_round()`` /
+        ``consume()`` expose exactly the round decisions the scheduler
+        would make, so a long-lived caller (the characterisation service
+        broker) can interleave this experiment's batches with other
+        work — serving each from the store or a worker fleet — and still
+        land on bit-for-bit the rows :meth:`run` produces.  Adaptive
+        experiments only: fixed depth has no batch-invariant unit of
+        work.
+        """
+        if self.stop is None:
+            raise ValueError(
+                "trajectory() needs the adaptive path (stop=StopRule(...)): "
+                "only fixed-size batches are dispatchable units of work")
+        from repro.analysis.adaptive import AdaptiveTrajectory
+
+        return AdaptiveTrajectory(
+            self.spec(), stop=self.stop,
+            batch_packets=self.resolved_batch_packets(), budget=self.budget,
+        )
+
+    # ------------------------------------------------------------------ #
     def run(self, executor=None, on_error="raise"):
         """Run the experiment and return rows in grid order.
 
@@ -588,13 +623,11 @@ class Experiment:
             budget=self.budget,
             executor=executor,
         )
-        view = None
-        if self.store is not None:
-            view = self.store.view(self.store_digest(),
-                                   metadata=self._store_metadata())
+        view = self.store_view()
         rows = scheduler.run(spec, runner, on_error=on_error, store=view)
         if view is not None:
             self.last_store_stats = {"hits": view.hits, "misses": view.misses}
+            view.flush_stats()
         return rows
 
     def __repr__(self):

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.analysis.store`` (the repro-store CLI)."""
+
+import sys
+
+from repro.analysis.store import main
+
+if __name__ == "__main__":
+    sys.exit(main())

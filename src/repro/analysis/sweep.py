@@ -532,11 +532,21 @@ def _resolve_llr_format(llr_format):
     return llr_format
 
 
-def _deprecated(name, replacement):
+def _deprecated(name, replacement, stacklevel=2):
+    """Emit a shim's DeprecationWarning, attributed to the shim's caller.
+
+    ``replacement`` must name the supported entry point (the
+    :class:`repro.analysis.scenario.Experiment` front door) so the
+    warning is actionable on its own.  ``stacklevel`` counts frames from
+    the *shim*: the default ``2`` points the warning at the code that
+    called the deprecated entry point — the line the user must edit —
+    rather than at this module; one extra frame is added for this helper
+    itself.
+    """
     warnings.warn(
         "%s is deprecated; %s" % (name, replacement),
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel + 1,
     )
 
 

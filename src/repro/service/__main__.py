@@ -1,0 +1,58 @@
+"""Run the characterisation service as a localhost daemon.
+
+::
+
+    python -m repro.service --store bercurves/ [--port 8423] [--workers 4]
+
+The announce line (``listening on http://...``) is printed once the
+socket is bound — supervisors and the CI smoke job parse it to learn the
+port when ``--port 0`` picked a free one.  ``POST /v1/shutdown`` stops
+the daemon cleanly; Ctrl-C works too.
+"""
+
+import argparse
+import sys
+
+from repro.service.api import Service, serve
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-lived BER characterisation service: accepts "
+                    "Scenario+axes requests over HTTP, dedupes them against "
+                    "a ResultStore, schedules only the misses across a "
+                    "worker fleet and streams rows back as JSON lines.")
+    parser.add_argument("--store", required=True,
+                        help="ResultStore directory (created on first write)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: localhost only)")
+    parser.add_argument("--port", type=int, default=8423,
+                        help="TCP port; 0 picks a free one (default: 8423)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fleet worker count (default: CPU count)")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread", help="fleet backend")
+    args = parser.parse_args(argv)
+
+    service = Service(args.store, workers=args.workers, backend=args.backend)
+    service.start()
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print("repro characterisation service listening on http://%s:%d "
+          "(store: %s, %d %s worker(s))"
+          % (host, port, service.store.root, service.fleet.workers,
+             service.fleet.backend), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+        print("repro characterisation service stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

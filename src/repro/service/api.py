@@ -1,0 +1,258 @@
+"""The service front door: in-process object and localhost HTTP endpoint.
+
+:class:`Service` assembles the subsystem — a
+:class:`~repro.service.fleet.WorkerFleet`, a
+:class:`~repro.service.broker.CharacterisationBroker` and a pump thread
+that folds completed fleet items back into the broker — behind two
+entry points:
+
+in process
+    ``service.submit(request)`` returns the broker's
+    :class:`~repro.service.broker.RequestTicket`; stream
+    ``ticket.rows()`` as points finish or block on ``ticket.result()``.
+
+over HTTP
+    :func:`serve` binds a stdlib :class:`ThreadingHTTPServer` (localhost
+    by default) speaking JSON: ``POST /v1/characterise`` with a
+    :meth:`~repro.service.requests.CharacterisationRequest.to_dict` body
+    answers with a **JSON-lines stream** — an ``accepted`` line, then one
+    ``row`` event per finished point as batches complete (each carrying
+    a progress snapshot: points done, packets spent, cache/simulated
+    split), then ``done``.  ``GET /v1/requests`` reports per-request
+    progress, ``GET /v1/status`` the broker and fleet counters, and
+    ``POST /v1/shutdown`` stops the daemon cleanly.  ``python -m
+    repro.service`` runs exactly this (see :mod:`repro.service.__main__`).
+
+The HTTP layer adds no scheduling semantics of its own: every byte of a
+row is produced by the broker, so curl-ed curves are bit-for-bit the
+``Experiment.run`` curves.
+"""
+
+import json
+import logging
+import threading
+import time
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.analysis.store import ResultStore
+from repro.analysis.sweep import _json_default
+from repro.service.broker import CharacterisationBroker, ServiceError
+from repro.service.fleet import WorkerFleet
+from repro.service.requests import CharacterisationRequest
+
+__all__ = ["Service", "serve", "stream_request", "fetch_json"]
+
+_logger = logging.getLogger(__name__)
+
+
+class Service:
+    """The assembled characterisation service, in process.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.analysis.store.ResultStore` (or a directory
+        path for one).
+    workers, backend, mp_context:
+        Fleet shape — see :class:`~repro.service.fleet.WorkerFleet`.
+    runner:
+        Optional chunk-runner override for every request (default: the
+        link runner).
+    poll_s:
+        Pump thread poll interval; only shutdown latency, never results.
+    """
+
+    def __init__(self, store, workers=None, backend="thread", runner=None,
+                 mp_context=None, poll_s=0.05):
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.fleet = WorkerFleet(workers=workers, backend=backend,
+                                 mp_context=mp_context)
+        self.broker = CharacterisationBroker(store, self.fleet, runner=runner)
+        self.poll_s = float(poll_s)
+        self._pump = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    def start(self):
+        if self._pump is not None:
+            raise ServiceError("service already started")
+        self.fleet.start()
+        self._stopping.clear()
+        self._pump = threading.Thread(target=self._pump_main, daemon=True,
+                                      name="service-pump")
+        self._pump.start()
+        return self
+
+    def stop(self):
+        """Stop pumping and workers; in-flight requests fail cleanly."""
+        if self._pump is None:
+            return
+        self._stopping.set()
+        self._pump.join(timeout=10.0)
+        self._pump = None
+        self.fleet.stop()
+        self.broker.shutdown()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def _pump_main(self):
+        while not self._stopping.is_set():
+            # The pump must outlive any single fault: the broker already
+            # scopes per-result failures to their tickets, and anything
+            # that still escapes is logged rather than allowed to kill
+            # the thread and silently hang every future request.
+            try:
+                self.broker.pump(timeout=self.poll_s)
+            except Exception:
+                _logger.exception("service pump survived an unexpected error")
+                time.sleep(self.poll_s)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request):
+        """Submit one request; returns its (possibly shared) ticket."""
+        if self._pump is None:
+            raise ServiceError("service is not running; start() it first")
+        if not isinstance(request, CharacterisationRequest):
+            request = CharacterisationRequest.from_dict(request)
+        return self.broker.submit(request)
+
+    def characterise(self, request, timeout=None):
+        """Submit and block: the final rows, in grid order."""
+        return self.submit(request).result(timeout=timeout)
+
+    def status(self):
+        return dict(self.broker.status(), store_root=self.store.root,
+                    heartbeats=self.fleet.heartbeats())
+
+    def __repr__(self):
+        return "Service(store=%r, fleet=%r)" % (self.store.root, self.fleet)
+
+
+# ---------------------------------------------------------------------- #
+# HTTP front door (stdlib only)
+# ---------------------------------------------------------------------- #
+def _to_json(payload):
+    return (json.dumps(payload, default=_json_default) + "\n").encode("utf-8")
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    # HTTP/1.0 framing: the row stream has no known length, so the
+    # connection close delimits it — every stdlib/curl client handles
+    # that, and it keeps the handler free of chunked-encoding bookkeeping.
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, fmt, *args):  # route access noise to logging
+        _logger.debug("%s - %s", self.address_string(), fmt % args)
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def _send_json(self, status, payload):
+        body = _to_json(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        if self.path == "/v1/status":
+            return self._send_json(200, self.service.status())
+        if self.path == "/v1/requests":
+            return self._send_json(200,
+                                   {"requests": self.service.broker.requests()})
+        return self._send_json(404, {"error": "unknown path %s" % self.path})
+
+    def do_POST(self):
+        if self.path == "/v1/shutdown":
+            self._send_json(200, {"status": "stopping"})
+            # shutdown() must come from another thread: it joins the
+            # serve_forever loop this handler is running under.
+            threading.Thread(target=self.server.shutdown,
+                             daemon=True).start()
+            return None
+        if self.path != "/v1/characterise":
+            return self._send_json(404,
+                                   {"error": "unknown path %s" % self.path})
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            request = CharacterisationRequest.from_dict(payload)
+        except (TypeError, ValueError) as exc:
+            return self._send_json(400, {"error": str(exc)})
+        try:
+            ticket = self.service.submit(request)
+        except ServiceError as exc:
+            return self._send_json(503, {"error": str(exc)})
+        except Exception as exc:
+            # A synchronous submit fault (e.g. a corrupt store record hit
+            # during warm replay) must come back as JSON, not as a
+            # dropped connection and a server-side traceback.
+            _logger.exception("submit failed for %s", request)
+            return self._send_json(500, {"error": "%s: %s"
+                                         % (type(exc).__name__, exc)})
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        self.wfile.write(_to_json({
+            "event": "accepted",
+            "request": ticket.key,
+            "namespace": ticket.digest,
+            "points": request.num_points(),
+        }))
+        self.wfile.flush()
+        try:
+            for event in ticket.stream():
+                self.wfile.write(_to_json(event))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up; the request keeps running server-side
+        return None
+
+
+def serve(service, host="127.0.0.1", port=0):
+    """Bind the HTTP front door; returns the (not yet serving) server.
+
+    ``port=0`` picks a free port — read the real one back from
+    ``server.server_address``.  Call ``server.serve_forever()`` to run;
+    ``POST /v1/shutdown`` (or ``server.shutdown()``) stops it.
+    """
+    server = ThreadingHTTPServer((host, port), _ServiceRequestHandler)
+    server.daemon_threads = True
+    server.service = service
+    return server
+
+
+# ---------------------------------------------------------------------- #
+# Client helpers (used by the example, the CI smoke job and tests)
+# ---------------------------------------------------------------------- #
+def stream_request(base_url, request, timeout=300.0):
+    """POST a request to a running service; yield its parsed event stream."""
+    if isinstance(request, CharacterisationRequest):
+        request = request.to_dict()
+    http_request = urllib.request.Request(
+        base_url.rstrip("/") + "/v1/characterise",
+        data=json.dumps(request, default=_json_default).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(http_request, timeout=timeout) as response:
+        for line in response:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def fetch_json(url, data=None, timeout=30.0):
+    """GET (or POST, with ``data``) one JSON document from the service."""
+    http_request = urllib.request.Request(
+        url, data=None if data is None else json.dumps(data).encode("utf-8"))
+    with urllib.request.urlopen(http_request, timeout=timeout) as response:
+        return json.loads(response.read())

@@ -1,0 +1,461 @@
+"""The characterisation broker: store-deduped, priority-aware scheduling.
+
+The broker is the service's brain.  Each submitted
+:class:`~repro.service.requests.CharacterisationRequest` becomes a
+:class:`RequestTicket` wrapping a live
+:class:`~repro.analysis.adaptive.AdaptiveTrajectory`; the broker advances
+every ticket round by round, answering each needed batch from the
+cheapest source that has it:
+
+1. **request coalescing** — an identical in-flight ask
+   (:meth:`~repro.service.requests.CharacterisationRequest.request_key`)
+   returns the existing ticket, no new work at all;
+2. **the result store** — batches already on disk are consumed
+   immediately, without touching the fleet (a fully warm request
+   completes synchronously inside :meth:`CharacterisationBroker.submit`,
+   and a partial hit resumes at exactly the missing batch indices);
+3. **in-flight work merging** — a batch another request is already
+   simulating is *subscribed to*, not re-enqueued: overlapping requests'
+   miss-sets merge at ``(namespace, point, batch index)`` granularity;
+4. **the worker fleet** — only genuinely novel batches are enqueued, one
+   work item per batch, ordered by ``(priority, deadline, arrival)`` so a
+   huge low-priority sweep cannot head-of-line-block a small urgent one.
+
+Rows stream back through the ticket the moment their point stops;
+because batch contents are pure functions of ``(point, batch index)``,
+every ticket's final rows are bit-for-bit what a serial
+``request.experiment(store).run()`` would have produced — the broker can
+only ever change *where* a batch's bytes come from, never the bytes.
+
+Failures follow capture semantics: a batch whose runner raises stops its
+point with reason ``"error"`` and the request keeps going — a long-lived
+service must not crash on one bad operating point.
+"""
+
+import logging
+import math
+import queue
+import threading
+import time
+
+from repro.analysis.adaptive import batch_store_key
+
+__all__ = ["ServiceError", "RequestTicket", "CharacterisationBroker"]
+
+_logger = logging.getLogger(__name__)
+
+
+class ServiceError(RuntimeError):
+    """A request failed at the service layer (not a per-point error row)."""
+
+
+class RequestTicket:
+    """Live handle on one submitted request.
+
+    Consumers may :meth:`stream` events (every subscriber sees the full
+    event log, replayed then live), iterate :meth:`rows` as points
+    finish, block on :meth:`result` for the final grid-ordered rows, or
+    snapshot :meth:`progress` at any time.  All methods are thread-safe;
+    any number of clients may consume one ticket — that is what request
+    coalescing hands out.
+    """
+
+    def __init__(self, request, key, digest, trajectory, runner, seq, lock):
+        self.request = request
+        self.key = key
+        self.digest = digest
+        self.trajectory = trajectory
+        self.runner = runner
+        self.seq = seq
+        self.submitted_at = time.time()
+        deadline = request.deadline_s
+        #: Absolute deadline used as a dispatch tie-break within a
+        #: priority lane; never enforced (the service does not kill work).
+        self.deadline_at = (math.inf if deadline is None
+                            else self.submitted_at + float(deadline))
+        self.coalesced = 0
+        self.cached_batches = 0
+        self.simulated_batches = 0
+        self.shared_batches = 0
+        self.first_row_at = None
+        self.finished_at = None
+        self.failure = None
+        self.final_rows = None
+        self.done = threading.Event()
+        self._lock = lock          # the broker's lock; guards all state
+        self._events = []
+        self._subscribers = []
+        self._emitted = set()      # point indices already streamed
+        self._per_point = {state.point.index: {"cached": 0, "simulated": 0,
+                                               "shared": 0}
+                           for state in trajectory.states}
+
+    # ------------------------------------------------------------------ #
+    # Broker-side bookkeeping (called with the broker lock held)
+    # ------------------------------------------------------------------ #
+    def _note(self, batch, source):
+        self._per_point[batch.point.index][source] += 1
+        setattr(self, source + "_batches",
+                getattr(self, source + "_batches") + 1)
+
+    def _emit(self, event):
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber.put(event)
+
+    def _emit_new_rows(self):
+        """Stream a row for every point that stopped since the last call."""
+        for state in self.trajectory.states:
+            index = state.point.index
+            if state.stop_reason is None or index in self._emitted:
+                continue
+            self._emitted.add(index)
+            if self.first_row_at is None:
+                self.first_row_at = time.time()
+            self._emit({
+                "event": "row",
+                "request": self.key,
+                "point": index,
+                "row": state.row(self.trajectory.stop),
+                "progress": self._progress_locked(points=False),
+            })
+
+    def _finish(self):
+        self.finished_at = time.time()
+        self.final_rows = self.trajectory.rows()
+        self._emit({"event": "done", "request": self.key,
+                    "progress": self._progress_locked()})
+        self._close_subscribers()
+
+    def _fail(self, message):
+        self.failure = str(message)
+        self.finished_at = time.time()
+        self._emit({"event": "failed", "request": self.key,
+                    "error": self.failure})
+        self._close_subscribers()
+
+    def _close_subscribers(self):
+        for subscriber in self._subscribers:
+            subscriber.put(None)
+        self._subscribers = []
+        self.done.set()
+
+    # ------------------------------------------------------------------ #
+    # Consumer API
+    # ------------------------------------------------------------------ #
+    def stream(self):
+        """Yield this ticket's events: the backlog, then live, until done.
+
+        Events are mappings with an ``"event"`` key — ``"row"`` (one
+        point finished; carries the row and a progress snapshot),
+        ``"done"`` (final progress) or ``"failed"``.
+        """
+        feed = queue.Queue()
+        with self._lock:
+            backlog = list(self._events)
+            live = not self.done.is_set()
+            if live:
+                self._subscribers.append(feed)
+        for event in backlog:
+            yield event
+        if not live:
+            return
+        while True:
+            event = feed.get()
+            if event is None:
+                return
+            yield event
+
+    def rows(self):
+        """Yield per-point rows in completion order, as they stream in."""
+        for event in self.stream():
+            if event["event"] == "row":
+                yield event["row"]
+            elif event["event"] == "failed":
+                raise ServiceError(event["error"])
+
+    def result(self, timeout=None):
+        """Block until the request finishes; rows in grid order."""
+        if not self.done.wait(timeout):
+            raise TimeoutError(
+                "request %s... still running after %.1f s"
+                % (self.key[:12], timeout))
+        with self._lock:
+            if self.failure is not None:
+                raise ServiceError(self.failure)
+            return list(self.final_rows)
+
+    def progress(self):
+        """A point-in-time snapshot of the request's progress."""
+        with self._lock:
+            return self._progress_locked()
+
+    def _progress_locked(self, points=True):
+        states = self.trajectory.states
+        reasons = {}
+        for state in states:
+            if state.stop_reason is not None:
+                reasons[state.stop_reason] = reasons.get(state.stop_reason,
+                                                         0) + 1
+        out = {
+            "request": self.key,
+            "namespace": self.digest,
+            "priority": self.request.priority,
+            "points_total": len(states),
+            "points_done": sum(1 for s in states if s.stop_reason is not None),
+            "packets_spent": sum(s.packets for s in states),
+            "batches": sum(s.batches for s in states),
+            "batches_cached": self.cached_batches,
+            "batches_simulated": self.simulated_batches,
+            "batches_shared": self.shared_batches,
+            "budget_left": self.trajectory.budget_left,
+            "coalesced_submissions": self.coalesced,
+            "stop_reasons": reasons,
+            "done": self.done.is_set(),
+            "failed": self.failure,
+            "time_to_first_row_s": (
+                None if self.first_row_at is None
+                else self.first_row_at - self.submitted_at),
+            "elapsed_s": ((self.finished_at or time.time())
+                          - self.submitted_at),
+        }
+        if points:
+            out["points"] = [
+                dict(state.point.coordinates,
+                     stop_reason=state.stop_reason,
+                     packets=state.packets,
+                     batches=state.batches,
+                     **self._per_point[state.point.index])
+                for state in states
+            ]
+        return out
+
+    def __repr__(self):
+        return ("RequestTicket(%s..., done=%r, cached=%d, simulated=%d, "
+                "shared=%d)" % (self.key[:12], self.done.is_set(),
+                                self.cached_batches, self.simulated_batches,
+                                self.shared_batches))
+
+
+class CharacterisationBroker:
+    """Resolve requests against the store; schedule only the misses.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.analysis.store.ResultStore` curves are served
+        from and filed into.  Views are shared per namespace, so a batch
+        one request simulates is visible to every other the moment it
+        lands.
+    fleet:
+        A started :class:`~repro.service.fleet.WorkerFleet`.  The broker
+        only ever enqueues batch-granular items; someone (the
+        :class:`~repro.service.api.Service` pump thread, or a test
+        driving things by hand) must call :meth:`pump` to fold completed
+        items back in.
+    runner:
+        Optional chunk-runner override applied to every request (the
+        default is the link runner,
+        :func:`repro.analysis.adaptive.run_link_ber_batch`).  Part of
+        each request's store namespace, exactly as for ``Experiment``.
+    """
+
+    def __init__(self, store, fleet, runner=None):
+        self.store = store
+        self.fleet = fleet
+        self.runner = runner
+        self._lock = threading.RLock()
+        self._tickets = {}        # request_key -> in-flight ticket
+        self._views = {}          # namespace digest -> shared StoreView
+        self._inflight_work = {}  # work key -> [(ticket, batch), ...]
+        self._ticket_seq = 0
+        self._item_seq = 0           # dispatch-order tie-break generator
+        self.simulated_batches = 0   # actual fleet submissions
+        self.completed_requests = 0
+        self.failed_requests = 0
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request):
+        """Register one request; returns its (possibly shared) ticket.
+
+        An identical in-flight request coalesces onto the existing
+        ticket.  Batches already in the store are consumed before this
+        method returns — a fully warm request comes back already done,
+        which is what makes time-to-first-row for cached curves
+        effectively zero.
+        """
+        with self._lock:
+            key = request.request_key()
+            ticket = self._tickets.get(key)
+            if ticket is not None:
+                ticket.coalesced += 1
+                return ticket
+            experiment = request.experiment(store=self.store,
+                                            runner=self.runner)
+            digest = experiment.store_digest()
+            view = self._views.get(digest)
+            if view is None:
+                view = experiment.store_view()
+                self._views[digest] = view
+            self._ticket_seq += 1
+            ticket = RequestTicket(request, key, digest,
+                                   experiment.trajectory(),
+                                   experiment.resolved_runner(),
+                                   self._ticket_seq, self._lock)
+            self._tickets[key] = ticket
+            try:
+                self._advance(ticket)
+            except Exception as exc:
+                # Never leave a zombie behind: a fault during the
+                # synchronous warm replay (corrupt store record, fleet
+                # stopping under us) must not park a forever-pending
+                # ticket that all future identical requests coalesce onto.
+                self._tickets.pop(key, None)
+                self.failed_requests += 1
+                ticket._fail("submit failed: %s: %s"
+                             % (type(exc).__name__, exc))
+                raise
+            return ticket
+
+    def pump(self, timeout=0.0):
+        """Fold completed fleet items back in; count of items processed."""
+        results = self.fleet.poll(timeout)
+        with self._lock:
+            for work_key, result in results:
+                self._on_result(work_key, result)
+        return len(results)
+
+    def shutdown(self, message="service stopped"):
+        """Fail every in-flight ticket (used on service shutdown)."""
+        with self._lock:
+            for ticket in list(self._tickets.values()):
+                ticket._fail(message)
+                self.failed_requests += 1
+            self._tickets = {}
+            self._inflight_work = {}
+
+    # ------------------------------------------------------------------ #
+    def _advance(self, ticket):
+        """Drive a ticket forward until it blocks on fleet work or ends."""
+        trajectory = ticket.trajectory
+        view = self._views[ticket.digest]
+        while not trajectory.round_in_flight:
+            if trajectory.finished:
+                ticket._emit_new_rows()
+                ticket._finish()
+                view.flush_stats()
+                self._tickets.pop(ticket.key, None)
+                self.completed_requests += 1
+                return
+            batches = trajectory.start_round()
+            # start_round may stop points on its own (budget exhaustion).
+            ticket._emit_new_rows()
+            if not batches:
+                continue
+            pending = []
+            for batch in batches:
+                cached = view.get(batch_store_key(batch), batch.index,
+                                  batch.num_packets)
+                if cached is None:
+                    pending.append(batch)
+                    continue
+                ticket._note(batch, "cached")
+                trajectory.consume(batch, cached)
+                ticket._emit_new_rows()
+            for batch in pending:
+                self._enqueue(ticket, batch)
+            if pending:
+                return
+
+    def _enqueue(self, ticket, batch):
+        work_key = (ticket.digest, batch_store_key(batch), batch.index,
+                    batch.num_packets)
+        subscribers = self._inflight_work.get(work_key)
+        if subscribers is not None:
+            # Another request is already simulating this exact batch:
+            # subscribe to its result instead of re-enqueueing — and, if
+            # we are the more urgent requester, pull the queued item
+            # forward so the shared batch does not keep the lazier
+            # request's queue position.
+            subscribers.append((ticket, batch))
+            ticket._note(batch, "shared")
+            self._item_seq += 1
+            self.fleet.promote(
+                work_key, (ticket.request.priority, ticket.deadline_at,
+                           ticket.seq, self._item_seq))
+            return
+        self._inflight_work[work_key] = [(ticket, batch)]
+        ticket._note(batch, "simulated")
+        self._item_seq += 1
+        self.simulated_batches += 1
+        self.fleet.submit(
+            work_key, ticket.runner, batch,
+            priority=(ticket.request.priority, ticket.deadline_at,
+                      ticket.seq, self._item_seq),
+        )
+
+    def _on_result(self, work_key, result):
+        subscribers = self._inflight_work.pop(work_key, None)
+        if subscribers is None:
+            return  # stale (e.g. the fleet flushed after a shutdown)
+        digest, point_key, batch_index, num_packets = work_key
+        if not ("error" in result and "errors" not in result):
+            # Persist before delivery: a batch is simulated once, ever.
+            # Best-effort — an unstorable result (a custom runner leaking
+            # tuple extras, a full disk) must not take the pump thread
+            # down with it; the batch is simply served uncached.
+            try:
+                self._views[digest].put(point_key, batch_index, num_packets,
+                                        result)
+            except Exception:
+                _logger.warning(
+                    "could not persist batch %r of namespace %s; serving it "
+                    "uncached", (point_key, batch_index), digest[:16],
+                    exc_info=True)
+        for ticket, batch in subscribers:
+            if ticket.done.is_set():
+                continue
+            # A fault folding one ticket's result in (e.g. a malformed
+            # runner result dict) fails that ticket alone — the service
+            # and its other requests keep running.
+            try:
+                ticket.trajectory.consume(batch, result)
+                ticket._emit_new_rows()
+                if not ticket.trajectory.round_in_flight:
+                    self._advance(ticket)
+            except Exception as exc:
+                _logger.warning("request %s failed processing batch %s",
+                                ticket.key[:16], batch.label(), exc_info=True)
+                ticket._fail("internal error processing %s: %s"
+                             % (batch.label(), exc))
+                self._tickets.pop(ticket.key, None)
+                self.failed_requests += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_simulated_batches(self):
+        """Work items ever enqueued to the fleet — the dedup denominator."""
+        return self.simulated_batches
+
+    def requests(self):
+        """Progress snapshots of every in-flight request."""
+        with self._lock:
+            return [ticket.progress() for ticket in self._tickets.values()]
+
+    def status(self):
+        with self._lock:
+            return {
+                "in_flight_requests": len(self._tickets),
+                "completed_requests": self.completed_requests,
+                "failed_requests": self.failed_requests,
+                "simulated_batches": self.simulated_batches,
+                "inflight_batches": len(self._inflight_work),
+                "namespaces": sorted(self._views),
+                "fleet": self.fleet.stats(),
+            }
+
+    def __repr__(self):
+        return ("CharacterisationBroker(in_flight=%d, completed=%d, "
+                "simulated_batches=%d)"
+                % (len(self._tickets), self.completed_requests,
+                   self.simulated_batches))

@@ -1,0 +1,521 @@
+"""A persistent worker fleet pulling batch-granular work items.
+
+The sweep layer's :class:`~repro.analysis.sweep.SweepExecutor` is built
+for one-shot runs: it is handed a whole grid, builds a pool, drains it,
+tears it down.  A long-lived service needs the opposite lifetime — the
+pool outlives any single request, and the unit of dispatch is one
+:class:`~repro.analysis.adaptive.MeasurementBatch`, so a thousand-point
+request cannot head-of-line-block a three-point one: their batches
+interleave in a single priority queue.
+
+:class:`WorkerFleet` provides that with two backends:
+
+``thread``
+    Worker threads in this process.  The link simulator spends most of
+    its time inside numpy kernels that release the GIL, so threads give
+    real parallelism without pickling, and are the default for the
+    in-process service.
+``process``
+    Long-lived ``multiprocessing`` worker processes.  Each worker owns a
+    depth-1 task queue, so the parent always knows exactly which item a
+    worker holds: when a worker dies mid-batch (OOM kill, segfault, an
+    ``os._exit`` deep in native code), its item is requeued — up to
+    ``max_retries`` times — and a replacement worker is started.  Workers
+    post heartbeats on a side channel; :meth:`heartbeats` reports each
+    worker's last-seen age.
+
+Determinism
+-----------
+A work item is ``(runner, batch)`` and the batch carries its own derived
+:class:`~numpy.random.SeedSequence` — *which worker* runs it, in what
+order, or on the how-many-th retry is invisible in the result, the same
+invariance the executor backends guarantee.  A runner *exception* is
+deterministic, so it is never retried: it comes back as a captured
+``{"error": ...}`` result in the executor's vocabulary.  Only worker
+death triggers a retry.
+"""
+
+import heapq
+import itertools
+import os
+import queue
+import threading
+import time
+import traceback
+
+__all__ = ["FleetError", "WorkerFleet"]
+
+
+class FleetError(RuntimeError):
+    """The fleet was used outside its lifecycle or lost a worker for good."""
+
+
+def _capture(runner, batch):
+    """Run one item, capturing failures in the executor's error format."""
+    try:
+        return dict(runner(batch)), None
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        detail = "%s: %s\n%s" % (type(exc).__name__, exc,
+                                 traceback.format_exc())
+        return None, detail
+
+
+def _process_worker_main(worker_id, conn, heartbeat_s):
+    """Long-lived process worker: heartbeat thread + one-item task loop.
+
+    All messages travel over this worker's own duplex pipe.  That channel
+    choice is deliberate: a shared ``multiprocessing.Queue`` guards its
+    write end with a semaphore *shared by every worker*, so a worker
+    dying mid-``put`` (exactly what the retry machinery exists for)
+    would leave the semaphore locked and poison the whole fleet.  A
+    per-worker pipe has a single writing process — a dying worker can
+    only break its own channel, which the parent reads as EOF.
+    """
+    send_lock = threading.Lock()  # main loop and heartbeat thread share conn
+    stop_beat = threading.Event()
+
+    def send(message):
+        with send_lock:
+            conn.send(message)
+
+    def beat():
+        while not stop_beat.wait(heartbeat_s):
+            try:
+                send(("heartbeat", worker_id, time.time()))
+            except OSError:
+                return
+
+    beater = threading.Thread(target=beat, daemon=True)
+    beater.start()
+    send(("heartbeat", worker_id, time.time()))
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        seq, runner, batch = task
+        result, error = _capture(runner, batch)
+        send(("result", worker_id, seq, result, error))
+    stop_beat.set()
+
+
+class _Item:
+    """One queued work item and its bookkeeping."""
+
+    __slots__ = ("seq", "item_id", "runner", "batch", "priority", "attempts",
+                 "delivered")
+
+    def __init__(self, seq, item_id, runner, batch, priority):
+        self.seq = seq
+        self.item_id = item_id
+        self.runner = runner
+        self.batch = batch
+        self.priority = priority
+        self.attempts = 0
+        self.delivered = False
+
+
+class WorkerFleet:
+    """Long-lived workers draining one priority queue of batch items.
+
+    Parameters
+    ----------
+    workers:
+        Worker count (default ``os.cpu_count()``, at least 1).
+    backend:
+        ``"thread"`` (default) or ``"process"`` (see the module
+        docstring for the trade-off).
+    mp_context:
+        Optional :mod:`multiprocessing` context or start-method name for
+        the process backend.
+    heartbeat_s:
+        Process-worker heartbeat interval in seconds.
+    max_retries:
+        How many times a work item is re-dispatched after the worker
+        running it died, before it is failed with an error result.
+
+    Usage: :meth:`start` (or use as a context manager), then
+    :meth:`submit` items — ``submit(item_id, runner, batch,
+    priority=...)``; lower priority tuples run first — and drain
+    ``(item_id, result)`` pairs with :meth:`poll`.  Results arrive in
+    completion order; an item that failed carries ``{"error": ...}``.
+    """
+
+    def __init__(self, workers=None, backend="thread", mp_context=None,
+                 heartbeat_s=1.0, max_retries=2):
+        if backend not in ("thread", "process"):
+            raise ValueError("unknown backend %r (use 'thread' or 'process')"
+                             % (backend,))
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        self.backend = backend
+        self.workers = workers or os.cpu_count() or 1
+        self.mp_context = mp_context
+        self.heartbeat_s = float(heartbeat_s)
+        self.max_retries = int(max_retries)
+        self.submitted = 0
+        self.completed = 0
+        self.retried = 0
+        self.restarted = 0
+        self._seq = itertools.count()
+        self._lock = threading.Condition()
+        self._heap = []            # (priority, seq, _Item)
+        self._queued = {}          # item_id -> _Item still awaiting dispatch
+        self._inflight = {}        # seq -> _Item, dispatched and unresolved
+        self._done = queue.Queue()  # (item_id, result dict)
+        self._heartbeat = {}       # worker name -> last-seen timestamp
+        self._running = False
+        self._stopping = False
+        # thread backend
+        self._threads = []
+        # process backend
+        self._context = None
+        self._procs = {}           # worker name -> (Process, parent Connection)
+        self._assigned = {}        # worker name -> seq it currently holds
+        self._idle = set()
+        self._pump_threads = []
+        self._worker_ids = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self):
+        if self._running:
+            raise FleetError("fleet already started")
+        self._running = True
+        self._stopping = False
+        if self.backend == "thread":
+            for _ in range(self.workers):
+                name = "fleet-thread-%d" % next(self._worker_ids)
+                thread = threading.Thread(target=self._thread_worker_main,
+                                          args=(name,), daemon=True)
+                self._heartbeat[name] = time.time()
+                self._threads.append(thread)
+                thread.start()
+            return self
+        import multiprocessing
+
+        context = self.mp_context
+        if isinstance(context, str):
+            context = multiprocessing.get_context(context)
+        self._context = context or multiprocessing.get_context()
+        for _ in range(self.workers):
+            self._spawn_process_worker()
+        collector = threading.Thread(target=self._collector_main, daemon=True)
+        feeder = threading.Thread(target=self._feeder_main, daemon=True)
+        self._pump_threads = [collector, feeder]
+        collector.start()
+        feeder.start()
+        return self
+
+    def stop(self):
+        """Stop workers; unfinished items come back as error results."""
+        with self._lock:
+            if not self._running:
+                return
+            self._stopping = True
+            self._lock.notify_all()
+        if self.backend == "thread":
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+            self._threads = []
+        else:
+            for name, (proc, conn) in list(self._procs.items()):
+                try:
+                    conn.send(None)
+                except (OSError, ValueError):
+                    pass
+            for thread in self._pump_threads:
+                thread.join(timeout=10.0)
+            self._pump_threads = []
+            for name, (proc, conn) in list(self._procs.items()):
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+                conn.close()
+            self._procs = {}
+        with self._lock:
+            leftovers = list(self._inflight.values())
+            self._inflight = {}
+            while self._heap:
+                leftovers.append(heapq.heappop(self._heap)[2])
+            self._queued = {}
+            self._running = False
+            for item in leftovers:
+                self._finish(item, None, "fleet stopped")
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Submission and results
+    # ------------------------------------------------------------------ #
+    def submit(self, item_id, runner, batch, priority=()):
+        """Queue one batch; lower ``priority`` tuples are dispatched first."""
+        with self._lock:
+            if not self._running or self._stopping:
+                raise FleetError("fleet is not running; start() it first")
+            item = _Item(next(self._seq), item_id, runner, batch,
+                         tuple(priority))
+            heapq.heappush(self._heap, (item.priority, item.seq, item))
+            self._queued[item_id] = item
+            self.submitted += 1
+            self._lock.notify_all()
+        return item.item_id
+
+    def promote(self, item_id, priority):
+        """Raise a queued item's priority; no-op once it is dispatched.
+
+        Used by the broker when an urgent request subscribes to a batch a
+        lazier request already enqueued: without this the shared batch
+        would keep its original queue position and the urgent request
+        would inherit the lazy one's completion latency.  Implemented as
+        a lazy decrease-key: the better entry is pushed and the stale one
+        is skipped at pop time.
+        """
+        priority = tuple(priority)
+        with self._lock:
+            item = self._queued.get(item_id)
+            if item is None or item.delivered or priority >= item.priority:
+                return False
+            item.priority = priority
+            heapq.heappush(self._heap, (priority, item.seq, item))
+            self._lock.notify_all()
+            return True
+
+    def _pop_queued(self):
+        """Next live queued item, skipping stale promotion duplicates.
+
+        Called with the lock held; returns ``None`` when nothing is
+        queued.
+        """
+        while self._heap:
+            entry_priority, _, item = heapq.heappop(self._heap)
+            if item.delivered or item.seq in self._inflight:
+                continue  # duplicate of an already-dispatched entry
+            if entry_priority != item.priority:
+                continue  # superseded by a promotion
+            self._queued.pop(item.item_id, None)
+            return item
+        return None
+
+    def poll(self, timeout=0.0):
+        """Completed ``(item_id, result)`` pairs, oldest first.
+
+        Blocks up to ``timeout`` seconds for the *first* result, then
+        drains whatever else is ready without blocking.
+        """
+        out = []
+        try:
+            out.append(self._done.get(timeout=timeout) if timeout > 0
+                       else self._done.get_nowait())
+            while True:
+                out.append(self._done.get_nowait())
+        except queue.Empty:
+            pass
+        return out
+
+    @property
+    def pending(self):
+        """Items submitted but not yet completed."""
+        return self.submitted - self.completed
+
+    def heartbeats(self, now=None):
+        """Seconds since each worker was last seen alive."""
+        now = time.time() if now is None else now
+        with self._lock:
+            return {name: now - seen
+                    for name, seen in sorted(self._heartbeat.items())}
+
+    def stats(self):
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "pending": self.pending,
+            "retried": self.retried,
+            "workers_restarted": self.restarted,
+        }
+
+    def _finish(self, item, result, error):
+        """Deliver one item's result, exactly once (called under the lock).
+
+        The once-guard matters at shutdown: stop() error-fails items whose
+        worker outlived the join timeout, and that straggler thread may
+        still complete the item afterwards — without the guard a caller
+        would see two contradictory results for one item_id.
+        """
+        if item.delivered:
+            return
+        item.delivered = True
+        if error is not None:
+            # Match the executor's capture rows: first line in the result,
+            # full detail available to whoever logs it.
+            result = {"error": error.splitlines()[0]}
+        self.completed += 1
+        self._done.put((item.item_id, result))
+
+    # ------------------------------------------------------------------ #
+    # Thread backend
+    # ------------------------------------------------------------------ #
+    def _thread_worker_main(self, name):
+        while True:
+            with self._lock:
+                item = None
+                while not self._stopping:
+                    item = self._pop_queued()
+                    if item is not None:
+                        break
+                    self._heartbeat[name] = time.time()
+                    self._lock.wait(timeout=self.heartbeat_s)
+                if item is None:
+                    return
+                self._inflight[item.seq] = item
+                self._heartbeat[name] = time.time()
+            result, error = _capture(item.runner, item.batch)
+            with self._lock:
+                self._inflight.pop(item.seq, None)
+                self._heartbeat[name] = time.time()
+                self._finish(item, result, error)
+
+    # ------------------------------------------------------------------ #
+    # Process backend
+    # ------------------------------------------------------------------ #
+    def _spawn_process_worker(self):
+        name = "fleet-proc-%d" % next(self._worker_ids)
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        proc = self._context.Process(
+            target=_process_worker_main,
+            args=(name, child_conn, self.heartbeat_s),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the parent keeps only its own end
+        self._procs[name] = (proc, parent_conn)
+        self._heartbeat[name] = time.time()
+        self._idle.add(name)
+        return name
+
+    def _feeder_main(self):
+        """Assign heap items to idle workers; watch for worker death."""
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                while self._idle:
+                    item = self._pop_queued()
+                    if item is None:
+                        break
+                    name = self._idle.pop()
+                    _, conn = self._procs[name]
+                    self._inflight[item.seq] = item
+                    self._assigned[name] = item.seq
+                    item.attempts += 1
+                    try:
+                        conn.send((item.seq, item.runner, item.batch))
+                    except (OSError, ValueError):
+                        self._reap_worker(name)
+                    except Exception as exc:
+                        # The item itself cannot be shipped (unpicklable
+                        # runner or batch): fail it deterministically and
+                        # keep both the worker and this thread alive.
+                        self._inflight.pop(item.seq, None)
+                        self._assigned.pop(name, None)
+                        self._idle.add(name)
+                        self._finish(
+                            item, None,
+                            "work item %s cannot be shipped to a process "
+                            "worker: %s: %s" % (item.batch.label(),
+                                                type(exc).__name__, exc))
+                for name, (proc, _) in list(self._procs.items()):
+                    if not proc.is_alive():
+                        self._reap_worker(name)
+                self._lock.wait(timeout=0.2)
+
+    def _reap_worker(self, name):
+        """Requeue (or fail) a dead worker's item; start a replacement.
+
+        Called with the lock held.  A worker that died *between* items is
+        simply replaced; one that died holding an item triggers the
+        retry path.
+        """
+        proc, conn = self._procs.pop(name)
+        conn.close()
+        self._heartbeat.pop(name, None)
+        self._idle.discard(name)
+        seq = self._assigned.pop(name, None)
+        if seq is not None:
+            item = self._inflight.pop(seq, None)
+            if item is not None:
+                if item.attempts > self.max_retries:
+                    self._finish(
+                        item, None,
+                        "worker died running %s (%d attempt(s)); giving up"
+                        % (item.batch.label(), item.attempts))
+                else:
+                    self.retried += 1
+                    heapq.heappush(self._heap,
+                                   (item.priority, item.seq, item))
+                    self._queued[item.item_id] = item
+        if not self._stopping:
+            self.restarted += 1
+            self._spawn_process_worker()
+
+    def _collector_main(self):
+        """Drain worker messages into heartbeats and completed results."""
+        from multiprocessing.connection import wait as connection_wait
+
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                conns = {conn: name
+                         for name, (_, conn) in self._procs.items()}
+            try:
+                ready = connection_wait(list(conns), timeout=0.2)
+            except OSError:
+                # The feeder reaped a dead worker (closing its connection)
+                # between our snapshot and the wait; rebuild and retry.
+                continue
+            for conn in ready:
+                name = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died (possibly mid-message): its pipe hit
+                    # EOF.  Reap it now rather than spinning on the
+                    # readable-at-EOF connection until the feeder notices.
+                    with self._lock:
+                        if name in self._procs:
+                            self._procs[name][0].join(timeout=1.0)
+                            self._reap_worker(name)
+                            self._lock.notify_all()
+                    continue
+                kind = message[0]
+                with self._lock:
+                    if kind == "heartbeat":
+                        _, name, seen = message
+                        if name in self._procs:
+                            self._heartbeat[name] = seen
+                    elif kind == "result":
+                        _, name, seq, result, error = message
+                        if name in self._procs:
+                            self._heartbeat[name] = time.time()
+                            self._assigned.pop(name, None)
+                            self._idle.add(name)
+                            self._lock.notify_all()
+                        item = self._inflight.pop(seq, None)
+                        if item is not None:
+                            self._finish(item, result, error)
+
+    def __repr__(self):
+        return ("WorkerFleet(backend=%r, workers=%d, pending=%d, "
+                "completed=%d)" % (self.backend, self.workers, self.pending,
+                                   self.completed))

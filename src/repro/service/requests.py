@@ -1,0 +1,254 @@
+"""Characterisation requests: the service's declarative unit of work.
+
+A :class:`CharacterisationRequest` names everything the long-lived
+service needs to serve a curve: the link :class:`Scenario`, the sweep
+axes and workload constants, the master seed, the :class:`StopRule`
+depth target, the batch quantum — plus the *service* knobs a batch
+:class:`~repro.analysis.scenario.Experiment` never needed: a priority
+and a deadline hint for the broker's work queue.
+
+The request is frozen and canonically hashable (:meth:`request_key`), so
+two clients asking the same question at the same time coalesce onto one
+in-flight computation, and it round-trips through JSON
+(:meth:`to_dict` / :meth:`from_dict`) so the HTTP front door and the
+in-process API accept exactly the same shape.
+
+Identity versus namespace
+-------------------------
+:meth:`request_key` is the *request* identity: everything that decides
+the rows, including the stop rule, budget and exact axis grid — two
+requests differing only in priority or deadline still coalesce.
+:meth:`store_digest` is the *store namespace* the request's batches are
+filed under — deliberately independent of the stop rule and the axis
+values, which is what lets overlapping requests (different SNR windows,
+different depth targets) share every batch they have in common.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Experiment, Scenario
+from repro.analysis.sweep import SweepSpec
+
+
+def _plain(value):
+    """Coerce values to their canonical JSON shapes so requests hash
+    faithfully.
+
+    ``SweepSpec`` happily sweeps ``np.arange(...)`` axes and tuple
+    values, so the service must accept them too — but the canonical
+    request form is JSON, and value *types* are part of both the request
+    key and the store's seed-derivation tokens.  Normalising up front
+    (numpy scalars to Python scalars, tuples and arrays to lists) keeps
+    one invariant: two requests with equal ``request_key()`` describe
+    equal sweeps, whether they were built in process or round-tripped
+    through the HTTP body.  Leaving tuples intact would break it — the
+    key (via JSON) would collapse ``(1, 2)`` and ``[1, 2]`` while the
+    seed derivation distinguished them.
+    """
+    if isinstance(value, np.ndarray):
+        return [_plain(item) for item in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {name: _plain(item) for name, item in value.items()}
+    return value
+
+
+@dataclass(frozen=True, eq=False)
+class CharacterisationRequest:
+    """One curve ask: scenario + grid + depth target + scheduling hints.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative :class:`Scenario` under test (object-valued
+        fields are rejected: the service must be able to hash, persist
+        and ship the request).
+    axes:
+        Mapping of axis name to the operating-point values to
+        characterise (e.g. ``{"snr_db": [4.0, 5.0, 6.0]}``).
+    stop:
+        The :class:`StopRule` measurement-depth target shared by every
+        point.
+    constants:
+        Extra workload constants merged into the sweep spec
+        (``batch_size`` and friends).  Must be JSON-representable.
+    seed:
+        Master seed (a plain int).  Unlike ``SweepSpec``, the service
+        refuses ``None``: fresh OS entropy would defeat both the store
+        and request coalescing.
+    batch_packets:
+        Adaptive batch quantum — the dedup/chunk-invariance unit.
+    budget:
+        Optional global packet budget for this request's trajectory.
+    priority:
+        Work-queue priority; *lower runs first* (0 is the default lane).
+        Scheduling only — never part of the rows or the request key.
+    deadline_s:
+        Optional soft deadline hint in seconds; among equal priorities
+        the broker dispatches tighter deadlines first.  Scheduling only.
+    """
+
+    scenario: object
+    axes: object
+    stop: object
+    constants: object = field(default_factory=dict)
+    seed: int = 0
+    batch_packets: int = 32
+    budget: object = None
+    priority: int = 0
+    deadline_s: object = None
+
+    def __post_init__(self):
+        if not isinstance(self.scenario, Scenario):
+            raise TypeError("scenario must be a Scenario; got %r"
+                            % (self.scenario,))
+        if not self.scenario.is_declarative:
+            self.scenario.to_dict()  # raises naming the offending field
+        try:
+            axes = {str(name): [_plain(value) for value in values]
+                    for name, values in dict(self.axes).items()}
+        except (TypeError, ValueError):
+            raise TypeError(
+                "axes must be a mapping of axis name to values; got %r"
+                % (self.axes,)) from None
+        if not axes or not all(axes.values()):
+            raise ValueError("axes must name at least one axis with at "
+                             "least one value; got %r" % (self.axes,))
+        object.__setattr__(self, "axes", axes)
+        if not isinstance(self.stop, StopRule):
+            raise TypeError("stop must be a StopRule; got %r" % (self.stop,))
+        object.__setattr__(self, "constants", _plain(dict(self.constants or {})))
+        if isinstance(self.seed, np.integer):
+            object.__setattr__(self, "seed", int(self.seed))
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise TypeError(
+                "seed must be a plain int (the service cannot coalesce or "
+                "persist fresh-entropy requests); got %r" % (self.seed,))
+        if int(self.batch_packets) < 1:
+            raise ValueError("batch_packets must be positive")
+        object.__setattr__(self, "batch_packets", int(self.batch_packets))
+        if self.budget is not None:
+            budget = _plain(self.budget)
+            if not isinstance(budget, int) or isinstance(budget, bool) \
+                    or budget < 1:
+                raise ValueError(
+                    "budget must be a positive integer packet count or "
+                    "None; got %r" % (self.budget,))
+            object.__setattr__(self, "budget", budget)
+        if self.budget is None and self.stop.max_packets is None:
+            raise ValueError(
+                "unbounded request: give the StopRule a max_packets cap or "
+                "the request a budget")
+        if isinstance(self.priority, bool) or not isinstance(self.priority, int):
+            raise TypeError("priority must be an int (lower runs first); "
+                            "got %r" % (self.priority,))
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError("deadline_s must be positive or None")
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        """The canonical plain-data form (JSON-able, exact round-trip)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "stop": self.stop.to_dict(),
+            "constants": dict(self.constants),
+            "seed": self.seed,
+            "batch_packets": self.batch_packets,
+            "budget": self.budget,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a request from :meth:`to_dict` output (or HTTP JSON)."""
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown request field(s): %s (known fields: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(sorted(known))))
+        if "scenario" not in data or "axes" not in data or "stop" not in data:
+            raise ValueError("a request needs scenario, axes and stop")
+        scenario = data.pop("scenario")
+        if not isinstance(scenario, Scenario):
+            scenario = Scenario.from_dict(scenario)
+        stop = data.pop("stop")
+        if not isinstance(stop, StopRule):
+            stop = StopRule.from_dict(stop)
+        return cls(scenario=scenario, stop=stop, **data)
+
+    def request_key(self):
+        """Canonical SHA-256 identity of the ask.
+
+        Everything that decides the rows enters the hash — scenario,
+        axes, constants, seed, stop rule, batch quantum, budget.  The
+        scheduling hints (priority, deadline) deliberately do not: a
+        re-ask at a different urgency is still the same question, and
+        must coalesce with the in-flight one.
+        """
+        payload = self.to_dict()
+        del payload["priority"]
+        del payload["deadline_s"]
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def __eq__(self, other):
+        return (isinstance(other, CharacterisationRequest)
+                and self.request_key() == other.request_key())
+
+    def __hash__(self):
+        return hash(self.request_key())
+
+    # ------------------------------------------------------------------ #
+    # The analysis-layer objects the request describes
+    # ------------------------------------------------------------------ #
+    def sweep_spec(self):
+        """The :class:`SweepSpec` naming this request's grid."""
+        return SweepSpec(self.axes, constants=self.constants, seed=self.seed)
+
+    def experiment(self, store=None, runner=None):
+        """The equivalent batch :class:`Experiment` (the serial baseline).
+
+        The broker builds its trajectory and store namespace from this
+        object, which is what makes service rows bit-for-bit identical
+        to ``request.experiment(store).run()``.
+        """
+        return Experiment(
+            scenario=self.scenario,
+            sweep=self.sweep_spec(),
+            stop=self.stop,
+            store=store,
+            runner=runner,
+            batch_packets=self.batch_packets,
+            budget=self.budget,
+        )
+
+    def store_digest(self, runner=None):
+        """The store namespace this request's batches are filed under."""
+        return self.experiment(runner=runner).store_digest()
+
+    def num_points(self):
+        return len(self.sweep_spec())
+
+    def __repr__(self):
+        shape = "x".join(str(len(v)) for v in self.axes.values())
+        return ("CharacterisationRequest(%s [%s], seed=%d, priority=%d, "
+                "key=%s...)" % (", ".join(self.axes), shape, self.seed,
+                                self.priority, self.request_key()[:12]))

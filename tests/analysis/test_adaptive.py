@@ -23,6 +23,7 @@ import pytest
 from repro.analysis.adaptive import (
     AdaptivePointState,
     AdaptiveScheduler,
+    AdaptiveTrajectory,
     MeasurementBatch,
     StopRule,
     batch_seed_sequence,
@@ -509,3 +510,96 @@ class TestAdaptiveLinkPointRunner:
             )
             with pytest.raises(SweepError, match="llr_format"):
                 SweepExecutor("serial").run(spec, run_link_ber_point)
+
+
+class TestStopRuleSerialisation:
+    def test_to_dict_from_dict_round_trips(self):
+        rule = StopRule(rel_half_width=0.2, min_errors=30, target_errors=100,
+                        ber_floor=1e-4, max_packets=64, confidence=0.9)
+        rebuilt = StopRule.from_dict(rule.to_dict())
+        assert rebuilt == rule
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="patience"):
+            StopRule.from_dict({"max_packets": 16, "patience": 3})
+
+
+class TestAdaptiveTrajectory:
+    """The pull-based state machine must replay the scheduler exactly."""
+
+    def rule(self):
+        return StopRule(rel_half_width=0.25, min_errors=40, ber_floor=2e-3,
+                        max_packets=48)
+
+    def drive(self, trajectory, runner, consume_order=None):
+        """Run a trajectory by hand, serially, optionally scrambling the
+        order results are consumed in within each round."""
+        while True:
+            batches = trajectory.start_round()
+            if not batches:
+                break
+            results = [(batch, dict(runner(batch))) for batch in batches]
+            if consume_order is not None:
+                results = consume_order(results)
+            for batch, result in results:
+                trajectory.consume(batch, result)
+        assert trajectory.finished
+        return trajectory.rows()
+
+    def test_hand_driven_trajectory_matches_the_scheduler(self):
+        scheduler_rows = AdaptiveScheduler(
+            stop=self.rule(), batch_packets=8, budget=96
+        ).run(small_spec(), run_link_ber_batch)
+        trajectory = AdaptiveTrajectory(small_spec(), stop=self.rule(),
+                                        batch_packets=8, budget=96)
+        assert self.drive(trajectory, run_link_ber_batch) == scheduler_rows
+
+    def test_consume_order_within_a_round_is_irrelevant(self):
+        forward = AdaptiveTrajectory(small_spec(), stop=self.rule(),
+                                     batch_packets=8)
+        backward = AdaptiveTrajectory(small_spec(), stop=self.rule(),
+                                      batch_packets=8)
+        rows = self.drive(forward, run_link_ber_batch)
+        reversed_rows = self.drive(backward, run_link_ber_batch,
+                                   consume_order=lambda r: r[::-1])
+        assert reversed_rows == rows
+
+    def test_budget_exhaustion_marks_active_points(self):
+        trajectory = AdaptiveTrajectory(
+            small_spec(),
+            stop=StopRule(rel_half_width=0.01, min_errors=10**9,
+                          max_packets=10**6),
+            batch_packets=8, budget=24,
+        )
+        rows = self.drive(trajectory, run_link_ber_batch)
+        assert all(row["stop_reason"] == "budget" for row in rows)
+        assert trajectory.budget_left < 8  # cannot fund another batch
+
+    def test_start_round_refuses_while_in_flight(self):
+        trajectory = AdaptiveTrajectory(small_spec(), stop=self.rule(),
+                                        batch_packets=8)
+        trajectory.start_round()
+        assert trajectory.round_in_flight
+        with pytest.raises(RuntimeError, match="in flight"):
+            trajectory.start_round()
+
+    def test_consume_rejects_batches_it_never_started(self):
+        trajectory = AdaptiveTrajectory(small_spec(), stop=self.rule(),
+                                        batch_packets=8)
+        stranger = MeasurementBatch(one_point(), 5, 8)
+        with pytest.raises(ValueError, match="not started"):
+            trajectory.consume(stranger, {"errors": 0, "trials": 100})
+
+    def test_error_results_stop_the_point(self):
+        trajectory = AdaptiveTrajectory(small_spec(snrs=(5.0,)),
+                                        stop=self.rule(), batch_packets=8)
+        (batch,) = trajectory.start_round()
+        state = trajectory.consume(batch, {"error": "decoder exploded"})
+        assert state.stop_reason == "error"
+        assert trajectory.finished
+        assert trajectory.rows()[0]["error"] == "decoder exploded"
+
+    def test_unbounded_trajectory_is_rejected(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            AdaptiveTrajectory(small_spec(), stop=StopRule(rel_half_width=0.3),
+                               batch_packets=8)

@@ -420,3 +420,87 @@ def _add(a, b):
 
 def _add_point(point):
     return _add(point["a"], point["b"])
+
+
+class TestDeprecationAttribution:
+    """Shim warnings must point at the caller and name the replacement."""
+
+    def caught(self, invoke):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            invoke()
+        (warning,) = [w for w in caught
+                      if issubclass(w.category, DeprecationWarning)]
+        return warning
+
+    def test_sweep_warning_is_attributed_to_this_file(self):
+        warning = self.caught(lambda: sweep([1], _double, label="n"))
+        assert warning.filename == __file__
+        assert "Experiment" in str(warning.message)
+
+    def test_cross_sweep_warning_is_attributed_to_this_file(self):
+        warning = self.caught(
+            lambda: cross_sweep([1], [2], _add, labels=("a", "b")))
+        assert warning.filename == __file__
+        assert "Experiment" in str(warning.message)
+
+    def test_run_link_ber_point_warning_names_the_replacement(self):
+        spec = SweepSpec(
+            {"rate_mbps": [24], "snr_db": [5.0]},
+            constants=dict(SMALL, num_packets=4, batch_size=4), seed=23,
+        )
+        warning = self.caught(lambda: run_link_ber_point(list(spec)[0]))
+        assert warning.filename == __file__
+        assert "Scenario" in str(warning.message)
+        assert "Experiment" in str(warning.message)
+
+
+class TestBatchGranularHooks:
+    """Experiment.trajectory()/store_view(): the service's dispatch hooks."""
+
+    def experiment(self, **overrides):
+        kwargs = dict(
+            scenario=Scenario(**SMALL),
+            sweep=SweepSpec({"rate_mbps": [24], "snr_db": [5.0, 8.0]},
+                            constants={"batch_size": 4}, seed=23),
+            stop=StopRule(rel_half_width=0.3, min_errors=20, max_packets=16),
+            batch_packets=4,
+        )
+        kwargs.update(overrides)
+        return Experiment(**kwargs)
+
+    def test_trajectory_requires_the_adaptive_path(self):
+        fixed = Experiment(
+            scenario=Scenario(**SMALL),
+            sweep=SweepSpec({"rate_mbps": [24], "snr_db": [5.0]},
+                            constants={"num_packets": 4}, seed=23),
+        )
+        with pytest.raises(ValueError, match="adaptive"):
+            fixed.trajectory()
+
+    def test_store_view_is_none_without_a_store(self):
+        assert self.experiment().store_view() is None
+
+    def test_hand_driven_trajectory_reproduces_run(self):
+        experiment = self.experiment()
+        trajectory = experiment.trajectory()
+        runner = experiment.resolved_runner()
+        while True:
+            batches = trajectory.start_round()
+            if not batches:
+                break
+            for batch in batches:
+                trajectory.consume(batch, dict(runner(batch)))
+        assert trajectory.rows() == experiment.run(SweepExecutor("serial"))
+
+    def test_run_flushes_the_store_stats_sidecar(self, tmp_path):
+        from repro.analysis.store import ResultStore, read_sidecar_stats
+
+        store = ResultStore(tmp_path)
+        experiment = self.experiment(store=store)
+        experiment.run(SweepExecutor("serial"))
+        stats = read_sidecar_stats(store.view(experiment.store_digest()).path)
+        assert stats["misses"] == experiment.last_store_stats["misses"]
+        assert stats["uses"] == 1

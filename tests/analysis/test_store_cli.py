@@ -1,0 +1,206 @@
+"""Tests for the `repro-store` CLI, the truncation warning and the
+usage-stats sidecar."""
+
+import io
+import json
+import logging
+import os
+import time
+
+import pytest
+
+import repro.analysis.store as store_module
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Experiment, Scenario
+from repro.analysis.store import (
+    STATS_SUFFIX,
+    ResultStore,
+    main,
+    read_sidecar_stats,
+)
+from repro.analysis.sweep import SweepExecutor, SweepSpec
+
+STOP = StopRule(rel_half_width=0.35, min_errors=15, max_packets=16)
+
+
+def run_experiment(store, packet_bits=600):
+    experiment = Experiment(
+        scenario=Scenario(decoder="bcjr", packet_bits=packet_bits),
+        sweep=SweepSpec({"rate_mbps": [24], "snr_db": [4.0, 6.0]},
+                        constants={"batch_size": 4}, seed=23),
+        stop=STOP,
+        batch_packets=4,
+        store=store,
+    )
+    experiment.run(SweepExecutor("serial"))
+    return experiment
+
+
+def cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_ls_lists_every_namespace_with_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store, packet_bits=600)
+        run_experiment(store, packet_bits=504)
+        code, text = cli("ls", str(tmp_path))
+        assert code == 0
+        assert "2 namespace(s)" in text
+        for digest in store.digests():
+            assert digest[:16] in text
+        # Both namespaces report 2 points and a non-zero batch count.
+        lines = [line for line in text.splitlines() if ".." in line]
+        assert len(lines) == 2
+
+    def test_stats_reports_scenario_hash_and_lookups(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store)                    # cold: misses flushed
+        warm = run_experiment(store)             # warm: hits flushed
+        code, text = cli("stats", str(tmp_path))
+        assert code == 0
+        assert warm.scenario.content_hash() in text
+        assert "run_link_ber_batch" in text
+        assert "over 2 run(s)" in text
+        assert "%d hit(s)" % warm.last_store_stats["hits"] in text
+
+    def test_stats_prefix_filters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store)
+        digest = store.digests()[0]
+        code, text = cli("stats", str(tmp_path), "--prefix", digest[:8])
+        assert digest in text
+        code, text = cli("stats", str(tmp_path), "--prefix", "ffff")
+        assert "no namespaces match" in text
+
+    def test_gc_requires_a_selector(self, tmp_path):
+        code, text = cli("gc", str(tmp_path))
+        assert code == 2
+        assert "--days" in text
+
+    def test_gc_by_prefix_removes_file_and_sidecar(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store)
+        digest = store.digests()[0]
+        path = store.view(digest).path
+        assert os.path.exists(path + STATS_SUFFIX)
+        code, text = cli("gc", str(tmp_path), "--prefix", digest[:8])
+        assert code == 0
+        assert "removed %s" % digest in text
+        assert store.digests() == []
+        assert not os.path.exists(path + STATS_SUFFIX)
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store)
+        code, text = cli("gc", str(tmp_path), "--days", "0", "--dry-run")
+        assert code == 0
+        assert "would remove" in text
+        assert len(store.digests()) == 1
+
+    def test_gc_by_age_spares_recently_used_namespaces(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store)  # last_used = now via the stats sidecar
+        code, text = cli("gc", str(tmp_path), "--days", "1")
+        assert "removed 0 namespace(s)" in text
+        # Age the sidecar a week back; now it collects.
+        digest = store.digests()[0]
+        sidecar = store.view(digest).path + STATS_SUFFIX
+        stats = json.load(open(sidecar))
+        stats["last_used"] = time.time() - 7 * 86400
+        json.dump(stats, open(sidecar, "w"))
+        code, text = cli("gc", str(tmp_path), "--days", "1")
+        assert "removed 1 namespace(s)" in text
+        assert store.digests() == []
+
+    def test_gc_by_scenario_hash_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        kept = run_experiment(store, packet_bits=600)
+        doomed = run_experiment(store, packet_bits=504)
+        target = doomed.scenario.content_hash()
+        code, text = cli("gc", str(tmp_path), "--scenario", target[:12])
+        assert code == 0
+        assert "removed 1 namespace(s)" in text
+        assert store.digests() == [kept.store_digest()]
+
+
+class TestTruncationWarning:
+    def corrupt(self, store, digest):
+        view = store.view(digest)
+        with open(view.path, "a", encoding="utf-8") as handle:
+            handle.write('{"point": [9, 9, 9, 9], "batch": 0, "num\n')
+
+    def test_unparseable_line_warns_once_with_namespace_and_line(
+            self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        view = store.view("cafe")
+        view.put((1, 2, 3, 4), 0, 8, {"errors": 1, "trials": 100})
+        self.corrupt(store, "cafe")
+        store_module._WARNED_TRUNCATED.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.analysis.store"):
+            fresh = store.view("cafe")
+            assert fresh.get((1, 2, 3, 4), 0, 8) is not None
+            assert fresh.get((9, 9, 9, 9), 0, 8) is None
+        warnings = [record for record in caplog.records
+                    if "unparseable" in record.message]
+        assert len(warnings) == 1
+        assert "cafe" in warnings[0].message
+        assert "line 3" in warnings[0].message  # header, record, bad line
+
+    def test_warning_is_one_time_per_namespace(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        view = store.view("beef")
+        view.put((1, 2, 3, 4), 0, 8, {"errors": 1, "trials": 100})
+        self.corrupt(store, "beef")
+        store_module._WARNED_TRUNCATED.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.analysis.store"):
+            store.view("beef").get((9, 9, 9, 9), 0, 8)
+            store.view("beef").get((9, 9, 9, 9), 1, 8)
+        warnings = [record for record in caplog.records
+                    if "unparseable" in record.message]
+        assert len(warnings) == 1
+
+    def test_truncated_trailing_line_is_healed_by_the_next_put(self,
+                                                               tmp_path):
+        store = ResultStore(tmp_path)
+        view = store.view("dead")
+        view.put((1, 2, 3, 4), 0, 8, {"errors": 1, "trials": 100})
+        with open(view.path, "a", encoding="utf-8") as handle:
+            handle.write('{"point": [5, 6, 7, 8], "batch": 0, "num')  # no \n
+        healer = store.view("dead")
+        healer.put((5, 6, 7, 8), 1, 8, {"errors": 2, "trials": 100})
+        # The healed file parses cleanly: the truncated line was
+        # newline-terminated before the new record went out.
+        fresh = store.view("dead")
+        assert fresh.get((1, 2, 3, 4), 0, 8)["errors"] == 1
+        assert fresh.get((5, 6, 7, 8), 1, 8)["errors"] == 2
+        assert fresh.get((5, 6, 7, 8), 0, 8) is None  # the killed write
+
+
+class TestStatsSidecar:
+    def test_flush_stats_accumulates_across_runs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_experiment(store)
+        warm = run_experiment(store)
+        stats = read_sidecar_stats(store.view(cold.store_digest()).path)
+        assert stats["misses"] == cold.last_store_stats["misses"]
+        assert stats["hits"] == warm.last_store_stats["hits"]
+        assert stats["uses"] == 2
+        assert stats["last_used"] == pytest.approx(time.time(), abs=60)
+
+    def test_flush_stats_is_a_noop_without_lookups(self, tmp_path):
+        view = ResultStore(tmp_path).view("abcd")
+        assert view.flush_stats() is None
+        assert not os.path.exists(view.path + STATS_SUFFIX)
+
+    def test_corrupt_sidecar_is_treated_as_empty(self, tmp_path):
+        view = ResultStore(tmp_path).view("abcd")
+        view.put((1, 2, 3, 4), 0, 8, {"errors": 1, "trials": 100})
+        with open(view.path + STATS_SUFFIX, "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        assert read_sidecar_stats(view.path) == {}
+        view.get((1, 2, 3, 4), 0, 8)
+        assert view.flush_stats()["hits"] == 1

@@ -1,0 +1,164 @@
+"""Tests for the service front door: in-process object and HTTP endpoint."""
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Scenario
+from repro.analysis.store import ResultStore
+from repro.analysis.sweep import SweepExecutor
+from repro.service.api import Service, fetch_json, serve, stream_request
+from repro.service.broker import ServiceError
+from repro.service.requests import CharacterisationRequest
+
+SCENARIO = Scenario(decoder="bcjr", packet_bits=600)
+STOP = StopRule(rel_half_width=0.35, min_errors=15, max_packets=16)
+
+
+def request(snrs=(4.0, 6.0), **overrides):
+    kwargs = dict(
+        scenario=SCENARIO,
+        axes={"rate_mbps": [24], "snr_db": list(snrs)},
+        stop=STOP,
+        constants={"batch_size": 4},
+        seed=23,
+        batch_packets=4,
+    )
+    kwargs.update(overrides)
+    return CharacterisationRequest(**kwargs)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with Service(ResultStore(tmp_path / "store"), workers=2) as running:
+        yield running
+
+
+class TestInProcessService:
+    def test_rows_stream_then_result_matches_serial(self, service):
+        ticket = service.submit(request())
+        streamed = list(ticket.rows())
+        rows = ticket.result(timeout=60)
+        serial = request().experiment().run(SweepExecutor("serial"))
+        assert rows == serial
+        # Streamed rows arrive in completion order; same content, any order.
+        assert sorted(streamed, key=lambda r: r["snr_db"]) \
+            == sorted(rows, key=lambda r: r["snr_db"])
+
+    def test_characterise_is_submit_plus_result(self, service):
+        rows = service.characterise(request(), timeout=60)
+        assert rows == request().experiment().run(SweepExecutor("serial"))
+
+    def test_late_subscriber_replays_the_full_event_log(self, service):
+        ticket = service.submit(request())
+        ticket.result(timeout=60)
+        events = list(ticket.stream())  # subscribed after completion
+        kinds = [event["event"] for event in events]
+        assert kinds == ["row"] * (len(kinds) - 1) + ["done"]
+        assert events[-1]["progress"]["points_done"] == 2
+
+    def test_submit_requires_a_started_service(self, tmp_path):
+        stopped = Service(ResultStore(tmp_path))
+        with pytest.raises(ServiceError, match="start"):
+            stopped.submit(request())
+
+    def test_submit_accepts_plain_dict_requests(self, service):
+        rows = service.characterise(request().to_dict(), timeout=60)
+        assert rows == request().experiment().run(SweepExecutor("serial"))
+
+    def test_status_reports_fleet_and_broker(self, service):
+        service.characterise(request(), timeout=60)
+        status = service.status()
+        assert status["completed_requests"] == 1
+        assert status["fleet"]["workers"] == 2
+        assert len(status["heartbeats"]) == 2
+
+    def test_malformed_runner_result_fails_only_its_ticket(self, tmp_path):
+        # A runner violating the chunk-runner protocol (no "trials") blows
+        # up while its result is folded in.  That must fail the affected
+        # request with a ServiceError — not kill the pump thread and hang
+        # the service: the next, well-formed request still completes.
+        def broken_then_fine(batch):
+            if batch.point.params.get("broken"):
+                return {"errors": 1}
+            return {"errors": 1, "trials": batch.num_packets * 600}
+
+        with Service(ResultStore(tmp_path / "store"), workers=1,
+                     runner=broken_then_fine) as running:
+            doomed = running.submit(request(constants={"batch_size": 4,
+                                                       "broken": True}))
+            with pytest.raises(ServiceError, match="internal error"):
+                doomed.result(timeout=60)
+            healthy = running.submit(request())
+            assert len(healthy.result(timeout=60)) == 2
+            assert running.status()["failed_requests"] == 1
+
+
+class TestHTTPFrontDoor:
+    @pytest.fixture()
+    def base_url(self, service):
+        server = serve(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield "http://%s:%d" % (host, port)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_characterise_streams_json_lines(self, service, base_url):
+        events = list(stream_request(base_url, request()))
+        assert events[0]["event"] == "accepted"
+        assert events[0]["points"] == 2
+        assert events[-1]["event"] == "done"
+        rows = [event["row"] for event in events if event["event"] == "row"]
+        serial = request().experiment().run(SweepExecutor("serial"))
+        assert sorted(rows, key=lambda r: r["snr_db"]) \
+            == sorted(serial, key=lambda r: r["snr_db"])
+        # Progress rides along with every row event.
+        row_events = [e for e in events if e["event"] == "row"]
+        assert all("packets_spent" in e["progress"] for e in row_events)
+        assert events[-1]["progress"]["batches_simulated"] > 0
+
+    def test_second_identical_request_is_served_from_cache(self, service,
+                                                           base_url):
+        list(stream_request(base_url, request()))
+        events = list(stream_request(base_url, request()))
+        done = events[-1]
+        assert done["event"] == "done"
+        assert done["progress"]["batches_simulated"] == 0
+        assert done["progress"]["batches_cached"] \
+            == done["progress"]["batches"]
+
+    def test_status_and_requests_endpoints(self, service, base_url):
+        list(stream_request(base_url, request()))
+        status = fetch_json(base_url + "/v1/status")
+        assert status["completed_requests"] == 1
+        assert fetch_json(base_url + "/v1/requests")["requests"] == []
+
+    def test_malformed_request_is_a_400(self, base_url):
+        http_request = urllib.request.Request(
+            base_url + "/v1/characterise", data=b'{"seed": 1}',
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(http_request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_a_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base_url + "/v1/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_shutdown_endpoint_stops_the_server(self, service):
+        server = serve(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        reply = fetch_json("http://%s:%d/v1/shutdown" % (host, port), data={})
+        assert reply == {"status": "stopping"}
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.server_close()

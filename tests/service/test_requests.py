@@ -1,0 +1,178 @@
+"""Tests for CharacterisationRequest: validation, identity, round-trips."""
+
+import pytest
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Experiment, Scenario
+from repro.analysis.sweep import SweepExecutor, SweepSpec
+from repro.service.requests import CharacterisationRequest
+
+SCENARIO = Scenario(decoder="bcjr", packet_bits=600)
+STOP = StopRule(rel_half_width=0.35, min_errors=15, max_packets=16)
+
+
+def request(**overrides):
+    kwargs = dict(
+        scenario=SCENARIO,
+        axes={"rate_mbps": [24], "snr_db": [4.0, 6.0]},
+        stop=STOP,
+        constants={"batch_size": 4},
+        seed=23,
+        batch_packets=4,
+    )
+    kwargs.update(overrides)
+    return CharacterisationRequest(**kwargs)
+
+
+class TestValidation:
+    def test_scenario_must_be_a_scenario(self):
+        with pytest.raises(TypeError, match="Scenario"):
+            request(scenario={"decoder": "bcjr"})
+
+    def test_scenario_must_be_declarative(self):
+        with pytest.raises(ValueError, match="decoder"):
+            request(scenario=Scenario(decoder=object()))
+
+    def test_axes_must_be_nonempty(self):
+        with pytest.raises(ValueError, match="axes"):
+            request(axes={})
+        with pytest.raises(ValueError, match="axes"):
+            request(axes={"snr_db": []})
+
+    def test_stop_must_be_a_stop_rule(self):
+        with pytest.raises(TypeError, match="StopRule"):
+            request(stop={"max_packets": 16})
+
+    def test_seed_must_be_a_plain_int(self):
+        with pytest.raises(TypeError, match="seed"):
+            request(seed=None)
+        with pytest.raises(TypeError, match="seed"):
+            request(seed=True)
+
+    def test_unbounded_request_is_rejected(self):
+        with pytest.raises(ValueError, match="max_packets"):
+            request(stop=StopRule(rel_half_width=0.3))
+        # ... unless a budget bounds it globally.
+        request(stop=StopRule(rel_half_width=0.3), budget=64)
+
+    def test_priority_and_deadline_validation(self):
+        with pytest.raises(TypeError, match="priority"):
+            request(priority="high")
+        with pytest.raises(ValueError, match="deadline_s"):
+            request(deadline_s=0)
+
+    def test_batch_packets_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch_packets"):
+            request(batch_packets=0)
+
+
+class TestIdentity:
+    def test_identical_requests_share_a_key(self):
+        assert request().request_key() == request().request_key()
+        assert request() == request()
+        assert hash(request()) == hash(request())
+
+    def test_scheduling_hints_do_not_change_the_key(self):
+        plain = request()
+        assert request(priority=7).request_key() == plain.request_key()
+        assert request(deadline_s=1.5).request_key() == plain.request_key()
+
+    def test_everything_that_decides_rows_changes_the_key(self):
+        plain = request().request_key()
+        assert request(seed=24).request_key() != plain
+        assert request(axes={"rate_mbps": [24],
+                             "snr_db": [4.0]}).request_key() != plain
+        assert request(stop=STOP.replace(max_packets=32)).request_key() != plain
+        assert request(batch_packets=8).request_key() != plain
+        assert request(budget=64).request_key() != plain
+        assert request(
+            scenario=SCENARIO.replace(packet_bits=1704)).request_key() != plain
+
+    def test_overlapping_requests_share_a_store_namespace(self):
+        # Different axis values, same constants/seed/quantum: the store
+        # namespace must coincide, or dedup across requests cannot work.
+        a = request(axes={"rate_mbps": [24], "snr_db": [4.0, 6.0]})
+        b = request(axes={"rate_mbps": [24], "snr_db": [6.0, 8.0]})
+        assert a.store_digest() == b.store_digest()
+        assert a.request_key() != b.request_key()
+
+
+class TestNumpyCanonicalisation:
+    def test_numpy_axes_constants_and_seed_hash_like_plain_python(self):
+        import numpy as np
+
+        numpy_request = request(
+            axes={"rate_mbps": np.array([24]),
+                  "snr_db": np.arange(4.0, 8.0, 2.0)},
+            constants={"batch_size": np.int64(4)},
+            seed=np.int64(23),
+        )
+        plain_request = request(
+            axes={"rate_mbps": [24], "snr_db": [4.0, 6.0]},
+            constants={"batch_size": 4},
+            seed=23,
+        )
+        # request_key() requires a JSON-able canonical form; numpy values
+        # must have been normalised, and to the *same* identity as their
+        # plain Python spellings (value types are part of the key).
+        assert numpy_request.request_key() == plain_request.request_key()
+        assert numpy_request.store_digest() == plain_request.store_digest()
+
+    def test_tuple_values_canonicalise_to_lists(self):
+        # Tuples must not survive into the sweep: the request key (JSON)
+        # cannot tell (4.0, 6.0) from [4.0, 6.0], so if the seed
+        # derivation could, two coalescing requests would disagree on
+        # their rows.  Canonicalising makes them literally the same ask.
+        a = request(axes={"rate_mbps": [24], "snr_db": (4.0, 6.0)},
+                    constants={"batch_size": 4, "taps": (1, 2)})
+        b = request(axes={"rate_mbps": [24], "snr_db": [4.0, 6.0]},
+                    constants={"batch_size": 4, "taps": [1, 2]})
+        assert a.request_key() == b.request_key()
+        assert a.axes == b.axes
+        assert a.constants == b.constants
+        assert a.store_digest() == b.store_digest()
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        original = request(priority=2, deadline_s=30.0, budget=64)
+        rebuilt = CharacterisationRequest.from_dict(original.to_dict())
+        assert rebuilt.request_key() == original.request_key()
+        assert rebuilt.priority == 2
+        assert rebuilt.deadline_s == 30.0
+        assert rebuilt.stop == original.stop
+
+    def test_from_dict_accepts_plain_json_shapes(self):
+        rebuilt = CharacterisationRequest.from_dict({
+            "scenario": {"decoder": "bcjr", "packet_bits": 600},
+            "axes": {"rate_mbps": [24], "snr_db": [4.0, 6.0]},
+            "stop": {"rel_half_width": 0.35, "min_errors": 15,
+                     "max_packets": 16},
+            "constants": {"batch_size": 4},
+            "seed": 23,
+            "batch_packets": 4,
+        })
+        assert rebuilt.request_key() == request().request_key()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = request().to_dict()
+        payload["urgency"] = 11
+        with pytest.raises(ValueError, match="urgency"):
+            CharacterisationRequest.from_dict(payload)
+
+    def test_from_dict_requires_the_core_fields(self):
+        with pytest.raises(ValueError, match="scenario"):
+            CharacterisationRequest.from_dict({"seed": 1})
+
+
+class TestExperimentEquivalence:
+    def test_request_experiment_matches_a_hand_built_one(self):
+        ours = request().experiment().run(SweepExecutor("serial"))
+        theirs = Experiment(
+            scenario=SCENARIO,
+            sweep=SweepSpec({"rate_mbps": [24], "snr_db": [4.0, 6.0]},
+                            constants={"batch_size": 4}, seed=23),
+            stop=STOP,
+            batch_packets=4,
+        ).run(SweepExecutor("serial"))
+        assert ours == theirs
