@@ -7,9 +7,48 @@ integer larger than 1 to multiply the simulated traffic (lower BER floors,
 proportionally longer runs).
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BASELINES_PATH = os.path.join(os.path.dirname(__file__), "baselines.json")
+
+
+def host_metadata():
+    """Host facts stamped into every perf JSON row.
+
+    Absolute throughput numbers are only comparable on the same machine;
+    carrying the host alongside each row lets the trajectory tooling
+    partition rows by host instead of comparing apples to oranges.
+    """
+    import platform
+
+    import numpy
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy.__version__,
+    }
+
+
+def reference_baseline(name):
+    """The recorded reference row for benchmark ``name``, or ``None``.
+
+    Baselines live in ``benchmarks/baselines.json`` as data — one
+    measured row per benchmark, each carrying the host it was measured
+    on — rather than as constants hardcoded into benchmark code, so a
+    baseline can be re-recorded (or a per-host one added) without
+    touching the benchmarks.
+    """
+    try:
+        with open(BASELINES_PATH, "r", encoding="utf-8") as handle:
+            baselines = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    row = baselines.get(name)
+    return row if isinstance(row, dict) else None
 
 
 def bench_scale():

@@ -26,7 +26,7 @@ from repro.analysis.scenario import Experiment, Scenario
 from repro.analysis.sweep import SweepSpec, executor_from_env
 from repro.phy.params import rate_by_mbps
 
-from _bench_utils import emit
+from _bench_utils import emit, host_metadata, reference_baseline
 
 #: Figure 6 operating point.
 WORKLOAD = {
@@ -38,27 +38,43 @@ WORKLOAD = {
     "seed": 23,
 }
 
-#: packets/sec of the original per-packet implementation on the reference
-#: dev machine (measured before the batch-vectorisation of the chain);
-#: recorded here so the emitted row carries its own point of comparison.
-SEED_BASELINE_PPS = 42.3
 
+def _timed_run(num_packets, dtype=None, repeats=3):
+    """Best-of-``repeats`` elapsed seconds and the first run's result.
 
-@pytest.mark.slow
-def test_perf_link_throughput(scale):
-    num_packets = 64 * scale
+    The best-of estimator is the standard defence against the host's
+    scheduling noise (the first timed pass in a process is routinely
+    tens of percent slower than steady state); the returned result is
+    always the first run's, so the emitted BER is independent of
+    ``repeats``.
+    """
     simulator = LinkSimulator(
         rate_by_mbps(WORKLOAD["rate_mbps"]),
         snr_db=WORKLOAD["snr_db"],
         decoder=WORKLOAD["decoder"],
         packet_bits=WORKLOAD["packet_bits"],
         seed=WORKLOAD["seed"],
+        dtype=dtype,
     )
     simulator.run(WORKLOAD["batch_size"])  # warm-up: caches, allocator, BLAS
+    best, result = None, None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run_result = simulator.run(num_packets,
+                                   batch_size=WORKLOAD["batch_size"])
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        if result is None:
+            result = run_result
+    return best, result
 
-    start = time.perf_counter()
-    result = simulator.run(num_packets, batch_size=WORKLOAD["batch_size"])
-    elapsed = time.perf_counter() - start
+
+@pytest.mark.slow
+def test_perf_link_throughput(scale):
+    num_packets = 64 * scale
+    elapsed, result = _timed_run(num_packets)
+    f32_elapsed, f32_result = _timed_run(num_packets, dtype="float32")
 
     packets_per_sec = num_packets / elapsed
     payload_bits_per_sec = result.num_bits / elapsed
@@ -69,9 +85,17 @@ def test_perf_link_throughput(scale):
         "elapsed_sec": round(elapsed, 4),
         "packets_per_sec": round(packets_per_sec, 2),
         "payload_bits_per_sec": round(payload_bits_per_sec, 1),
-        "seed_baseline_packets_per_sec": SEED_BASELINE_PPS,
-        "speedup_vs_seed_baseline": round(packets_per_sec / SEED_BASELINE_PPS, 2),
+        "float32_elapsed_sec": round(f32_elapsed, 4),
+        "float32_packets_per_sec": round(num_packets / f32_elapsed, 2),
+        "host": host_metadata(),
     }
+    # The point of comparison is a recorded reference row (see
+    # baselines.json), not a constant baked into this file.
+    baseline = reference_baseline("link_throughput")
+    if baseline and baseline.get("packets_per_sec"):
+        row["baseline"] = baseline
+        row["speedup_vs_baseline"] = round(
+            packets_per_sec / baseline["packets_per_sec"], 2)
     emit(
         "perf_link_throughput",
         "End-to-end link throughput (Figure 6 workload)",
@@ -81,6 +105,7 @@ def test_perf_link_throughput(scale):
     # Sanity floor only -- absolute numbers vary by machine; the emitted
     # JSON row is the tracked artefact.
     assert result.bit_error_rate < 0.5
+    assert f32_result.bit_error_rate < 0.5
     assert packets_per_sec > 1.0
 
 
@@ -138,6 +163,7 @@ def test_perf_sweep_throughput(scale):
         "elapsed_sec": round(elapsed, 4),
         "points_per_sec": round(num_points / elapsed, 3),
         "packets_per_sec": round(total_packets / elapsed, 2),
+        "host": host_metadata(),
     }
     emit(
         "perf_sweep_throughput",

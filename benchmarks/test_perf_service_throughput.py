@@ -22,9 +22,11 @@ overlapping SNR windows (the acceptance shape):
    latency-to-first-row across PRs.
 
 The thread fleet is used so the measurement reflects scheduling, not
-process start-up; the link simulator spends its time in GIL-releasing
-numpy kernels, so two workers genuinely overlap.  Run with
-``-m "not slow"`` to skip during quick test cycles.
+process start-up; the fleet's compute gate bounds executing runners to
+the host's core count, so on a multi-core host two workers genuinely
+overlap while a single-core host runs them back to back instead of
+thrashing the GIL.  Run with ``-m "not slow"`` to skip during quick
+test cycles.
 """
 
 import json
@@ -39,7 +41,7 @@ from repro.analysis.sweep import SweepExecutor
 from repro.service.api import Service
 from repro.service.requests import CharacterisationRequest
 
-from _bench_utils import emit_with_rows
+from _bench_utils import emit_with_rows, host_metadata
 
 #: Figure 6 workload: QAM16 1/2 (24 Mb/s), 1704-bit packets, BCJR; two
 #: clients ask for overlapping SNR windows (4 shared operating points).
@@ -128,6 +130,7 @@ def test_perf_service_throughput(scale, tmp_path):
                                "batches_shared")}
             for name, snapshot in progress.items()
         },
+        "host": host_metadata(),
     }
     emit_with_rows(
         "perf_service_throughput",

@@ -62,6 +62,8 @@ import math
 import numpy as np
 
 from repro.analysis.ber_stats import BerMeasurement
+from repro.analysis.fused import FusedBatchGroup, FusedBatchRunner, plan_fused_round
+from repro.analysis.sweep import SweepError
 
 #: Looseness denominator floor when a rule has no ``ber_floor``: keeps the
 #: ranking finite while still ordering zero-error points loosest.
@@ -433,7 +435,9 @@ class _BatchPoint:
 
     The executor only needs ``index`` (dispatch order within the round),
     ``params`` (merged into the row — empty here, the scheduler reassembles
-    rows itself) and ``label`` (error reporting).
+    rows itself) and ``label`` (error reporting).  A
+    :class:`~repro.analysis.fused.FusedBatchGroup` presents the same
+    surface, so fused rounds ride the same adapter.
     """
 
     __slots__ = ("index", "batch")
@@ -458,13 +462,21 @@ class _BatchPoint:
 
 
 class _BatchRunner:
-    """Picklable adapter running a chunk-runner on a :class:`_BatchPoint`."""
+    """Picklable adapter running a chunk-runner on a :class:`_BatchPoint`.
+
+    A :class:`~repro.analysis.fused.FusedBatchGroup` item runs through the
+    fused tensor pass (with per-member fallback to the wrapped runner);
+    a plain batch runs the chunk-runner directly.
+    """
 
     def __init__(self, chunk_runner):
         self.chunk_runner = chunk_runner
 
     def __call__(self, batch_point):
-        return dict(self.chunk_runner(batch_point.batch))
+        item = batch_point.batch
+        if isinstance(item, FusedBatchGroup):
+            return FusedBatchRunner(self.chunk_runner)(item)
+        return dict(self.chunk_runner(item))
 
 
 # ---------------------------------------------------------------------- #
@@ -643,9 +655,17 @@ class AdaptiveScheduler:
         round's batches (default: a fresh serial executor).  The chunk
         runner must be picklable for a process executor, exactly as for a
         plain sweep.
+    fused:
+        When ``True`` (default) and the chunk-runner is the built-in link
+        runner, each round's store-miss batches are grouped by
+        :func:`~repro.analysis.fused.fuse_key` and simulated as fused
+        tensor passes (see :mod:`repro.analysis.fused`).  Purely a
+        throughput knob: under the exact float64 policy the rows are
+        bit-for-bit identical with it on or off.
     """
 
-    def __init__(self, stop=None, batch_packets=32, budget=None, executor=None):
+    def __init__(self, stop=None, batch_packets=32, budget=None, executor=None,
+                 fused=True):
         if batch_packets < 1:
             raise ValueError("batch_packets must be positive")
         if budget is not None and budget < 1:
@@ -663,6 +683,7 @@ class AdaptiveScheduler:
         self.batch_packets = int(batch_packets)
         self.budget = None if budget is None else int(budget)
         self.executor = executor
+        self.fused = bool(fused)
 
     # ------------------------------------------------------------------ #
     def run(self, spec, chunk_runner=None, on_error="raise", store=None):
@@ -717,7 +738,11 @@ class AdaptiveScheduler:
 
         Returns results aligned with ``batches``; only store misses are
         dispatched through the executor, and their fresh results are
-        appended to the store (errors excluded).
+        appended to the store (errors excluded).  With :attr:`fused` on
+        and the built-in link chunk-runner, misses are grouped by
+        :func:`~repro.analysis.fused.fuse_key` and each group runs as one
+        fused tensor pass, its per-member results distributed back to the
+        member batches' slots.
         """
         results = [None] * len(batches)
         to_run = list(range(len(batches)))
@@ -730,18 +755,43 @@ class AdaptiveScheduler:
                     to_run.append(i)
                 else:
                     results[i] = cached
-        if to_run:
-            dispatch = [_BatchPoint(position, batches[i])
-                        for position, i in enumerate(to_run)]
-            # In "raise" mode the executor itself raises SweepError naming
-            # the failing (point, batch) with the full worker traceback.
-            fresh = self.executor.run(dispatch, runner, on_error=on_error)
-            for i, result in zip(to_run, fresh):
-                results[i] = result
-                if store is not None and not (
-                        "error" in result and "errors" not in result):
-                    store.put(batch_store_key(batches[i]), batches[i].index,
-                              batches[i].num_packets, result)
+        if not to_run:
+            return results
+        slot_of = {(batches[i].point.index, batches[i].index): i
+                   for i in to_run}
+        work = [batches[i] for i in to_run]
+        if self.fused and runner.chunk_runner is run_link_ber_batch:
+            groups, singles = plan_fused_round(work)
+            work = groups + singles
+        dispatch = [_BatchPoint(position, item)
+                    for position, item in enumerate(work)]
+        # In "raise" mode the executor itself raises SweepError naming
+        # the failing (point, batch) with the full worker traceback;
+        # per-member failures inside a fused group are captured by the
+        # runner instead and re-raised below with the member's label.
+        fresh = self.executor.run(dispatch, runner, on_error=on_error)
+
+        def settle(batch, result):
+            i = slot_of[(batch.point.index, batch.index)]
+            failed = "error" in result and "errors" not in result
+            if failed and on_error == "raise":
+                raise SweepError(_BatchPoint(i, batch), result["error"])
+            results[i] = result
+            if store is not None and not failed:
+                store.put(batch_store_key(batch), batch.index,
+                          batch.num_packets, result)
+
+        for item, result in zip(work, fresh):
+            if isinstance(item, FusedBatchGroup):
+                members = result.get("results")
+                if members is None:
+                    # The whole group errored before the per-member
+                    # fallback could run; the error applies to every slot.
+                    members = [result] * len(item.batches)
+                for batch, member in zip(item.batches, members):
+                    settle(batch, member)
+            else:
+                settle(item, result)
         return results
 
     def __repr__(self):

@@ -47,8 +47,19 @@ top without changing a simulated bit.
 import numpy as np
 
 from repro.channel.awgn import awgn_batch
+from repro.phy.dtype import dtype_policy
 from repro.phy.receiver import Receiver
 from repro.phy.transmitter import Transmitter
+
+#: Packets per fused kernel pass.  The BCJR recursions dominate the
+#: chain's runtime and their per-packet cost falls with batch width until
+#: the backward sweep's working set outgrows the cache: measured on the
+#: Figure-6 workload the sweet spot is ~32 packets per decode, with cost
+#: rising again past ~48.  ``run`` therefore *fuses* consecutive batches
+#: into kernel passes of up to this many packets; thanks to
+#: chunk-invariant RNG draws the results are bit-for-bit independent of
+#: the fusion width.
+FUSED_PACKET_TARGET = 32
 
 
 class LinkRunResult:
@@ -167,6 +178,13 @@ class LinkSimulator:
         Optional callable ``packet_index -> complex gain`` applying flat
         fading per packet; the receiver equalises with the same gain and
         weights its soft values by ``|gain|**2``.
+    dtype:
+        Working-precision policy (see :mod:`repro.phy.dtype`) threaded
+        through the transmitter, channel and receiver.  The float64
+        default is the exact reference chain; float32 is an opt-in
+        approximate fast path (payload bits and noise are still drawn in
+        the precision-invariant streams, so only kernel arithmetic
+        changes).
     """
 
     def __init__(
@@ -179,19 +197,22 @@ class LinkSimulator:
         llr_format=None,
         demapper_scaled=False,
         fading_gain=None,
+        dtype=None,
     ):
         self.phy_rate = phy_rate
         self.snr_db = snr_db
         self.packet_bits = int(packet_bits)
         self.seed = seed
         self.fading_gain = fading_gain
-        self.transmitter = Transmitter(phy_rate)
+        self.dtype_policy = dtype_policy(dtype)
+        self.transmitter = Transmitter(phy_rate, dtype=self.dtype_policy)
         self.receiver = Receiver(
             phy_rate,
             decoder=decoder,
             llr_format=llr_format,
             demapper_scaled=demapper_scaled,
             snr_db=snr_db if demapper_scaled and np.isscalar(snr_db) else None,
+            dtype=self.dtype_policy,
         )
         # Independent payload and noise streams: each batch draws both as
         # one (packets, ...) tensor, and numpy's chunk-invariant fills make
@@ -214,18 +235,30 @@ class LinkSimulator:
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
-    def run(self, num_packets, batch_size=32, start_index=0):
+    def run(self, num_packets, batch_size=32, start_index=0, fused=True):
         """Simulate ``num_packets`` packets and return a :class:`LinkRunResult`.
 
-        Packets are processed in batches of ``batch_size`` so the batched
-        kernels stay busy without exhausting memory; the per-batch results
-        are collected and merged once at the end.
+        Packets are processed in batches so the batched kernels stay busy
+        without exhausting memory; the per-batch results are collected and
+        merged once at the end.
+
+        With ``fused=True`` (the default) consecutive batches are fused
+        into kernel passes of up to :data:`FUSED_PACKET_TARGET` packets,
+        which keeps the decoder in its measured per-packet sweet spot.
+        Because both RNG streams draw chunk-invariantly along the packet
+        axis, the results are bit-for-bit identical for *any* batch split
+        of the same run -- ``fused`` is purely a throughput knob.  Pass
+        ``fused=False`` to iterate at exactly ``batch_size`` (e.g. to
+        bound peak memory).
         """
         if num_packets < 1:
             raise ValueError("at least one packet is required")
+        kernel_batch = batch_size
+        if fused:
+            kernel_batch = max(batch_size, min(num_packets, FUSED_PACKET_TARGET))
         batches = []
-        for first in range(0, num_packets, batch_size):
-            count = min(batch_size, num_packets - first)
+        for first in range(0, num_packets, kernel_batch):
+            count = min(kernel_batch, num_packets - first)
             batches.append(self._run_batch(count, start_index + first))
         return LinkRunResult.from_runs(batches)
 
@@ -247,7 +280,8 @@ class LinkSimulator:
             csi = np.broadcast_to(
                 (np.abs(gains) ** 2)[:, np.newaxis], (count, num_symbols)
             )
-        received = awgn_batch(samples, snrs, rng=self._noise_rng)
+        received = awgn_batch(samples, snrs, rng=self._noise_rng,
+                              dtype=self.dtype_policy)
         soft = self.receiver.front_end_batch(
             received, self.packet_bits, channel_gains=gains, csi_weights=csi
         )

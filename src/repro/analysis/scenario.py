@@ -106,6 +106,15 @@ class Scenario:
     demapper_scaled:
         ``True`` for the ideal (SNR-scaled) demapper instead of the
         hardware one.  Normalised to a plain bool.
+    dtype:
+        Working-precision policy name: ``"float64"`` (default — the exact
+        reference chain) or ``"float32"`` (the opt-in approximate fast
+        path; see :mod:`repro.phy.dtype`).  ``None`` normalises to
+        ``"float64"``.  The default is *omitted* from :meth:`to_dict` and
+        therefore from :meth:`content_hash`, so every pre-existing
+        scenario hash — and every result-store namespace filed under it —
+        is unchanged; a float32 scenario hashes (and is stored)
+        differently, because its measured bits genuinely differ.
     """
 
     rate_mbps: object = None
@@ -115,6 +124,7 @@ class Scenario:
     fading: object = None
     llr_format: object = None
     demapper_scaled: object = False
+    dtype: object = "float64"
 
     def __post_init__(self):
         if self.rate_mbps is not None and not (
@@ -174,6 +184,12 @@ class Scenario:
             elif isinstance(self.llr_format, dict):
                 object.__setattr__(self, "llr_format", dict(self.llr_format))
         object.__setattr__(self, "demapper_scaled", bool(self.demapper_scaled))
+        dtype = "float64" if self.dtype is None else self.dtype
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                "dtype must be 'float64', 'float32' or None; got %r"
+                % (self.dtype,))
+        object.__setattr__(self, "dtype", dtype)
 
     # ------------------------------------------------------------------ #
     # Declarative form
@@ -212,6 +228,11 @@ class Scenario:
         out = {}
         for field in fields(self):
             value = getattr(self, field.name)
+            if field.name == "dtype" and value == "float64":
+                # The default policy is omitted so pre-existing scenario
+                # hashes (and their store namespaces) stay stable; float32
+                # versions the hash because its results genuinely differ.
+                continue
             if isinstance(value, np.integer):
                 value = int(value)
             elif isinstance(value, np.floating):
@@ -273,6 +294,8 @@ class Scenario:
                 out[name] = dict(value) if isinstance(value, dict) else value
         if self.demapper_scaled:
             out["demapper_scaled"] = True
+        if self.dtype != "float64":
+            out["dtype"] = self.dtype
         return out
 
     def replace(self, **changes):

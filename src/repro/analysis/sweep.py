@@ -574,6 +574,7 @@ def link_simulator_for_params(params, seed, point_seed=None):
         fading_gain=_resolve_fading(
             params.get("fading"), seed if point_seed is None else point_seed
         ),
+        dtype=params.get("dtype"),
     )
 
 

@@ -46,20 +46,31 @@ def awgn(samples, snr_db, rng=None, signal_power=1.0):
     return samples + noise
 
 
-def awgn_batch(samples, snr_db, rng=None, signal_power=1.0):
+def awgn_batch(samples, snr_db, rng=None, signal_power=1.0, dtype=None):
     """Batched AWGN: noise a ``(packets, samples)`` array in one draw.
 
     Parameters
     ----------
     samples:
-        ``(packets, num_samples)`` complex baseband samples.
+        ``(packets, num_samples)`` complex baseband samples, or a 3-D
+        ``(points, packets, num_samples)`` stack of operating points; a
+        stack is noised as one fused ``(points * packets)`` batch drawn
+        from the single ``rng`` (fusing *per-point* noise streams instead
+        requires one call per point, each with its own generator).
     snr_db:
-        Es/N0 in decibels -- a scalar shared by every packet or a
-        ``(packets,)`` array applying a different SNR per packet.
+        Es/N0 in decibels -- a scalar shared by every packet, a
+        ``(packets,)`` array applying a different SNR per packet, or for a
+        stack a ``(points,)`` / ``(points, packets)`` array.
     rng:
         Optional :class:`numpy.random.Generator` for reproducibility.
     signal_power:
         Average signal power per constellation symbol.
+    dtype:
+        Optional :mod:`repro.phy.dtype` policy (or name).  The default is
+        the exact float64 path; under float32 the result is cast to
+        complex64 *after* the float64 noise draw and add, so the random
+        stream — and therefore the store's seed-derivation contract — is
+        invariant to the precision choice.
 
     Notes
     -----
@@ -70,8 +81,17 @@ def awgn_batch(samples, snr_db, rng=None, signal_power=1.0):
     run into smaller batches consumes an identical random stream -- results
     do not depend on the batch size.
     """
+    from repro.phy.dtype import dtype_policy
+
+    policy = dtype_policy(dtype)
     rng = np.random.default_rng() if rng is None else rng
-    samples = np.asarray(samples, dtype=np.complex128)
+    samples = np.asarray(samples, dtype=policy.complex_dtype)
+    stack_shape = None
+    if samples.ndim == 3:
+        stack_shape = samples.shape[:2]
+        samples = samples.reshape(-1, samples.shape[-1])
+        snr_db = np.broadcast_to(np.asarray(snr_db, dtype=float),
+                                 stack_shape).reshape(-1)
     if samples.ndim != 2:
         raise ValueError("awgn_batch expects a (packets, samples) array")
     variance = noise_variance_for_snr(np.asarray(snr_db, dtype=float), signal_power)
@@ -79,7 +99,12 @@ def awgn_batch(samples, snr_db, rng=None, signal_power=1.0):
         np.atleast_1d(np.sqrt(variance / 2.0)), (samples.shape[0],)
     )
     noise = rng.standard_normal(samples.shape + (2,))
-    return samples + scale[:, np.newaxis] * (noise[..., 0] + 1j * noise[..., 1])
+    out = samples + scale[:, np.newaxis] * (noise[..., 0] + 1j * noise[..., 1])
+    if not policy.exact:
+        out = out.astype(policy.complex_dtype)
+    if stack_shape is not None:
+        out = out.reshape(stack_shape + (-1,))
+    return out
 
 
 class AwgnChannel:

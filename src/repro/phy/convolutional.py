@@ -132,7 +132,7 @@ def puncture(coded_bits, code_rate):
     return coded_bits[..., mask]
 
 
-def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
+def depuncture(soft_bits, code_rate, total_length, erasure=0.0, dtype=None):
     """Re-insert erasures where the transmitter punctured coded bits.
 
     Parameters
@@ -150,6 +150,9 @@ def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
         Soft value inserted at punctured positions.  Zero means "no
         information", which is the correct neutral value for LLR-style soft
         inputs.
+    dtype:
+        Working float dtype of the output (see :mod:`repro.phy.dtype`);
+        defaults to float64, the historical behaviour.
 
     Returns
     -------
@@ -157,7 +160,7 @@ def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
         Float array of length ``total_length`` (``(packets, total_length)``
         for batched input).
     """
-    soft_bits = np.asarray(soft_bits, dtype=float)
+    soft_bits = np.asarray(soft_bits, dtype=float if dtype is None else dtype)
     pattern = np.asarray(code_rate.puncture_pattern, dtype=bool)
     repeats = int(np.ceil(total_length / pattern.size))
     mask = np.tile(pattern, repeats)[:total_length]
@@ -167,7 +170,8 @@ def depuncture(soft_bits, code_rate, total_length, erasure=0.0):
             "depuncture expected %d soft values for length %d at rate %s, got %d"
             % (expected, total_length, code_rate, soft_bits.shape[-1])
         )
-    full = np.full(soft_bits.shape[:-1] + (total_length,), float(erasure))
+    full = np.full(soft_bits.shape[:-1] + (total_length,), float(erasure),
+                   dtype=soft_bits.dtype)
     full[..., mask] = soft_bits
     return full
 

@@ -33,7 +33,15 @@ class DecodeResult:
 
     def __init__(self, bits, llr=None):
         self.bits = np.asarray(bits, dtype=np.uint8)
-        self.llr = None if llr is None else np.asarray(llr, dtype=np.float64)
+        if llr is None:
+            self.llr = None
+        else:
+            llr = np.asarray(llr)
+            # Preserve a reduced working precision (the float32 fast path)
+            # but coerce anything non-float to the float64 default.
+            if llr.dtype.kind != "f":
+                llr = llr.astype(np.float64)
+            self.llr = llr
 
     @property
     def hints(self):
@@ -70,6 +78,11 @@ class ConvolutionalDecoder:
 
     #: Whether the decoder emits per-bit LLRs (SoftPHY support).
     produces_soft_output = False
+
+    #: Whether the constructor accepts a ``dtype`` working-precision policy
+    #: (see :mod:`repro.phy.dtype`).  Decoders without it always compute in
+    #: float64; a float32 receiver simply hands them up-cast soft values.
+    supports_dtype = False
 
     def decode(self, soft, num_data_bits):
         """Decode a batch of packets.

@@ -25,6 +25,7 @@ the hardware quantisation.
 
 import numpy as np
 
+from repro.phy.dtype import dtype_policy
 from repro.phy.mapper import _axis_bits
 from repro.phy.params import BPSK, MODULATIONS, QAM16, QAM64, QPSK
 
@@ -40,7 +41,7 @@ MODULATION_SCALE = {
 }
 
 
-def axis_soft_values(y, axis_bits):
+def axis_soft_values(y, axis_bits, dtype=np.float64):
     """Simplified per-axis soft values for one Gray-coded axis.
 
     Parameters
@@ -50,6 +51,8 @@ def axis_soft_values(y, axis_bits):
         by the constellation normalisation).
     axis_bits:
         Number of bits carried by this axis (1, 2 or 3).
+    dtype:
+        Working float dtype (see :mod:`repro.phy.dtype`).
 
     Returns
     -------
@@ -57,8 +60,8 @@ def axis_soft_values(y, axis_bits):
         Array of shape ``y.shape + (axis_bits,)`` with positive values
         meaning "bit = 1 more likely".
     """
-    y = np.asarray(y, dtype=np.float64)
-    out = np.empty(y.shape + (axis_bits,), dtype=np.float64)
+    y = np.asarray(y, dtype=dtype)
+    out = np.empty(y.shape + (axis_bits,), dtype=dtype)
     out[..., 0] = y
     if axis_bits >= 2:
         distance = 4.0 if axis_bits == 3 else 2.0
@@ -66,6 +69,72 @@ def axis_soft_values(y, axis_bits):
     if axis_bits >= 3:
         out[..., 2] = 2.0 - np.abs(4.0 - np.abs(y))
     return out
+
+
+#: Default resolution of the precomputed soft-value tables: bin width
+#: ``2 * LLR_TABLE_LIMIT / LLR_TABLE_BINS`` = 1/128 of a level unit, which
+#: keeps the table-lookup error two orders of magnitude below the noise
+#: floor of any operating point the simulator visits.
+LLR_TABLE_BINS = 8192
+#: Received coordinates are clamped to ``[-limit, limit]`` level units —
+#: wide enough for the outer 64-QAM levels (+/-7) plus several noise
+#: standard deviations at the lowest simulated SNRs; values beyond it
+#: saturate, which only compresses already-huge confidences.
+LLR_TABLE_LIMIT = 32.0
+
+
+class LlrTable:
+    """A precomputed per-constellation-axis soft-value lookup table.
+
+    The Tosato/Bisaglia expressions are piecewise linear in the received
+    coordinate, so for the approximate float32 fast path they are
+    precomputed once per constellation axis onto a uniform grid: a demap
+    becomes one fused multiply-add (coordinate to bin index) plus one
+    gather, replacing the per-symbol ``abs``/subtract cascade.  The table
+    is keyed by the constellation axis (which the PHY rate selects) with
+    the received coordinate binned; the per-operating-point noise scaling
+    (``Es/N0 * S_modulation``) stays *outside* the table — it is applied
+    as the usual post-lookup ``llr_scale`` multiply, so one table serves
+    every noise bin.
+
+    The lookup is approximate (nearest bin centre, clamped to
+    ``[-limit, limit]``), which is why only the non-exact
+    :class:`~repro.phy.dtype.DTypePolicy` uses it; the float64 reference
+    path keeps the closed form bit-for-bit.
+    """
+
+    def __init__(self, axis_bits, bins=LLR_TABLE_BINS, limit=LLR_TABLE_LIMIT,
+                 dtype=np.float32):
+        self.axis_bits = int(axis_bits)
+        self.bins = int(bins)
+        self.limit = float(limit)
+        step = (2.0 * self.limit) / self.bins
+        centers = (np.arange(self.bins) + 0.5) * step - self.limit
+        #: ``(bins, axis_bits)`` soft values at each bin centre.
+        self.values = axis_soft_values(centers, self.axis_bits, dtype=dtype)
+        self._index_scale = self.bins / (2.0 * self.limit)
+
+    def lookup(self, y):
+        """Soft values for coordinates ``y``: ``y.shape + (axis_bits,)``."""
+        index = (np.asarray(y) + self.limit) * self._index_scale
+        # Truncation equals floor for the in-range (non-negative) indices;
+        # out-of-range coordinates clamp to the saturated end bins.
+        index = np.clip(index.astype(np.int64), 0, self.bins - 1)
+        return self.values[index]
+
+
+_LLR_TABLE_CACHE = {}
+
+
+def llr_table(axis_bits, bins=LLR_TABLE_BINS, limit=LLR_TABLE_LIMIT,
+              dtype=np.float32):
+    """The shared (process-wide) :class:`LlrTable` for one axis shape."""
+    key = (int(axis_bits), int(bins), float(limit), np.dtype(dtype).str)
+    table = _LLR_TABLE_CACHE.get(key)
+    if table is None:
+        table = _LLR_TABLE_CACHE[key] = LlrTable(axis_bits, bins, limit,
+                                                 dtype)
+    return table
 
 
 class Demapper:
@@ -86,9 +155,18 @@ class Demapper:
     output_format:
         Optional :class:`~repro.fixedpoint.FixedPointFormat` applied to the
         output, modelling the reduced-precision hardware datapath.
+    dtype:
+        Working-precision policy (see :mod:`repro.phy.dtype`).  The exact
+        float64 default computes the closed-form expressions; the float32
+        policy uses the precomputed :class:`LlrTable` fast path.
+    use_lut:
+        Force the lookup-table path on or off; ``None`` (default) follows
+        the policy (tables only when the policy is approximate, so the
+        exact path stays bit-for-bit).
     """
 
-    def __init__(self, modulation, snr_db=None, scaled=False, output_format=None):
+    def __init__(self, modulation, snr_db=None, scaled=False, output_format=None,
+                 dtype=None, use_lut=None):
         if isinstance(modulation, str):
             modulation = MODULATIONS[modulation]
         self.modulation = modulation
@@ -98,6 +176,9 @@ class Demapper:
         if scaled and snr_db is None:
             raise ValueError("a scaled demapper needs an SNR to scale by")
         self.i_bits, self.q_bits = _axis_bits(modulation)
+        self.dtype_policy = dtype_policy(dtype)
+        self.use_lut = (not self.dtype_policy.exact if use_lut is None
+                        else bool(use_lut))
 
     @property
     def llr_scale(self):
@@ -107,7 +188,20 @@ class Demapper:
         snr_linear = 10.0 ** (self.snr_db / 10.0)
         return snr_linear * MODULATION_SCALE[self.modulation.name]
 
-    def demap(self, symbols, weights=None):
+    def _axis_soft(self, y, axis_bits):
+        """Per-axis soft values: LUT fast path or exact closed form.
+
+        The table only pays off when the closed form actually computes
+        something — a 1-bit axis is the identity, so it always uses the
+        direct path.
+        """
+        if self.use_lut and axis_bits >= 2:
+            return llr_table(axis_bits,
+                             dtype=self.dtype_policy.float_dtype).lookup(y)
+        return axis_soft_values(y, axis_bits,
+                                dtype=self.dtype_policy.float_dtype)
+
+    def demap(self, symbols, weights=None, llr_scale=None):
         """Demap complex symbols to soft values.
 
         Parameters
@@ -123,6 +217,12 @@ class Demapper:
             symbol's soft values are multiplied by its weight, which is how
             a receiver with channel state information de-emphasises faded
             subcarriers.
+        llr_scale:
+            Optional override of the demapper's own :attr:`llr_scale` —
+            a scalar, or for a 2-D batch a ``(packets,)`` array applying a
+            different ``Es/N0 * S_modulation`` factor per packet.  This is
+            how a *fused* batch stacks operating points at different SNRs
+            through one scaled demap without one demapper per point.
 
         Returns
         -------
@@ -130,21 +230,31 @@ class Demapper:
             Soft values in transmit bit order, ``bits_per_symbol`` per
             symbol, positive meaning "bit 1".
         """
-        symbols = np.asarray(symbols, dtype=np.complex128)
+        symbols = np.asarray(symbols, dtype=self.dtype_policy.complex_dtype)
         scale_to_levels = 1.0 / self.modulation.normalization
         real = symbols.real * scale_to_levels
         imag = symbols.imag * scale_to_levels
 
-        i_soft = axis_soft_values(real, self.i_bits)
+        i_soft = self._axis_soft(real, self.i_bits)
         if self.q_bits:
-            q_soft = axis_soft_values(imag, self.q_bits)
+            q_soft = self._axis_soft(imag, self.q_bits)
             soft = np.concatenate([i_soft, q_soft], axis=-1)
         else:
             soft = i_soft
 
-        soft = soft * self.llr_scale
+        scale = self.llr_scale if llr_scale is None else llr_scale
+        if np.ndim(scale):
+            scale = np.asarray(scale, dtype=self.dtype_policy.float_dtype)
+            if scale.shape[0] != symbols.shape[0] or symbols.ndim != 2:
+                raise ValueError(
+                    "per-packet llr_scale needs a (packets,) array matching "
+                    "a 2-D symbol batch; got %r for symbols %r"
+                    % (scale.shape, symbols.shape))
+            scale = scale[:, np.newaxis, np.newaxis]
+        soft = soft * scale
         if weights is not None:
-            weights = np.asarray(weights, dtype=np.float64)
+            weights = np.asarray(weights,
+                                 dtype=self.dtype_policy.float_dtype)
             soft = soft * weights[..., np.newaxis]
         soft = soft.reshape(symbols.shape[:-1] + (-1,)) if symbols.ndim > 1 else soft.reshape(-1)
         if self.output_format is not None:

@@ -1,0 +1,100 @@
+"""Numeric precision policy for the simulation chain.
+
+Historically every stage of the chain pinned its own working precision
+with scattered ``np.asarray(..., dtype=np.complex128)`` /
+``np.float64`` coercions, which made a reduced-precision fast path
+impossible: any float32 array entering the receiver was silently
+up-cast on the next stage boundary.  :class:`DTypePolicy` centralises
+the choice — one object, threaded through mapper, channel, receiver and
+decoder, names the float and complex working dtypes for a whole
+simulator.
+
+Tolerance policy
+----------------
+``float64`` (the default)
+    The *exact* reference path.  All results — fused or per-point,
+    any batch split — are **bit-for-bit** identical to the seed
+    implementation; every equality-based contract (the result store's
+    seed-derivation dedup, service-vs-serial row equality) relies on
+    this and is asserted by the test suite.
+
+``float32``
+    An opt-in fast path.  Soft values, path metrics and LLRs are
+    computed in single precision (noise is still *drawn* in float64 so
+    the random stream is invariant, then cast).  Decoded hard bits
+    almost always agree with the float64 path, but sign flips on
+    near-zero LLRs are possible, so float32 results are **approximate**:
+    equivalence tests bound the disagreement instead of asserting
+    equality, and stored results are namespace-versioned — a
+    ``Scenario`` with ``dtype="float32"`` includes the dtype in its
+    content hash, so float32 rows can never collide with (or be dedup-
+    served in place of) exact float64 rows.  See
+    :meth:`repro.analysis.scenario.Scenario.to_dict`.
+"""
+
+import numpy as np
+
+__all__ = ["DTypePolicy", "FLOAT64", "FLOAT32", "dtype_policy"]
+
+
+class DTypePolicy:
+    """Working precision for one simulation chain.
+
+    Attributes
+    ----------
+    name:
+        ``"float64"`` or ``"float32"`` — the declarative token used in
+        :class:`~repro.analysis.scenario.Scenario` and store hashing.
+    float_dtype / complex_dtype:
+        The numpy dtypes every stage coerces to (instead of hard-coded
+        ``float64`` / ``complex128``).
+    exact:
+        True for the bit-for-bit reference policy (float64).  Stages use
+        this to keep the default path byte-identical to the historical
+        implementation while enabling cheaper arithmetic otherwise.
+    """
+
+    __slots__ = ("name", "float_dtype", "complex_dtype", "exact")
+
+    def __init__(self, name, float_dtype, complex_dtype, exact):
+        self.name = name
+        self.float_dtype = np.dtype(float_dtype)
+        self.complex_dtype = np.dtype(complex_dtype)
+        self.exact = bool(exact)
+
+    def __eq__(self, other):
+        return isinstance(other, DTypePolicy) and self.name == other.name
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.name))
+
+    def __repr__(self):
+        return "DTypePolicy(%r)" % (self.name,)
+
+
+#: The exact (bit-for-bit) default policy.
+FLOAT64 = DTypePolicy("float64", np.float64, np.complex128, exact=True)
+
+#: The approximate single-precision fast path.
+FLOAT32 = DTypePolicy("float32", np.float32, np.complex64, exact=False)
+
+_POLICIES = {"float64": FLOAT64, "float32": FLOAT32}
+
+
+def dtype_policy(spec=None):
+    """Resolve a policy spec: ``None`` (default), a name, or a policy.
+
+    Every precision-aware constructor accepts this shape, so a plain
+    ``dtype="float32"`` string flows from :class:`Scenario` params all
+    the way into the BCJR recursions.
+    """
+    if spec is None:
+        return FLOAT64
+    if isinstance(spec, DTypePolicy):
+        return spec
+    try:
+        return _POLICIES[str(spec)]
+    except KeyError:
+        raise ValueError(
+            "unknown dtype policy %r (use %s)"
+            % (spec, " or ".join(sorted(_POLICIES)))) from None

@@ -10,6 +10,7 @@ the magnitude with Gray coding.
 
 import numpy as np
 
+from repro.phy.dtype import dtype_policy
 from repro.phy.params import BPSK, MODULATIONS, QAM16, QAM64, QPSK
 
 #: Gray-coded amplitude levels per axis, indexed by the integer value of the
@@ -46,13 +47,18 @@ class Mapper:
     ----------
     modulation:
         One of the :mod:`repro.phy.params` modulations, or its name.
+    dtype:
+        Working-precision policy (see :mod:`repro.phy.dtype`); sets the
+        complex dtype of the batched lookup table, so a float32 chain
+        emits complex64 symbols from the start.
     """
 
-    def __init__(self, modulation):
+    def __init__(self, modulation, dtype=None):
         if isinstance(modulation, str):
             modulation = MODULATIONS[modulation]
         self.modulation = modulation
         self.i_bits, self.q_bits = _axis_bits(modulation)
+        self.dtype_policy = dtype_policy(dtype)
         self._lut = None  # bit-pattern -> symbol lookup table, built lazily
 
     def map(self, bits):
@@ -102,7 +108,8 @@ class Mapper:
                 % (bits.shape[1], bps)
             )
         if self._lut is None:
-            self._lut = self.constellation()
+            self._lut = self.constellation().astype(
+                self.dtype_policy.complex_dtype, copy=False)
         groups = bits.reshape(bits.shape[0], -1, bps)
         weights = 1 << np.arange(bps - 1, -1, -1, dtype=np.int64)
         indices = groups @ weights

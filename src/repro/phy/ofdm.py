@@ -14,6 +14,7 @@ keeps the SNR definition used by the channel models exact.
 
 import numpy as np
 
+from repro.phy.dtype import dtype_policy
 from repro.phy.params import CYCLIC_PREFIX, FFT_SIZE, NUM_DATA_SUBCARRIERS
 
 #: Subcarrier indices (relative to DC) carrying pilots.
@@ -41,12 +42,18 @@ _PILOT_BINS = np.array([_fft_bin(k) for k in PILOT_SUBCARRIERS])
 
 
 class OfdmModulator:
-    """Maps constellation symbols onto OFDM time-domain samples."""
+    """Maps constellation symbols onto OFDM time-domain samples.
 
-    def __init__(self, cyclic_prefix=CYCLIC_PREFIX):
+    ``dtype`` selects the working-precision policy (see
+    :mod:`repro.phy.dtype`); numpy's pocketfft preserves single
+    precision, so a complex64 spectrum stays complex64 end to end.
+    """
+
+    def __init__(self, cyclic_prefix=CYCLIC_PREFIX, dtype=None):
         if not 0 <= cyclic_prefix < FFT_SIZE:
             raise ValueError("cyclic prefix must be in [0, %d)" % FFT_SIZE)
         self.cyclic_prefix = int(cyclic_prefix)
+        self.dtype_policy = dtype_policy(dtype)
 
     @property
     def samples_per_symbol(self):
@@ -55,9 +62,10 @@ class OfdmModulator:
 
     def _modulate_blocks(self, blocks):
         """IFFT a ``(blocks, 48)`` symbol array into per-symbol time rows."""
-        spectrum = np.zeros((blocks.shape[0], FFT_SIZE), dtype=np.complex128)
+        cdtype = self.dtype_policy.complex_dtype
+        spectrum = np.zeros((blocks.shape[0], FFT_SIZE), dtype=cdtype)
         spectrum[:, _DATA_BINS] = blocks
-        spectrum[:, _PILOT_BINS] = np.asarray(PILOT_VALUES, dtype=np.complex128)
+        spectrum[:, _PILOT_BINS] = np.asarray(PILOT_VALUES, dtype=cdtype)
         time = np.fft.ifft(spectrum, axis=1, norm="ortho")
         if self.cyclic_prefix:
             time = np.concatenate([time[:, -self.cyclic_prefix:], time], axis=1)
@@ -77,7 +85,7 @@ class OfdmModulator:
         numpy.ndarray
             Complex time samples, ``samples_per_symbol`` per OFDM symbol.
         """
-        symbols = np.asarray(symbols, dtype=np.complex128)
+        symbols = np.asarray(symbols, dtype=self.dtype_policy.complex_dtype)
         if symbols.size % NUM_DATA_SUBCARRIERS:
             raise ValueError(
                 "symbol count %d is not a multiple of %d data subcarriers"
@@ -94,7 +102,7 @@ class OfdmModulator:
         a single IFFT call, so the batch costs one numpy dispatch regardless
         of the packet count.  Bit-exact with per-packet :meth:`modulate`.
         """
-        symbols = np.asarray(symbols, dtype=np.complex128)
+        symbols = np.asarray(symbols, dtype=self.dtype_policy.complex_dtype)
         if symbols.ndim != 2:
             raise ValueError("modulate_batch expects a (packets, symbols) array")
         if symbols.shape[1] % NUM_DATA_SUBCARRIERS:
@@ -107,12 +115,17 @@ class OfdmModulator:
 
 
 class OfdmDemodulator:
-    """Recovers data-subcarrier symbols from OFDM time-domain samples."""
+    """Recovers data-subcarrier symbols from OFDM time-domain samples.
 
-    def __init__(self, cyclic_prefix=CYCLIC_PREFIX):
+    ``dtype`` selects the working-precision policy (see
+    :mod:`repro.phy.dtype`).
+    """
+
+    def __init__(self, cyclic_prefix=CYCLIC_PREFIX, dtype=None):
         if not 0 <= cyclic_prefix < FFT_SIZE:
             raise ValueError("cyclic prefix must be in [0, %d)" % FFT_SIZE)
         self.cyclic_prefix = int(cyclic_prefix)
+        self.dtype_policy = dtype_policy(dtype)
 
     @property
     def samples_per_symbol(self):
@@ -136,7 +149,7 @@ class OfdmDemodulator:
         numpy.ndarray
             Equalised data-subcarrier symbols in transmission order.
         """
-        samples = np.asarray(samples, dtype=np.complex128)
+        samples = np.asarray(samples, dtype=self.dtype_policy.complex_dtype)
         per_symbol = self.samples_per_symbol
         if samples.size % per_symbol:
             raise ValueError(
@@ -145,7 +158,8 @@ class OfdmDemodulator:
             )
         data = self._demodulate_blocks(samples.reshape(-1, per_symbol))
         if channel_gain is not None:
-            gain = np.asarray(channel_gain, dtype=np.complex128)
+            gain = np.asarray(channel_gain,
+                              dtype=self.dtype_policy.complex_dtype)
             if gain.ndim == 0:
                 data = data / gain
             else:
@@ -176,7 +190,7 @@ class OfdmDemodulator:
             Optional per-packet complex flat-fading gains, shape
             ``(packets,)``; each packet is equalised by its own gain.
         """
-        samples = np.asarray(samples, dtype=np.complex128)
+        samples = np.asarray(samples, dtype=self.dtype_policy.complex_dtype)
         if samples.ndim != 2:
             raise ValueError("demodulate_batch expects a (packets, samples) array")
         per_symbol = self.samples_per_symbol
@@ -189,7 +203,8 @@ class OfdmDemodulator:
         data = self._demodulate_blocks(samples.reshape(-1, per_symbol))
         data = data.reshape(packets, -1)
         if channel_gains is not None:
-            gains = np.asarray(channel_gains, dtype=np.complex128)
+            gains = np.asarray(channel_gains,
+                               dtype=self.dtype_policy.complex_dtype)
             if gains.ndim == 0:
                 gains = np.broadcast_to(gains, (packets,))
             if gains.shape != (packets,):

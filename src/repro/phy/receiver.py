@@ -32,6 +32,7 @@ from repro.phy.bcjr import BcjrDecoder
 from repro.phy.convolutional import IEEE80211_CODE, depuncture
 from repro.phy.decoder_base import ConvolutionalDecoder
 from repro.phy.demapper import Demapper
+from repro.phy.dtype import dtype_policy
 from repro.phy.interleaver import Interleaver
 from repro.phy.ofdm import OfdmDemodulator
 from repro.phy.scrambler import descramble
@@ -79,19 +80,28 @@ class ReceiveResult:
         )
 
 
-def make_decoder(decoder, **kwargs):
-    """Build a decoder from a name, class or ready instance."""
+def make_decoder(decoder, dtype=None, **kwargs):
+    """Build a decoder from a name, class or ready instance.
+
+    ``dtype`` (a :mod:`repro.phy.dtype` policy) is forwarded only to
+    decoder classes advertising ``supports_dtype``; the others always
+    compute in float64 and simply up-cast reduced-precision soft inputs.
+    A ready instance is returned unchanged.
+    """
     if isinstance(decoder, ConvolutionalDecoder):
         return decoder
     if isinstance(decoder, type) and issubclass(decoder, ConvolutionalDecoder):
-        return decoder(**kwargs)
-    try:
-        cls = DECODER_CLASSES[decoder]
-    except (KeyError, TypeError):
-        raise ValueError(
-            "unknown decoder %r (expected one of %s, a decoder class or an "
-            "instance)" % (decoder, ", ".join(sorted(DECODER_CLASSES)))
-        ) from None
+        cls = decoder
+    else:
+        try:
+            cls = DECODER_CLASSES[decoder]
+        except (KeyError, TypeError):
+            raise ValueError(
+                "unknown decoder %r (expected one of %s, a decoder class or "
+                "an instance)" % (decoder, ", ".join(sorted(DECODER_CLASSES)))
+            ) from None
+    if dtype is not None and getattr(cls, "supports_dtype", False):
+        kwargs.setdefault("dtype", dtype)
     return cls(**kwargs)
 
 
@@ -115,6 +125,12 @@ class Receiver:
     llr_format:
         Optional fixed-point format applied to the demapper output,
         modelling the narrow hardware datapath.
+    dtype:
+        Working-precision policy (see :mod:`repro.phy.dtype`), threaded
+        through the demodulator, demapper, depuncturer and (for decoders
+        that support it) the trellis decode — every coercion the chain
+        performs uses the policy's dtypes, so a float32 chain never
+        silently up-casts mid-stream.  Default: the exact float64 path.
     """
 
     def __init__(
@@ -126,19 +142,22 @@ class Receiver:
         snr_db=None,
         llr_format=None,
         code=IEEE80211_CODE,
+        dtype=None,
     ):
         self.phy_rate = phy_rate
         self.scrambler_seed = scrambler_seed
         self.code = code
-        self.decoder = make_decoder(decoder)
+        self.dtype_policy = dtype_policy(dtype)
+        self.decoder = make_decoder(decoder, dtype=self.dtype_policy)
         self.demapper = Demapper(
             phy_rate.modulation,
             snr_db=snr_db,
             scaled=demapper_scaled,
             output_format=llr_format,
+            dtype=self.dtype_policy,
         )
         self.interleaver = Interleaver(phy_rate)
-        self.demodulator = OfdmDemodulator()
+        self.demodulator = OfdmDemodulator(dtype=self.dtype_policy)
 
     def geometry(self, num_data_bits):
         """Frame geometry (must match the transmitter's)."""
@@ -172,17 +191,20 @@ class Receiver:
             Depunctured soft values ready for a trellis decoder, length
             ``2 * (num_data_bits + memory)``.
         """
-        samples = np.asarray(samples, dtype=np.complex128)
+        samples = np.asarray(samples, dtype=self.dtype_policy.complex_dtype)
         gains = None if channel_gain is None else np.array([complex(channel_gain)])
         csi = None
         if csi_weights is not None:
-            csi = np.asarray(csi_weights, dtype=np.float64)[np.newaxis, :]
+            csi = np.asarray(
+                csi_weights, dtype=self.dtype_policy.float_dtype
+            )[np.newaxis, :]
         return self.front_end_batch(
             samples[np.newaxis, :], num_data_bits, channel_gains=gains, csi_weights=csi
         )[0]
 
     def front_end_batch(
-        self, samples, num_data_bits, channel_gains=None, csi_weights=None
+        self, samples, num_data_bits, channel_gains=None, csi_weights=None,
+        llr_scale=None,
     ):
         """Batched front end: ``(packets, samples)`` in, soft values out.
 
@@ -193,15 +215,24 @@ class Receiver:
         Parameters
         ----------
         samples:
-            ``(packets, num_samples)`` received complex baseband samples.
+            ``(packets, num_samples)`` received complex baseband samples,
+            or a 3-D ``(points, packets, num_samples)`` stack of operating
+            points sharing this receiver's rate: each stage is
+            row-independent, so the stack flows through as one fused
+            ``(points * packets)`` batch (bit-for-bit what per-point calls
+            produce) and the result keeps the stacked leading axes.
         num_data_bits:
             Payload size the transmitter used (shared by every packet).
         channel_gains:
             Optional ``(packets,)`` complex flat-fading gains for ideal
-            per-packet equalisation.
+            per-packet equalisation (leading axes match ``samples``).
         csi_weights:
             Optional ``(packets, num_symbols)`` per-OFDM-symbol weights
             applied to the soft values (channel-state information).
+        llr_scale:
+            Optional per-packet ``Es/N0 * S_modulation`` factors (shape
+            ``(packets,)``) forwarded to the demapper — how a fused stack
+            applies a *different* scaled-demapper SNR per operating point.
 
         Returns
         -------
@@ -209,7 +240,18 @@ class Receiver:
             ``(packets, 2 * (num_data_bits + memory))`` depunctured soft
             values ready for a batched trellis decode.
         """
-        samples = np.asarray(samples, dtype=np.complex128)
+        samples = np.asarray(samples, dtype=self.dtype_policy.complex_dtype)
+        if samples.ndim == 3:
+            stack = samples.shape[:2]
+            flat = lambda arr: (None if arr is None else
+                                np.asarray(arr).reshape((-1,) + np.asarray(arr).shape[2:]))
+            out = self.front_end_batch(
+                samples.reshape(-1, samples.shape[-1]), num_data_bits,
+                channel_gains=flat(channel_gains),
+                csi_weights=flat(csi_weights),
+                llr_scale=flat(llr_scale),
+            )
+            return out.reshape(stack + (-1,))
         if samples.ndim != 2:
             raise ValueError("front_end_batch expects a (packets, samples) array")
         geometry = self.geometry(num_data_bits)
@@ -219,25 +261,42 @@ class Receiver:
         weights = None
         if csi_weights is not None:
             weights = np.repeat(
-                np.asarray(csi_weights, dtype=np.float64), 48, axis=-1
+                np.asarray(csi_weights, dtype=self.dtype_policy.float_dtype),
+                48, axis=-1
             )[..., : symbols.shape[1]]
-        soft = self.demapper.demap(symbols, weights=weights)
+        soft = self.demapper.demap(symbols, weights=weights,
+                                   llr_scale=llr_scale)
         deinterleaved = self.interleaver.deinterleave(soft)
         transmitted = deinterleaved[:, : geometry.coded_bits]
         return depuncture(
-            transmitted, self.phy_rate.code_rate, geometry.unpunctured_bits
+            transmitted, self.phy_rate.code_rate, geometry.unpunctured_bits,
+            dtype=self.dtype_policy.float_dtype,
         )
 
     # ------------------------------------------------------------------ #
     # Decoding
     # ------------------------------------------------------------------ #
     def decode_batch(self, soft_batch, num_data_bits):
-        """Decode a ``(batch, length)`` array of depunctured soft values."""
+        """Decode a ``(batch, length)`` array of depunctured soft values.
+
+        A 3-D ``(points, packets, length)`` stack decodes as one fused
+        batch (any decoder; the recursions are row-independent) and the
+        result keeps the stacked leading axes.
+        """
+        soft_batch = np.asarray(soft_batch)
+        stack = None
+        if soft_batch.ndim == 3:
+            stack = soft_batch.shape[:2]
+            soft_batch = soft_batch.reshape(-1, soft_batch.shape[-1])
         result = self.decoder.decode(soft_batch, num_data_bits)
         # Every packet shares the scrambler seed, so the whole batch is
         # descrambled with one keystream XOR.
         descrambled = descramble(result.bits, seed=self.scrambler_seed)
-        return ReceiveResult(bits=descrambled, llr=result.llr)
+        llr = result.llr
+        if stack is not None:
+            descrambled = descrambled.reshape(stack + (-1,))
+            llr = None if llr is None else llr.reshape(stack + (-1,))
+        return ReceiveResult(bits=descrambled, llr=llr)
 
     def receive(self, samples, num_data_bits, channel_gain=None, csi_weights=None):
         """Process one packet end to end."""

@@ -95,15 +95,20 @@ class Transmitter:
         Non-zero 7-bit scrambler seed shared with the receiver.
     code:
         Convolutional mother code (the 802.11 K=7 code by default).
+    dtype:
+        Working-precision policy for the mapper and OFDM modulator (see
+        :mod:`repro.phy.dtype`).  The bit-domain stages are dtype-free;
+        the float64 default is bit-for-bit the historical chain.
     """
 
-    def __init__(self, phy_rate, scrambler_seed=0x7F, code=IEEE80211_CODE):
+    def __init__(self, phy_rate, scrambler_seed=0x7F, code=IEEE80211_CODE,
+                 dtype=None):
         self.phy_rate = phy_rate
         self.scrambler_seed = scrambler_seed
         self.code = code
         self.interleaver = Interleaver(phy_rate)
-        self.mapper = Mapper(phy_rate.modulation)
-        self.modulator = OfdmModulator()
+        self.mapper = Mapper(phy_rate.modulation, dtype=dtype)
+        self.modulator = OfdmModulator(dtype=dtype)
 
     def geometry(self, num_data_bits):
         """Frame geometry for a packet of ``num_data_bits``."""
@@ -144,8 +149,17 @@ class Transmitter:
         docstring for the per-stage shapes); there is no per-packet Python
         iteration.  Returns the complex baseband samples as a
         ``(packets, num_samples)`` array.
+
+        A 3-D ``(points, packets, num_data_bits)`` stack of operating
+        points is transmitted as one fused ``(points * packets)`` batch —
+        every stage is row-independent, so the result (reshaped back to
+        ``(points, packets, num_samples)``) is bit-for-bit what per-point
+        calls would produce.
         """
         bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim == 3:
+            stacked = self.transmit_batch(bits.reshape(-1, bits.shape[-1]))
+            return stacked.reshape(bits.shape[:2] + (-1,))
         if bits.ndim != 2:
             raise ValueError("transmit_batch expects a (packets, bits) array")
         scrambled = self.scramble(bits)

@@ -111,6 +111,28 @@ class Trellis:
             >> np.arange(self.n_out - 1, -1, -1)
         ) & 1
         self._half_sign_patterns = patterns.astype(np.float64) - 0.5
+        # Reduced-precision copies of the sign tables, built on demand for
+        # the float32 fast path (the float64 entries are the originals, so
+        # the default path never pays a cast).
+        self._sign_table_cache = {}
+
+    def half_output_signs(self, dtype=np.float64):
+        """The half-scaled ``(states, 2, n_out)`` sign table in ``dtype``."""
+        return self._sign_table(self._half_output_signs, dtype)
+
+    def half_sign_patterns(self, dtype=np.float64):
+        """The half-scaled ``(2**n_out, n_out)`` pattern table in ``dtype``."""
+        return self._sign_table(self._half_sign_patterns, dtype)
+
+    def _sign_table(self, table, dtype):
+        dtype = np.dtype(dtype)
+        if dtype == table.dtype:
+            return table
+        key = (id(table), dtype)
+        cached = self._sign_table_cache.get(key)
+        if cached is None:
+            cached = self._sign_table_cache[key] = table.astype(dtype)
+        return cached
 
     def __repr__(self):
         return "Trellis(states=%d, outputs_per_input=%d)" % (
@@ -166,8 +188,13 @@ class BranchMetricUnit:
         pass over the output is needed.  With ``time_major`` the result is
         laid out ``(steps, batch, ...)`` so per-step slices are contiguous
         -- what a step-sequential recursion wants.
+
+        The table's dtype sets the working precision: soft values are
+        coerced to match, so passing a float32 table keeps the whole
+        correlation (and everything downstream of it) in single
+        precision.
         """
-        soft = np.asarray(soft, dtype=np.float64)
+        soft = np.asarray(soft, dtype=half_signs.dtype)
         if soft.ndim == 2:
             soft = soft[np.newaxis, :, :]
         if time_major:
@@ -177,22 +204,25 @@ class BranchMetricUnit:
         ).T
         return flat.reshape(soft.shape[:2] + half_signs.shape[:-1])
 
-    def compute_all(self, soft):
+    def compute_all(self, soft, dtype=np.float64):
         """Branch metrics for every step of a packet.
 
         Parameters
         ----------
         soft:
             ``(batch, num_steps, n_out)`` soft values.
+        dtype:
+            Working float dtype of the correlation (see
+            :mod:`repro.phy.dtype`).
 
         Returns
         -------
         numpy.ndarray
             ``(batch, num_steps, num_states, 2)`` branch metrics.
         """
-        return self._correlate(soft, self.trellis._half_output_signs)
+        return self._correlate(soft, self.trellis.half_output_signs(dtype))
 
-    def compute_compressed(self, soft, time_major=False):
+    def compute_compressed(self, soft, time_major=False, dtype=np.float64):
         """The ``2**n_out`` distinct branch-metric values of every step.
 
         A trellis step only has one metric per coded-bit pattern, so the
@@ -204,7 +234,7 @@ class BranchMetricUnit:
         ``vals[..., branch_code]`` reproduces :meth:`compute_all` exactly.
         """
         return self._correlate(
-            soft, self.trellis._half_sign_patterns, time_major=time_major
+            soft, self.trellis.half_sign_patterns(dtype), time_major=time_major
         )
 
 
@@ -219,7 +249,7 @@ class PathMetricUnit:
     def __init__(self, trellis):
         self.trellis = trellis
 
-    def initial_metrics(self, batch, known_start=True):
+    def initial_metrics(self, batch, known_start=True, dtype=np.float64):
         """Starting path metrics.
 
         With ``known_start`` the all-zero state gets metric 0 and every other
@@ -228,7 +258,7 @@ class PathMetricUnit:
         blocks).
         """
         metrics = np.full(
-            (batch, self.trellis.num_states), NEGATIVE_INFINITY_METRIC, dtype=np.float64
+            (batch, self.trellis.num_states), NEGATIVE_INFINITY_METRIC, dtype=dtype
         )
         if known_start:
             metrics[:, 0] = 0.0
@@ -311,13 +341,14 @@ class PathMetricUnit:
         return metrics - np.max(metrics, axis=-1, keepdims=True)
 
 
-def reshape_soft_input(soft, n_out=2):
+def reshape_soft_input(soft, n_out=2, dtype=np.float64):
     """Reshape a flat soft-value stream into ``(batch, steps, n_out)``.
 
     Accepts a 1-D array (one packet) or a 2-D ``(batch, length)`` array; the
-    length must be a multiple of ``n_out``.
+    length must be a multiple of ``n_out``.  ``dtype`` names the decoder's
+    working precision (see :mod:`repro.phy.dtype`).
     """
-    soft = np.asarray(soft, dtype=np.float64)
+    soft = np.asarray(soft, dtype=dtype)
     if soft.ndim == 1:
         soft = soft[np.newaxis, :]
     if soft.shape[1] % n_out:

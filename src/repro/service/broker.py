@@ -38,7 +38,8 @@ import queue
 import threading
 import time
 
-from repro.analysis.adaptive import batch_store_key
+from repro.analysis.adaptive import batch_store_key, run_link_ber_batch
+from repro.analysis.fused import FusedBatchRunner, plan_fused_round
 
 __all__ = ["ServiceError", "RequestTicket", "CharacterisationBroker"]
 
@@ -268,6 +269,9 @@ class CharacterisationBroker:
         self._tickets = {}        # request_key -> in-flight ticket
         self._views = {}          # namespace digest -> shared StoreView
         self._inflight_work = {}  # work key -> [(ticket, batch), ...]
+        self._group_members = {}  # group key -> [(work key, batch), ...]
+        self._group_of = {}       # member work key -> its group key
+        self._group_seq = 0
         self._ticket_seq = 0
         self._item_seq = 0           # dispatch-order tie-break generator
         self.simulated_batches = 0   # actual fleet submissions
@@ -333,6 +337,8 @@ class CharacterisationBroker:
                 self.failed_requests += 1
             self._tickets = {}
             self._inflight_work = {}
+            self._group_members = {}
+            self._group_of = {}
 
     # ------------------------------------------------------------------ #
     def _advance(self, ticket):
@@ -362,39 +368,98 @@ class CharacterisationBroker:
                 ticket._note(batch, "cached")
                 trajectory.consume(batch, cached)
                 ticket._emit_new_rows()
-            for batch in pending:
-                self._enqueue(ticket, batch)
+            self._dispatch_pending(ticket, pending)
             if pending:
                 return
 
-    def _enqueue(self, ticket, batch):
-        work_key = (ticket.digest, batch_store_key(batch), batch.index,
-                    batch.num_packets)
-        subscribers = self._inflight_work.get(work_key)
-        if subscribers is not None:
-            # Another request is already simulating this exact batch:
-            # subscribe to its result instead of re-enqueueing — and, if
-            # we are the more urgent requester, pull the queued item
-            # forward so the shared batch does not keep the lazier
-            # request's queue position.
-            subscribers.append((ticket, batch))
-            ticket._note(batch, "shared")
-            self._item_seq += 1
-            self.fleet.promote(
-                work_key, (ticket.request.priority, ticket.deadline_at,
-                           ticket.seq, self._item_seq))
+    def _dispatch_pending(self, ticket, pending):
+        """Route a round's store-miss batches to the fleet.
+
+        In-flight duplicates are subscribed to first; the genuinely fresh
+        remainder is fused by :func:`~repro.analysis.fused.plan_fused_round`
+        (when the ticket runs the built-in link runner) so a round's
+        same-shape batches cost one tensor pass instead of one dispatch
+        each.  Fusion never changes what a batch's result *is* — each
+        member still lands in the store and in every subscriber under its
+        own work key — only how many fleet items carry it.
+        """
+        fresh = []
+        for batch in pending:
+            work_key = (ticket.digest, batch_store_key(batch), batch.index,
+                        batch.num_packets)
+            subscribers = self._inflight_work.get(work_key)
+            if subscribers is not None:
+                # Another request is already simulating this exact batch:
+                # subscribe to its result instead of re-enqueueing — and,
+                # if we are the more urgent requester, pull the queued
+                # item (the fused group's, if the batch rides one)
+                # forward so the shared batch does not keep the lazier
+                # request's queue position.
+                subscribers.append((ticket, batch))
+                ticket._note(batch, "shared")
+                self._item_seq += 1
+                self.fleet.promote(
+                    self._group_of.get(work_key, work_key),
+                    (ticket.request.priority, ticket.deadline_at,
+                     ticket.seq, self._item_seq))
+                continue
+            fresh.append((work_key, batch))
+        if not fresh:
             return
-        self._inflight_work[work_key] = [(ticket, batch)]
-        ticket._note(batch, "simulated")
-        self._item_seq += 1
-        self.simulated_batches += 1
-        self.fleet.submit(
-            work_key, ticket.runner, batch,
-            priority=(ticket.request.priority, ticket.deadline_at,
-                      ticket.seq, self._item_seq),
-        )
+        groups, singles = [], [batch for _, batch in fresh]
+        if ticket.runner is run_link_ber_batch:
+            groups, singles = plan_fused_round(singles)
+        key_of = {(batch.point.index, batch.index): work_key
+                  for work_key, batch in fresh}
+        for batch in singles:
+            work_key = key_of[(batch.point.index, batch.index)]
+            self._inflight_work[work_key] = [(ticket, batch)]
+            ticket._note(batch, "simulated")
+            self._item_seq += 1
+            self.simulated_batches += 1
+            self.fleet.submit(
+                work_key, ticket.runner, batch,
+                priority=(ticket.request.priority, ticket.deadline_at,
+                          ticket.seq, self._item_seq),
+            )
+        for group in groups:
+            self._group_seq += 1
+            group_key = ("fused", ticket.digest, self._group_seq)
+            members = []
+            for batch in group.batches:
+                work_key = key_of[(batch.point.index, batch.index)]
+                self._inflight_work[work_key] = [(ticket, batch)]
+                self._group_of[work_key] = group_key
+                ticket._note(batch, "simulated")
+                members.append((work_key, batch))
+            self._group_members[group_key] = members
+            self._item_seq += 1
+            self.simulated_batches += len(members)
+            self.fleet.submit(
+                group_key, FusedBatchRunner(ticket.runner), group,
+                priority=(ticket.request.priority, ticket.deadline_at,
+                          ticket.seq, self._item_seq),
+            )
 
     def _on_result(self, work_key, result):
+        members = self._group_members.pop(work_key, None)
+        if members is not None:
+            member_results = (result.get("results")
+                              if isinstance(result, dict) else None)
+            if member_results is None or len(member_results) != len(members):
+                # The whole fused item failed before the runner's
+                # per-member fallback could slot errors (e.g. the worker
+                # died past its retries): the error applies to every
+                # member.
+                member_results = [result] * len(members)
+            for (member_key, _batch), member_result in zip(members,
+                                                           member_results):
+                self._group_of.pop(member_key, None)
+                self._deliver(member_key, member_result)
+            return
+        self._deliver(work_key, result)
+
+    def _deliver(self, work_key, result):
         subscribers = self._inflight_work.pop(work_key, None)
         if subscribers is None:
             return  # stale (e.g. the fleet flushed after a shutdown)

@@ -43,6 +43,9 @@ import threading
 import time
 import traceback
 
+from repro.service.transport import (DEFAULT_RING_BYTES, attach_channel,
+                                     create_channel)
+
 __all__ = ["FleetError", "WorkerFleet"]
 
 
@@ -60,45 +63,55 @@ def _capture(runner, batch):
         return None, detail
 
 
-def _process_worker_main(worker_id, conn, heartbeat_s):
+def _process_worker_main(worker_id, conn, heartbeat_s, shm_name=None,
+                         ring_bytes=DEFAULT_RING_BYTES):
     """Long-lived process worker: heartbeat thread + one-item task loop.
 
-    All messages travel over this worker's own duplex pipe.  That channel
-    choice is deliberate: a shared ``multiprocessing.Queue`` guards its
-    write end with a semaphore *shared by every worker*, so a worker
-    dying mid-``put`` (exactly what the retry machinery exists for)
-    would leave the semaphore locked and poison the whole fleet.  A
-    per-worker pipe has a single writing process — a dying worker can
-    only break its own channel, which the parent reads as EOF.
+    All messages travel over this worker's own duplex channel (a pipe,
+    plus — when ``shm_name`` names the parent's segment — a shared-memory
+    ring pair carrying the payload buffers; see
+    :mod:`repro.service.transport`).  That per-worker choice is
+    deliberate: a shared ``multiprocessing.Queue`` guards its write end
+    with a semaphore *shared by every worker*, so a worker dying
+    mid-``put`` (exactly what the retry machinery exists for) would
+    leave the semaphore locked and poison the whole fleet.  A per-worker
+    channel has a single writing process — a dying worker can only break
+    its own channel, which the parent reads as EOF.
     """
-    send_lock = threading.Lock()  # main loop and heartbeat thread share conn
+    channel = attach_channel(conn, shm_name, ring_bytes)
+    send_lock = threading.Lock()  # main loop and heartbeat thread share it
     stop_beat = threading.Event()
 
     def send(message):
         with send_lock:
-            conn.send(message)
+            channel.send(message)
 
     def beat():
         while not stop_beat.wait(heartbeat_s):
             try:
                 send(("heartbeat", worker_id, time.time()))
-            except OSError:
+            except (OSError, ValueError):
+                # ValueError: the main loop closed the channel (released
+                # its ring views) between our stop check and this send.
                 return
 
     beater = threading.Thread(target=beat, daemon=True)
     beater.start()
-    send(("heartbeat", worker_id, time.time()))
-    while True:
-        try:
-            task = conn.recv()
-        except (EOFError, OSError):
-            break
-        if task is None:
-            break
-        seq, runner, batch = task
-        result, error = _capture(runner, batch)
-        send(("result", worker_id, seq, result, error))
-    stop_beat.set()
+    try:
+        send(("heartbeat", worker_id, time.time()))
+        while True:
+            try:
+                task = channel.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            seq, runner, batch = task
+            result, error = _capture(runner, batch)
+            send(("result", worker_id, seq, result, error))
+    finally:
+        stop_beat.set()
+        channel.close()
 
 
 class _Item:
@@ -135,6 +148,21 @@ class WorkerFleet:
     max_retries:
         How many times a work item is re-dispatched after the worker
         running it died, before it is failed with an error result.
+    ring_bytes:
+        Per-direction shared-memory ring capacity for the process
+        backend's payload transport (see
+        :mod:`repro.service.transport`).  ``0`` forces the plain-pipe
+        channel.
+    compute_slots:
+        Thread backend only: how many workers may *execute* a runner at
+        the same time (default ``min(workers, os.cpu_count())``).  The
+        numpy kernels release the GIL around every small operation, so
+        on a host with fewer cores than workers the oversubscribed
+        threads hand the GIL back and forth at kernel granularity —
+        measured multi-x wall-clock inflation of each item on a
+        single-core host.  Queueing, heartbeats and result streaming
+        stay fully concurrent; only the compute sections serialise down
+        to the hardware's real parallelism.
 
     Usage: :meth:`start` (or use as a context manager), then
     :meth:`submit` items — ``submit(item_id, runner, batch,
@@ -144,17 +172,26 @@ class WorkerFleet:
     """
 
     def __init__(self, workers=None, backend="thread", mp_context=None,
-                 heartbeat_s=1.0, max_retries=2):
+                 heartbeat_s=1.0, max_retries=2,
+                 ring_bytes=DEFAULT_RING_BYTES, compute_slots=None):
         if backend not in ("thread", "process"):
             raise ValueError("unknown backend %r (use 'thread' or 'process')"
                              % (backend,))
         if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
+        if compute_slots is not None and compute_slots < 1:
+            raise ValueError("compute_slots must be positive")
         self.backend = backend
         self.workers = workers or os.cpu_count() or 1
         self.mp_context = mp_context
         self.heartbeat_s = float(heartbeat_s)
         self.max_retries = int(max_retries)
+        self.ring_bytes = int(ring_bytes)
+        self.compute_slots = min(
+            self.workers,
+            compute_slots or max(os.cpu_count() or 1, 1),
+        )
+        self._compute_gate = threading.BoundedSemaphore(self.compute_slots)
         self.submitted = 0
         self.completed = 0
         self.retried = 0
@@ -173,6 +210,7 @@ class WorkerFleet:
         # process backend
         self._context = None
         self._procs = {}           # worker name -> (Process, parent Connection)
+        self._channels = {}        # worker name -> transport channel
         self._assigned = {}        # worker name -> seq it currently holds
         self._idle = set()
         self._pump_threads = []
@@ -222,9 +260,9 @@ class WorkerFleet:
                 thread.join(timeout=10.0)
             self._threads = []
         else:
-            for name, (proc, conn) in list(self._procs.items()):
+            for name, channel in list(self._channels.items()):
                 try:
-                    conn.send(None)
+                    channel.send(None)
                 except (OSError, ValueError):
                     pass
             for thread in self._pump_threads:
@@ -236,7 +274,10 @@ class WorkerFleet:
                     proc.terminate()
                     proc.join(timeout=5.0)
                 conn.close()
+            for name, channel in list(self._channels.items()):
+                channel.close()
             self._procs = {}
+            self._channels = {}
         with self._lock:
             leftovers = list(self._inflight.values())
             self._inflight = {}
@@ -337,6 +378,7 @@ class WorkerFleet:
         return {
             "backend": self.backend,
             "workers": self.workers,
+            "compute_slots": self.compute_slots,
             "submitted": self.submitted,
             "completed": self.completed,
             "pending": self.pending,
@@ -379,7 +421,8 @@ class WorkerFleet:
                     return
                 self._inflight[item.seq] = item
                 self._heartbeat[name] = time.time()
-            result, error = _capture(item.runner, item.batch)
+            with self._compute_gate:
+                result, error = _capture(item.runner, item.batch)
             with self._lock:
                 self._inflight.pop(item.seq, None)
                 self._heartbeat[name] = time.time()
@@ -391,14 +434,17 @@ class WorkerFleet:
     def _spawn_process_worker(self):
         name = "fleet-proc-%d" % next(self._worker_ids)
         parent_conn, child_conn = self._context.Pipe(duplex=True)
+        channel, shm_name = create_channel(parent_conn, self.ring_bytes)
         proc = self._context.Process(
             target=_process_worker_main,
-            args=(name, child_conn, self.heartbeat_s),
+            args=(name, child_conn, self.heartbeat_s, shm_name,
+                  self.ring_bytes),
             daemon=True,
         )
         proc.start()
         child_conn.close()  # the parent keeps only its own end
         self._procs[name] = (proc, parent_conn)
+        self._channels[name] = channel
         self._heartbeat[name] = time.time()
         self._idle.add(name)
         return name
@@ -414,12 +460,12 @@ class WorkerFleet:
                     if item is None:
                         break
                     name = self._idle.pop()
-                    _, conn = self._procs[name]
+                    channel = self._channels[name]
                     self._inflight[item.seq] = item
                     self._assigned[name] = item.seq
                     item.attempts += 1
                     try:
-                        conn.send((item.seq, item.runner, item.batch))
+                        channel.send((item.seq, item.runner, item.batch))
                     except (OSError, ValueError):
                         self._reap_worker(name)
                     except Exception as exc:
@@ -448,6 +494,9 @@ class WorkerFleet:
         """
         proc, conn = self._procs.pop(name)
         conn.close()
+        channel = self._channels.pop(name, None)
+        if channel is not None:
+            channel.close()  # the parent owns the segment: unlinks it too
         self._heartbeat.pop(name, None)
         self._idle.discard(name)
         seq = self._assigned.pop(name, None)
@@ -476,7 +525,7 @@ class WorkerFleet:
             with self._lock:
                 if self._stopping:
                     return
-                conns = {conn: name
+                conns = {conn: (name, self._channels[name])
                          for name, (_, conn) in self._procs.items()}
             try:
                 ready = connection_wait(list(conns), timeout=0.2)
@@ -485,13 +534,15 @@ class WorkerFleet:
                 # between our snapshot and the wait; rebuild and retry.
                 continue
             for conn in ready:
-                name = conns[conn]
+                name, channel = conns[conn]
                 try:
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    # The worker died (possibly mid-message): its pipe hit
-                    # EOF.  Reap it now rather than spinning on the
-                    # readable-at-EOF connection until the feeder notices.
+                    message = channel.recv()
+                except (EOFError, OSError, ValueError):
+                    # EOF/OSError: the worker died (possibly mid-message).
+                    # ValueError: the feeder reaped it between our snapshot
+                    # and this recv, releasing the channel's ring views.
+                    # Reap now rather than spinning on the readable-at-EOF
+                    # connection until the feeder notices.
                     with self._lock:
                         if name in self._procs:
                             self._procs[name][0].join(timeout=1.0)

@@ -80,6 +80,35 @@ class TestThreadFleet:
         assert results == reference_results(items)
         assert fleet.stats()["completed"] == len(items)
 
+    def test_compute_gate_bounds_executing_runners(self):
+        # Four workers, one compute slot: runners must never overlap,
+        # while every item still completes through the shared queue.
+        peak = {"now": 0, "max": 0}
+        meter = threading.Lock()
+
+        def metered_runner(batch):
+            with meter:
+                peak["now"] += 1
+                peak["max"] = max(peak["max"], peak["now"])
+            time.sleep(0.05)
+            with meter:
+                peak["now"] -= 1
+            return {"errors": 0, "trials": 1}
+
+        with WorkerFleet(workers=4, backend="thread",
+                         compute_slots=1) as fleet:
+            assert fleet.compute_slots == 1
+            for i in range(8):
+                fleet.submit(("gated", i), metered_runner, batches()[0])
+            results = drain(fleet, 8)
+        assert len(results) == 8
+        assert peak["max"] == 1
+
+    def test_compute_slots_default_respects_the_host(self):
+        fleet = WorkerFleet(workers=64, backend="thread")
+        assert fleet.compute_slots == min(64, os.cpu_count() or 1)
+        assert fleet.stats()["compute_slots"] == fleet.compute_slots
+
     def test_runner_exceptions_come_back_as_error_results(self):
         with WorkerFleet(workers=1, backend="thread") as fleet:
             fleet.submit("bad", _failing_runner, batches()[0])

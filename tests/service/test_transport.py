@@ -1,0 +1,233 @@
+"""Tests for the shared-memory worker transport.
+
+Covers the :class:`~repro.service.transport.ShmChannel` wire contract
+(round trips, copy-out on receive, ring wrap-around, oversize inline
+fallback, plain-pipe degradation) and its integration with the process
+fleet: array payloads travel through the rings, a worker death replaces
+the worker's segment, and no segment outlives the fleet.
+"""
+
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.adaptive import run_link_ber_batch
+from repro.service.fleet import WorkerFleet
+from repro.service.transport import (
+    DEFAULT_RING_BYTES,
+    PipeChannel,
+    ShmChannel,
+    attach_channel,
+    create_channel,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process-backend tests pin the fork start method",
+)
+
+
+@pytest.fixture
+def channel_pair():
+    """An in-process parent/child ShmChannel pair over one small segment."""
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+    parent = ShmChannel.create(parent_conn, 1 << 12)
+    child = ShmChannel.attach(child_conn, parent.name, 1 << 12)
+    yield parent, child
+    child.close()
+    parent.close()
+    parent_conn.close()
+    child_conn.close()
+
+
+class TestShmChannel:
+    def test_round_trip_preserves_arrays_both_directions(self, channel_pair):
+        parent, child = channel_pair
+        payload = {
+            "f64": np.arange(128, dtype=np.float64),
+            "c64": np.full(33, 1 + 2j, dtype=np.complex64),
+            "text": "header-only data",
+            "count": 7,
+        }
+        parent.send(payload)
+        received = child.recv()
+        assert received["text"] == "header-only data"
+        assert received["count"] == 7
+        for key in ("f64", "c64"):
+            assert received[key].dtype == payload[key].dtype
+            np.testing.assert_array_equal(received[key], payload[key])
+        child.send(received)
+        echoed = parent.recv()
+        np.testing.assert_array_equal(echoed["f64"], payload["f64"])
+
+    def test_recv_copies_out_of_the_ring(self, channel_pair):
+        # A later send wrapping over the same ring region must not mutate
+        # an already-received array: recv copies before unpickling.
+        parent, child = channel_pair
+        first = np.arange(375, dtype=np.float64)   # 3000 B of a 4096 B ring
+        parent.send(first)
+        held = child.recv()
+        parent.send(np.zeros(375, dtype=np.float64))  # wraps onto offset 0
+        child.recv()
+        np.testing.assert_array_equal(held, first)
+
+    def test_ring_wrap_around_many_messages(self, channel_pair):
+        parent, child = channel_pair
+        for value in range(64):
+            parent.send(np.full(300, value, dtype=np.float64))
+            received = child.recv()
+            assert received.shape == (300,)
+            assert (received == value).all()
+
+    def test_oversize_buffer_falls_back_inline(self, channel_pair):
+        parent, child = channel_pair
+        big = np.arange(1 << 10, dtype=np.float64)  # 8 KiB > the 4 KiB ring
+        received = {}
+
+        def reader():  # a pipe has a finite buffer: read concurrently
+            received["value"] = child.recv()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        parent.send({"big": big})
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        np.testing.assert_array_equal(received["value"]["big"], big)
+
+    def test_parent_close_unlinks_the_segment(self):
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        parent = ShmChannel.create(parent_conn, 1 << 12)
+        name = parent.name
+        parent.close()
+        with pytest.raises(FileNotFoundError):
+            ShmChannel.attach(child_conn, name, 1 << 12)
+        parent_conn.close()
+        child_conn.close()
+
+
+class TestFallback:
+    def test_zero_ring_bytes_negotiates_a_pipe_channel(self):
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        channel, shm_name = create_channel(parent_conn, 0)
+        assert isinstance(channel, PipeChannel)
+        assert shm_name is None
+        peer = attach_channel(child_conn, shm_name)
+        assert isinstance(peer, PipeChannel)
+        channel.send({"x": np.arange(4.0)})
+        np.testing.assert_array_equal(peer.recv()["x"], np.arange(4.0))
+        channel.close()
+        peer.close()
+        parent_conn.close()
+        child_conn.close()
+
+    def test_shm_channel_is_the_default(self):
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        channel, shm_name = create_channel(parent_conn, DEFAULT_RING_BYTES)
+        assert isinstance(channel, ShmChannel)
+        assert shm_name == channel.name
+        channel.close()
+        parent_conn.close()
+        child_conn.close()
+
+
+# Module-level runners so the fork-started workers resolve them by
+# reference.
+def _array_echo_runner(batch):
+    return {"echo": batch["data"] * 2.0, "tag": batch["tag"]}
+
+
+def _kill_once_array_runner(batch):
+    """Die abruptly on the first attempt, return an array on the retry."""
+    marker = batch["kill_marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("died")
+        os._exit(13)
+    return {"echo": batch["data"] + 1.0}
+
+
+class _Batch(dict):
+    def label(self):
+        return "transport-batch-%s" % (self.get("tag"),)
+
+
+def _drain(fleet, expected, timeout=60.0):
+    results = {}
+    deadline = time.time() + timeout
+    while len(results) < expected:
+        remaining = deadline - time.time()
+        assert remaining > 0, "timed out with %d/%d results" % (
+            len(results), expected)
+        for item_id, result in fleet.poll(timeout=min(remaining, 0.5)):
+            results[item_id] = result
+    return results
+
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if name.startswith("psm_")}
+    except OSError:  # pragma: no cover - non-Linux shm layout
+        return set()
+
+
+class TestFleetTransport:
+    def test_array_payloads_round_trip_through_the_rings(self):
+        before = _shm_segments()
+        with WorkerFleet(workers=2, backend="process",
+                         mp_context="fork") as fleet:
+            assert all(isinstance(channel, ShmChannel)
+                       for channel in fleet._channels.values())
+            for tag in range(6):
+                fleet.submit(
+                    "item-%d" % tag, _array_echo_runner,
+                    _Batch(tag=tag, data=np.full(2048, float(tag))))
+            results = _drain(fleet, expected=6)
+        for tag in range(6):
+            row = results["item-%d" % tag]
+            assert row["tag"] == tag
+            np.testing.assert_array_equal(
+                row["echo"], np.full(2048, 2.0 * tag))
+        assert _shm_segments() == before
+
+    def test_worker_death_recreates_the_segment_and_retries(self, tmp_path):
+        before = _shm_segments()
+        with WorkerFleet(workers=1, backend="process", mp_context="fork",
+                         max_retries=2) as fleet:
+            (original_segment,) = [channel.name
+                                   for channel in fleet._channels.values()]
+            marker = str(tmp_path / "died-once")
+            fleet.submit(
+                "kill-me", _kill_once_array_runner,
+                _Batch(tag="kill", kill_marker=marker,
+                       data=np.arange(100, dtype=np.float64)))
+            results = _drain(fleet, expected=1)
+            replacement_segments = [channel.name
+                                    for channel in fleet._channels.values()]
+            assert fleet.retried == 1
+            assert fleet.restarted >= 1
+            assert original_segment not in replacement_segments
+        np.testing.assert_array_equal(
+            results["kill-me"]["echo"], np.arange(100, dtype=np.float64) + 1.0)
+        assert _shm_segments() == before
+
+    def test_results_match_in_process_reference(self):
+        from repro.analysis.adaptive import MeasurementBatch
+        from repro.analysis.sweep import SweepSpec
+
+        spec = SweepSpec({"rate_mbps": [24], "snr_db": [5.0, 7.0]},
+                         constants={"packet_bits": 600, "batch_size": 4},
+                         seed=23)
+        items = [("point-%d" % point.index, MeasurementBatch(point, 0, 4))
+                 for point in spec.points()]
+        with WorkerFleet(workers=2, backend="process",
+                         mp_context="fork") as fleet:
+            for item_id, batch in items:
+                fleet.submit(item_id, run_link_ber_batch, batch)
+            results = _drain(fleet, expected=len(items))
+        assert results == {item_id: dict(run_link_ber_batch(batch))
+                           for item_id, batch in items}
