@@ -30,8 +30,8 @@ from _bench_utils import emit_with_rows
 SCHEDULERS = ("decoupled", "lockstep")
 
 
-def _run_point(point):
-    """Picklable point-runner: one scheduling policy over the same packets."""
+def _simulate_once(point):
+    """One pass of ``point``'s scheduling policy over a fresh model."""
     rng = np.random.default_rng(5)
     payloads = [rng.integers(0, 2, point["packet_bits"], dtype=np.uint8)
                 for _ in range(point["num_packets"])]
@@ -41,6 +41,12 @@ def _run_point(point):
                                lockstep=point["scheduler"] == "lockstep")
     outputs, report = model.run_packets(payloads)
     assert len(outputs) == point["num_packets"]
+    return report
+
+
+def _run_point(point):
+    """Picklable point-runner: one scheduling policy over the same packets."""
+    report = _simulate_once(point)
     return {
         "steps": report.scheduler_stats.steps,
         "total_firings": report.scheduler_stats.total_firings,
@@ -49,7 +55,19 @@ def _run_point(point):
     }
 
 
-def _run(num_packets, packet_bits):
+def _run(num_packets, packet_bits, repeats=5):
+    """Best-of-``repeats`` rows with the two policies *interleaved*.
+
+    The scheduler-pass counts are deterministic and carry the robust
+    quantitative claim (the decoupled scheduler needs strictly fewer
+    passes for the same firings); the wall-clock comparison is
+    indicative only at this sub-second scale.  Repeating the whole
+    two-point sweep and keeping each policy's fastest pass — rather
+    than repeating each policy back to back — means a slow host window
+    hits adjacent passes of *both* policies, so it cancels out of the
+    reported ratio instead of landing on whichever policy ran during
+    it.
+    """
     experiment = Experiment(
         sweep=SweepSpec(
             {"scheduler": list(SCHEDULERS)},
@@ -59,7 +77,15 @@ def _run(num_packets, packet_bits):
         runner=_run_point,
     )
     # Always serial: each point times itself, so points must not contend.
-    return experiment.run(SweepExecutor("serial"))
+    best = None
+    for _ in range(max(1, repeats)):
+        rows = experiment.run(SweepExecutor("serial"))
+        if best is None:
+            best = rows
+        else:
+            best = [b if b["wall_seconds"] <= r["wall_seconds"] else r
+                    for b, r in zip(best, rows)]
+    return best
 
 
 def test_ablation_scheduling_policy(benchmark, scale):

@@ -29,6 +29,7 @@ processes; the spend, stop reasons and the recorded ratio do not change.
 Run with ``-m "not slow"`` to skip during quick test cycles.
 """
 
+import itertools
 import json
 import time
 
@@ -40,7 +41,7 @@ from repro.analysis.scenario import Experiment, Scenario
 from repro.analysis.store import ResultStore
 from repro.analysis.sweep import SweepSpec, executor_from_env
 
-from _bench_utils import emit_with_rows
+from _bench_utils import best_of, emit_with_rows
 
 #: Figure 6 workload: QAM16 1/2 (24 Mb/s), 1704-bit packets, BCJR, the
 #: 8-point SNR axis of the sweep acceptance test.
@@ -107,17 +108,32 @@ def test_perf_adaptive_sweep_traffic_saving(scale, tmp_path):
     rule = StopRule(rel_half_width=REL_HALF_WIDTH, min_errors=MIN_ERRORS,
                     ber_floor=BER_FLOOR, max_packets=96 * scale)
     # Cold adaptive run, store-backed: pays full simulation and fills the
-    # store on the way out.
-    store = ResultStore(str(tmp_path / "bercurves"))
-    start = time.perf_counter()
-    adaptive_rows, cold = _run(rule, store)
-    cold_elapsed = time.perf_counter() - start
+    # store on the way out.  Timed best-of-three, each trial into its own
+    # fresh store —
+    # a warmed store would simulate nothing — with the rows asserted
+    # identical across trials.
+    store_ids = itertools.count()
+
+    def _cold_trial():
+        trial_store = ResultStore(
+            str(tmp_path / ("bercurves-%d" % next(store_ids))))
+        start = time.perf_counter()
+        rows, experiment = _run(rule, trial_store)
+        return {"elapsed": time.perf_counter() - start, "rows": rows,
+                "experiment": experiment, "store": trial_store}
+
+    trials = [_cold_trial() for _ in range(3)]
+    for trial in trials[1:]:
+        assert trial["rows"] == trials[0]["rows"]
+    cold_trial = min(trials, key=lambda t: t["elapsed"])
+    adaptive_rows, cold = cold_trial["rows"], cold_trial["experiment"]
+    cold_elapsed, store = cold_trial["elapsed"], cold_trial["store"]
     adaptive_total = sum(row["packets"] for row in adaptive_rows)
 
-    # Warm re-run: every batch must come from the store, bit for bit.
-    start = time.perf_counter()
-    warm_rows, warm = _run(rule, store)
-    warm_elapsed = time.perf_counter() - start
+    # Warm re-run against the kept trial's store: every batch must come
+    # from the store, bit for bit.  Also best-of-three; the first run's
+    # result carries the asserted store statistics.
+    warm_elapsed, (warm_rows, warm) = best_of(lambda: _run(rule, store))
     assert warm_rows == adaptive_rows  # packets and stop reasons included
     assert warm.last_store_stats["misses"] == 0
     assert warm.last_store_stats["hits"] == cold.last_store_stats["misses"]

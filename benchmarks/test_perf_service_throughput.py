@@ -16,6 +16,12 @@ overlapping SNR windows (the acceptance shape):
 2. Submit both requests concurrently to an in-process :class:`Service`
    over a fresh store and record total wall-clock, the fleet's simulated
    batch count and each request's time-to-first-streamed-row.
+
+Both phases are timed best-of-three (fresh store and fleet per service
+trial) so one descheduling spike on a shared host cannot masquerade as a
+5x service regression in the committed artifact; the simulated-batch
+ledger and the streamed rows are deterministic and asserted on every
+trial.
 3. Assert rows are bit-for-bit identical per request, that the service
    simulated strictly fewer batches than the serial pair, and emit the
    ``service_throughput`` JSON row tracking the dedup saving and
@@ -29,6 +35,7 @@ thrashing the GIL.  Run with ``-m "not slow"`` to skip during quick
 test cycles.
 """
 
+import itertools
 import json
 import time
 
@@ -41,7 +48,7 @@ from repro.analysis.sweep import SweepExecutor
 from repro.service.api import Service
 from repro.service.requests import CharacterisationRequest
 
-from _bench_utils import emit_with_rows, host_metadata
+from _bench_utils import best_of, emit_with_rows, fastest_result, host_metadata
 
 #: Figure 6 workload: QAM16 1/2 (24 Mb/s), 1704-bit packets, BCJR; two
 #: clients ask for overlapping SNR windows (4 shared operating points).
@@ -80,28 +87,46 @@ def test_perf_service_throughput(scale, tmp_path):
 
     # Serial baseline: the pre-service deployment answers each client
     # with its own Experiment run and simulates every batch twice where
-    # the asks overlap.
-    start = time.perf_counter()
-    serial_a = request_a.experiment().run(SweepExecutor("serial"))
-    serial_b = request_b.experiment().run(SweepExecutor("serial"))
-    serial_elapsed = time.perf_counter() - start
+    # the asks overlap.  Best-of-3 (see _bench_utils.best_of): the rows
+    # are bit-for-bit identical across repeats, so only the wall clock
+    # is minimised against host scheduling noise.
+    serial_elapsed, (serial_a, serial_b) = best_of(
+        lambda: (request_a.experiment().run(SweepExecutor("serial")),
+                 request_b.experiment().run(SweepExecutor("serial"))))
     serial_batches = (sum(row["batches"] for row in serial_a)
                       + sum(row["batches"] for row in serial_b))
 
-    # Concurrent service run over a fresh store.
-    with Service(ResultStore(str(tmp_path / "store")), workers=2) as service:
-        start = time.perf_counter()
-        ticket_a = service.submit(request_a)
-        ticket_b = service.submit(request_b)
-        rows_a = ticket_a.result(timeout=600)
-        rows_b = ticket_b.result(timeout=600)
-        service_elapsed = time.perf_counter() - start
-        service_batches = service.broker.total_simulated_batches
-        progress = {"a": ticket_a.progress(), "b": ticket_b.progress()}
+    # Concurrent service runs.  Each trial gets a fresh store (a warm
+    # store would answer every batch from cache and time nothing) and a
+    # fresh fleet; the fastest whole trial is kept so elapsed,
+    # time-to-first-row and the batch ledger describe one coherent run.
+    trial_ids = itertools.count()
 
-    # Bit-for-bit: the broker only changed where batches came from.
-    assert rows_a == serial_a
-    assert rows_b == serial_b
+    def _service_trial():
+        store = ResultStore(str(tmp_path / ("store-%d" % next(trial_ids))))
+        with Service(store, workers=2) as service:
+            start = time.perf_counter()
+            ticket_a = service.submit(request_a)
+            ticket_b = service.submit(request_b)
+            rows_a = ticket_a.result(timeout=600)
+            rows_b = ticket_b.result(timeout=600)
+            elapsed = time.perf_counter() - start
+            trial = {
+                "elapsed": elapsed,
+                "batches": service.broker.total_simulated_batches,
+                "progress": {"a": ticket_a.progress(),
+                             "b": ticket_b.progress()},
+            }
+        # Bit-for-bit on every trial: the broker only changed where
+        # batches came from.
+        assert rows_a == serial_a
+        assert rows_b == serial_b
+        return trial
+
+    trial = fastest_result(_service_trial, elapsed=lambda t: t["elapsed"])
+    service_elapsed = trial["elapsed"]
+    service_batches = trial["batches"]
+    progress = trial["progress"]
 
     first_row_s = {name: snapshot["time_to_first_row_s"]
                    for name, snapshot in progress.items()}
@@ -136,7 +161,7 @@ def test_perf_service_throughput(scale, tmp_path):
         "perf_service_throughput",
         "Characterisation service vs serial experiments (overlapping asks)",
         json.dumps(summary),
-        rows_a + rows_b,
+        serial_a + serial_b,  # == every trial's streamed rows, asserted above
     )
 
     # The headline acceptance: strictly fewer simulated batches than the
