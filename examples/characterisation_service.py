@@ -11,8 +11,11 @@ service smoke test):
 2. **As a daemon** — spawn ``python -m repro.service`` on a free port,
    submit the same two overlapping requests over HTTP (JSON in, JSON
    lines out), assert the second is served partly from cache — zero
-   simulated batches for the shared operating points — then shut the
-   daemon down cleanly via ``POST /v1/shutdown``.
+   simulated batches for the shared operating points — then exercise
+   the hardened front door: read the ``GET /v1/metrics`` ledgers,
+   cancel a deep request mid-flight over HTTP and watch its stream end
+   with a ``cancelled`` event, and finally shut the daemon down cleanly
+   via ``POST /v1/shutdown``.
 
 Run with::
 
@@ -34,8 +37,8 @@ from repro.analysis.adaptive import StopRule
 from repro.analysis.scenario import Scenario
 from repro.analysis.store import ResultStore
 from repro.analysis.sweep import SweepExecutor
-from repro.service import CharacterisationRequest, Service, fetch_json, \
-    stream_request
+from repro.service import CharacterisationRequest, Service, cancel_request, \
+    fetch_json, stream_request
 
 SNRS_A = [4.0, 5.0, 6.0, 7.0]
 SNRS_B = [6.0, 7.0, 8.0, 9.0]       # overlaps A at 6 and 7 dB
@@ -119,6 +122,49 @@ def daemon_demo(store_dir):
             if point["snr_db"] in SHARED:
                 assert point["simulated"] == 0, point
                 assert point["cached"] == point["batches"], point
+
+        # The metrics ledger is the operator's view of the same story:
+        # admission open, and the overlap answered without simulation.
+        metrics = fetch_json(base_url + "/v1/metrics")
+        assert metrics["admission"]["open"] is True
+        assert metrics["batches"]["simulated"] > 0
+        assert metrics["batches"]["cached"] > 0
+        print("  metrics: %d completed, %d batches simulated, %d cached"
+              % (metrics["requests"]["completed"],
+                 metrics["batches"]["simulated"],
+                 metrics["batches"]["cached"]))
+
+        # Cancel round trip: a deep request (8 cold points, 64-packet
+        # budget) cancelled right after admission — its stream must end
+        # with a ``cancelled`` event and the ledger must record it.
+        deep = CharacterisationRequest(
+            scenario=Scenario(decoder="bcjr", packet_bits=600),
+            axes={"rate_mbps": [24],
+                  "snr_db": [10.0 + 0.5 * i for i in range(8)]},
+            stop=StopRule(rel_half_width=0.2, min_errors=50,
+                          max_packets=64),
+            constants={"batch_size": 4},
+            seed=23,
+            batch_packets=4,
+        )
+        events = stream_request(base_url, deep)
+        accepted = next(events)
+        assert accepted["event"] == "accepted"
+        time.sleep(0.3)  # let the fleet queue fill so the cancel has
+        reply = cancel_request(base_url, accepted["request"])  # work to free
+        assert reply == {"request": accepted["request"], "cancelled": True}
+        terminal = list(events)[-1]
+        assert terminal["event"] == "cancelled", terminal
+        metrics = fetch_json(base_url + "/v1/metrics")
+        assert metrics["requests"]["cancelled"] == 1
+        # Batches already executing when the cancel landed finish and
+        # land in the store (work paid for is never wasted); only queued
+        # ones are handed back, so "released" may legitimately be zero.
+        print("  cancel: request %s… withdrawn mid-flight "
+              "(ledger: %d cancelled request, %d queued batches released)"
+              % (accepted["request"][:12],
+                 metrics["requests"]["cancelled"],
+                 metrics["batches"]["released"]))
 
         status = fetch_json(base_url + "/v1/status")
         print("  daemon served %d request(s); fleet %r"

@@ -45,11 +45,20 @@ Quick start::
             print(row["snr_db"], row["ber"], row["stop_reason"])
 """
 
-from repro.service.api import Service, fetch_json, serve, stream_request
+from repro.service.api import (
+    Service,
+    ServiceHTTPError,
+    cancel_request,
+    fetch_json,
+    serve,
+    stream_request,
+)
 from repro.service.broker import (
     CharacterisationBroker,
+    ClientQuota,
     RequestTicket,
     ServiceError,
+    ServiceSaturated,
 )
 from repro.service.fleet import FleetError, WorkerFleet
 from repro.service.requests import CharacterisationRequest
@@ -57,11 +66,15 @@ from repro.service.requests import CharacterisationRequest
 __all__ = [
     "CharacterisationBroker",
     "CharacterisationRequest",
+    "ClientQuota",
     "FleetError",
     "RequestTicket",
     "Service",
     "ServiceError",
+    "ServiceHTTPError",
+    "ServiceSaturated",
     "WorkerFleet",
+    "cancel_request",
     "fetch_json",
     "serve",
     "stream_request",

@@ -7,13 +7,32 @@
 The announce line (``listening on http://...``) is printed once the
 socket is bound — supervisors and the CI smoke job parse it to learn the
 port when ``--port 0`` picked a free one.  ``POST /v1/shutdown`` stops
-the daemon cleanly; Ctrl-C works too.
+the daemon cleanly (``?drain=1`` finishes in-flight requests first);
+Ctrl-C works too.
+
+Admission control is off by default (the pre-hardening unbounded
+behaviour); ``--max-inflight-batches``, ``--max-requests`` and
+``--quota RATE[:BURST]`` bound it — see
+:class:`repro.service.broker.CharacterisationBroker`.
 """
 
 import argparse
 import sys
 
 from repro.service.api import Service, serve
+from repro.service.broker import ClientQuota
+
+
+def _quota(text):
+    """Parse ``RATE[:BURST]`` (packets/s, burst packets) into a quota."""
+    rate, _, burst = text.partition(":")
+    try:
+        return ClientQuota(float(rate),
+                           float(burst) if burst else float(rate))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            "expected RATE[:BURST] with positive numbers; got %r (%s)"
+            % (text, exc))
 
 
 def main(argv=None):
@@ -33,11 +52,29 @@ def main(argv=None):
                         help="fleet worker count (default: CPU count)")
     parser.add_argument("--backend", choices=("thread", "process"),
                         default="thread", help="fleet backend")
+    parser.add_argument("--max-inflight-batches", type=int, default=None,
+                        help="admission cap on batches awaiting results; "
+                             "past it, submits answer 429 + Retry-After "
+                             "(default: unbounded)")
+    parser.add_argument("--max-requests", type=int, default=None,
+                        help="admission cap on concurrent in-flight "
+                             "requests (default: unbounded)")
+    parser.add_argument("--quota", type=_quota, default=None,
+                        metavar="RATE[:BURST]",
+                        help="per-client token-bucket packet quota: refill "
+                             "rate in packets/s and optional burst size "
+                             "(default: burst=rate)")
+    parser.add_argument("--heartbeat-s", type=float, default=10.0,
+                        help="keep-alive cadence of the row stream; also "
+                             "bounds disconnect detection (default: 10)")
     args = parser.parse_args(argv)
 
-    service = Service(args.store, workers=args.workers, backend=args.backend)
+    service = Service(args.store, workers=args.workers, backend=args.backend,
+                      max_inflight_batches=args.max_inflight_batches,
+                      max_requests=args.max_requests, quota=args.quota)
     service.start()
-    server = serve(service, host=args.host, port=args.port)
+    server = serve(service, host=args.host, port=args.port,
+                   heartbeat_s=args.heartbeat_s)
     host, port = server.server_address[:2]
     print("repro characterisation service listening on http://%s:%d "
           "(store: %s, %d %s worker(s))"

@@ -18,32 +18,95 @@ over HTTP
     answers with a **JSON-lines stream** — an ``accepted`` line, then one
     ``row`` event per finished point as batches complete (each carrying
     a progress snapshot: points done, packets spent, cache/simulated
-    split), then ``done``.  ``GET /v1/requests`` reports per-request
-    progress, ``GET /v1/status`` the broker and fleet counters, and
-    ``POST /v1/shutdown`` stops the daemon cleanly.  ``python -m
+    split), interleaved with periodic ``progress`` keep-alives, then
+    ``done``.  ``GET /v1/requests`` reports per-request progress,
+    ``GET /v1/status`` the broker and fleet counters,
+    ``GET /v1/metrics`` the full operational ledger,
+    ``POST /v1/requests/<key>/cancel`` releases one consumer's interest
+    in an in-flight request, and ``POST /v1/shutdown`` stops the daemon
+    (``?drain=1`` finishes in-flight requests first).  ``python -m
     repro.service`` runs exactly this (see :mod:`repro.service.__main__`).
 
 The HTTP layer adds no scheduling semantics of its own: every byte of a
 row is produced by the broker, so curl-ed curves are bit-for-bit the
 ``Experiment.run`` curves.
+
+Production contract
+-------------------
+Admission is bounded (see
+:class:`~repro.service.broker.CharacterisationBroker`): a saturated
+submit answers ``429`` with a computed ``Retry-After`` header, a
+quota-exceeded or draining one ``503`` — both with a JSON error body
+that :func:`stream_request` and :func:`fetch_json` surface as a typed
+:class:`ServiceHTTPError`.  A client that hangs up mid-stream is
+detected (at the next event or keep-alive write) and its interest in
+the request is released through the broker's cancel path, so abandoned
+work stops holding fleet budget; pass ``?detach=1`` to opt out and keep
+the request running fire-and-forget.  A server-side fault mid-stream
+emits a terminal ``{"event": "error", ...}`` line before the connection
+closes, so clients can always distinguish truncation from completion.
 """
 
 import json
 import logging
+import math
 import threading
 import time
+import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.analysis.store import ResultStore
 from repro.analysis.sweep import _json_default
-from repro.service.broker import CharacterisationBroker, ServiceError
+from repro.service.broker import (CharacterisationBroker, ServiceError,
+                                  ServiceSaturated)
 from repro.service.fleet import WorkerFleet
 from repro.service.requests import CharacterisationRequest
 
-__all__ = ["Service", "serve", "stream_request", "fetch_json"]
+__all__ = ["Service", "ServiceHTTPError", "serve", "stream_request",
+           "fetch_json", "cancel_request"]
 
 _logger = logging.getLogger(__name__)
+
+
+class ServiceHTTPError(ServiceError):
+    """A service HTTP endpoint answered an error status.
+
+    Carries what the raw :class:`urllib.error.HTTPError` discards: the
+    parsed JSON error ``body`` the server sent, the ``status`` code, and
+    ``retry_after_s`` (parsed from the ``Retry-After`` header on a
+    ``429``, else ``None``) so callers can implement honest backoff
+    without scraping headers themselves.
+    """
+
+    def __init__(self, status, body, retry_after_s=None):
+        body = dict(body or {})
+        message = body.get("error") or ("HTTP %d" % status)
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = int(status)
+        self.body = body
+        self.retry_after_s = retry_after_s
+
+    @property
+    def saturated(self):
+        return self.status == 429
+
+
+def _raise_service_http_error(exc):
+    """Convert an ``HTTPError`` into a :class:`ServiceHTTPError`."""
+    try:
+        body = json.loads(exc.read() or b"{}")
+    except (ValueError, OSError):
+        body = {}
+    retry_after = exc.headers.get("Retry-After") if exc.headers else None
+    if retry_after is not None:
+        try:
+            retry_after = float(retry_after)
+        except ValueError:
+            retry_after = None
+    raise ServiceHTTPError(exc.code, body,
+                           retry_after_s=retry_after) from exc
 
 
 class Service:
@@ -61,22 +124,39 @@ class Service:
         link runner).
     poll_s:
         Pump thread poll interval; only shutdown latency, never results.
+    max_inflight_batches, max_requests, quota:
+        Admission-control knobs, passed through to
+        :class:`~repro.service.broker.CharacterisationBroker` — ``None``
+        keeps the pre-hardening unbounded behaviour.
+    stop_timeout_s:
+        How long :meth:`stop` waits for the pump thread to exit before
+        declaring it wedged (and refusing future :meth:`start` calls).
     """
 
     def __init__(self, store, workers=None, backend="thread", runner=None,
-                 mp_context=None, poll_s=0.05):
+                 mp_context=None, poll_s=0.05, max_inflight_batches=None,
+                 max_requests=None, quota=None, stop_timeout_s=10.0):
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
         self.fleet = WorkerFleet(workers=workers, backend=backend,
                                  mp_context=mp_context)
-        self.broker = CharacterisationBroker(store, self.fleet, runner=runner)
+        self.broker = CharacterisationBroker(
+            store, self.fleet, runner=runner,
+            max_inflight_batches=max_inflight_batches,
+            max_requests=max_requests, quota=quota)
         self.poll_s = float(poll_s)
+        self.stop_timeout_s = float(stop_timeout_s)
         self._pump = None
+        self._wedged = False
         self._stopping = threading.Event()
 
     # ------------------------------------------------------------------ #
     def start(self):
+        if self._wedged:
+            raise ServiceError(
+                "a previous stop() left the pump thread wedged; this "
+                "Service cannot be restarted — build a fresh one")
         if self._pump is not None:
             raise ServiceError("service already started")
         self.fleet.start()
@@ -86,12 +166,42 @@ class Service:
         self._pump.start()
         return self
 
-    def stop(self):
-        """Stop pumping and workers; in-flight requests fail cleanly."""
+    def stop(self, drain=False, timeout=None):
+        """Stop pumping and workers; in-flight requests fail cleanly.
+
+        With ``drain=True`` the shutdown is graceful: admission closes
+        first, in-flight requests run to completion (bounded by
+        ``timeout`` seconds, ``None`` for no bound), and only then do
+        the pump and fleet stop — nothing in flight is failed unless the
+        drain deadline expires first.
+
+        If the pump thread refuses to exit within ``stop_timeout_s``
+        the service logs and raises :class:`ServiceError` after a
+        best-effort fleet stop, and :meth:`start` refuses from then on —
+        a wedged pump silently orphaned is exactly the bug this guards
+        against.
+        """
         if self._pump is None:
             return
+        if drain:
+            self.broker.close_admission()
+            if not self.broker.drain(timeout=timeout):
+                _logger.warning(
+                    "drain deadline (%.1f s) expired with requests still "
+                    "in flight; they will be failed", timeout)
         self._stopping.set()
-        self._pump.join(timeout=10.0)
+        self._pump.join(timeout=self.stop_timeout_s)
+        if self._pump.is_alive():
+            self._wedged = True
+            _logger.error(
+                "service pump thread failed to stop within %.1f s; the "
+                "service is wedged and cannot be restarted",
+                self.stop_timeout_s)
+            self.fleet.stop()
+            self.broker.shutdown("service stopped (pump wedged)")
+            raise ServiceError(
+                "service pump thread failed to stop within %.1f s"
+                % self.stop_timeout_s)
         self._pump = None
         self.fleet.stop()
         self.broker.shutdown()
@@ -127,8 +237,17 @@ class Service:
         """Submit and block: the final rows, in grid order."""
         return self.submit(request).result(timeout=timeout)
 
+    def cancel(self, request_key, reason="cancelled by client"):
+        """Release one consumer's interest in an in-flight request."""
+        return self.broker.cancel(request_key, reason=reason)
+
     def status(self):
         return dict(self.broker.status(), store_root=self.store.root,
+                    heartbeats=self.fleet.heartbeats())
+
+    def metrics(self):
+        """The full operational ledger (served by ``GET /v1/metrics``)."""
+        return dict(self.broker.metrics(), store_root=self.store.root,
                     heartbeats=self.fleet.heartbeats())
 
     def __repr__(self):
@@ -155,33 +274,66 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def service(self):
         return self.server.service
 
-    def _send_json(self, status, payload):
+    def _send_json(self, status, payload, headers=None):
         body = _to_json(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self):
-        if self.path == "/v1/status":
+        path = urllib.parse.urlsplit(self.path).path
+        if path == "/v1/status":
             return self._send_json(200, self.service.status())
-        if self.path == "/v1/requests":
+        if path == "/v1/metrics":
+            return self._send_json(200, self.service.metrics())
+        if path == "/v1/requests":
             return self._send_json(200,
                                    {"requests": self.service.broker.requests()})
-        return self._send_json(404, {"error": "unknown path %s" % self.path})
+        return self._send_json(404, {"error": "unknown path %s" % path})
 
     def do_POST(self):
-        if self.path == "/v1/shutdown":
-            self._send_json(200, {"status": "stopping"})
-            # shutdown() must come from another thread: it joins the
-            # serve_forever loop this handler is running under.
-            threading.Thread(target=self.server.shutdown,
-                             daemon=True).start()
-            return None
-        if self.path != "/v1/characterise":
-            return self._send_json(404,
-                                   {"error": "unknown path %s" % self.path})
+        split = urllib.parse.urlsplit(self.path)
+        path = split.path
+        query = urllib.parse.parse_qs(split.query)
+        if path == "/v1/shutdown":
+            return self._shutdown(drain="1" in query.get("drain", []))
+        if path.startswith("/v1/requests/") and path.endswith("/cancel"):
+            key = path[len("/v1/requests/"):-len("/cancel")]
+            if self.service.cancel(key):
+                return self._send_json(200, {"request": key,
+                                             "cancelled": True})
+            return self._send_json(
+                404, {"error": "no in-flight request %s (unknown key, or "
+                               "it already finished)" % key})
+        if path != "/v1/characterise":
+            return self._send_json(404, {"error": "unknown path %s" % path})
+        return self._characterise(detach="1" in query.get("detach", []))
+
+    def _shutdown(self, drain):
+        # With drain, admission must be closed before the "draining"
+        # reply goes out: a client that reads the reply and immediately
+        # submits is guaranteed its 503.
+        if drain:
+            self.service.broker.close_admission()
+        self._send_json(200, {"status": "draining" if drain else "stopping"})
+
+        # shutdown() must come from another thread: it joins the
+        # serve_forever loop this handler is running under.  With drain,
+        # the HTTP loop only stops once in-flight tickets finished — the
+        # pump keeps folding results in throughout.
+        def _stop():
+            if drain:
+                self.service.broker.drain()
+            self.server.shutdown()
+
+        threading.Thread(target=_stop, daemon=True).start()
+        return None
+
+    def _characterise(self, detach):
         try:
             length = int(self.headers.get("Content-Length") or 0)
             payload = json.loads(self.rfile.read(length) or b"{}")
@@ -190,6 +342,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return self._send_json(400, {"error": str(exc)})
         try:
             ticket = self.service.submit(request)
+        except ServiceSaturated as exc:
+            # The admission-control contract: 429 plus an honest integer
+            # Retry-After (ceil — never tell a client to come back early).
+            return self._send_json(
+                429, {"error": str(exc),
+                      "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After":
+                         str(max(1, math.ceil(exc.retry_after_s)))})
         except ServiceError as exc:
             return self._send_json(503, {"error": str(exc)})
         except Exception as exc:
@@ -207,43 +367,99 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             "request": ticket.key,
             "namespace": ticket.digest,
             "points": request.num_points(),
+            "detach": bool(detach),
         }))
         self.wfile.flush()
         try:
-            for event in ticket.stream():
+            for event in ticket.stream(
+                    heartbeat_s=self.server.stream_heartbeat_s):
                 self.wfile.write(_to_json(event))
                 self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError):
-            pass  # client hung up; the request keeps running server-side
+            # The client hung up.  Detected at the next write — the
+            # keep-alive heartbeat bounds how long that takes on a slow
+            # point.  Release this consumer's interest so abandoned work
+            # stops holding fleet budget (a coalesced twin keeps the
+            # ticket alive); ?detach=1 keeps the old fire-and-forget
+            # behaviour.
+            if not detach:
+                self.service.cancel(ticket.key,
+                                    reason="client disconnected")
+        except Exception as exc:
+            # A server-side fault mid-stream: emit a terminal error event
+            # so the client can tell truncation from completion, then
+            # release our interest (unless detached) — the connection is
+            # closing either way and nobody is left to consume the rows.
+            _logger.exception("streaming request %s failed", ticket.key[:16])
+            try:
+                self.wfile.write(_to_json({
+                    "event": "error",
+                    "request": ticket.key,
+                    "error": "%s: %s" % (type(exc).__name__, exc),
+                }))
+                self.wfile.flush()
+            except OSError:
+                pass  # the pipe is gone too; nothing more to tell anyone
+            if not detach:
+                self.service.cancel(
+                    ticket.key, reason="server-side stream fault: %s" % exc)
         return None
 
 
-def serve(service, host="127.0.0.1", port=0):
+def serve(service, host="127.0.0.1", port=0, heartbeat_s=10.0):
     """Bind the HTTP front door; returns the (not yet serving) server.
 
     ``port=0`` picks a free port — read the real one back from
     ``server.server_address``.  Call ``server.serve_forever()`` to run;
     ``POST /v1/shutdown`` (or ``server.shutdown()``) stops it.
+
+    ``heartbeat_s`` is the keep-alive cadence of the row stream: a
+    synthetic ``progress`` event is written whenever that many seconds
+    pass without a real one, which doubles as the disconnect detector
+    for abandoned clients (``None`` disables both).
     """
-    server = ThreadingHTTPServer((host, port), _ServiceRequestHandler)
+
+    class _FrontDoorServer(ThreadingHTTPServer):
+        # The stdlib default accept backlog (5) resets connections the
+        # moment a burst of clients arrives together; admission control
+        # is the broker's job, so the listener itself must not shed load
+        # before a request ever reaches it.
+        request_queue_size = 128
+
+    server = _FrontDoorServer((host, port), _ServiceRequestHandler)
     server.daemon_threads = True
     server.service = service
+    server.stream_heartbeat_s = (None if heartbeat_s is None
+                                 else float(heartbeat_s))
     return server
 
 
 # ---------------------------------------------------------------------- #
 # Client helpers (used by the example, the CI smoke job and tests)
 # ---------------------------------------------------------------------- #
-def stream_request(base_url, request, timeout=300.0):
-    """POST a request to a running service; yield its parsed event stream."""
+def stream_request(base_url, request, timeout=300.0, detach=False):
+    """POST a request to a running service; yield its parsed event stream.
+
+    An error status (a saturated 429, a draining 503, a malformed 400)
+    raises :class:`ServiceHTTPError` carrying the parsed JSON error body
+    and any ``Retry-After`` value, instead of letting the raw
+    ``urllib.error.HTTPError`` escape with the body unread.
+    """
     if isinstance(request, CharacterisationRequest):
         request = request.to_dict()
+    url = base_url.rstrip("/") + "/v1/characterise"
+    if detach:
+        url += "?detach=1"
     http_request = urllib.request.Request(
-        base_url.rstrip("/") + "/v1/characterise",
+        url,
         data=json.dumps(request, default=_json_default).encode("utf-8"),
         headers={"Content-Type": "application/json"},
     )
-    with urllib.request.urlopen(http_request, timeout=timeout) as response:
+    try:
+        response = urllib.request.urlopen(http_request, timeout=timeout)
+    except urllib.error.HTTPError as exc:
+        _raise_service_http_error(exc)
+    with response:
         for line in response:
             line = line.strip()
             if line:
@@ -251,8 +467,28 @@ def stream_request(base_url, request, timeout=300.0):
 
 
 def fetch_json(url, data=None, timeout=30.0):
-    """GET (or POST, with ``data``) one JSON document from the service."""
+    """GET (or POST, with ``data``) one JSON document from the service.
+
+    POST bodies are labelled ``Content-Type: application/json``; an
+    error status raises :class:`ServiceHTTPError` with the parsed body.
+    """
+    headers = {} if data is None else {"Content-Type": "application/json"}
     http_request = urllib.request.Request(
-        url, data=None if data is None else json.dumps(data).encode("utf-8"))
-    with urllib.request.urlopen(http_request, timeout=timeout) as response:
-        return json.loads(response.read())
+        url, data=None if data is None else json.dumps(data).encode("utf-8"),
+        headers=headers)
+    try:
+        with urllib.request.urlopen(http_request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        _raise_service_http_error(exc)
+
+
+def cancel_request(base_url, request_key, timeout=30.0):
+    """POST the cancel endpoint for ``request_key``; the parsed reply.
+
+    Raises :class:`ServiceHTTPError` (status 404) when the key names no
+    in-flight request — unknown, or already finished.
+    """
+    return fetch_json(
+        base_url.rstrip("/") + "/v1/requests/%s/cancel" % request_key,
+        data={}, timeout=timeout)

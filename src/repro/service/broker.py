@@ -30,6 +30,32 @@ only ever change *where* a batch's bytes come from, never the bytes.
 Failures follow capture semantics: a batch whose runner raises stops its
 point with reason ``"error"`` and the request keeps going — a long-lived
 service must not crash on one bad operating point.
+
+Admission control
+-----------------
+The broker accepts work *boundedly*.  ``max_inflight_batches`` and
+``max_requests`` cap what may be in flight at once; a submit past either
+cap raises :class:`ServiceSaturated` carrying a computed
+``retry_after_s`` (pending batches over fleet width, scaled by an EWMA
+of recent batch wall-clock), which the HTTP front door maps to ``429``
+with a ``Retry-After`` header.  An optional :class:`ClientQuota` adds a
+per-``client_id`` token-bucket packet quota charged at admission with
+the request's worst-case packet cost.  Coalesced submits are always free
+— they add no work.
+
+Cancellation and drain
+----------------------
+Interest in a ticket is counted: the original submit and every coalesced
+one hold one unit each, and :meth:`CharacterisationBroker.cancel` (or
+:meth:`RequestTicket.cancel`) releases one.  When the last unit goes,
+the ticket is *released*: it is unsubscribed from every in-flight batch
+— shared batches keep running untouched for their surviving subscribers,
+so their rows stay bit-for-bit — and queued batches nobody else wants
+are withdrawn from the fleet before a worker starts them (the
+``released_batches`` ledger).  A batch already executing runs to
+completion and lands in the store; only its delivery to the cancelled
+ticket is skipped.  :meth:`close_admission` plus :meth:`drain` implement
+graceful shutdown: stop admitting, finish what is in flight, then stop.
 """
 
 import logging
@@ -41,13 +67,88 @@ import time
 from repro.analysis.adaptive import batch_store_key, run_link_ber_batch
 from repro.analysis.fused import FusedBatchRunner, plan_fused_round
 
-__all__ = ["ServiceError", "RequestTicket", "CharacterisationBroker"]
+__all__ = ["ServiceError", "ServiceSaturated", "ClientQuota", "RequestTicket",
+           "CharacterisationBroker"]
 
 _logger = logging.getLogger(__name__)
 
 
 class ServiceError(RuntimeError):
     """A request failed at the service layer (not a per-point error row)."""
+
+
+class ServiceSaturated(ServiceError):
+    """Admission was refused for lack of capacity; retry after a backoff.
+
+    ``retry_after_s`` is the broker's estimate of when capacity frees —
+    the HTTP layer rounds it up into the ``429`` response's
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, message, retry_after_s=1.0):
+        super().__init__(message)
+        self.retry_after_s = max(0.0, float(retry_after_s))
+
+
+class ClientQuota:
+    """A per-client token-bucket packet quota, enforced at admission.
+
+    Each ``client_id`` gets its own bucket holding up to
+    ``burst_packets`` tokens, refilled continuously at
+    ``packets_per_s``.  Admission charges a request's worst-case packet
+    cost (:meth:`~repro.service.requests.CharacterisationRequest.packet_cost`);
+    a request the bucket cannot currently afford is rejected with
+    :class:`ServiceSaturated` naming the wait, and one it can *never*
+    afford (cost above the burst) with a plain :class:`ServiceError`.
+    """
+
+    def __init__(self, packets_per_s, burst_packets):
+        if not packets_per_s > 0:
+            raise ValueError("packets_per_s must be positive")
+        if not burst_packets >= 1:
+            raise ValueError("burst_packets must be at least 1")
+        self.packets_per_s = float(packets_per_s)
+        self.burst_packets = float(burst_packets)
+
+    def bucket(self):
+        return _TokenBucket(self.packets_per_s, self.burst_packets)
+
+    def __repr__(self):
+        return "ClientQuota(packets_per_s=%g, burst_packets=%g)" % (
+            self.packets_per_s, self.burst_packets)
+
+
+class _TokenBucket:
+    """One client's token bucket (guarded by the broker lock)."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate, burst):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = None
+
+    def level(self, now):
+        """Tokens available at ``now`` (refills as a side effect)."""
+        if self.updated is not None and now > self.updated:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        return self.tokens
+
+    def try_take(self, amount, now=None):
+        """Charge ``amount`` tokens: 0.0 on success, seconds to wait on
+        a temporary shortfall, ``None`` when ``amount`` exceeds the
+        burst (never affordable)."""
+        now = time.monotonic() if now is None else now
+        available = self.level(now)
+        if amount > self.burst:
+            return None
+        if amount <= available:
+            self.tokens = available - amount
+            return 0.0
+        return (amount - available) / self.rate
 
 
 class RequestTicket:
@@ -75,6 +176,12 @@ class RequestTicket:
         self.deadline_at = (math.inf if deadline is None
                             else self.submitted_at + float(deadline))
         self.coalesced = 0
+        #: Live consumers of this ticket: the original submit plus every
+        #: coalesced one holds one unit; :meth:`cancel` releases one, and
+        #: the ticket is only actually released when the count hits zero
+        #: — one HTTP client hanging up must not kill its twin's stream.
+        self.interest = 1
+        self.cancelled = False
         self.cached_batches = 0
         self.simulated_batches = 0
         self.shared_batches = 0
@@ -83,6 +190,7 @@ class RequestTicket:
         self.failure = None
         self.final_rows = None
         self.done = threading.Event()
+        self._broker = None        # set by the broker right after creation
         self._lock = lock          # the broker's lock; guards all state
         self._events = []
         self._subscribers = []
@@ -135,6 +243,15 @@ class RequestTicket:
                     "error": self.failure})
         self._close_subscribers()
 
+    def _cancel(self, reason):
+        self.cancelled = True
+        self.failure = str(reason)
+        self.finished_at = time.time()
+        self._emit({"event": "cancelled", "request": self.key,
+                    "reason": self.failure,
+                    "progress": self._progress_locked(points=False)})
+        self._close_subscribers()
+
     def _close_subscribers(self):
         for subscriber in self._subscribers:
             subscriber.put(None)
@@ -144,12 +261,17 @@ class RequestTicket:
     # ------------------------------------------------------------------ #
     # Consumer API
     # ------------------------------------------------------------------ #
-    def stream(self):
+    def stream(self, heartbeat_s=None):
         """Yield this ticket's events: the backlog, then live, until done.
 
         Events are mappings with an ``"event"`` key — ``"row"`` (one
         point finished; carries the row and a progress snapshot),
-        ``"done"`` (final progress) or ``"failed"``.
+        ``"done"`` (final progress), ``"failed"`` or ``"cancelled"``.
+        With ``heartbeat_s`` set, a synthetic ``"progress"`` event is
+        yielded whenever that many seconds pass without a real one — the
+        HTTP front door streams these as keep-alives, which is also what
+        bounds how long a client hang-up can go undetected while a slow
+        point simulates.
         """
         feed = queue.Queue()
         with self._lock:
@@ -162,7 +284,12 @@ class RequestTicket:
         if not live:
             return
         while True:
-            event = feed.get()
+            try:
+                event = feed.get(timeout=heartbeat_s)
+            except queue.Empty:
+                yield {"event": "progress", "request": self.key,
+                       "progress": self.progress()}
+                continue
             if event is None:
                 return
             yield event
@@ -172,8 +299,19 @@ class RequestTicket:
         for event in self.stream():
             if event["event"] == "row":
                 yield event["row"]
-            elif event["event"] == "failed":
-                raise ServiceError(event["error"])
+            elif event["event"] in ("failed", "cancelled"):
+                raise ServiceError(event.get("error") or event.get("reason"))
+
+    def cancel(self, reason="cancelled by client"):
+        """Release this consumer's interest; see the broker's ``cancel``.
+
+        Returns ``True`` while the ticket was still in flight (whether
+        this was the last interested consumer or not); ``False`` once it
+        had already finished.
+        """
+        if self._broker is None:
+            return False
+        return self._broker.cancel(self.key, reason=reason)
 
     def result(self, timeout=None):
         """Block until the request finishes; rows in grid order."""
@@ -213,7 +351,8 @@ class RequestTicket:
             "coalesced_submissions": self.coalesced,
             "stop_reasons": reasons,
             "done": self.done.is_set(),
-            "failed": self.failure,
+            "cancelled": self.cancelled,
+            "failed": None if self.cancelled else self.failure,
             "time_to_first_row_s": (
                 None if self.first_row_at is None
                 else self.first_row_at - self.submitted_at),
@@ -259,24 +398,57 @@ class CharacterisationBroker:
         default is the link runner,
         :func:`repro.analysis.adaptive.run_link_ber_batch`).  Part of
         each request's store namespace, exactly as for ``Experiment``.
+    max_inflight_batches:
+        Admission cap on batches awaiting results across all requests
+        (queued plus executing).  A submit arriving at or past the cap
+        raises :class:`ServiceSaturated`.  ``None`` (default) keeps the
+        pre-hardening unbounded behaviour.
+    max_requests:
+        Admission cap on concurrently in-flight requests (coalesced
+        submits never count — they add no work).
+    quota:
+        Optional :class:`ClientQuota` (or ``(packets_per_s,
+        burst_packets)`` tuple) enforced per ``request.client_id`` at
+        admission.
     """
 
-    def __init__(self, store, fleet, runner=None):
+    def __init__(self, store, fleet, runner=None, max_inflight_batches=None,
+                 max_requests=None, quota=None):
+        if max_inflight_batches is not None and max_inflight_batches < 1:
+            raise ValueError("max_inflight_batches must be positive or None")
+        if max_requests is not None and max_requests < 1:
+            raise ValueError("max_requests must be positive or None")
+        if quota is not None and not isinstance(quota, ClientQuota):
+            quota = ClientQuota(*quota)
         self.store = store
         self.fleet = fleet
         self.runner = runner
+        self.max_inflight_batches = \
+            None if max_inflight_batches is None else int(max_inflight_batches)
+        self.max_requests = None if max_requests is None else int(max_requests)
+        self.quota = quota
+        self.admission_open = True
         self._lock = threading.RLock()
         self._tickets = {}        # request_key -> in-flight ticket
         self._views = {}          # namespace digest -> shared StoreView
         self._inflight_work = {}  # work key -> [(ticket, batch), ...]
         self._group_members = {}  # group key -> [(work key, batch), ...]
         self._group_of = {}       # member work key -> its group key
+        self._buckets = {}        # client_id -> _TokenBucket
+        self._dispatched_at = {}  # fleet item key -> dispatch timestamp
+        self._item_seconds = None  # EWMA of fleet item wall-clock
         self._group_seq = 0
         self._ticket_seq = 0
         self._item_seq = 0           # dispatch-order tie-break generator
         self.simulated_batches = 0   # actual fleet submissions
+        self.cached_batches = 0      # batches answered from the store
+        self.shared_batches = 0      # batches answered by in-flight merge
+        self.released_batches = 0    # queued batches withdrawn by cancel
         self.completed_requests = 0
         self.failed_requests = 0
+        self.cancelled_requests = 0
+        self.rejected_saturated = 0  # submits refused by the in-flight caps
+        self.rejected_quota = 0      # submits refused by the client quota
 
     # ------------------------------------------------------------------ #
     def submit(self, request):
@@ -287,13 +459,23 @@ class CharacterisationBroker:
         method returns — a fully warm request comes back already done,
         which is what makes time-to-first-row for cached curves
         effectively zero.
+
+        Admission is bounded: past ``max_requests`` or
+        ``max_inflight_batches``, or a ``client_id`` over its packet
+        quota, the submit raises :class:`ServiceSaturated` (with a
+        ``retry_after_s`` estimate) instead of queueing unboundedly;
+        once :meth:`close_admission` was called it raises a plain
+        :class:`ServiceError`.  Coalesced submits bypass every check —
+        they add no work and cost no quota.
         """
         with self._lock:
             key = request.request_key()
             ticket = self._tickets.get(key)
             if ticket is not None:
                 ticket.coalesced += 1
+                ticket.interest += 1
                 return ticket
+            self._admit(request)
             experiment = request.experiment(store=self.store,
                                             runner=self.runner)
             digest = experiment.store_digest()
@@ -306,6 +488,7 @@ class CharacterisationBroker:
                                    experiment.trajectory(),
                                    experiment.resolved_runner(),
                                    self._ticket_seq, self._lock)
+            ticket._broker = self
             self._tickets[key] = ticket
             try:
                 self._advance(ticket)
@@ -321,6 +504,56 @@ class CharacterisationBroker:
                 raise
             return ticket
 
+    def _admit(self, request):
+        """Admission checks for a non-coalesced submit (lock held)."""
+        if not self.admission_open:
+            raise ServiceError(
+                "service is draining; not accepting new requests")
+        if self.max_requests is not None \
+                and len(self._tickets) >= self.max_requests:
+            self.rejected_saturated += 1
+            raise ServiceSaturated(
+                "service saturated: %d request(s) in flight (cap %d)"
+                % (len(self._tickets), self.max_requests),
+                retry_after_s=self._retry_after_s())
+        if self.max_inflight_batches is not None \
+                and len(self._inflight_work) >= self.max_inflight_batches:
+            self.rejected_saturated += 1
+            raise ServiceSaturated(
+                "service saturated: %d batch(es) in flight (budget %d)"
+                % (len(self._inflight_work), self.max_inflight_batches),
+                retry_after_s=self._retry_after_s())
+        if self.quota is not None:
+            client = request.client_id
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = self.quota.bucket()
+            cost = request.packet_cost()
+            wait_s = bucket.try_take(cost)
+            if wait_s is None:
+                self.rejected_quota += 1
+                raise ServiceError(
+                    "request cost (%d packets) exceeds client %r quota "
+                    "burst (%g packets); it can never be admitted — split "
+                    "the ask" % (cost, client, self.quota.burst_packets))
+            if wait_s > 0:
+                self.rejected_quota += 1
+                raise ServiceSaturated(
+                    "client %r is over its packet quota (ask: %d packets); "
+                    "retry in %.1f s" % (client, cost, wait_s),
+                    retry_after_s=wait_s)
+
+    def _retry_after_s(self):
+        """Seconds until in-flight work plausibly frees a slot (lock held).
+
+        Pending fleet items spread over the fleet's width, scaled by an
+        EWMA of recent item wall-clock; 1 s floor (and default, before
+        any item has completed) so a ``Retry-After`` header is never 0.
+        """
+        per_item = self._item_seconds if self._item_seconds else 1.0
+        backlog = max(1, len(self._inflight_work))
+        return max(1.0, per_item * backlog / max(1, self.fleet.workers))
+
     def pump(self, timeout=0.0):
         """Fold completed fleet items back in; count of items processed."""
         results = self.fleet.poll(timeout)
@@ -328,6 +561,99 @@ class CharacterisationBroker:
             for work_key, result in results:
                 self._on_result(work_key, result)
         return len(results)
+
+    def cancel(self, request_key, reason="cancelled by client"):
+        """Release one consumer's interest in an in-flight request.
+
+        Each submit of an identical request (the original plus every
+        coalesced one) holds one unit of interest; this releases one.
+        When the last unit goes the ticket is released for real: it is
+        unsubscribed from every in-flight batch (shared batches keep
+        running, bit-for-bit, for their surviving subscribers), queued
+        batches nobody else wants are withdrawn from the fleet before a
+        worker starts them (counted in ``released_batches``), and the
+        ticket finishes with a terminal ``"cancelled"`` event.  Batches
+        already executing run to completion and still land in the store
+        — cancellation never wastes work that was already paid for.
+
+        Returns ``True`` when the request was in flight (interest
+        released), ``False`` when no such request is live (unknown key,
+        or it already finished).
+        """
+        with self._lock:
+            ticket = self._tickets.get(request_key)
+            if ticket is None or ticket.done.is_set():
+                return False
+            ticket.interest -= 1
+            if ticket.interest > 0:
+                return True
+            self._release_ticket(ticket, reason)
+            return True
+
+    def _release_ticket(self, ticket, reason):
+        """Drop a ticket out of the machinery (lock held, interest 0)."""
+        self._tickets.pop(ticket.key, None)
+        self.cancelled_requests += 1
+        for work_key, subscribers in list(self._inflight_work.items()):
+            remaining = [entry for entry in subscribers
+                         if entry[0] is not ticket]
+            if len(remaining) != len(subscribers):
+                # An empty list stays registered: a batch some worker is
+                # already executing must still land in the store when it
+                # returns (see _deliver) — only its delivery is orphaned.
+                self._inflight_work[work_key] = remaining
+        # Withdraw queued single-batch items nobody subscribes to anymore.
+        for work_key, subscribers in list(self._inflight_work.items()):
+            if subscribers or work_key in self._group_of:
+                continue
+            if self.fleet.cancel(work_key):
+                self._inflight_work.pop(work_key, None)
+                self._dispatched_at.pop(work_key, None)
+                self.released_batches += 1
+        # A fused group is one fleet item carrying many batches: it can
+        # only be withdrawn when every member lost its last subscriber.
+        for group_key, members in list(self._group_members.items()):
+            if any(self._inflight_work.get(work_key) for work_key, _ in members):
+                continue
+            if not self.fleet.cancel(group_key):
+                continue
+            for work_key, _batch in members:
+                self._inflight_work.pop(work_key, None)
+                self._group_of.pop(work_key, None)
+                self.released_batches += 1
+            self._group_members.pop(group_key, None)
+            self._dispatched_at.pop(group_key, None)
+        ticket._cancel(reason)
+
+    def close_admission(self):
+        """Stop admitting new requests (in-flight ones keep running)."""
+        with self._lock:
+            self.admission_open = False
+
+    def open_admission(self):
+        """Re-open admission after :meth:`close_admission`."""
+        with self._lock:
+            self.admission_open = True
+
+    def drain(self, timeout=None, poll_s=0.05):
+        """Block until every in-flight request finishes; ``True`` on empty.
+
+        Someone must keep calling :meth:`pump` for the tickets to
+        advance — the :class:`~repro.service.api.Service` pump thread in
+        the assembled service.  Normally preceded by
+        :meth:`close_admission` so the set being waited on only shrinks
+        (a submit arriving mid-drain would otherwise extend it).
+        """
+        deadline = None if timeout is None else time.time() + float(timeout)
+        while True:
+            with self._lock:
+                tickets = [t for t in self._tickets.values()
+                           if not t.done.is_set()]
+            if not tickets:
+                return True
+            if deadline is not None and time.time() >= deadline:
+                return False
+            tickets[0].done.wait(poll_s)
 
     def shutdown(self, message="service stopped"):
         """Fail every in-flight ticket (used on service shutdown)."""
@@ -339,6 +665,7 @@ class CharacterisationBroker:
             self._inflight_work = {}
             self._group_members = {}
             self._group_of = {}
+            self._dispatched_at = {}
 
     # ------------------------------------------------------------------ #
     def _advance(self, ticket):
@@ -366,6 +693,7 @@ class CharacterisationBroker:
                     pending.append(batch)
                     continue
                 ticket._note(batch, "cached")
+                self.cached_batches += 1
                 trajectory.consume(batch, cached)
                 ticket._emit_new_rows()
             self._dispatch_pending(ticket, pending)
@@ -397,6 +725,7 @@ class CharacterisationBroker:
                 # request's queue position.
                 subscribers.append((ticket, batch))
                 ticket._note(batch, "shared")
+                self.shared_batches += 1
                 self._item_seq += 1
                 self.fleet.promote(
                     self._group_of.get(work_key, work_key),
@@ -422,6 +751,7 @@ class CharacterisationBroker:
                 priority=(ticket.request.priority, ticket.deadline_at,
                           ticket.seq, self._item_seq),
             )
+            self._dispatched_at[work_key] = time.time()
         for group in groups:
             self._group_seq += 1
             group_key = ("fused", ticket.digest, self._group_seq)
@@ -440,8 +770,18 @@ class CharacterisationBroker:
                 priority=(ticket.request.priority, ticket.deadline_at,
                           ticket.seq, self._item_seq),
             )
+            self._dispatched_at[group_key] = time.time()
 
     def _on_result(self, work_key, result):
+        started = self._dispatched_at.pop(work_key, None)
+        if started is not None:
+            # Feed the Retry-After estimator: per-batch wall-clock (a
+            # fused item's elapsed spreads over its member batches).
+            group = self._group_members.get(work_key)
+            per_batch = (time.time() - started) / (len(group) if group else 1)
+            self._item_seconds = (
+                per_batch if self._item_seconds is None
+                else 0.7 * self._item_seconds + 0.3 * per_batch)
         members = self._group_members.pop(work_key, None)
         if members is not None:
             member_results = (result.get("results")
@@ -513,10 +853,73 @@ class CharacterisationBroker:
                 "in_flight_requests": len(self._tickets),
                 "completed_requests": self.completed_requests,
                 "failed_requests": self.failed_requests,
+                "cancelled_requests": self.cancelled_requests,
                 "simulated_batches": self.simulated_batches,
                 "inflight_batches": len(self._inflight_work),
+                "admission_open": self.admission_open,
+                "rejected_saturated": self.rejected_saturated,
+                "rejected_quota": self.rejected_quota,
                 "namespaces": sorted(self._views),
                 "fleet": self.fleet.stats(),
+            }
+
+    def metrics(self):
+        """The full operational ledger as one stable JSON-able document.
+
+        Everything the system already tracks, in one place: admission
+        state and caps, the request lifecycle counters, the batch-source
+        ledger (cached / simulated / shared / released), the fleet's
+        queue and worker health (including per-worker heartbeat ages and
+        retry counts), and per-namespace store statistics.  Served by
+        ``GET /v1/metrics``; keys are append-only across PRs so scrapers
+        can rely on them.
+        """
+        with self._lock:
+            now = time.monotonic()
+            quota = None
+            if self.quota is not None:
+                quota = {
+                    "packets_per_s": self.quota.packets_per_s,
+                    "burst_packets": self.quota.burst_packets,
+                    "buckets": {
+                        str(client): round(bucket.level(now), 3)
+                        for client, bucket in sorted(
+                            self._buckets.items(),
+                            key=lambda item: str(item[0]))
+                    },
+                }
+            stores = {}
+            for digest, view in sorted(self._views.items()):
+                stores[digest] = {
+                    "records": len(view),
+                    "hits": view.hits,
+                    "misses": view.misses,
+                }
+            return {
+                "admission": {
+                    "open": self.admission_open,
+                    "max_inflight_batches": self.max_inflight_batches,
+                    "max_requests": self.max_requests,
+                    "rejected_saturated": self.rejected_saturated,
+                    "rejected_quota": self.rejected_quota,
+                    "retry_after_s": round(self._retry_after_s(), 3),
+                    "quota": quota,
+                },
+                "requests": {
+                    "in_flight": len(self._tickets),
+                    "completed": self.completed_requests,
+                    "failed": self.failed_requests,
+                    "cancelled": self.cancelled_requests,
+                },
+                "batches": {
+                    "inflight": len(self._inflight_work),
+                    "simulated": self.simulated_batches,
+                    "cached": self.cached_batches,
+                    "shared": self.shared_batches,
+                    "released": self.released_batches,
+                },
+                "fleet": self.fleet.stats(),
+                "stores": stores,
             }
 
     def __repr__(self):

@@ -194,6 +194,7 @@ class WorkerFleet:
         self._compute_gate = threading.BoundedSemaphore(self.compute_slots)
         self.submitted = 0
         self.completed = 0
+        self.cancelled = 0
         self.retried = 0
         self.restarted = 0
         self._seq = itertools.count()
@@ -310,6 +311,27 @@ class WorkerFleet:
             self._lock.notify_all()
         return item.item_id
 
+    def cancel(self, item_id):
+        """Withdraw a queued item before any worker picks it up.
+
+        Returns ``True`` when the item was still queued: it will never
+        run and never produce a result — the caller must not wait for
+        one.  Returns ``False`` once the item was dispatched (its result
+        arrives through :meth:`poll` as usual) or the id is unknown.
+        Used by the broker's cancellation path to hand un-started work
+        back without perturbing anything a worker already holds.
+        """
+        with self._lock:
+            item = self._queued.get(item_id)
+            if item is None or item.delivered or item.seq in self._inflight:
+                return False
+            self._queued.pop(item_id, None)
+            # Stale heap entries are skipped at pop time, exactly like a
+            # promotion's superseded duplicates.
+            item.delivered = True
+            self.cancelled += 1
+            return True
+
     def promote(self, item_id, priority):
         """Raise a queued item's priority; no-op once it is dispatched.
 
@@ -364,8 +386,8 @@ class WorkerFleet:
 
     @property
     def pending(self):
-        """Items submitted but not yet completed."""
-        return self.submitted - self.completed
+        """Items submitted but neither completed nor cancelled."""
+        return self.submitted - self.completed - self.cancelled
 
     def heartbeats(self, now=None):
         """Seconds since each worker was last seen alive."""
@@ -381,7 +403,10 @@ class WorkerFleet:
             "compute_slots": self.compute_slots,
             "submitted": self.submitted,
             "completed": self.completed,
+            "cancelled": self.cancelled,
             "pending": self.pending,
+            "queued": len(self._queued),
+            "executing": len(self._inflight),
             "retried": self.retried,
             "workers_restarted": self.restarted,
         }

@@ -98,6 +98,13 @@ class CharacterisationRequest:
     deadline_s:
         Optional soft deadline hint in seconds; among equal priorities
         the broker dispatches tighter deadlines first.  Scheduling only.
+    client_id:
+        Optional client name the broker's per-client token-bucket packet
+        quota is charged against at admission (``None`` shares the
+        anonymous bucket when a quota is configured).  Scheduling only —
+        like priority, it is never part of the rows or the request key,
+        so identical asks from different clients still coalesce (a
+        coalesced ask adds no work and is never charged).
     """
 
     scenario: object
@@ -109,6 +116,7 @@ class CharacterisationRequest:
     budget: object = None
     priority: int = 0
     deadline_s: object = None
+    client_id: object = None
 
     def __post_init__(self):
         if not isinstance(self.scenario, Scenario):
@@ -156,6 +164,10 @@ class CharacterisationRequest:
                             "got %r" % (self.priority,))
         if self.deadline_s is not None and not self.deadline_s > 0:
             raise ValueError("deadline_s must be positive or None")
+        if self.client_id is not None and (
+                not isinstance(self.client_id, str) or not self.client_id):
+            raise TypeError("client_id must be a non-empty string or None; "
+                            "got %r" % (self.client_id,))
 
     # ------------------------------------------------------------------ #
     # Identity
@@ -172,6 +184,7 @@ class CharacterisationRequest:
             "budget": self.budget,
             "priority": self.priority,
             "deadline_s": self.deadline_s,
+            "client_id": self.client_id,
         }
 
     @classmethod
@@ -206,6 +219,7 @@ class CharacterisationRequest:
         payload = self.to_dict()
         del payload["priority"]
         del payload["deadline_s"]
+        del payload["client_id"]
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -246,6 +260,23 @@ class CharacterisationRequest:
 
     def num_points(self):
         return len(self.sweep_spec())
+
+    def packet_cost(self):
+        """Worst-case packets this request can dispatch (the quota charge).
+
+        The tighter of the request's global ``budget`` and ``num_points()
+        * stop.max_packets`` — one of the two exists by construction (an
+        unbounded request is rejected in ``__post_init__``).  An upper
+        bound, not an exact spend: converged points stop early, and the
+        per-point cap is enforced in whole batches, so the estimate is
+        what admission control charges, never what the rows report.
+        """
+        bounds = []
+        if self.budget is not None:
+            bounds.append(self.budget)
+        if self.stop.max_packets is not None:
+            bounds.append(self.num_points() * self.stop.max_packets)
+        return min(bounds)
 
     def __repr__(self):
         shape = "x".join(str(len(v)) for v in self.axes.values())

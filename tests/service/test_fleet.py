@@ -174,6 +174,39 @@ class TestThreadFleet:
         assert order == ["gate", "later", "slow"]
         assert len(results) == 3
 
+    def test_cancel_withdraws_a_queued_item_before_it_runs(self):
+        ran = []
+        gate = threading.Event()
+
+        def gated_runner(batch):
+            gate.wait(30.0)
+            ran.append(batch.index)
+            return {"errors": 0, "trials": 1}
+
+        with WorkerFleet(workers=1, backend="thread") as fleet:
+            first, second = batches()[:2]
+            fleet.submit("running", gated_runner, first)
+            time.sleep(0.1)  # the single worker now holds "running"
+            fleet.submit("doomed", gated_runner, second)
+            # Queued, untouched by any worker: cancellable exactly once.
+            assert fleet.cancel("doomed") is True
+            assert fleet.cancel("doomed") is False
+            # Dispatched or unknown items are not.
+            assert fleet.cancel("running") is False
+            assert fleet.cancel("never-submitted") is False
+            gate.set()
+            results = drain(fleet, 1)
+            assert "running" in results
+            # The ledger balances: nothing lost, nothing double-freed.
+            stats = fleet.stats()
+            assert stats["cancelled"] == 1
+            assert stats["submitted"] == 2
+            assert stats["completed"] == 1
+            assert stats["pending"] == 0
+            # The cancelled item never produced a result and never ran.
+            assert fleet.poll(timeout=0.2) == []
+            assert ran == [first.index]
+
     def test_heartbeats_cover_every_worker(self):
         with WorkerFleet(workers=2, backend="thread") as fleet:
             beats = fleet.heartbeats()

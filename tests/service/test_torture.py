@@ -1,0 +1,157 @@
+"""Concurrent-client torture test for the hardened service front door.
+
+N clients stream overlapping requests over HTTP while one client hangs
+up mid-stream and another request is cancelled explicitly.  The
+surviving clients' rows must be bit-for-bit what a serial
+``Experiment.run`` produces — cancellation and disconnects may only
+decide *when* abandoned work is handed back, never what anyone else's
+bytes are — and the broker/fleet ledgers must balance: nothing lost,
+nothing double-freed.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Scenario
+from repro.analysis.store import ResultStore
+from repro.analysis.sweep import SweepExecutor
+from repro.service.api import Service, serve, stream_request
+from repro.service.requests import CharacterisationRequest
+
+SCENARIO = Scenario(decoder="bcjr", packet_bits=600)
+STOP = StopRule(rel_half_width=0.35, min_errors=15, max_packets=16)
+
+#: Five surviving clients with overlapping SNR windows (plenty of shared
+#: batches), one disconnecting client and one explicitly cancelled one —
+#: both overlap the survivors *and* own exclusive points, so releasing
+#: their claims exercises the shared/exclusive split.
+SURVIVOR_WINDOWS = [
+    [4.0, 5.5],
+    [5.5, 7.0],
+    [7.0, 8.5],
+    [4.0, 7.0],
+    [5.5, 8.5],
+]
+DISCONNECT_WINDOW = [5.5, 9.5, 10.0]
+CANCEL_WINDOW = [7.0, 3.0, 9.0]
+
+
+def request(snrs):
+    return CharacterisationRequest(
+        scenario=SCENARIO,
+        axes={"rate_mbps": [24], "snr_db": list(snrs)},
+        stop=STOP,
+        constants={"batch_size": 4},
+        seed=23,
+        batch_packets=4,
+    )
+
+
+def serial_rows(snrs):
+    return request(snrs).experiment().run(SweepExecutor("serial"))
+
+
+def test_torture_survivors_bitforbit_and_ledgers_balance(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    with Service(store, workers=4) as service:
+        server = serve(service, port=0, heartbeat_s=0.1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base_url = "http://%s:%d" % (host, port)
+        try:
+            results = {}
+            failures = []
+
+            def stream_client(index, snrs):
+                try:
+                    rows = [event["row"]
+                            for event in stream_request(base_url,
+                                                        request(snrs))
+                            if event["event"] == "row"]
+                    results[index] = rows
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    failures.append((index, exc))
+
+            def disconnect_client():
+                try:
+                    conn = http.client.HTTPConnection(host, port, timeout=30)
+                    conn.request(
+                        "POST", "/v1/characterise",
+                        body=json.dumps(request(DISCONNECT_WINDOW).to_dict()),
+                        headers={"Content-Type": "application/json"})
+                    response = conn.getresponse()
+                    assert json.loads(
+                        response.fp.readline())["event"] == "accepted"
+                    # Hang up mid-stream; both the response and the
+                    # connection hold the socket.
+                    response.close()
+                    conn.close()
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    failures.append(("disconnect", exc))
+
+            def cancelling_client():
+                try:
+                    ticket = service.submit(request(CANCEL_WINDOW))
+                    time.sleep(0.05)
+                    ticket.cancel()
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    failures.append(("cancel", exc))
+
+            threads = [threading.Thread(target=stream_client, args=(i, snrs))
+                       for i, snrs in enumerate(SURVIVOR_WINDOWS)]
+            threads.append(threading.Thread(target=disconnect_client))
+            threads.append(threading.Thread(target=cancelling_client))
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=120)
+                assert not worker.is_alive(), "a client thread hung"
+            assert not failures, failures
+
+            # Every surviving client's rows are bit-for-bit serial —
+            # whatever the disconnect and the cancel released around them.
+            for index, snrs in enumerate(SURVIVOR_WINDOWS):
+                assert sorted(results[index], key=lambda r: r["snr_db"]) \
+                    == serial_rows(snrs), "client %d diverged" % index
+
+            # Let the abandoned requests' reaped/running work settle.
+            deadline = time.time() + 60
+            while service.broker.status()["inflight_batches"]:
+                assert time.time() < deadline, "in-flight work never settled"
+                time.sleep(0.05)
+
+            # The ledgers balance: every fleet item was completed exactly
+            # once or withdrawn exactly once — no item lost, none freed
+            # twice.
+            stats = service.fleet.stats()
+            assert stats["pending"] == 0
+            assert stats["submitted"] == stats["completed"] \
+                + stats["cancelled"]
+            assert stats["queued"] == 0 and stats["executing"] == 0
+            status = service.broker.status()
+            assert status["in_flight_requests"] == 0
+            # Released batches and withdrawn fleet items agree: a fused
+            # item frees several member batches, so released >= cancelled
+            # and neither can be non-zero without the other.
+            metrics = service.broker.metrics()
+            assert metrics["batches"]["released"] >= stats["cancelled"]
+            assert (metrics["batches"]["released"] == 0) \
+                == (stats["cancelled"] == 0)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    # The store is coherent after the chaos: a warm re-ask of every
+    # surviving window replays from disk bit-for-bit.
+    with Service(store, workers=2) as service:
+        for snrs in SURVIVOR_WINDOWS:
+            ticket = service.submit(request(snrs))
+            assert ticket.result(timeout=60) == serial_rows(snrs)
+            assert ticket.progress()["batches_simulated"] == 0
