@@ -345,6 +345,28 @@ class StoreView:
         return {name: _decode_value(value)
                 for name, value in record["result"].items()}
 
+    def peek(self, point_key, batch_index, num_packets):
+        """Like :meth:`get`, but an absent batch is *not* counted a miss.
+
+        Built for pollers — a lease-waiting service replica probing for
+        another replica's result every fraction of a second would
+        otherwise inflate :attr:`misses` (which usage accounting treats
+        as "batches this view had to simulate") by orders of magnitude.
+        A successful probe still counts a hit: the batch really was
+        served from the store.
+        """
+        key = (_normalise_point_key(point_key), int(batch_index))
+        record = self._ensure().get(key)
+        if record is None:
+            record = self._refresh().get(key)
+        if record is None:
+            return None
+        misses = self.misses
+        try:
+            return self.get(point_key, batch_index, num_packets)
+        finally:
+            self.misses = misses  # a racing compaction cannot re-add one
+
     def put(self, point_key, batch_index, num_packets, result):
         """Append one batch result (idempotent for an existing key)."""
         key = (_normalise_point_key(point_key), int(batch_index))
@@ -560,26 +582,44 @@ def _cmd_stats(store, args, out):
 
 
 def _cmd_gc(store, args, out):
-    if args.days is None and not args.prefix and not args.scenario:
-        print("gc: nothing selected; pass --days N, --prefix HEX and/or "
-              "--scenario HEX", file=out)
+    filtering = (args.days is not None or args.prefix or args.scenario)
+    if not filtering and args.max_bytes is None:
+        print("gc: nothing selected; pass --days N, --prefix HEX, "
+              "--scenario HEX and/or --max-bytes N", file=out)
         return 2
     horizon = None
     if args.days is not None:
         horizon = time.time() - args.days * 86400.0
-    removed = freed = 0
+    victims, survivors = [], []
     for summary in _summaries(store):
         digest = summary["namespace"]
+        selected = filtering
         if args.prefix and not digest.startswith(args.prefix):
-            continue
-        if args.scenario:
+            selected = False
+        if selected and args.scenario:
             scenario_hash = _scenario_hash(summary)
             if not scenario_hash or not scenario_hash.startswith(args.scenario):
-                continue
-        if horizon is not None:
+                selected = False
+        if selected and horizon is not None:
             last = _last_used(summary)
             if last is not None and last >= horizon:
-                continue
+                selected = False
+        (victims if selected else survivors).append(summary)
+    if args.max_bytes is not None:
+        # LRU byte budget over whatever the other selectors spared:
+        # evict coldest namespaces (stats-sidecar last-used, mtime
+        # fallback, never-used treated coldest of all) until the store
+        # fits the budget.
+        total = sum(summary["size_bytes"] for summary in survivors)
+        survivors.sort(key=lambda summary: _last_used(summary) or 0.0)
+        for summary in survivors:
+            if total <= args.max_bytes:
+                break
+            victims.append(summary)
+            total -= summary["size_bytes"]
+    removed = freed = 0
+    for summary in victims:
+        digest = summary["namespace"]
         removed += 1
         if args.dry_run:
             freed += summary["size_bytes"]
@@ -610,7 +650,10 @@ def main(argv=None, out=None):
     ``gc``
         Remove namespaces unused for ``--days N``, and/or matching a
         ``--prefix`` of the namespace digest or a ``--scenario`` hash
-        prefix.  ``--dry-run`` previews without deleting.
+        prefix; ``--max-bytes N`` additionally enforces an LRU byte
+        budget, evicting the coldest surviving namespaces (by the usage
+        sidecar's last-used, file mtime as fallback) until the store
+        fits.  ``--dry-run`` previews without deleting.
     """
     out = sys.stdout if out is None else out
     parser = argparse.ArgumentParser(
@@ -638,6 +681,10 @@ def main(argv=None, out=None):
                     help="remove namespaces whose digest starts with this")
     gc.add_argument("--scenario", default=None,
                     help="remove namespaces whose scenario hash starts with this")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="LRU byte budget: after the other selectors, evict "
+                         "the coldest namespaces (by sidecar last-used) "
+                         "until the store fits this many bytes")
     gc.add_argument("--dry-run", action="store_true",
                     help="report what would be removed without deleting")
 

@@ -21,6 +21,11 @@ broker in front of the store and a persistent worker fleet:
 * :mod:`repro.service.api` — the :class:`Service` front object plus the
   stdlib-only localhost HTTP/JSON-lines endpoint (``python -m
   repro.service`` runs it as a daemon).
+* :mod:`repro.service.cluster` — cross-replica scale-out:
+  :class:`LeaseManager` store leases let several replicas share one
+  store without duplicating work, and :mod:`repro.service.worker`'s
+  :class:`WorkerAgent` (``python -m repro.service.worker``) attaches
+  remote hosts to a service's fleet over HTTP.
 
 Everything rides the analysis layer's determinism: batch ``k`` of a
 point is a pure function of ``(spec, point, k)``, so deduplication,
@@ -46,6 +51,7 @@ Quick start::
 """
 
 from repro.service.api import (
+    RetryPolicy,
     Service,
     ServiceHTTPError,
     cancel_request,
@@ -60,19 +66,25 @@ from repro.service.broker import (
     ServiceError,
     ServiceSaturated,
 )
-from repro.service.fleet import FleetError, WorkerFleet
+from repro.service.cluster import LeaseManager
+from repro.service.fleet import FleetError, RemoteWorkerHandle, WorkerFleet
 from repro.service.requests import CharacterisationRequest
+from repro.service.worker import WorkerAgent
 
 __all__ = [
     "CharacterisationBroker",
     "CharacterisationRequest",
     "ClientQuota",
     "FleetError",
+    "LeaseManager",
+    "RemoteWorkerHandle",
     "RequestTicket",
+    "RetryPolicy",
     "Service",
     "ServiceError",
     "ServiceHTTPError",
     "ServiceSaturated",
+    "WorkerAgent",
     "WorkerFleet",
     "cancel_request",
     "fetch_json",

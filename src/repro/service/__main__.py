@@ -14,10 +14,17 @@ Admission control is off by default (the pre-hardening unbounded
 behaviour); ``--max-inflight-batches``, ``--max-requests`` and
 ``--quota RATE[:BURST]`` bound it — see
 :class:`repro.service.broker.CharacterisationBroker`.
+
+Scale-out: ``--lease-ttl-s`` enables cross-replica store leases (several
+daemons sharing one ``--store`` never simulate the same batch
+concurrently), and remote hosts attach extra workers with ``python -m
+repro.service.worker --connect URL`` — see :mod:`repro.service.cluster`
+and :mod:`repro.service.worker`.
 """
 
 import argparse
 import sys
+import time
 
 from repro.service.api import Service, serve
 from repro.service.broker import ClientQuota
@@ -67,11 +74,26 @@ def main(argv=None):
     parser.add_argument("--heartbeat-s", type=float, default=10.0,
                         help="keep-alive cadence of the row stream; also "
                              "bounds disconnect detection (default: 10)")
+    parser.add_argument("--lease-ttl-s", type=float, default=None,
+                        metavar="SECONDS",
+                        help="enable cross-replica store leases with this "
+                             "TTL: replicas sharing --store never simulate "
+                             "the same batch concurrently (default: off; "
+                             "see repro.service.cluster)")
+    parser.add_argument("--replica-id", default=None,
+                        help="this replica's identity in lease files and "
+                             "metrics (default: hostname-pid derived)")
+    parser.add_argument("--remote-timeout-s", type=float, default=60.0,
+                        help="detach a remote worker holding an item after "
+                             "this long without a heartbeat (default: 60)")
     args = parser.parse_args(argv)
 
     service = Service(args.store, workers=args.workers, backend=args.backend,
                       max_inflight_batches=args.max_inflight_batches,
-                      max_requests=args.max_requests, quota=args.quota)
+                      max_requests=args.max_requests, quota=args.quota,
+                      lease_ttl_s=args.lease_ttl_s,
+                      replica_id=args.replica_id,
+                      remote_timeout_s=args.remote_timeout_s)
     service.start()
     server = serve(service, host=args.host, port=args.port,
                    heartbeat_s=args.heartbeat_s)
@@ -85,8 +107,16 @@ def main(argv=None):
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
         service.stop()
+        # Attached remote workers must hear their ``bye`` before the
+        # process exits, or they cannot tell a graceful stop from a
+        # crash and burn their re-attach retries against a dead port.
+        # Each attach handler leaves ``server.attach_channels`` only
+        # after its bye is written and flushed.
+        deadline = time.time() + 5.0
+        while server.attach_channels and time.time() < deadline:
+            time.sleep(0.05)
+        server.server_close()
         print("repro characterisation service stopped", flush=True)
     return 0
 

@@ -27,6 +27,20 @@ over HTTP
     (``?drain=1`` finishes in-flight requests first).  ``python -m
     repro.service`` runs exactly this (see :mod:`repro.service.__main__`).
 
+as a cluster
+    ``POST /v1/workers/attach`` is the remote-worker work channel: a
+    ``python -m repro.service.worker --connect URL`` agent attaches and
+    the response becomes a JSON-lines stream of ``task`` events (plus
+    ``ping`` keep-alives), each carrying one priority-ordered work item;
+    the agent posts results back to ``POST /v1/workers/<name>/result``
+    and liveness to ``POST /v1/workers/<name>/beat``.  A broken stream
+    or silent worker has its item requeued, exactly like a dead local
+    process worker (see :mod:`repro.service.fleet`).  Passing
+    ``lease_ttl_s`` to :class:`Service` enables cross-replica store
+    leases, so several daemons sharing one store directory never
+    simulate the same batch concurrently (see
+    :mod:`repro.service.cluster`).
+
 The HTTP layer adds no scheduling semantics of its own: every byte of a
 row is produced by the broker, so curl-ed curves are bit-for-bit the
 ``Experiment.run`` curves.
@@ -50,6 +64,7 @@ closes, so clients can always distinguish truncation from completion.
 import json
 import logging
 import math
+import random
 import threading
 import time
 import urllib.error
@@ -61,11 +76,13 @@ from repro.analysis.store import ResultStore
 from repro.analysis.sweep import _json_default
 from repro.service.broker import (CharacterisationBroker, ServiceError,
                                   ServiceSaturated)
-from repro.service.fleet import WorkerFleet
+from repro.service.cluster import LeaseManager
+from repro.service.fleet import FleetError, WorkerFleet
 from repro.service.requests import CharacterisationRequest
+from repro.service.transport import decode_payload, encode_payload
 
-__all__ = ["Service", "ServiceHTTPError", "serve", "stream_request",
-           "fetch_json", "cancel_request"]
+__all__ = ["Service", "ServiceHTTPError", "RetryPolicy", "serve",
+           "stream_request", "fetch_json", "cancel_request"]
 
 _logger = logging.getLogger(__name__)
 
@@ -109,6 +126,73 @@ def _raise_service_http_error(exc):
                            retry_after_s=retry_after) from exc
 
 
+class RetryPolicy:
+    """Opt-in retry with jittered exponential backoff for service clients.
+
+    Pass one to :func:`stream_request` or :func:`fetch_json` and a
+    retryable :class:`ServiceHTTPError` — by default the admission
+    statuses, ``429`` (saturated) and ``503`` (draining) — is retried
+    up to ``attempts`` total tries instead of surfacing on the first.
+    The wait before try ``n`` is ``base_s * 2**n`` capped at ``max_s``,
+    but never *less* than the server's ``Retry-After`` when the response
+    carried one — the server's estimate is honest, backing off less
+    than it asks just burns the next attempt.  Full jitter (a uniform
+    draw over ``[wait * (1 - jitter), wait]``) keeps a thundering herd
+    of identical clients from re-arriving in lockstep.
+
+    With ``connect=True`` connection-level failures
+    (:class:`urllib.error.URLError`, :class:`ConnectionError`) retry on
+    the same schedule — useful for clients racing a daemon's startup.
+    """
+
+    def __init__(self, attempts=5, base_s=0.2, max_s=30.0, jitter=0.5,
+                 statuses=(429, 503), connect=False, sleep=None, rng=None):
+        if not attempts >= 1:
+            raise ValueError("attempts must be at least 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        self.attempts = int(attempts)
+        self.base_s = float(base_s)
+        self.max_s = float(max_s)
+        self.jitter = float(jitter)
+        self.statuses = frozenset(int(status) for status in statuses)
+        self.connect = bool(connect)
+        self._sleep = time.sleep if sleep is None else sleep
+        self._rng = random.Random() if rng is None else rng
+        self.retries = 0  # total sleeps taken, across every call()
+
+    def delay_s(self, attempt, retry_after_s=None):
+        """The jittered wait before retry number ``attempt`` (0-based)."""
+        wait = min(self.max_s, self.base_s * (2 ** attempt))
+        if retry_after_s is not None:
+            wait = max(wait, float(retry_after_s))
+        return wait * (1.0 - self.jitter * self._rng.random())
+
+    def _retryable(self, exc):
+        if isinstance(exc, ServiceHTTPError):
+            return exc.status in self.statuses
+        return self.connect and isinstance(
+            exc, (urllib.error.URLError, ConnectionError))
+
+    def call(self, func):
+        """Run ``func()`` under this policy; the last error propagates."""
+        for attempt in range(self.attempts):
+            try:
+                return func()
+            except Exception as exc:
+                if attempt + 1 >= self.attempts or not self._retryable(exc):
+                    raise
+                retry_after = getattr(exc, "retry_after_s", None)
+                self.retries += 1
+                self._sleep(self.delay_s(attempt, retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self):
+        return ("RetryPolicy(attempts=%d, base_s=%g, max_s=%g, statuses=%s)"
+                % (self.attempts, self.base_s, self.max_s,
+                   sorted(self.statuses)))
+
+
 class Service:
     """The assembled characterisation service, in process.
 
@@ -128,6 +212,21 @@ class Service:
         Admission-control knobs, passed through to
         :class:`~repro.service.broker.CharacterisationBroker` — ``None``
         keeps the pre-hardening unbounded behaviour.
+    lease_ttl_s:
+        Enables cross-replica store leases with this TTL: several
+        replicas (service processes, possibly on different hosts)
+        sharing one store directory then never simulate the same batch
+        concurrently — see :mod:`repro.service.cluster`.  ``None``
+        (default) runs standalone.  Alternatively pass a ready
+        :class:`~repro.service.cluster.LeaseManager` as ``leases``.
+    replica_id:
+        This replica's identity in lease files and metrics (default:
+        hostname-pid derived).
+    remote_timeout_s:
+        Watchdog for attached remote workers: one holding a work item
+        and silent this long is presumed dead, detached, and its item
+        requeued.  Must comfortably exceed the worker agent's heartbeat
+        interval.
     stop_timeout_s:
         How long :meth:`stop` waits for the pump thread to exit before
         declaring it wedged (and refusing future :meth:`start` calls).
@@ -135,16 +234,23 @@ class Service:
 
     def __init__(self, store, workers=None, backend="thread", runner=None,
                  mp_context=None, poll_s=0.05, max_inflight_batches=None,
-                 max_requests=None, quota=None, stop_timeout_s=10.0):
+                 max_requests=None, quota=None, lease_ttl_s=None,
+                 leases=None, replica_id=None, remote_timeout_s=60.0,
+                 stop_timeout_s=10.0):
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
+        if leases is None and lease_ttl_s is not None:
+            leases = LeaseManager.for_store(store.root, owner=replica_id,
+                                            ttl_s=lease_ttl_s)
+        self.leases = leases
         self.fleet = WorkerFleet(workers=workers, backend=backend,
                                  mp_context=mp_context)
         self.broker = CharacterisationBroker(
             store, self.fleet, runner=runner,
             max_inflight_batches=max_inflight_batches,
-            max_requests=max_requests, quota=quota)
+            max_requests=max_requests, quota=quota, leases=leases)
+        self.remote_timeout_s = float(remote_timeout_s)
         self.poll_s = float(poll_s)
         self.stop_timeout_s = float(stop_timeout_s)
         self._pump = None
@@ -220,6 +326,7 @@ class Service:
             # the thread and silently hang every future request.
             try:
                 self.broker.pump(timeout=self.poll_s)
+                self.fleet.reap_overdue_remotes(self.remote_timeout_s)
             except Exception:
                 _logger.exception("service pump survived an unexpected error")
                 time.sleep(self.poll_s)
@@ -301,6 +408,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         query = urllib.parse.parse_qs(split.query)
         if path == "/v1/shutdown":
             return self._shutdown(drain="1" in query.get("drain", []))
+        if path == "/v1/workers/attach":
+            return self._worker_attach(
+                (query.get("name") or [None])[0])
+        if path.startswith("/v1/workers/") and path.endswith("/result"):
+            return self._worker_result(
+                path[len("/v1/workers/"):-len("/result")])
+        if path.startswith("/v1/workers/") and path.endswith("/beat"):
+            name = path[len("/v1/workers/"):-len("/beat")]
+            handle = self.service.fleet.remote_handle(name)
+            if handle is None or not handle.beat():
+                return self._send_json(
+                    404, {"error": "no attached remote worker %r" % name})
+            return self._send_json(200, {"worker": name, "alive": True})
         if path.startswith("/v1/requests/") and path.endswith("/cancel"):
             key = path[len("/v1/requests/"):-len("/cancel")]
             if self.service.cancel(key):
@@ -405,8 +525,93 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     ticket.key, reason="server-side stream fault: %s" % exc)
         return None
 
+    # ------------------------------------------------------------------ #
+    # Remote-worker work channel
+    # ------------------------------------------------------------------ #
+    def _worker_attach(self, name):
+        """The streaming side of the work channel: tasks out, pings between.
 
-def serve(service, host="127.0.0.1", port=0, heartbeat_s=10.0):
+        This handler thread *is* the attached worker's dispatcher: it
+        owns the :class:`~repro.service.fleet.RemoteWorkerHandle`, pulls
+        priority-ordered items (depth-1 — the next only after the
+        previous result arrived through ``_worker_result``) and writes
+        each as a ``task`` event.  Quiet stretches carry ``ping``
+        keep-alives, whose writes double as disconnect detection: a
+        worker whose connection died is detached and its outstanding
+        item requeued the moment a ping bounces.
+        """
+        try:
+            handle = self.service.fleet.register_remote(name)
+        except FleetError as exc:
+            return self._send_json(503, {"error": str(exc)})
+        self.server.attach_channels.add(threading.current_thread())
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        ping_s = self.server.worker_ping_s
+        try:
+            self.wfile.write(_to_json({
+                "event": "attached", "worker": handle.name,
+                "ping_s": ping_s,
+            }))
+            self.wfile.flush()
+            while handle.active:
+                item = handle.next_task(timeout=ping_s)
+                if item is None:
+                    if not handle.active:
+                        break
+                    self.wfile.write(_to_json({"event": "ping"}))
+                    self.wfile.flush()
+                    continue
+                self.wfile.write(_to_json({
+                    "event": "task",
+                    "seq": item.seq,
+                    "label": item.batch.label(),
+                    "payload": encode_payload((item.runner, item.batch)),
+                }))
+                self.wfile.flush()
+            # "detached" = the watchdog (or a newer attach under the same
+            # name) evicted this worker while the service runs on — it
+            # should re-attach; "stopped" = service shutdown, don't.
+            fleet = self.service.fleet
+            stopping = fleet._stopping or not fleet._running
+            self.wfile.write(_to_json({
+                "event": "bye",
+                "reason": "stopped" if stopping else "detached",
+            }))
+            self.wfile.flush()
+        except OSError:
+            pass  # the agent hung up; detach below requeues its item
+        finally:
+            handle.detach(requeue=True)
+            self.server.attach_channels.discard(threading.current_thread())
+        return None
+
+    def _worker_result(self, name):
+        """Accept one completed item from an attached remote worker."""
+        handle = self.service.fleet.remote_handle(name)
+        if handle is None:
+            return self._send_json(
+                404, {"error": "no attached remote worker %r" % name})
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            seq = int(payload["seq"])
+            error = payload.get("error")
+            result = None
+            if error is None:
+                result = dict(decode_payload(payload["payload"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            return self._send_json(400, {"error": str(exc)})
+        accepted = handle.complete(seq, result, error)
+        # A refused result is not an error: the worker was presumed dead
+        # and its item requeued — the agent should just pull on.
+        return self._send_json(200, {"worker": name, "seq": seq,
+                                     "accepted": bool(accepted)})
+
+
+def serve(service, host="127.0.0.1", port=0, heartbeat_s=10.0,
+          worker_ping_s=1.0):
     """Bind the HTTP front door; returns the (not yet serving) server.
 
     ``port=0`` picks a free port — read the real one back from
@@ -416,7 +621,9 @@ def serve(service, host="127.0.0.1", port=0, heartbeat_s=10.0):
     ``heartbeat_s`` is the keep-alive cadence of the row stream: a
     synthetic ``progress`` event is written whenever that many seconds
     pass without a real one, which doubles as the disconnect detector
-    for abandoned clients (``None`` disables both).
+    for abandoned clients (``None`` disables both).  ``worker_ping_s``
+    is the same for the remote-worker attach streams: the task-wait
+    granularity and the ping cadence that detects a hung-up agent.
     """
 
     class _FrontDoorServer(ThreadingHTTPServer):
@@ -431,19 +638,32 @@ def serve(service, host="127.0.0.1", port=0, heartbeat_s=10.0):
     server.service = service
     server.stream_heartbeat_s = (None if heartbeat_s is None
                                  else float(heartbeat_s))
+    server.worker_ping_s = float(worker_ping_s)
+    # Live attach-stream handler threads.  A clean daemon exit waits for
+    # this to empty: each handler leaves only after writing its ``bye``,
+    # which remote agents need to tell a graceful stop from a crash.
+    server.attach_channels = set()
     return server
 
 
 # ---------------------------------------------------------------------- #
 # Client helpers (used by the example, the CI smoke job and tests)
 # ---------------------------------------------------------------------- #
-def stream_request(base_url, request, timeout=300.0, detach=False):
+def stream_request(base_url, request, timeout=300.0, detach=False,
+                   retry=None):
     """POST a request to a running service; yield its parsed event stream.
 
     An error status (a saturated 429, a draining 503, a malformed 400)
     raises :class:`ServiceHTTPError` carrying the parsed JSON error body
     and any ``Retry-After`` value, instead of letting the raw
     ``urllib.error.HTTPError`` escape with the body unread.
+
+    ``retry`` (a :class:`RetryPolicy`) re-submits on the retryable
+    statuses — honouring the 429's ``Retry-After`` — until the stream
+    opens.  Only the submit is retried, never a stream that already
+    produced events: re-submitting *is* safe (identical requests
+    coalesce, stored batches replay), but splicing two event streams
+    would not be.
     """
     if isinstance(request, CharacterisationRequest):
         request = request.to_dict()
@@ -455,10 +675,14 @@ def stream_request(base_url, request, timeout=300.0, detach=False):
         data=json.dumps(request, default=_json_default).encode("utf-8"),
         headers={"Content-Type": "application/json"},
     )
-    try:
-        response = urllib.request.urlopen(http_request, timeout=timeout)
-    except urllib.error.HTTPError as exc:
-        _raise_service_http_error(exc)
+
+    def _open():
+        try:
+            return urllib.request.urlopen(http_request, timeout=timeout)
+        except urllib.error.HTTPError as exc:
+            _raise_service_http_error(exc)
+
+    response = _open() if retry is None else retry.call(_open)
     with response:
         for line in response:
             line = line.strip()
@@ -466,21 +690,31 @@ def stream_request(base_url, request, timeout=300.0, detach=False):
                 yield json.loads(line)
 
 
-def fetch_json(url, data=None, timeout=30.0):
+def fetch_json(url, data=None, timeout=30.0, retry=None):
     """GET (or POST, with ``data``) one JSON document from the service.
 
     POST bodies are labelled ``Content-Type: application/json``; an
     error status raises :class:`ServiceHTTPError` with the parsed body.
+    ``retry`` (a :class:`RetryPolicy`) retries the whole exchange on the
+    policy's retryable statuses (and, with its ``connect=True``, on
+    connection failures — e.g. polling a daemon that is still binding).
     """
     headers = {} if data is None else {"Content-Type": "application/json"}
     http_request = urllib.request.Request(
         url, data=None if data is None else json.dumps(data).encode("utf-8"),
         headers=headers)
-    try:
-        with urllib.request.urlopen(http_request, timeout=timeout) as response:
-            return json.loads(response.read())
-    except urllib.error.HTTPError as exc:
-        _raise_service_http_error(exc)
+
+    def _once():
+        try:
+            with urllib.request.urlopen(http_request,
+                                        timeout=timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            _raise_service_http_error(exc)
+
+    if retry is None:
+        return _once()
+    return retry.call(_once)
 
 
 def cancel_request(base_url, request_key, timeout=30.0):

@@ -17,7 +17,13 @@ cheapest source that has it:
 3. **in-flight work merging** — a batch another request is already
    simulating is *subscribed to*, not re-enqueued: overlapping requests'
    miss-sets merge at ``(namespace, point, batch index)`` granularity;
-4. **the worker fleet** — only genuinely novel batches are enqueued, one
+4. **another replica's in-flight work** — with a
+   :class:`~repro.service.cluster.LeaseManager` configured, a batch
+   whose lease another replica holds is *parked*: this broker polls the
+   shared store for the winner's appended result instead of simulating
+   it too, and reclaims the lease (then simulates locally) if the
+   winner crashes and its lease goes stale;
+5. **the worker fleet** — only genuinely novel batches are enqueued, one
    work item per batch, ordered by ``(priority, deadline, arrival)`` so a
    huge low-priority sweep cannot head-of-line-block a small urgent one.
 
@@ -185,6 +191,7 @@ class RequestTicket:
         self.cached_batches = 0
         self.simulated_batches = 0
         self.shared_batches = 0
+        self.leased_batches = 0
         self.first_row_at = None
         self.finished_at = None
         self.failure = None
@@ -196,7 +203,7 @@ class RequestTicket:
         self._subscribers = []
         self._emitted = set()      # point indices already streamed
         self._per_point = {state.point.index: {"cached": 0, "simulated": 0,
-                                               "shared": 0}
+                                               "shared": 0, "leased": 0}
                            for state in trajectory.states}
 
     # ------------------------------------------------------------------ #
@@ -347,6 +354,7 @@ class RequestTicket:
             "batches_cached": self.cached_batches,
             "batches_simulated": self.simulated_batches,
             "batches_shared": self.shared_batches,
+            "batches_leased": self.leased_batches,
             "budget_left": self.trajectory.budget_left,
             "coalesced_submissions": self.coalesced,
             "stop_reasons": reasons,
@@ -410,10 +418,21 @@ class CharacterisationBroker:
         Optional :class:`ClientQuota` (or ``(packets_per_s,
         burst_packets)`` tuple) enforced per ``request.client_id`` at
         admission.
+    leases:
+        Optional :class:`~repro.service.cluster.LeaseManager` enabling
+        cross-replica dedup.  A store-miss batch is only dispatched
+        after its lease is acquired; one whose lease another replica
+        holds is parked and answered from the store when the winner's
+        result lands (polled from :meth:`pump`, throttled by
+        ``lease_poll_s``).  Leases are advisory — losing every race
+        costs duplicate work, never wrong rows.
+    lease_poll_s:
+        Seconds between store polls for lease-parked batches.
     """
 
     def __init__(self, store, fleet, runner=None, max_inflight_batches=None,
-                 max_requests=None, quota=None):
+                 max_requests=None, quota=None, leases=None,
+                 lease_poll_s=0.25):
         if max_inflight_batches is not None and max_inflight_batches < 1:
             raise ValueError("max_inflight_batches must be positive or None")
         if max_requests is not None and max_requests < 1:
@@ -427,6 +446,8 @@ class CharacterisationBroker:
             None if max_inflight_batches is None else int(max_inflight_batches)
         self.max_requests = None if max_requests is None else int(max_requests)
         self.quota = quota
+        self.leases = leases
+        self.lease_poll_s = float(lease_poll_s)
         self.admission_open = True
         self._lock = threading.RLock()
         self._tickets = {}        # request_key -> in-flight ticket
@@ -436,6 +457,8 @@ class CharacterisationBroker:
         self._group_of = {}       # member work key -> its group key
         self._buckets = {}        # client_id -> _TokenBucket
         self._dispatched_at = {}  # fleet item key -> dispatch timestamp
+        self._lease_waits = {}    # work key -> [(ticket, batch), ...]
+        self._lease_poll_at = 0.0
         self._item_seconds = None  # EWMA of fleet item wall-clock
         self._group_seq = 0
         self._ticket_seq = 0
@@ -444,6 +467,9 @@ class CharacterisationBroker:
         self.cached_batches = 0      # batches answered from the store
         self.shared_batches = 0      # batches answered by in-flight merge
         self.released_batches = 0    # queued batches withdrawn by cancel
+        self.lease_waited_batches = 0     # batches parked on a peer's lease
+        self.lease_answered_batches = 0   # parked batches answered by peers
+        self.lease_reclaimed_batches = 0  # parked batches simulated locally
         self.completed_requests = 0
         self.failed_requests = 0
         self.cancelled_requests = 0
@@ -552,14 +578,24 @@ class CharacterisationBroker:
         """
         per_item = self._item_seconds if self._item_seconds else 1.0
         backlog = max(1, len(self._inflight_work))
-        return max(1.0, per_item * backlog / max(1, self.fleet.workers))
+        width = max(1, getattr(self.fleet, "capacity", self.fleet.workers))
+        return max(1.0, per_item * backlog / width)
 
     def pump(self, timeout=0.0):
-        """Fold completed fleet items back in; count of items processed."""
+        """Fold completed fleet items back in; count of items processed.
+
+        With leases enabled this also services the cross-replica side:
+        held leases are refreshed (so they never go stale under a live
+        replica) and lease-parked batches are advanced — answered from
+        the store once the winning replica's result lands, or reclaimed
+        and simulated locally if the winner's lease expired.
+        """
         results = self.fleet.poll(timeout)
         with self._lock:
             for work_key, result in results:
                 self._on_result(work_key, result)
+            if self.leases is not None:
+                self._poll_leases()
         return len(results)
 
     def cancel(self, request_key, reason="cancelled by client"):
@@ -602,6 +638,15 @@ class CharacterisationBroker:
                 # already executing must still land in the store when it
                 # returns (see _deliver) — only its delivery is orphaned.
                 self._inflight_work[work_key] = remaining
+        # Lease-parked batches cost nothing to abandon: drop the ticket's
+        # entries; a key with no waiters left stops being polled.  (The
+        # lease belongs to the *other* replica — nothing to release.)
+        for work_key, waiters in list(self._lease_waits.items()):
+            remaining = [entry for entry in waiters if entry[0] is not ticket]
+            if remaining:
+                self._lease_waits[work_key] = remaining
+            else:
+                self._lease_waits.pop(work_key, None)
         # Withdraw queued single-batch items nobody subscribes to anymore.
         for work_key, subscribers in list(self._inflight_work.items()):
             if subscribers or work_key in self._group_of:
@@ -609,6 +654,7 @@ class CharacterisationBroker:
             if self.fleet.cancel(work_key):
                 self._inflight_work.pop(work_key, None)
                 self._dispatched_at.pop(work_key, None)
+                self._release_lease(work_key)
                 self.released_batches += 1
         # A fused group is one fleet item carrying many batches: it can
         # only be withdrawn when every member lost its last subscriber.
@@ -620,6 +666,7 @@ class CharacterisationBroker:
             for work_key, _batch in members:
                 self._inflight_work.pop(work_key, None)
                 self._group_of.pop(work_key, None)
+                self._release_lease(work_key)
                 self.released_batches += 1
             self._group_members.pop(group_key, None)
             self._dispatched_at.pop(group_key, None)
@@ -666,6 +713,9 @@ class CharacterisationBroker:
             self._group_members = {}
             self._group_of = {}
             self._dispatched_at = {}
+            self._lease_waits = {}
+            if self.leases is not None:
+                self.leases.release_all()
 
     # ------------------------------------------------------------------ #
     def _advance(self, ticket):
@@ -703,15 +753,17 @@ class CharacterisationBroker:
     def _dispatch_pending(self, ticket, pending):
         """Route a round's store-miss batches to the fleet.
 
-        In-flight duplicates are subscribed to first; the genuinely fresh
-        remainder is fused by :func:`~repro.analysis.fused.plan_fused_round`
-        (when the ticket runs the built-in link runner) so a round's
-        same-shape batches cost one tensor pass instead of one dispatch
-        each.  Fusion never changes what a batch's result *is* — each
-        member still lands in the store and in every subscriber under its
-        own work key — only how many fleet items carry it.
+        In-flight duplicates are subscribed to first; with leases
+        enabled, batches whose lease another replica holds are parked
+        for store polling next.  The genuinely fresh remainder is fused
+        by :func:`~repro.analysis.fused.plan_fused_round` (when the
+        ticket runs the built-in link runner) so a round's same-shape
+        batches cost one tensor pass instead of one dispatch each.
+        Fusion never changes what a batch's result *is* — each member
+        still lands in the store and in every subscriber under its own
+        work key — only how many fleet items carry it.
         """
-        fresh = []
+        fresh, answered = [], []
         for batch in pending:
             work_key = (ticket.digest, batch_store_key(batch), batch.index,
                         batch.num_packets)
@@ -732,8 +784,35 @@ class CharacterisationBroker:
                     (ticket.request.priority, ticket.deadline_at,
                      ticket.seq, self._item_seq))
                 continue
+            if self.leases is not None:
+                waiters = self._lease_waits.get(work_key)
+                if waiters is None and not self.leases.acquire(
+                        work_key[0], work_key[1], work_key[2]):
+                    # Another replica holds this batch's lease: park it
+                    # and poll the shared store for the winner's result
+                    # instead of simulating it a second time.
+                    waiters = self._lease_waits[work_key] = []
+                if waiters is not None:
+                    waiters.append((ticket, batch))
+                    ticket._note(batch, "leased")
+                    self.lease_waited_batches += 1
+                    continue
+                # We won the lease — but the previous holder may have
+                # appended its result and released between our round's
+                # store check and the acquire.  Probe once more before
+                # paying for a simulation (the same double-check
+                # ``_poll_leases`` performs when a parked lease frees).
+                cached = self._views[ticket.digest].peek(
+                    work_key[1], work_key[2], work_key[3])
+                if cached is not None:
+                    self._release_lease(work_key)
+                    ticket._note(batch, "cached")
+                    self.cached_batches += 1
+                    answered.append((ticket, batch, cached))
+                    continue
             fresh.append((work_key, batch))
         if not fresh:
+            self._fold_answered(answered)
             return
         groups, singles = [], [batch for _, batch in fresh]
         if ticket.runner is run_link_ber_batch:
@@ -771,6 +850,17 @@ class CharacterisationBroker:
                           ticket.seq, self._item_seq),
             )
             self._dispatched_at[group_key] = time.time()
+        self._fold_answered(answered)
+
+    def _fold_answered(self, answered):
+        """Fold results that a freshly-won lease found already stored.
+
+        Deferred until after the round's fleet submissions: folding the
+        round's last outstanding batch re-enters :meth:`_advance`, which
+        must not happen while sibling batches are still being routed.
+        """
+        for ticket, batch, result in answered:
+            self._fold([(ticket, batch)], result)
 
     def _on_result(self, work_key, result):
         started = self._dispatched_at.pop(work_key, None)
@@ -817,6 +907,20 @@ class CharacterisationBroker:
                     "could not persist batch %r of namespace %s; serving it "
                     "uncached", (point_key, batch_index), digest[:16],
                     exc_info=True)
+        # Release the batch's cross-replica lease only *after* the store
+        # put: a waiting replica that sees the lease free re-checks the
+        # store and finds the result.  (An error result is never
+        # persisted, so releasing hands the batch to the waiter, which
+        # re-simulates and hits the same deterministic error.)
+        self._release_lease(work_key)
+        self._fold(subscribers, result)
+
+    def _release_lease(self, work_key):
+        if self.leases is not None:
+            self.leases.release(work_key[0], work_key[1], work_key[2])
+
+    def _fold(self, subscribers, result):
+        """Fold one batch result into every subscribed ticket (lock held)."""
         for ticket, batch in subscribers:
             if ticket.done.is_set():
                 continue
@@ -835,6 +939,57 @@ class CharacterisationBroker:
                              % (batch.label(), exc))
                 self._tickets.pop(ticket.key, None)
                 self.failed_requests += 1
+
+    def _poll_leases(self, now=None):
+        """Advance lease-parked batches (lock held; throttled).
+
+        For every parked work key, in order: (1) probe the store — the
+        winning replica releases its lease only after its result is
+        appended, so a hit answers every waiter; (2) otherwise try to
+        take the lease — success means the previous holder crashed,
+        cancelled, or hit an error (error results are never persisted),
+        so after one more store check the batch is dispatched locally.
+        A still-held lease leaves the batch parked for the next poll.
+        """
+        now = time.monotonic() if now is None else now
+        if now - self._lease_poll_at < self.lease_poll_s:
+            return
+        self._lease_poll_at = now
+        self.leases.refresh()
+        for work_key, subscribers in list(self._lease_waits.items()):
+            digest, point_key, batch_index, num_packets = work_key
+            view = self._views.get(digest)
+            subscribers = [entry for entry in subscribers
+                           if not entry[0].done.is_set()]
+            if view is None or not subscribers:
+                self._lease_waits.pop(work_key, None)
+                continue
+            result = view.peek(point_key, batch_index, num_packets)
+            if result is None and self.leases.acquire(digest, point_key,
+                                                      batch_index):
+                # The lease came free with no result: re-check the store
+                # once (the winner may have appended and released between
+                # our peek and the acquire) before simulating ourselves.
+                result = view.peek(point_key, batch_index, num_packets)
+                if result is None:
+                    self._lease_waits.pop(work_key, None)
+                    self._inflight_work[work_key] = subscribers
+                    ticket, batch = subscribers[0]
+                    self._item_seq += 1
+                    self.simulated_batches += 1
+                    self.lease_reclaimed_batches += 1
+                    self.fleet.submit(
+                        work_key, ticket.runner, batch,
+                        priority=(ticket.request.priority, ticket.deadline_at,
+                                  ticket.seq, self._item_seq),
+                    )
+                    self._dispatched_at[work_key] = time.time()
+                    continue
+                self._release_lease(work_key)
+            if result is not None:
+                self._lease_waits.pop(work_key, None)
+                self.lease_answered_batches += len(subscribers)
+                self._fold(subscribers, result)
 
     # ------------------------------------------------------------------ #
     @property
@@ -856,6 +1011,7 @@ class CharacterisationBroker:
                 "cancelled_requests": self.cancelled_requests,
                 "simulated_batches": self.simulated_batches,
                 "inflight_batches": len(self._inflight_work),
+                "lease_waiting_batches": len(self._lease_waits),
                 "admission_open": self.admission_open,
                 "rejected_saturated": self.rejected_saturated,
                 "rejected_quota": self.rejected_quota,
@@ -868,11 +1024,13 @@ class CharacterisationBroker:
 
         Everything the system already tracks, in one place: admission
         state and caps, the request lifecycle counters, the batch-source
-        ledger (cached / simulated / shared / released), the fleet's
-        queue and worker health (including per-worker heartbeat ages and
-        retry counts), and per-namespace store statistics.  Served by
-        ``GET /v1/metrics``; keys are append-only across PRs so scrapers
-        can rely on them.
+        ledger (cached / simulated / shared / released / leased), the
+        fleet's queue and worker health (including per-worker heartbeat
+        ages and retry counts), per-namespace store statistics, and the
+        ``cluster`` ledger — attached remote workers and cross-replica
+        lease counters, present with a stable shape even when the
+        replica runs standalone.  Served by ``GET /v1/metrics``; keys
+        are append-only across PRs so scrapers can rely on them.
         """
         with self._lock:
             now = time.monotonic()
@@ -917,10 +1075,33 @@ class CharacterisationBroker:
                     "cached": self.cached_batches,
                     "shared": self.shared_batches,
                     "released": self.released_batches,
+                    "leased": self.lease_waited_batches,
                 },
                 "fleet": self.fleet.stats(),
                 "stores": stores,
+                "cluster": self._cluster_metrics(),
             }
+
+    def _cluster_metrics(self):
+        """The ``cluster`` metrics section (lock held); stable shape."""
+        lease_stats = {"owner": None, "ttl_s": None, "held": 0,
+                       "acquired": 0, "contended": 0, "reclaimed_stale": 0,
+                       "released": 0, "lost": 0}
+        if self.leases is not None:
+            lease_stats.update(self.leases.stats())
+        lease_stats.update({
+            "enabled": self.leases is not None,
+            "waiting": len(self._lease_waits),
+            "waited": self.lease_waited_batches,
+            "answered": self.lease_answered_batches,
+            "reclaimed": self.lease_reclaimed_batches,
+        })
+        remote = self.fleet.remote_stats() if hasattr(
+            self.fleet, "remote_stats") else {
+                "attached": {}, "attached_total": 0, "detached_total": 0,
+                "completed": 0, "requeued": 0}
+        return {"replica": lease_stats["owner"], "remote_workers": remote,
+                "leases": lease_stats}
 
     def __repr__(self):
         return ("CharacterisationBroker(in_flight=%d, completed=%d, "

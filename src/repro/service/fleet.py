@@ -24,15 +24,32 @@ interleave in a single priority queue.
     post heartbeats on a side channel; :meth:`heartbeats` reports each
     worker's last-seen age.
 
+Remote workers
+--------------
+Either backend can additionally be fed by **remote workers**: agents on
+other hosts that attach over the service's HTTP boundary (``python -m
+repro.service.worker --connect URL``; see :mod:`repro.service.worker`).
+:meth:`WorkerFleet.register_remote` hands the front door a
+:class:`RemoteWorkerHandle` that pulls items from the *same* priority
+heap local workers drain — so priorities, promotion and queued-item
+cancellation need no remote-specific code at all — under the process
+backend's depth-1 discipline: one outstanding item per worker, so the
+parent always knows exactly what a dead worker held.  A remote worker
+that stops heartbeating, breaks its stream or detaches mid-item has its
+item requeued through the same ``max_retries`` path as a dead process
+worker; a stale result arriving after requeue is refused (the item may
+already be re-executing elsewhere).
+
 Determinism
 -----------
 A work item is ``(runner, batch)`` and the batch carries its own derived
-:class:`~numpy.random.SeedSequence` — *which worker* runs it, in what
-order, or on the how-many-th retry is invisible in the result, the same
-invariance the executor backends guarantee.  A runner *exception* is
-deterministic, so it is never retried: it comes back as a captured
-``{"error": ...}`` result in the executor's vocabulary.  Only worker
-death triggers a retry.
+:class:`~numpy.random.SeedSequence` — *which worker* runs it (local
+thread, child process or remote host), in what order, or on the
+how-many-th retry is invisible in the result, the same invariance the
+executor backends guarantee.  A runner *exception* is deterministic, so
+it is never retried: it comes back as a captured ``{"error": ...}``
+result in the executor's vocabulary.  Only worker death triggers a
+retry.
 """
 
 import heapq
@@ -46,7 +63,7 @@ import traceback
 from repro.service.transport import (DEFAULT_RING_BYTES, attach_channel,
                                      create_channel)
 
-__all__ = ["FleetError", "WorkerFleet"]
+__all__ = ["FleetError", "RemoteWorkerHandle", "WorkerFleet"]
 
 
 class FleetError(RuntimeError):
@@ -128,6 +145,165 @@ class _Item:
         self.priority = priority
         self.attempts = 0
         self.delivered = False
+
+
+class RemoteWorkerHandle:
+    """The fleet-side end of one attached remote worker.
+
+    Owned by whoever speaks to the remote agent — in the assembled
+    service, the HTTP handler thread of its ``POST /v1/workers/attach``
+    stream.  The protocol is depth-1, mirroring the process backend:
+
+    * :meth:`next_task` pops the next priority-ordered item (blocking up
+      to a timeout) and records it as this worker's outstanding item; it
+      refuses to pop while one is outstanding, instead waiting for its
+      completion.
+    * :meth:`complete` resolves the outstanding item with the agent's
+      result; a stale ``seq`` (the item was requeued after this worker
+      was presumed dead) is refused so one item can never resolve twice
+      with contradictory results.
+    * :meth:`beat` keeps the worker alive in the fleet's heartbeat table
+      while a long batch executes remotely.
+    * :meth:`detach` withdraws the worker; an outstanding item is
+      requeued (up to the fleet's ``max_retries``, then failed), exactly
+      like a dead process worker's.
+    """
+
+    def __init__(self, fleet, name):
+        self._fleet = fleet
+        self.name = name
+        self.detached = False
+        self.attached_at = time.time()
+        self.last_beat = time.monotonic()
+        self.completed = 0
+        self._item = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self):
+        """Whether the worker should keep pulling (fleet up, not detached)."""
+        fleet = self._fleet
+        return not self.detached and fleet._running and not fleet._stopping
+
+    @property
+    def executing(self):
+        """Whether an item is outstanding on this worker."""
+        return self._item is not None
+
+    def idle_s(self, now=None):
+        """Seconds since this worker was last heard from."""
+        now = time.monotonic() if now is None else now
+        return now - self.last_beat
+
+    def overdue(self, timeout_s, now=None):
+        """Whether an outstanding item's worker has gone silent too long."""
+        return self._item is not None and self.idle_s(now) > timeout_s
+
+    # ------------------------------------------------------------------ #
+    def next_task(self, timeout=1.0):
+        """The next work item for this worker, or ``None`` on timeout.
+
+        Blocks up to ``timeout`` seconds.  While an item is outstanding
+        this never pops another (depth-1); it waits for the completion
+        instead, so a ``None`` doubles as the caller's cue to send a
+        keep-alive and run its watchdog check.  Returns ``None``
+        immediately once the worker is detached or the fleet stops.
+        """
+        fleet = self._fleet
+        deadline = time.monotonic() + max(0.0, timeout)
+        with fleet._lock:
+            while True:
+                if not self.active:
+                    return None
+                if self._item is None:
+                    item = fleet._pop_queued()
+                    if item is not None:
+                        self._item = item
+                        fleet._inflight[item.seq] = item
+                        item.attempts += 1
+                        self.last_beat = time.monotonic()
+                        fleet._heartbeat[self.name] = time.time()
+                        return item
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                fleet._lock.wait(remaining)
+
+    def complete(self, seq, result, error=None):
+        """Resolve the outstanding item; ``False`` when ``seq`` is stale."""
+        fleet = self._fleet
+        with fleet._lock:
+            item = self._item
+            if self.detached or item is None or item.seq != seq:
+                return False
+            self._item = None
+            fleet._inflight.pop(item.seq, None)
+            self.completed += 1
+            fleet.remote_completed += 1
+            self.last_beat = time.monotonic()
+            fleet._heartbeat[self.name] = time.time()
+            fleet._finish(item, result, error)
+            fleet._lock.notify_all()
+            return True
+
+    def beat(self):
+        """Record a liveness signal; ``False`` once detached."""
+        fleet = self._fleet
+        with fleet._lock:
+            if self.detached:
+                return False
+            self.last_beat = time.monotonic()
+            fleet._heartbeat[self.name] = time.time()
+            return True
+
+    def detach(self, requeue=True):
+        """Withdraw this worker; requeue (or fail) its outstanding item.
+
+        Idempotent.  With ``requeue`` (the death/disconnect path) the
+        outstanding item goes back on the heap at its own priority, its
+        attempt counted against the fleet's ``max_retries`` exactly like
+        a dead process worker's; past the cap it is failed with an error
+        result.  ``requeue=False`` fails the item outright (an explicit
+        operator eviction, where re-running is not wanted).
+        """
+        fleet = self._fleet
+        with fleet._lock:
+            if self.detached:
+                return False
+            self.detached = True
+            if fleet._remote.get(self.name) is self:
+                fleet._remote.pop(self.name, None)
+                fleet._heartbeat.pop(self.name, None)
+            fleet.remote_detached += 1
+            item, self._item = self._item, None
+            if item is not None:
+                fleet._inflight.pop(item.seq, None)
+                if item.delivered:
+                    pass  # already resolved (e.g. fleet stop failed it)
+                elif fleet._stopping or not fleet._running:
+                    # Requeueing onto a stopping fleet would strand the
+                    # item: nothing will ever drain the heap again.
+                    fleet._finish(item, None, "fleet stopped")
+                elif not requeue or item.attempts > fleet.max_retries:
+                    fleet._finish(
+                        item, None,
+                        "remote worker %s detached running %s "
+                        "(%d attempt(s))%s"
+                        % (self.name, item.batch.label(), item.attempts,
+                           "" if requeue else "; not requeued"))
+                else:
+                    fleet.retried += 1
+                    fleet.remote_requeued += 1
+                    heapq.heappush(fleet._heap,
+                                   (item.priority, item.seq, item))
+                    fleet._queued[item.item_id] = item
+            fleet._lock.notify_all()
+            return True
+
+    def __repr__(self):
+        return ("RemoteWorkerHandle(%r, executing=%r, completed=%d, "
+                "detached=%r)" % (self.name, self.executing, self.completed,
+                                  self.detached))
 
 
 class WorkerFleet:
@@ -216,6 +392,12 @@ class WorkerFleet:
         self._idle = set()
         self._pump_threads = []
         self._worker_ids = itertools.count()
+        # remote workers (either backend)
+        self._remote = {}          # worker name -> RemoteWorkerHandle
+        self.remote_attached = 0
+        self.remote_detached = 0
+        self.remote_completed = 0
+        self.remote_requeued = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -279,6 +461,11 @@ class WorkerFleet:
                 channel.close()
             self._procs = {}
             self._channels = {}
+        for handle in list(self._remote.values()):
+            # Their attach streams notice _stopping and exit on their own;
+            # detaching here makes the outstanding items' fate immediate
+            # rather than waiting on a handler thread's next wake-up.
+            handle.detach(requeue=False)
         with self._lock:
             leftovers = list(self._inflight.values())
             self._inflight = {}
@@ -368,6 +555,83 @@ class WorkerFleet:
             return item
         return None
 
+    # ------------------------------------------------------------------ #
+    # Remote workers
+    # ------------------------------------------------------------------ #
+    def register_remote(self, name=None):
+        """Attach a remote worker; its :class:`RemoteWorkerHandle`.
+
+        ``name`` identifies the worker across reconnects: an agent
+        re-attaching under a name that is still registered (its previous
+        stream broke before the fleet noticed) evicts the old handle —
+        latest attach wins, and the old handle's outstanding item is
+        requeued through the normal retry path.
+        """
+        with self._lock:
+            if not self._running or self._stopping:
+                raise FleetError("fleet is not running; start() it first")
+            name = str(name) if name else "remote-%d" % next(self._worker_ids)
+            stale = self._remote.get(name)
+        if stale is not None:
+            stale.detach(requeue=True)
+        with self._lock:
+            if not self._running or self._stopping:
+                raise FleetError("fleet is not running; start() it first")
+            handle = RemoteWorkerHandle(self, name)
+            self._remote[name] = handle
+            self._heartbeat[name] = time.time()
+            self.remote_attached += 1
+            return handle
+
+    def remote_handle(self, name):
+        """The live handle registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._remote.get(name)
+
+    def remote_stats(self):
+        """The remote-worker ledger for the ``/v1/metrics`` document."""
+        now = time.monotonic()
+        with self._lock:
+            workers = {
+                handle.name: {
+                    "alive": True,
+                    "last_seen_s": round(handle.idle_s(now), 3),
+                    "executing": handle.executing,
+                    "completed": handle.completed,
+                }
+                for handle in sorted(self._remote.values(),
+                                     key=lambda h: h.name)
+            }
+            return {
+                "attached": workers,
+                "attached_total": self.remote_attached,
+                "detached_total": self.remote_detached,
+                "completed": self.remote_completed,
+                "requeued": self.remote_requeued,
+            }
+
+    @property
+    def capacity(self):
+        """Workers that can hold an item at once: local plus remote."""
+        return self.workers + len(self._remote)
+
+    def reap_overdue_remotes(self, timeout_s):
+        """Detach remote workers silent too long with an item outstanding.
+
+        The attach stream's ping writes catch a cleanly-broken
+        connection; this watchdog (run from the service pump) catches
+        the rest — a worker whose host froze or vanished without
+        resetting the TCP stream.  Detaching requeues the held item
+        through the normal retry path.  Returns how many were reaped.
+        """
+        now = time.monotonic()
+        with self._lock:
+            overdue = [handle for handle in self._remote.values()
+                       if handle.overdue(timeout_s, now)]
+        for handle in overdue:
+            handle.detach(requeue=True)
+        return len(overdue)
+
     def poll(self, timeout=0.0):
         """Completed ``(item_id, result)`` pairs, oldest first.
 
@@ -409,6 +673,9 @@ class WorkerFleet:
             "executing": len(self._inflight),
             "retried": self.retried,
             "workers_restarted": self.restarted,
+            "remote_workers": len(self._remote),
+            "remote_completed": self.remote_completed,
+            "remote_requeued": self.remote_requeued,
         }
 
     def _finish(self, item, result, error):

@@ -34,6 +34,7 @@ in-band pickle), so oversized payloads degrade to the old copying path
 instead of failing.
 """
 
+import base64
 import pickle
 
 try:
@@ -42,7 +43,8 @@ except ImportError:  # pragma: no cover - ancient/embedded pythons
     _shared_memory = None
 
 __all__ = ["DEFAULT_RING_BYTES", "ShmRing", "ShmChannel", "PipeChannel",
-           "create_channel", "attach_channel"]
+           "create_channel", "attach_channel", "encode_payload",
+           "decode_payload"]
 
 #: Per-direction ring capacity.  4 MiB holds the largest fused-group
 #: payload the default workloads produce with room to spare; bigger
@@ -213,6 +215,28 @@ class PipeChannel:
 
     def __repr__(self):
         return "PipeChannel(%r)" % (self.conn,)
+
+
+def encode_payload(obj):
+    """Pickle ``obj`` into a JSON-safe base64 string.
+
+    The wire format of the remote-worker work channel
+    (:mod:`repro.service.worker`): work items are already picklable
+    ``(runner, batch)`` pairs — the exact objects the process fleet
+    ships over its pipes — so the HTTP boundary reuses the same
+    serialisation, wrapped in base64 so it rides a JSON line.
+
+    Trust model: unpickling executes arbitrary code, exactly like the
+    process fleet's pipes.  A worker agent must only ever connect to a
+    service it trusts (the daemon binds localhost by default; a
+    cross-host deployment is expected to sit on a private network).
+    """
+    return base64.b64encode(pickle.dumps(obj, protocol=5)).decode("ascii")
+
+
+def decode_payload(text):
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
 
 
 def create_channel(conn, size=DEFAULT_RING_BYTES):

@@ -77,6 +77,20 @@ class TestStoreView:
         with pytest.raises(StoreError, match="8 packets"):
             view.get(POINT_A, 0, 4)
 
+    def test_peek_never_counts_a_miss_and_sees_peer_appends(self, tmp_path):
+        # The lease-poller's probe: absent batches cost no miss (a
+        # waiting replica polls every fraction of a second), hits count
+        # normally, and a result appended by *another* view of the same
+        # file is visible without constructing a fresh view.
+        view = self.view(tmp_path)
+        for _ in range(10):
+            assert view.peek(POINT_A, 0, 8) is None
+        assert (view.hits, view.misses) == (0, 0)
+        peer = self.view(tmp_path)
+        peer.put(POINT_A, 0, 8, {"errors": 3, "trials": 4800})
+        assert view.peek(POINT_A, 0, 8) == {"errors": 3, "trials": 4800}
+        assert (view.hits, view.misses) == (1, 0)
+
     def test_unstorable_values_are_rejected_naming_the_key(self, tmp_path):
         view = self.view(tmp_path)
         with pytest.raises(StoreError, match="'measurement'"):

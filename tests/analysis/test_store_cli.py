@@ -126,6 +126,86 @@ class TestCli:
         assert "removed 1 namespace(s)" in text
         assert store.digests() == [kept.store_digest()]
 
+    def _age(self, store, digest, days):
+        """Back-date a namespace's usage sidecar by ``days``."""
+        sidecar = store.view(digest).path + STATS_SUFFIX
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            json.dump({"last_used": time.time() - days * 86400, "uses": 1},
+                      handle)
+
+    def _store_bytes(self, store):
+        return sum(os.path.getsize(store.view(digest).path)
+                   for digest in store.digests())
+
+    def test_gc_max_bytes_evicts_the_coldest_namespace_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_experiment(store, packet_bits=600).store_digest()
+        warm = run_experiment(store, packet_bits=504).store_digest()
+        self._age(store, cold, days=10)
+        self._age(store, warm, days=1)
+        # One byte over budget: exactly one namespace must go — the
+        # least-recently-used one, not the biggest or the first listed.
+        budget = self._store_bytes(store) - 1
+        code, text = cli("gc", str(tmp_path), "--max-bytes", str(budget))
+        assert code == 0
+        assert "removed %s" % cold in text
+        assert "removed 1 namespace(s)" in text
+        assert store.digests() == [warm]
+
+    def test_gc_max_bytes_zero_evicts_everything_lru_order(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_experiment(store, packet_bits=600).store_digest()
+        warm = run_experiment(store, packet_bits=504).store_digest()
+        self._age(store, cold, days=10)
+        self._age(store, warm, days=1)
+        code, text = cli("gc", str(tmp_path), "--max-bytes", "0")
+        assert code == 0
+        assert "removed 2 namespace(s)" in text
+        assert text.index(cold) < text.index(warm)  # coldest first
+        assert store.digests() == []
+
+    def test_gc_max_bytes_within_budget_removes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store)
+        code, text = cli("gc", str(tmp_path), "--max-bytes",
+                         str(self._store_bytes(store)))
+        assert code == 0
+        assert "removed 0 namespace(s), 0 bytes" in text
+        assert len(store.digests()) == 1
+
+    def test_gc_max_bytes_dry_run_previews_without_deleting(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(store)
+        digest = store.digests()[0]
+        size = self._store_bytes(store)
+        code, text = cli("gc", str(tmp_path), "--max-bytes", "0",
+                         "--dry-run")
+        assert code == 0
+        assert "would remove %s" % digest in text
+        assert "would remove 1 namespace(s), %d bytes" % size in text
+        assert store.digests() == [digest]
+
+    def test_gc_max_bytes_composes_with_filters(self, tmp_path):
+        # --scenario picks its victims first; the byte budget then prunes
+        # the LRU tail of whatever survived the filters.
+        store = ResultStore(tmp_path)
+        cold = run_experiment(store, packet_bits=600).store_digest()
+        warm = run_experiment(store, packet_bits=504).store_digest()
+        doomed = run_experiment(store, packet_bits=1704)
+        self._age(store, cold, days=10)
+        self._age(store, warm, days=1)
+        self._age(store, doomed.store_digest(), days=0)
+        survivor_bytes = (self._store_bytes(store)
+                          - os.path.getsize(
+                              store.view(doomed.store_digest()).path))
+        code, text = cli(
+            "gc", str(tmp_path),
+            "--scenario", doomed.scenario.content_hash()[:12],
+            "--max-bytes", str(survivor_bytes - 1))
+        assert code == 0
+        assert "removed 2 namespace(s)" in text
+        assert store.digests() == [warm]
+
 
 class TestTruncationWarning:
     def corrupt(self, store, digest):

@@ -14,8 +14,9 @@ from repro.analysis.adaptive import StopRule, run_link_ber_batch
 from repro.analysis.scenario import Scenario
 from repro.analysis.store import ResultStore
 from repro.analysis.sweep import SweepExecutor
-from repro.service.api import (Service, ServiceHTTPError, cancel_request,
-                               fetch_json, serve, stream_request)
+from repro.service.api import (RetryPolicy, Service, ServiceHTTPError,
+                               cancel_request, fetch_json, serve,
+                               stream_request)
 from repro.service.broker import ServiceError
 from repro.service.requests import CharacterisationRequest
 
@@ -423,9 +424,11 @@ class TestHTTPHardening:
 
 class _CaptureHandler(BaseHTTPRequestHandler):
     """Scripted peer for the client helpers: records requests, replies
-    with a canned 429 on ``/err`` and 200 elsewhere."""
+    with a canned 429 on ``/err``, a 429-then-200 script on ``/flaky``
+    and 200 elsewhere."""
 
     captured = []
+    flaky_failures = 0
 
     def log_message(self, fmt, *args):
         pass
@@ -435,7 +438,12 @@ class _CaptureHandler(BaseHTTPRequestHandler):
         type(self).captured.append(
             (self.path, self.headers.get("Content-Type"),
              self.rfile.read(length)))
-        if self.path.startswith("/err"):
+        saturated = self.path.startswith("/err")
+        if self.path.startswith("/flaky"):
+            if type(self).flaky_failures > 0:
+                type(self).flaky_failures -= 1
+                saturated = True
+        if saturated:
             body = json.dumps({"error": "service saturated: go away",
                                "retry_after_s": 7.0}).encode()
             self.send_response(429)
@@ -449,19 +457,21 @@ class _CaptureHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
 
-class TestClientHelpers:
-    @pytest.fixture()
-    def capture_url(self):
-        _CaptureHandler.captured = []
-        server = ThreadingHTTPServer(("127.0.0.1", 0), _CaptureHandler)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        host, port = server.server_address[:2]
-        yield "http://%s:%d" % (host, port)
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=10)
+@pytest.fixture()
+def capture_url():
+    _CaptureHandler.captured = []
+    _CaptureHandler.flaky_failures = 0
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _CaptureHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield "http://%s:%d" % (host, port)
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
 
+
+class TestClientHelpers:
     def test_fetch_json_posts_with_content_type(self, capture_url):
         assert fetch_json(capture_url + "/ok", data={"x": 1}) == {"ok": True}
         path, content_type, body = _CaptureHandler.captured[-1]
@@ -481,3 +491,97 @@ class TestClientHelpers:
         with pytest.raises(ServiceHTTPError) as excinfo:
             list(stream_request(capture_url + "/err", request()))
         assert excinfo.value.status == 429
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_delay_doubles_caps_and_honours_retry_after(self):
+        policy = RetryPolicy(base_s=1.0, max_s=4.0, jitter=0.0)
+        assert policy.delay_s(0) == 1.0
+        assert policy.delay_s(1) == 2.0
+        assert policy.delay_s(5) == 4.0  # capped
+        # The server's Retry-After floors the wait — never less.
+        assert policy.delay_s(0, retry_after_s=7.0) == 7.0
+        assert policy.delay_s(5, retry_after_s=2.0) == 4.0
+
+    def test_delay_jitter_stays_within_the_window(self):
+        policy = RetryPolicy(base_s=8.0, jitter=0.5,
+                             rng=__import__("random").Random(7))
+        delays = [policy.delay_s(0) for _ in range(50)]
+        assert all(4.0 <= delay <= 8.0 for delay in delays)
+        assert len(set(delays)) > 1  # actually jittered
+
+    def test_fetch_json_retries_saturation_then_surfaces(self, capture_url):
+        sleeps = []
+        policy = RetryPolicy(attempts=3, base_s=0.01, jitter=0.0,
+                             sleep=sleeps.append)
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            fetch_json(capture_url + "/err", data={}, retry=policy)
+        assert excinfo.value.status == 429
+        # Three tries hit the wire; the two waits honoured Retry-After.
+        assert len(_CaptureHandler.captured) == 3
+        assert sleeps == [7.0, 7.0]
+        assert policy.retries == 2
+
+    def test_fetch_json_succeeds_once_the_server_recovers(self, capture_url):
+        _CaptureHandler.flaky_failures = 2
+        policy = RetryPolicy(attempts=5, base_s=0.01, jitter=0.0,
+                             sleep=lambda _s: None)
+        assert fetch_json(capture_url + "/flaky", data={},
+                          retry=policy) == {"ok": True}
+        assert len(_CaptureHandler.captured) == 3
+        assert policy.retries == 2
+
+    def test_non_retryable_status_surfaces_immediately(self, capture_url):
+        sleeps = []
+        policy = RetryPolicy(attempts=5, statuses=(503,),
+                             sleep=sleeps.append)
+        with pytest.raises(ServiceHTTPError):
+            fetch_json(capture_url + "/err", data={}, retry=policy)
+        assert len(_CaptureHandler.captured) == 1
+        assert sleeps == []
+
+    def test_connection_failures_retry_only_when_opted_in(self):
+        nowhere = "http://127.0.0.1:1/v1/status"
+        sleeps = []
+        policy = RetryPolicy(attempts=3, base_s=0.01, jitter=0.0,
+                             connect=True, sleep=sleeps.append)
+        with pytest.raises(urllib.error.URLError):
+            fetch_json(nowhere, retry=policy)
+        assert len(sleeps) == 2
+        # Without connect=True the first failure surfaces untouched.
+        strict = RetryPolicy(attempts=3, sleep=sleeps.append)
+        with pytest.raises(urllib.error.URLError):
+            fetch_json(nowhere, retry=strict)
+        assert len(sleeps) == 2
+
+    def test_stream_request_retries_the_submit(self, capture_url):
+        sleeps = []
+        policy = RetryPolicy(attempts=2, base_s=0.01, jitter=0.0,
+                             sleep=sleeps.append)
+        with pytest.raises(ServiceHTTPError):
+            list(stream_request(capture_url + "/err", request(),
+                                retry=policy))
+        assert len(_CaptureHandler.captured) == 2
+        assert sleeps == [7.0]
+
+    def test_stream_request_retry_delivers_rows(self, service):
+        # Against the real service: a policy on a healthy endpoint is
+        # invisible — the stream completes with bit-for-bit rows.
+        server, thread, base_url = _serve_in_thread(service)
+        try:
+            policy = RetryPolicy(attempts=3, base_s=0.01)
+            events = list(stream_request(base_url, request(),
+                                         retry=policy))
+            rows = [e["row"] for e in events if e["event"] == "row"]
+            serial = request().experiment().run(SweepExecutor("serial"))
+            assert sorted(rows, key=lambda r: r["snr_db"]) == serial
+            assert policy.retries == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
