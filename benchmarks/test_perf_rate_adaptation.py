@@ -1,0 +1,140 @@
+"""Closed-loop rate adaptation: controllers vs the per-packet oracle.
+
+The closed-loop subsystem's scoreboard is achieved airtime throughput —
+payload bits delivered over 802.11a airtime consumed — measured for each
+controller (SoftRate, SampleRate, Minstrel) against the oracle that knows
+every packet's optimal rate in advance.  This benchmark runs the
+comparison at two Doppler rates through the declarative
+:class:`~repro.mac.rateadapt.RateAdaptExperiment` front door and records
+one JSON row per (Doppler, controller), so controller quality and the
+decode cost are both tracked across PRs:
+
+1. Cold store-backed run (timed, best-of-three with a fresh store per
+   trial): pays the full decode — every packet at every rate — and files
+   the outcome matrices as content-addressed batches.
+2. Warm re-run against the kept store (timed): every batch must be served
+   from the store (``misses == 0``) and the rows must match bit for bit —
+   controllers are replay-layer, so a warm rerun simulates zero packets.
+
+Set ``REPRO_BENCH_SCALE`` to lengthen the trajectories; the rows remain
+deterministic at any scale.  Run with ``-m "not slow"`` to skip during
+quick test cycles.
+"""
+
+import itertools
+import json
+import time
+
+import pytest
+
+from repro.analysis.store import ResultStore
+from repro.analysis.sweep import executor_from_env
+from repro.mac.rateadapt import RateAdaptExperiment, RateAdaptScenario
+
+from _bench_utils import best_of, emit_with_rows, host_metadata
+
+#: Figure 7 operating point (10 dB AWGN, 1704-bit packets, BCJR) swept
+#: over a slow and a fast fade.
+WORKLOAD = {
+    "snr_db": 10.0,
+    "dopplers_hz": [10.0, 40.0],
+    "decoder": "bcjr",
+    "packet_bits": 1704,
+    "batch_packets": 16,
+    "seed": 11,
+}
+
+
+def _experiment(num_packets, store):
+    scenario = RateAdaptScenario(
+        decoder=WORKLOAD["decoder"],
+        packet_bits=WORKLOAD["packet_bits"],
+        snr_db=WORKLOAD["snr_db"],
+        doppler_hz=None,
+    )
+    return RateAdaptExperiment(
+        scenario,
+        axes={"doppler_hz": WORKLOAD["dopplers_hz"]},
+        num_packets=num_packets,
+        batch_packets=WORKLOAD["batch_packets"],
+        seed=WORKLOAD["seed"],
+        store=store,
+    )
+
+
+@pytest.mark.slow
+def test_perf_rate_adaptation(scale, tmp_path):
+    num_packets = 32 * scale
+    store_ids = itertools.count()
+
+    def _cold_trial():
+        store = ResultStore(str(tmp_path / ("ratestore-%d" % next(store_ids))))
+        experiment = _experiment(num_packets, store)
+        start = time.perf_counter()
+        rows = experiment.run(executor_from_env())
+        return {"elapsed": time.perf_counter() - start, "rows": rows,
+                "experiment": experiment, "store": store}
+
+    trials = [_cold_trial() for _ in range(3)]
+    for trial in trials[1:]:
+        assert trial["rows"] == trials[0]["rows"]
+    cold_trial = min(trials, key=lambda t: t["elapsed"])
+    rows, cold_elapsed = cold_trial["rows"], cold_trial["elapsed"]
+    cold_stats = cold_trial["experiment"].last_store_stats
+
+    # Warm re-run: the decode is served from the store, the controllers
+    # replay over it — zero packets simulated, rows identical bit for bit.
+    warm_experiment = _experiment(num_packets, cold_trial["store"])
+    warm_elapsed, warm_rows = best_of(
+        lambda: warm_experiment.run(executor_from_env()))
+    assert warm_rows == rows
+    assert warm_experiment.last_store_stats["misses"] == 0
+    assert warm_experiment.last_store_stats["hits"] == cold_stats["misses"]
+
+    by_point = {}
+    for row in rows:
+        by_point.setdefault(row["doppler_hz"], {})[row["controller"]] = row
+    for doppler, controllers in by_point.items():
+        oracle = controllers["oracle"]
+        assert oracle["accurate"] == 1.0
+        assert oracle["achieved_mbps"] > 0.0
+        for name, row in controllers.items():
+            assert row["packets"] == num_packets
+            assert 0.0 <= row["achieved_mbps"] <= 54.0
+
+    summary = {
+        "benchmark": "rate_adaptation",
+        "workload": WORKLOAD,
+        "num_packets": num_packets,
+        "controllers": {
+            "%g" % doppler: {
+                name: {
+                    "achieved_mbps": round(row["achieved_mbps"], 3),
+                    "oracle_mbps": round(row["oracle_mbps"], 3),
+                    "accurate": round(row["accurate"], 3),
+                    "underselect": round(row["underselect"], 3),
+                    "overselect": round(row["overselect"], 3),
+                    "delivered_packets": row["delivered_packets"],
+                }
+                for name, row in sorted(controllers.items())
+            }
+            for doppler, controllers in sorted(by_point.items())
+        },
+        "outage_packets": {
+            "%g" % doppler: controllers["oracle"]["outage_packets"]
+            for doppler, controllers in sorted(by_point.items())
+        },
+        "store_cold_elapsed_sec": round(cold_elapsed, 4),
+        "store_warm_elapsed_sec": round(warm_elapsed, 4),
+        "store_warm_speedup": round(cold_elapsed / warm_elapsed, 2),
+        "store_warm_batches_simulated":
+            warm_experiment.last_store_stats["misses"],
+        "store_warm_batches_served": warm_experiment.last_store_stats["hits"],
+        "host": host_metadata(),
+    }
+    emit_with_rows(
+        "perf_rate_adaptation",
+        "Closed-loop rate adaptation: achieved vs oracle airtime throughput",
+        json.dumps(summary),
+        rows,
+    )

@@ -315,6 +315,22 @@ class Scenario:
                           for field in fields(self)))
 
 
+def is_scenario_like(obj):
+    """Whether ``obj`` implements the scenario protocol.
+
+    The :class:`Experiment` front door (and the service request layer)
+    accept any scenario class that provides the four members the
+    declarative stack actually uses — ``to_dict()``, ``content_hash()``,
+    ``params()`` and ``is_declarative`` — not just :class:`Scenario`
+    itself.  :class:`repro.mac.rateadapt.scenario.RateAdaptScenario` is
+    the first such sibling; new workload families add theirs the same
+    way instead of widening this module.
+    """
+    return all(callable(getattr(obj, name, None))
+               for name in ("to_dict", "content_hash", "params")) \
+        and hasattr(obj, "is_declarative")
+
+
 # ---------------------------------------------------------------------- #
 # Canonical link point-runner
 # ---------------------------------------------------------------------- #
@@ -448,9 +464,11 @@ class Experiment:
                  runner=None, batch_packets=None, budget=None):
         if sweep is None:
             raise ValueError("an Experiment needs a SweepSpec (sweep=...)")
-        if scenario is not None and not isinstance(scenario, Scenario):
-            raise TypeError("scenario must be a Scenario or None; got %r"
-                            % (scenario,))
+        if scenario is not None and not is_scenario_like(scenario):
+            raise TypeError(
+                "scenario must implement the Scenario protocol (to_dict, "
+                "content_hash, params, is_declarative) or be None; got %r"
+                % (scenario,))
         if "stop" in sweep.constants:
             raise ValueError(
                 "'stop' found in the sweep constants; the stopping rule is "

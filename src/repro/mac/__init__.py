@@ -11,26 +11,49 @@ evaluates SoftRate running over WiLIS with both decoder implementations.
 * :mod:`repro.mac.ppr` -- partial packet recovery driven by per-bit BER
   estimates.
 * :mod:`repro.mac.softrate` -- the SoftRate rate-adaptation controller.
+* :mod:`repro.mac.rateadapt` -- the closed-loop rate-adaptation subsystem:
+  the ``RateController`` protocol, the SampleRate and Minstrel samplers,
+  the 802.11a/g airtime model, the chunk-invariant ``ClosedLoopLink``
+  decode and the declarative ``RateAdaptScenario`` / ``RateAdaptExperiment``
+  front door.
 * :mod:`repro.mac.evaluation` -- the Figure 7 experiment: run SoftRate over
   a fading channel, compare every selection against the per-packet optimal
   rate and classify it as underselect / accurate / overselect.
 """
 
 from repro.mac.arq import ArqLinkLayer, ArqStatistics
-from repro.mac.evaluation import RateSelectionOutcome, SoftRateEvaluation, SoftRateResult
+from repro.mac.evaluation import (PrecomputedOutcomes, RateSelectionOutcome,
+                                  SoftRateEvaluation, SoftRateResult)
 from repro.mac.frames import Acknowledgement, Packet
 from repro.mac.ppr import PartialPacketRecovery, PprOutcome
+from repro.mac.rateadapt import (AirtimeModel, ClosedLoopLink, LinkTrajectory,
+                                 MinstrelController, RateAdaptExperiment,
+                                 RateAdaptScenario, RateController,
+                                 RateFeedback, SampleRateController,
+                                 controller_from_dict, run_rate_adapt_batch)
 from repro.mac.softrate import SoftRateController
 
 __all__ = [
     "Acknowledgement",
+    "AirtimeModel",
     "ArqLinkLayer",
     "ArqStatistics",
+    "ClosedLoopLink",
+    "LinkTrajectory",
+    "MinstrelController",
     "Packet",
     "PartialPacketRecovery",
     "PprOutcome",
+    "PrecomputedOutcomes",
+    "RateAdaptExperiment",
+    "RateAdaptScenario",
+    "RateController",
+    "RateFeedback",
     "RateSelectionOutcome",
+    "SampleRateController",
     "SoftRateController",
     "SoftRateEvaluation",
     "SoftRateResult",
+    "controller_from_dict",
+    "run_rate_adapt_batch",
 ]

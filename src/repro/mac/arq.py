@@ -32,6 +32,19 @@ class ArqStatistics:
             return 0.0
         return self.payload_bits_delivered / self.bits_transmitted
 
+    @property
+    def delivery_rate(self):
+        """Fraction of offered packets eventually delivered.
+
+        Like the other ratio properties, a session that offered no
+        traffic reads 0.0 rather than dividing by zero — empty sessions
+        happen routinely when a harness filters its packet source.
+        """
+        offered = self.packets_delivered + self.packets_abandoned
+        if offered == 0:
+            return 0.0
+        return self.packets_delivered / offered
+
     def __repr__(self):
         return (
             "ArqStatistics(delivered=%d, abandoned=%d, avg_tx=%.2f, efficiency=%.3f)"

@@ -13,20 +13,22 @@ decoders accurate more than 80% of the time, with SOVA underselecting about
 :class:`SoftRateEvaluation` reproduces that pipeline.  The expensive part --
 decoding every packet at every rate -- is precomputed in rate-major batches
 so the decoder's batched kernels are used; the sequential controller loop
-then replays the precomputed outcomes.
+then replays the precomputed outcomes.  The precompute itself is the
+shared :meth:`~repro.mac.rateadapt.closedloop.ClosedLoopLink.decode_window`
+(this evaluation is its ``first_index=0`` window), and the replay speaks
+the :class:`~repro.mac.rateadapt.controllers.RateController` protocol, so
+the Figure 7 harness and the closed-loop rate-adaptation experiments are
+one code path.
 """
 
 import numpy as np
 
-from repro.analysis.link import LinkRunResult
-from repro.channel.awgn import awgn
-from repro.channel.fading import JakesFadingProcess
 from repro.channel.reproducible import ReproducibleNoise
-from repro.mac.softrate import SoftRateController, classify_selection, optimal_rate_index
+from repro.mac.rateadapt.closedloop import ClosedLoopLink, PrecomputedOutcomes
+from repro.mac.rateadapt.controllers import (RateFeedback, classify_selection,
+                                             optimal_rate_index)
+from repro.mac.softrate import SoftRateController
 from repro.phy.params import RATE_TABLE
-from repro.phy.receiver import Receiver
-from repro.phy.transmitter import Transmitter
-from repro.softphy.ber_estimator import BerEstimator
 
 
 class RateSelectionOutcome:
@@ -76,34 +78,6 @@ class RateSelectionOutcome:
             self.accurate,
             self.overselect,
         )
-
-
-class PrecomputedOutcomes:
-    """Per-packet, per-rate decode outcomes used by the controller replay.
-
-    Attributes
-    ----------
-    success:
-        ``(packets, rates)`` boolean: decoded without any bit error.
-    pber_estimate:
-        ``(packets, rates)`` predicted per-packet BER from the SoftPHY
-        hints.
-    pber_actual:
-        ``(packets, rates)`` ground-truth per-packet BER.
-    """
-
-    def __init__(self, success, pber_estimate, pber_actual):
-        self.success = success
-        self.pber_estimate = pber_estimate
-        self.pber_actual = pber_actual
-
-    @property
-    def num_packets(self):
-        return self.success.shape[0]
-
-    @property
-    def num_rates(self):
-        return self.success.shape[1]
 
 
 class SoftRateResult:
@@ -181,9 +155,25 @@ class SoftRateEvaluation:
         self.seed = seed
         self.rates = tuple(rates)
         self.noise = ReproducibleNoise(seed)
-        fading = JakesFadingProcess(doppler_hz=doppler_hz, seed=seed)
-        times = np.arange(self.num_packets) * self.packet_interval_s
-        self.gains = np.atleast_1d(fading.gain(times))
+        self._link_cache = {}
+        self.gains = self._link("bcjr").gains(0, self.num_packets)
+
+    def _link(self, decoder_name):
+        """The :class:`ClosedLoopLink` that decodes this evaluation's stream."""
+        name = decoder_name if isinstance(decoder_name, str) else decoder_name.name
+        link = self._link_cache.get(name)
+        if link is None:
+            link = ClosedLoopLink(
+                snr_db=self.snr_db,
+                doppler_hz=self.doppler_hz,
+                packet_bits=self.packet_bits,
+                packet_interval_s=self.packet_interval_s,
+                seed=self.seed,
+                rates=self.rates,
+                decoder=name,
+            )
+            self._link_cache[name] = link
+        return link
 
     # ------------------------------------------------------------------ #
     # Precomputation: decode every packet at every rate
@@ -192,48 +182,12 @@ class SoftRateEvaluation:
         """Decode every packet at every rate with ``decoder_name``.
 
         Returns a :class:`PrecomputedOutcomes` used by :meth:`run`.
+        Delegates to the shared chunk-invariant
+        :meth:`~repro.mac.rateadapt.closedloop.ClosedLoopLink.decode_window`
+        — this evaluation is the window starting at packet 0.
         """
-        estimator = estimator or BerEstimator(decoder_name)
-        packets = self.num_packets
-        success = np.zeros((packets, len(self.rates)), dtype=bool)
-        pber_estimate = np.ones((packets, len(self.rates)))
-        pber_actual = np.ones((packets, len(self.rates)))
-
-        for rate_idx, rate in enumerate(self.rates):
-            transmitter = Transmitter(rate)
-            receiver = Receiver(rate, decoder=decoder_name)
-            geometry = receiver.geometry(self.packet_bits)
-            for first in range(0, packets, batch_size):
-                count = min(batch_size, packets - first)
-                tx_bits = np.empty((count, self.packet_bits), dtype=np.uint8)
-                softs = []
-                for offset in range(count):
-                    index = first + offset
-                    payload = self.noise.payload(index, self.packet_bits)
-                    tx_bits[offset] = payload
-                    samples = transmitter.transmit(payload)
-                    gain = self.gains[index]
-                    rng = self.noise.rng_for(index, purpose="noise")
-                    received = awgn(samples * gain, self.snr_db, rng=rng)
-                    csi = np.full(geometry.num_symbols, np.abs(gain) ** 2)
-                    softs.append(
-                        receiver.front_end(
-                            received,
-                            self.packet_bits,
-                            channel_gain=gain,
-                            csi_weights=csi,
-                        )
-                    )
-                decoded = receiver.decode_batch(np.vstack(softs), self.packet_bits)
-                run = LinkRunResult(tx_bits, decoded.bits, decoded.llr, None)
-                rows = slice(first, first + count)
-                success[rows, rate_idx] = ~run.packet_errors
-                pber_actual[rows, rate_idx] = run.packet_ber
-                if decoded.llr is not None:
-                    pber_estimate[rows, rate_idx] = estimator.packet_ber(
-                        np.abs(decoded.llr), rate.modulation
-                    )
-        return PrecomputedOutcomes(success, pber_estimate, pber_actual)
+        return self._link(decoder_name).decode_window(
+            0, self.num_packets, batch_size=batch_size, estimator=estimator)
 
     # ------------------------------------------------------------------ #
     # Controller replay
@@ -263,12 +217,16 @@ class SoftRateEvaluation:
         optimal_indices = np.empty(self.num_packets, dtype=np.int64)
 
         for index in range(self.num_packets):
-            chosen = controller.current_index
+            chosen = controller.choose()
             optimal = optimal_rate_index(precomputed.success[index])
             chosen_indices[index] = chosen
             optimal_indices[index] = optimal
             outcome.record(classify_selection(chosen, optimal))
-            controller.update(float(precomputed.pber_estimate[index, chosen]))
+            controller.observe(RateFeedback(
+                chosen,
+                bool(precomputed.success[index, chosen]),
+                pber_estimate=float(precomputed.pber_estimate[index, chosen]),
+            ))
 
         return SoftRateResult(
             decoder_name

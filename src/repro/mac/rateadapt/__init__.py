@@ -1,0 +1,71 @@
+"""Closed-loop rate adaptation as a first-class scenario family.
+
+The paper's Figure 7 scores SoftRate against a per-packet oracle as a
+one-off evaluation; this package generalises the machinery so *any* rate
+controller can be driven packet-by-packet over a time-varying channel,
+priced in airtime, and characterised through the declarative
+``Experiment`` / ``ResultStore`` / service stack like any BER curve.
+
+* :mod:`~repro.mac.rateadapt.controllers` — the ``RateController``
+  protocol (pure ``choose()``, state-mutating ``observe()``, plain-data
+  ``to_dict``/``from_dict`` identity) plus the two classic frame-level
+  samplers: :class:`~repro.mac.rateadapt.controllers.SampleRateController`
+  (per-rate EWMA transmission-time accounting with periodic probing) and
+  :class:`~repro.mac.rateadapt.controllers.MinstrelController` (EWMA
+  success probability with max-throughput/second-best/probe rate chains).
+  The paper's :class:`~repro.mac.softrate.SoftRateController` implements
+  the same protocol in place, bit-for-bit compatible with its Figure 7
+  behaviour.
+* :mod:`~repro.mac.rateadapt.airtime` — the 802.11a/g frame-duration
+  model (preamble/PLCP, DIFS/SIFS, ACK at the mandatory control rates,
+  expected contention backoff) that turns "packets delivered" into
+  achieved Mb/s.
+* :mod:`~repro.mac.rateadapt.closedloop` — the chunk-invariant decode of
+  the packet stream at every rate
+  (:meth:`~repro.mac.rateadapt.closedloop.ClosedLoopLink.decode_window`,
+  every per-packet quantity a pure function of the absolute packet
+  index), controller replay over the decoded matrices, and the
+  :func:`~repro.mac.rateadapt.closedloop.run_rate_adapt_batch`
+  chunk-runner the store content-addresses.
+* :mod:`~repro.mac.rateadapt.scenario` — the declarative
+  :class:`~repro.mac.rateadapt.scenario.RateAdaptScenario` and the
+  :class:`~repro.mac.rateadapt.scenario.RateAdaptExperiment` front door:
+  swept, sharded, resumable, servable.
+"""
+
+from repro.mac.rateadapt.airtime import AirtimeModel, default_airtime_model
+from repro.mac.rateadapt.closedloop import (ClosedLoopLink, LinkTrajectory,
+                                            PrecomputedOutcomes,
+                                            oracle_trajectory,
+                                            replay_trajectory,
+                                            run_rate_adapt_batch)
+from repro.mac.rateadapt.controllers import (MinstrelController,
+                                             RateController, RateFeedback,
+                                             SampleRateController,
+                                             classify_selection,
+                                             controller_from_dict,
+                                             optimal_rate_index)
+from repro.mac.rateadapt.scenario import (DEFAULT_CONTROLLERS,
+                                          RateAdaptExperiment,
+                                          RateAdaptScenario)
+
+__all__ = [
+    "AirtimeModel",
+    "ClosedLoopLink",
+    "DEFAULT_CONTROLLERS",
+    "LinkTrajectory",
+    "MinstrelController",
+    "PrecomputedOutcomes",
+    "RateAdaptExperiment",
+    "RateAdaptScenario",
+    "RateController",
+    "RateFeedback",
+    "SampleRateController",
+    "classify_selection",
+    "controller_from_dict",
+    "default_airtime_model",
+    "optimal_rate_index",
+    "oracle_trajectory",
+    "replay_trajectory",
+    "run_rate_adapt_batch",
+]

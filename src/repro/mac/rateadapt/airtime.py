@@ -1,0 +1,205 @@
+"""802.11a/g frame-duration (airtime) model.
+
+Comparing rate controllers by "fraction of packets delivered at the chosen
+rate" flatters aggressive controllers: a failed 54 Mb/s attempt and a failed
+6 Mb/s attempt cost the medium very different amounts of time.  The honest
+scoreboard is *achieved throughput* — payload bits delivered divided by the
+air time consumed — which is why every production rate-adaptation algorithm
+(SampleRate, Minstrel) reasons in per-frame transmission times, not error
+rates.  This module provides that clock.
+
+The model follows the 802.11a OFDM PHY timing (802.11-2016 §17, also used
+by 802.11g in pure-OFDM mode):
+
+* A frame occupies ``preamble + SIGNAL`` (20 us) plus
+  ``4 us * ceil((16 + length + 6) / N_DBPS)`` data symbols — the 16-bit
+  SERVICE field and 6 tail bits ride inside the coded payload.
+* A successful exchange is ``DIFS + backoff + DATA + SIFS + ACK``; the ACK
+  (112 bits of MAC frame) goes out at the highest *mandatory* control rate
+  (6, 12 or 24 Mb/s) not exceeding the data rate.
+* Contention backoff is modelled by its expectation: the uniform draw from
+  ``[0, CW]`` contributes ``CW/2`` slots, with ``CW`` starting at
+  :attr:`cw_min` and doubling per retry up to :attr:`cw_max`.  Using the
+  expectation (rather than sampling) keeps airtime a *pure function* of the
+  (rate, payload, attempt) triple, which is what makes trajectory totals
+  invariant to how a trajectory is chunked.
+
+Deliberate simplifications, recorded here so the numbers can be audited: a
+*failed* attempt is charged the same airtime as a successful one (the
+transmitter still waits out SIFS + ACK-timeout, which 802.11 sizes to the
+ACK duration), and MAC/PLCP header bytes beyond the SERVICE/tail overhead
+are treated as part of the caller's payload length.
+"""
+
+import math
+
+from repro.phy.params import RATE_TABLE, SYMBOL_DURATION_US, rate_by_mbps
+
+#: PLCP preamble (two training sequences, 16 us) plus the SIGNAL symbol.
+PLCP_PREAMBLE_US = 16.0
+PLCP_SIGNAL_US = 4.0
+
+#: SERVICE field and convolutional-code tail bits carried in the DATA field.
+SERVICE_BITS = 16
+TAIL_BITS = 6
+
+#: An ACK MAC frame: 2+2+6 header bytes + 4 FCS bytes = 14 bytes.
+ACK_BITS = 112
+
+#: 802.11a/g mandatory control rates an ACK may use, in Mb/s.
+CONTROL_RATES_MBPS = (6.0, 12.0, 24.0)
+
+
+class AirtimeModel:
+    """Per-frame 802.11a/g airtime accounting.
+
+    Parameters
+    ----------
+    slot_us, sifs_us:
+        Slot time and SIFS for the OFDM PHY (9 us and 16 us; DIFS is
+        derived as ``SIFS + 2 * slot``).
+    cw_min, cw_max:
+        Contention-window bounds (802.11a: 15 and 1023).  The backoff
+        charged for attempt ``a`` is the expectation
+        ``min((cw_min + 1) << a, cw_max + 1) - 1) / 2`` slots.
+    include_backoff:
+        Set ``False`` to model a contention-free link (point coordinator /
+        single station): DIFS is still charged, backoff is not.
+    """
+
+    def __init__(self, slot_us=9.0, sifs_us=16.0, cw_min=15, cw_max=1023,
+                 include_backoff=True):
+        if slot_us <= 0 or sifs_us <= 0:
+            raise ValueError("slot_us and sifs_us must be positive")
+        if not 0 < cw_min <= cw_max:
+            raise ValueError("need 0 < cw_min <= cw_max")
+        if (cw_min + 1) & cw_min or (cw_max + 1) & cw_max:
+            raise ValueError("cw_min and cw_max must be 2**n - 1")
+        self.slot_us = float(slot_us)
+        self.sifs_us = float(sifs_us)
+        self.cw_min = int(cw_min)
+        self.cw_max = int(cw_max)
+        self.include_backoff = bool(include_backoff)
+
+    # ------------------------------------------------------------------ #
+    # Components
+    # ------------------------------------------------------------------ #
+    @property
+    def difs_us(self):
+        """DCF interframe space: SIFS plus two slot times (34 us)."""
+        return self.sifs_us + 2.0 * self.slot_us
+
+    def data_duration_us(self, rate, payload_bits):
+        """On-air duration of one data frame at ``rate``.
+
+        ``payload_bits`` is the PSDU length in bits; SERVICE and tail bits
+        are added here, then padded up to a whole number of OFDM symbols.
+        """
+        if payload_bits < 1:
+            raise ValueError("payload_bits must be positive")
+        symbols = math.ceil(
+            (SERVICE_BITS + int(payload_bits) + TAIL_BITS)
+            / rate.data_bits_per_symbol)
+        return PLCP_PREAMBLE_US + PLCP_SIGNAL_US + SYMBOL_DURATION_US * symbols
+
+    def ack_rate_for(self, rate):
+        """The mandatory control rate the ACK answers ``rate`` at."""
+        best = CONTROL_RATES_MBPS[0]
+        for candidate in CONTROL_RATES_MBPS:
+            if candidate <= rate.data_rate_mbps:
+                best = candidate
+        return rate_by_mbps(best)
+
+    def ack_duration_us(self, rate):
+        """On-air duration of the ACK acknowledging a frame sent at ``rate``."""
+        return self.data_duration_us(self.ack_rate_for(rate), ACK_BITS)
+
+    def expected_backoff_us(self, attempt=0):
+        """Expected contention backoff before transmission ``attempt``.
+
+        Attempt 0 is the first transmission (CW = ``cw_min``); each retry
+        doubles the window up to ``cw_max``.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        if not self.include_backoff:
+            return 0.0
+        cw = min((self.cw_min + 1) << attempt, self.cw_max + 1) - 1
+        return 0.5 * cw * self.slot_us
+
+    # ------------------------------------------------------------------ #
+    # Whole exchanges
+    # ------------------------------------------------------------------ #
+    def packet_airtime_us(self, rate, payload_bits, attempt=0):
+        """Airtime of one DATA/ACK exchange at ``rate``.
+
+        ``DIFS + E[backoff(attempt)] + DATA + SIFS + ACK``.  A failed
+        attempt costs the same (the ACK term then models the ACK-timeout
+        wait, which 802.11 sizes to the ACK duration).
+        """
+        return (self.difs_us
+                + self.expected_backoff_us(attempt)
+                + self.data_duration_us(rate, payload_bits)
+                + self.sifs_us
+                + self.ack_duration_us(rate))
+
+    def lossless_tx_us(self, rate, payload_bits):
+        """Best-case airtime at ``rate``: one first-attempt exchange.
+
+        This is SampleRate's "lossless transmission time" — the quantity
+        its per-rate EWMA is initialised to and its probe candidates are
+        screened against.
+        """
+        return self.packet_airtime_us(rate, payload_bits, attempt=0)
+
+    def throughput_mbps(self, rate, payload_bits):
+        """Saturation throughput at ``rate``: payload over lossless airtime.
+
+        Bits per microsecond equals Mb/s exactly, so no unit conversion
+        appears at call sites.
+        """
+        return payload_bits / self.lossless_tx_us(rate, payload_bits)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (scenario hashing)
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        return {
+            "slot_us": self.slot_us,
+            "sifs_us": self.sifs_us,
+            "cw_min": self.cw_min,
+            "cw_max": self.cw_max,
+            "include_backoff": self.include_backoff,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**dict(data))
+
+    def __eq__(self, other):
+        if not isinstance(other, AirtimeModel):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        return ("AirtimeModel(slot_us=%g, sifs_us=%g, cw=[%d, %d], "
+                "include_backoff=%r)"
+                % (self.slot_us, self.sifs_us, self.cw_min, self.cw_max,
+                   self.include_backoff))
+
+
+def default_airtime_model():
+    """The shared default :class:`AirtimeModel` (802.11a constants)."""
+    return AirtimeModel()
+
+
+__all__ = [
+    "ACK_BITS",
+    "AirtimeModel",
+    "CONTROL_RATES_MBPS",
+    "PLCP_PREAMBLE_US",
+    "PLCP_SIGNAL_US",
+    "SERVICE_BITS",
+    "TAIL_BITS",
+    "default_airtime_model",
+]

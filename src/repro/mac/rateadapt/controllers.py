@@ -1,0 +1,484 @@
+"""The ``RateController`` protocol and the classic 802.11 controllers.
+
+SoftRate (the paper's Figure 7) is one point in the rate-adaptation design
+space; the controllers every shipping 802.11 stack actually used are
+frame-level samplers.  This module defines the protocol that lets them all
+drive the same closed-loop link, and implements the two classics:
+
+* :class:`SampleRateController` — Bicket's SampleRate (MIT, 2005): keep a
+  per-rate EWMA of the *transmission time per delivered packet* (failed
+  attempts charge their airtime to the next success), transmit at the rate
+  whose average is lowest, and periodically probe other rates whose
+  best-case (lossless) time could beat the incumbent.
+* :class:`MinstrelController` — the Linux mac80211 sampler: keep a per-rate
+  EWMA of delivery *probability*, rank rates by ``probability x
+  payload / lossless_airtime`` throughput, transmit at the best and devote
+  a fixed fraction of packets to sampling other rates; expose the
+  max-throughput / second-best / best-probability / lowest retry chain.
+
+The protocol (everything the closed-loop driver and the declarative layer
+need):
+
+``choose() -> rate_index``
+    The rate for the next packet.  **Pure** — calling it twice without an
+    intervening ``observe`` returns the same index.  All state transitions
+    live in ``observe``, so a driver can never corrupt a controller by
+    peeking.
+``observe(feedback) -> None``
+    Consume one packet's :class:`RateFeedback`.
+``reset() -> None``
+    Return to the initial state.
+``to_dict() / from_dict``
+    Canonical plain-data *configuration* (not runtime state) round-trip —
+    the identity under which trajectories are hashed into the result
+    store.  Dispatch is by the dict's ``"type"`` tag via
+    :func:`controller_from_dict`.
+
+Determinism is a hard requirement here, not a nicety: trajectories must be
+bit-for-bit reproducible across runs, worker counts and chunk sizes, so the
+"random" sampling both classic controllers rely on is derived from counters
+with :func:`zlib.crc32` rather than from any global RNG.
+"""
+
+import zlib
+
+from repro.mac.rateadapt.airtime import default_airtime_model
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+
+
+class RateFeedback:
+    """What the link layer learns from one packet exchange.
+
+    Parameters
+    ----------
+    rate_index:
+        Index (into the controller's rate table) the packet was sent at.
+    success:
+        Whether the packet was acknowledged.
+    pber_estimate:
+        SoftPHY predicted per-packet BER at the transmission rate, or
+        ``None`` when no estimate is available (conventional hard-decision
+        feedback, or the packet was lost outright).
+    airtime_us:
+        Airtime the attempt consumed (successful or not).
+    """
+
+    __slots__ = ("rate_index", "success", "pber_estimate", "airtime_us")
+
+    def __init__(self, rate_index, success, pber_estimate=None, airtime_us=0.0):
+        self.rate_index = int(rate_index)
+        self.success = bool(success)
+        self.pber_estimate = None if pber_estimate is None else float(pber_estimate)
+        self.airtime_us = float(airtime_us)
+
+    def __repr__(self):
+        return ("RateFeedback(rate_index=%d, success=%r, pber=%r, "
+                "airtime_us=%.1f)" % (self.rate_index, self.success,
+                                      self.pber_estimate, self.airtime_us))
+
+
+class RateController:
+    """Base class fixing the controller protocol over a rate table."""
+
+    #: ``to_dict()`` tag; subclasses must override.
+    kind = None
+
+    def __init__(self, rates=RATE_TABLE):
+        self.rates = tuple(rates)
+        if not self.rates:
+            raise ValueError("the rate table must not be empty")
+
+    # -- protocol ------------------------------------------------------ #
+    def choose(self):
+        """Index of the rate the next packet should be sent at (pure)."""
+        raise NotImplementedError
+
+    def observe(self, feedback):
+        """Consume one packet's :class:`RateFeedback`."""
+        raise NotImplementedError
+
+    def reset(self):
+        """Return to the initial state."""
+        raise NotImplementedError
+
+    def to_dict(self):
+        """Canonical plain-data configuration (JSON-able)."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------ #
+    @property
+    def current_rate(self):
+        """The :class:`~repro.phy.params.PhyRate` of :meth:`choose`."""
+        return self.rates[self.choose()]
+
+    def _rates_mbps(self):
+        return [rate.data_rate_mbps for rate in self.rates]
+
+    @staticmethod
+    def _rates_from_dict(data):
+        mbps = data.pop("rates_mbps", None)
+        if mbps is None:
+            return RATE_TABLE
+        return tuple(rate_by_mbps(value) for value in mbps)
+
+
+class SampleRateController(RateController):
+    """Bicket's SampleRate: minimise EWMA transmission time per delivery.
+
+    Parameters
+    ----------
+    rates:
+        Ordered rate table to adapt over.
+    packet_bits:
+        Payload size the airtime accounting assumes (the closed-loop
+        driver feeds actual per-packet airtimes; this sizes the lossless
+        reference times used for probe screening and initialisation).
+    ewma_weight:
+        Weight of the *old* average in the EWMA update (0.75 keeps 75% of
+        history per sample, SampleRate's choice).
+    probe_interval:
+        Every ``probe_interval``-th packet is a probe at a candidate rate
+        whose lossless time could beat the incumbent's average.
+    max_successive_failures:
+        A rate with this many successive failed packets is excluded from
+        both transmission and probing until its counter is aged out.
+    stats_window:
+        Every ``stats_window`` packets the successive-failure counters are
+        cleared, so a rate that failed during a deep fade becomes eligible
+        again (SampleRate ages its statistics over a 10 s window; packets
+        are this reproduction's clock).
+    airtime:
+        The :class:`~repro.mac.rateadapt.airtime.AirtimeModel` that prices
+        lossless transmissions (defaults to the shared 802.11a model).
+    """
+
+    kind = "samplerate"
+
+    def __init__(self, rates=RATE_TABLE, packet_bits=1704, ewma_weight=0.75,
+                 probe_interval=10, max_successive_failures=4,
+                 stats_window=200, airtime=None):
+        super().__init__(rates)
+        if not 0.0 <= ewma_weight < 1.0:
+            raise ValueError("ewma_weight must be in [0, 1)")
+        if probe_interval < 2:
+            raise ValueError("probe_interval must be at least 2")
+        if max_successive_failures < 1:
+            raise ValueError("max_successive_failures must be positive")
+        if stats_window < 1:
+            raise ValueError("stats_window must be positive")
+        self.packet_bits = int(packet_bits)
+        self.ewma_weight = float(ewma_weight)
+        self.probe_interval = int(probe_interval)
+        self.max_successive_failures = int(max_successive_failures)
+        self.stats_window = int(stats_window)
+        self.airtime = airtime or default_airtime_model()
+        self._lossless_us = [
+            self.airtime.lossless_tx_us(rate, self.packet_bits)
+            for rate in self.rates]
+        self.reset()
+
+    def reset(self):
+        n = len(self.rates)
+        self.decisions = 0
+        # EWMA tx time per delivered packet, optimistically initialised to
+        # the lossless time so every rate starts worth trying and the
+        # controller opens at the nominally fastest rate.
+        self._avg_tx_us = list(self._lossless_us)
+        self._measured = [False] * n
+        self._successive_failures = [0] * n
+        # Airtime burnt on failures since the last delivery at each rate;
+        # charged to the next success there (SampleRate's accounting).
+        self._pending_tx_us = [0.0] * n
+
+    # ------------------------------------------------------------------ #
+    def _excluded(self, index):
+        return self._successive_failures[index] >= self.max_successive_failures
+
+    def _best_index(self):
+        """The non-excluded rate with the lowest average tx time."""
+        best = None
+        for index in range(len(self.rates)):
+            if self._excluded(index):
+                continue
+            if best is None or self._avg_tx_us[index] < self._avg_tx_us[best]:
+                best = index
+        # Every rate excluded: fall back to the most robust one.
+        return 0 if best is None else best
+
+    def _probe_candidates(self, best):
+        """Rates whose best case could beat the incumbent's average."""
+        return [index for index in range(len(self.rates))
+                if index != best and not self._excluded(index)
+                and self._lossless_us[index] < self._avg_tx_us[best]]
+
+    def choose(self):
+        best = self._best_index()
+        # Deterministic probing: packet numbers decisions+1 that are
+        # multiples of probe_interval are probes, cycling through the
+        # candidate list.  Derived from the observation counter only, so
+        # choose() stays pure.
+        packet_number = self.decisions + 1
+        if packet_number % self.probe_interval == 0:
+            candidates = self._probe_candidates(best)
+            if candidates:
+                probe_number = packet_number // self.probe_interval
+                return candidates[(probe_number - 1) % len(candidates)]
+        return best
+
+    def observe(self, feedback):
+        index = feedback.rate_index
+        if not 0 <= index < len(self.rates):
+            raise ValueError("rate_index %d outside the rate table" % index)
+        self.decisions += 1
+        if feedback.success:
+            sample = feedback.airtime_us + self._pending_tx_us[index]
+            self._pending_tx_us[index] = 0.0
+            self._successive_failures[index] = 0
+            if self._measured[index]:
+                w = self.ewma_weight
+                self._avg_tx_us[index] = (
+                    w * self._avg_tx_us[index] + (1.0 - w) * sample)
+            else:
+                self._avg_tx_us[index] = sample
+                self._measured[index] = True
+        else:
+            self._pending_tx_us[index] += feedback.airtime_us
+            self._successive_failures[index] += 1
+        if self.decisions % self.stats_window == 0:
+            # Age out exclusions so a post-fade channel gets re-probed.
+            self._successive_failures = [0] * len(self.rates)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        return {
+            "type": self.kind,
+            "rates_mbps": self._rates_mbps(),
+            "packet_bits": self.packet_bits,
+            "ewma_weight": self.ewma_weight,
+            "probe_interval": self.probe_interval,
+            "max_successive_failures": self.max_successive_failures,
+            "stats_window": self.stats_window,
+            "airtime": self.airtime.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        if data.pop("type", cls.kind) != cls.kind:
+            raise ValueError("not a %r controller dict" % cls.kind)
+        rates = cls._rates_from_dict(data)
+        airtime = data.pop("airtime", None)
+        if isinstance(airtime, dict):
+            from repro.mac.rateadapt.airtime import AirtimeModel
+
+            airtime = AirtimeModel.from_dict(airtime)
+        return cls(rates=rates, airtime=airtime, **data)
+
+    def __repr__(self):
+        return ("SampleRateController(rate=%s, probe_interval=%d)"
+                % (self.rates[self.choose()].name, self.probe_interval))
+
+
+class MinstrelController(RateController):
+    """Minstrel-style sampler: EWMA success probability, throughput ranking.
+
+    Parameters
+    ----------
+    rates, packet_bits, airtime:
+        As for :class:`SampleRateController`.
+    ewma_weight:
+        Weight of the old value in the per-rate success-probability EWMA.
+    sample_interval:
+        Every ``sample_interval``-th packet samples a pseudo-randomly
+        chosen rate instead of the max-throughput one (Minstrel's "look
+        around" ~10% of frames).
+    seed:
+        Seed for the deterministic sampling sequence.  The sequence is a
+        pure function of ``(seed, sample counter)`` via CRC32, so
+        trajectories are reproducible without any global RNG.
+    """
+
+    kind = "minstrel"
+
+    def __init__(self, rates=RATE_TABLE, packet_bits=1704, ewma_weight=0.75,
+                 sample_interval=10, seed=0, airtime=None):
+        super().__init__(rates)
+        if not 0.0 <= ewma_weight < 1.0:
+            raise ValueError("ewma_weight must be in [0, 1)")
+        if sample_interval < 2:
+            raise ValueError("sample_interval must be at least 2")
+        self.packet_bits = int(packet_bits)
+        self.ewma_weight = float(ewma_weight)
+        self.sample_interval = int(sample_interval)
+        self.seed = int(seed)
+        self.airtime = airtime or default_airtime_model()
+        self._lossless_us = [
+            self.airtime.lossless_tx_us(rate, self.packet_bits)
+            for rate in self.rates]
+        self.reset()
+
+    def reset(self):
+        n = len(self.rates)
+        self.decisions = 0
+        # Unattempted rates are treated as probability 1.0 (optimistic
+        # initialisation, like SampleRate's lossless times) until sampled.
+        self._prob = [1.0] * n
+        self._attempted = [False] * n
+        self.attempts = [0] * n
+        self.successes = [0] * n
+
+    # ------------------------------------------------------------------ #
+    def success_probability(self, index):
+        """Current EWMA delivery probability estimate for a rate."""
+        return self._prob[index]
+
+    def throughput_estimate(self, index):
+        """Expected Mb/s at a rate: probability x payload / lossless time."""
+        return self._prob[index] * self.packet_bits / self._lossless_us[index]
+
+    def _ranked(self):
+        """Rate indices sorted by throughput estimate, best first.
+
+        Ties break towards the more robust (lower) rate, which also makes
+        the ranking independent of Python's sort stability details.
+        """
+        return sorted(range(len(self.rates)),
+                      key=lambda i: (-self.throughput_estimate(i), i))
+
+    def _best_probability_index(self):
+        return max(range(len(self.rates)),
+                   key=lambda i: (self._prob[i], -i))
+
+    def retry_chain(self):
+        """Minstrel's retry chain for the next packet.
+
+        ``[max throughput, second-best throughput, best probability,
+        lowest]`` with duplicates removed, order preserved — what a real
+        MAC would program into the hardware's multi-rate-retry registers.
+        """
+        ranked = self._ranked()
+        chain = [ranked[0]]
+        if len(ranked) > 1:
+            chain.append(ranked[1])
+        chain.append(self._best_probability_index())
+        chain.append(0)
+        seen = []
+        for index in chain:
+            if index not in seen:
+                seen.append(index)
+        return seen
+
+    def _sample_index(self, sample_number):
+        token = b"minstrel:%d:%d" % (self.seed, sample_number)
+        return zlib.crc32(token) % len(self.rates)
+
+    def choose(self):
+        best = self._ranked()[0]
+        packet_number = self.decisions + 1
+        if packet_number % self.sample_interval == 0:
+            sample = self._sample_index(packet_number // self.sample_interval)
+            if sample != best:
+                return sample
+        return best
+
+    def observe(self, feedback):
+        index = feedback.rate_index
+        if not 0 <= index < len(self.rates):
+            raise ValueError("rate_index %d outside the rate table" % index)
+        self.decisions += 1
+        self.attempts[index] += 1
+        sample = 1.0 if feedback.success else 0.0
+        if feedback.success:
+            self.successes[index] += 1
+        if self._attempted[index]:
+            w = self.ewma_weight
+            self._prob[index] = w * self._prob[index] + (1.0 - w) * sample
+        else:
+            self._prob[index] = sample
+            self._attempted[index] = True
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        return {
+            "type": self.kind,
+            "rates_mbps": self._rates_mbps(),
+            "packet_bits": self.packet_bits,
+            "ewma_weight": self.ewma_weight,
+            "sample_interval": self.sample_interval,
+            "seed": self.seed,
+            "airtime": self.airtime.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        if data.pop("type", cls.kind) != cls.kind:
+            raise ValueError("not a %r controller dict" % cls.kind)
+        rates = cls._rates_from_dict(data)
+        airtime = data.pop("airtime", None)
+        if isinstance(airtime, dict):
+            from repro.mac.rateadapt.airtime import AirtimeModel
+
+            airtime = AirtimeModel.from_dict(airtime)
+        return cls(rates=rates, airtime=airtime, **data)
+
+    def __repr__(self):
+        return ("MinstrelController(rate=%s, sample_interval=%d)"
+                % (self.rates[self.choose()].name, self.sample_interval))
+
+
+def controller_from_dict(data):
+    """Rebuild any registered controller from its ``to_dict()`` form.
+
+    Dispatches on the ``"type"`` tag.  The SoftRate entry resolves lazily
+    (``repro.mac.softrate`` imports this module for the base class).
+    """
+    data = dict(data)
+    kind = data.get("type")
+    if kind == SampleRateController.kind:
+        return SampleRateController.from_dict(data)
+    if kind == MinstrelController.kind:
+        return MinstrelController.from_dict(data)
+    if kind == "softrate":
+        from repro.mac.softrate import SoftRateController
+
+        return SoftRateController.from_dict(data)
+    raise ValueError(
+        "unknown controller type %r (known: samplerate, minstrel, softrate)"
+        % (kind,))
+
+
+def optimal_rate_index(per_rate_success):
+    """Index of the highest rate that delivered the packet without error.
+
+    ``per_rate_success`` is a boolean sequence ordered like the rate table.
+    When no rate succeeds the most robust (lowest) rate is considered
+    optimal, matching the convention used in the Figure 7 evaluation.
+    """
+    best = 0
+    found = False
+    for index, success in enumerate(per_rate_success):
+        if success:
+            best = index
+            found = True
+    return best if found else 0
+
+
+def classify_selection(chosen_index, optimal_index):
+    """Classify a rate choice as ``"underselect"``, ``"accurate"`` or ``"overselect"``."""
+    if chosen_index < optimal_index:
+        return "underselect"
+    if chosen_index > optimal_index:
+        return "overselect"
+    return "accurate"
+
+
+__all__ = [
+    "MinstrelController",
+    "RateController",
+    "RateFeedback",
+    "SampleRateController",
+    "classify_selection",
+    "controller_from_dict",
+    "optimal_rate_index",
+]

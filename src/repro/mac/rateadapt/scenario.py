@@ -1,0 +1,319 @@
+"""Declarative rate-adaptation scenarios for the experiment front door.
+
+A BER curve asks "how often do bits flip at this operating point?"; a
+rate-adaptation study asks "what did the controller *do* over this channel
+realisation?".  The second question still decomposes into the first — the
+expensive part is decoding every packet at every rate — so this module
+reuses the whole declarative stack rather than growing a parallel one:
+
+* :class:`RateAdaptScenario` is the frozen, content-hashable description
+  of a closed-loop link (decoder, payload, SNR, Doppler, packet spacing).
+  It implements the same protocol as
+  :class:`~repro.analysis.scenario.Scenario` (``to_dict`` / ``from_dict``
+  / ``content_hash`` / ``params`` / ``is_declarative``) and tags its
+  serialised form with ``"kind": "rate_adapt"`` so the service's request
+  layer can rebuild the right class from JSON.
+* :class:`RateAdaptExperiment` wraps a plain
+  :class:`~repro.analysis.scenario.Experiment` whose chunk-runner is
+  :func:`~repro.mac.rateadapt.closedloop.run_rate_adapt_batch`: the decode
+  runs at fixed depth through the adaptive path (``StopRule(max_packets=
+  num_packets)``), so batches are content-addressed in the
+  :class:`~repro.analysis.store.ResultStore`, shardable with any
+  :class:`~repro.analysis.sweep.SweepExecutor`, and a warm rerun
+  simulates zero packets.  Controllers are replayed over the decoded
+  matrices *after* the sweep — one stored decode serves every controller,
+  and adding a controller to the comparison costs no simulation at all.
+
+The store-sharing consequence is worth spelling out: the store namespace
+is a function of the scenario, constants, seed and batch quantum — not of
+``num_packets`` (which lives in the stop rule) and not of the controller
+list.  Asking for a longer trajectory resumes from the batches the shorter
+run left behind; asking about a new controller is pure replay.
+"""
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Experiment
+from repro.analysis.sweep import SweepSpec
+from repro.mac.rateadapt.airtime import default_airtime_model
+from repro.mac.rateadapt.closedloop import (PrecomputedOutcomes,
+                                            oracle_trajectory,
+                                            replay_trajectory,
+                                            run_rate_adapt_batch)
+from repro.mac.rateadapt.controllers import controller_from_dict
+from repro.phy.params import RATE_TABLE
+
+_NUMBER_TYPES = (int, float, np.integer, np.floating)
+
+
+def _is_number(value):
+    return isinstance(value, _NUMBER_TYPES) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class RateAdaptScenario:
+    """A validated, frozen description of one closed-loop link.
+
+    Parameters
+    ----------
+    decoder:
+        Decoder name (``"bcjr"``, ``"sova"``, ``"viterbi"``).  Required —
+        the scenario must stay declarative for the store and the service.
+    packet_bits:
+        Payload bits per packet.  Required (never swept): the airtime
+        pricing and the controllers' lossless-time tables assume one
+        payload size per trajectory.
+    snr_db:
+        Mean AWGN SNR in dB, or ``None`` when ``snr_db`` is a sweep axis.
+    doppler_hz:
+        Fading Doppler frequency in Hz, or ``None`` when swept.
+    packet_interval_s:
+        Time between successive packet starts (sets how fast the channel
+        decorrelates packet to packet).
+    """
+
+    #: ``to_dict()`` tag the service request layer dispatches on.
+    KIND = "rate_adapt"
+
+    decoder: object = "bcjr"
+    packet_bits: object = 1704
+    snr_db: object = 10.0
+    doppler_hz: object = None
+    packet_interval_s: object = 2e-3
+
+    def __post_init__(self):
+        if not isinstance(self.decoder, str) or not self.decoder:
+            raise ValueError(
+                "decoder must be a non-empty decoder name; got %r"
+                % (self.decoder,))
+        if not _is_number(self.packet_bits) or int(self.packet_bits) < 1 \
+                or self.packet_bits != int(self.packet_bits):
+            raise ValueError(
+                "packet_bits must be a positive integer; got %r"
+                % (self.packet_bits,))
+        object.__setattr__(self, "packet_bits", int(self.packet_bits))
+        if self.snr_db is not None and not _is_number(self.snr_db):
+            raise ValueError("snr_db must be a number or None; got %r"
+                             % (self.snr_db,))
+        if self.doppler_hz is not None and not (
+                _is_number(self.doppler_hz) and self.doppler_hz > 0):
+            raise ValueError(
+                "doppler_hz must be a positive number or None; got %r"
+                % (self.doppler_hz,))
+        if not (_is_number(self.packet_interval_s)
+                and self.packet_interval_s > 0):
+            raise ValueError(
+                "packet_interval_s must be a positive number; got %r"
+                % (self.packet_interval_s,))
+        object.__setattr__(self, "packet_interval_s",
+                           float(self.packet_interval_s))
+
+    # -- the Scenario protocol ----------------------------------------- #
+    @property
+    def is_declarative(self):
+        """Always true: every field is validated to a plain value."""
+        return True
+
+    def to_dict(self):
+        """Canonical plain-data form, tagged with the scenario kind."""
+        out = {"kind": self.KIND}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, np.integer):
+                value = int(value)
+            elif isinstance(value, np.floating):
+                value = float(value)
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        data = dict(data)
+        kind = data.pop("kind", cls.KIND)
+        if kind != cls.KIND:
+            raise ValueError("not a %r scenario dict (kind=%r)"
+                             % (cls.KIND, kind))
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown RateAdaptScenario field(s): %s (known fields: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(sorted(known))))
+        return cls(**data)
+
+    def content_hash(self):
+        """Canonical SHA-256 of the declarative form (store identity)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def params(self):
+        """The sweep-constants dict this scenario contributes.
+
+        ``None`` fields are omitted — they arrive per point, from the
+        sweep axes.
+        """
+        out = {}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value is not None:
+                out[field.name] = value
+        return out
+
+    def replace(self, **changes):
+        """A copy of this scenario with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Default controller comparison: the paper's SoftRate plus the two
+#: classic frame-level samplers, all over the full 8-rate table.
+DEFAULT_CONTROLLERS = ("softrate", "samplerate", "minstrel")
+
+
+def _default_controller_spec(name, packet_bits):
+    """The canonical config dict for a named default controller."""
+    if name == "softrate":
+        from repro.mac.evaluation import SoftRateEvaluation
+        from repro.mac.softrate import SoftRateController
+
+        lower, upper = SoftRateEvaluation.DEFAULT_CONTROLLER_WINDOW
+        return SoftRateController(lower_pber=lower, upper_pber=upper,
+                                  backoff_packets=6).to_dict()
+    if name == "samplerate":
+        from repro.mac.rateadapt.controllers import SampleRateController
+
+        return SampleRateController(packet_bits=packet_bits).to_dict()
+    if name == "minstrel":
+        from repro.mac.rateadapt.controllers import MinstrelController
+
+        return MinstrelController(packet_bits=packet_bits).to_dict()
+    raise ValueError("unknown default controller %r (known: %s)"
+                     % (name, ", ".join(DEFAULT_CONTROLLERS)))
+
+
+class RateAdaptExperiment:
+    """Run controllers over a swept grid of closed-loop channels.
+
+    Parameters
+    ----------
+    scenario:
+        The :class:`RateAdaptScenario` under test; its ``None`` fields
+        must arrive from ``axes``.
+    axes:
+        Mapping of axis name to operating-point values, e.g.
+        ``{"doppler_hz": [10.0, 40.0]}``.
+    num_packets:
+        Trajectory length per point.  Lives in the stop rule, *not* the
+        store namespace — a longer rerun resumes the shorter run's
+        batches.
+    batch_packets:
+        Decode batch quantum (the store's unit of work).
+    seed:
+        Master sweep seed; each point derives its own stream from its
+        coordinates, so trajectories are worker- and chunk-invariant.
+    store:
+        Optional :class:`~repro.analysis.store.ResultStore` for
+        content-addressed resume.
+    controllers:
+        Controllers to replay: names from :data:`DEFAULT_CONTROLLERS`,
+        ``to_dict()`` config dicts, or controller instances (converted to
+        config dicts — a *fresh* controller is built per point, so one
+        instance never leaks state across points).
+    airtime:
+        :class:`~repro.mac.rateadapt.airtime.AirtimeModel` used for
+        scoring (defaults to the shared 802.11a model).
+    """
+
+    def __init__(self, scenario, axes, num_packets=200, batch_packets=32,
+                 seed=0, store=None, controllers=None, airtime=None):
+        if not isinstance(scenario, RateAdaptScenario):
+            raise TypeError("scenario must be a RateAdaptScenario; got %r"
+                            % (scenario,))
+        self.scenario = scenario
+        self.num_packets = int(num_packets)
+        if self.num_packets < 1:
+            raise ValueError("num_packets must be positive")
+        self.airtime = airtime or default_airtime_model()
+        self.controller_specs = [
+            spec if isinstance(spec, dict)
+            else _default_controller_spec(spec, scenario.packet_bits)
+            if isinstance(spec, str) else spec.to_dict()
+            for spec in (controllers or DEFAULT_CONTROLLERS)
+        ]
+        self.experiment = Experiment(
+            scenario=scenario,
+            sweep=SweepSpec(dict(axes), seed=seed),
+            stop=StopRule(rel_half_width=None, min_errors=0,
+                          max_packets=self.num_packets),
+            store=store,
+            runner=run_rate_adapt_batch,
+            batch_packets=int(batch_packets),
+        )
+
+    @property
+    def last_store_stats(self):
+        """``{"hits", "misses"}`` of the last store-backed run."""
+        return self.experiment.last_store_stats
+
+    def store_digest(self):
+        """The store namespace the decode batches are filed under."""
+        return self.experiment.store_digest()
+
+    def run(self, executor=None):
+        """Sweep, replay every controller, and return flat metric rows.
+
+        One row per (operating point, controller) plus one oracle row per
+        point; each row carries the point's coordinates, the controller
+        label, achieved/oracle airtime throughput and the Figure 7
+        selection fractions.  Rows are bit-for-bit invariant to the
+        executor, ``REPRO_SWEEP_WORKERS`` and the store temperature.
+        """
+        sweep_rows = self.experiment.run(executor=executor)
+        rows = []
+        for sweep_row in sweep_rows:
+            # The stop rule caps traffic in whole batches, so a quantum
+            # that does not divide num_packets decodes a partial extra
+            # batch; trimming to the requested trajectory length is what
+            # keeps the rows bit-for-bit invariant to batch_packets.
+            success = np.asarray(sweep_row["success"],
+                                 dtype=bool)[:self.num_packets]
+            pber = np.asarray(sweep_row["pber_estimate"],
+                              dtype=np.float64)[:self.num_packets]
+            outcomes = PrecomputedOutcomes(success, pber, None)
+            coords = {name: sweep_row[name]
+                      for name in self.experiment.sweep.axes}
+            oracle = oracle_trajectory(outcomes, self.scenario.packet_bits,
+                                       rates=RATE_TABLE, airtime=self.airtime)
+            point_rows = [oracle.row()]
+            for spec in self.controller_specs:
+                controller = controller_from_dict(spec)
+                trajectory = replay_trajectory(
+                    controller, outcomes, self.scenario.packet_bits,
+                    airtime=self.airtime)
+                point_rows.append(trajectory.row())
+            outage = int((~success.any(axis=1)).sum())
+            for row in point_rows:
+                row.update(coords)
+                row["oracle_mbps"] = oracle.achieved_mbps
+                row["outage_packets"] = outage
+                rows.append(row)
+        return rows
+
+    def __repr__(self):
+        return ("RateAdaptExperiment(%r, packets=%d, controllers=%s)"
+                % (self.scenario, self.num_packets,
+                   [spec.get("type") for spec in self.controller_specs]))
+
+
+__all__ = [
+    "DEFAULT_CONTROLLERS",
+    "RateAdaptExperiment",
+    "RateAdaptScenario",
+]

@@ -21,12 +21,24 @@ rate:
 
 Setting ``up_hysteresis=1`` and ``backoff_packets=0`` recovers the plain
 threshold-window policy.
+
+The controller implements the
+:class:`~repro.mac.rateadapt.controllers.RateController` protocol
+(``choose``/``observe``/``to_dict``/``from_dict``) so it competes with the
+frame-level samplers in :mod:`repro.mac.rateadapt` over the same
+closed-loop links; :meth:`SoftRateController.update` remains the primitive
+the Figure 7 evaluation has always called, and ``observe`` is a thin
+delegation to it, so the refactor changes no decision bit for bit.
 """
 
-from repro.phy.params import RATE_TABLE
+from repro.mac.rateadapt.controllers import (RateController, classify_selection,
+                                             optimal_rate_index)
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+
+__all__ = ["SoftRateController", "classify_selection", "optimal_rate_index"]
 
 
-class SoftRateController:
+class SoftRateController(RateController):
     """Threshold-window rate adaptation driven by PBER feedback.
 
     Parameters
@@ -49,6 +61,8 @@ class SoftRateController:
         packet).
     """
 
+    kind = "softrate"
+
     def __init__(
         self,
         lower_pber=1e-7,
@@ -64,15 +78,16 @@ class SoftRateController:
             raise ValueError("up_hysteresis must be at least 1")
         if backoff_packets < 0:
             raise ValueError("backoff_packets must be non-negative")
+        super().__init__(rates)
         self.lower_pber = float(lower_pber)
         self.upper_pber = float(upper_pber)
-        self.rates = tuple(rates)
         self.up_hysteresis = int(up_hysteresis)
         self.backoff_packets = int(backoff_packets)
         if initial_rate is None:
             self._index = 0
         else:
             self._index = self._index_of(initial_rate)
+        self._initial_index = self._index
         self.decisions = 0
         self.rate_increases = 0
         self.rate_decreases = 0
@@ -95,6 +110,47 @@ class SoftRateController:
     def current_index(self):
         """Index of the current rate in the controller's table."""
         return self._index
+
+    # ------------------------------------------------------------------ #
+    # The RateController protocol
+    # ------------------------------------------------------------------ #
+    def choose(self):
+        """Index of the rate the next packet should be sent at (pure)."""
+        return self._index
+
+    def observe(self, feedback):
+        """Consume one packet's :class:`~repro.mac.rateadapt.controllers.RateFeedback`.
+
+        Delegates to :meth:`update` with the SoftPHY PBER estimate;
+        ``None`` (no estimate — the packet or its acknowledgement was
+        lost) is what ``update`` already treats as an above-window
+        packet, so hard-decision feedback degrades gracefully.
+        """
+        self.update(feedback.pber_estimate)
+
+    def to_dict(self):
+        """Canonical plain-data configuration (JSON-able)."""
+        out = {
+            "type": self.kind,
+            "rates_mbps": self._rates_mbps(),
+            "lower_pber": self.lower_pber,
+            "upper_pber": self.upper_pber,
+            "up_hysteresis": self.up_hysteresis,
+            "backoff_packets": self.backoff_packets,
+        }
+        if self._initial_index != 0:
+            out["initial_rate_mbps"] = self.rates[self._initial_index].data_rate_mbps
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        if data.pop("type", cls.kind) != cls.kind:
+            raise ValueError("not a %r controller dict" % cls.kind)
+        rates = cls._rates_from_dict(data)
+        initial_mbps = data.pop("initial_rate_mbps", None)
+        initial = None if initial_mbps is None else rate_by_mbps(initial_mbps)
+        return cls(rates=rates, initial_rate=initial, **data)
 
     def update(self, pber_estimate):
         """Consume one packet's PBER feedback and return the next rate.
@@ -137,8 +193,16 @@ class SoftRateController:
         return self.current_rate
 
     def reset(self, initial_rate=None):
-        """Return to the initial rate and clear the decision counters."""
-        self._index = 0 if initial_rate is None else self._index_of(initial_rate)
+        """Return to the configured initial rate and clear the counters.
+
+        Passing ``initial_rate`` re-bases the controller on a different
+        starting rate instead.
+        """
+        if initial_rate is None:
+            self._index = self._initial_index
+        else:
+            self._index = self._index_of(initial_rate)
+            self._initial_index = self._index
         self.decisions = 0
         self.rate_increases = 0
         self.rate_decreases = 0
@@ -152,28 +216,3 @@ class SoftRateController:
             self.lower_pber,
             self.upper_pber,
         )
-
-
-def optimal_rate_index(per_rate_success):
-    """Index of the highest rate that delivered the packet without error.
-
-    ``per_rate_success`` is a boolean sequence ordered like the rate table.
-    When no rate succeeds the most robust (lowest) rate is considered
-    optimal, matching the convention used in the Figure 7 evaluation.
-    """
-    best = 0
-    found = False
-    for index, success in enumerate(per_rate_success):
-        if success:
-            best = index
-            found = True
-    return best if found else 0
-
-
-def classify_selection(chosen_index, optimal_index):
-    """Classify a rate choice as ``"underselect"``, ``"accurate"`` or ``"overselect"``."""
-    if chosen_index < optimal_index:
-        return "underselect"
-    if chosen_index > optimal_index:
-        return "overselect"
-    return "accurate"

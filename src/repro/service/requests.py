@@ -31,8 +31,49 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.analysis.adaptive import StopRule
-from repro.analysis.scenario import Experiment, Scenario
+from repro.analysis.scenario import Experiment, Scenario, is_scenario_like
 from repro.analysis.sweep import SweepSpec
+
+
+def resolve_runner(name):
+    """Resolve a *named* chunk-runner a request may ask for.
+
+    Requests travel over HTTP, so a runner cannot be an arbitrary
+    callable — it is a name from this whitelist, resolved lazily on the
+    serving side.  ``None`` selects the default link BER runner.  The
+    name is part of the request key (different runners produce different
+    rows) and, via the experiment's qualified runner name, of the store
+    namespace.
+    """
+    if name is None:
+        return None
+    if name == "rate_adapt":
+        from repro.mac.rateadapt.closedloop import run_rate_adapt_batch
+
+        return run_rate_adapt_batch
+    raise ValueError(
+        "unknown runner name %r (known: rate_adapt, or None for the "
+        "default link runner)" % (name,))
+
+
+def scenario_from_dict(data):
+    """Rebuild the right scenario class from its serialised form.
+
+    Dispatches on the optional ``"kind"`` tag: absent or ``"link"`` means
+    the classic :class:`Scenario`; ``"rate_adapt"`` the closed-loop
+    :class:`~repro.mac.rateadapt.scenario.RateAdaptScenario`.
+    """
+    data = dict(data)
+    kind = data.get("kind", "link")
+    if kind == "link":
+        data.pop("kind", None)
+        return Scenario.from_dict(data)
+    if kind == "rate_adapt":
+        from repro.mac.rateadapt.scenario import RateAdaptScenario
+
+        return RateAdaptScenario.from_dict(data)
+    raise ValueError("unknown scenario kind %r (known: link, rate_adapt)"
+                     % (kind,))
 
 
 def _plain(value):
@@ -105,6 +146,15 @@ class CharacterisationRequest:
         like priority, it is never part of the rows or the request key,
         so identical asks from different clients still coalesce (a
         coalesced ask adds no work and is never charged).
+    runner:
+        Optional *named* chunk-runner (see :func:`resolve_runner`):
+        ``None`` for the default link BER runner, ``"rate_adapt"`` for
+        closed-loop rate-adaptation trajectories.  Part of the request
+        key (a different runner answers a different question) but
+        omitted from the serialised form when ``None``, so every
+        pre-existing request key is unchanged.  A broker-level runner
+        override, when configured, still wins — that knob exists for
+        test harnesses that stub the simulation out entirely.
     """
 
     scenario: object
@@ -117,11 +167,14 @@ class CharacterisationRequest:
     priority: int = 0
     deadline_s: object = None
     client_id: object = None
+    runner: object = None
 
     def __post_init__(self):
-        if not isinstance(self.scenario, Scenario):
-            raise TypeError("scenario must be a Scenario; got %r"
-                            % (self.scenario,))
+        if not is_scenario_like(self.scenario):
+            raise TypeError(
+                "scenario must implement the Scenario protocol (to_dict, "
+                "content_hash, params, is_declarative); got %r"
+                % (self.scenario,))
         if not self.scenario.is_declarative:
             self.scenario.to_dict()  # raises naming the offending field
         try:
@@ -168,13 +221,14 @@ class CharacterisationRequest:
                 not isinstance(self.client_id, str) or not self.client_id):
             raise TypeError("client_id must be a non-empty string or None; "
                             "got %r" % (self.client_id,))
+        resolve_runner(self.runner)  # raises on unknown names
 
     # ------------------------------------------------------------------ #
     # Identity
     # ------------------------------------------------------------------ #
     def to_dict(self):
         """The canonical plain-data form (JSON-able, exact round-trip)."""
-        return {
+        out = {
             "scenario": self.scenario.to_dict(),
             "axes": {name: list(values) for name, values in self.axes.items()},
             "stop": self.stop.to_dict(),
@@ -186,6 +240,11 @@ class CharacterisationRequest:
             "deadline_s": self.deadline_s,
             "client_id": self.client_id,
         }
+        if self.runner is not None:
+            # Omitted when default so pre-existing request keys (and every
+            # client that never heard of runners) are unchanged.
+            out["runner"] = self.runner
+        return out
 
     @classmethod
     def from_dict(cls, data):
@@ -200,8 +259,8 @@ class CharacterisationRequest:
         if "scenario" not in data or "axes" not in data or "stop" not in data:
             raise ValueError("a request needs scenario, axes and stop")
         scenario = data.pop("scenario")
-        if not isinstance(scenario, Scenario):
-            scenario = Scenario.from_dict(scenario)
+        if isinstance(scenario, dict):
+            scenario = scenario_from_dict(scenario)
         stop = data.pop("stop")
         if not isinstance(stop, StopRule):
             stop = StopRule.from_dict(stop)
@@ -242,8 +301,13 @@ class CharacterisationRequest:
 
         The broker builds its trajectory and store namespace from this
         object, which is what makes service rows bit-for-bit identical
-        to ``request.experiment(store).run()``.
+        to ``request.experiment(store).run()``.  The ``runner`` argument
+        is the broker-level callable override; when absent, the request's
+        own *named* runner (if any) is resolved via
+        :func:`resolve_runner`.
         """
+        if runner is None:
+            runner = resolve_runner(self.runner)
         return Experiment(
             scenario=self.scenario,
             sweep=self.sweep_spec(),

@@ -82,6 +82,33 @@ class TestArq:
         assert stats.average_transmissions == 0.0
         assert stats.efficiency == 0.0
 
+    def test_zero_traffic_session_reads_all_zero_ratios(self):
+        # A session that offered no packets must not divide by zero in any
+        # of the ratio properties (empty sessions happen whenever a harness
+        # filters its packet source).
+        stats = ArqStatistics()
+        assert stats.delivery_rate == 0.0
+        assert stats.average_transmissions == 0.0
+        assert stats.efficiency == 0.0
+        repr(stats)  # the repr formats the ratios; must not raise
+
+    def test_abandoned_only_session_has_zero_delivery_rate(self):
+        link = ArqLinkLayer(lambda packet, attempt: False, max_attempts=2)
+        assert not link.deliver(make_packet(0))
+        stats = link.statistics
+        assert stats.delivery_rate == 0.0
+        assert stats.average_transmissions == 0.0  # nothing was delivered
+        assert stats.packets_abandoned == 1
+
+    def test_delivery_rate_counts_delivered_over_offered(self):
+        outcomes = iter([True, False, False, True])
+        link = ArqLinkLayer(lambda packet, attempt: next(outcomes),
+                            max_attempts=2)
+        link.deliver(make_packet(0))  # delivered first try
+        link.deliver(make_packet(1))  # fails twice -> abandoned
+        link.deliver(make_packet(2))  # delivered first try
+        assert link.statistics.delivery_rate == pytest.approx(2 / 3)
+
 
 class TestPartialPacketRecovery:
     def test_only_suspect_chunks_are_retransmitted(self):

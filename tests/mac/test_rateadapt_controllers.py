@@ -1,0 +1,273 @@
+"""Tests for the RateController protocol and the classic samplers."""
+
+import zlib
+
+import pytest
+
+from repro.mac.rateadapt import (MinstrelController, RateController,
+                                 RateFeedback, SampleRateController,
+                                 controller_from_dict)
+from repro.mac.softrate import SoftRateController
+from repro.phy.params import RATE_TABLE, rate_by_mbps
+
+THREE_RATES = tuple(rate_by_mbps(mbps) for mbps in (6.0, 24.0, 54.0))
+
+
+def feedback_for(controller, success):
+    """Feedback for the controller's own current choice.
+
+    Works for every controller kind: samplers read the airtime field,
+    SoftRate reads the PBER estimate (below its window on success, above
+    it on failure).
+    """
+    index = controller.choose()
+    airtime = getattr(controller, "airtime", None)
+    airtime_us = (airtime.lossless_tx_us(controller.rates[index],
+                                         controller.packet_bits)
+                  if airtime is not None else 0.0)
+    return RateFeedback(index, success,
+                        pber_estimate=1e-9 if success else 1e-1,
+                        airtime_us=airtime_us)
+
+
+class TestRateFeedback:
+    def test_coercion(self):
+        fb = RateFeedback(3, 1, pber_estimate="1e-3", airtime_us=5)
+        assert fb.rate_index == 3 and fb.success is True
+        assert fb.pber_estimate == 1e-3 and fb.airtime_us == 5.0
+
+    def test_pber_defaults_to_none(self):
+        assert RateFeedback(0, False).pber_estimate is None
+
+
+class TestProtocol:
+    def controllers(self):
+        return [
+            SampleRateController(rates=THREE_RATES),
+            MinstrelController(rates=THREE_RATES),
+            SoftRateController(rates=THREE_RATES),
+        ]
+
+    def test_choose_is_pure(self):
+        for controller in self.controllers():
+            for step in range(25):
+                first = controller.choose()
+                assert controller.choose() == first
+                assert controller.choose() == first
+                controller.observe(feedback_for(controller, step % 3 != 0))
+
+    def test_reset_restores_initial_choice(self):
+        for controller in self.controllers():
+            initial = controller.choose()
+            for _ in range(12):
+                controller.observe(feedback_for(controller, False))
+            controller.reset()
+            assert controller.choose() == initial
+
+    def test_current_rate_matches_choose(self):
+        for controller in self.controllers():
+            assert controller.current_rate is controller.rates[controller.choose()]
+
+    def test_round_trip_preserves_configuration(self):
+        for controller in self.controllers():
+            clone = controller_from_dict(controller.to_dict())
+            assert type(clone) is type(controller)
+            assert clone.to_dict() == controller.to_dict()
+            assert clone.rates == controller.rates
+
+    def test_identical_feedback_gives_identical_trajectories(self):
+        for left, right in zip(self.controllers(), self.controllers()):
+            chosen_left, chosen_right = [], []
+            for step in range(60):
+                chosen_left.append(left.choose())
+                chosen_right.append(right.choose())
+                success = (step * 7) % 5 > 1
+                left.observe(feedback_for(left, success))
+                right.observe(feedback_for(right, success))
+            assert chosen_left == chosen_right
+
+    def test_base_class_is_abstract(self):
+        controller = RateController(rates=THREE_RATES)
+        with pytest.raises(NotImplementedError):
+            controller.choose()
+        with pytest.raises(NotImplementedError):
+            controller.observe(RateFeedback(0, True))
+        with pytest.raises(NotImplementedError):
+            controller.reset()
+        with pytest.raises(NotImplementedError):
+            controller.to_dict()
+
+    def test_empty_rate_table_rejected(self):
+        with pytest.raises(ValueError):
+            RateController(rates=())
+
+
+class TestSampleRate:
+    def test_opens_at_the_fastest_rate(self):
+        # All averages start at the lossless times, which decrease with
+        # rate, so the nominally fastest rate wins the argmin.
+        controller = SampleRateController(rates=THREE_RATES)
+        assert controller.choose() == 2
+        assert SampleRateController().choose() == len(RATE_TABLE) - 1
+
+    def test_successive_failures_exclude_a_rate(self):
+        controller = SampleRateController(
+            rates=THREE_RATES, max_successive_failures=4, stats_window=200)
+        for _ in range(4):
+            controller.observe(feedback_for(controller, False))
+        assert controller.choose() == 1
+
+    def test_stats_window_ages_out_exclusions(self):
+        controller = SampleRateController(
+            rates=THREE_RATES, max_successive_failures=2, stats_window=6,
+            probe_interval=50)
+        for _ in range(2):
+            controller.observe(feedback_for(controller, False))
+        assert controller.choose() == 1
+        # Four more decisions reach the 6-packet window boundary, where the
+        # failure counters clear and the fast rate is eligible again.
+        for _ in range(4):
+            controller.observe(feedback_for(controller, True))
+        assert controller.choose() == 2
+
+    def test_failed_airtime_is_charged_to_the_next_success(self):
+        controller = SampleRateController(rates=THREE_RATES)
+        lossless = controller._lossless_us
+        controller.observe(RateFeedback(2, False, airtime_us=lossless[2]))
+        controller.observe(RateFeedback(2, True, airtime_us=lossless[2]))
+        # First measurement replaces the optimistic initial value: the
+        # average now prices two transmissions per delivery, which is worse
+        # than the middle rate's lossless time, so the controller steps down.
+        assert controller._avg_tx_us[2] == 2 * lossless[2]
+        assert controller.choose() == 1
+
+    def test_probes_candidates_that_could_beat_the_incumbent(self):
+        controller = SampleRateController(rates=THREE_RATES, probe_interval=10)
+        lossless = controller._lossless_us
+        controller.observe(RateFeedback(2, False, airtime_us=lossless[2]))
+        controller.observe(RateFeedback(2, True, airtime_us=lossless[2]))
+        # Incumbent is now rate 1; only rate 2's lossless time undercuts
+        # its average, so packet 10 probes rate 2.
+        for packet_number in range(3, 10):
+            assert controller.choose() == 1
+            controller.observe(RateFeedback(1, True, airtime_us=lossless[1]))
+        assert controller.decisions == 9
+        assert controller.choose() == 2
+        assert controller.choose() == 2  # still pure at a probe slot
+
+    def test_all_rates_excluded_falls_back_to_most_robust(self):
+        controller = SampleRateController(
+            rates=THREE_RATES, max_successive_failures=1, stats_window=1000)
+        for index in (2, 1, 0):
+            assert controller.choose() == index
+            controller.observe(feedback_for(controller, False))
+        assert controller.choose() == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SampleRateController(ewma_weight=1.0)
+        with pytest.raises(ValueError):
+            SampleRateController(probe_interval=1)
+        with pytest.raises(ValueError):
+            SampleRateController(max_successive_failures=0)
+        with pytest.raises(ValueError):
+            SampleRateController(stats_window=0)
+        with pytest.raises(ValueError):
+            SampleRateController().observe(RateFeedback(99, True))
+
+    def test_from_dict_round_trip_with_custom_airtime(self):
+        controller = SampleRateController(rates=THREE_RATES, packet_bits=800,
+                                          probe_interval=7, stats_window=40)
+        clone = SampleRateController.from_dict(controller.to_dict())
+        assert clone.to_dict() == controller.to_dict()
+        assert clone.airtime == controller.airtime
+
+
+class TestMinstrel:
+    def test_opens_at_the_fastest_rate(self):
+        # Unattempted rates read probability 1.0, so the throughput ranking
+        # starts as the lossless-airtime ranking.
+        assert MinstrelController(rates=THREE_RATES).choose() == 2
+
+    def test_probability_ewma(self):
+        controller = MinstrelController(rates=THREE_RATES, ewma_weight=0.75)
+        assert controller.success_probability(2) == 1.0
+        controller.observe(RateFeedback(2, False))
+        assert controller.success_probability(2) == 0.0  # first sample replaces
+        controller.observe(RateFeedback(2, True))
+        assert controller.success_probability(2) == pytest.approx(0.25)
+        assert controller.attempts[2] == 2 and controller.successes[2] == 1
+
+    def test_failures_demote_the_top_rate(self):
+        controller = MinstrelController(rates=THREE_RATES)
+        controller.observe(RateFeedback(2, False))
+        assert controller.throughput_estimate(2) == 0.0
+        assert controller.choose() == 1
+
+    def test_ranking_breaks_ties_towards_the_robust_rate(self):
+        controller = MinstrelController(rates=THREE_RATES)
+        for index in range(3):
+            controller.observe(RateFeedback(index, False))
+        assert controller._ranked() == [0, 1, 2]
+
+    def test_retry_chain_structure(self):
+        controller = MinstrelController(rates=THREE_RATES)
+        assert controller.retry_chain() == [2, 1, 0]
+        controller.observe(RateFeedback(2, False))
+        chain = controller.retry_chain()
+        assert chain[0] == 1          # max throughput after the failure
+        assert chain[-1] == 0         # always ends at the most robust rate
+        assert len(chain) == len(set(chain))
+
+    def test_sampling_schedule_is_deterministic(self):
+        controller = MinstrelController(rates=THREE_RATES, sample_interval=10,
+                                        seed=5)
+        chosen = []
+        for _ in range(30):
+            index = controller.choose()
+            chosen.append(index)
+            controller.observe(RateFeedback(index, True))
+        best = 2  # every attempt succeeded, so the ranking never moves
+        for sample_number in (1, 2, 3):
+            token = b"minstrel:5:%d" % sample_number
+            sample = zlib.crc32(token) % 3
+            expected = sample if sample != best else best
+            assert chosen[sample_number * 10 - 1] == expected
+        non_sample = [c for i, c in enumerate(chosen) if (i + 1) % 10 != 0]
+        assert set(non_sample) == {best}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MinstrelController(ewma_weight=-0.1)
+        with pytest.raises(ValueError):
+            MinstrelController(sample_interval=1)
+        with pytest.raises(ValueError):
+            MinstrelController().observe(RateFeedback(-1, True))
+
+    def test_from_dict_round_trip(self):
+        controller = MinstrelController(rates=THREE_RATES, seed=9,
+                                        sample_interval=4)
+        clone = MinstrelController.from_dict(controller.to_dict())
+        assert clone.to_dict() == controller.to_dict()
+
+
+class TestControllerFromDict:
+    def test_dispatches_all_registered_kinds(self):
+        assert isinstance(controller_from_dict({"type": "samplerate"}),
+                          SampleRateController)
+        assert isinstance(controller_from_dict({"type": "minstrel"}),
+                          MinstrelController)
+        assert isinstance(controller_from_dict({"type": "softrate"}),
+                          SoftRateController)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown controller type"):
+            controller_from_dict({"type": "aarf"})
+        with pytest.raises(ValueError, match="unknown controller type"):
+            controller_from_dict({})
+
+    def test_wrong_tag_rejected_by_class_from_dict(self):
+        with pytest.raises(ValueError):
+            SampleRateController.from_dict({"type": "minstrel"})
+        with pytest.raises(ValueError):
+            MinstrelController.from_dict({"type": "samplerate"})

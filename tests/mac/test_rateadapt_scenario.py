@@ -1,0 +1,117 @@
+"""Tests for the declarative rate-adaptation scenario layer."""
+
+import json
+
+import pytest
+
+from repro.analysis.scenario import Scenario, is_scenario_like
+from repro.mac.rateadapt import RateAdaptExperiment, RateAdaptScenario
+from repro.mac.rateadapt.scenario import (DEFAULT_CONTROLLERS,
+                                          _default_controller_spec)
+
+
+class TestScenarioValidation:
+    def test_defaults_are_valid(self):
+        scenario = RateAdaptScenario()
+        assert scenario.decoder == "bcjr"
+        assert scenario.packet_bits == 1704
+        assert scenario.is_declarative is True
+
+    def test_decoder_required(self):
+        with pytest.raises(ValueError, match="decoder"):
+            RateAdaptScenario(decoder=None)
+        with pytest.raises(ValueError, match="decoder"):
+            RateAdaptScenario(decoder="")
+
+    def test_packet_bits_must_be_positive_integer(self):
+        with pytest.raises(ValueError, match="packet_bits"):
+            RateAdaptScenario(packet_bits=None)
+        with pytest.raises(ValueError, match="packet_bits"):
+            RateAdaptScenario(packet_bits=0)
+        with pytest.raises(ValueError, match="packet_bits"):
+            RateAdaptScenario(packet_bits=12.5)
+
+    def test_sweepable_fields_accept_none(self):
+        scenario = RateAdaptScenario(snr_db=None, doppler_hz=None)
+        assert "snr_db" not in scenario.params()
+        assert "doppler_hz" not in scenario.params()
+
+    def test_doppler_must_be_positive_when_given(self):
+        with pytest.raises(ValueError, match="doppler_hz"):
+            RateAdaptScenario(doppler_hz=-1.0)
+
+    def test_packet_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="packet_interval_s"):
+            RateAdaptScenario(packet_interval_s=0.0)
+
+
+class TestScenarioProtocol:
+    def test_round_trip(self):
+        scenario = RateAdaptScenario(decoder="sova", packet_bits=800,
+                                     snr_db=None, doppler_hz=20.0)
+        data = scenario.to_dict()
+        assert data["kind"] == "rate_adapt"
+        assert RateAdaptScenario.from_dict(data) == scenario
+
+    def test_from_dict_rejects_wrong_kind_and_unknown_fields(self):
+        with pytest.raises(ValueError, match="kind"):
+            RateAdaptScenario.from_dict({"kind": "link"})
+        with pytest.raises(ValueError, match="unknown RateAdaptScenario"):
+            RateAdaptScenario.from_dict({"kind": "rate_adapt",
+                                         "modulation": "qpsk"})
+
+    def test_content_hash_is_stable_and_distinguishing(self):
+        scenario = RateAdaptScenario(doppler_hz=20.0)
+        assert scenario.content_hash() == \
+            RateAdaptScenario.from_dict(scenario.to_dict()).content_hash()
+        assert scenario.content_hash() != \
+            scenario.replace(doppler_hz=40.0).content_hash()
+        # Tagging with "kind" keeps the hash disjoint from the BER
+        # Scenario namespace even if the field values ever collided.
+        assert "kind" in json.dumps(scenario.to_dict())
+
+    def test_replace(self):
+        scenario = RateAdaptScenario()
+        faster = scenario.replace(packet_interval_s=1e-3)
+        assert faster.packet_interval_s == 1e-3
+        assert scenario.packet_interval_s == 2e-3
+
+    def test_is_scenario_like_covers_both_scenario_classes(self):
+        assert is_scenario_like(RateAdaptScenario())
+        assert is_scenario_like(Scenario())
+        assert not is_scenario_like(object())
+        assert not is_scenario_like({"kind": "rate_adapt"})
+
+
+class TestDefaultControllers:
+    def test_default_spec_names(self):
+        for name in DEFAULT_CONTROLLERS:
+            spec = _default_controller_spec(name, packet_bits=200)
+            assert spec["type"] == name
+
+    def test_samplers_inherit_the_scenario_payload_size(self):
+        assert _default_controller_spec("samplerate", 200)["packet_bits"] == 200
+        assert _default_controller_spec("minstrel", 512)["packet_bits"] == 512
+
+    def test_unknown_default_controller(self):
+        with pytest.raises(ValueError, match="unknown default controller"):
+            _default_controller_spec("aarf", 200)
+
+
+class TestExperimentValidation:
+    def test_scenario_type_is_enforced(self):
+        with pytest.raises(TypeError, match="RateAdaptScenario"):
+            RateAdaptExperiment(Scenario(), axes={"snr_db": [5.0]})
+
+    def test_num_packets_must_be_positive(self):
+        with pytest.raises(ValueError, match="num_packets"):
+            RateAdaptExperiment(RateAdaptScenario(doppler_hz=20.0),
+                                axes={"snr_db": [5.0]}, num_packets=0)
+
+    def test_controller_specs_normalised(self):
+        experiment = RateAdaptExperiment(
+            RateAdaptScenario(doppler_hz=20.0), axes={"snr_db": [5.0]},
+            controllers=["softrate", {"type": "minstrel", "seed": 4}])
+        kinds = [spec["type"] for spec in experiment.controller_specs]
+        assert kinds == ["softrate", "minstrel"]
+        assert experiment.controller_specs[1]["seed"] == 4

@@ -116,3 +116,107 @@ class TestClassification:
         assert classify_selection(2, 4) == "underselect"
         assert classify_selection(4, 4) == "accurate"
         assert classify_selection(6, 4) == "overselect"
+
+
+class TestRateControllerProtocol:
+    """SoftRate speaks the shared RateController protocol."""
+
+    def test_choose_returns_the_current_index_and_is_pure(self):
+        controller = SoftRateController(initial_rate=rate_by_mbps(24))
+        assert controller.choose() == controller.current_index
+        assert controller.choose() == controller.choose()
+
+    def test_observe_delegates_to_update(self):
+        from repro.mac.rateadapt import RateFeedback
+
+        by_update = SoftRateController()
+        by_observe = SoftRateController()
+        for pber in (1e-9, 1e-9, 1e-1, 1e-6, None, 1e-9):
+            by_update.update(pber)
+            by_observe.observe(RateFeedback(by_observe.choose(), True,
+                                            pber_estimate=pber))
+        assert by_observe.current_index == by_update.current_index
+        assert by_observe.decisions == by_update.decisions
+        assert by_observe.rate_decreases == by_update.rate_decreases
+
+    def test_to_dict_round_trip(self):
+        from repro.mac.rateadapt import controller_from_dict
+
+        controller = SoftRateController(
+            lower_pber=1e-6, upper_pber=1e-3, up_hysteresis=2,
+            backoff_packets=4, initial_rate=rate_by_mbps(12),
+            rates=RATE_TABLE[:5])
+        clone = controller_from_dict(controller.to_dict())
+        assert isinstance(clone, SoftRateController)
+        assert clone.to_dict() == controller.to_dict()
+        assert clone.current_index == controller.current_index
+
+    def test_default_dict_omits_the_default_initial_rate(self):
+        assert "initial_rate_mbps" not in SoftRateController().to_dict()
+        assert SoftRateController(
+            initial_rate=rate_by_mbps(36)).to_dict()["initial_rate_mbps"] == 36.0
+
+    def test_reset_restores_the_configured_initial_rate(self):
+        controller = SoftRateController(initial_rate=rate_by_mbps(24))
+        controller.update(1e-9)
+        controller.reset()
+        assert controller.current_rate.data_rate_mbps == 24
+
+
+class TestFigure7Regression:
+    """Bit-for-bit snapshots of the Figure 7 pipeline.
+
+    These sequences were recorded before SoftRate was refactored onto the
+    RateController protocol; they pin the refactor (and any future one) to
+    the exact decision stream of the original update()-driven loop.
+    """
+
+    def test_synthetic_outcomes_snapshot(self):
+        import numpy as np
+
+        from repro.mac.evaluation import SoftRateEvaluation
+        from repro.mac.rateadapt import PrecomputedOutcomes
+
+        packets = 40
+        optimal = np.clip(
+            np.round(3 + 2 * np.sin(np.arange(packets) / 4)).astype(int),
+            0, 7)
+        success = np.zeros((packets, 8), dtype=bool)
+        for i, opt in enumerate(optimal):
+            success[i, :opt + 1] = True
+        pber = np.where(success, 1e-9, 1e-1)
+        for i, opt in enumerate(optimal):
+            pber[i, opt] = 1e-6
+        pre = PrecomputedOutcomes(success, pber, pber.copy())
+
+        evaluation = SoftRateEvaluation(num_packets=packets, seed=0)
+        controller = SoftRateController(lower_pber=1e-7, upper_pber=1e-5,
+                                        backoff_packets=3)
+        result = evaluation.run("bcjr", precomputed=pre,
+                                controller=controller)
+
+        assert result.chosen_indices.tolist() == [
+            0, 1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 4, 4, 3, 3, 2, 2, 1, 1, 1,
+            1, 1, 1, 2, 2, 2, 3, 3, 4, 4, 5, 5, 5, 5, 5, 5, 4, 4, 3, 3]
+        assert result.optimal_indices.tolist() == [
+            3, 3, 4, 4, 5, 5, 5, 5, 5, 5, 4, 4, 3, 3, 2, 2, 1, 1, 1, 1,
+            1, 1, 2, 2, 2, 3, 3, 4, 4, 5, 5, 5, 5, 5, 5, 4, 4, 3, 3, 2]
+        outcome = result.outcome
+        assert (outcome.underselect, outcome.accurate, outcome.overselect) \
+            == (9, 24, 7)
+
+    @pytest.mark.filterwarnings("ignore")
+    def test_real_decode_snapshot(self):
+        from repro.mac.evaluation import SoftRateEvaluation
+
+        rates3 = tuple(RATE_TABLE[i] for i in (0, 4, 7))
+        evaluation = SoftRateEvaluation(snr_db=10.0, num_packets=6,
+                                        packet_bits=200, seed=1,
+                                        rates=rates3)
+        precomputed = evaluation.precompute("bcjr", batch_size=3)
+        result = evaluation.run("bcjr", precomputed=precomputed)
+        assert result.chosen_indices.tolist() == [0, 1, 0, 0, 0, 0]
+        assert result.optimal_indices.tolist() == [0, 0, 0, 0, 1, 1]
+        outcome = result.outcome
+        assert (outcome.underselect, outcome.accurate, outcome.overselect) \
+            == (2, 3, 1)

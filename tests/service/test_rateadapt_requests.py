@@ -1,0 +1,122 @@
+"""Rate-adaptation requests through the service front door.
+
+The request layer gained two dispatch points for the closed-loop
+subsystem: scenario dicts tagged ``"kind": "rate_adapt"`` rebuild a
+:class:`RateAdaptScenario`, and the named runner ``"rate_adapt"`` resolves
+to the closed-loop chunk-runner.  These tests pin the serialisation
+contract (old request keys unchanged, new ones distinct) and that a
+service-run characterisation matches the in-process experiment bit for
+bit.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.store import ResultStore
+from repro.analysis.sweep import SweepExecutor
+from repro.mac.rateadapt import RateAdaptScenario
+from repro.mac.rateadapt.closedloop import run_rate_adapt_batch
+from repro.service.api import Service
+from repro.service.requests import (CharacterisationRequest, resolve_runner,
+                                    scenario_from_dict)
+
+
+def rate_adapt_request(**overrides):
+    kwargs = dict(
+        scenario=RateAdaptScenario(decoder="bcjr", packet_bits=200,
+                                   snr_db=10.0, doppler_hz=None),
+        axes={"doppler_hz": [10.0, 40.0]},
+        stop=StopRule(rel_half_width=None, min_errors=0, max_packets=8),
+        seed=3,
+        batch_packets=4,
+        runner="rate_adapt",
+    )
+    kwargs.update(overrides)
+    return CharacterisationRequest(**kwargs)
+
+
+class TestResolveRunner:
+    def test_none_means_the_default_link_runner(self):
+        assert resolve_runner(None) is None
+
+    def test_rate_adapt_resolves_to_the_closedloop_runner(self):
+        assert resolve_runner("rate_adapt") is run_rate_adapt_batch
+
+    def test_unknown_names_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown runner"):
+            resolve_runner("warp_speed")
+
+
+class TestScenarioFromDict:
+    def test_rate_adapt_kind_rebuilds_the_right_class(self):
+        scenario = RateAdaptScenario(doppler_hz=20.0)
+        rebuilt = scenario_from_dict(scenario.to_dict())
+        assert isinstance(rebuilt, RateAdaptScenario)
+        assert rebuilt == scenario
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            scenario_from_dict({"kind": "quantum_link"})
+
+
+class TestRequestSerialisation:
+    def test_round_trip_preserves_key_and_scenario_class(self):
+        request = rate_adapt_request()
+        data = json.loads(json.dumps(request.to_dict()))
+        rebuilt = CharacterisationRequest.from_dict(data)
+        assert isinstance(rebuilt.scenario, RateAdaptScenario)
+        assert rebuilt.request_key() == request.request_key()
+
+    def test_default_runner_is_omitted_from_the_wire_form(self):
+        # Pre-existing (link BER) requests must keep their serialised form
+        # and therefore their request keys.
+        from repro.analysis.scenario import Scenario
+
+        request = CharacterisationRequest(
+            scenario=Scenario(), axes={"snr_db": [5.0]},
+            stop=StopRule(max_packets=64), seed=1)
+        assert "runner" not in request.to_dict()
+        assert request.runner is None
+
+    def test_runner_is_part_of_the_request_key(self):
+        with_runner = rate_adapt_request()
+        data = with_runner.to_dict()
+        assert data["runner"] == "rate_adapt"
+        # Same shape, different runner -> different question -> new key.
+        without = dict(data)
+        without.pop("runner")
+        assert CharacterisationRequest.from_dict(without).request_key() \
+            != with_runner.request_key()
+
+    def test_invalid_runner_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown runner"):
+            rate_adapt_request(runner="warp_speed")
+
+    def test_experiment_resolves_the_named_runner(self):
+        assert rate_adapt_request().experiment().runner \
+            is run_rate_adapt_batch
+
+
+class TestServiceRateAdapt:
+    def test_service_rows_match_the_inprocess_experiment(self, tmp_path):
+        request = rate_adapt_request()
+        baseline = request.experiment(
+            store=ResultStore(tmp_path / "baseline")).run(
+            SweepExecutor("serial"))
+        with Service(ResultStore(tmp_path / "service"), workers=2) as service:
+            result = service.characterise(request, timeout=300)
+        served = json.loads(json.dumps(result, default=_json_listify))
+        expected = json.loads(json.dumps(baseline, default=_json_listify))
+        assert served == expected
+
+
+def _json_listify(value):
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    raise TypeError("unserialisable %r" % type(value))

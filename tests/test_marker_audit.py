@@ -1,0 +1,65 @@
+"""Audit: every perf benchmark must be excluded from the fast path.
+
+CI's fast path runs ``pytest -m "not slow"``; a perf benchmark that forgets
+its ``@pytest.mark.slow`` silently turns the quick suite into a minutes-long
+one.  This test parses the benchmark sources so the rule is enforced the
+moment a new ``test_perf_*`` file lands, not when someone notices CI got
+slow.
+"""
+
+import ast
+import pathlib
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _is_slow_marker(node):
+    """True for a ``pytest.mark.slow`` decorator (called or bare)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    return (isinstance(node, ast.Attribute) and node.attr == "slow"
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "mark"
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "pytest")
+
+
+def _module_is_slow(tree):
+    """True when the module sets a ``pytestmark`` that includes slow."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "pytestmark" in targets:
+                values = (node.value.elts
+                          if isinstance(node.value, (ast.List, ast.Tuple))
+                          else [node.value])
+                if any(_is_slow_marker(value) for value in values):
+                    return True
+    return False
+
+
+def iter_test_functions(tree):
+    """Yield every test function/method in a parsed module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name.startswith("test"):
+            yield node
+
+
+def test_perf_benchmarks_exist():
+    assert sorted(BENCHMARKS.glob("test_perf_*.py")), \
+        "no perf benchmarks found — did the layout move?"
+
+
+def test_every_perf_benchmark_test_is_marked_slow():
+    unmarked = []
+    for path in sorted(BENCHMARKS.glob("test_perf_*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if _module_is_slow(tree):
+            continue
+        for function in iter_test_functions(tree):
+            if not any(_is_slow_marker(d) for d in function.decorator_list):
+                unmarked.append("%s::%s" % (path.name, function.name))
+    assert not unmarked, (
+        "perf benchmark tests missing @pytest.mark.slow (they would run "
+        "in the fast path): %s" % ", ".join(unmarked))
