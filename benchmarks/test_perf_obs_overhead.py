@@ -1,0 +1,129 @@
+"""Overhead of end-to-end tracing on the characterisation service.
+
+The observability layer's contract (ISSUE 10) is twofold: tracing must
+be *read-only* — rows bit-for-bit identical traced vs untraced — and
+*cheap*, because its span writes and kernel phase hooks sit directly on
+the service's hot path (broker dispatch, fleet capture, the BCJR
+forward/backward sweeps).  This benchmark measures both on the service
+throughput workload (Figure 6 shape, one request):
+
+1. Run the request through a fresh in-process :class:`Service` with the
+   null tracer (the shipped default), best-of-three wall-clock.
+2. Run the identical request with tracing into a scratch sink — the
+   full pipeline: request root span, per-batch spans, fleet simulate
+   spans, kernel phase sub-spans, store/deliver events.
+3. Assert the rows are bit-for-bit identical, assert the traced run
+   actually produced a reconstructable span tree, and emit the
+   ``obs_overhead`` JSON row tracking the relative cost across PRs.
+
+Each trial gets a fresh store (a warm store would answer from cache and
+time nothing).  The thread fleet keeps the measurement about
+instrumentation, not process start-up.  No wall-clock threshold is
+asserted — overhead on a noisy shared host is reported, not gated; the
+bit-for-bit assertion is the hard acceptance.
+"""
+
+import itertools
+import json
+import time
+
+import pytest
+
+from repro.analysis.adaptive import StopRule
+from repro.analysis.scenario import Scenario
+from repro.analysis.store import ResultStore
+from repro.obs import trace as obs_trace
+from repro.service.api import Service
+from repro.service.requests import CharacterisationRequest
+
+from _bench_utils import emit_with_rows, fastest_result, host_metadata
+
+#: Figure 6 workload: QAM16 1/2 (24 Mb/s), 1704-bit packets, BCJR.
+WORKLOAD = {
+    "rate_mbps": 24,
+    "decoder": "bcjr",
+    "packet_bits": 1704,
+    "batch_packets": 8,
+    "seed": 23,
+    "snrs": [4.0, 4.75, 5.5, 6.25, 7.0, 7.75],
+}
+
+REL_HALF_WIDTH = 0.25
+MIN_ERRORS = 30
+BER_FLOOR = 1e-4
+
+
+def _request(scale):
+    return CharacterisationRequest(
+        scenario=Scenario(decoder=WORKLOAD["decoder"],
+                          packet_bits=WORKLOAD["packet_bits"]),
+        axes={"rate_mbps": [WORKLOAD["rate_mbps"]],
+              "snr_db": list(WORKLOAD["snrs"])},
+        stop=StopRule(rel_half_width=REL_HALF_WIDTH, min_errors=MIN_ERRORS,
+                      ber_floor=BER_FLOOR, max_packets=96 * scale),
+        constants={"batch_size": WORKLOAD["batch_packets"]},
+        seed=WORKLOAD["seed"],
+        batch_packets=WORKLOAD["batch_packets"],
+    )
+
+
+@pytest.mark.slow
+def test_perf_obs_overhead(scale, tmp_path):
+    request = _request(scale)
+    trial_ids = itertools.count()
+
+    def _trial(trace_dir):
+        store = ResultStore(str(tmp_path / ("store-%d" % next(trial_ids))))
+        if trace_dir is not None:
+            obs_trace.configure(trace_dir, proc="bench")
+        try:
+            with Service(store, workers=2) as service:
+                start = time.perf_counter()
+                rows = service.submit(request).result(timeout=600)
+                elapsed = time.perf_counter() - start
+        finally:
+            if trace_dir is not None:
+                obs_trace.disable()
+        return {"elapsed": elapsed, "rows": rows}
+
+    # Tracing off (the shipped default) first, then on; fastest-of-3
+    # each so host scheduling noise cannot masquerade as span cost.
+    off = fastest_result(lambda: _trial(None),
+                         elapsed=lambda t: t["elapsed"])
+    sink = str(tmp_path / "traces")
+    on = fastest_result(lambda: _trial(sink),
+                        elapsed=lambda t: t["elapsed"])
+
+    # The hard acceptance: tracing never touches results.
+    assert on["rows"] == off["rows"]
+
+    # The traced run left a reconstructable tree behind: at least one
+    # request root with batch and simulate spans under it.
+    spans = obs_trace.load_spans(sink)
+    built = obs_trace.build_traces(spans)
+    names = {record["name"] for record in spans}
+    assert {"request", "batch", "simulate"} <= names, sorted(names)
+    assert any(any(root.name == "request" for root in roots)
+               for roots, _ in built.values())
+
+    overhead = (on["elapsed"] - off["elapsed"]) / off["elapsed"]
+    summary = {
+        "benchmark": "obs_overhead",
+        "workload": WORKLOAD,
+        "rel_half_width": REL_HALF_WIDTH,
+        "min_errors": MIN_ERRORS,
+        "ber_floor": BER_FLOOR,
+        "max_packets_per_point": 96 * scale,
+        "untraced_elapsed_sec": round(off["elapsed"], 4),
+        "traced_elapsed_sec": round(on["elapsed"], 4),
+        "overhead_frac": round(overhead, 4),
+        "spans_written": len(spans),
+        "rows_bit_for_bit": True,  # asserted above
+        "host": host_metadata(),
+    }
+    emit_with_rows(
+        "perf_obs_overhead",
+        "Tracing overhead on the characterisation service (off vs on)",
+        json.dumps(summary),
+        off["rows"],  # == the traced run's rows, asserted above
+    )

@@ -24,6 +24,15 @@ Run with::
 The store directory defaults to a temporary one; pass a path to keep the
 curves and re-run for a fully warm start.  Maintain the store afterwards
 with ``python -m repro.analysis.store ls|stats|gc <store_dir>``.
+
+Observability hooks (used by the CI obs-smoke job):
+
+* ``REPRO_TRACE_DIR=DIR`` traces both demos into ``DIR`` — the
+  in-process service directly, the daemon through the inherited
+  environment — ready for ``python -m repro.obs.trace summarize DIR``.
+* ``REPRO_PROM_SCRAPE=PATH`` fetches the daemon's
+  ``GET /v1/metrics?format=prometheus`` exposition, validates it with
+  the strict text-format parser, and writes it to ``PATH``.
 """
 
 import os
@@ -166,6 +175,21 @@ def daemon_demo(store_dir):
                  metrics["requests"]["cancelled"],
                  metrics["batches"]["released"]))
 
+        scrape_path = os.environ.get("REPRO_PROM_SCRAPE")
+        if scrape_path:
+            from urllib.request import urlopen
+
+            from repro.obs import parse_exposition
+            with urlopen(base_url + "/v1/metrics?format=prometheus",
+                         timeout=30) as response:
+                exposition = response.read().decode("utf-8")
+            parsed = parse_exposition(exposition)  # strict-grammar check
+            assert "repro_requests_total" in parsed
+            with open(scrape_path, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+            print("  prometheus: %d families scraped to %s"
+                  % (len(parsed), scrape_path))
+
         status = fetch_json(base_url + "/v1/status")
         print("  daemon served %d request(s); fleet %r"
               % (status["completed_requests"],
@@ -181,6 +205,12 @@ def daemon_demo(store_dir):
 
 
 def main(store_dir):
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if trace_dir:
+        from repro.obs import trace as obs_trace
+        obs_trace.configure(trace_dir, proc="example")
+        print("tracing to %s (inspect with python -m repro.obs.trace)\n"
+              % trace_dir)
     in_process_demo(os.path.join(store_dir, "inprocess"))
     daemon_demo(os.path.join(store_dir, "daemon"))
     print("\nAll service assertions held.")

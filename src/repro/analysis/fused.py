@@ -36,9 +36,12 @@ Under float32 the fused and per-batch paths are both approximate and agree
 to tolerance only (see :mod:`repro.phy.dtype`).
 """
 
+import time
+
 import numpy as np
 
 from repro.analysis.sweep import _resolve_fading, _resolve_llr_format
+from repro.obs.phases import get_phase_hook
 from repro.channel.awgn import awgn_batch
 from repro.phy.demapper import MODULATION_SCALE
 from repro.phy.dtype import dtype_policy
@@ -201,7 +204,16 @@ def run_fused_group(batches, decode_chunk=DECODE_CHUNK_PACKETS):
             ))
 
     total = sum(batch.num_packets for batch in batches)
+    # Phase hooks observe stage wall-clock only — never values — so the
+    # traced and untraced passes produce identical tensors.
+    hook = get_phase_hook()
+    if hook is not None:
+        phase_ts = time.time()
+        phase_t0 = time.perf_counter()
     samples = transmitter.transmit_batch(np.concatenate(tx_rows, axis=0))
+    if hook is not None:
+        hook("transmit", phase_ts, time.perf_counter() - phase_t0,
+             {"packets": total})
 
     # Channel, per batch: fading gains, then AWGN from the batch's own
     # noise generator (the one stage that must not fuse across batches).
@@ -213,6 +225,9 @@ def run_fused_group(batches, decode_chunk=DECODE_CHUNK_PACKETS):
         csi_all = np.broadcast_to(
             (np.abs(gains_all) ** 2)[:, np.newaxis], (total, num_symbols)
         )
+    if hook is not None:
+        phase_ts = time.time()
+        phase_t0 = time.perf_counter()
     received_rows = []
     offset = 0
     for batch, noise_rng, snrs, gains in zip(batches, noise_rngs, snr_rows,
@@ -226,20 +241,41 @@ def run_fused_group(batches, decode_chunk=DECODE_CHUNK_PACKETS):
         offset += batch.num_packets
     received = np.concatenate(received_rows, axis=0)
     llr_scales = np.concatenate(scale_rows) if scaled else None
+    if hook is not None:
+        hook("channel", phase_ts, time.perf_counter() - phase_t0,
+             {"packets": total})
 
     # Fused receive: front end and decode over every member at once,
     # chunked to the decoder's sweet spot (row-independent, so chunk
-    # boundaries may fall anywhere).
+    # boundaries may fall anywhere).  The two stages interleave across
+    # chunks, so their hook durations accumulate over the loop and each
+    # reports once, anchored at its first chunk's start.
     rx_rows = []
+    fe_dur = dec_dur = 0.0
+    fe_ts = dec_ts = 0.0
     for start in range(0, total, decode_chunk):
         stop = min(start + decode_chunk, total)
+        if hook is not None:
+            if start == 0:
+                fe_ts = time.time()
+            t0 = time.perf_counter()
         soft = receiver.front_end_batch(
             received[start:stop], packet_bits,
             channel_gains=None if gains_all is None else gains_all[start:stop],
             csi_weights=None if csi_all is None else csi_all[start:stop],
             llr_scale=None if llr_scales is None else llr_scales[start:stop],
         )
+        if hook is not None:
+            fe_dur += time.perf_counter() - t0
+            if start == 0:
+                dec_ts = time.time()
+            t0 = time.perf_counter()
         rx_rows.append(receiver.decode_batch(soft, packet_bits).bits)
+        if hook is not None:
+            dec_dur += time.perf_counter() - t0
+    if hook is not None:
+        hook("front-end", fe_ts, fe_dur, {"packets": total})
+        hook("decode", dec_ts, dec_dur, {"packets": total})
     rx_bits = np.vstack(rx_rows)
 
     results = []

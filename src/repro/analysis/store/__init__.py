@@ -73,6 +73,17 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.obs import metrics as obs_metrics
+
+#: Store lookup/append latency in the process-global registry (store
+#: views are created per request, so a per-instance registry would
+#: scatter the series): ``op`` is get/put, ``outcome`` hit/miss for
+#: lookups and written/duplicate for appends.
+_STORE_SECONDS = obs_metrics.GLOBAL.histogram(
+    "repro_store_seconds",
+    "ResultStore operation latency by operation and outcome.",
+    labelnames=("op", "outcome"))
+
 #: On-disk format version, written to each file's header line.
 FORMAT_VERSION = 1
 
@@ -325,6 +336,14 @@ class StoreView:
         tampered with), and serving the record anyway would silently break
         the chunk-invariance contract, so it raises instead.
         """
+        t0 = time.perf_counter()
+        result = self._get(point_key, batch_index, num_packets)
+        _STORE_SECONDS.labels(
+            op="get", outcome="miss" if result is None else "hit").observe(
+                time.perf_counter() - t0)
+        return result
+
+    def _get(self, point_key, batch_index, num_packets):
         key = (_normalise_point_key(point_key), int(batch_index))
         record = self._ensure().get(key)
         if record is None:
@@ -369,9 +388,12 @@ class StoreView:
 
     def put(self, point_key, batch_index, num_packets, result):
         """Append one batch result (idempotent for an existing key)."""
+        t0 = time.perf_counter()
         key = (_normalise_point_key(point_key), int(batch_index))
         index = self._ensure()
         if key in index:
+            _STORE_SECONDS.labels(op="put", outcome="duplicate").observe(
+                time.perf_counter() - t0)
             return
         record = {
             "point": list(key[0]),
@@ -382,6 +404,8 @@ class StoreView:
         }
         self._append_locked(key, record)
         index.setdefault(key, record)
+        _STORE_SECONDS.labels(op="put", outcome="written").observe(
+            time.perf_counter() - t0)
 
     def flush_stats(self, now=None):
         """Best-effort merge of this view's lookup counters into the sidecar.

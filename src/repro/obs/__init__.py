@@ -1,0 +1,57 @@
+"""Observability: tracing, metrics and kernel phase profiling.
+
+Stdlib-only telemetry for the characterisation service, in three
+pillars (see the module docstrings for the design contracts):
+
+* :mod:`repro.obs.trace` — request/batch spans, the ``X-Repro-Trace``
+  propagation contract, the JSONL sink and the ``repro-trace`` CLI.
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms with
+  Prometheus text exposition (``GET /v1/metrics?format=prometheus``).
+* :mod:`repro.obs.phases` — opt-in timing hooks inside the fused round
+  and the BCJR kernel.
+
+The one rule every pillar obeys: telemetry is **read-only**.  Result
+rows are bit-for-bit identical with tracing on or off, and the
+disabled path costs one attribute load per instrumentation site.
+"""
+
+import logging
+import sys
+
+from repro.obs.metrics import (GLOBAL, MetricsRegistry, parse_exposition,
+                               render_prometheus)
+from repro.obs.phases import get_phase_hook, set_phase_hook
+from repro.obs.trace import (NULL_SPAN, NULL_TRACER, TRACE_HEADER, Span,
+                             Tracer, configure, current_span, disable,
+                             get_tracer, set_tracer)
+
+__all__ = [
+    "GLOBAL", "MetricsRegistry", "parse_exposition", "render_prometheus",
+    "get_phase_hook", "set_phase_hook",
+    "NULL_SPAN", "NULL_TRACER", "TRACE_HEADER", "Span", "Tracer",
+    "configure", "current_span", "disable", "get_tracer", "set_tracer",
+    "configure_logging",
+]
+
+_LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+
+def configure_logging(level="warning", path=None):
+    """Root logging config shared by the service and worker-agent mains.
+
+    Every logger in this codebase is named ``repro.<module>`` (the
+    stdlib ``logging.getLogger(__name__)`` idiom), so one root handler
+    at ``level`` surfaces all of them consistently.  ``path`` appends
+    to a file instead of stderr — stderr stays clean for daemons whose
+    stdout announce line is parsed by supervisors.
+    """
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError("unknown log level %r" % level)
+    handler = (logging.FileHandler(path, encoding="utf-8") if path
+               else logging.StreamHandler(sys.stderr))
+    handler.setFormatter(logging.Formatter(_LOG_FORMAT))
+    root = logging.getLogger()
+    root.setLevel(numeric)
+    root.addHandler(handler)
+    return handler

@@ -44,8 +44,11 @@ path, float32 an opt-in fast path whose LLRs may differ in the last bits
 (see :mod:`repro.phy.dtype` for the tolerance policy).
 """
 
+import time
+
 import numpy as np
 
+from repro.obs.phases import get_phase_hook
 from repro.phy.decoder_base import ConvolutionalDecoder, DecodeResult
 from repro.phy.dtype import dtype_policy
 from repro.phy.trellis import (
@@ -227,6 +230,12 @@ class BcjrDecoder(ConvolutionalDecoder):
         # ((num_blocks, block_length) per packet) so every write is
         # contiguous and the backward sweep below can view it as stacked
         # blocks without copying; padded slots are never read.
+        # Phase hooks time the decoder's three sweeps; they read the
+        # clock only, so traced and untraced decodes are bit-identical.
+        hook = get_phase_hook()
+        if hook is not None:
+            phase_ts = time.time()
+            phase_t0 = time.perf_counter()
         vals = self.bmu.compute_compressed(soft, time_major=True,
                                            dtype=self._dtype)
         edge_code_fwd_d = self._edge_code_fwd_d
@@ -289,6 +298,11 @@ class BcjrDecoder(ConvolutionalDecoder):
             # front padding; zero them so the sweep's discarded LLR lanes
             # read defined values instead of np.empty garbage.
             alpha_store[last_start : last_start + pad] = 0.0
+        if hook is not None:
+            hook("bcjr.forward", phase_ts, time.perf_counter() - phase_t0,
+                 {"packets": batch})
+            phase_ts = time.time()
+            phase_t0 = time.perf_counter()
 
         # The same compressed metrics in sweep layout: the final block is
         # front-padded to a full window with zero (no-information) values,
@@ -312,6 +326,11 @@ class BcjrDecoder(ConvolutionalDecoder):
         seeds[-1] = self._terminal_beta(batch)
         if num_blocks > 1:
             seeds[:-1] = self._provisional_beta(val_windows[1:], pad)
+        if hook is not None:
+            hook("bcjr.seed", phase_ts, time.perf_counter() - phase_t0,
+                 {"packets": batch})
+            phase_ts = time.time()
+            phase_t0 = time.perf_counter()
 
         # Fused backward sweep over every block at once.  Each step forms
         # one shared (branch + beta) tensor that serves both consumers:
@@ -365,6 +384,10 @@ class BcjrDecoder(ConvolutionalDecoder):
             )
         else:
             llr = np.ascontiguousarray(llr_padded)
+
+        if hook is not None:
+            hook("bcjr.backward", phase_ts, time.perf_counter() - phase_t0,
+                 {"packets": batch})
 
         bits = (llr > 0).astype(np.uint8)
         bits, llr = bits[:, :num_data_bits], llr[:, :num_data_bits]

@@ -23,9 +23,12 @@ and :mod:`repro.service.worker`.
 """
 
 import argparse
+import os
 import sys
 import time
 
+from repro.obs import configure_logging
+from repro.obs import trace as obs_trace
 from repro.service.api import Service, serve
 from repro.service.broker import ClientQuota
 
@@ -86,7 +89,24 @@ def main(argv=None):
     parser.add_argument("--remote-timeout-s", type=float, default=60.0,
                         help="detach a remote worker holding an item after "
                              "this long without a heartbeat (default: 60)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write request/batch trace spans as JSON lines "
+                             "into this directory (read them back with "
+                             "python -m repro.obs.trace; default: "
+                             "$REPRO_TRACE_DIR, else tracing off)")
+    parser.add_argument("--log-level", default="warning",
+                        help="root logging level for the repro.* loggers "
+                             "(debug/info/warning/error; default: warning, "
+                             "so supervisors parsing the announce line see "
+                             "it first)")
+    parser.add_argument("--log-file", default=None, metavar="PATH",
+                        help="append logs to PATH instead of stderr")
     args = parser.parse_args(argv)
+
+    configure_logging(args.log_level, args.log_file)
+    trace_dir = args.trace_dir or os.environ.get("REPRO_TRACE_DIR")
+    if trace_dir:
+        obs_trace.configure(trace_dir, proc="service")
 
     service = Service(args.store, workers=args.workers, backend=args.backend,
                       max_inflight_batches=args.max_inflight_batches,
@@ -102,6 +122,10 @@ def main(argv=None):
           "(store: %s, %d %s worker(s))"
           % (host, port, service.store.root, service.fleet.workers,
              service.fleet.backend), flush=True)
+    if trace_dir:
+        # After the announce line: supervisors parse the first line only.
+        print("tracing to %s (inspect with python -m repro.obs.trace)"
+              % trace_dir, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

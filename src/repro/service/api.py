@@ -74,6 +74,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.analysis.store import ResultStore
 from repro.analysis.sweep import _json_default
+from repro.obs.trace import TRACE_HEADER
 from repro.service.broker import (CharacterisationBroker, ServiceError,
                                   ServiceSaturated)
 from repro.service.cluster import LeaseManager
@@ -332,13 +333,17 @@ class Service:
                 time.sleep(self.poll_s)
 
     # ------------------------------------------------------------------ #
-    def submit(self, request):
-        """Submit one request; returns its (possibly shared) ticket."""
+    def submit(self, request, trace=None):
+        """Submit one request; returns its (possibly shared) ticket.
+
+        ``trace`` is an optional ``X-Repro-Trace`` span context the
+        request's trace continues from (see :mod:`repro.obs.trace`).
+        """
         if self._pump is None:
             raise ServiceError("service is not running; start() it first")
         if not isinstance(request, CharacterisationRequest):
             request = CharacterisationRequest.from_dict(request)
-        return self.broker.submit(request)
+        return self.broker.submit(request, trace=trace)
 
     def characterise(self, request, timeout=None):
         """Submit and block: the final rows, in grid order."""
@@ -353,9 +358,23 @@ class Service:
                     heartbeats=self.fleet.heartbeats())
 
     def metrics(self):
-        """The full operational ledger (served by ``GET /v1/metrics``)."""
-        return dict(self.broker.metrics(), store_root=self.store.root,
-                    heartbeats=self.fleet.heartbeats())
+        """The full operational ledger (served by ``GET /v1/metrics``).
+
+        The whole document — including the service-level extras — is
+        assembled inside the broker lock, so one snapshot is one
+        instant: its counters always balance (taking heartbeats after
+        releasing the lock used to let a completing batch skew the
+        ledger mid-read).  The broker->fleet lock order this relies on
+        is the one the broker's own dispatch path already established.
+        """
+        return self.broker.metrics(extras={
+            "store_root": lambda: self.store.root,
+            "heartbeats": self.fleet.heartbeats,
+        })
+
+    def prometheus_text(self):
+        """Prometheus text exposition (``GET /v1/metrics?format=prometheus``)."""
+        return self.broker.prometheus_text()
 
     def __repr__(self):
         return "Service(store=%r, fleet=%r)" % (self.store.root, self.fleet)
@@ -391,11 +410,23 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status, text):
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self):
-        path = urllib.parse.urlsplit(self.path).path
+        split = urllib.parse.urlsplit(self.path)
+        path = split.path
         if path == "/v1/status":
             return self._send_json(200, self.service.status())
         if path == "/v1/metrics":
+            query = urllib.parse.parse_qs(split.query)
+            if "prometheus" in query.get("format", []):
+                return self._send_text(200, self.service.prometheus_text())
             return self._send_json(200, self.service.metrics())
         if path == "/v1/requests":
             return self._send_json(200,
@@ -461,7 +492,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except (TypeError, ValueError) as exc:
             return self._send_json(400, {"error": str(exc)})
         try:
-            ticket = self.service.submit(request)
+            ticket = self.service.submit(
+                request, trace=self.headers.get(TRACE_HEADER))
         except ServiceSaturated as exc:
             # The admission-control contract: 429 plus an honest integer
             # Retry-After (ceil — never tell a client to come back early).
@@ -482,13 +514,18 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.end_headers()
-        self.wfile.write(_to_json({
+        accepted = {
             "event": "accepted",
             "request": ticket.key,
             "namespace": ticket.digest,
             "points": request.num_points(),
             "detach": bool(detach),
-        }))
+        }
+        if ticket.span.enabled:
+            # Echo the trace id so an untraced client can still find its
+            # waterfall in the sink (`repro-trace show DIR <id>`).
+            accepted["trace"] = ticket.span.trace_id
+        self.wfile.write(_to_json(accepted))
         self.wfile.flush()
         try:
             for event in ticket.stream(
@@ -563,12 +600,18 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     self.wfile.write(_to_json({"event": "ping"}))
                     self.wfile.flush()
                     continue
-                self.wfile.write(_to_json({
+                task = {
                     "event": "task",
                     "seq": item.seq,
                     "label": item.batch.label(),
                     "payload": encode_payload((item.runner, item.batch)),
-                }))
+                }
+                if item.trace is not None:
+                    # Span context piggybacks on the task event so the
+                    # agent's simulate span joins the request's trace;
+                    # absent when tracing is off (historical shape).
+                    task["trace"] = item.trace
+                self.wfile.write(_to_json(task))
                 self.wfile.flush()
             # "detached" = the watchdog (or a newer attach under the same
             # name) evicted this worker while the service runs on — it
@@ -650,7 +693,7 @@ def serve(service, host="127.0.0.1", port=0, heartbeat_s=10.0,
 # Client helpers (used by the example, the CI smoke job and tests)
 # ---------------------------------------------------------------------- #
 def stream_request(base_url, request, timeout=300.0, detach=False,
-                   retry=None):
+                   retry=None, trace=None):
     """POST a request to a running service; yield its parsed event stream.
 
     An error status (a saturated 429, a draining 503, a malformed 400)
@@ -664,16 +707,24 @@ def stream_request(base_url, request, timeout=300.0, detach=False,
     produced events: re-submitting *is* safe (identical requests
     coalesce, stored batches replay), but splicing two event streams
     would not be.
+
+    ``trace`` (a ``"trace_id:span_id"`` context, e.g. from a local
+    :class:`repro.obs.trace.Span`'s ``context()``) rides the
+    ``X-Repro-Trace`` header so the service-side trace continues the
+    caller's.
     """
     if isinstance(request, CharacterisationRequest):
         request = request.to_dict()
     url = base_url.rstrip("/") + "/v1/characterise"
     if detach:
         url += "?detach=1"
+    headers = {"Content-Type": "application/json"}
+    if trace is not None:
+        headers[TRACE_HEADER] = trace
     http_request = urllib.request.Request(
         url,
         data=json.dumps(request, default=_json_default).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
+        headers=headers,
     )
 
     def _open():

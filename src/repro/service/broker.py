@@ -72,6 +72,8 @@ import time
 
 from repro.analysis.adaptive import batch_store_key, run_link_ber_batch
 from repro.analysis.fused import FusedBatchRunner, plan_fused_round
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["ServiceError", "ServiceSaturated", "ClientQuota", "RequestTicket",
            "CharacterisationBroker"]
@@ -197,6 +199,9 @@ class RequestTicket:
         self.failure = None
         self.final_rows = None
         self.done = threading.Event()
+        #: Root obs span of the request's trace (the null span unless the
+        #: broker runs with tracing enabled); ended on finish/fail/cancel.
+        self.span = obs_trace.NULL_SPAN
         self._broker = None        # set by the broker right after creation
         self._lock = lock          # the broker's lock; guards all state
         self._events = []
@@ -242,6 +247,7 @@ class RequestTicket:
         self._emit({"event": "done", "request": self.key,
                     "progress": self._progress_locked()})
         self._close_subscribers()
+        self.span.end(outcome="done")
 
     def _fail(self, message):
         self.failure = str(message)
@@ -249,6 +255,7 @@ class RequestTicket:
         self._emit({"event": "failed", "request": self.key,
                     "error": self.failure})
         self._close_subscribers()
+        self.span.end(outcome="failed")
 
     def _cancel(self, reason):
         self.cancelled = True
@@ -258,6 +265,7 @@ class RequestTicket:
                     "reason": self.failure,
                     "progress": self._progress_locked(points=False)})
         self._close_subscribers()
+        self.span.end(outcome="cancelled")
 
     def _close_subscribers(self):
         for subscriber in self._subscribers:
@@ -432,7 +440,7 @@ class CharacterisationBroker:
 
     def __init__(self, store, fleet, runner=None, max_inflight_batches=None,
                  max_requests=None, quota=None, leases=None,
-                 lease_poll_s=0.25):
+                 lease_poll_s=0.25, registry=None):
         if max_inflight_batches is not None and max_inflight_batches < 1:
             raise ValueError("max_inflight_batches must be positive or None")
         if max_requests is not None and max_requests < 1:
@@ -457,6 +465,8 @@ class CharacterisationBroker:
         self._group_of = {}       # member work key -> its group key
         self._buckets = {}        # client_id -> _TokenBucket
         self._dispatched_at = {}  # fleet item key -> dispatch timestamp
+        self._batch_spans = {}    # work key -> {ticket key -> live obs span}
+        self._group_spans = {}    # fused group key -> live obs span
         self._lease_waits = {}    # work key -> [(ticket, batch), ...]
         self._lease_poll_at = 0.0
         self._item_seconds = None  # EWMA of fleet item wall-clock
@@ -470,15 +480,100 @@ class CharacterisationBroker:
         self.lease_waited_batches = 0     # batches parked on a peer's lease
         self.lease_answered_batches = 0   # parked batches answered by peers
         self.lease_reclaimed_batches = 0  # parked batches simulated locally
+        self.delivered_batches = 0   # per-ticket batch consumes that landed
+        self.admitted_requests = 0   # non-coalesced submits past admission
         self.completed_requests = 0
         self.failed_requests = 0
         self.cancelled_requests = 0
         self.rejected_saturated = 0  # submits refused by the in-flight caps
         self.rejected_quota = 0      # submits refused by the client quota
+        #: Typed metrics layered over (not replacing) the int ledger: the
+        #: ints above stay the single source of truth, mutated only under
+        #: the broker lock; callback families re-read them at render time
+        #: (``prometheus_text`` renders under the lock, so one scrape is
+        #: one consistent snapshot) and histograms add the distributions
+        #: JSON cannot carry.
+        self.registry = registry if registry is not None \
+            else obs_metrics.MetricsRegistry()
+        stage = self.registry.histogram(
+            "repro_stage_seconds",
+            "Wall-clock per pipeline stage (simulate includes queue wait; "
+            "store_put is the persistence append; deliver is folding one "
+            "batch into one ticket)", labelnames=("stage",))
+        self._h_simulate = stage.labels(stage="simulate")
+        self._h_store_put = stage.labels(stage="store_put")
+        self._h_deliver = stage.labels(stage="deliver")
+        self.registry.callback(
+            "repro_requests_total", "Requests by lifecycle state "
+            "(admitted = past admission control; coalesced add no work)",
+            "counter", self._collect_requests)
+        self.registry.callback(
+            "repro_batches_total", "Batches answered, by source",
+            "counter", self._collect_batches)
+        self.registry.callback(
+            "repro_batches_in_flight",
+            "Batches queued or executing right now", "gauge",
+            lambda: [({}, len(self._inflight_work))])
+        self.registry.callback(
+            "repro_rejected_total", "Submits refused at admission",
+            "counter", lambda: [({"reason": "saturated"},
+                                 self.rejected_saturated),
+                                ({"reason": "quota"}, self.rejected_quota)])
+        self.registry.callback(
+            "repro_lease_events_total",
+            "Cross-replica lease traffic (zero when leases are off)",
+            "counter", self._collect_leases)
+        self.registry.callback(
+            "repro_worker_heartbeat_age_seconds",
+            "Seconds since each fleet worker's last heartbeat", "gauge",
+            self._collect_heartbeats)
 
     # ------------------------------------------------------------------ #
-    def submit(self, request):
+    def _collect_requests(self):
+        return [({"state": "admitted"}, self.admitted_requests),
+                ({"state": "completed"}, self.completed_requests),
+                ({"state": "failed"}, self.failed_requests),
+                ({"state": "cancelled"}, self.cancelled_requests)]
+
+    def _collect_batches(self):
+        return [({"source": "cached"}, self.cached_batches),
+                ({"source": "simulated"}, self.simulated_batches),
+                ({"source": "shared"}, self.shared_batches),
+                ({"source": "lease-parked"}, self.lease_waited_batches),
+                ({"source": "released"}, self.released_batches),
+                ({"source": "delivered"}, self.delivered_batches)]
+
+    def _collect_leases(self):
+        stats = self.leases.stats() if self.leases is not None else {}
+        return ([({"event": name}, stats.get(name, 0))
+                 for name in ("acquired", "contended", "reclaimed_stale",
+                              "released", "lost")]
+                + [({"event": "parked"}, self.lease_waited_batches),
+                   ({"event": "answered"}, self.lease_answered_batches),
+                   ({"event": "reclaimed"}, self.lease_reclaimed_batches)])
+
+    def _collect_heartbeats(self):
+        now = time.time()
+        return [({"worker": name}, max(0.0, round(now - beat, 3)))
+                for name, beat in sorted(self.fleet.heartbeats().items())]
+
+    def prometheus_text(self):
+        """Prometheus text exposition of this broker's registry plus the
+        process-wide one (store/lease instruments), rendered under the
+        broker lock so every callback family reads one consistent
+        ledger snapshot."""
+        with self._lock:
+            return obs_metrics.render_prometheus(self.registry,
+                                                 obs_metrics.GLOBAL)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request, trace=None):
         """Register one request; returns its (possibly shared) ticket.
+
+        ``trace`` is an optional client-supplied span context (the
+        ``X-Repro-Trace`` header's value); with tracing enabled the
+        ticket's root ``request`` span continues it, so the client owns
+        the trace id.  Telemetry never affects results or admission.
 
         An identical in-flight request coalesces onto the existing
         ticket.  Batches already in the store are consumed before this
@@ -495,11 +590,21 @@ class CharacterisationBroker:
         they add no work and cost no quota.
         """
         with self._lock:
+            tracer = obs_trace.get_tracer()
             key = request.request_key()
             ticket = self._tickets.get(key)
             if ticket is not None:
                 ticket.coalesced += 1
                 ticket.interest += 1
+                if tracer.enabled:
+                    # The coalescing client's trace gets one completed
+                    # span pointing at the ticket it piggybacked on; the
+                    # shared work stays in the first submitter's trace.
+                    parent = trace if trace is not None else ticket.span
+                    tracer.event("batch", parent, time.time(), 0.0,
+                                 {"source": "coalesced",
+                                  "request": key[:16],
+                                  "onto": ticket.span.context()})
                 return ticket
             self._admit(request)
             experiment = request.experiment(store=self.store,
@@ -515,7 +620,14 @@ class CharacterisationBroker:
                                    experiment.resolved_runner(),
                                    self._ticket_seq, self._lock)
             ticket._broker = self
+            if tracer.enabled:
+                ticket.span = tracer.start(
+                    "request", context=trace, request=key[:16],
+                    namespace=digest[:16],
+                    points=len(ticket.trajectory.states),
+                    priority=request.priority)
             self._tickets[key] = ticket
+            self.admitted_requests += 1
             try:
                 self._advance(ticket)
             except Exception as exc:
@@ -630,6 +742,12 @@ class CharacterisationBroker:
         """Drop a ticket out of the machinery (lock held, interest 0)."""
         self._tickets.pop(ticket.key, None)
         self.cancelled_requests += 1
+        for work_key, spans in list(self._batch_spans.items()):
+            span = spans.pop(ticket.key, None)
+            if span is not None:
+                span.end(outcome="cancelled")
+            if not spans:
+                self._batch_spans.pop(work_key, None)
         for work_key, subscribers in list(self._inflight_work.items()):
             remaining = [entry for entry in subscribers
                          if entry[0] is not ticket]
@@ -670,6 +788,9 @@ class CharacterisationBroker:
                 self.released_batches += 1
             self._group_members.pop(group_key, None)
             self._dispatched_at.pop(group_key, None)
+            group_span = self._group_spans.pop(group_key, None)
+            if group_span is not None:
+                group_span.end(outcome="cancelled")
         ticket._cancel(reason)
 
     def close_admission(self):
@@ -713,13 +834,35 @@ class CharacterisationBroker:
             self._group_members = {}
             self._group_of = {}
             self._dispatched_at = {}
+            for spans in self._batch_spans.values():
+                for span in spans.values():
+                    span.end(outcome="shutdown")
+            for span in self._group_spans.values():
+                span.end(outcome="shutdown")
+            self._batch_spans = {}
+            self._group_spans = {}
             self._lease_waits = {}
             if self.leases is not None:
                 self.leases.release_all()
 
     # ------------------------------------------------------------------ #
+    def _open_batch_span(self, ticket, batch, work_key, source):
+        """A live span for one (ticket, batch) until its result folds in.
+
+        Only called with tracing on; the span records the batch's full
+        service-side residence (dispatch/park through delivery), so the
+        gap between it and its worker-side ``simulate`` child is the
+        queue wait the waterfall makes visible.
+        """
+        span = ticket.span.child("batch", source=source,
+                                 point=batch.point.index, batch=batch.index)
+        self._batch_spans.setdefault(work_key, {})[ticket.key] = span
+        return span
+
     def _advance(self, ticket):
         """Drive a ticket forward until it blocks on fleet work or ends."""
+        tracer = obs_trace.get_tracer()
+        traced = tracer.enabled and ticket.span.enabled
         trajectory = ticket.trajectory
         view = self._views[ticket.digest]
         while not trajectory.round_in_flight:
@@ -737,6 +880,8 @@ class CharacterisationBroker:
                 continue
             pending = []
             for batch in batches:
+                if traced:
+                    hit_ts, hit_t0 = time.time(), time.perf_counter()
                 cached = view.get(batch_store_key(batch), batch.index,
                                   batch.num_packets)
                 if cached is None:
@@ -744,6 +889,13 @@ class CharacterisationBroker:
                     continue
                 ticket._note(batch, "cached")
                 self.cached_batches += 1
+                self.delivered_batches += 1
+                if traced:
+                    tracer.event("batch", ticket.span, hit_ts,
+                                 time.perf_counter() - hit_t0,
+                                 {"source": "cached",
+                                  "point": batch.point.index,
+                                  "batch": batch.index})
                 trajectory.consume(batch, cached)
                 ticket._emit_new_rows()
             self._dispatch_pending(ticket, pending)
@@ -763,6 +915,8 @@ class CharacterisationBroker:
         still lands in the store and in every subscriber under its own
         work key — only how many fleet items carry it.
         """
+        tracer = obs_trace.get_tracer()
+        traced = tracer.enabled and ticket.span.enabled
         fresh, answered = [], []
         for batch in pending:
             work_key = (ticket.digest, batch_store_key(batch), batch.index,
@@ -778,6 +932,8 @@ class CharacterisationBroker:
                 subscribers.append((ticket, batch))
                 ticket._note(batch, "shared")
                 self.shared_batches += 1
+                if traced:
+                    self._open_batch_span(ticket, batch, work_key, "shared")
                 self._item_seq += 1
                 self.fleet.promote(
                     self._group_of.get(work_key, work_key),
@@ -796,6 +952,9 @@ class CharacterisationBroker:
                     waiters.append((ticket, batch))
                     ticket._note(batch, "leased")
                     self.lease_waited_batches += 1
+                    if traced:
+                        self._open_batch_span(ticket, batch, work_key,
+                                              "lease-parked")
                     continue
                 # We won the lease — but the previous holder may have
                 # appended its result and released between our round's
@@ -808,6 +967,11 @@ class CharacterisationBroker:
                     self._release_lease(work_key)
                     ticket._note(batch, "cached")
                     self.cached_batches += 1
+                    if traced:
+                        tracer.event("batch", ticket.span, time.time(), 0.0,
+                                     {"source": "cached", "lease": "won",
+                                      "point": batch.point.index,
+                                      "batch": batch.index})
                     answered.append((ticket, batch, cached))
                     continue
             fresh.append((work_key, batch))
@@ -825,10 +989,15 @@ class CharacterisationBroker:
             ticket._note(batch, "simulated")
             self._item_seq += 1
             self.simulated_batches += 1
+            trace_ctx = None
+            if traced:
+                trace_ctx = self._open_batch_span(
+                    ticket, batch, work_key, "simulated").context()
             self.fleet.submit(
                 work_key, ticket.runner, batch,
                 priority=(ticket.request.priority, ticket.deadline_at,
                           ticket.seq, self._item_seq),
+                trace=trace_ctx,
             )
             self._dispatched_at[work_key] = time.time()
         for group in groups:
@@ -840,14 +1009,27 @@ class CharacterisationBroker:
                 self._inflight_work[work_key] = [(ticket, batch)]
                 self._group_of[work_key] = group_key
                 ticket._note(batch, "simulated")
+                if traced:
+                    self._open_batch_span(ticket, batch, work_key,
+                                          "simulated")
                 members.append((work_key, batch))
             self._group_members[group_key] = members
             self._item_seq += 1
             self.simulated_batches += len(members)
+            group_ctx = None
+            if traced:
+                # One fused fleet item simulates many batches: the
+                # worker's ``simulate`` span hangs off this group span,
+                # next to the per-member batch spans.
+                group_span = ticket.span.child("fused",
+                                               batches=len(members))
+                self._group_spans[group_key] = group_span
+                group_ctx = group_span.context()
             self.fleet.submit(
                 group_key, FusedBatchRunner(ticket.runner), group,
                 priority=(ticket.request.priority, ticket.deadline_at,
                           ticket.seq, self._item_seq),
+                trace=group_ctx,
             )
             self._dispatched_at[group_key] = time.time()
         self._fold_answered(answered)
@@ -868,10 +1050,16 @@ class CharacterisationBroker:
             # Feed the Retry-After estimator: per-batch wall-clock (a
             # fused item's elapsed spreads over its member batches).
             group = self._group_members.get(work_key)
-            per_batch = (time.time() - started) / (len(group) if group else 1)
+            width = len(group) if group else 1
+            per_batch = (time.time() - started) / width
             self._item_seconds = (
                 per_batch if self._item_seconds is None
                 else 0.7 * self._item_seconds + 0.3 * per_batch)
+            for _ in range(width):
+                self._h_simulate.observe(per_batch)
+        group_span = self._group_spans.pop(work_key, None)
+        if group_span is not None:
+            group_span.end()
         members = self._group_members.pop(work_key, None)
         if members is not None:
             member_results = (result.get("results")
@@ -899,6 +1087,7 @@ class CharacterisationBroker:
             # Best-effort — an unstorable result (a custom runner leaking
             # tuple extras, a full disk) must not take the pump thread
             # down with it; the batch is simply served uncached.
+            put_ts, put_t0 = time.time(), time.perf_counter()
             try:
                 self._views[digest].put(point_key, batch_index, num_packets,
                                         result)
@@ -907,38 +1096,67 @@ class CharacterisationBroker:
                     "could not persist batch %r of namespace %s; serving it "
                     "uncached", (point_key, batch_index), digest[:16],
                     exc_info=True)
+            put_dur = time.perf_counter() - put_t0
+            self._h_store_put.observe(put_dur)
+            tracer = obs_trace.get_tracer()
+            if tracer.enabled:
+                spans = self._batch_spans.get(work_key)
+                if spans:
+                    tracer.event("store", next(iter(spans.values())),
+                                 put_ts, put_dur)
         # Release the batch's cross-replica lease only *after* the store
         # put: a waiting replica that sees the lease free re-checks the
         # store and finds the result.  (An error result is never
         # persisted, so releasing hands the batch to the waiter, which
         # re-simulates and hits the same deterministic error.)
         self._release_lease(work_key)
-        self._fold(subscribers, result)
+        self._fold(subscribers, result, work_key)
 
     def _release_lease(self, work_key):
         if self.leases is not None:
             self.leases.release(work_key[0], work_key[1], work_key[2])
 
-    def _fold(self, subscribers, result):
-        """Fold one batch result into every subscribed ticket (lock held)."""
+    def _fold(self, subscribers, result, work_key=None):
+        """Fold one batch result into every subscribed ticket (lock held).
+
+        ``work_key`` (when the result resolves in-flight work) closes
+        each subscriber's live batch span as its delivery lands.
+        """
+        spans = self._batch_spans.pop(work_key, None) \
+            if work_key is not None else None
         for ticket, batch in subscribers:
+            span = spans.pop(ticket.key, None) if spans else None
             if ticket.done.is_set():
+                if span is not None:
+                    span.end(outcome="orphaned")
                 continue
             # A fault folding one ticket's result in (e.g. a malformed
             # runner result dict) fails that ticket alone — the service
             # and its other requests keep running.
             try:
+                fold_t0 = time.perf_counter()
                 ticket.trajectory.consume(batch, result)
+                self._h_deliver.observe(time.perf_counter() - fold_t0)
+                self.delivered_batches += 1
+                if span is not None:
+                    span.end()
                 ticket._emit_new_rows()
                 if not ticket.trajectory.round_in_flight:
                     self._advance(ticket)
             except Exception as exc:
                 _logger.warning("request %s failed processing batch %s",
                                 ticket.key[:16], batch.label(), exc_info=True)
+                if span is not None:
+                    span.end(outcome="failed")
                 ticket._fail("internal error processing %s: %s"
                              % (batch.label(), exc))
                 self._tickets.pop(ticket.key, None)
                 self.failed_requests += 1
+        if spans:
+            # Subscribers that vanished between span creation and
+            # delivery (a released ticket) still get their spans closed.
+            for span in spans.values():
+                span.end(outcome="orphaned")
 
     def _poll_leases(self, now=None):
         """Advance lease-parked batches (lock held; throttled).
@@ -978,10 +1196,19 @@ class CharacterisationBroker:
                     self._item_seq += 1
                     self.simulated_batches += 1
                     self.lease_reclaimed_batches += 1
+                    trace_ctx = None
+                    spans = self._batch_spans.get(work_key)
+                    if spans:
+                        for span in spans.values():
+                            span.annotate(lease="reclaimed")
+                        anchor = spans.get(ticket.key) \
+                            or next(iter(spans.values()))
+                        trace_ctx = anchor.context()
                     self.fleet.submit(
                         work_key, ticket.runner, batch,
                         priority=(ticket.request.priority, ticket.deadline_at,
                                   ticket.seq, self._item_seq),
+                        trace=trace_ctx,
                     )
                     self._dispatched_at[work_key] = time.time()
                     continue
@@ -989,7 +1216,7 @@ class CharacterisationBroker:
             if result is not None:
                 self._lease_waits.pop(work_key, None)
                 self.lease_answered_batches += len(subscribers)
-                self._fold(subscribers, result)
+                self._fold(subscribers, result, work_key)
 
     # ------------------------------------------------------------------ #
     @property
@@ -1019,18 +1246,28 @@ class CharacterisationBroker:
                 "fleet": self.fleet.stats(),
             }
 
-    def metrics(self):
+    def metrics(self, extras=None):
         """The full operational ledger as one stable JSON-able document.
 
         Everything the system already tracks, in one place: admission
         state and caps, the request lifecycle counters, the batch-source
-        ledger (cached / simulated / shared / released / leased), the
-        fleet's queue and worker health (including per-worker heartbeat
-        ages and retry counts), per-namespace store statistics, and the
-        ``cluster`` ledger — attached remote workers and cross-replica
-        lease counters, present with a stable shape even when the
-        replica runs standalone.  Served by ``GET /v1/metrics``; keys
-        are append-only across PRs so scrapers can rely on them.
+        ledger (cached / simulated / shared / released / leased /
+        delivered), the fleet's queue and worker health (including
+        per-worker heartbeat ages and retry counts), per-namespace store
+        statistics, and the ``cluster`` ledger — attached remote workers
+        and cross-replica lease counters, present with a stable shape
+        even when the replica runs standalone.  Served by
+        ``GET /v1/metrics``; keys are append-only across PRs so scrapers
+        can rely on them.
+
+        ``extras`` maps additional top-level keys to zero-argument
+        suppliers evaluated **inside the broker lock**, so callers (the
+        :class:`~repro.service.api.Service`) can extend the document
+        without racing the counters: every number in one returned
+        snapshot — including the extras — reflects a single instant, and
+        the balance invariants (``admitted == in_flight + completed +
+        failed + cancelled``; ``delivered <= cached + shared + simulated
+        + leased``) hold in every snapshot.
         """
         with self._lock:
             now = time.monotonic()
@@ -1053,7 +1290,7 @@ class CharacterisationBroker:
                     "hits": view.hits,
                     "misses": view.misses,
                 }
-            return {
+            doc = {
                 "admission": {
                     "open": self.admission_open,
                     "max_inflight_batches": self.max_inflight_batches,
@@ -1068,6 +1305,7 @@ class CharacterisationBroker:
                     "completed": self.completed_requests,
                     "failed": self.failed_requests,
                     "cancelled": self.cancelled_requests,
+                    "admitted": self.admitted_requests,
                 },
                 "batches": {
                     "inflight": len(self._inflight_work),
@@ -1076,11 +1314,16 @@ class CharacterisationBroker:
                     "shared": self.shared_batches,
                     "released": self.released_batches,
                     "leased": self.lease_waited_batches,
+                    "delivered": self.delivered_batches,
                 },
                 "fleet": self.fleet.stats(),
                 "stores": stores,
                 "cluster": self._cluster_metrics(),
             }
+            if extras:
+                for key, supplier in extras.items():
+                    doc[key] = supplier()
+            return doc
 
     def _cluster_metrics(self):
         """The ``cluster`` metrics section (lock held); stable shape."""

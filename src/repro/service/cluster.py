@@ -56,9 +56,19 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = ["LeaseManager", "default_replica_id"]
 
 _logger = logging.getLogger(__name__)
+
+#: Lease-acquisition latency by outcome, in the process-global registry:
+#: lease files live on a shared (often networked) filesystem, so this is
+#: where cross-replica contention shows up as wall-clock.
+_LEASE_SECONDS = obs_metrics.GLOBAL.histogram(
+    "repro_lease_seconds",
+    "Cross-replica lease acquisition latency by outcome.",
+    labelnames=("result",))
 
 #: Directory name used for the lease tree inside a store root.
 LEASE_DIRNAME = "_leases"
@@ -171,6 +181,14 @@ class LeaseManager:
         :meth:`holder` reports it expired.  A stale lease is reclaimed
         in place (counted in :attr:`reclaimed_stale`).
         """
+        t0 = time.perf_counter()
+        won = self._acquire(digest, point_key, batch_index, now=now)
+        _LEASE_SECONDS.labels(
+            result="acquired" if won else "contended").observe(
+                time.perf_counter() - t0)
+        return won
+
+    def _acquire(self, digest, point_key, batch_index, now=None):
         now = time.time() if now is None else now
         key = (str(digest), tuple(int(w) for w in point_key),
                int(batch_index))

@@ -60,8 +60,9 @@ import threading
 import time
 import traceback
 
+from repro.obs import trace as obs_trace
 from repro.service.transport import (DEFAULT_RING_BYTES, attach_channel,
-                                     create_channel)
+                                     create_channel, pack_task, unpack_task)
 
 __all__ = ["FleetError", "RemoteWorkerHandle", "WorkerFleet"]
 
@@ -80,8 +81,24 @@ def _capture(runner, batch):
         return None, detail
 
 
+def _traced_capture(runner, batch, trace, worker):
+    """:func:`_capture` under a resumed ``simulate`` span (when traced).
+
+    The span is made *current* for the worker thread so the kernel
+    phase hooks (transmit/channel/front-end/decode, BCJR sweeps) nest
+    under it.  With tracing off — or an untraced item — this is one
+    attribute load on top of the plain call.
+    """
+    tracer = obs_trace.get_tracer()
+    if trace is None or not tracer.enabled:
+        return _capture(runner, batch)
+    with tracer.resume(trace, "simulate", worker=worker,
+                       label=batch.label()):
+        return _capture(runner, batch)
+
+
 def _process_worker_main(worker_id, conn, heartbeat_s, shm_name=None,
-                         ring_bytes=DEFAULT_RING_BYTES):
+                         ring_bytes=DEFAULT_RING_BYTES, trace_dir=None):
     """Long-lived process worker: heartbeat thread + one-item task loop.
 
     All messages travel over this worker's own duplex channel (a pipe,
@@ -95,6 +112,8 @@ def _process_worker_main(worker_id, conn, heartbeat_s, shm_name=None,
     channel has a single writing process — a dying worker can only break
     its own channel, which the parent reads as EOF.
     """
+    if trace_dir:
+        obs_trace.configure(trace_dir, proc=worker_id)
     channel = attach_channel(conn, shm_name, ring_bytes)
     send_lock = threading.Lock()  # main loop and heartbeat thread share it
     stop_beat = threading.Event()
@@ -123,8 +142,8 @@ def _process_worker_main(worker_id, conn, heartbeat_s, shm_name=None,
                 break
             if task is None:
                 break
-            seq, runner, batch = task
-            result, error = _capture(runner, batch)
+            seq, runner, batch, trace = unpack_task(task)
+            result, error = _traced_capture(runner, batch, trace, worker_id)
             send(("result", worker_id, seq, result, error))
     finally:
         stop_beat.set()
@@ -135,9 +154,9 @@ class _Item:
     """One queued work item and its bookkeeping."""
 
     __slots__ = ("seq", "item_id", "runner", "batch", "priority", "attempts",
-                 "delivered")
+                 "delivered", "trace")
 
-    def __init__(self, seq, item_id, runner, batch, priority):
+    def __init__(self, seq, item_id, runner, batch, priority, trace=None):
         self.seq = seq
         self.item_id = item_id
         self.runner = runner
@@ -145,6 +164,7 @@ class _Item:
         self.priority = priority
         self.attempts = 0
         self.delivered = False
+        self.trace = trace  # obs span context riding to the executor
 
 
 class RemoteWorkerHandle:
@@ -485,13 +505,17 @@ class WorkerFleet:
     # ------------------------------------------------------------------ #
     # Submission and results
     # ------------------------------------------------------------------ #
-    def submit(self, item_id, runner, batch, priority=()):
-        """Queue one batch; lower ``priority`` tuples are dispatched first."""
+    def submit(self, item_id, runner, batch, priority=(), trace=None):
+        """Queue one batch; lower ``priority`` tuples are dispatched first.
+
+        ``trace`` is an optional span context the executing worker
+        resumes its ``simulate`` span from; it never affects results.
+        """
         with self._lock:
             if not self._running or self._stopping:
                 raise FleetError("fleet is not running; start() it first")
             item = _Item(next(self._seq), item_id, runner, batch,
-                         tuple(priority))
+                         tuple(priority), trace=trace)
             heapq.heappush(self._heap, (item.priority, item.seq, item))
             self._queued[item_id] = item
             self.submitted += 1
@@ -714,7 +738,8 @@ class WorkerFleet:
                 self._inflight[item.seq] = item
                 self._heartbeat[name] = time.time()
             with self._compute_gate:
-                result, error = _capture(item.runner, item.batch)
+                result, error = _traced_capture(item.runner, item.batch,
+                                                item.trace, name)
             with self._lock:
                 self._inflight.pop(item.seq, None)
                 self._heartbeat[name] = time.time()
@@ -730,7 +755,7 @@ class WorkerFleet:
         proc = self._context.Process(
             target=_process_worker_main,
             args=(name, child_conn, self.heartbeat_s, shm_name,
-                  self.ring_bytes),
+                  self.ring_bytes, obs_trace.sink_dir()),
             daemon=True,
         )
         proc.start()
@@ -757,7 +782,8 @@ class WorkerFleet:
                     self._assigned[name] = item.seq
                     item.attempts += 1
                     try:
-                        channel.send((item.seq, item.runner, item.batch))
+                        channel.send(pack_task(item.seq, item.runner,
+                                               item.batch, item.trace))
                     except (OSError, ValueError):
                         self._reap_worker(name)
                     except Exception as exc:

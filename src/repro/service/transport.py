@@ -239,6 +239,31 @@ def decode_payload(text):
     return pickle.loads(base64.b64decode(text.encode("ascii")))
 
 
+def pack_task(seq, runner, batch, trace=None):
+    """The process-fleet task tuple: ``(seq, runner, batch[, trace])``.
+
+    ``trace`` is an optional :mod:`repro.obs.trace` context string
+    (``"trace_id:span_id"``); it rides the tuple only when tracing is
+    on, so untraced deployments keep the historical 3-tuple shape.
+    Telemetry context never influences the work itself.
+    """
+    if trace is None:
+        return (seq, runner, batch)
+    return (seq, runner, batch, trace)
+
+
+def unpack_task(task):
+    """Inverse of :func:`pack_task`; tolerates both tuple shapes.
+
+    Returns ``(seq, runner, batch, trace)`` with ``trace`` ``None``
+    for 3-tuples, so a worker built at either end of the upgrade
+    understands the other side's frames.
+    """
+    seq, runner, batch = task[:3]
+    trace = task[3] if len(task) > 3 else None
+    return seq, runner, batch, trace
+
+
 def create_channel(conn, size=DEFAULT_RING_BYTES):
     """The parent side of the best available channel over ``conn``.
 

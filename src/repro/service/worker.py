@@ -34,6 +34,7 @@ code — only ever connect an agent to a service you trust (see
 import argparse
 import json
 import logging
+import os
 import sys
 import threading
 import time
@@ -41,6 +42,8 @@ import urllib.error
 import urllib.parse
 import urllib.request
 
+from repro.obs import configure_logging
+from repro.obs import trace as obs_trace
 from repro.service.fleet import _capture
 from repro.service.transport import decode_payload, encode_payload
 
@@ -104,8 +107,20 @@ class WorkerAgent:
             beater = threading.Thread(target=self._beat_while, args=(done,),
                                       daemon=True)
             beater.start()
+            tracer = obs_trace.get_tracer()
+            trace = event.get("trace")
             try:
-                result, error = _capture(runner, batch)
+                if tracer.enabled and trace is not None:
+                    # Continue the request's trace: the batch's span
+                    # context rode the task event (see the service's
+                    # attach handler), so this simulate span — and the
+                    # kernel phase spans under it — joins the same tree
+                    # even though it runs on another host.
+                    with tracer.resume(trace, "simulate", worker=self.name,
+                                       remote=True, label=batch.label()):
+                        result, error = _capture(runner, batch)
+                else:
+                    result, error = _capture(runner, batch)
             finally:
                 done.set()
         body = {"seq": seq}
@@ -225,9 +240,23 @@ def main(argv=None):
     parser.add_argument("--backoff-s", type=float, default=1.0,
                         help="initial re-attach backoff (doubles per "
                              "failure, capped at 30 s)")
+    parser.add_argument("--log-level", default="info",
+                        help="root logging level for the repro.* loggers "
+                             "(debug/info/warning/error; default: info)")
+    parser.add_argument("--log-file", default=None, metavar="PATH",
+                        help="append logs to PATH instead of stderr")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="emit obs spans for executed batches into this "
+                             "trace sink (point it at the same directory as "
+                             "the service's --trace-dir to get connected "
+                             "waterfalls; default: $REPRO_TRACE_DIR, else "
+                             "off)")
     args = parser.parse_args(argv)
-    logging.basicConfig(level=logging.INFO,
-                        format="%(asctime)s %(levelname)s %(message)s")
+    configure_logging(args.log_level, args.log_file)
+    trace_dir = args.trace_dir or os.environ.get("REPRO_TRACE_DIR")
+    if trace_dir:
+        obs_trace.configure(trace_dir,
+                            proc=args.name or "agent-%d" % os.getpid())
     agent = WorkerAgent(args.connect, name=args.name,
                         heartbeat_s=args.heartbeat_s)
     try:

@@ -1,0 +1,288 @@
+"""Tests for the tracing core: spans, propagation, sink, and the CLI."""
+
+import io
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import phases
+from repro.obs.trace import (NULL_SPAN, NULL_TRACER, NullTracer, Tracer,
+                             build_traces, configure, current_span, disable,
+                             get_tracer, load_spans, main, parse_context,
+                             set_tracer, sink_dir)
+
+
+@pytest.fixture()
+def tracer(tmp_path):
+    """An enabled tracer into a scratch sink; restores the null tracer."""
+    active = configure(tmp_path / "traces", proc="test")
+    yield active
+    disable()
+
+
+def read_sink(trace_dir):
+    records = []
+    for name in sorted(os.listdir(trace_dir)):
+        with open(os.path.join(trace_dir, name), encoding="utf-8") as handle:
+            for line in handle:
+                records.append(json.loads(line))
+    return records
+
+
+class TestContext:
+    def test_round_trip(self, tracer):
+        span = tracer.start("request")
+        assert parse_context(span.context()) \
+            == (span.trace_id, span.span_id)
+
+    @pytest.mark.parametrize("bad", [
+        None, 7, "", "nocolon", ":tail", "head:", "a:b\x00c",
+        "x" * 65 + ":y",
+    ])
+    def test_malformed_contexts_are_rejected(self, bad):
+        assert parse_context(bad) is None
+
+    def test_resume_of_bad_context_is_the_null_span(self, tracer):
+        assert tracer.resume(None, "simulate") is NULL_SPAN
+        assert tracer.resume("garbage", "simulate") is NULL_SPAN
+
+    def test_start_with_bad_context_opens_a_fresh_trace(self, tracer):
+        span = tracer.start("request", context="not-a-context")
+        assert span.enabled and span.parent_id is None
+
+
+class TestSpans:
+    def test_end_writes_one_record_with_attrs(self, tracer, tmp_path):
+        span = tracer.start("request", points=2)
+        child = span.child("batch", source="simulated")
+        child.annotate(batch=3)
+        child.end()
+        span.end(outcome="done")
+        records = read_sink(tracer.trace_dir)
+        assert len(records) == 2
+        by_name = {r["name"]: r for r in records}
+        assert by_name["batch"]["parent"] == span.span_id
+        assert by_name["batch"]["trace"] == span.trace_id
+        assert by_name["batch"]["attrs"] == {"source": "simulated",
+                                             "batch": 3}
+        assert by_name["request"]["attrs"] == {"points": 2,
+                                               "outcome": "done"}
+        assert by_name["request"]["parent"] is None
+        assert all(r["proc"] == "test" for r in records)
+        assert all(r["dur"] >= 0.0 for r in records)
+
+    def test_end_is_idempotent(self, tracer):
+        span = tracer.start("request")
+        span.end()
+        span.end()
+        assert len(read_sink(tracer.trace_dir)) == 1
+
+    def test_resume_joins_the_propagated_trace(self, tracer):
+        root = tracer.start("request")
+        joined = tracer.resume(root.context(), "simulate", worker="w0")
+        assert joined.trace_id == root.trace_id
+        assert joined.parent_id == root.span_id
+
+    def test_with_block_sets_the_current_span(self, tracer):
+        assert current_span() is None
+        with tracer.start("request") as span:
+            assert current_span() is span
+            with span.child("batch") as child:
+                assert current_span() is child
+            assert current_span() is span
+        assert current_span() is None
+
+    def test_exception_in_with_block_records_the_error(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.start("request"):
+                raise RuntimeError("boom")
+        (record,) = read_sink(tracer.trace_dir)
+        assert "boom" in record["attrs"]["error"]
+
+    def test_event_records_a_completed_span(self, tracer):
+        root = tracer.start("request")
+        tracer.event("store", root, 123.0, 0.25, {"op": "put"})
+        tracer.event("batch", root.context(), 124.0, 0.5)
+        tracer.event("skipped", "garbage", 125.0, 0.1)  # silently dropped
+        records = read_sink(tracer.trace_dir)
+        names = {r["name"] for r in records}
+        assert names == {"store", "batch"}
+        store = next(r for r in records if r["name"] == "store")
+        assert store == {"trace": root.trace_id, "span": store["span"],
+                         "parent": root.span_id, "name": "store",
+                         "ts": 123.0, "dur": 0.25, "proc": "test",
+                         "attrs": {"op": "put"}}
+
+
+class TestNullPath:
+    def test_default_tracer_is_null_and_spans_are_shared(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+        assert sink_dir() is None
+        span = NULL_TRACER.start("request")
+        assert span is NULL_SPAN
+        assert span.child("x") is span
+        assert span.context() is None
+        assert not span  # falsy, so `if span:` guards stay cheap
+        with span:
+            span.annotate(a=1)
+            span.end()
+
+    def test_set_tracer_returns_the_previous_one(self, tmp_path):
+        tracer = Tracer(tmp_path, proc="t")
+        assert set_tracer(tracer) is NULL_TRACER
+        assert get_tracer() is tracer
+        assert set_tracer(None) is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_tracer_type_is_reusable(self):
+        assert NullTracer().start("x") is NULL_SPAN
+
+
+class TestPhaseHook:
+    def test_configure_installs_a_hook_that_nests_under_current(
+            self, tracer):
+        hook = phases.get_phase_hook()
+        assert hook is not None
+        with tracer.start("simulate") as span:
+            hook("decode", 10.0, 0.125, {"packets": 8})
+        records = read_sink(tracer.trace_dir)
+        decode = next(r for r in records if r["name"] == "decode")
+        assert decode["parent"] == span.span_id
+        assert decode["dur"] == 0.125
+
+    def test_hook_without_a_current_span_is_a_no_op(self, tracer):
+        phases.get_phase_hook()("decode", 10.0, 0.125, None)
+        assert read_sink(tracer.trace_dir) == []
+
+    def test_disable_uninstalls_the_hook(self, tmp_path):
+        configure(tmp_path / "t", proc="x")
+        disable()
+        assert phases.get_phase_hook() is None
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_phase_hook_returns_previous(self):
+        def noop(name, ts, dur, attrs=None):
+            pass
+
+        assert phases.set_phase_hook(noop) is None
+        assert phases.set_phase_hook(None) is noop
+
+
+class TestSinkLoading:
+    def test_torn_lines_and_foreign_files_are_skipped(self, tmp_path):
+        sink = tmp_path / "traces"
+        sink.mkdir()
+        (sink / "spans-a.jsonl").write_text(
+            '{"trace": "t1", "span": "s1", "name": "request", '
+            '"ts": 1.0, "dur": 2.0}\n'
+            '{"trace": "t1", "span": "s2", "pare\n'   # torn write
+            'not json at all\n')
+        (sink / "notes.txt").write_text("ignored")
+        spans = load_spans(str(sink))
+        assert [s["span"] for s in spans] == ["s1"]
+
+    def test_orphans_become_roots(self):
+        spans = [
+            {"trace": "t", "span": "root", "parent": None,
+             "name": "request", "ts": 1.0, "dur": 3.0},
+            {"trace": "t", "span": "kid", "parent": "root",
+             "name": "batch", "ts": 1.5, "dur": 1.0},
+            {"trace": "t", "span": "lost", "parent": "never-written",
+             "name": "simulate", "ts": 2.0, "dur": 0.5},
+        ]
+        (roots, nodes) = build_traces(spans)["t"]
+        assert sorted(n.record["span"] for n in roots) == ["lost", "root"]
+        root = next(n for n in roots if n.record["span"] == "root")
+        assert [c.record["span"] for c in root.children] == ["kid"]
+        assert len(nodes) == 3
+
+
+def make_sink(tmp_path):
+    """A two-trace sink built through the real tracer."""
+    tracer = configure(tmp_path / "traces", proc="svc")
+    try:
+        root = tracer.start("request", points=1)
+        with tracer.resume(root.context(), "simulate",
+                           worker="w0") as sim:
+            tracer.event("decode", sim, sim.ts, 0.01, {"packets": 8})
+        tracer.event("batch", root, root.ts, 0.02, {"source": "cached"})
+        root.end(outcome="done")
+        other = tracer.start("request")
+        other.end(outcome="done")
+        return str(tmp_path / "traces"), root.trace_id
+    finally:
+        disable()
+
+
+class TestCLI:
+    def test_ls_lists_every_trace(self, tmp_path):
+        sink, trace_id = make_sink(tmp_path)
+        out = io.StringIO()
+        assert main(["ls", sink], out=out) == 0
+        text = out.getvalue()
+        assert "TRACE" in text and "ROOT" in text
+        assert trace_id[:16] in text
+        assert text.count("request") == 2
+
+    def test_show_renders_a_nested_waterfall(self, tmp_path):
+        sink, trace_id = make_sink(tmp_path)
+        out = io.StringIO()
+        assert main(["show", sink, trace_id[:8]], out=out) == 0
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith("trace %s" % trace_id)
+        assert any("request" in line and "|" in line for line in lines)
+        # Children render indented under their parent.
+        assert any(line.startswith("  simulate") for line in lines)
+        assert any(line.startswith("    decode") for line in lines)
+
+    def test_summarize_attributes_stage_source_and_critical_path(
+            self, tmp_path):
+        sink, trace_id = make_sink(tmp_path)
+        out = io.StringIO()
+        assert main(["summarize", sink, trace_id[:8]], out=out) == 0
+        text = out.getvalue()
+        assert "by stage:" in text
+        assert "decode" in text and "simulate" in text
+        assert "batches by source:" in text and "cached" in text
+        assert "critical path:" in text
+
+    def test_ambiguous_and_missing_prefixes_fail_cleanly(self, tmp_path):
+        sink = tmp_path / "traces"
+        sink.mkdir()
+        (sink / "spans-x.jsonl").write_text(
+            '{"trace": "aaa1", "span": "s1", "parent": null, '
+            '"name": "request", "ts": 1.0, "dur": 1.0}\n'
+            '{"trace": "aaa2", "span": "s2", "parent": null, '
+            '"name": "request", "ts": 2.0, "dur": 1.0}\n')
+        with pytest.raises(SystemExit, match="no trace matching"):
+            main(["show", str(sink), "zzzz"], out=io.StringIO())
+        with pytest.raises(SystemExit, match="ambiguous"):
+            main(["show", str(sink), "aaa"], out=io.StringIO())
+
+    def test_empty_sink_reports_no_traces(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        out = io.StringIO()
+        assert main(["ls", str(empty)], out=out) == 0
+        assert "no traces" in out.getvalue()
+        assert main(["summarize", str(empty)], out=io.StringIO()) == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_span_writes_produce_whole_lines(self, tracer):
+        def emit(worker):
+            for index in range(50):
+                span = tracer.start("request", worker=worker, index=index)
+                span.end()
+
+        threads = [threading.Thread(target=emit, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = read_sink(tracer.trace_dir)
+        assert len(records) == 200

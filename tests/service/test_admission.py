@@ -344,10 +344,13 @@ class TestMetrics:
         assert "alice" in admission["quota"]["buckets"]
         requests = metrics["requests"]
         assert requests == {"in_flight": 0, "completed": 1, "failed": 0,
-                            "cancelled": 1}
+                            "cancelled": 1, "admitted": 2}
         batches = metrics["batches"]
         assert batches["simulated"] >= 1
         assert batches["released"] >= 1
+        assert batches["delivered"] <= (batches["cached"] + batches["shared"]
+                                        + batches["simulated"]
+                                        + batches["leased"])
         assert metrics["fleet"]["workers"] == 2
         for stats in metrics["stores"].values():
             assert set(stats) == {"records", "hits", "misses"}

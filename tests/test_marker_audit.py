@@ -51,6 +51,15 @@ def test_perf_benchmarks_exist():
         "no perf benchmarks found — did the layout move?"
 
 
+def test_known_perf_benchmarks_are_inside_the_audited_glob():
+    # Files added by later PRs must land where this audit can see them;
+    # a benchmark outside the glob would silently dodge the slow-marker
+    # rule above.
+    names = {path.name for path in BENCHMARKS.glob("test_perf_*.py")}
+    assert "test_perf_obs_overhead.py" in names
+    assert "test_perf_service_throughput.py" in names
+
+
 def test_every_perf_benchmark_test_is_marked_slow():
     unmarked = []
     for path in sorted(BENCHMARKS.glob("test_perf_*.py")):
